@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks: simulator and algorithm throughput.
+//!
+//! These complement the experiment binaries (which measure *operation
+//! counts*, the paper's metric) with wall-clock throughput of the
+//! simulator itself: π-iterations vs March passes per second, field
+//! multiplication, LFSR stepping and multiplier synthesis.
+//!
+//! Run: `cargo bench -p prt-bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prt_core::{PiTest, PrtScheme};
+use prt_gf::{mult_synth, Field, SynthesisStrategy};
+use prt_lfsr::WordLfsr;
+use prt_march::{library, Executor};
+use prt_ram::{Geometry, Ram};
+
+fn bench_pi_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pi_iteration");
+    for n in [1024usize, 16384] {
+        group.throughput(Throughput::Elements(n as u64));
+        let pi = PiTest::figure_1a().expect("automaton");
+        group.bench_with_input(BenchmarkId::new("bom_single_port", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ram = Ram::new(Geometry::bom(n));
+                pi.run(&mut ram).expect("run").detected()
+            })
+        });
+        let wom = PiTest::figure_1b().expect("automaton");
+        group.bench_with_input(BenchmarkId::new("wom_single_port", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ram = Ram::new(Geometry::wom(n, 4).expect("geometry"));
+                wom.run(&mut ram).expect("run").detected()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bom_dual_port", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ram = Ram::with_ports(Geometry::bom(n), 2).expect("ports");
+                pi.run_dual_port(&mut ram).expect("run").detected()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schemes_vs_march(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complete_tests");
+    let n = 4096usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let scheme = PrtScheme::standard3(Field::new(1, 0b11).expect("GF(2)")).expect("scheme");
+    group.bench_function("prt_standard3", |b| {
+        b.iter(|| {
+            let mut ram = Ram::new(Geometry::bom(n));
+            scheme.run(&mut ram).expect("run").detected()
+        })
+    });
+    let march = library::march_c_minus();
+    let ex = Executor::new();
+    group.bench_function("march_c_minus", |b| {
+        b.iter(|| {
+            let mut ram = Ram::new(Geometry::bom(n));
+            ex.run(&march, &mut ram).detected()
+        })
+    });
+    let ss = library::march_ss();
+    group.bench_function("march_ss", |b| {
+        b.iter(|| {
+            let mut ram = Ram::new(Geometry::bom(n));
+            ex.run(&ss, &mut ram).detected()
+        })
+    });
+    group.finish();
+}
+
+fn bench_field_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf");
+    let f16 = Field::new(4, 0b1_0011).expect("GF(16)");
+    group.bench_function("mul_gf16_table", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = f16.mul(x, 7) | 1;
+            x
+        })
+    });
+    let f24 = Field::gf(24).expect("GF(2^24)");
+    group.bench_function("mul_gf2_24_clmul", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = f24.mul(x, 0xABCDE) | 1;
+            x
+        })
+    });
+    group.bench_function("inv_gf16", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = f16.inv(x).expect("non-zero") | 1;
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_lfsr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr");
+    let field = Field::new(4, 0b1_0011).expect("GF(16)");
+    group.bench_function("word_lfsr_step", |b| {
+        let mut l = WordLfsr::from_feedback(field.clone(), &[1, 2, 2], &[0, 1]).expect("lfsr");
+        b.iter(|| l.step())
+    });
+    group.bench_function("word_lfsr_state_after_1e9", |b| {
+        let l = WordLfsr::from_feedback(field.clone(), &[1, 2, 2], &[0, 1]).expect("lfsr");
+        b.iter(|| l.state_after(1_000_000_000))
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mult_synth");
+    let f256 = Field::gf(8).expect("GF(256)");
+    group.bench_function("paar_gf256_constant", |b| {
+        b.iter(|| mult_synth::for_constant(&f256, 0xB5, SynthesisStrategy::Paar).gate_count())
+    });
+    group.bench_function("naive_gf256_constant", |b| {
+        b.iter(|| mult_synth::for_constant(&f256, 0xB5, SynthesisStrategy::Naive).gate_count())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pi_iteration,
+    bench_schemes_vs_march,
+    bench_field_ops,
+    bench_lfsr,
+    bench_synthesis
+);
+criterion_main!(benches);

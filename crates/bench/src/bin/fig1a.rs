@@ -1,0 +1,56 @@
+//! **Experiment E1 — Figure 1a**: a π-test iteration on a bit-oriented
+//! memory.
+//!
+//! Reproduces the paper's Figure 1a: the automaton `g(x) = 1 + x + x²`
+//! seeded with `Init = (0, 1)` writes the period-3 test-data background
+//! `0 1 1 | 0 1 1 | …` across the array, and the pseudo-ring closes
+//! (`Fin = Init`) exactly when `period | (n − k)`.
+//!
+//! Run: `cargo run --release -p prt-bench --bin fig1a`
+
+use prt_bench::Table;
+use prt_core::PiTest;
+use prt_ram::{Geometry, Ram};
+
+fn main() {
+    let pi = PiTest::figure_1a().expect("figure 1a automaton");
+    println!("Figure 1a automaton: g(x) = 1 + x + x², Init = (0, 1), GF(2)");
+    println!("period = {}\n", pi.period().expect("period"));
+
+    // The memory contents after one iteration (the figure's cell row).
+    let n = 11; // n − k = 9 ≡ 0 (mod 3): the ring closes
+    let mut ram = Ram::new(Geometry::bom(n));
+    let res = pi.run(&mut ram).expect("run");
+    let cells: Vec<String> = (0..n).map(|c| ram.peek(c).to_string()).collect();
+    println!("memory after π-iteration (n = {n}): {}", cells.join(" "));
+    println!(
+        "Fin = {:?}  Fin* = {:?}  Init = {:?}  → fault-free: {}, ring closed: {}",
+        res.fin(),
+        res.fin_star(),
+        pi.init(),
+        !res.detected(),
+        res.fin() == pi.init()
+    );
+    println!("ops = {} (= 3n − 2 = {})\n", res.ops(), 3 * n - 2);
+
+    // Ring-closure sweep, as the paper's closure condition predicts.
+    let mut t = Table::new(
+        "pseudo-ring closure vs memory size (period 3, k = 2)",
+        &["n", "n−k mod 3", "Fin", "closes", "predicted"],
+    );
+    for n in 4..=13usize {
+        let mut ram = Ram::new(Geometry::bom(n));
+        let res = pi.run(&mut ram).expect("run");
+        let closes = res.fin() == pi.init();
+        let predicted = pi.ring_closes(n).expect("period");
+        assert_eq!(closes, predicted, "closure prediction must match");
+        t.row_owned(vec![
+            n.to_string(),
+            ((n - 2) % 3).to_string(),
+            format!("{:?}", res.fin()),
+            closes.to_string(),
+            predicted.to_string(),
+        ]);
+    }
+    t.print();
+}

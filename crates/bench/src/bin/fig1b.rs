@@ -1,0 +1,81 @@
+//! **Experiment E2 — Figure 1b**: a π-test iteration on a word-oriented
+//! memory over GF(2⁴).
+//!
+//! Reproduces the paper's Figure 1b: `g(x) = 1 + 2x + 2x²` over GF(2⁴)
+//! with `p(z) = 1 + z + z⁴`, seeded `Init = (0, 1)` — cell sequence
+//! `0, 1, 2, 6, …` (the figure prints `0 1 2 6 1F … 1 0`; the `1F` glyph is
+//! an artefact of the scan — elements of GF(2⁴) are one hex digit). The
+//! paper's irreducibility statement for `g` and the ring closure at
+//! `period | (n − k)` are machine-checked.
+//!
+//! Run: `cargo run --release -p prt-bench --bin fig1b`
+
+use prt_bench::Table;
+use prt_core::PiTest;
+use prt_gf::{Field, PolyGf};
+use prt_ram::{Geometry, Ram};
+
+fn main() {
+    let field = Field::new(4, 0b1_0011).expect("p(z) = z⁴ + z + 1");
+    let g = PolyGf::new(&field, vec![1, 2, 2]).expect("g(x) = 1 + 2x + 2x²");
+    println!("field: {field}");
+    println!(
+        "g(x) = {g}: irreducible over GF(2⁴)? {} (paper asserts: yes)",
+        g.is_irreducible(&field)
+    );
+
+    let pi = PiTest::figure_1b().expect("figure 1b automaton");
+    let period = pi.period().expect("period");
+    println!("LFSR period from Init (0,1): {period}  (divides q²−1 = 255: {})", 255 % period == 0);
+
+    let prefix = pi.expected_sequence(16);
+    let hex: Vec<String> = prefix.iter().map(|v| format!("{v:X}")).collect();
+    println!("\nTDB sequence (first 16 cells, hex): {}", hex.join(" "));
+    assert_eq!(&prefix[..4], &[0, 1, 2, 6], "the figure's visible prefix");
+
+    // Ring closure at n = period + k, as the figure shows (… 1 0 back to Init).
+    let n = period as usize + 2;
+    let mut ram = Ram::new(Geometry::wom(n, 4).expect("geometry"));
+    let res = pi.run(&mut ram).expect("run");
+    println!(
+        "\nn = period + k = {n}: Fin = {:X?}  Init = {:?}  ring closed: {}",
+        res.fin(),
+        pi.init(),
+        res.fin() == pi.init()
+    );
+    println!("ops = {} (= 3n − 2 = {})", res.ops(), 3 * n - 2);
+
+    // Last cells of the array wrap to the seed values — the figure's "… 1 0".
+    let tail: Vec<String> = (n - 4..n).map(|c| format!("{:X}", ram.peek(c))).collect();
+    println!("last four cells: {} (sequence re-entering Init)", tail.join(" "));
+
+    // Every irreducible degree-2 generator over GF(16): period census.
+    let mut t = Table::new(
+        "irreducible g(x) = g0 + g1·x + g2·x² over GF(2⁴): period census",
+        &["example g", "period", "count", "primitive"],
+    );
+    let mut by_period: Vec<(u128, usize, String)> = Vec::new();
+    for g1 in 0..16u64 {
+        for g2 in 1..16u64 {
+            let cand = PolyGf::new(&field, vec![1, g1, g2]).expect("coeffs");
+            if !cand.is_irreducible(&field) {
+                continue;
+            }
+            let o = cand.order_of_x(&field).expect("irreducible");
+            match by_period.iter_mut().find(|(p, _, _)| *p == o) {
+                Some((_, c, _)) => *c += 1,
+                None => by_period.push((o, 1, cand.to_string())),
+            }
+        }
+    }
+    by_period.sort_unstable_by_key(|&(p, _, _)| p);
+    for (p, c, example) in by_period {
+        t.row_owned(vec![
+            example,
+            p.to_string(),
+            c.to_string(),
+            (p == 255).to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,78 @@
+//! **Experiment E5 — §3 claim C3 + §4 (Figure 2)**: time complexity of
+//! π-test iterations across port counts, against the March baselines.
+//!
+//! The paper claims `O(3n)` per π-iteration on single-port RAM and `2n`
+//! cycles on dual-port RAM (simultaneous operand reads, Figure 2); §4 also
+//! sketches multi-LFSR schemes for quad-port parts (≈ `n` here). All three
+//! numbers are *measured* from the simulator's cycle counters, not assumed.
+//!
+//! Run: `cargo run --release -p prt-bench --bin table_complexity`
+
+use prt_bench::Table;
+use prt_core::PiTest;
+use prt_march::{library, Executor};
+use prt_ram::{Geometry, Ram};
+
+fn main() {
+    let pi = PiTest::figure_1a().expect("automaton");
+
+    let mut t = Table::new(
+        "E5a: measured cycles per π-iteration vs ports (BOM, k = 2)",
+        &["n", "1-port cycles", "3n−2", "2-port cycles", "2n−2", "4-port cycles", "n"],
+    );
+    for n in [16usize, 64, 256, 1024] {
+        let mut r1 = Ram::new(Geometry::bom(n));
+        let c1 = pi.run(&mut r1).expect("run").cycles();
+        let mut r2 = Ram::with_ports(Geometry::bom(n), 2).expect("2 ports");
+        let c2 = pi.run_dual_port(&mut r2).expect("run").cycles();
+        let mut r4 = Ram::with_ports(Geometry::bom(n), 4).expect("4 ports");
+        let c4 = pi.run_quad_port(&mut r4).expect("run").cycles();
+        assert_eq!(c1, 3 * n as u64 - 2, "paper's O(3n)");
+        assert_eq!(c2, 2 * n as u64 - 2, "paper's 2n");
+        assert_eq!(c4, n as u64, "multi-LFSR ≈ n");
+        t.row_owned(vec![
+            n.to_string(),
+            c1.to_string(),
+            (3 * n - 2).to_string(),
+            c2.to_string(),
+            (2 * n - 2).to_string(),
+            c4.to_string(),
+            n.to_string(),
+        ]);
+    }
+    t.print();
+
+    let n = 1024usize;
+    let mut t2 = Table::new(
+        format!("E5b: operation counts of complete tests (n = {n})"),
+        &["test", "ops/cell", "total ops", "vs π×1 (1P)"],
+    );
+    let pi_ops = {
+        let mut ram = Ram::new(Geometry::bom(n));
+        pi.run(&mut ram).expect("run").ops()
+    };
+    t2.row_owned(vec![
+        "π-iteration (paper)".into(),
+        "3".into(),
+        pi_ops.to_string(),
+        "1.00×".into(),
+    ]);
+    for test in library::all() {
+        let mut ram = Ram::new(Geometry::bom(n));
+        let ops = Executor::new().run(&test, &mut ram).ops();
+        t2.row_owned(vec![
+            test.name().to_string(),
+            test.ops_per_cell().to_string(),
+            ops.to_string(),
+            format!("{:.2}×", ops as f64 / pi_ops as f64),
+        ]);
+    }
+    t2.print();
+
+    println!(
+        "\nverdict: π-iteration measures exactly 3n−2 single-port operations and\n\
+         2n−2 dual-port cycles — the paper's complexity claims hold; a March C-\n\
+         pass costs 3.3× one π-iteration, the full-coverage π schedule (18n) costs\n\
+         1.8× March C- while also using no external data generator."
+    );
+}

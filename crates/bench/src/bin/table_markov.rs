@@ -1,0 +1,134 @@
+//! **Experiment E8 — §3 claim C2**: Markov-chain detection analysis.
+//!
+//! "Applying Markov chain analysis it was shown that π-test iteration has
+//! a high resolution for most memory faults."
+//!
+//! Closed-form single-iteration detection probabilities under the
+//! uniform-TDB model vs Monte-Carlo measurement on the actual simulator,
+//! plus the absorption (escape) probabilities after 1–4 iterations and the
+//! iteration count needed to push escapes below 0.1%.
+//!
+//! Run: `cargo run --release -p prt-bench --bin table_markov [trials]`
+
+use prt_bench::{pct, Table};
+use prt_core::analysis::{
+    bom_closed_forms, escape_probability, iterations_for_escape, monte_carlo_class,
+};
+use prt_ram::{CouplingTrigger, FaultKind};
+
+fn class_instances(class: &str, n: usize) -> Vec<FaultKind> {
+    let cells = 2..n - 2; // keep clear of seed and Fin cells
+    match class {
+        "SAF" => cells
+            .flat_map(|c| [0u8, 1].map(|v| FaultKind::StuckAt { cell: c, bit: 0, value: v }))
+            .collect(),
+        "TF" => cells
+            .flat_map(|c| [true, false].map(|r| FaultKind::Transition { cell: c, bit: 0, rising: r }))
+            .collect(),
+        "IRF" => cells.map(|c| FaultKind::IncorrectRead { cell: c, bit: 0 }).collect(),
+        "RDF" => cells.map(|c| FaultKind::ReadDestructive { cell: c, bit: 0 }).collect(),
+        "DRDF" => cells.map(|c| FaultKind::DeceptiveRead { cell: c, bit: 0 }).collect(),
+        "WDF" => cells.map(|c| FaultKind::WriteDisturb { cell: c, bit: 0 }).collect(),
+        "SOF" => cells.map(|c| FaultKind::StuckOpen { cell: c }).collect(),
+        "CFst" => cells
+            .flat_map(|v| {
+                [0u8, 1].into_iter().flat_map(move |s| {
+                    [0u8, 1].map(move |f| FaultKind::CouplingState {
+                        agg_cell: if v >= 6 { v - 4 } else { v + 4 },
+                        agg_bit: 0,
+                        agg_state: s,
+                        victim_cell: v,
+                        victim_bit: 0,
+                        force: f,
+                    })
+                })
+            })
+            .collect(),
+        "CFin adj" | "CFin dist" => {
+            let dist = if class.ends_with("adj") { 1 } else { 4 };
+            cells
+                .filter(move |v| v + dist < n - 2)
+                .flat_map(move |v| {
+                    [CouplingTrigger::Rise, CouplingTrigger::Fall].map(|t| {
+                        FaultKind::CouplingInversion {
+                            agg_cell: v + dist,
+                            agg_bit: 0,
+                            victim_cell: v,
+                            victim_bit: 0,
+                            trigger: t,
+                        }
+                    })
+                })
+                .collect()
+        }
+        "CFid adj" | "CFid dist" => {
+            let dist = if class.ends_with("adj") { 1 } else { 4 };
+            cells
+                .filter(move |v| v + dist < n - 2)
+                .flat_map(move |v| {
+                    [CouplingTrigger::Rise, CouplingTrigger::Fall].into_iter().flat_map(
+                        move |t| {
+                            [0u8, 1].map(move |f| FaultKind::CouplingIdempotent {
+                                agg_cell: v + dist,
+                                agg_bit: 0,
+                                victim_cell: v,
+                                victim_bit: 0,
+                                trigger: t,
+                                force: f,
+                            })
+                        },
+                    )
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn main() {
+    let trials: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let n = 12usize;
+    println!("uniform-TDB model, n = {n}, {trials} Monte-Carlo trials per instance\n");
+
+    let forms = bom_closed_forms();
+    let mut t = Table::new(
+        "E8: single-iteration detection probability — closed form vs Monte-Carlo",
+        &["class", "closed form", "measured", "rationale"],
+    );
+    for model in &forms {
+        let faults = class_instances(model.class, n);
+        let measured = monte_carlo_class(n, &faults, trials, 0xA11CE).expect("mc");
+        t.row_owned(vec![
+            model.class.to_string(),
+            format!("{:.3}", model.p_detect),
+            format!("{measured:.3}"),
+            model.rationale.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "E8b: escape probability after T uniform-TDB iterations (Markov absorption)",
+        &["class", "p", "T=1", "T=2", "T=3", "T=4", "T for <0.1%"],
+    );
+    for model in &forms {
+        let p = model.p_detect;
+        let need = iterations_for_escape(p, 0.001);
+        t2.row_owned(vec![
+            model.class.to_string(),
+            format!("{p:.3}"),
+            pct(100.0 * escape_probability(p, 1)),
+            pct(100.0 * escape_probability(p, 2)),
+            pct(100.0 * escape_probability(p, 3)),
+            pct(100.0 * escape_probability(p, 4)),
+            if need == u32::MAX { "∞".into() } else { need.to_string() },
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nverdict: per-cell fault classes have per-iteration resolution ≥ 1/4\n\
+         (read-path faults: 1) — the paper's 'high resolution for most memory\n\
+         faults'; the O(1/n) CFin/CFid rows quantify the plain-mode blind spot\n\
+         that the deterministic pre-read TDBs of E3 eliminate."
+    );
+}

@@ -1,0 +1,280 @@
+//! Gate-level hardware-overhead model — §4 of the paper.
+//!
+//! "To implement π-test technique for 2P memories an additional hardware
+//! overhead on RAM chip area is need: 'conversion' of the existent address
+//! registers into counters and a specific XOR-logic. The ponder of the
+//! hardware overhead in comparison with the memory capacity is of an order
+//! < 2⁻²⁰."
+//!
+//! The model counts the PRT BIST structures in gates and converts them to
+//! transistor equivalents using standard static-CMOS costs, then divides by
+//! the 6T-SRAM array. The comparison point is a conventional March BIST
+//! (pattern generator + response comparator + data register), quantifying
+//! the paper's "testing memory by its own components" advantage: PRT needs
+//! no pattern ROM and no response compactor because the array itself stores
+//! both the stimulus and the signature.
+
+use prt_gf::{mult_synth, Field, SynthesisStrategy};
+use prt_ram::Geometry;
+
+/// Transistor costs of standard static-CMOS cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellLibrary {
+    /// 2-input XOR.
+    pub xor2: u64,
+    /// 2-input AND/OR.
+    pub and2: u64,
+    /// Inverter.
+    pub not1: u64,
+    /// D flip-flop with enable.
+    pub dff: u64,
+    /// Transistors per SRAM bit cell.
+    pub sram_bit: u64,
+}
+
+impl Default for CellLibrary {
+    fn default() -> CellLibrary {
+        CellLibrary { xor2: 8, and2: 6, not1: 2, dff: 24, sram_bit: 6 }
+    }
+}
+
+/// Gate inventory of a BIST controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCount {
+    /// 2-input XOR gates.
+    pub xor2: u64,
+    /// 2-input AND/OR gates.
+    pub and2: u64,
+    /// Inverters.
+    pub not1: u64,
+    /// Flip-flops.
+    pub dff: u64,
+}
+
+impl GateCount {
+    /// Total transistor equivalent under a cell library.
+    pub fn transistors(&self, lib: &CellLibrary) -> u64 {
+        self.xor2 * lib.xor2 + self.and2 * lib.and2 + self.not1 * lib.not1 + self.dff * lib.dff
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &GateCount) -> GateCount {
+        GateCount {
+            xor2: self.xor2 + other.xor2,
+            and2: self.and2 + other.and2,
+            not1: self.not1 + other.not1,
+            dff: self.dff + other.dff,
+        }
+    }
+}
+
+/// Overhead model of the PRT BIST for a given memory and automaton.
+#[derive(Debug, Clone)]
+pub struct PrtBist {
+    geometry: Geometry,
+    gates: GateCount,
+    library: CellLibrary,
+}
+
+impl PrtBist {
+    /// Builds the model for a memory of `geometry` running a `k`-stage
+    /// automaton over `field` with feedback coefficients `g = [g0, …, gk]`.
+    ///
+    /// Structures counted (paper §4):
+    ///
+    /// * address-counter conversion: the address *registers* already exist
+    ///   in the RAM; PRT adds an increment path of one half-adder
+    ///   (XOR + AND) per address bit — this is the "conversion of the
+    ///   existent address registers into counters",
+    /// * the feedback XOR word-adder: `(taps − 1)·m` XOR gates,
+    /// * the constant-multiplier networks for the non-trivial `g_i`,
+    ///   synthesized with greedy CSE ([`mult_synth`], claim C5),
+    /// * the `Fin/Fin*` comparator: `k·m` XNOR (XOR+INV) into an AND tree,
+    /// * a small control FSM (state register + decode), a fixed 8 DFF +
+    ///   16 AND + 8 INV.
+    ///
+    /// PRT deliberately has **no** pattern generator LFSR and **no** MISR:
+    /// the memory array itself plays both roles.
+    pub fn new(geometry: Geometry, field: &Field, g: &[u64]) -> PrtBist {
+        let m = u64::from(field.degree());
+        let k = (g.len() - 1) as u64;
+        let addr_bits = (usize::BITS - (geometry.cells() - 1).leading_zeros()) as u64;
+
+        let mut gates = GateCount::default();
+        // Address counter conversion: half-adder per bit.
+        gates.xor2 += addr_bits;
+        gates.and2 += addr_bits;
+        // Feedback combiner: (#non-zero taps − 1) word XORs.
+        let taps = g[1..].iter().filter(|&&c| c != 0).count() as u64;
+        gates.xor2 += taps.saturating_sub(1) * m;
+        // Constant multipliers for non-trivial coefficients.
+        for &c in &g[1..] {
+            if c > 1 {
+                let net = mult_synth::for_constant(field, c, SynthesisStrategy::Paar);
+                gates.xor2 += net.gate_count() as u64;
+            }
+        }
+        // Fin comparator: k·m XNOR + AND tree.
+        gates.xor2 += k * m;
+        gates.not1 += k * m;
+        gates.and2 += (k * m).saturating_sub(1);
+        // Fin* holding register (k·m flip-flops, loaded from scan/fuse).
+        gates.dff += k * m;
+        // Control FSM.
+        gates.dff += 8;
+        gates.and2 += 16;
+        gates.not1 += 8;
+
+        PrtBist { geometry, gates, library: CellLibrary::default() }
+    }
+
+    /// Overrides the cell library.
+    pub fn with_library(mut self, library: CellLibrary) -> PrtBist {
+        self.library = library;
+        self
+    }
+
+    /// The gate inventory.
+    pub fn gates(&self) -> GateCount {
+        self.gates
+    }
+
+    /// BIST transistor count.
+    pub fn bist_transistors(&self) -> u64 {
+        self.gates.transistors(&self.library)
+    }
+
+    /// Memory-array transistor count (6T SRAM by default).
+    pub fn array_transistors(&self) -> u128 {
+        self.geometry.capacity_bits() * u128::from(self.library.sram_bit)
+    }
+
+    /// The paper's "ponder": BIST transistors / array transistors.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.bist_transistors() as f64 / self.array_transistors() as f64
+    }
+
+    /// `true` when the overhead satisfies the paper's `< 2⁻²⁰` claim.
+    pub fn meets_paper_bound(&self) -> bool {
+        self.overhead_ratio() < (0.5f64).powi(20)
+    }
+}
+
+/// Overhead model of a conventional March BIST, for comparison: adds a
+/// pattern/data register, expected-data generator and response comparator
+/// on top of the same address counter and control.
+#[derive(Debug, Clone)]
+pub struct MarchBist {
+    geometry: Geometry,
+    gates: GateCount,
+    library: CellLibrary,
+}
+
+impl MarchBist {
+    /// Builds the March BIST model for a memory of `geometry`.
+    ///
+    /// Counted: full address counter (registers + increment — a March BIST
+    /// cannot reuse the RAM's address register because it must also hold
+    /// element state), data-background register (`m` DFF), expected-value
+    /// comparator (`m` XNOR + AND tree), element sequencer (16 DFF + decode).
+    pub fn new(geometry: Geometry) -> MarchBist {
+        let m = u64::from(geometry.width());
+        let addr_bits = (usize::BITS - (geometry.cells() - 1).leading_zeros()) as u64;
+        let mut gates = GateCount::default();
+        gates.dff += addr_bits; // dedicated counter register
+        gates.xor2 += addr_bits;
+        gates.and2 += addr_bits;
+        gates.dff += m; // data background register
+        gates.xor2 += m; // comparator XNOR
+        gates.not1 += m;
+        gates.and2 += m.saturating_sub(1);
+        gates.dff += 16; // element sequencer
+        gates.and2 += 32;
+        gates.not1 += 16;
+        MarchBist { geometry, gates, library: CellLibrary::default() }
+    }
+
+    /// The gate inventory.
+    pub fn gates(&self) -> GateCount {
+        self.gates
+    }
+
+    /// BIST transistor count.
+    pub fn bist_transistors(&self) -> u64 {
+        self.gates.transistors(&self.library)
+    }
+
+    /// Overhead ratio against the same 6T array.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.bist_transistors() as f64
+            / (self.geometry.capacity_bits() * u128::from(self.library.sram_bit)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf16() -> Field {
+        Field::new(4, 0b1_0011).unwrap()
+    }
+
+    #[test]
+    fn overhead_shrinks_with_capacity() {
+        let f = gf16();
+        let small = PrtBist::new(Geometry::wom(1 << 10, 4).unwrap(), &f, &[1, 2, 2]);
+        let large = PrtBist::new(Geometry::wom(1 << 24, 4).unwrap(), &f, &[1, 2, 2]);
+        assert!(large.overhead_ratio() < small.overhead_ratio());
+    }
+
+    #[test]
+    fn paper_bound_met_at_gigabit_scale() {
+        // 2³⁰ cells × 4 bits = 4 Gbit: ratio must be < 2⁻²⁰.
+        let f = gf16();
+        let b = PrtBist::new(Geometry::wom(1 << 30, 4).unwrap(), &f, &[1, 2, 2]);
+        assert!(b.meets_paper_bound(), "ratio = {}", b.overhead_ratio());
+        // And clearly not met for a 1 Kbit memory.
+        let tiny = PrtBist::new(Geometry::wom(1 << 8, 4).unwrap(), &f, &[1, 2, 2]);
+        assert!(!tiny.meets_paper_bound());
+    }
+
+    #[test]
+    fn prt_is_leaner_than_march_bist() {
+        let f = gf16();
+        let geom = Geometry::wom(1 << 20, 4).unwrap();
+        let prt = PrtBist::new(geom, &f, &[1, 2, 2]);
+        let march = MarchBist::new(geom);
+        assert!(
+            prt.bist_transistors() < march.bist_transistors(),
+            "PRT {} vs March {}",
+            prt.bist_transistors(),
+            march.bist_transistors()
+        );
+    }
+
+    #[test]
+    fn multiplier_gates_enter_the_count() {
+        let f = gf16();
+        let geom = Geometry::wom(1 << 12, 4).unwrap();
+        let trivial = PrtBist::new(geom, &f, &[1, 1, 1]);
+        let with_mult = PrtBist::new(geom, &f, &[1, 2, 2]);
+        assert!(with_mult.gates().xor2 > trivial.gates().xor2);
+    }
+
+    #[test]
+    fn transistor_accounting() {
+        let lib = CellLibrary::default();
+        let g = GateCount { xor2: 2, and2: 3, not1: 4, dff: 5 };
+        assert_eq!(g.transistors(&lib), 2 * 8 + 3 * 6 + 4 * 2 + 5 * 24);
+        let sum = g.plus(&GateCount { xor2: 1, and2: 0, not1: 0, dff: 0 });
+        assert_eq!(sum.xor2, 3);
+    }
+
+    #[test]
+    fn bom_model_runs() {
+        let f = Field::new(1, 0b11).unwrap();
+        let b = PrtBist::new(Geometry::bom(1 << 16), &f, &[1, 1, 1]);
+        assert!(b.bist_transistors() > 0);
+        assert!(b.overhead_ratio() > 0.0);
+    }
+}

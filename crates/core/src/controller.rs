@@ -1,0 +1,263 @@
+//! Behavioural BIST controller — the hardware view of a π-iteration.
+//!
+//! [`PiTest::run`] is the *algorithmic* view. This module models what the
+//! paper's §4 actually proposes to put on silicon: a small finite-state
+//! machine around the memory's existing address register (converted to a
+//! counter), two operand registers, the XOR/multiplier datapath and the
+//! `Fin` comparator. The controller interacts with the RAM **only through
+//! the port interface, one cycle at a time** — exactly like hardware — and
+//! its per-state register updates are simple enough to transliterate to
+//! RTL.
+//!
+//! Its value in the reproduction: the controller measures the same
+//! `3n − 2` cycles and produces bit-identical verdicts to the algorithmic
+//! runner (asserted in tests and usable as a cross-check harness), which
+//! demonstrates that the paper's cost model counts a *sufficient* set of
+//! structures.
+
+use crate::{PiTest, PrtError};
+use prt_ram::{PortOp, Ram};
+
+/// Controller FSM states (one memory cycle per state transition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlState {
+    /// Writing the `k` seed cells.
+    Seed {
+        /// Seed element index being written.
+        j: usize,
+    },
+    /// Reading operand `i` of the current sub-iteration.
+    Read {
+        /// Operand index `0..k` (trajectory-relative).
+        i: usize,
+    },
+    /// Writing the combined value into the next cell.
+    Write,
+    /// Reading back the `k` signature cells.
+    Readback {
+        /// Signature element index.
+        j: usize,
+    },
+    /// Comparison finished.
+    Done,
+}
+
+/// One-cycle-at-a-time BIST controller for a single-port RAM.
+#[derive(Debug, Clone)]
+pub struct BistController {
+    pi: PiTest,
+    order: Vec<usize>,
+    /// Operand shift register (the automaton's `k` stages).
+    operands: Vec<u64>,
+    /// Sub-iteration counter (the converted address register).
+    t: usize,
+    state: CtrlState,
+    fin: Vec<u64>,
+    cycles: u64,
+}
+
+impl BistController {
+    /// Builds a controller for one π-iteration of `pi` over an `n`-cell
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// [`PrtError::MemoryTooSmall`] if `n < k + 1`.
+    pub fn new(pi: PiTest, n: usize) -> Result<BistController, PrtError> {
+        let k = pi.stages();
+        if n < k + 1 {
+            return Err(PrtError::MemoryTooSmall { cells: n, needed: k + 1 });
+        }
+        let order = pi.trajectory().order(n);
+        Ok(BistController {
+            pi,
+            order,
+            operands: vec![0; k],
+            t: 0,
+            state: CtrlState::Seed { j: 0 },
+            fin: Vec::new(),
+            cycles: 0,
+        })
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> CtrlState {
+        self.state
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// `true` once the controller has produced its verdict.
+    pub fn done(&self) -> bool {
+        matches!(self.state, CtrlState::Done)
+    }
+
+    /// Advances the controller by one memory cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates port errors (cannot occur for a well-formed schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`BistController::done`].
+    pub fn step(&mut self, ram: &mut Ram) -> Result<(), PrtError> {
+        assert!(!self.done(), "controller already finished");
+        let k = self.pi.stages();
+        let n = self.order.len();
+        self.cycles += 1;
+        match self.state {
+            CtrlState::Seed { j } => {
+                ram.cycle(&[PortOp::Write {
+                    addr: self.order[j],
+                    data: self.pi.init()[j],
+                }])?;
+                self.state = if j + 1 < k {
+                    CtrlState::Seed { j: j + 1 }
+                } else {
+                    CtrlState::Read { i: 0 }
+                };
+            }
+            CtrlState::Read { i } => {
+                let res = ram.cycle(&[PortOp::Read { addr: self.order[self.t + i] }])?;
+                self.operands[i] = res[0].expect("read issued");
+                self.state = if i + 1 < k { CtrlState::Read { i: i + 1 } } else { CtrlState::Write };
+            }
+            CtrlState::Write => {
+                // Datapath: e ⊕ Σ c_i·operand — the XOR tree + constant
+                // multipliers of the cost model.
+                let field = self.pi.field();
+                let g = {
+                    let fb = self.pi.reference_lfsr();
+                    fb.feedback().to_vec()
+                };
+                let g0_inv = field.inv(g[0]).expect("validated");
+                let mut acc = self.pi.affine();
+                for (i, &gi) in g[1..].iter().enumerate() {
+                    let c = field.mul(g0_inv, gi);
+                    // c_{i+1} multiplies s_{t+k−i−1} = operands[k−1−i].
+                    acc = field.add(acc, field.mul(c, self.operands[k - 1 - i]));
+                }
+                ram.cycle(&[PortOp::Write { addr: self.order[self.t + k], data: acc }])?;
+                self.t += 1;
+                self.state = if self.t < n - k {
+                    CtrlState::Read { i: 0 }
+                } else {
+                    CtrlState::Readback { j: 0 }
+                };
+            }
+            CtrlState::Readback { j } => {
+                let res = ram.cycle(&[PortOp::Read { addr: self.order[n - k + j] }])?;
+                self.fin.push(res[0].expect("read issued"));
+                self.state =
+                    if j + 1 < k { CtrlState::Readback { j: j + 1 } } else { CtrlState::Done };
+            }
+            CtrlState::Done => unreachable!("guarded above"),
+        }
+        Ok(())
+    }
+
+    /// Runs the FSM to completion and returns the pass/fail verdict
+    /// (`Fin` vs the pre-loaded `Fin*`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BistController::step`] errors.
+    pub fn run_to_completion(&mut self, ram: &mut Ram) -> Result<bool, PrtError> {
+        while !self.done() {
+            self.step(ram)?;
+        }
+        Ok(self.fin == self.pi.fin_star(self.order.len()))
+    }
+
+    /// The observed `Fin` (valid after completion).
+    pub fn fin(&self) -> &[u64] {
+        &self.fin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prt_ram::{FaultKind, Geometry};
+
+    #[test]
+    fn controller_matches_algorithmic_runner_fault_free() {
+        for n in [8usize, 17, 33] {
+            let pi = PiTest::figure_1b().unwrap();
+            let mut hw = Ram::new(Geometry::wom(n, 4).unwrap());
+            let mut ctrl = BistController::new(pi.clone(), n).unwrap();
+            let pass = ctrl.run_to_completion(&mut hw).unwrap();
+            assert!(pass, "n={n}");
+            assert_eq!(ctrl.cycles(), 3 * n as u64 - 2, "hardware cycle count");
+            let mut sw = Ram::new(Geometry::wom(n, 4).unwrap());
+            let res = pi.run(&mut sw).unwrap();
+            assert_eq!(ctrl.fin(), res.fin());
+            for c in 0..n {
+                assert_eq!(hw.peek(c), sw.peek(c), "cell {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn controller_verdicts_match_under_faults() {
+        let pi = PiTest::figure_1a().unwrap();
+        let n = 16usize;
+        for cell in 0..n {
+            for value in [0u8, 1] {
+                let fault = FaultKind::StuckAt { cell, bit: 0, value };
+                let mut hw = Ram::new(Geometry::bom(n));
+                hw.inject(fault.clone()).unwrap();
+                let mut ctrl = BistController::new(pi.clone(), n).unwrap();
+                let pass = ctrl.run_to_completion(&mut hw).unwrap();
+                let mut sw = Ram::new(Geometry::bom(n));
+                sw.inject(fault).unwrap();
+                let res = pi.run(&mut sw).unwrap();
+                assert_eq!(!pass, res.detected(), "SA{value}@{cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn fsm_state_progression() {
+        let pi = PiTest::figure_1a().unwrap();
+        let mut ram = Ram::new(Geometry::bom(4));
+        let mut ctrl = BistController::new(pi, 4).unwrap();
+        assert_eq!(ctrl.state(), CtrlState::Seed { j: 0 });
+        ctrl.step(&mut ram).unwrap();
+        assert_eq!(ctrl.state(), CtrlState::Seed { j: 1 });
+        ctrl.step(&mut ram).unwrap();
+        assert_eq!(ctrl.state(), CtrlState::Read { i: 0 });
+        ctrl.step(&mut ram).unwrap();
+        assert_eq!(ctrl.state(), CtrlState::Read { i: 1 });
+        ctrl.step(&mut ram).unwrap();
+        assert_eq!(ctrl.state(), CtrlState::Write);
+        // n=4, k=2: two sub-iterations then readback.
+        while !ctrl.done() {
+            ctrl.step(&mut ram).unwrap();
+        }
+        assert_eq!(ctrl.cycles(), 10); // 3·4 − 2
+    }
+
+    #[test]
+    fn too_small_memory_rejected() {
+        let pi = PiTest::figure_1a().unwrap();
+        assert!(matches!(
+            BistController::new(pi, 2),
+            Err(PrtError::MemoryTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn stepping_after_done_panics() {
+        let pi = PiTest::figure_1a().unwrap();
+        let mut ram = Ram::new(Geometry::bom(4));
+        let mut ctrl = BistController::new(pi, 4).unwrap();
+        ctrl.run_to_completion(&mut ram).unwrap();
+        let _ = ctrl.step(&mut ram);
+    }
+}

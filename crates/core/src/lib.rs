@@ -1,0 +1,64 @@
+//! Pseudo-ring testing (PRT) of random-access memories.
+//!
+//! Reference implementation of *"New Schemes for Self-Testing RAM"*
+//! (Bodean, Bodean & Labunetz, DATE 2005). PRT tests a memory **with its
+//! own components**: a π-test iteration initialises the first `k` cells and
+//! then sweeps the array, rewriting each next cell with a Galois-field
+//! combination of its `k` predecessors, so that the array emulates a
+//! `k`-stage LFSR. The final state `Fin` (the last `k` cells) is compared
+//! against the a-priori LFSR prediction `Fin*`; when the array length is a
+//! multiple of the LFSR period the automaton returns to its initial state
+//! (the *pseudo-ring* closes).
+//!
+//! The crate provides:
+//!
+//! * [`PiTest`] — one π-test iteration for bit- or word-oriented memories
+//!   ([`PiTest::figure_1a`] and [`PiTest::figure_1b`] reproduce the paper's
+//!   examples), with single-, dual- and quad-port schedules (`O(3n)`, `2n`
+//!   and `n` cycles respectively),
+//! * [`BitPlanePi`] — the §2 intra-word scheme: `m` parallel bit-oriented
+//!   automata with *parallel* or *random* per-plane seeds,
+//! * [`PrtScheme`] — multi-iteration schemes, including the
+//!   [`PrtScheme::standard3`] three-iteration schedule whose 100% coverage
+//!   of the single- and multi-cell fault universe is machine-verified
+//!   (§3's claim),
+//! * [`analysis`] — closed-form and Monte-Carlo detection-probability
+//!   analysis (§3's Markov-chain argument),
+//! * [`bist`] — the gate-level hardware-overhead model behind the paper's
+//!   `< 2⁻²⁰` claim (§4).
+//!
+//! # Quick start
+//!
+//! ```
+//! use prt_core::PiTest;
+//! use prt_ram::{FaultKind, Geometry, Ram};
+//!
+//! // Figure 1a: bit-oriented π-test, g(x) = 1 + x + x².
+//! let pi = PiTest::figure_1a()?;
+//! let mut good = Ram::new(Geometry::bom(12));
+//! assert!(!pi.run(&mut good)?.detected());
+//!
+//! let mut bad = Ram::new(Geometry::bom(12));
+//! bad.inject(FaultKind::StuckAt { cell: 7, bit: 0, value: 0 })?;
+//! assert!(pi.run(&mut bad)?.detected());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bist;
+pub mod controller;
+mod error;
+pub mod pi;
+pub mod plane;
+pub mod scheme;
+pub mod trajectory;
+
+pub use controller::BistController;
+pub use error::PrtError;
+pub use pi::{PiResult, PiTest};
+pub use plane::{BitPlanePi, PlaneScheme, PlaneSeeding};
+pub use scheme::{IterationSpec, PrtScheme, SchemeResult};
+pub use trajectory::Trajectory;

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Galois-field constructions and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GfError {
+    /// The requested extension degree `m` is outside the supported range.
+    UnsupportedDegree {
+        /// The degree that was requested.
+        m: u32,
+        /// Largest supported degree.
+        max: u32,
+    },
+    /// The supplied modulus polynomial does not have the expected degree.
+    WrongModulusDegree {
+        /// Degree the modulus actually has.
+        actual: i32,
+        /// Degree the field requires.
+        expected: u32,
+    },
+    /// The supplied modulus polynomial is reducible over GF(2).
+    ReducibleModulus {
+        /// The offending polynomial (bit `i` = coefficient of `z^i`).
+        poly: u64,
+    },
+    /// The element is not a member of the field (too many bits).
+    NotAnElement {
+        /// The offending value.
+        value: u64,
+        /// Field size `2^m`.
+        size: u128,
+    },
+    /// Division by zero / inversion of zero.
+    DivisionByZero,
+    /// A matrix operation received incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the two shapes involved.
+        context: &'static str,
+    },
+    /// The matrix is singular and cannot be inverted.
+    SingularMatrix,
+    /// A polynomial coefficient lies outside the coefficient field.
+    CoefficientOutOfField {
+        /// The offending coefficient.
+        value: u64,
+    },
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::UnsupportedDegree { m, max } => {
+                write!(f, "extension degree {m} unsupported (max {max})")
+            }
+            GfError::WrongModulusDegree { actual, expected } => {
+                write!(f, "modulus has degree {actual}, expected {expected}")
+            }
+            GfError::ReducibleModulus { poly } => {
+                write!(f, "modulus {poly:#x} is reducible over GF(2)")
+            }
+            GfError::NotAnElement { value, size } => {
+                write!(f, "value {value:#x} is not an element of a field of size {size}")
+            }
+            GfError::DivisionByZero => write!(f, "division by zero in GF(2^m)"),
+            GfError::DimensionMismatch { context } => {
+                write!(f, "matrix dimension mismatch: {context}")
+            }
+            GfError::SingularMatrix => write!(f, "matrix is singular over GF(2)"),
+            GfError::CoefficientOutOfField { value } => {
+                write!(f, "polynomial coefficient {value:#x} lies outside the field")
+            }
+        }
+    }
+}
+
+impl Error for GfError {}

@@ -1,0 +1,228 @@
+//! Integer factorisation helpers.
+//!
+//! Orders of LFSRs and of field elements are divisors of `2^d − 1` (or
+//! `q^k − 1`), so primitivity and exact-period computations need the prime
+//! factorisation of 128-bit integers. Trial division handles the sizes this
+//! workspace actually meets (`d ≤ 64`); a Pollard-rho fallback keeps the
+//! function total for adversarial inputs.
+
+/// Returns the distinct prime divisors of `n` in increasing order.
+///
+/// # Example
+///
+/// ```
+/// // 2^16 − 1 = 3 · 5 · 17 · 257
+/// assert_eq!(prt_gf::factor::prime_divisors(65535), vec![3, 5, 17, 257]);
+/// ```
+pub fn prime_divisors(mut n: u128) -> Vec<u128> {
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    for p in [2u128, 3, 5] {
+        if n.is_multiple_of(p) {
+            out.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+    }
+    // Wheel over 6k±1 up to 2^20; beyond that fall back to Pollard rho.
+    let mut p = 7u128;
+    while p.saturating_mul(p) <= n && p < (1 << 20) {
+        if n.is_multiple_of(p) {
+            out.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+        p += if p % 6 == 1 { 4 } else { 2 };
+    }
+    if n > 1 {
+        if is_probable_prime(n) {
+            out.push(n);
+        } else {
+            let mut stack = vec![n];
+            while let Some(v) = stack.pop() {
+                if v == 1 {
+                    continue;
+                }
+                if is_probable_prime(v) {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                    continue;
+                }
+                let d = pollard_rho(v);
+                stack.push(d);
+                stack.push(v / d);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Full prime factorisation as `(prime, exponent)` pairs in increasing order.
+pub fn factorize(mut n: u128) -> Vec<(u128, u32)> {
+    let mut out = Vec::new();
+    for p in prime_divisors(n) {
+        let mut e = 0;
+        while n.is_multiple_of(p) {
+            n /= p;
+            e += 1;
+        }
+        out.push((p, e));
+    }
+    out
+}
+
+/// Deterministic Miller–Rabin for `u128` (witness set valid for < 2^128 with
+/// overwhelming probability; exact below 3.3·10^24).
+pub fn is_probable_prime(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mul_mod(a: u128, b: u128, m: u128) -> u128 {
+    // Schoolbook double-and-add to avoid 256-bit intermediates.
+    if let Some(p) = a.checked_mul(b) {
+        return p % m;
+    }
+    let mut result = 0u128;
+    let mut a = a % m;
+    let mut b = b;
+    while b > 0 {
+        if b & 1 == 1 {
+            result = (result + a) % m;
+        }
+        a = (a << 1) % m;
+        b >>= 1;
+    }
+    result
+}
+
+fn pow_mod(mut a: u128, mut e: u128, m: u128) -> u128 {
+    let mut acc = 1u128 % m;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+fn pollard_rho(n: u128) -> u128 {
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut c = 1u128;
+    loop {
+        let f = |x: u128| (mul_mod(x, x, n) + c) % n;
+        let (mut x, mut y, mut d) = (2u128, 2u128, 1u128);
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = gcd(x.abs_diff(y), n);
+        }
+        if d != n {
+            return d;
+        }
+        c += 1;
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorisations() {
+        assert_eq!(prime_divisors(0), Vec::<u128>::new());
+        assert_eq!(prime_divisors(1), Vec::<u128>::new());
+        assert_eq!(prime_divisors(2), vec![2]);
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(255), vec![3, 5, 17]);
+        assert_eq!(prime_divisors(65535), vec![3, 5, 17, 257]);
+    }
+
+    #[test]
+    fn mersenne_like_orders() {
+        // 2^31 − 1 is prime (Mersenne).
+        assert_eq!(prime_divisors((1 << 31) - 1), vec![(1 << 31) - 1]);
+        // 2^32 − 1 = 3 · 5 · 17 · 257 · 65537
+        assert_eq!(prime_divisors((1u128 << 32) - 1), vec![3, 5, 17, 257, 65537]);
+        // 2^64 − 1 = 3 · 5 · 17 · 257 · 641 · 65537 · 6700417
+        assert_eq!(
+            prime_divisors(u64::MAX as u128),
+            vec![3, 5, 17, 257, 641, 65537, 6700417]
+        );
+    }
+
+    #[test]
+    fn factorize_with_exponents() {
+        assert_eq!(factorize(360), vec![(2, 3), (3, 2), (5, 1)]);
+        assert_eq!(factorize(1024), vec![(2, 10)]);
+    }
+
+    #[test]
+    fn primality() {
+        let primes = [2u128, 3, 5, 17, 257, 65537, 2147483647];
+        for p in primes {
+            assert!(is_probable_prime(p), "{p}");
+        }
+        let composites = [1u128, 4, 255, 65535, 561, 1105, 6601]; // incl. Carmichael
+        for c in composites {
+            assert!(!is_probable_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn rho_splits_semiprime() {
+        let n = 1_000_003u128 * 999_983;
+        let mut ps = prime_divisors(n);
+        ps.sort_unstable();
+        assert_eq!(ps, vec![999_983, 1_000_003]);
+    }
+}

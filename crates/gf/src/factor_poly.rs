@@ -1,0 +1,264 @@
+//! Factorisation of polynomials over GF(2).
+//!
+//! A reducible LFSR feedback polynomial splits the state space into cycles
+//! whose lengths are determined by the factors; π-tests configured with a
+//! reducible `g(x)` silently lose period (and therefore TDB variety), so
+//! the library exposes full factorisation for diagnostics:
+//! square-free decomposition, distinct-degree splitting, and Cantor–
+//! Zassenhaus equal-degree splitting (the GF(2) variant using trace maps).
+
+use crate::poly2::Poly2;
+
+/// An irreducible factor with its multiplicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PolyFactor {
+    /// The irreducible factor.
+    pub poly: Poly2,
+    /// Its multiplicity in the factorisation.
+    pub multiplicity: u32,
+}
+
+/// Factors a polynomial over GF(2) into irreducible factors with
+/// multiplicities, sorted ascending by packed bits.
+///
+/// # Panics
+///
+/// Panics if `f` is zero or constant (nothing to factor).
+///
+/// # Example
+///
+/// ```
+/// use prt_gf::poly2::Poly2;
+/// use prt_gf::factor_poly::factor;
+///
+/// // x⁴ + x = x·(x+1)·(x²+x+1)
+/// let f = Poly2::from_bits(0b1_0010);
+/// let fs = factor(f);
+/// let parts: Vec<u128> = fs.iter().map(|p| p.poly.bits()).collect();
+/// assert_eq!(parts, vec![0b10, 0b11, 0b111]);
+/// ```
+pub fn factor(f: Poly2) -> Vec<PolyFactor> {
+    assert!(f.degree() >= 1, "factorisation needs degree ≥ 1");
+    let mut out: Vec<PolyFactor> = Vec::new();
+    let mut push = |p: Poly2, m: u32| match out.iter_mut().find(|pf| pf.poly == p) {
+        Some(pf) => pf.multiplicity += m,
+        None => out.push(PolyFactor { poly: p, multiplicity: m }),
+    };
+
+    // Strip powers of x first (zero constant term).
+    let mut f = f;
+    let mut x_mult = 0u32;
+    while f.coeff(0) == 0 && f.degree() > 0 {
+        f = f.div_rem(Poly2::X).0;
+        x_mult += 1;
+    }
+    if x_mult > 0 {
+        push(Poly2::X, x_mult);
+    }
+    if f.degree() >= 1 {
+        for (p, m) in factor_monic(f) {
+            push(p, m);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Recomposes a factor list into the original polynomial (for checking).
+pub fn expand(factors: &[PolyFactor]) -> Poly2 {
+    let mut acc = Poly2::ONE;
+    for pf in factors {
+        for _ in 0..pf.multiplicity {
+            acc = acc.mul(pf.poly);
+        }
+    }
+    acc
+}
+
+fn formal_derivative(f: Poly2) -> Poly2 {
+    // Over GF(2): d/dx x^i = i·x^{i-1}; only odd i survive.
+    let mut out = 0u128;
+    let mut i = 1u32;
+    while i as i32 <= f.degree() {
+        if f.coeff(i) == 1 && i % 2 == 1 {
+            out |= 1u128 << (i - 1);
+        }
+        i += 1;
+    }
+    Poly2::from_bits(out)
+}
+
+/// Square root of a polynomial that is a perfect square over GF(2)
+/// (only even-degree terms present).
+fn poly_sqrt(f: Poly2) -> Poly2 {
+    let mut out = 0u128;
+    let mut i = 0u32;
+    while i as i32 <= f.degree() {
+        if f.coeff(i) == 1 {
+            debug_assert!(i % 2 == 0, "not a perfect square");
+            out |= 1u128 << (i / 2);
+        }
+        i += 2;
+    }
+    Poly2::from_bits(out)
+}
+
+fn factor_monic(f: Poly2) -> Vec<(Poly2, u32)> {
+    if f.degree() == 0 {
+        return Vec::new();
+    }
+    if f.is_irreducible() {
+        return vec![(f, 1)];
+    }
+    let d = formal_derivative(f);
+    if d.is_zero() {
+        // f = g² over GF(2).
+        let g = poly_sqrt(f);
+        return factor_monic(g).into_iter().map(|(p, m)| (p, 2 * m)).collect();
+    }
+    let g = f.gcd(d);
+    if g.degree() > 0 {
+        // Split into the square-free part and the repeated part.
+        let sf = f.div_rem(g).0;
+        let mut out = factor_monic(sf);
+        for (p, m) in factor_monic(g) {
+            match out.iter_mut().find(|(q, _)| *q == p) {
+                Some((_, mm)) => *mm += m,
+                None => out.push((p, m)),
+            }
+        }
+        return out;
+    }
+    // f is square-free: distinct-degree then equal-degree splitting.
+    let mut out = Vec::new();
+    let mut rest = f;
+    let mut degree = 1u32;
+    let mut h = Poly2::X.rem(rest); // x^(2^i) mod rest
+    while 2 * degree <= rest.degree() as u32 {
+        h = h.sqrmod(rest);
+        let g = rest.gcd(h.add(Poly2::X.rem(rest)));
+        if g.degree() > 0 {
+            for p in equal_degree_split(g, degree) {
+                out.push((p, 1));
+            }
+            rest = rest.div_rem(g).0;
+            h = h.rem(rest);
+        }
+        degree += 1;
+    }
+    if rest.degree() > 0 {
+        out.push((rest, 1));
+    }
+    out
+}
+
+/// Splits a square-free product of irreducibles of equal degree `d` using
+/// the GF(2) trace construction.
+fn equal_degree_split(f: Poly2, d: u32) -> Vec<Poly2> {
+    if f.degree() as u32 == d {
+        return vec![f];
+    }
+    // Try trace polynomials T(a·x) = Σ_{i<d} (a·x)^(2^i) for successive
+    // "random" a drawn deterministically.
+    let mut seeds: u128 = 2;
+    loop {
+        let a = Poly2::from_bits(seeds % (1u128 << f.degree())).rem(f);
+        seeds = seeds.wrapping_mul(0x9E37_79B9).wrapping_add(1) | 2;
+        if a.is_zero() {
+            continue;
+        }
+        // trace = a + a² + a⁴ + … (d terms), all mod f
+        let mut trace = Poly2::ZERO;
+        let mut t = a;
+        for _ in 0..d {
+            trace = trace.add(t);
+            t = t.sqrmod(f);
+        }
+        let g = f.gcd(trace);
+        if g.degree() > 0 && g.degree() < f.degree() {
+            let other = f.div_rem(g).0;
+            let mut out = equal_degree_split(g, d);
+            out.extend(equal_degree_split(other, d));
+            return out;
+        }
+        // Also try trace + 1.
+        let g = f.gcd(trace.add(Poly2::ONE));
+        if g.degree() > 0 && g.degree() < f.degree() {
+            let other = f.div_rem(g).0;
+            let mut out = equal_degree_split(g, d);
+            out.extend(equal_degree_split(other, d));
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_small_products() {
+        // (x+1)² = x² + 1
+        let fs = factor(Poly2::from_bits(0b101));
+        assert_eq!(fs, vec![PolyFactor { poly: Poly2::from_bits(0b11), multiplicity: 2 }]);
+        // x(x+1)(x²+x+1) = x⁴ + x
+        let fs = factor(Poly2::from_bits(0b1_0010));
+        assert_eq!(fs.len(), 3);
+        assert_eq!(expand(&fs), Poly2::from_bits(0b1_0010));
+    }
+
+    #[test]
+    fn irreducible_is_its_own_factorisation() {
+        for bits in [0b111u128, 0b1011, 0b1_0011] {
+            let f = Poly2::from_bits(bits);
+            let fs = factor(f);
+            assert_eq!(fs, vec![PolyFactor { poly: f, multiplicity: 1 }]);
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_through_degree_10() {
+        // Every polynomial of degree 2..=10 factors and recomposes.
+        for bits in 4u128..(1 << 11) {
+            let f = Poly2::from_bits(bits);
+            if f.degree() < 2 {
+                continue;
+            }
+            let fs = factor(f);
+            assert_eq!(expand(&fs), f, "{bits:b}");
+            for pf in &fs {
+                assert!(pf.poly.is_irreducible(), "{:b} factor of {bits:b}", pf.poly.bits());
+            }
+        }
+    }
+
+    #[test]
+    fn equal_degree_products_split() {
+        // Product of the two irreducible cubics: (x³+x+1)(x³+x²+1)
+        let f = Poly2::from_bits(0b1011).mul(Poly2::from_bits(0b1101));
+        let fs = factor(f);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|pf| pf.poly.degree() == 3 && pf.multiplicity == 1));
+        // All three irreducible quartics multiplied together.
+        let q: Vec<Poly2> = Poly2::irreducibles(4);
+        let f = q.iter().copied().fold(Poly2::ONE, |a, b| a.mul(b));
+        let fs = factor(f);
+        assert_eq!(fs.len(), 3);
+    }
+
+    #[test]
+    fn high_multiplicity() {
+        // (x²+x+1)³
+        let p = Poly2::from_bits(0b111);
+        let f = p.mul(p).mul(p);
+        let fs = factor(f);
+        assert_eq!(fs, vec![PolyFactor { poly: p, multiplicity: 3 }]);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dx (x³ + x² + 1) = 3x² + 2x = x² over GF(2)
+        assert_eq!(formal_derivative(Poly2::from_bits(0b1101)), Poly2::from_bits(0b100));
+        assert_eq!(formal_derivative(Poly2::from_bits(0b101)), Poly2::ZERO);
+    }
+}

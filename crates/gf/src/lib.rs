@@ -1,0 +1,52 @@
+//! Galois-field arithmetic for pseudo-ring RAM testing.
+//!
+//! This crate is the mathematical substrate of the PRT (pseudo-ring testing)
+//! reproduction: everything the virtual linear automaton of the paper needs
+//! to be *predicted* rather than simulated.
+//!
+//! It provides:
+//!
+//! * [`Poly2`] — dense polynomials over GF(2) packed into a `u128`, with
+//!   irreducibility (Rabin) and primitivity tests,
+//! * [`Field`] — the finite field GF(2^m) for `1 ≤ m ≤ 32`, table-driven for
+//!   small `m` and carry-less-multiply driven above that,
+//! * [`PolyGf`] — polynomials with coefficients in GF(2^m), used to analyse
+//!   the generator polynomial `g(x)` of word-oriented LFSRs,
+//! * [`BitMatrix`] — matrices over GF(2) (up to 128 columns),
+//! * [`mult_synth`] — synthesis of XOR-only combinational networks that
+//!   multiply by a constant of GF(2^m), reproducing the paper's claim that a
+//!   "multiplier by a constant contains only XOR-gates and can be implemented
+//!   inherently in the memory circuit" (§2).
+//!
+//! # Example
+//!
+//! The field of the paper's Figure 1b: GF(2⁴) with `p(z) = 1 + z + z⁴`.
+//!
+//! ```
+//! use prt_gf::Field;
+//!
+//! let f = Field::new(4, 0b1_0011).expect("p(z) = z^4 + z + 1 is irreducible");
+//! // 2 ≡ z; the paper's recurrence multiplies by the constant 2.
+//! assert_eq!(f.mul(2, 6), 12); // z · (z² + z) = z³ + z²
+//! assert_eq!(f.mul(f.inv(7).unwrap(), 7), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod factor;
+pub mod factor_poly;
+pub mod field;
+pub mod matrix;
+pub mod mult_synth;
+pub mod poly2;
+pub mod polygf;
+
+pub use error::GfError;
+pub use factor_poly::PolyFactor;
+pub use field::Field;
+pub use matrix::BitMatrix;
+pub use mult_synth::{SynthesisStrategy, XorGate, XorNetwork};
+pub use poly2::Poly2;
+pub use polygf::PolyGf;

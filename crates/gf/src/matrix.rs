@@ -1,0 +1,327 @@
+//! Matrices over GF(2) with up to 128 columns.
+//!
+//! Rows are packed into `u128` words (bit `j` of row `i` = entry `(i, j)`),
+//! which is ample for this workspace: the largest matrices are the
+//! `k·m × k·m` transition matrices of word-oriented LFSRs (`k ≤ 4`,
+//! `m ≤ 32`).
+
+use crate::GfError;
+
+/// A dense matrix over GF(2).
+///
+/// # Example
+///
+/// ```
+/// use prt_gf::BitMatrix;
+///
+/// let m = BitMatrix::identity(3);
+/// assert_eq!(m.mul_vec(0b101), 0b101);
+/// assert_eq!(m.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: Vec<u128>,
+    cols: u32,
+}
+
+impl BitMatrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols > 128`.
+    pub fn zero(rows: usize, cols: u32) -> BitMatrix {
+        assert!(cols <= 128, "at most 128 columns supported");
+        BitMatrix { rows: vec![0; rows], cols }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: u32) -> BitMatrix {
+        let mut m = BitMatrix::zero(n as usize, n);
+        for i in 0..n {
+            m.set(i as usize, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from packed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols > 128` or any row has bits at or above `cols`.
+    pub fn from_rows(rows: Vec<u128>, cols: u32) -> BitMatrix {
+        assert!(cols <= 128, "at most 128 columns supported");
+        let mask = Self::col_mask(cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r & !mask == 0, "row {i} has bits outside the column range");
+        }
+        BitMatrix { rows, cols }
+    }
+
+    fn col_mask(cols: u32) -> u128 {
+        if cols == 128 {
+            u128::MAX
+        } else {
+            (1u128 << cols) - 1
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Returns entry `(i, j)`.
+    pub fn get(&self, i: usize, j: u32) -> bool {
+        (self.rows[i] >> j) & 1 == 1
+    }
+
+    /// Sets entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: u32, value: bool) {
+        if value {
+            self.rows[i] |= 1u128 << j;
+        } else {
+            self.rows[i] &= !(1u128 << j);
+        }
+    }
+
+    /// Returns row `i` as packed bits.
+    pub fn row(&self, i: usize) -> u128 {
+        self.rows[i]
+    }
+
+    /// Matrix–vector product over GF(2); bit `j` of `v` is coordinate `j`.
+    pub fn mul_vec(&self, v: u128) -> u128 {
+        let mut out = 0u128;
+        for (i, &row) in self.rows.iter().enumerate() {
+            let bit = ((row & v).count_ones() & 1) as u128;
+            out |= bit << i;
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// [`GfError::DimensionMismatch`] if `self.ncols() != rhs.nrows()`.
+    pub fn mul(&self, rhs: &BitMatrix) -> Result<BitMatrix, GfError> {
+        if self.cols as usize != rhs.nrows() {
+            return Err(GfError::DimensionMismatch { context: "matrix product inner dimensions" });
+        }
+        let mut out = BitMatrix::zero(self.nrows(), rhs.cols);
+        for i in 0..self.nrows() {
+            let mut acc = 0u128;
+            let mut a = self.rows[i];
+            while a != 0 {
+                let k = a.trailing_zeros();
+                acc ^= rhs.rows[k as usize];
+                a &= a - 1;
+            }
+            out.rows[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Matrix power `self^e` (square matrices only).
+    ///
+    /// # Errors
+    ///
+    /// [`GfError::DimensionMismatch`] if the matrix is not square.
+    pub fn pow(&self, mut e: u128) -> Result<BitMatrix, GfError> {
+        if self.nrows() != self.cols as usize {
+            return Err(GfError::DimensionMismatch { context: "matrix power requires square" });
+        }
+        let mut base = self.clone();
+        let mut acc = BitMatrix::identity(self.cols);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base)?;
+            }
+            base = base.mul(&base)?;
+            e >>= 1;
+        }
+        Ok(acc)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zero(self.cols as usize, self.nrows() as u32);
+        for i in 0..self.nrows() {
+            for j in 0..self.cols {
+                if self.get(i, j) {
+                    out.set(j as usize, i as u32, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rank over GF(2) (Gaussian elimination).
+    pub fn rank(&self) -> u32 {
+        let mut rows = self.rows.clone();
+        let mut rank = 0u32;
+        for col in (0..self.cols).rev() {
+            let bit = 1u128 << col;
+            if let Some(p) = (rank as usize..rows.len()).find(|&r| rows[r] & bit != 0) {
+                rows.swap(rank as usize, p);
+                let pivot = rows[rank as usize];
+                for (r, row) in rows.iter_mut().enumerate() {
+                    if r != rank as usize && *row & bit != 0 {
+                        *row ^= pivot;
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rank
+    }
+
+    /// Inverse over GF(2).
+    ///
+    /// # Errors
+    ///
+    /// * [`GfError::DimensionMismatch`] if the matrix is not square.
+    /// * [`GfError::SingularMatrix`] if no inverse exists.
+    pub fn inverse(&self) -> Result<BitMatrix, GfError> {
+        let n = self.cols as usize;
+        if self.nrows() != n {
+            return Err(GfError::DimensionMismatch { context: "inverse requires square" });
+        }
+        let mut a = self.rows.clone();
+        let mut b = BitMatrix::identity(self.cols).rows;
+        for col in 0..n {
+            let bit = 1u128 << col;
+            let p = (col..n).find(|&r| a[r] & bit != 0).ok_or(GfError::SingularMatrix)?;
+            a.swap(col, p);
+            b.swap(col, p);
+            let (pa, pb) = (a[col], b[col]);
+            for r in 0..n {
+                if r != col && a[r] & bit != 0 {
+                    a[r] ^= pa;
+                    b[r] ^= pb;
+                }
+            }
+        }
+        Ok(BitMatrix { rows: b, cols: self.cols })
+    }
+
+    /// `true` if the matrix is invertible (square and full-rank).
+    pub fn is_invertible(&self) -> bool {
+        self.nrows() == self.cols as usize && self.rank() == self.cols
+    }
+}
+
+impl std::fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.nrows() {
+            for j in 0..self.cols {
+                write!(f, "{}", if self.get(i, j) { '1' } else { '0' })?;
+            }
+            if i + 1 < self.nrows() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = BitMatrix::identity(5);
+        assert_eq!(id.rank(), 5);
+        assert!(id.is_invertible());
+        assert_eq!(id.inverse().unwrap(), id);
+        for v in [0u128, 1, 0b10110, 0b11111] {
+            assert_eq!(id.mul_vec(v), v);
+        }
+    }
+
+    #[test]
+    fn mul_matches_manual() {
+        // [[1,1],[0,1]] · [[1,0],[1,1]] = [[0,1],[1,1]]
+        let a = BitMatrix::from_rows(vec![0b11, 0b10], 2);
+        let b = BitMatrix::from_rows(vec![0b01, 0b11], 2);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.row(0), 0b10);
+        assert_eq!(c.row(1), 0b11);
+    }
+
+    #[test]
+    fn mul_vec_is_linear() {
+        let m = BitMatrix::from_rows(vec![0b101, 0b011, 0b110], 3);
+        for u in 0..8u128 {
+            for v in 0..8u128 {
+                assert_eq!(m.mul_vec(u ^ v), m.mul_vec(u) ^ m.mul_vec(v));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_iterated_mul() {
+        let m = BitMatrix::from_rows(vec![0b10, 0b11], 2); // companion of x²+x+1
+        let mut acc = BitMatrix::identity(2);
+        for e in 0..10u128 {
+            assert_eq!(m.pow(e).unwrap(), acc, "e={e}");
+            acc = acc.mul(&m).unwrap();
+        }
+        // Companion of a primitive quadratic has order 2²−1 = 3.
+        assert_eq!(m.pow(3).unwrap(), BitMatrix::identity(2));
+        assert_ne!(m.pow(1).unwrap(), BitMatrix::identity(2));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = BitMatrix::from_rows(vec![0b110, 0b011, 0b100], 3);
+        assert!(m.is_invertible());
+        let inv = m.inverse().unwrap();
+        assert_eq!(m.mul(&inv).unwrap(), BitMatrix::identity(3));
+        assert_eq!(inv.mul(&m).unwrap(), BitMatrix::identity(3));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let m = BitMatrix::from_rows(vec![0b11, 0b11], 2);
+        assert_eq!(m.rank(), 1);
+        assert!(matches!(m.inverse(), Err(GfError::SingularMatrix)));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = BitMatrix::zero(2, 3);
+        let b = BitMatrix::zero(2, 3);
+        assert!(matches!(a.mul(&b), Err(GfError::DimensionMismatch { .. })));
+        assert!(matches!(a.pow(2), Err(GfError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = BitMatrix::from_rows(vec![0b101, 0b010], 3);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.transpose(), m);
+        assert!(t.get(0, 0) && t.get(2, 0) && t.get(1, 1));
+    }
+
+    #[test]
+    fn rank_of_rectangular() {
+        let m = BitMatrix::from_rows(vec![0b1010, 0b0101, 0b1111], 4);
+        assert_eq!(m.rank(), 2); // third row = first ^ second
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let m = BitMatrix::from_rows(vec![0b01, 0b10], 2);
+        assert_eq!(m.to_string(), "10\n01");
+    }
+}

@@ -1,0 +1,441 @@
+//! Synthesis of XOR-only networks for multiplication by a constant in
+//! GF(2^m).
+//!
+//! The paper (§2) notes that "multiplication over Galois field extensions is
+//! a more complex operation" and proposes "an algorithm to design the optimal
+//! scheme of multiplication by a constant in GF. Multiplier by a constant
+//! contains only XOR-gates and can be implemented inherently in the memory
+//! circuit."
+//!
+//! Multiplication by a fixed `c ∈ GF(2^m)` is a GF(2)-linear map, so it is an
+//! `m × m` bit-matrix ([`mult_matrix`]); each output bit is an XOR of a
+//! subset of input bits. Two synthesis strategies are provided:
+//!
+//! * [`SynthesisStrategy::Naive`] — each output row is computed by its own
+//!   chain of XORs (`popcount − 1` gates per row).
+//! * [`SynthesisStrategy::Paar`] — greedy common-subexpression elimination
+//!   (Paar's algorithm): the pair of signals that co-occurs in the most rows
+//!   is factored into a shared intermediate gate, repeatedly. This is the
+//!   "optimal scheme" construction of the paper (optimal within the greedy
+//!   CSE family; exact optimality is NP-hard).
+//!
+//! The resulting [`XorNetwork`] can be *evaluated*, so equivalence with the
+//! matrix is machine-checked rather than assumed.
+
+use crate::field::Field;
+use crate::matrix::BitMatrix;
+
+/// A 2-input XOR gate; operand indices refer to the signal numbering of the
+/// owning [`XorNetwork`] (signals `0..inputs` are primary inputs, subsequent
+/// signals are gate outputs in order of creation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XorGate {
+    /// First operand signal index.
+    pub a: usize,
+    /// Second operand signal index.
+    pub b: usize,
+}
+
+/// Strategy used by [`synthesize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthesisStrategy {
+    /// Row-by-row XOR chains, no sharing.
+    Naive,
+    /// Greedy common-subexpression elimination (Paar). Default.
+    #[default]
+    Paar,
+}
+
+/// An XOR-only combinational network computing a GF(2)-linear map.
+///
+/// # Example
+///
+/// ```
+/// use prt_gf::{Field, mult_synth};
+///
+/// let f = Field::new(4, 0b1_0011)?;
+/// // Network multiplying by the paper's constant 2 (= z).
+/// let net = mult_synth::for_constant(&f, 2, Default::default());
+/// for x in 0..16u64 {
+///     assert_eq!(net.eval(x as u128) as u64, f.mul(2, x));
+/// }
+/// # Ok::<(), prt_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorNetwork {
+    inputs: usize,
+    gates: Vec<XorGate>,
+    /// For each output bit: the signal index that drives it, or `None` when
+    /// the output is constant zero.
+    outputs: Vec<Option<usize>>,
+}
+
+impl XorNetwork {
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of XOR gates — the hardware cost the paper's claim C5 is
+    /// about.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate list in topological order.
+    pub fn gates(&self) -> &[XorGate] {
+        &self.gates
+    }
+
+    /// Output drivers (`None` = constant-zero output).
+    pub fn outputs(&self) -> &[Option<usize>] {
+        &self.outputs
+    }
+
+    /// Logic depth in XOR levels (0 for wire-only networks).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.inputs + self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[self.inputs + i] = 1 + depth[g.a].max(depth[g.b]);
+        }
+        self.outputs
+            .iter()
+            .flatten()
+            .map(|&s| depth[s])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the network; bit `i` of `x` is input `i`, bit `j` of the
+    /// result is output `j`.
+    pub fn eval(&self, x: u128) -> u128 {
+        let mut values = Vec::with_capacity(self.inputs + self.gates.len());
+        for i in 0..self.inputs {
+            values.push((x >> i) & 1 == 1);
+        }
+        for g in &self.gates {
+            let v = values[g.a] ^ values[g.b];
+            values.push(v);
+        }
+        let mut out = 0u128;
+        for (j, drv) in self.outputs.iter().enumerate() {
+            if let Some(s) = drv {
+                if values[*s] {
+                    out |= 1u128 << j;
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the network against a reference matrix on all basis vectors
+    /// (sufficient for linear maps).
+    pub fn equivalent_to(&self, matrix: &BitMatrix) -> bool {
+        if matrix.ncols() as usize != self.inputs || matrix.nrows() != self.outputs.len() {
+            return false;
+        }
+        (0..self.inputs).all(|i| self.eval(1u128 << i) == matrix.mul_vec(1u128 << i))
+    }
+}
+
+/// Builds the `m × m` GF(2) matrix of the linear map `x ↦ c·x` in GF(2^m):
+/// column `j` is the representation of `c · z^j`.
+pub fn mult_matrix(field: &Field, c: u64) -> BitMatrix {
+    let m = field.degree();
+    let mut rows = vec![0u128; m as usize];
+    for j in 0..m {
+        let col = field.mul(c, 1u64 << j);
+        for (i, row) in rows.iter_mut().enumerate() {
+            if (col >> i) & 1 == 1 {
+                *row |= 1u128 << j;
+            }
+        }
+    }
+    BitMatrix::from_rows(rows, m)
+}
+
+/// Number of XOR gates a naive (no-sharing) implementation of the matrix
+/// needs: `Σ max(popcount(row) − 1, 0)`.
+pub fn naive_gate_count(matrix: &BitMatrix) -> usize {
+    (0..matrix.nrows())
+        .map(|i| (matrix.row(i).count_ones() as usize).saturating_sub(1))
+        .sum()
+}
+
+/// Synthesizes an XOR network computing `y = M·x` with the chosen strategy.
+///
+/// The returned network is verified against the matrix by construction in
+/// debug builds.
+pub fn synthesize(matrix: &BitMatrix, strategy: SynthesisStrategy) -> XorNetwork {
+    let net = match strategy {
+        SynthesisStrategy::Naive => synthesize_naive(matrix),
+        SynthesisStrategy::Paar => synthesize_paar(matrix),
+    };
+    debug_assert!(net.equivalent_to(matrix), "synthesis produced a wrong network");
+    net
+}
+
+/// Convenience wrapper: synthesize the multiplier network for `x ↦ c·x`.
+pub fn for_constant(field: &Field, c: u64, strategy: SynthesisStrategy) -> XorNetwork {
+    synthesize(&mult_matrix(field, c), strategy)
+}
+
+fn synthesize_naive(matrix: &BitMatrix) -> XorNetwork {
+    let inputs = matrix.ncols() as usize;
+    let mut gates = Vec::new();
+    let mut outputs = Vec::with_capacity(matrix.nrows());
+    for i in 0..matrix.nrows() {
+        let mut row = matrix.row(i);
+        if row == 0 {
+            outputs.push(None);
+            continue;
+        }
+        let mut acc = row.trailing_zeros() as usize;
+        row &= row - 1;
+        while row != 0 {
+            let j = row.trailing_zeros() as usize;
+            row &= row - 1;
+            gates.push(XorGate { a: acc, b: j });
+            acc = inputs + gates.len() - 1;
+        }
+        outputs.push(Some(acc));
+    }
+    XorNetwork { inputs, gates, outputs }
+}
+
+/// Paar's greedy CSE. Rows are maintained as bitsets over an *expanding*
+/// signal set; the most frequent co-occurring signal pair is repeatedly
+/// replaced by a fresh gate output.
+fn synthesize_paar(matrix: &BitMatrix) -> XorNetwork {
+    let inputs = matrix.ncols() as usize;
+    let nrows = matrix.nrows();
+    // Row bitsets over signals; use Vec<u64> blocks because the signal count
+    // can exceed 128 once gates are added.
+    let mut rows: Vec<Vec<u64>> = (0..nrows)
+        .map(|i| {
+            let r = matrix.row(i);
+            vec![r as u64, (r >> 64) as u64]
+        })
+        .collect();
+    let mut nsignals = inputs;
+    let mut gates: Vec<XorGate> = Vec::new();
+
+    let get = |rows: &[Vec<u64>], r: usize, s: usize| -> bool {
+        rows[r].get(s / 64).is_some_and(|w| (w >> (s % 64)) & 1 == 1)
+    };
+    let set = |rows: &mut [Vec<u64>], r: usize, s: usize, v: bool| {
+        let blk = s / 64;
+        if blk >= rows[r].len() {
+            rows[r].resize(blk + 1, 0);
+        }
+        if v {
+            rows[r][blk] |= 1u64 << (s % 64);
+        } else {
+            rows[r][blk] &= !(1u64 << (s % 64));
+        }
+    };
+
+    loop {
+        // Find the signal pair present together in the most rows.
+        let mut best: Option<(usize, usize, usize)> = None; // (count, a, b)
+        for a in 0..nsignals {
+            // Quick skip: signal not used anywhere.
+            for b in (a + 1)..nsignals {
+                let mut count = 0;
+                for r in 0..nrows {
+                    if get(&rows, r, a) && get(&rows, r, b) {
+                        count += 1;
+                    }
+                }
+                if count >= 2 {
+                    match best {
+                        Some((c, _, _)) if c >= count => {}
+                        _ => best = Some((count, a, b)),
+                    }
+                }
+            }
+        }
+        let Some((_, a, b)) = best else { break };
+        gates.push(XorGate { a, b });
+        let t = nsignals;
+        nsignals += 1;
+        for r in 0..nrows {
+            if get(&rows, r, a) && get(&rows, r, b) {
+                set(&mut rows, r, a, false);
+                set(&mut rows, r, b, false);
+                set(&mut rows, r, t, true);
+            }
+        }
+    }
+
+    // Finish remaining rows with private XOR chains.
+    let mut outputs = Vec::with_capacity(nrows);
+    for r in 0..nrows {
+        let mut signals: Vec<usize> = (0..nsignals).filter(|&s| get(&rows, r, s)).collect();
+        match signals.len() {
+            0 => outputs.push(None),
+            1 => outputs.push(Some(signals[0])),
+            _ => {
+                let mut acc = signals.remove(0);
+                for s in signals {
+                    gates.push(XorGate { a: acc, b: s });
+                    acc = inputs + gates.len() - 1;
+                }
+                outputs.push(Some(acc));
+            }
+        }
+    }
+    XorNetwork { inputs, gates, outputs }
+}
+
+/// Summary of synthesis cost for one constant — one row of the paper-shaped
+/// multiplier table (experiment E7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplierCost {
+    /// The constant multiplied by.
+    pub constant: u64,
+    /// Gate count without sharing.
+    pub naive_gates: usize,
+    /// Gate count after greedy CSE.
+    pub paar_gates: usize,
+    /// Logic depth of the CSE network.
+    pub depth: usize,
+}
+
+/// Computes naive vs optimised costs for every non-trivial constant of the
+/// field (experiment E7 driver).
+pub fn survey_field(field: &Field) -> Vec<MultiplierCost> {
+    let mut out = Vec::new();
+    for c in 2..field.size() as u64 {
+        let m = mult_matrix(field, c);
+        let net = synthesize(&m, SynthesisStrategy::Paar);
+        out.push(MultiplierCost {
+            constant: c,
+            naive_gates: naive_gate_count(&m),
+            paar_gates: net.gate_count(),
+            depth: net.depth(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf16() -> Field {
+        Field::new(4, 0b1_0011).unwrap()
+    }
+
+    #[test]
+    fn mult_matrix_matches_field_mul() {
+        let f = gf16();
+        for c in 0..16u64 {
+            let m = mult_matrix(&f, c);
+            for x in 0..16u64 {
+                assert_eq!(m.mul_vec(x as u128) as u64, f.mul(c, x), "c={c} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_constant_needs_no_gates() {
+        let f = gf16();
+        let net = for_constant(&f, 1, SynthesisStrategy::Paar);
+        assert_eq!(net.gate_count(), 0);
+        assert_eq!(net.depth(), 0);
+    }
+
+    #[test]
+    fn zero_constant_gives_zero_network() {
+        let f = gf16();
+        let net = for_constant(&f, 0, SynthesisStrategy::Naive);
+        assert_eq!(net.gate_count(), 0);
+        for x in 0..16u64 {
+            assert_eq!(net.eval(x as u128), 0);
+        }
+    }
+
+    #[test]
+    fn naive_equivalence_all_constants() {
+        let f = gf16();
+        for c in 0..16u64 {
+            let m = mult_matrix(&f, c);
+            let net = synthesize(&m, SynthesisStrategy::Naive);
+            assert!(net.equivalent_to(&m), "c={c}");
+            for x in 0..16u64 {
+                assert_eq!(net.eval(x as u128) as u64, f.mul(c, x));
+            }
+        }
+    }
+
+    #[test]
+    fn paar_equivalence_all_constants() {
+        let f = gf16();
+        for c in 0..16u64 {
+            let m = mult_matrix(&f, c);
+            let net = synthesize(&m, SynthesisStrategy::Paar);
+            assert!(net.equivalent_to(&m), "c={c}");
+            for x in 0..16u64 {
+                assert_eq!(net.eval(x as u128) as u64, f.mul(c, x));
+            }
+        }
+    }
+
+    #[test]
+    fn paar_never_worse_than_naive() {
+        for m in 2..=8u32 {
+            let f = Field::gf(m).unwrap();
+            for cost in survey_field(&f) {
+                assert!(
+                    cost.paar_gates <= cost.naive_gates,
+                    "m={m} c={}: paar {} > naive {}",
+                    cost.constant,
+                    cost.paar_gates,
+                    cost.naive_gates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paar_shares_subexpressions_in_gf256() {
+        // In GF(2^8) some constants are known to benefit from sharing.
+        let f = Field::gf(8).unwrap();
+        let improved = survey_field(&f).iter().any(|c| c.paar_gates < c.naive_gates);
+        assert!(improved, "CSE should improve at least one constant in GF(2^8)");
+    }
+
+    #[test]
+    fn multiply_by_z_costs_at_most_weight_of_modulus() {
+        // x ↦ z·x is a shift plus conditional XOR of p(z): row weights are
+        // tiny. For p = z⁴+z+1 the naive cost is exactly weight(p)−2 = 1...
+        // verified empirically rather than asserted analytically:
+        let f = gf16();
+        let m = mult_matrix(&f, 2);
+        assert!(naive_gate_count(&m) <= 2);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_naive_chain() {
+        // A full row of m ones gives a chain of depth m−1 in naive mode.
+        let f = Field::gf(8).unwrap();
+        for c in 2..=255u64 {
+            let m = mult_matrix(&f, c);
+            let naive = synthesize(&m, SynthesisStrategy::Naive);
+            assert!(naive.depth() <= 7);
+        }
+    }
+
+    #[test]
+    fn eval_rejects_nothing_but_matches_linear_extension() {
+        let f = gf16();
+        let net = for_constant(&f, 11, SynthesisStrategy::Paar);
+        // Linearity of the network itself.
+        for x in 0..16u128 {
+            for y in 0..16u128 {
+                assert_eq!(net.eval(x ^ y), net.eval(x) ^ net.eval(y));
+            }
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Dense polynomials over GF(2), packed into a `u128`.
+//!
+//! Bit `i` of the backing word is the coefficient of `x^i`, so the zero
+//! polynomial is `0` and `x^4 + x + 1` is `0b1_0011`. Degrees up to 127 are
+//! representable, which comfortably covers every polynomial this workspace
+//! manipulates (field moduli up to degree 32 and LFSR feedback polynomials up
+//! to degree 64).
+
+use std::fmt;
+
+/// A polynomial over GF(2) of degree at most 127.
+///
+/// # Example
+///
+/// ```
+/// use prt_gf::Poly2;
+///
+/// let p = Poly2::from_bits(0b1_0011); // z^4 + z + 1 — the paper's p(z)
+/// assert_eq!(p.degree(), 4);
+/// assert!(p.is_irreducible());
+/// assert!(p.is_primitive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Poly2(u128);
+
+impl Poly2 {
+    /// The zero polynomial.
+    pub const ZERO: Poly2 = Poly2(0);
+    /// The constant polynomial `1`.
+    pub const ONE: Poly2 = Poly2(1);
+    /// The monomial `x`.
+    pub const X: Poly2 = Poly2(2);
+
+    /// Creates a polynomial from its packed coefficient bits
+    /// (bit `i` = coefficient of `x^i`).
+    pub const fn from_bits(bits: u128) -> Poly2 {
+        Poly2(bits)
+    }
+
+    /// Creates the monomial `x^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 127`.
+    pub fn monomial(k: u32) -> Poly2 {
+        assert!(k <= 127, "monomial degree {k} exceeds 127");
+        Poly2(1u128 << k)
+    }
+
+    /// Builds a polynomial from the exponents of its non-zero terms.
+    ///
+    /// ```
+    /// use prt_gf::Poly2;
+    /// assert_eq!(Poly2::from_terms(&[4, 1, 0]).bits(), 0b1_0011);
+    /// ```
+    pub fn from_terms(exponents: &[u32]) -> Poly2 {
+        let mut bits = 0u128;
+        for &e in exponents {
+            assert!(e <= 127, "term degree {e} exceeds 127");
+            bits ^= 1u128 << e;
+        }
+        Poly2(bits)
+    }
+
+    /// Returns the packed coefficient bits.
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Degree of the polynomial; the zero polynomial has degree `-1` by
+    /// convention.
+    pub const fn degree(self) -> i32 {
+        if self.0 == 0 {
+            -1
+        } else {
+            127 - self.0.leading_zeros() as i32
+        }
+    }
+
+    /// Coefficient of `x^i` (0 or 1).
+    pub const fn coeff(self, i: u32) -> u8 {
+        if i > 127 {
+            0
+        } else {
+            ((self.0 >> i) & 1) as u8
+        }
+    }
+
+    /// Number of non-zero terms.
+    pub const fn weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Polynomial addition (= subtraction) over GF(2).
+    pub const fn add(self, rhs: Poly2) -> Poly2 {
+        Poly2(self.0 ^ rhs.0)
+    }
+
+    /// Carry-less product of two polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product degree would exceed 127.
+    #[allow(clippy::should_implement_trait)] // `Mul` is implemented and delegates here
+    pub fn mul(self, rhs: Poly2) -> Poly2 {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly2::ZERO;
+        }
+        assert!(
+            self.degree() + rhs.degree() <= 127,
+            "product degree {} exceeds 127",
+            self.degree() + rhs.degree()
+        );
+        let mut acc = 0u128;
+        let mut a = self.0;
+        let mut shift = 0;
+        while a != 0 {
+            let tz = a.trailing_zeros();
+            shift += tz;
+            acc ^= rhs.0 << shift;
+            a >>= tz + 1;
+            shift += 1;
+        }
+        Poly2(acc)
+    }
+
+    /// Quotient and remainder of polynomial division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(self, divisor: Poly2) -> (Poly2, Poly2) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let dd = divisor.degree();
+        let mut rem = self.0;
+        let mut quot = 0u128;
+        loop {
+            let rd = Poly2(rem).degree();
+            if rd < dd {
+                break;
+            }
+            let shift = (rd - dd) as u32;
+            rem ^= divisor.0 << shift;
+            quot ^= 1u128 << shift;
+        }
+        (Poly2(quot), Poly2(rem))
+    }
+
+    /// Remainder of polynomial division.
+    #[allow(clippy::should_implement_trait)] // `Rem` is implemented and delegates here
+    pub fn rem(self, divisor: Poly2) -> Poly2 {
+        self.div_rem(divisor).1
+    }
+
+    /// Greatest common divisor (always monic over GF(2) since the leading
+    /// coefficient is 1).
+    pub fn gcd(self, other: Poly2) -> Poly2 {
+        let (mut a, mut b) = (self, other);
+        while !b.is_zero() {
+            let r = a.rem(b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular product: `self · rhs mod modulus`, never overflowing the
+    /// 128-bit backing word (reduction is interleaved with the shifts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero, or if either operand is not already
+    /// reduced modulo `modulus`.
+    pub fn mulmod(self, rhs: Poly2, modulus: Poly2) -> Poly2 {
+        assert!(!modulus.is_zero(), "zero modulus");
+        let md = modulus.degree();
+        assert!(
+            self.degree() < md && rhs.degree() < md,
+            "operands must be reduced modulo the modulus"
+        );
+        if md == 0 {
+            return Poly2::ZERO; // everything is 0 mod a constant
+        }
+        let mut acc = 0u128;
+        let mut b = rhs.0; // running rhs · x^i mod modulus
+        let mut a = self.0;
+        let top = 1u128 << md;
+        while a != 0 {
+            if a & 1 == 1 {
+                acc ^= b;
+            }
+            a >>= 1;
+            b <<= 1;
+            if b & top != 0 {
+                b ^= modulus.0;
+            }
+        }
+        Poly2(acc)
+    }
+
+    /// Modular squaring.
+    pub fn sqrmod(self, modulus: Poly2) -> Poly2 {
+        self.mulmod(self, modulus)
+    }
+
+    /// Modular exponentiation: `self^e mod modulus`.
+    pub fn powmod(self, mut e: u128, modulus: Poly2) -> Poly2 {
+        let mut base = self.rem(modulus);
+        let mut acc = Poly2::ONE.rem(modulus);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mulmod(base, modulus);
+            }
+            base = base.sqrmod(modulus);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial at a point of GF(2): the result is the parity
+    /// of the coefficients selected by powers of the point.
+    pub fn eval(self, point: u8) -> u8 {
+        match point & 1 {
+            0 => self.coeff(0),
+            _ => (self.weight() & 1) as u8,
+        }
+    }
+
+    /// Rabin's irreducibility test over GF(2).
+    ///
+    /// `f` of degree `d ≥ 1` is irreducible iff `x^(2^d) ≡ x (mod f)` and for
+    /// every prime divisor `p` of `d`, `gcd(x^(2^(d/p)) − x, f) = 1`.
+    pub fn is_irreducible(self) -> bool {
+        let d = self.degree();
+        if d < 1 {
+            return false;
+        }
+        if d == 1 {
+            return true; // x and x+1
+        }
+        // x must not divide f (i.e. constant term must be 1) except f = x.
+        if self.coeff(0) == 0 {
+            return false;
+        }
+        let d = d as u32;
+        // x^(2^k) mod f by repeated squaring of x.
+        let frob = |k: u32| -> Poly2 {
+            let mut t = Poly2::X.rem(self);
+            for _ in 0..k {
+                t = t.sqrmod(self);
+            }
+            t
+        };
+        if frob(d) != Poly2::X.rem(self) {
+            return false;
+        }
+        for p in crate::factor::prime_divisors(d as u128) {
+            let k = d / p as u32;
+            let h = frob(k).add(Poly2::X.rem(self));
+            // h ≡ 0 means f divides x^(2^k) − x, i.e. every factor of f has
+            // degree dividing k < d — certainly reducible.
+            if h.is_zero() || self.gcd(h).degree() > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Tests whether the polynomial is *primitive* over GF(2): irreducible of
+    /// degree `d` with the residue class of `x` generating the full
+    /// multiplicative group of order `2^d − 1`.
+    ///
+    /// Primitive feedback polynomials give maximal-period LFSRs, the property
+    /// the paper relies on for pseudo-ring closure.
+    pub fn is_primitive(self) -> bool {
+        let d = self.degree();
+        if d < 1 || !self.is_irreducible() {
+            return false;
+        }
+        if d == 1 {
+            // x + 1 is primitive for GF(2) (order 1 group); x itself is not
+            // irreducible-with-nonzero-constant so it was rejected above.
+            return self == Poly2::from_bits(0b11);
+        }
+        let order: u128 = (1u128 << d) - 1;
+        for p in crate::factor::prime_divisors(order) {
+            if Poly2::X.powmod(order / p, self) == Poly2::ONE {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Multiplicative order of the residue class of `x` modulo this
+    /// polynomial, or `None` if `x` is not invertible (constant term 0) or
+    /// the polynomial is constant.
+    ///
+    /// For an irreducible feedback polynomial this is exactly the period of
+    /// the associated LFSR.
+    pub fn order_of_x(self) -> Option<u128> {
+        let d = self.degree();
+        if d < 1 || self.coeff(0) == 0 {
+            return None;
+        }
+        // The order divides 2^d − 1 only for irreducible f; in general it
+        // divides the order of the unit group, which we bound by brute force
+        // for reducible moduli of small degree and compute exactly via the
+        // divisor-refinement method when irreducible.
+        if self.is_irreducible() {
+            let mut e: u128 = (1u128 << d) - 1;
+            for p in crate::factor::prime_divisors(e) {
+                while e.is_multiple_of(p) && Poly2::X.powmod(e / p, self) == Poly2::ONE {
+                    e /= p;
+                }
+            }
+            Some(e)
+        } else {
+            // Brute force; acceptable because reducible moduli only appear in
+            // tests and diagnostics.
+            let mut t = Poly2::X.rem(self);
+            let start = t;
+            let mut k: u128 = 1;
+            loop {
+                t = t.mulmod(Poly2::X.rem(self), self);
+                k += 1;
+                if t == start {
+                    return Some(k - 1);
+                }
+                if k > (1u128 << (2 * d.min(40))) {
+                    return None; // x is not a unit modulo f
+                }
+            }
+        }
+    }
+
+    /// Returns the lexicographically smallest irreducible polynomial of the
+    /// given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or exceeds 63 (search space too large).
+    pub fn smallest_irreducible(degree: u32) -> Poly2 {
+        assert!((1..=63).contains(&degree), "degree must be in 1..=63");
+        Self::search(degree, |p| p.is_irreducible())
+    }
+
+    /// Returns the lexicographically smallest primitive polynomial of the
+    /// given degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or exceeds 63.
+    pub fn smallest_primitive(degree: u32) -> Poly2 {
+        assert!((1..=63).contains(&degree), "degree must be in 1..=63");
+        Self::search(degree, |p| p.is_primitive())
+    }
+
+    fn search(degree: u32, pred: impl Fn(Poly2) -> bool) -> Poly2 {
+        let hi = 1u128 << degree;
+        // Odd constant term is necessary for irreducibility (deg ≥ 1 beyond x).
+        let mut low = 1u128;
+        loop {
+            assert!(low < hi, "no polynomial found — impossible for GF(2)");
+            let cand = Poly2(hi | low);
+            if pred(cand) {
+                return cand;
+            }
+            low += 2;
+        }
+    }
+
+    /// Enumerates all irreducible polynomials of the given degree.
+    ///
+    /// Intended for small degrees (the count grows like `2^d / d`).
+    pub fn irreducibles(degree: u32) -> Vec<Poly2> {
+        assert!((1..=20).contains(&degree), "degree must be in 1..=20");
+        let hi = 1u128 << degree;
+        let mut out = Vec::new();
+        if degree == 1 {
+            return vec![Poly2(0b10), Poly2(0b11)];
+        }
+        let mut low = 1u128;
+        while low < hi {
+            let cand = Poly2(hi | low);
+            if cand.is_irreducible() {
+                out.push(cand);
+            }
+            low += 2;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for i in (0..=self.degree() as u32).rev() {
+            if self.coeff(i) == 1 {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match i {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Poly2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Poly2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Poly2 {
+    fn from(bits: u64) -> Poly2 {
+        Poly2(bits as u128)
+    }
+}
+
+impl std::ops::Add for Poly2 {
+    type Output = Poly2;
+    fn add(self, rhs: Poly2) -> Poly2 {
+        Poly2::add(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Poly2 {
+    type Output = Poly2;
+    fn mul(self, rhs: Poly2) -> Poly2 {
+        Poly2::mul(self, rhs)
+    }
+}
+
+impl std::ops::Rem for Poly2 {
+    type Output = Poly2;
+    fn rem(self, rhs: Poly2) -> Poly2 {
+        Poly2::rem(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_weight() {
+        assert_eq!(Poly2::ZERO.degree(), -1);
+        assert_eq!(Poly2::ONE.degree(), 0);
+        assert_eq!(Poly2::X.degree(), 1);
+        assert_eq!(Poly2::from_bits(0b1_0011).degree(), 4);
+        assert_eq!(Poly2::from_bits(0b1_0011).weight(), 3);
+    }
+
+    #[test]
+    fn from_terms_matches_bits() {
+        assert_eq!(Poly2::from_terms(&[2, 1, 0]), Poly2::from_bits(0b111));
+        assert_eq!(Poly2::from_terms(&[]), Poly2::ZERO);
+        // duplicate exponents cancel over GF(2)
+        assert_eq!(Poly2::from_terms(&[3, 3]), Poly2::ZERO);
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = Poly2::from_bits(0b1011);
+        let b = Poly2::from_bits(0b0110);
+        assert_eq!(a.add(b).bits(), 0b1101);
+        assert_eq!(a.add(a), Poly2::ZERO);
+    }
+
+    #[test]
+    fn mul_small() {
+        // (x + 1)(x + 1) = x² + 1 over GF(2)
+        let xp1 = Poly2::from_bits(0b11);
+        assert_eq!(xp1.mul(xp1).bits(), 0b101);
+        // (x² + x + 1)(x + 1) = x³ + 1
+        let p = Poly2::from_bits(0b111);
+        assert_eq!(p.mul(xp1).bits(), 0b1001);
+    }
+
+    #[test]
+    fn div_rem_roundtrip() {
+        let a = Poly2::from_bits(0b1101_0111);
+        let b = Poly2::from_bits(0b1011);
+        let (q, r) = a.div_rem(b);
+        assert_eq!(q.mul(b).add(r), a);
+        assert!(r.degree() < b.degree());
+    }
+
+    #[test]
+    fn gcd_of_multiples() {
+        let g = Poly2::from_bits(0b111); // x²+x+1 irreducible
+        // Multipliers x and x+1 are coprime, so gcd(a, b) = g exactly.
+        let a = g.mul(Poly2::from_bits(0b10));
+        let b = g.mul(Poly2::from_bits(0b11));
+        assert_eq!(a.gcd(b), g);
+    }
+
+    #[test]
+    fn mulmod_agrees_with_mul_then_rem() {
+        let m = Poly2::from_bits(0b1_0011);
+        for a in 0..16u128 {
+            for b in 0..16u128 {
+                let lhs = Poly2(a).mulmod(Poly2(b), m);
+                let rhs = Poly2(a).mul(Poly2(b)).rem(m);
+                assert_eq!(lhs, rhs, "a={a:04b} b={b:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn powmod_matches_iterated_mul() {
+        let m = Poly2::from_bits(0b1_0011);
+        let x = Poly2::X;
+        let mut acc = Poly2::ONE;
+        for e in 0..40u128 {
+            assert_eq!(x.powmod(e, m), acc, "e={e}");
+            acc = acc.mulmod(x, m);
+        }
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // Classic table entries.
+        for bits in [0b111u128, 0b1011, 0b1_0011, 0b10_0101, 0b100_0011] {
+            assert!(Poly2::from_bits(bits).is_irreducible(), "{bits:b}");
+        }
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive (order 5).
+        assert!(Poly2::from_bits(0b1_1111).is_irreducible());
+        // Reducible examples.
+        assert!(!Poly2::from_bits(0b101).is_irreducible()); // (x+1)²
+        assert!(!Poly2::from_bits(0b1001).is_irreducible()); // (x+1)(x²+x+1)
+        assert!(!Poly2::from_bits(0b110).is_irreducible()); // x(x+1)
+    }
+
+    #[test]
+    fn primitivity_of_paper_modulus() {
+        // p(z) = 1 + z + z⁴ from Figure 1b is primitive.
+        let p = Poly2::from_bits(0b1_0011);
+        assert!(p.is_primitive());
+        assert_eq!(p.order_of_x(), Some(15));
+        // The non-primitive irreducible quartic has order 5.
+        let q = Poly2::from_bits(0b1_1111);
+        assert!(!q.is_primitive());
+        assert_eq!(q.order_of_x(), Some(5));
+    }
+
+    #[test]
+    fn counts_of_irreducibles_match_necklace_formula() {
+        // #irreducible(d) = (1/d) Σ_{e|d} μ(d/e) 2^e
+        let expected = [(1u32, 2usize), (2, 1), (3, 2), (4, 3), (5, 6), (6, 9), (7, 18), (8, 30)];
+        for (d, n) in expected {
+            assert_eq!(Poly2::irreducibles(d).len(), n, "degree {d}");
+        }
+    }
+
+    #[test]
+    fn smallest_primitive_known_values() {
+        assert_eq!(Poly2::smallest_primitive(2).bits(), 0b111);
+        assert_eq!(Poly2::smallest_primitive(3).bits(), 0b1011);
+        assert_eq!(Poly2::smallest_primitive(4).bits(), 0b1_0011);
+        assert_eq!(Poly2::smallest_primitive(8).bits(), 0b1_0001_1101); // x^8+x^4+x^3+x^2+1
+    }
+
+    #[test]
+    fn display_formats_terms() {
+        assert_eq!(Poly2::from_bits(0b1_0011).to_string(), "x^4 + x + 1");
+        assert_eq!(Poly2::ZERO.to_string(), "0");
+        assert_eq!(Poly2::ONE.to_string(), "1");
+    }
+
+    #[test]
+    fn eval_at_gf2_points() {
+        let p = Poly2::from_bits(0b111); // x²+x+1
+        assert_eq!(p.eval(0), 1);
+        assert_eq!(p.eval(1), 1); // 1+1+1 = 1
+        let q = Poly2::from_bits(0b110); // x²+x
+        assert_eq!(q.eval(0), 0);
+        assert_eq!(q.eval(1), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the Galois-field substrate.
+
+use proptest::prelude::*;
+use prt_gf::{mult_synth, BitMatrix, Field, Poly2, SynthesisStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Polynomial division is exact: a = q·b + r with deg r < deg b.
+    #[test]
+    fn poly2_div_rem_roundtrip(a in 0u128..(1 << 40), b in 1u128..(1 << 20)) {
+        let (pa, pb) = (Poly2::from_bits(a), Poly2::from_bits(b));
+        let (q, r) = pa.div_rem(pb);
+        prop_assert_eq!(q.mul(pb).add(r), pa);
+        prop_assert!(r.degree() < pb.degree());
+    }
+
+    /// Carry-less multiplication is commutative and distributes over XOR.
+    #[test]
+    fn poly2_ring_laws(a in 0u128..(1 << 20), b in 0u128..(1 << 20), c in 0u128..(1 << 20)) {
+        let (pa, pb, pc) = (Poly2::from_bits(a), Poly2::from_bits(b), Poly2::from_bits(c));
+        prop_assert_eq!(pa.mul(pb), pb.mul(pa));
+        prop_assert_eq!(pa.mul(pb.add(pc)), pa.mul(pb).add(pa.mul(pc)));
+    }
+
+    /// gcd divides both operands and is stable under operand order.
+    #[test]
+    fn poly2_gcd_divides(a in 1u128..(1 << 24), b in 1u128..(1 << 24)) {
+        let (pa, pb) = (Poly2::from_bits(a), Poly2::from_bits(b));
+        let g = pa.gcd(pb);
+        prop_assert_eq!(g, pb.gcd(pa));
+        prop_assert!(pa.rem(g).is_zero());
+        prop_assert!(pb.rem(g).is_zero());
+    }
+
+    /// Field laws hold for random elements across several widths.
+    #[test]
+    fn field_laws_random_elements(m in 2u32..12, raw in any::<[u64; 3]>()) {
+        let f = Field::gf(m).unwrap();
+        let mask = f.mask();
+        let (a, b, c) = (raw[0] & mask, raw[1] & mask, raw[2] & mask);
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a).unwrap()), 1);
+        }
+        // Frobenius: squaring is additive.
+        prop_assert_eq!(f.mul(f.add(a, b), f.add(a, b)), f.add(f.mul(a, a), f.mul(b, b)));
+    }
+
+    /// Factorisation recomposes and factors are irreducible.
+    #[test]
+    fn factorisation_roundtrip(bits in 2u128..(1 << 14)) {
+        let f = Poly2::from_bits(bits);
+        prop_assume!(f.degree() >= 1);
+        let fs = prt_gf::factor_poly::factor(f);
+        prop_assert_eq!(prt_gf::factor_poly::expand(&fs), f);
+        for pf in &fs {
+            prop_assert!(pf.poly.is_irreducible());
+        }
+    }
+
+    /// Synthesized multiplier networks are exact for random constants.
+    #[test]
+    fn multiplier_network_exact(m in 2u32..9, c in any::<u64>()) {
+        let f = Field::gf(m).unwrap();
+        let c = c & f.mask();
+        let net = mult_synth::for_constant(&f, c, SynthesisStrategy::Paar);
+        for probe in [0u64, 1, f.mask(), c, c.wrapping_mul(3) & f.mask()] {
+            prop_assert_eq!(net.eval(probe as u128) as u64, f.mul(c, probe));
+        }
+    }
+
+    /// Matrix inverse really inverts for random invertible matrices.
+    #[test]
+    fn matrix_inverse_roundtrip(rows in prop::collection::vec(any::<u64>(), 6)) {
+        let rows: Vec<u128> = rows.iter().map(|&r| (r & 0x3F) as u128).collect();
+        let m = BitMatrix::from_rows(rows, 6);
+        if let Ok(inv) = m.inverse() {
+            prop_assert_eq!(m.mul(&inv).unwrap(), BitMatrix::identity(6));
+            prop_assert_eq!(inv.mul(&m).unwrap(), BitMatrix::identity(6));
+        } else {
+            prop_assert!(m.rank() < 6);
+        }
+    }
+
+    /// Trace is GF(2)-linear for random fields.
+    #[test]
+    fn trace_linearity(m in 2u32..10, a in any::<u64>(), b in any::<u64>()) {
+        let f = Field::gf(m).unwrap();
+        let (a, b) = (a & f.mask(), b & f.mask());
+        prop_assert_eq!(f.trace(a ^ b), f.trace(a) ^ f.trace(b));
+    }
+}

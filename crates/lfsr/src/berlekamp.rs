@@ -1,0 +1,180 @@
+//! Berlekamp–Massey linear-complexity analysis.
+//!
+//! Given an observed sequence (of bits or of GF(2^m) words), Berlekamp–
+//! Massey finds the shortest LFSR that generates it. The PRT test suite
+//! uses it in two directions:
+//!
+//! * *positive*: the value stream a fault-free π-iteration leaves in memory
+//!   must have linear complexity exactly `k` (the automaton really is the
+//!   `k`-stage LFSR and nothing simpler), and
+//! * *negative*: a faulty memory's stream generally jumps to a much higher
+//!   complexity, which is an alternative detection observable to the `Fin`
+//!   signature.
+
+use prt_gf::Field;
+
+/// Result of a Berlekamp–Massey run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearComplexity {
+    /// Length of the shortest generating LFSR.
+    pub complexity: usize,
+    /// Connection polynomial `c(x) = 1 + c1·x + … + cL·x^L`
+    /// (lowest degree first; `c[0] = 1`).
+    pub connection: Vec<u64>,
+}
+
+impl LinearComplexity {
+    /// Checks the connection polynomial against the sequence: every term
+    /// from index `complexity` on must satisfy
+    /// `s_t = Σ_{i=1..L} c_i·s_{t−i}` (coefficients already negated over
+    /// characteristic 2).
+    pub fn verifies(&self, field: &Field, seq: &[u64]) -> bool {
+        for t in self.complexity..seq.len() {
+            let mut acc = 0u64;
+            for (i, &c) in self.connection.iter().enumerate().skip(1) {
+                acc = field.add(acc, field.mul(c, seq[t - i]));
+            }
+            if acc != seq[t] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Berlekamp–Massey over an arbitrary GF(2^m).
+///
+/// Returns the shortest LFSR generating `seq`.
+///
+/// # Example
+///
+/// ```
+/// use prt_gf::Field;
+/// use prt_lfsr::linear_complexity_words;
+///
+/// let field = Field::new(4, 0b1_0011)?;
+/// // The Figure 1b stream: complexity 2, recurrence s_t = 2s_{t-1} + 2s_{t-2}.
+/// let mut l = prt_lfsr::WordLfsr::from_feedback(field.clone(), &[1, 2, 2], &[0, 1])?;
+/// let seq = l.sequence(32);
+/// let lc = linear_complexity_words(&field, &seq);
+/// assert_eq!(lc.complexity, 2);
+/// assert!(lc.verifies(&field, &seq));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn linear_complexity_words(field: &Field, seq: &[u64]) -> LinearComplexity {
+    let n = seq.len();
+    let mut c = vec![0u64; n + 1]; // connection polynomial
+    let mut b = vec![0u64; n + 1]; // previous connection polynomial
+    c[0] = 1;
+    b[0] = 1;
+    let mut l = 0usize; // current complexity
+    let mut m = 1usize; // steps since last update
+    let mut bb = 1u64; // discrepancy at last update
+
+    for i in 0..n {
+        // Discrepancy d = s_i + Σ_{j=1..L} c_j s_{i−j}
+        let mut d = seq[i];
+        for j in 1..=l {
+            d = field.add(d, field.mul(c[j], seq[i - j]));
+        }
+        if d == 0 {
+            m += 1;
+        } else if 2 * l <= i {
+            let t = c.clone();
+            let coef = field.mul(d, field.inv(bb).expect("bb non-zero"));
+            for j in 0..=(n - m) {
+                let adj = field.mul(coef, b[j]);
+                c[j + m] = field.add(c[j + m], adj);
+            }
+            l = i + 1 - l;
+            b = t;
+            bb = d;
+            m = 1;
+        } else {
+            let coef = field.mul(d, field.inv(bb).expect("bb non-zero"));
+            for j in 0..=(n - m) {
+                let adj = field.mul(coef, b[j]);
+                c[j + m] = field.add(c[j + m], adj);
+            }
+            m += 1;
+        }
+    }
+    c.truncate(l + 1);
+    LinearComplexity { complexity: l, connection: c }
+}
+
+/// Berlekamp–Massey specialised to bit sequences.
+pub fn linear_complexity_bits(seq: &[u8]) -> LinearComplexity {
+    let field = Field::gf(1).expect("GF(2) always constructible");
+    let words: Vec<u64> = seq.iter().map(|&b| u64::from(b & 1)).collect();
+    linear_complexity_words(&field, &words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitLfsr, WordLfsr};
+    use prt_gf::Poly2;
+
+    #[test]
+    fn zero_sequence_has_zero_complexity() {
+        let lc = linear_complexity_bits(&[0, 0, 0, 0, 0, 0]);
+        assert_eq!(lc.complexity, 0);
+    }
+
+    #[test]
+    fn impulse_has_full_complexity() {
+        // 0…01 needs an LFSR as long as the run of zeros + 1.
+        let lc = linear_complexity_bits(&[0, 0, 0, 1]);
+        assert_eq!(lc.complexity, 4);
+    }
+
+    #[test]
+    fn m_sequence_complexity_is_degree() {
+        let mut l = BitLfsr::new(Poly2::from_bits(0b1_0011), 0b0001).unwrap();
+        let seq = l.sequence(64);
+        let lc = linear_complexity_bits(&seq);
+        assert_eq!(lc.complexity, 4);
+    }
+
+    #[test]
+    fn figure_1a_stream_has_complexity_2() {
+        let mut l = BitLfsr::new(Poly2::from_bits(0b111), 0b10).unwrap();
+        let seq = l.sequence(30);
+        let lc = linear_complexity_bits(&seq);
+        assert_eq!(lc.complexity, 2);
+    }
+
+    #[test]
+    fn word_stream_recovers_connection() {
+        let field = prt_gf::Field::new(4, 0b1_0011).unwrap();
+        let mut l = WordLfsr::from_feedback(field.clone(), &[1, 2, 2], &[0, 1]).unwrap();
+        let seq = l.sequence(40);
+        let lc = linear_complexity_words(&field, &seq);
+        assert_eq!(lc.complexity, 2);
+        // Connection polynomial should encode c1 = c2 = 2.
+        assert_eq!(lc.connection, vec![1, 2, 2]);
+        assert!(lc.verifies(&field, &seq));
+    }
+
+    #[test]
+    fn corrupted_stream_complexity_jumps() {
+        let field = prt_gf::Field::new(4, 0b1_0011).unwrap();
+        let mut l = WordLfsr::from_feedback(field.clone(), &[1, 2, 2], &[0, 1]).unwrap();
+        let mut seq = l.sequence(40);
+        seq[17] ^= 0x4; // single injected bit error
+        let lc = linear_complexity_words(&field, &seq);
+        assert!(lc.complexity > 2, "complexity {} should exceed 2", lc.complexity);
+        assert!(lc.verifies(&field, &seq));
+    }
+
+    #[test]
+    fn random_looking_stream_verifies() {
+        let field = prt_gf::Field::gf(8).unwrap();
+        // A fixed arbitrary stream.
+        let seq: Vec<u64> = (0..48u64).map(|i| (i * i * 37 + 11) % 256).collect();
+        let lc = linear_complexity_words(&field, &seq);
+        assert!(lc.verifies(&field, &seq));
+        assert!(lc.complexity <= seq.len());
+    }
+}

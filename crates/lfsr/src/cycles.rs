@@ -1,0 +1,203 @@
+//! Cycle structure of bit LFSR state spaces.
+//!
+//! §3 of the paper lists "LFSR structure that is determined by generator
+//! polynomial structure" as the first control knob of a π-test. An
+//! irreducible feedback polynomial gives one cycle of length `ord(x)`
+//! covering all non-zero states; a *reducible* one fragments the state
+//! space into many short cycles, silently reducing TDB variety — a
+//! misconfiguration this module lets callers diagnose before burning a
+//! polynomial into a BIST controller.
+//!
+//! The analytic path factors the polynomial ([`prt_gf::factor_poly`]) and
+//! combines the factor periods; a brute-force enumeration over the state
+//! space cross-checks it in tests.
+
+use crate::{BitLfsr, LfsrError};
+use prt_gf::Poly2;
+
+/// The cycle decomposition of an LFSR state space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleStructure {
+    /// `(cycle_length, how_many_cycles)`, sorted by length; includes the
+    /// fixed point at the zero state as `(1, ≥1)`.
+    pub cycles: Vec<(u128, u128)>,
+}
+
+impl CycleStructure {
+    /// Number of states covered (must equal `2^k`).
+    pub fn states(&self) -> u128 {
+        self.cycles.iter().map(|&(len, count)| len * count).sum()
+    }
+
+    /// The longest cycle length — the best period any seed can reach.
+    pub fn max_period(&self) -> u128 {
+        self.cycles.iter().map(|&(len, _)| len).max().unwrap_or(0)
+    }
+
+    /// Number of distinct cycles.
+    pub fn cycle_count(&self) -> u128 {
+        self.cycles.iter().map(|&(_, count)| count).sum()
+    }
+}
+
+/// Computes the cycle structure of the Fibonacci LFSR with feedback
+/// polynomial `g` by brute-force state enumeration.
+///
+/// Intended for `deg g ≤ 20` (the state space is `2^k`).
+///
+/// # Errors
+///
+/// Propagates [`BitLfsr::new`] validation errors.
+pub fn enumerate_cycles(g: Poly2) -> Result<CycleStructure, LfsrError> {
+    let k = g.degree();
+    if k < 1 {
+        return Err(LfsrError::DegenerateFeedback);
+    }
+    let k = k as u32;
+    assert!(k <= 20, "state space 2^{k} too large for enumeration");
+    let size = 1usize << k;
+    let mut visited = vec![false; size];
+    let mut counts: Vec<(u128, u128)> = Vec::new();
+    for start in 0..size as u64 {
+        if visited[start as usize] {
+            continue;
+        }
+        let mut l = BitLfsr::new(g, start)?;
+        let mut len = 0u128;
+        loop {
+            let s = l.state();
+            if len > 0 && s == start {
+                break;
+            }
+            visited[s as usize] = true;
+            l.step();
+            len += 1;
+            if l.state() == start {
+                break;
+            }
+        }
+        // `len` counted transitions until return; cycle length is the
+        // number of distinct states on the loop.
+        let mut probe = BitLfsr::new(g, start)?;
+        let mut cycle_len = 1u128;
+        probe.step();
+        while probe.state() != start {
+            cycle_len += 1;
+            probe.step();
+        }
+        match counts.iter_mut().find(|(l0, _)| *l0 == cycle_len) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((cycle_len, 1)),
+        }
+    }
+    counts.sort_unstable();
+    Ok(CycleStructure { cycles: counts })
+}
+
+/// Predicts the maximal achievable period of the LFSR with feedback `g`
+/// from its factorisation: for square-free `g = f₁·f₂·…` the maximum
+/// period is `lcm(ord(f₁), ord(f₂), …)`; repeated factors multiply the
+/// order by the smallest power of 2 at least the multiplicity.
+///
+/// # Errors
+///
+/// [`LfsrError::DegenerateFeedback`] for constant polynomials or when a
+/// factor has no order (a power of `x`).
+pub fn max_period_from_factors(g: Poly2) -> Result<u128, LfsrError> {
+    if g.degree() < 1 {
+        return Err(LfsrError::DegenerateFeedback);
+    }
+    let mut acc: u128 = 1;
+    for pf in prt_gf::factor_poly::factor(g) {
+        if pf.poly == Poly2::X {
+            // Powers of x only shift in zeros; they do not extend periods
+            // of the sequence family (degenerate taps).
+            continue;
+        }
+        let ord = pf.poly.order_of_x().ok_or(LfsrError::DegenerateFeedback)?;
+        let mut pw: u128 = 1;
+        while pw < pf.multiplicity as u128 {
+            pw *= 2;
+        }
+        acc = lcm(acc, ord * pw);
+    }
+    Ok(acc)
+}
+
+fn lcm(a: u128, b: u128) -> u128 {
+    a / gcd(a, b) * b
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_polynomial_one_big_cycle() {
+        // g = 1 + x + x⁴ (primitive): zero fixed point + one 15-cycle.
+        let s = enumerate_cycles(Poly2::from_bits(0b1_0011)).unwrap();
+        assert_eq!(s.cycles, vec![(1, 1), (15, 1)]);
+        assert_eq!(s.states(), 16);
+        assert_eq!(s.max_period(), 15);
+        assert_eq!(max_period_from_factors(Poly2::from_bits(0b1_0011)).unwrap(), 15);
+    }
+
+    #[test]
+    fn non_primitive_irreducible_fragments() {
+        // x⁴+x³+x²+x+1: order 5 → zero + three 5-cycles.
+        let s = enumerate_cycles(Poly2::from_bits(0b1_1111)).unwrap();
+        assert_eq!(s.cycles, vec![(1, 1), (5, 3)]);
+        assert_eq!(max_period_from_factors(Poly2::from_bits(0b1_1111)).unwrap(), 5);
+    }
+
+    #[test]
+    fn reducible_polynomial_structure() {
+        // g = (x²+x+1)(x+1) = x³+1: periods lcm(3,1)=3.
+        let g = Poly2::from_bits(0b1001);
+        let s = enumerate_cycles(g).unwrap();
+        assert_eq!(s.states(), 8);
+        assert_eq!(s.max_period(), 3);
+        assert_eq!(max_period_from_factors(g).unwrap(), 3);
+    }
+
+    #[test]
+    fn analytic_matches_enumeration_for_all_degree_6() {
+        for bits in (1u128 << 6)..(1u128 << 7) {
+            let g = Poly2::from_bits(bits);
+            if g.coeff(0) == 0 {
+                continue; // x | g: sequences eventually die; skip
+            }
+            let s = enumerate_cycles(g).unwrap();
+            let predicted = max_period_from_factors(g).unwrap();
+            assert_eq!(s.max_period(), predicted, "g = {bits:b}");
+        }
+    }
+
+    #[test]
+    fn repeated_factor_period_doubling() {
+        // (x²+x+1)²: order 3 × multiplicity 2 → period 6.
+        let p = Poly2::from_bits(0b111);
+        let g = p.mul(p);
+        assert_eq!(max_period_from_factors(g).unwrap(), 6);
+        let s = enumerate_cycles(g).unwrap();
+        assert_eq!(s.max_period(), 6);
+    }
+
+    #[test]
+    fn paper_bom_polynomial_diagnostics() {
+        // The paper's g = 1 + x + x²: one 3-cycle + zero — exactly why the
+        // BOM TDB has only 4 usable seeds.
+        let s = enumerate_cycles(Poly2::from_bits(0b111)).unwrap();
+        assert_eq!(s.cycles, vec![(1, 1), (3, 1)]);
+        assert_eq!(s.cycle_count(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the LFSR models.
+
+use proptest::prelude::*;
+use prt_gf::{Field, Poly2};
+use prt_lfsr::{
+    enumerate_cycles, linear_complexity_words, max_period_from_factors, BitLfsr, Misr,
+    WordLfsr,
+};
+
+fn arb_feedback_poly() -> impl Strategy<Value = Poly2> {
+    // Degree 2..=10 with non-zero constant term.
+    (2u32..=10, any::<u64>()).prop_map(|(deg, low)| {
+        let mask = (1u128 << deg) - 1;
+        Poly2::from_bits((1u128 << deg) | (low as u128 & mask) | 1)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The state always returns after `period` steps (definition check).
+    #[test]
+    fn bit_lfsr_period_is_a_period(g in arb_feedback_poly(), seed in any::<u64>()) {
+        let seed = seed & ((1 << g.degree()) - 1);
+        let l = BitLfsr::new(g, seed).unwrap();
+        let p = l.period().unwrap();
+        prop_assert!(p >= 1);
+        let mut probe = l.clone();
+        for _ in 0..p {
+            probe.step();
+        }
+        prop_assert_eq!(probe.state(), l.state());
+    }
+
+    /// Analytic maximal period from factorisation bounds every concrete
+    /// cycle, and is attained by some state (checked by enumeration).
+    #[test]
+    fn factor_period_matches_enumeration(g in arb_feedback_poly()) {
+        prop_assume!(g.degree() <= 8);
+        let s = enumerate_cycles(g).unwrap();
+        let predicted = max_period_from_factors(g).unwrap();
+        prop_assert_eq!(s.max_period(), predicted, "g = {:b}", g.bits());
+        prop_assert_eq!(s.states(), 1u128 << g.degree());
+    }
+
+    /// Berlekamp–Massey recovers a complexity ≤ k from any k-stage word
+    /// LFSR output, and the connection polynomial verifies.
+    #[test]
+    fn bm_recovers_word_lfsr(
+        c1 in 0u64..16, c2 in 1u64..16,
+        s0 in 0u64..16, s1 in 0u64..16,
+    ) {
+        let field = Field::new(4, 0b1_0011).unwrap();
+        let mut l = WordLfsr::from_feedback(field.clone(), &[1, c1, c2], &[s0, s1]).unwrap();
+        let seq = l.sequence(48);
+        let lc = linear_complexity_words(&field, &seq);
+        prop_assert!(lc.complexity <= 2, "complexity {}", lc.complexity);
+        prop_assert!(lc.verifies(&field, &seq));
+    }
+
+    /// state_after agrees with stepping for random configurations.
+    #[test]
+    fn state_jump_agrees_with_stepping(
+        c1 in 0u64..16, c2 in 1u64..16,
+        s0 in 0u64..16, s1 in 0u64..16,
+        e in 0u64..16,
+        t in 0u128..200,
+    ) {
+        let field = Field::new(4, 0b1_0011).unwrap();
+        let l = WordLfsr::from_feedback(field, &[1, c1, c2], &[s0, s1])
+            .unwrap()
+            .with_affine(e)
+            .unwrap();
+        let fast = l.state_after(t);
+        let mut slow = l.clone();
+        for _ in 0..t {
+            slow.step();
+        }
+        prop_assert_eq!(fast.as_slice(), slow.state());
+    }
+
+    /// MISR signatures are linear in the absorbed stream.
+    #[test]
+    fn misr_linearity(sa in prop::collection::vec(0u64..16, 1..20),
+                      sb_seed in any::<u64>()) {
+        let mut sb = Vec::with_capacity(sa.len());
+        let mut x = sb_seed;
+        for _ in 0..sa.len() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sb.push(x & 0xF);
+        }
+        let poly = Poly2::from_bits(0b1_0011);
+        let (mut ma, mut mb, mut mab) = (
+            Misr::new(poly).unwrap(),
+            Misr::new(poly).unwrap(),
+            Misr::new(poly).unwrap(),
+        );
+        for i in 0..sa.len() {
+            ma.absorb(sa[i]);
+            mb.absorb(sb[i]);
+            mab.absorb(sa[i] ^ sb[i]);
+        }
+        prop_assert_eq!(ma.signature() ^ mb.signature(), mab.signature());
+    }
+
+    /// Word LFSR with m = 1 agrees with the dedicated bit LFSR.
+    #[test]
+    fn word_reduces_to_bit(seed in 0u64..4, steps in 0usize..60) {
+        let f = Field::gf(1).unwrap();
+        let mut w = WordLfsr::from_feedback(f, &[1, 1, 1], &[seed & 1, (seed >> 1) & 1]).unwrap();
+        let mut b = BitLfsr::new(Poly2::from_bits(0b111), seed & 0b11).unwrap();
+        let ws = w.sequence(steps + 2);
+        let bs = b.sequence(steps + 2);
+        for (x, y) in ws.iter().zip(bs.iter()) {
+            prop_assert_eq!(*x, u64::from(*y));
+        }
+    }
+}

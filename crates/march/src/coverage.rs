@@ -1,0 +1,306 @@
+//! Fault-coverage evaluation of March tests.
+//!
+//! Runs a test against every instance of a [`FaultUniverse`] and aggregates
+//! detection per fault class. Experiment E10 uses this to reproduce the
+//! textbook coverage table (MATS+ → SAF+AF, March C- → +TF+CF…), which
+//! validates the fault simulator that the PRT experiments then build on.
+
+use crate::executor::Executor;
+use crate::notation::MarchTest;
+use prt_ram::FaultUniverse;
+
+/// Coverage of one fault class by one test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageRow {
+    /// Fault-class mnemonic (`"SAF"`, `"TF"`, …).
+    pub class: &'static str,
+    /// Instances detected.
+    pub detected: usize,
+    /// Instances in the universe.
+    pub total: usize,
+}
+
+impl CoverageRow {
+    /// Detection ratio in percent.
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / self.total as f64
+        }
+    }
+
+    /// `true` when every instance was detected.
+    pub fn complete(&self) -> bool {
+        self.detected == self.total
+    }
+}
+
+/// Aggregated coverage of a whole universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    test_name: String,
+    rows: Vec<CoverageRow>,
+}
+
+impl CoverageReport {
+    /// Assembles a report from pre-computed rows. Public so that other test
+    /// engines (the PRT schemes) can report coverage in the same format.
+    pub fn from_rows(test_name: impl Into<String>, rows: Vec<CoverageRow>) -> CoverageReport {
+        CoverageReport { test_name: test_name.into(), rows }
+    }
+
+    /// Name of the evaluated test.
+    pub fn test_name(&self) -> &str {
+        &self.test_name
+    }
+
+    /// Per-class rows in first-seen order.
+    pub fn rows(&self) -> &[CoverageRow] {
+        &self.rows
+    }
+
+    /// The row for a class, if present in the universe.
+    pub fn class(&self, mnemonic: &str) -> Option<CoverageRow> {
+        self.rows.iter().copied().find(|r| r.class == mnemonic)
+    }
+
+    /// Overall detection ratio in percent.
+    pub fn overall_percent(&self) -> f64 {
+        let (d, t) = self
+            .rows
+            .iter()
+            .fold((0usize, 0usize), |(d, t), r| (d + r.detected, t + r.total));
+        if t == 0 {
+            100.0
+        } else {
+            100.0 * d as f64 / t as f64
+        }
+    }
+
+    /// `true` when every instance of every class was detected.
+    pub fn complete(&self) -> bool {
+        self.rows.iter().all(CoverageRow::complete)
+    }
+}
+
+/// Measures the coverage of `test` over `universe`.
+///
+/// # Example
+///
+/// ```
+/// use prt_march::{coverage, library, Executor};
+/// use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+///
+/// let u = FaultUniverse::enumerate(Geometry::bom(8), &UniverseSpec::single_cell());
+/// let report = coverage::evaluate(&library::march_c_minus(), &u, &Executor::new());
+/// assert!(report.complete()); // March C- detects all SAF and TF
+/// ```
+pub fn evaluate(
+    test: &MarchTest,
+    universe: &FaultUniverse,
+    executor: &Executor,
+) -> CoverageReport {
+    evaluate_multi_background(test, universe, executor, &[0])
+}
+
+/// Measures coverage of `test` executed once per *data background*: the
+/// standard word-oriented extension of a March algorithm. A fault counts
+/// as detected when any background run flags it.
+///
+/// The classic result (reproduced by experiment E4): a bit-oriented March
+/// test needs `⌈log₂ m⌉ + 1` backgrounds (e.g. `0000, 0101, 0011` for
+/// `m = 4`) to expose intra-word coupling faults that a single background
+/// can never sensitise.
+///
+/// # Example
+///
+/// ```
+/// use prt_march::{coverage, library, Executor};
+/// use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+///
+/// let spec = UniverseSpec { cfst: true, intra_word: true,
+///     coupling_radius: Some(0), ..UniverseSpec::default() };
+/// let u = FaultUniverse::enumerate(Geometry::wom(8, 4)?, &spec);
+/// let ex = Executor::new().stop_at_first_mismatch();
+/// let one = coverage::evaluate(&library::march_c_minus(), &u, &ex);
+/// let multi = coverage::evaluate_multi_background(
+///     &library::march_c_minus(), &u, &ex, &[0b0000, 0b0101, 0b0011]);
+/// assert!(multi.overall_percent() > one.overall_percent());
+/// # Ok::<(), prt_ram::RamError>(())
+/// ```
+pub fn evaluate_multi_background(
+    test: &MarchTest,
+    universe: &FaultUniverse,
+    executor: &Executor,
+    backgrounds: &[u64],
+) -> CoverageReport {
+    assert!(!backgrounds.is_empty(), "at least one data background required");
+    let mut rows: Vec<CoverageRow> = Vec::new();
+    for fault in universe.faults() {
+        let mut detected = false;
+        for &bg in backgrounds {
+            let mut ram = prt_ram::Ram::new(universe.geometry());
+            ram.inject(fault.clone()).expect("enumerated faults are valid");
+            let ex = executor.clone().with_background(bg);
+            if ex.run(test, &mut ram).detected() {
+                detected = true;
+                break;
+            }
+        }
+        let class = fault.mnemonic();
+        let row = match rows.iter_mut().find(|r| r.class == class) {
+            Some(r) => r,
+            None => {
+                rows.push(CoverageRow { class, detected: 0, total: 0 });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.total += 1;
+        if detected {
+            row.detected += 1;
+        }
+    }
+    CoverageReport { test_name: test.name().to_string(), rows }
+}
+
+/// The standard background set for `m`-bit words: all-zeros plus the
+/// `⌈log₂ m⌉` "binary counting" patterns — every bit pair is separated by
+/// at least one background.
+///
+/// ```
+/// assert_eq!(prt_march::coverage::standard_backgrounds(4), vec![0b0000, 0b1010, 0b1100]);
+/// ```
+pub fn standard_backgrounds(m: u32) -> Vec<u64> {
+    let mut out = vec![0u64];
+    let mut stride = 1u32;
+    while stride < m {
+        // Pattern with `stride` zeros then `stride` ones, repeated.
+        let mut p = 0u64;
+        for bit in 0..m {
+            if (bit / stride) % 2 == 1 {
+                p |= 1 << bit;
+            }
+        }
+        out.push(p);
+        stride *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use prt_ram::{Geometry, UniverseSpec};
+
+    fn universe(n: usize) -> FaultUniverse {
+        FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim())
+    }
+
+    #[test]
+    fn mats_plus_covers_saf_and_af_completely() {
+        let u = universe(8);
+        let r = evaluate(&library::mats_plus(), &u, &Executor::new().stop_at_first_mismatch());
+        assert!(r.class("SAF").unwrap().complete(), "SAF: {:?}", r.class("SAF"));
+        assert!(r.class("AF").unwrap().complete(), "AF: {:?}", r.class("AF"));
+        // MATS+ guarantees nothing for TF.
+        assert!(!r.class("TF").unwrap().complete());
+    }
+
+    #[test]
+    fn march_c_minus_covers_the_paper_claim_universe() {
+        let u = universe(8);
+        let r = evaluate(
+            &library::march_c_minus(),
+            &u,
+            &Executor::new().stop_at_first_mismatch(),
+        );
+        for class in ["SAF", "TF", "AF", "CFin", "CFid", "CFst"] {
+            let row = r.class(class).unwrap();
+            assert!(
+                row.complete(),
+                "March C- should fully cover {class}: {}/{}",
+                row.detected,
+                row.total
+            );
+        }
+        assert!(r.complete());
+        assert!((r.overall_percent() - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn coverage_is_monotone_from_mats_to_march_c_minus() {
+        let u = universe(6);
+        let ex = Executor::new().stop_at_first_mismatch();
+        let weak = evaluate(&library::mats(), &u, &ex);
+        let strong = evaluate(&library::march_c_minus(), &u, &ex);
+        assert!(strong.overall_percent() >= weak.overall_percent());
+    }
+
+    #[test]
+    fn standard_backgrounds_shapes() {
+        assert_eq!(standard_backgrounds(1), vec![0]);
+        assert_eq!(standard_backgrounds(2), vec![0b00, 0b10]);
+        assert_eq!(standard_backgrounds(4), vec![0b0000, 0b1010, 0b1100]);
+        assert_eq!(
+            standard_backgrounds(8),
+            vec![0b0000_0000, 0b1010_1010, 0b1100_1100, 0b1111_0000]
+        );
+        // Every bit pair is separated by some background.
+        for m in [2u32, 4, 8, 16] {
+            let bgs = standard_backgrounds(m);
+            for a in 0..m {
+                for b in 0..a {
+                    assert!(
+                        bgs.iter().any(|&p| (p >> a) & 1 != (p >> b) & 1),
+                        "bits {a},{b} never separated for m={m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_background_completes_intra_word_coverage() {
+        use prt_ram::Geometry;
+        // Intra-word couplings on a 4-bit WOM: single background misses the
+        // ⟨s;s⟩ family; the standard background set restores 100% for
+        // March SS (the strongest static-fault test).
+        let spec = UniverseSpec {
+            cfin: true,
+            cfid: true,
+            cfst: true,
+            coupling_radius: Some(0),
+            intra_word: true,
+            ..UniverseSpec::default()
+        };
+        let u = FaultUniverse::enumerate(Geometry::wom(6, 4).unwrap(), &spec);
+        let ex = Executor::new().stop_at_first_mismatch();
+        let single = evaluate(&library::march_ss(), &u, &ex);
+        assert!(!single.complete(), "single background must miss intra-word faults");
+        let multi = evaluate_multi_background(
+            &library::march_ss(),
+            &u,
+            &ex,
+            &standard_backgrounds(4),
+        );
+        assert!(
+            multi.complete(),
+            "standard backgrounds must complete March SS intra-word coverage: {:?}",
+            multi.rows()
+        );
+    }
+
+    #[test]
+    fn report_accessors() {
+        let u = universe(4);
+        let r = evaluate(&library::mats_plus(), &u, &Executor::new());
+        assert_eq!(r.test_name(), "MATS+");
+        assert!(r.class("SAF").is_some());
+        assert!(r.class("NPSF").is_none());
+        let saf = r.class("SAF").unwrap();
+        assert_eq!(saf.total, 8);
+        assert!((saf.percent() - 100.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing March notation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MarchError {
+    /// The notation string was empty or contained no elements.
+    Empty,
+    /// Missing opening `{` or closing `}`.
+    UnbalancedBraces,
+    /// An element lacked its parenthesised operation list.
+    MalformedElement {
+        /// The offending element text.
+        text: String,
+    },
+    /// An unknown address-order symbol.
+    UnknownOrder {
+        /// The offending symbol.
+        symbol: String,
+    },
+    /// An unknown operation token (expected `r0`, `r1`, `w0`, `w1`).
+    UnknownOp {
+        /// The offending token.
+        token: String,
+    },
+    /// An element with an empty operation list.
+    EmptyElement,
+}
+
+impl fmt::Display for MarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarchError::Empty => write!(f, "empty march notation"),
+            MarchError::UnbalancedBraces => write!(f, "march notation must be enclosed in {{ }}"),
+            MarchError::MalformedElement { text } => {
+                write!(f, "malformed march element: {text:?}")
+            }
+            MarchError::UnknownOrder { symbol } => {
+                write!(f, "unknown address order symbol: {symbol:?}")
+            }
+            MarchError::UnknownOp { token } => write!(f, "unknown march operation: {token:?}"),
+            MarchError::EmptyElement => write!(f, "march element with no operations"),
+        }
+    }
+}
+
+impl Error for MarchError {}

@@ -1,0 +1,49 @@
+//! March memory-test engine.
+//!
+//! March algorithms are the industry-standard RAM tests the PRT paper
+//! positions itself against ("March algorithms are commonly and widely used
+//! to test the units of random access memory"). This crate implements the
+//! full toolchain:
+//!
+//! * [`MarchTest`] / [`MarchElement`] / [`Op`] — the formal notation of van
+//!   de Goor's reference \[1\], e.g.
+//!   `MarchA = {c(w0); ⇑(r0,w1); ⇓(r1,w0)}` (the paper's §1 example —
+//!   which is actually MATS+; the library provides both),
+//! * [`parse`] — a parser for that notation (Unicode `⇑⇓c` or ASCII
+//!   `u d c/any` forms) with round-tripping `Display`,
+//! * [`library`] — twelve classic algorithms from MATS to March SS,
+//! * [`Executor`] — runs a test against any [`prt_ram::MemoryDevice`],
+//!   counting operations and recording the first mismatch,
+//! * [`coverage`] — measures fault coverage over a
+//!   [`prt_ram::FaultUniverse`]; experiment E10 uses this to *validate the
+//!   simulator* by reproducing the textbook coverage table of the classic
+//!   March tests.
+//!
+//! # Example
+//!
+//! ```
+//! use prt_march::{library, Executor};
+//! use prt_ram::{FaultKind, Geometry, Ram};
+//!
+//! let mut ram = Ram::new(Geometry::bom(16));
+//! ram.inject(FaultKind::StuckAt { cell: 5, bit: 0, value: 0 })?;
+//! let outcome = Executor::new().run(&library::mats_plus(), &mut ram);
+//! assert!(outcome.detected());
+//! # Ok::<(), prt_ram::RamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+mod error;
+pub mod executor;
+pub mod library;
+pub mod notation;
+pub mod parser;
+
+pub use coverage::{CoverageReport, CoverageRow};
+pub use error::MarchError;
+pub use executor::{Executor, Mismatch, Outcome};
+pub use notation::{AddrOrder, Logic, MarchElement, MarchTest, Op};
+pub use parser::parse;

@@ -1,0 +1,177 @@
+//! The classic March test library.
+//!
+//! Twelve algorithms spanning the complexity/coverage trade-off from MATS
+//! (4n) to March SS (22n). Complexities and element sequences follow van de
+//! Goor, *Testing Semiconductor Memories* (the paper's reference \[1\]) and
+//! Hamdioui et al. for March SS. The *measured* coverage of each test on
+//! this workspace's fault simulator is reported by experiment E10 — that
+//! table is the validation that simulator and literature agree.
+
+use crate::notation::MarchTest;
+use crate::parser::parse;
+
+fn must(name: &str, notation: &str) -> MarchTest {
+    parse(name, notation).expect("library notation is well-formed")
+}
+
+/// MATS, 4n: the minimal test for stuck-at faults on wired-OR memories.
+pub fn mats() -> MarchTest {
+    must("MATS", "{c(w0); c(r0,w1); c(r1)}")
+}
+
+/// MATS+, 5n: SAF + AF. This is the algorithm the paper's §1 quotes (named
+/// "MarchA" there).
+pub fn mats_plus() -> MarchTest {
+    must("MATS+", "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}")
+}
+
+/// MATS++, 6n: SAF + AF + TF.
+pub fn mats_plus_plus() -> MarchTest {
+    must("MATS++", "{c(w0); ⇑(r0,w1); ⇓(r1,w0,r0)}")
+}
+
+/// March X, 6n: SAF + AF + TF + CFin.
+pub fn march_x() -> MarchTest {
+    must("March X", "{c(w0); ⇑(r0,w1); ⇓(r1,w0); c(r0)}")
+}
+
+/// March Y, 8n: March X plus linked transition-fault coverage.
+pub fn march_y() -> MarchTest {
+    must("March Y", "{c(w0); ⇑(r0,w1,r1); ⇓(r1,w0,r0); c(r0)}")
+}
+
+/// March C, 11n: the original Marinescu algorithm (contains a redundant
+/// middle `c(r0)`).
+pub fn march_c() -> MarchTest {
+    must(
+        "March C",
+        "{c(w0); ⇑(r0,w1); ⇑(r1,w0); c(r0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}",
+    )
+}
+
+/// March C-, 10n: the redundancy-free March C; detects all unlinked SAF,
+/// TF, CFin, CFid, CFst and AF.
+pub fn march_c_minus() -> MarchTest {
+    must(
+        "March C-",
+        "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}",
+    )
+}
+
+/// March A, 15n: linked coupling-fault coverage.
+pub fn march_a() -> MarchTest {
+    must(
+        "March A",
+        "{c(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+    )
+}
+
+/// March B, 17n: March A plus linked TF coverage.
+pub fn march_b() -> MarchTest {
+    must(
+        "March B",
+        "{c(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+    )
+}
+
+/// March LR, 14n: realistic linked-fault coverage (van de Goor & Gaydadjiev).
+pub fn march_lr() -> MarchTest {
+    must(
+        "March LR",
+        "{c(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); c(r0)}",
+    )
+}
+
+/// PMOVI, 13n: the MOVI core without the address-shift repetitions.
+pub fn pmovi() -> MarchTest {
+    must(
+        "PMOVI",
+        "{⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0)}",
+    )
+}
+
+/// March SS, 22n: detects all *simple static* faults including read/write
+/// disturb families (Hamdioui, Al-Ars & van de Goor, VTS 2002).
+pub fn march_ss() -> MarchTest {
+    must(
+        "March SS",
+        "{c(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0); ⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); c(r0)}",
+    )
+}
+
+/// All library tests, shortest first.
+pub fn all() -> Vec<MarchTest> {
+    vec![
+        mats(),
+        mats_plus(),
+        mats_plus_plus(),
+        march_x(),
+        march_y(),
+        march_c_minus(),
+        march_c(),
+        pmovi(),
+        march_lr(),
+        march_a(),
+        march_b(),
+        march_ss(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_complexities() {
+        let expected = [
+            ("MATS", 4),
+            ("MATS+", 5),
+            ("MATS++", 6),
+            ("March X", 6),
+            ("March Y", 8),
+            ("March C-", 10),
+            ("March C", 11),
+            ("PMOVI", 13),
+            ("March LR", 14),
+            ("March A", 15),
+            ("March B", 17),
+            ("March SS", 22),
+        ];
+        let tests = all();
+        assert_eq!(tests.len(), expected.len());
+        for (t, (name, k)) in tests.iter().zip(expected) {
+            assert_eq!(t.name(), name);
+            assert_eq!(t.ops_per_cell(), k, "{name}");
+        }
+    }
+
+    #[test]
+    fn paper_example_is_mats_plus() {
+        // §1 of the paper: "MarchA = {c(w0); ⇑(r0w1); ⇓(r1w0)}" — the
+        // element structure quoted there is the one known as MATS+.
+        assert_eq!(mats_plus().to_string(), "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+    }
+
+    #[test]
+    fn all_tests_have_unique_names() {
+        let tests = all();
+        let mut names: Vec<&str> = tests.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), tests.len());
+    }
+
+    #[test]
+    fn every_test_initialises_before_reading() {
+        // First element of every library test must be write-only (otherwise
+        // results depend on power-up state).
+        for t in all() {
+            let first = &t.elements()[0];
+            assert!(
+                first.ops.iter().all(|op| matches!(op, crate::Op::Write(_))),
+                "{} reads before initialising",
+                t.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The formal March notation.
+//!
+//! A March test is a sequence of *March elements*; each element traverses
+//! the whole address space in a fixed order applying the same short
+//! sequence of read/write operations to every cell. The notation follows
+//! van de Goor: `{c(w0); ⇑(r0,w1); ⇓(r1,w0)}` where `⇑`/`⇓`/`c` denote
+//! ascending / descending / don't-care address order and `r d`/`w d` read
+//! (expecting) or write the logical value `d ∈ {0, 1}`.
+//!
+//! For word-oriented memories the logical values are expanded through a
+//! *data background* `B`: logical 0 writes `B`, logical 1 writes `¬B`
+//! (default background all-zeros reproduces the bit-oriented behaviour).
+
+/// A logical March data value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Logic {
+    /// Logical 0 — the data background itself.
+    Zero,
+    /// Logical 1 — the complemented background.
+    One,
+}
+
+impl Logic {
+    /// Expands the logical value through a data background.
+    pub fn expand(self, background: u64, mask: u64) -> u64 {
+        match self {
+            Logic::Zero => background & mask,
+            Logic::One => !background & mask,
+        }
+    }
+
+    /// The complementary value.
+    pub fn complement(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+        }
+    }
+}
+
+/// One read or write operation within a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Read and compare against the expected logical value.
+    Read(Logic),
+    /// Write the logical value.
+    Write(Logic),
+}
+
+impl Op {
+    /// `r0` shorthand.
+    pub const R0: Op = Op::Read(Logic::Zero);
+    /// `r1` shorthand.
+    pub const R1: Op = Op::Read(Logic::One);
+    /// `w0` shorthand.
+    pub const W0: Op = Op::Write(Logic::Zero);
+    /// `w1` shorthand.
+    pub const W1: Op = Op::Write(Logic::One);
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Read(Logic::Zero) => write!(f, "r0"),
+            Op::Read(Logic::One) => write!(f, "r1"),
+            Op::Write(Logic::Zero) => write!(f, "w0"),
+            Op::Write(Logic::One) => write!(f, "w1"),
+        }
+    }
+}
+
+/// Address traversal order of a March element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrOrder {
+    /// `⇑` — ascending addresses `0 → n−1`.
+    Up,
+    /// `⇓` — descending addresses `n−1 → 0`.
+    Down,
+    /// `c` — don't care (executed ascending by convention).
+    Any,
+}
+
+impl std::fmt::Display for AddrOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddrOrder::Up => write!(f, "⇑"),
+            AddrOrder::Down => write!(f, "⇓"),
+            AddrOrder::Any => write!(f, "c"),
+        }
+    }
+}
+
+/// One March element: an address order plus an operation sequence applied
+/// to every cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchElement {
+    /// Traversal order.
+    pub order: AddrOrder,
+    /// Operations applied at every address.
+    pub ops: Vec<Op>,
+}
+
+impl MarchElement {
+    /// Creates an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(order: AddrOrder, ops: Vec<Op>) -> MarchElement {
+        assert!(!ops.is_empty(), "march element needs at least one operation");
+        MarchElement { order, ops }
+    }
+}
+
+impl std::fmt::Display for MarchElement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.order)?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A complete March test.
+///
+/// # Example
+///
+/// ```
+/// use prt_march::{AddrOrder, MarchElement, MarchTest, Op};
+///
+/// let mats_plus = MarchTest::new(
+///     "MATS+",
+///     vec![
+///         MarchElement::new(AddrOrder::Any, vec![Op::W0]),
+///         MarchElement::new(AddrOrder::Up, vec![Op::R0, Op::W1]),
+///         MarchElement::new(AddrOrder::Down, vec![Op::R1, Op::W0]),
+///     ],
+/// );
+/// assert_eq!(mats_plus.ops_per_cell(), 5); // the classic "5n" complexity
+/// assert_eq!(mats_plus.to_string(), "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MarchTest {
+    name: String,
+    elements: Vec<MarchElement>,
+}
+
+impl MarchTest {
+    /// Creates a named test from its elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements` is empty.
+    pub fn new(name: impl Into<String>, elements: Vec<MarchElement>) -> MarchTest {
+        assert!(!elements.is_empty(), "march test needs at least one element");
+        MarchTest { name: name.into(), elements }
+    }
+
+    /// The test's name (e.g. `"March C-"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The elements in execution order.
+    pub fn elements(&self) -> &[MarchElement] {
+        &self.elements
+    }
+
+    /// Operations applied per memory cell — the `k` in the classic `kn`
+    /// complexity figure.
+    pub fn ops_per_cell(&self) -> usize {
+        self.elements.iter().map(|e| e.ops.len()).sum()
+    }
+
+    /// Total operations on an `n`-cell memory.
+    pub fn total_ops(&self, n: usize) -> u64 {
+        self.ops_per_cell() as u64 * n as u64
+    }
+}
+
+impl std::fmt::Display for MarchTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_expansion_with_background() {
+        assert_eq!(Logic::Zero.expand(0b0000, 0xF), 0b0000);
+        assert_eq!(Logic::One.expand(0b0000, 0xF), 0b1111);
+        // checkerboard background
+        assert_eq!(Logic::Zero.expand(0b0101, 0xF), 0b0101);
+        assert_eq!(Logic::One.expand(0b0101, 0xF), 0b1010);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        assert_eq!(Logic::Zero.complement().complement(), Logic::Zero);
+        assert_eq!(Logic::One.complement(), Logic::Zero);
+    }
+
+    #[test]
+    fn ops_display() {
+        assert_eq!(Op::R0.to_string(), "r0");
+        assert_eq!(Op::W1.to_string(), "w1");
+    }
+
+    #[test]
+    fn element_display() {
+        let e = MarchElement::new(AddrOrder::Up, vec![Op::R0, Op::W1]);
+        assert_eq!(e.to_string(), "⇑(r0,w1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn empty_element_panics() {
+        let _ = MarchElement::new(AddrOrder::Up, vec![]);
+    }
+
+    #[test]
+    fn test_complexity() {
+        let t = MarchTest::new(
+            "toy",
+            vec![
+                MarchElement::new(AddrOrder::Any, vec![Op::W0]),
+                MarchElement::new(AddrOrder::Up, vec![Op::R0, Op::W1, Op::R1]),
+            ],
+        );
+        assert_eq!(t.ops_per_cell(), 4);
+        assert_eq!(t.total_ops(10), 40);
+        assert_eq!(t.name(), "toy");
+    }
+}

@@ -1,0 +1,165 @@
+//! Parser for the formal March notation.
+//!
+//! Accepts the Unicode form used in the literature and an ASCII equivalent:
+//!
+//! ```text
+//! {c(w0); ⇑(r0,w1); ⇓(r1,w0)}          # van de Goor / paper notation
+//! {any(w0); up(r0,w1); down(r1,w0)}    # ASCII keywords
+//! {~(w0); ^(r0,w1); v(r1,w0)}          # ASCII symbols
+//! ```
+//!
+//! [`parse`] round-trips with [`MarchTest`]'s `Display` implementation.
+
+use crate::notation::{AddrOrder, Logic, MarchElement, MarchTest, Op};
+use crate::MarchError;
+
+/// Parses March notation into a [`MarchTest`].
+///
+/// # Errors
+///
+/// Returns a [`MarchError`] describing the first syntactic problem.
+///
+/// # Example
+///
+/// ```
+/// let t = prt_march::parse("MATS+", "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}")?;
+/// assert_eq!(t.ops_per_cell(), 5);
+/// assert_eq!(t.to_string(), "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+/// # Ok::<(), prt_march::MarchError>(())
+/// ```
+pub fn parse(name: &str, notation: &str) -> Result<MarchTest, MarchError> {
+    let s = notation.trim();
+    if s.is_empty() {
+        return Err(MarchError::Empty);
+    }
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or(MarchError::UnbalancedBraces)?;
+    let mut elements = Vec::new();
+    for raw in inner.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        elements.push(parse_element(raw)?);
+    }
+    if elements.is_empty() {
+        return Err(MarchError::Empty);
+    }
+    Ok(MarchTest::new(name, elements))
+}
+
+fn parse_element(text: &str) -> Result<MarchElement, MarchError> {
+    let open = text.find('(').ok_or_else(|| MarchError::MalformedElement {
+        text: text.to_string(),
+    })?;
+    if !text.ends_with(')') {
+        return Err(MarchError::MalformedElement { text: text.to_string() });
+    }
+    let order_sym = text[..open].trim();
+    let order = parse_order(order_sym)?;
+    let ops_text = &text[open + 1..text.len() - 1];
+    let mut ops = Vec::new();
+    for tok in ops_text.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        ops.push(parse_op(tok)?);
+    }
+    if ops.is_empty() {
+        return Err(MarchError::EmptyElement);
+    }
+    Ok(MarchElement::new(order, ops))
+}
+
+fn parse_order(sym: &str) -> Result<AddrOrder, MarchError> {
+    match sym {
+        "⇑" | "↑" | "^" | "up" | "u" => Ok(AddrOrder::Up),
+        "⇓" | "↓" | "v" | "down" | "d" => Ok(AddrOrder::Down),
+        "c" | "~" | "any" | "" => Ok(AddrOrder::Any),
+        other => Err(MarchError::UnknownOrder { symbol: other.to_string() }),
+    }
+}
+
+fn parse_op(tok: &str) -> Result<Op, MarchError> {
+    match tok.to_ascii_lowercase().as_str() {
+        "r0" => Ok(Op::Read(Logic::Zero)),
+        "r1" => Ok(Op::Read(Logic::One)),
+        "w0" => Ok(Op::Write(Logic::Zero)),
+        "w1" => Ok(Op::Write(Logic::One)),
+        other => Err(MarchError::UnknownOp { token: other.to_string() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unicode_notation() {
+        let t = parse("MATS+", "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}").unwrap();
+        assert_eq!(t.elements().len(), 3);
+        assert_eq!(t.elements()[1].order, AddrOrder::Up);
+        assert_eq!(t.elements()[1].ops, vec![Op::R0, Op::W1]);
+        assert_eq!(t.ops_per_cell(), 5);
+    }
+
+    #[test]
+    fn parses_ascii_keyword_notation() {
+        let t = parse("x", "{any(w0); up(r0,w1); down(r1,w0)}").unwrap();
+        assert_eq!(t.to_string(), "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+    }
+
+    #[test]
+    fn parses_ascii_symbol_notation() {
+        let t = parse("x", "{~(w0); ^(r0,w1); v(r1,w0)}").unwrap();
+        assert_eq!(t.to_string(), "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}");
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let texts = [
+            "{c(w0); ⇑(r0,w1); ⇓(r1,w0)}",
+            "{c(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
+        ];
+        for text in texts {
+            let t = parse("t", text).unwrap();
+            assert_eq!(t.to_string(), text);
+            let t2 = parse("t", &t.to_string()).unwrap();
+            assert_eq!(t, t2);
+        }
+    }
+
+    #[test]
+    fn library_tests_roundtrip() {
+        for t in crate::library::all() {
+            let reparsed = parse(t.name(), &t.to_string()).unwrap();
+            assert_eq!(&reparsed, &t, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse("e", ""), Err(MarchError::Empty)));
+        assert!(matches!(parse("e", "c(w0)"), Err(MarchError::UnbalancedBraces)));
+        assert!(matches!(
+            parse("e", "{c w0}"),
+            Err(MarchError::MalformedElement { .. })
+        ));
+        assert!(matches!(
+            parse("e", "{q(w0)}"),
+            Err(MarchError::UnknownOrder { .. })
+        ));
+        assert!(matches!(parse("e", "{c(w2)}"), Err(MarchError::UnknownOp { .. })));
+        assert!(matches!(parse("e", "{c()}"), Err(MarchError::EmptyElement)));
+        assert!(matches!(parse("e", "{}"), Err(MarchError::Empty)));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let t = parse("x", "{ c ( w0 ) ;  ⇑ ( r0 , w1 ) }").unwrap();
+        assert_eq!(t.ops_per_cell(), 3);
+    }
+}

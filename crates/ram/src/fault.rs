@@ -1,0 +1,585 @@
+//! Functional memory fault models.
+//!
+//! Variants follow the taxonomy of van de Goor, *Testing Semiconductor
+//! Memories* (the paper's reference \[1\]). Every variant documents the exact
+//! observable semantics the simulator implements, because several textbook
+//! faults leave room for interpretation; the choices below are the standard
+//! ones used in March-test proofs, and experiment E10 validates them by
+//! reproducing the known coverage table of the classic March algorithms.
+//!
+//! Fault sites are `(cell, bit)` pairs so that *intra-word* faults of
+//! word-oriented memories (coupling between bits of one cell) are expressible
+//! — the paper's §2 discusses exactly those.
+//!
+//! # Application order
+//!
+//! On a write to a cell: stuck-open (write lost) → transition blocking →
+//! write-disturb → stuck-at enforcement → store → coupling triggers (CFin /
+//! CFid on the bits that actually flipped, one level, no cascading) → state
+//! coupling (CFst) enforcement.
+//!
+//! On a read: stuck-open (sense-amp latch) → data-retention decay → CFst
+//! enforcement → stuck-at enforcement → destructive/deceptive read flips →
+//! incorrect-read output inversion.
+
+use crate::{Geometry, RamError};
+use std::collections::HashMap;
+
+/// Direction of the aggressor transition that triggers a coupling fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CouplingTrigger {
+    /// Aggressor bit transitions 0 → 1 (written ↑).
+    Rise,
+    /// Aggressor bit transitions 1 → 0 (written ↓).
+    Fall,
+}
+
+/// A single functional fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// SAF — the bit always holds `value`; writes cannot change it and
+    /// reads always observe it.
+    StuckAt {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit within the cell.
+        bit: u32,
+        /// The stuck value (0 or 1).
+        value: u8,
+    },
+    /// TF — the bit cannot make one transition direction. With
+    /// `rising = true` the bit cannot go 0 → 1 (an up-transition fault
+    /// ⟨↑/0⟩); with `rising = false` it cannot go 1 → 0.
+    Transition {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit.
+        bit: u32,
+        /// Which transition is blocked.
+        rising: bool,
+    },
+    /// CFin — inversion coupling: when the aggressor bit makes the trigger
+    /// transition (via a write), the victim bit is inverted.
+    CouplingInversion {
+        /// Aggressor cell.
+        agg_cell: usize,
+        /// Aggressor bit.
+        agg_bit: u32,
+        /// Victim cell.
+        victim_cell: usize,
+        /// Victim bit.
+        victim_bit: u32,
+        /// Aggressor transition that fires the fault.
+        trigger: CouplingTrigger,
+    },
+    /// CFid — idempotent coupling: when the aggressor bit makes the trigger
+    /// transition, the victim bit is forced to `force`.
+    CouplingIdempotent {
+        /// Aggressor cell.
+        agg_cell: usize,
+        /// Aggressor bit.
+        agg_bit: u32,
+        /// Victim cell.
+        victim_cell: usize,
+        /// Victim bit.
+        victim_bit: u32,
+        /// Aggressor transition that fires the fault.
+        trigger: CouplingTrigger,
+        /// Value forced into the victim (0 or 1).
+        force: u8,
+    },
+    /// CFst — state coupling: while the aggressor bit holds `agg_state`,
+    /// the victim bit is forced to `force`. Enforced when the aggressor is
+    /// written into the state, when the victim is written while the
+    /// condition holds, and when the victim is read while the condition
+    /// holds.
+    CouplingState {
+        /// Aggressor cell.
+        agg_cell: usize,
+        /// Aggressor bit.
+        agg_bit: u32,
+        /// Aggressor state that activates the fault (0 or 1).
+        agg_state: u8,
+        /// Victim cell.
+        victim_cell: usize,
+        /// Victim bit.
+        victim_bit: u32,
+        /// Value forced into the victim (0 or 1).
+        force: u8,
+    },
+    /// AF type A/B — the address decodes to no cell: reads float to the
+    /// wired default (all-0 for wired-OR bitlines, all-1 for wired-AND) and
+    /// writes are lost. The cell that should belong to `addr` becomes
+    /// unreachable through this address.
+    DecoderNoAccess {
+        /// The faulty address.
+        addr: usize,
+    },
+    /// AF type C — the address accesses its own cell *plus* `extra_cell`:
+    /// writes hit both, reads return the wired combination.
+    DecoderExtraCell {
+        /// The faulty address.
+        addr: usize,
+        /// The additional cell erroneously selected.
+        extra_cell: usize,
+    },
+    /// AF type D — the address accesses `instead_cell` *instead of* its own
+    /// cell (so `instead_cell` is reachable through two addresses and the
+    /// cell of `addr` through none).
+    DecoderShadow {
+        /// The faulty address.
+        addr: usize,
+        /// The cell erroneously selected.
+        instead_cell: usize,
+    },
+    /// SOF — stuck-open cell: writes are lost and reads return the previous
+    /// value latched in the port's sense amplifier.
+    StuckOpen {
+        /// The inaccessible cell.
+        cell: usize,
+    },
+    /// RDF — destructive read: a read flips the bit and returns the *new*
+    /// (incorrect) value.
+    ReadDestructive {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit.
+        bit: u32,
+    },
+    /// DRDF — deceptive destructive read: a read flips the bit but returns
+    /// the *old* (correct) value, deferring detection to a later read.
+    DeceptiveRead {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit.
+        bit: u32,
+    },
+    /// IRF — incorrect read: the read returns the complement of the bit;
+    /// the stored value is unchanged.
+    IncorrectRead {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit.
+        bit: u32,
+    },
+    /// WDF — write disturb: a *non-transition* write (writing the value the
+    /// bit already holds) flips the bit.
+    WriteDisturb {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit.
+        bit: u32,
+    },
+    /// DRF — data retention: if the cell is not rewritten within `after`
+    /// device operations, the bit decays to `decays_to` (observed at the
+    /// next read).
+    DataRetention {
+        /// Victim cell.
+        cell: usize,
+        /// Victim bit.
+        bit: u32,
+        /// The value the bit leaks towards (0 or 1).
+        decays_to: u8,
+        /// Retention time in device operations.
+        after: u64,
+    },
+    /// Static NPSF — neighbourhood pattern sensitive fault: whenever every
+    /// listed neighbour bit holds its listed value, the victim bit is
+    /// forced to `force`. Enforced after writes to neighbours and at reads
+    /// of the victim.
+    Npsf {
+        /// Victim cell.
+        victim_cell: usize,
+        /// Victim bit.
+        victim_bit: u32,
+        /// `(cell, bit, value)` conditions that must all hold.
+        neighbors: Vec<(usize, u32, u8)>,
+        /// Value forced into the victim (0 or 1).
+        force: u8,
+    },
+}
+
+impl FaultKind {
+    /// A short mnemonic for tables: `SAF`, `TF`, `CFin`, ….
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            FaultKind::StuckAt { .. } => "SAF",
+            FaultKind::Transition { .. } => "TF",
+            FaultKind::CouplingInversion { .. } => "CFin",
+            FaultKind::CouplingIdempotent { .. } => "CFid",
+            FaultKind::CouplingState { .. } => "CFst",
+            FaultKind::DecoderNoAccess { .. }
+            | FaultKind::DecoderExtraCell { .. }
+            | FaultKind::DecoderShadow { .. } => "AF",
+            FaultKind::StuckOpen { .. } => "SOF",
+            FaultKind::ReadDestructive { .. } => "RDF",
+            FaultKind::DeceptiveRead { .. } => "DRDF",
+            FaultKind::IncorrectRead { .. } => "IRF",
+            FaultKind::WriteDisturb { .. } => "WDF",
+            FaultKind::DataRetention { .. } => "DRF",
+            FaultKind::Npsf { .. } => "NPSF",
+        }
+    }
+
+    /// Validates all sites against a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Address/bit range errors, or [`RamError::SelfCoupling`] when a
+    /// coupling fault's aggressor and victim coincide.
+    pub fn validate(&self, geom: &Geometry) -> Result<(), RamError> {
+        let site = |cell: usize, bit: u32| -> Result<(), RamError> {
+            geom.check_addr(cell)?;
+            geom.check_bit(bit)
+        };
+        match self {
+            FaultKind::StuckAt { cell, bit, .. }
+            | FaultKind::Transition { cell, bit, .. }
+            | FaultKind::ReadDestructive { cell, bit }
+            | FaultKind::DeceptiveRead { cell, bit }
+            | FaultKind::IncorrectRead { cell, bit }
+            | FaultKind::WriteDisturb { cell, bit }
+            | FaultKind::DataRetention { cell, bit, .. } => site(*cell, *bit),
+            FaultKind::StuckOpen { cell } => geom.check_addr(*cell),
+            FaultKind::CouplingInversion { agg_cell, agg_bit, victim_cell, victim_bit, .. }
+            | FaultKind::CouplingIdempotent {
+                agg_cell, agg_bit, victim_cell, victim_bit, ..
+            }
+            | FaultKind::CouplingState { agg_cell, agg_bit, victim_cell, victim_bit, .. } => {
+                site(*agg_cell, *agg_bit)?;
+                site(*victim_cell, *victim_bit)?;
+                if agg_cell == victim_cell && agg_bit == victim_bit {
+                    return Err(RamError::SelfCoupling { cell: *agg_cell });
+                }
+                Ok(())
+            }
+            FaultKind::DecoderNoAccess { addr } => geom.check_addr(*addr),
+            FaultKind::DecoderExtraCell { addr, extra_cell } => {
+                geom.check_addr(*addr)?;
+                geom.check_addr(*extra_cell)?;
+                if addr == extra_cell {
+                    return Err(RamError::SelfCoupling { cell: *addr });
+                }
+                Ok(())
+            }
+            FaultKind::DecoderShadow { addr, instead_cell } => {
+                geom.check_addr(*addr)?;
+                geom.check_addr(*instead_cell)?;
+                if addr == instead_cell {
+                    return Err(RamError::SelfCoupling { cell: *addr });
+                }
+                Ok(())
+            }
+            FaultKind::Npsf { victim_cell, victim_bit, neighbors, .. } => {
+                site(*victim_cell, *victim_bit)?;
+                for &(c, b, _) in neighbors {
+                    site(c, b)?;
+                    if c == *victim_cell && b == *victim_bit {
+                        return Err(RamError::SelfCoupling { cell: c });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::StuckAt { cell, bit, value } => write!(f, "SA{value}@{cell}.{bit}"),
+            FaultKind::Transition { cell, bit, rising } => {
+                write!(f, "TF{}@{cell}.{bit}", if *rising { "↑" } else { "↓" })
+            }
+            FaultKind::CouplingInversion { agg_cell, agg_bit, victim_cell, victim_bit, trigger } => {
+                write!(
+                    f,
+                    "CFin⟨{}⟩ {agg_cell}.{agg_bit}→{victim_cell}.{victim_bit}",
+                    match trigger {
+                        CouplingTrigger::Rise => "↑",
+                        CouplingTrigger::Fall => "↓",
+                    }
+                )
+            }
+            FaultKind::CouplingIdempotent {
+                agg_cell, agg_bit, victim_cell, victim_bit, trigger, force,
+            } => write!(
+                f,
+                "CFid⟨{};{force}⟩ {agg_cell}.{agg_bit}→{victim_cell}.{victim_bit}",
+                match trigger {
+                    CouplingTrigger::Rise => "↑",
+                    CouplingTrigger::Fall => "↓",
+                }
+            ),
+            FaultKind::CouplingState {
+                agg_cell, agg_bit, agg_state, victim_cell, victim_bit, force,
+            } => write!(
+                f,
+                "CFst⟨{agg_state};{force}⟩ {agg_cell}.{agg_bit}→{victim_cell}.{victim_bit}"
+            ),
+            FaultKind::DecoderNoAccess { addr } => write!(f, "AF-none@{addr}"),
+            FaultKind::DecoderExtraCell { addr, extra_cell } => {
+                write!(f, "AF-extra@{addr}+{extra_cell}")
+            }
+            FaultKind::DecoderShadow { addr, instead_cell } => {
+                write!(f, "AF-shadow@{addr}→{instead_cell}")
+            }
+            FaultKind::StuckOpen { cell } => write!(f, "SOF@{cell}"),
+            FaultKind::ReadDestructive { cell, bit } => write!(f, "RDF@{cell}.{bit}"),
+            FaultKind::DeceptiveRead { cell, bit } => write!(f, "DRDF@{cell}.{bit}"),
+            FaultKind::IncorrectRead { cell, bit } => write!(f, "IRF@{cell}.{bit}"),
+            FaultKind::WriteDisturb { cell, bit } => write!(f, "WDF@{cell}.{bit}"),
+            FaultKind::DataRetention { cell, bit, decays_to, after } => {
+                write!(f, "DRF→{decays_to}({after})@{cell}.{bit}")
+            }
+            FaultKind::Npsf { victim_cell, victim_bit, force, .. } => {
+                write!(f, "NPSF⟨{force}⟩@{victim_cell}.{victim_bit}")
+            }
+        }
+    }
+}
+
+/// An indexed collection of faults, organised for O(1) lookup on the hot
+/// access path.
+#[derive(Debug, Clone, Default)]
+pub struct FaultBank {
+    faults: Vec<FaultKind>,
+    /// Fault indices whose *victim site* lies in the keyed cell (everything
+    /// except decoder faults and pure aggressor roles).
+    by_victim: HashMap<usize, Vec<usize>>,
+    /// Fault indices with a coupling/NPSF *aggressor or neighbour* in the
+    /// keyed cell.
+    by_aggressor: HashMap<usize, Vec<usize>>,
+    /// Decoder behaviour overrides by address.
+    decoder: HashMap<usize, DecoderMap>,
+}
+
+/// Resolved decoder behaviour for one address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecoderMap {
+    /// No cell is selected.
+    None,
+    /// The listed cells are selected (1 = normal, ≥2 = multi-select).
+    Cells(Vec<usize>),
+}
+
+impl FaultBank {
+    /// Creates an empty bank.
+    pub fn new() -> FaultBank {
+        FaultBank::default()
+    }
+
+    /// `true` when no faults are present (fast-path check).
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The injected faults in insertion order.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// Adds a fault after validating it against the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultKind::validate`] errors.
+    pub fn add(&mut self, geom: &Geometry, fault: FaultKind) -> Result<(), RamError> {
+        fault.validate(geom)?;
+        let idx = self.faults.len();
+        match &fault {
+            FaultKind::StuckAt { cell, .. }
+            | FaultKind::Transition { cell, .. }
+            | FaultKind::StuckOpen { cell }
+            | FaultKind::ReadDestructive { cell, .. }
+            | FaultKind::DeceptiveRead { cell, .. }
+            | FaultKind::IncorrectRead { cell, .. }
+            | FaultKind::WriteDisturb { cell, .. }
+            | FaultKind::DataRetention { cell, .. } => {
+                self.by_victim.entry(*cell).or_default().push(idx);
+            }
+            FaultKind::CouplingInversion { agg_cell, victim_cell, .. }
+            | FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. }
+            | FaultKind::CouplingState { agg_cell, victim_cell, .. } => {
+                self.by_aggressor.entry(*agg_cell).or_default().push(idx);
+                self.by_victim.entry(*victim_cell).or_default().push(idx);
+            }
+            FaultKind::DecoderNoAccess { addr } => {
+                self.decoder.insert(*addr, DecoderMap::None);
+            }
+            FaultKind::DecoderExtraCell { addr, extra_cell } => {
+                self.decoder.insert(*addr, DecoderMap::Cells(vec![*addr, *extra_cell]));
+            }
+            FaultKind::DecoderShadow { addr, instead_cell } => {
+                self.decoder.insert(*addr, DecoderMap::Cells(vec![*instead_cell]));
+            }
+            FaultKind::Npsf { victim_cell, neighbors, .. } => {
+                self.by_victim.entry(*victim_cell).or_default().push(idx);
+                for &(c, _, _) in neighbors {
+                    self.by_aggressor.entry(c).or_default().push(idx);
+                }
+            }
+        }
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// Decoder mapping for an address (`Cells(vec![addr])` when fault-free).
+    pub fn map_addr(&self, addr: usize) -> DecoderMap {
+        match self.decoder.get(&addr) {
+            Some(m) => m.clone(),
+            None => DecoderMap::Cells(vec![addr]),
+        }
+    }
+
+    /// Fault indices with victim site in `cell`.
+    pub fn victims_in(&self, cell: usize) -> &[usize] {
+        self.by_victim.get(&cell).map_or(&[], Vec::as_slice)
+    }
+
+    /// Fault indices with an aggressor/neighbour in `cell`.
+    pub fn aggressors_in(&self, cell: usize) -> &[usize] {
+        self.by_aggressor.get(&cell).map_or(&[], Vec::as_slice)
+    }
+
+    /// The fault at a given index.
+    pub fn fault(&self, idx: usize) -> &FaultKind {
+        &self.faults[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::wom(8, 4).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_sites() {
+        let g = geom();
+        assert!(FaultKind::StuckAt { cell: 8, bit: 0, value: 0 }.validate(&g).is_err());
+        assert!(FaultKind::StuckAt { cell: 0, bit: 4, value: 0 }.validate(&g).is_err());
+        assert!(FaultKind::StuckAt { cell: 7, bit: 3, value: 1 }.validate(&g).is_ok());
+        assert!(matches!(
+            FaultKind::CouplingInversion {
+                agg_cell: 1,
+                agg_bit: 2,
+                victim_cell: 1,
+                victim_bit: 2,
+                trigger: CouplingTrigger::Rise
+            }
+            .validate(&g),
+            Err(RamError::SelfCoupling { .. })
+        ));
+        // Intra-word coupling between different bits of one cell is legal.
+        assert!(FaultKind::CouplingInversion {
+            agg_cell: 1,
+            agg_bit: 2,
+            victim_cell: 1,
+            victim_bit: 3,
+            trigger: CouplingTrigger::Rise
+        }
+        .validate(&g)
+        .is_ok());
+    }
+
+    #[test]
+    fn bank_indexes_victims_and_aggressors() {
+        let g = geom();
+        let mut b = FaultBank::new();
+        b.add(&g, FaultKind::StuckAt { cell: 3, bit: 0, value: 1 }).unwrap();
+        b.add(
+            &g,
+            FaultKind::CouplingIdempotent {
+                agg_cell: 1,
+                agg_bit: 0,
+                victim_cell: 5,
+                victim_bit: 2,
+                trigger: CouplingTrigger::Fall,
+                force: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.victims_in(3), &[0]);
+        assert_eq!(b.victims_in(5), &[1]);
+        assert_eq!(b.aggressors_in(1), &[1]);
+        assert!(b.victims_in(0).is_empty());
+    }
+
+    #[test]
+    fn decoder_mapping() {
+        let g = geom();
+        let mut b = FaultBank::new();
+        b.add(&g, FaultKind::DecoderNoAccess { addr: 2 }).unwrap();
+        b.add(&g, FaultKind::DecoderExtraCell { addr: 3, extra_cell: 6 }).unwrap();
+        b.add(&g, FaultKind::DecoderShadow { addr: 4, instead_cell: 0 }).unwrap();
+        assert_eq!(b.map_addr(2), DecoderMap::None);
+        assert_eq!(b.map_addr(3), DecoderMap::Cells(vec![3, 6]));
+        assert_eq!(b.map_addr(4), DecoderMap::Cells(vec![0]));
+        assert_eq!(b.map_addr(5), DecoderMap::Cells(vec![5]));
+    }
+
+    #[test]
+    fn mnemonics_cover_all_kinds() {
+        let cases = vec![
+            (FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, "SAF"),
+            (FaultKind::Transition { cell: 0, bit: 0, rising: true }, "TF"),
+            (FaultKind::StuckOpen { cell: 0 }, "SOF"),
+            (FaultKind::ReadDestructive { cell: 0, bit: 0 }, "RDF"),
+            (FaultKind::DeceptiveRead { cell: 0, bit: 0 }, "DRDF"),
+            (FaultKind::IncorrectRead { cell: 0, bit: 0 }, "IRF"),
+            (FaultKind::WriteDisturb { cell: 0, bit: 0 }, "WDF"),
+            (FaultKind::DecoderNoAccess { addr: 0 }, "AF"),
+            (
+                FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 10 },
+                "DRF",
+            ),
+        ];
+        for (k, m) in cases {
+            assert_eq!(k.mnemonic(), m);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let f = FaultKind::StuckAt { cell: 3, bit: 1, value: 0 };
+        assert_eq!(f.to_string(), "SA0@3.1");
+        let c = FaultKind::CouplingState {
+            agg_cell: 1,
+            agg_bit: 0,
+            agg_state: 1,
+            victim_cell: 2,
+            victim_bit: 0,
+            force: 0,
+        };
+        assert_eq!(c.to_string(), "CFst⟨1;0⟩ 1.0→2.0");
+    }
+
+    #[test]
+    fn npsf_validation() {
+        let g = geom();
+        let ok = FaultKind::Npsf {
+            victim_cell: 4,
+            victim_bit: 0,
+            neighbors: vec![(3, 0, 1), (5, 0, 0)],
+            force: 1,
+        };
+        assert!(ok.validate(&g).is_ok());
+        let self_ref = FaultKind::Npsf {
+            victim_cell: 4,
+            victim_bit: 0,
+            neighbors: vec![(4, 0, 1)],
+            force: 1,
+        };
+        assert!(matches!(self_ref.validate(&g), Err(RamError::SelfCoupling { .. })));
+    }
+}

@@ -1,0 +1,176 @@
+//! Memory array geometry.
+
+use crate::RamError;
+
+/// Shape of a memory array: `cells` words of `width` bits.
+///
+/// The paper's taxonomy: *bit-oriented memory* (BOM) has `width = 1`;
+/// *word-oriented memory* (WOM) has `width > 1`.
+///
+/// # Example
+///
+/// ```
+/// use prt_ram::Geometry;
+///
+/// let bom = Geometry::bom(64);
+/// assert_eq!((bom.cells(), bom.width()), (64, 1));
+/// let wom = Geometry::wom(16, 4)?;
+/// assert_eq!(wom.capacity_bits(), 64);
+/// # Ok::<(), prt_ram::RamError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    cells: usize,
+    width: u32,
+}
+
+impl Geometry {
+    /// Maximum supported cell width (bits per word).
+    pub const MAX_WIDTH: u32 = 32;
+
+    /// Bit-oriented memory: `n` one-bit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn bom(cells: usize) -> Geometry {
+        assert!(cells > 0, "memory must have at least one cell");
+        Geometry { cells, width: 1 }
+    }
+
+    /// Word-oriented memory: `cells` words of `width` bits.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::UnsupportedGeometry`] if `cells == 0`, `width == 0`, or
+    /// `width` exceeds [`Geometry::MAX_WIDTH`].
+    pub fn wom(cells: usize, width: u32) -> Result<Geometry, RamError> {
+        if cells == 0 {
+            return Err(RamError::UnsupportedGeometry { reason: "zero cells" });
+        }
+        if width == 0 || width > Self::MAX_WIDTH {
+            return Err(RamError::UnsupportedGeometry { reason: "width must be 1..=32" });
+        }
+        Ok(Geometry { cells, width })
+    }
+
+    /// Number of addressable cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Bits per cell.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u128 {
+        self.cells as u128 * self.width as u128
+    }
+
+    /// Mask selecting the valid data bits of a word.
+    pub fn data_mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// `true` for bit-oriented memories.
+    pub fn is_bom(&self) -> bool {
+        self.width == 1
+    }
+
+    /// Validates an address.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::AddressOutOfRange`] if `addr ≥ cells`.
+    pub fn check_addr(&self, addr: usize) -> Result<(), RamError> {
+        if addr < self.cells {
+            Ok(())
+        } else {
+            Err(RamError::AddressOutOfRange { addr, cells: self.cells })
+        }
+    }
+
+    /// Validates a data word.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::DataOutOfRange`] if `data` has bits above the width.
+    pub fn check_data(&self, data: u64) -> Result<(), RamError> {
+        if data & !self.data_mask() == 0 {
+            Ok(())
+        } else {
+            Err(RamError::DataOutOfRange { data, width: self.width })
+        }
+    }
+
+    /// Validates a bit index.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::BitOutOfRange`] if `bit ≥ width`.
+    pub fn check_bit(&self, bit: u32) -> Result<(), RamError> {
+        if bit < self.width {
+            Ok(())
+        } else {
+            Err(RamError::BitOutOfRange { bit, width: self.width })
+        }
+    }
+}
+
+impl std::fmt::Display for Geometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}×{}b", self.cells, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bom_geometry() {
+        let g = Geometry::bom(16);
+        assert!(g.is_bom());
+        assert_eq!(g.capacity_bits(), 16);
+        assert_eq!(g.data_mask(), 1);
+    }
+
+    #[test]
+    fn wom_geometry() {
+        let g = Geometry::wom(8, 4).unwrap();
+        assert!(!g.is_bom());
+        assert_eq!(g.capacity_bits(), 32);
+        assert_eq!(g.data_mask(), 0xF);
+        assert_eq!(g.to_string(), "8×4b");
+    }
+
+    #[test]
+    fn invalid_geometries() {
+        assert!(Geometry::wom(0, 4).is_err());
+        assert!(Geometry::wom(8, 0).is_err());
+        assert!(Geometry::wom(8, 33).is_err());
+    }
+
+    #[test]
+    fn validation_helpers() {
+        let g = Geometry::wom(8, 4).unwrap();
+        assert!(g.check_addr(7).is_ok());
+        assert!(matches!(g.check_addr(8), Err(RamError::AddressOutOfRange { .. })));
+        assert!(g.check_data(0xF).is_ok());
+        assert!(matches!(g.check_data(0x10), Err(RamError::DataOutOfRange { .. })));
+        assert!(g.check_bit(3).is_ok());
+        assert!(matches!(g.check_bit(4), Err(RamError::BitOutOfRange { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cell_bom_panics() {
+        let _ = Geometry::bom(0);
+    }
+}

@@ -1,0 +1,930 @@
+//! The simulated RAM device.
+//!
+//! [`Ram`] combines storage, a [`FaultBank`], an address decoder (which
+//! decoder faults can remap), per-port sense amplifiers (whose latching
+//! behaviour realises stuck-open faults) and [`AccessStats`].
+//!
+//! Single-port access uses [`Ram::read`] / [`Ram::write`] (one cycle each).
+//! Multi-port access uses [`Ram::cycle`], which issues up to one operation
+//! per port *simultaneously*: all reads observe the pre-cycle state
+//! (read-before-write), then writes commit in port order. This is the
+//! mechanism by which the paper's dual-port π-test achieves `2n` cycles
+//! instead of `3n`.
+
+use crate::fault::{CouplingTrigger, DecoderMap, FaultBank, FaultKind};
+use crate::{AccessStats, Geometry, RamError, SplitMix64};
+
+/// Maximum number of ports (the paper discusses up to quad-port devices).
+pub const MAX_PORTS: usize = 4;
+
+/// Behaviour of the bitline when a decoder fault selects zero or several
+/// cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadWired {
+    /// Wired-OR: multi-select returns the OR of the cells; no-select reads 0.
+    #[default]
+    Or,
+    /// Wired-AND: multi-select returns the AND; no-select reads all-ones.
+    And,
+}
+
+/// One port's operation within a [`Ram::cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortOp {
+    /// The port does nothing this cycle.
+    Idle,
+    /// Read the cell at `addr`.
+    Read {
+        /// Address to read.
+        addr: usize,
+    },
+    /// Write `data` to the cell at `addr`.
+    Write {
+        /// Address to write.
+        addr: usize,
+        /// Data word (must fit the cell width).
+        data: u64,
+    },
+}
+
+/// Minimal single-port view of a memory, the interface test algorithms
+/// program against.
+pub trait MemoryDevice {
+    /// Array geometry.
+    fn geometry(&self) -> Geometry;
+    /// Reads the word at `addr` (port 0).
+    fn read(&mut self, addr: usize) -> u64;
+    /// Writes the word at `addr` (port 0).
+    fn write(&mut self, addr: usize, data: u64);
+    /// Access counters so far.
+    fn stats(&self) -> AccessStats;
+}
+
+/// A simulated (possibly faulty, possibly multi-port) RAM.
+///
+/// # Example
+///
+/// ```
+/// use prt_ram::{Geometry, PortOp, Ram};
+///
+/// let mut ram = Ram::with_ports(Geometry::wom(16, 4)?, 2)?;
+/// ram.write(0, 0xA);
+/// ram.write(1, 0x5);
+/// // Dual-port: read both cells in ONE cycle.
+/// let r = ram.cycle(&[PortOp::Read { addr: 0 }, PortOp::Read { addr: 1 }])?;
+/// assert_eq!(r, vec![Some(0xA), Some(0x5)]);
+/// assert_eq!(ram.stats().cycles, 3); // two writes + one dual read
+/// # Ok::<(), prt_ram::RamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ram {
+    geom: Geometry,
+    ports: usize,
+    wired: ReadWired,
+    store: Vec<u64>,
+    bank: FaultBank,
+    last_write: Vec<u64>,
+    sense: [u64; MAX_PORTS],
+    stats: AccessStats,
+    /// Device operation counter (drives data-retention decay).
+    time: u64,
+}
+
+impl Ram {
+    /// Creates a fault-free single-port memory, zero-initialised.
+    pub fn new(geom: Geometry) -> Ram {
+        Ram::with_ports(geom, 1).expect("1 port is always valid")
+    }
+
+    /// Creates a fault-free `ports`-port memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::TooManyPortOps`] if `ports` is 0 or exceeds
+    /// [`MAX_PORTS`].
+    pub fn with_ports(geom: Geometry, ports: usize) -> Result<Ram, RamError> {
+        if ports == 0 || ports > MAX_PORTS {
+            return Err(RamError::TooManyPortOps { submitted: ports, ports: MAX_PORTS });
+        }
+        Ok(Ram {
+            geom,
+            ports,
+            wired: ReadWired::default(),
+            store: vec![0; geom.cells()],
+            bank: FaultBank::new(),
+            last_write: vec![0; geom.cells()],
+            sense: [0; MAX_PORTS],
+            stats: AccessStats::default(),
+            time: 0,
+        })
+    }
+
+    /// Selects the bitline wiring convention used for decoder faults.
+    pub fn set_wired(&mut self, wired: ReadWired) {
+        self.wired = wired;
+    }
+
+    /// Array geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets the access counters (storage and faults untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The injected faults.
+    pub fn fault_bank(&self) -> &FaultBank {
+        &self.bank
+    }
+
+    /// Injects a fault.
+    ///
+    /// # Errors
+    ///
+    /// Propagates site validation errors from [`FaultKind::validate`].
+    pub fn inject(&mut self, fault: FaultKind) -> Result<(), RamError> {
+        self.bank.add(&self.geom, fault)
+    }
+
+    /// Raw storage inspection, bypassing all fault semantics and counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn peek(&self, cell: usize) -> u64 {
+        self.store[cell]
+    }
+
+    /// Raw storage mutation, bypassing all fault semantics and counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range or `data` exceeds the cell width.
+    pub fn poke(&mut self, cell: usize, data: u64) {
+        assert!(self.geom.check_data(data).is_ok(), "data wider than cells");
+        self.store[cell] = data;
+    }
+
+    /// Fills every cell with `value` (raw, no fault semantics, no counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds the cell width.
+    pub fn fill(&mut self, value: u64) {
+        assert!(self.geom.check_data(value).is_ok(), "data wider than cells");
+        self.store.fill(value);
+    }
+
+    /// Fills storage with deterministic pseudo-random words (raw).
+    pub fn randomize(&mut self, rng: &mut SplitMix64) {
+        let mask = self.geom.data_mask();
+        for w in &mut self.store {
+            *w = rng.next_u64() & mask;
+        }
+    }
+
+    /// Reads the word at `addr` through port 0, costing one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&mut self, addr: usize) -> u64 {
+        self.geom.check_addr(addr).expect("address in range");
+        self.stats.cycles += 1;
+        self.read_port(0, addr)
+    }
+
+    /// Writes the word at `addr` through port 0, costing one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `data` exceeds the cell width.
+    pub fn write(&mut self, addr: usize, data: u64) {
+        self.geom.check_addr(addr).expect("address in range");
+        self.geom.check_data(data).expect("data fits cell width");
+        self.stats.cycles += 1;
+        self.write_port(0, addr, data);
+    }
+
+    /// Issues one multi-port cycle: `ops[p]` executes on port `p`, all
+    /// simultaneously. Reads observe the pre-cycle state; writes commit
+    /// after every read, in port order. Returns the read results per port
+    /// (`None` for `Idle`/`Write` ports).
+    ///
+    /// # Errors
+    ///
+    /// * [`RamError::TooManyPortOps`] if more ops than ports are given.
+    /// * [`RamError::AddressOutOfRange`] / [`RamError::DataOutOfRange`] for
+    ///   invalid operands.
+    /// * [`RamError::WriteWriteConflict`] when two writes target the same
+    ///   cell (after decoder mapping).
+    pub fn cycle(&mut self, ops: &[PortOp]) -> Result<Vec<Option<u64>>, RamError> {
+        if ops.len() > self.ports {
+            return Err(RamError::TooManyPortOps { submitted: ops.len(), ports: self.ports });
+        }
+        // Validate.
+        for op in ops {
+            match *op {
+                PortOp::Idle => {}
+                PortOp::Read { addr } => self.geom.check_addr(addr)?,
+                PortOp::Write { addr, data } => {
+                    self.geom.check_addr(addr)?;
+                    self.geom.check_data(data)?;
+                }
+            }
+        }
+        // Write-write conflict detection on mapped cells.
+        let mut write_targets: Vec<usize> = Vec::new();
+        for op in ops {
+            if let PortOp::Write { addr, .. } = *op {
+                if let DecoderMap::Cells(cells) = self.bank.map_addr(addr) {
+                    for c in cells {
+                        if write_targets.contains(&c) {
+                            return Err(RamError::WriteWriteConflict { cell: c });
+                        }
+                        write_targets.push(c);
+                    }
+                }
+            }
+        }
+        // Reads first (read-before-write), port order as tiebreak.
+        let mut results = vec![None; ops.len()];
+        for (p, op) in ops.iter().enumerate() {
+            if let PortOp::Read { addr } = *op {
+                results[p] = Some(self.read_port(p, addr));
+            }
+        }
+        for (p, op) in ops.iter().enumerate() {
+            if let PortOp::Write { addr, data } = *op {
+                self.write_port(p, addr, data);
+            }
+        }
+        self.stats.cycles += 1;
+        Ok(results)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal access paths (fault semantics).
+    // ------------------------------------------------------------------
+
+    fn read_port(&mut self, port: usize, addr: usize) -> u64 {
+        self.stats.reads += 1;
+        self.time += 1;
+        let value = match self.bank.map_addr(addr) {
+            DecoderMap::None => match self.wired {
+                ReadWired::Or => 0,
+                ReadWired::And => self.geom.data_mask(),
+            },
+            DecoderMap::Cells(cells) => {
+                let mut acc: Option<u64> = None;
+                for c in cells {
+                    let v = self.read_cell(port, c);
+                    acc = Some(match (acc, self.wired) {
+                        (None, _) => v,
+                        (Some(a), ReadWired::Or) => a | v,
+                        (Some(a), ReadWired::And) => a & v,
+                    });
+                }
+                acc.unwrap_or(0)
+            }
+        };
+        self.sense[port] = value;
+        value
+    }
+
+    fn write_port(&mut self, port: usize, addr: usize, data: u64) {
+        let _ = port;
+        self.stats.writes += 1;
+        self.time += 1;
+        match self.bank.map_addr(addr) {
+            DecoderMap::None => {} // write lost
+            DecoderMap::Cells(cells) => {
+                for c in cells {
+                    self.write_cell(c, data);
+                }
+            }
+        }
+    }
+
+    /// Read effects for one physical cell. Order: SOF → DRF decay → CFst /
+    /// NPSF enforcement → SA enforcement → RDF/DRDF flips → IRF inversion.
+    fn read_cell(&mut self, port: usize, cell: usize) -> u64 {
+        if self.bank.is_empty() {
+            return self.store[cell];
+        }
+        let victim_faults: Vec<usize> = self.bank.victims_in(cell).to_vec();
+        // Stuck-open: sense amplifier retains its previous value.
+        for &i in &victim_faults {
+            if matches!(self.bank.fault(i), FaultKind::StuckOpen { .. }) {
+                return self.sense[port];
+            }
+        }
+        // Data retention decay.
+        for &i in &victim_faults {
+            if let FaultKind::DataRetention { bit, decays_to, after, .. } =
+                *self.bank.fault(i)
+            {
+                if self.time.saturating_sub(self.last_write[cell]) > after {
+                    self.force_bit(cell, bit, decays_to);
+                }
+            }
+        }
+        self.enforce_state_on_victim(cell);
+        self.enforce_npsf_on_victim(cell);
+        self.store[cell] = self.enforce_sa(cell, self.store[cell]);
+        let stored = self.store[cell];
+        let mut flips_store = 0u64;
+        let mut returned = stored;
+        for &i in &victim_faults {
+            match *self.bank.fault(i) {
+                FaultKind::ReadDestructive { bit, .. } => {
+                    flips_store |= 1 << bit;
+                    returned ^= 1 << bit; // returns the new, wrong value
+                }
+                FaultKind::DeceptiveRead { bit, .. } => {
+                    flips_store |= 1 << bit; // returns the old, correct value
+                }
+                FaultKind::IncorrectRead { bit, .. } => {
+                    returned ^= 1 << bit; // store unchanged
+                }
+                _ => {}
+            }
+        }
+        if flips_store != 0 {
+            self.store[cell] = self.enforce_sa(cell, stored ^ flips_store);
+        }
+        returned
+    }
+
+    /// Write effects for one physical cell. Order: SOF → TF blocking → WDF
+    /// → SA → store → coupling triggers → CFst/NPSF enforcement.
+    fn write_cell(&mut self, cell: usize, data: u64) {
+        if self.bank.is_empty() {
+            self.store[cell] = data;
+            return;
+        }
+        let victim_faults: Vec<usize> = self.bank.victims_in(cell).to_vec();
+        for &i in &victim_faults {
+            if matches!(self.bank.fault(i), FaultKind::StuckOpen { .. }) {
+                return; // write lost
+            }
+        }
+        let old = self.store[cell];
+        let mut new = data;
+        for &i in &victim_faults {
+            match *self.bank.fault(i) {
+                FaultKind::Transition { bit, rising, .. } => {
+                    let ob = (old >> bit) & 1;
+                    let nb = (new >> bit) & 1;
+                    let blocked = if rising { ob == 0 && nb == 1 } else { ob == 1 && nb == 0 };
+                    if blocked {
+                        new = (new & !(1 << bit)) | (ob << bit);
+                    }
+                }
+                FaultKind::WriteDisturb { bit, .. }
+                    if (old >> bit) & 1 == (new >> bit) & 1 => {
+                        new ^= 1 << bit;
+                    }
+                _ => {}
+            }
+        }
+        new = self.enforce_sa(cell, new);
+        self.store[cell] = new;
+        self.last_write[cell] = self.time;
+        // Coupling triggers on the bits that actually flipped.
+        let rising = !old & new;
+        let falling = old & !new;
+        if rising != 0 || falling != 0 {
+            self.fire_couplings(cell, rising, falling);
+        }
+        self.enforce_state_from_aggressor(cell);
+        self.enforce_state_on_victim(cell);
+        self.enforce_npsf_from_neighbor(cell);
+    }
+
+    /// Applies CFin/CFid triggered by transitions in `cell`. One level deep:
+    /// fault-induced victim flips do not re-trigger further couplings
+    /// (unlinked-fault assumption, the same one March proofs use).
+    fn fire_couplings(&mut self, cell: usize, rising: u64, falling: u64) {
+        let mut actions: Vec<(usize, u32, Option<u8>)> = Vec::new(); // (cell, bit, None=flip / Some(v)=force)
+        for &i in self.bank.aggressors_in(cell) {
+            match *self.bank.fault(i) {
+                FaultKind::CouplingInversion {
+                    agg_cell, agg_bit, victim_cell, victim_bit, trigger,
+                } if agg_cell == cell => {
+                    let fired = match trigger {
+                        CouplingTrigger::Rise => (rising >> agg_bit) & 1 == 1,
+                        CouplingTrigger::Fall => (falling >> agg_bit) & 1 == 1,
+                    };
+                    if fired {
+                        actions.push((victim_cell, victim_bit, None));
+                    }
+                }
+                FaultKind::CouplingIdempotent {
+                    agg_cell, agg_bit, victim_cell, victim_bit, trigger, force,
+                } if agg_cell == cell => {
+                    let fired = match trigger {
+                        CouplingTrigger::Rise => (rising >> agg_bit) & 1 == 1,
+                        CouplingTrigger::Fall => (falling >> agg_bit) & 1 == 1,
+                    };
+                    if fired {
+                        actions.push((victim_cell, victim_bit, Some(force)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (vc, vb, act) in actions {
+            match act {
+                None => {
+                    let v = (self.store[vc] >> vb) & 1;
+                    self.force_bit(vc, vb, (v ^ 1) as u8);
+                }
+                Some(f) => self.force_bit(vc, vb, f),
+            }
+        }
+    }
+
+    /// CFst where `cell` is the aggressor: enforce on current state.
+    fn enforce_state_from_aggressor(&mut self, cell: usize) {
+        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        for &i in self.bank.aggressors_in(cell) {
+            if let FaultKind::CouplingState {
+                agg_cell, agg_bit, agg_state, victim_cell, victim_bit, force,
+            } = *self.bank.fault(i)
+            {
+                if agg_cell == cell && ((self.store[cell] >> agg_bit) & 1) as u8 == agg_state {
+                    actions.push((victim_cell, victim_bit, force));
+                }
+            }
+        }
+        for (vc, vb, f) in actions {
+            self.force_bit(vc, vb, f);
+        }
+    }
+
+    /// CFst where `cell` is the victim: re-enforce if the aggressor
+    /// currently holds the trigger state.
+    fn enforce_state_on_victim(&mut self, cell: usize) {
+        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        for &i in self.bank.victims_in(cell) {
+            if let FaultKind::CouplingState {
+                agg_cell, agg_bit, agg_state, victim_cell, victim_bit, force,
+            } = *self.bank.fault(i)
+            {
+                if victim_cell == cell
+                    && ((self.store[agg_cell] >> agg_bit) & 1) as u8 == agg_state
+                {
+                    actions.push((victim_cell, victim_bit, force));
+                }
+            }
+        }
+        for (vc, vb, f) in actions {
+            self.force_bit(vc, vb, f);
+        }
+    }
+
+    /// NPSF where `cell` is one of the neighbours.
+    fn enforce_npsf_from_neighbor(&mut self, cell: usize) {
+        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        for &i in self.bank.aggressors_in(cell) {
+            if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } =
+                self.bank.fault(i)
+            {
+                if neighbors
+                    .iter()
+                    .all(|&(c, b, v)| ((self.store[c] >> b) & 1) as u8 == v)
+                {
+                    actions.push((*victim_cell, *victim_bit, *force));
+                }
+            }
+        }
+        for (vc, vb, f) in actions {
+            self.force_bit(vc, vb, f);
+        }
+    }
+
+    /// NPSF where `cell` is the victim (checked at read).
+    fn enforce_npsf_on_victim(&mut self, cell: usize) {
+        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        for &i in self.bank.victims_in(cell) {
+            if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } =
+                self.bank.fault(i)
+            {
+                if *victim_cell == cell
+                    && neighbors
+                        .iter()
+                        .all(|&(c, b, v)| ((self.store[c] >> b) & 1) as u8 == v)
+                {
+                    actions.push((*victim_cell, *victim_bit, *force));
+                }
+            }
+        }
+        for (vc, vb, f) in actions {
+            self.force_bit(vc, vb, f);
+        }
+    }
+
+    /// Forces one stored bit, respecting any stuck-at fault on the same
+    /// site (a hard defect dominates a disturbance).
+    fn force_bit(&mut self, cell: usize, bit: u32, value: u8) {
+        let v = self.store[cell];
+        let forced = (v & !(1 << bit)) | ((value as u64 & 1) << bit);
+        self.store[cell] = self.enforce_sa(cell, forced);
+    }
+
+    /// Applies stuck-at masks of `cell` to a value.
+    fn enforce_sa(&self, cell: usize, value: u64) -> u64 {
+        let mut v = value;
+        for &i in self.bank.victims_in(cell) {
+            if let FaultKind::StuckAt { bit, value: sv, .. } = *self.bank.fault(i) {
+                v = (v & !(1 << bit)) | ((sv as u64 & 1) << bit);
+            }
+        }
+        v
+    }
+}
+
+impl MemoryDevice for Ram {
+    fn geometry(&self) -> Geometry {
+        self.geom
+    }
+    fn read(&mut self, addr: usize) -> u64 {
+        Ram::read(self, addr)
+    }
+    fn write(&mut self, addr: usize, data: u64) {
+        Ram::write(self, addr, data)
+    }
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bom(n: usize) -> Ram {
+        Ram::new(Geometry::bom(n))
+    }
+
+    #[test]
+    fn fault_free_read_write_roundtrip() {
+        let mut r = Ram::new(Geometry::wom(8, 4).unwrap());
+        for a in 0..8 {
+            r.write(a, (a as u64 * 3) & 0xF);
+        }
+        for a in 0..8 {
+            assert_eq!(r.read(a), (a as u64 * 3) & 0xF);
+        }
+        assert_eq!(r.stats().ops(), 16);
+        assert_eq!(r.stats().cycles, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "address in range")]
+    fn out_of_range_read_panics() {
+        bom(4).read(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "data fits cell width")]
+    fn oversized_write_panics() {
+        bom(4).write(0, 2);
+    }
+
+    #[test]
+    fn stuck_at_zero_and_one() {
+        let mut r = bom(4);
+        r.inject(FaultKind::StuckAt { cell: 1, bit: 0, value: 0 }).unwrap();
+        r.inject(FaultKind::StuckAt { cell: 2, bit: 0, value: 1 }).unwrap();
+        r.write(1, 1);
+        r.write(2, 0);
+        assert_eq!(r.read(1), 0);
+        assert_eq!(r.read(2), 1);
+    }
+
+    #[test]
+    fn transition_fault_blocks_one_direction() {
+        let mut r = bom(2);
+        r.inject(FaultKind::Transition { cell: 0, bit: 0, rising: true }).unwrap();
+        r.write(0, 1); // blocked: cell starts at 0
+        assert_eq!(r.read(0), 0);
+        r.poke(0, 1); // put a 1 in by force
+        r.write(0, 0); // falling is fine
+        assert_eq!(r.read(0), 0);
+        r.write(0, 1); // blocked again
+        assert_eq!(r.read(0), 0);
+    }
+
+    #[test]
+    fn falling_transition_fault() {
+        let mut r = bom(2);
+        r.inject(FaultKind::Transition { cell: 0, bit: 0, rising: false }).unwrap();
+        r.write(0, 1);
+        assert_eq!(r.read(0), 1);
+        r.write(0, 0); // blocked
+        assert_eq!(r.read(0), 1);
+    }
+
+    #[test]
+    fn coupling_inversion_fires_on_rise_only() {
+        let mut r = bom(4);
+        r.inject(FaultKind::CouplingInversion {
+            agg_cell: 0,
+            agg_bit: 0,
+            victim_cell: 2,
+            victim_bit: 0,
+            trigger: CouplingTrigger::Rise,
+        })
+        .unwrap();
+        r.write(2, 1);
+        r.write(0, 1); // rise → victim inverts 1→0
+        assert_eq!(r.read(2), 0);
+        r.write(0, 0); // fall → nothing
+        assert_eq!(r.read(2), 0);
+        r.write(0, 1); // rise again → 0→1
+        assert_eq!(r.read(2), 1);
+        // Writing the same value is no transition → no trigger.
+        r.write(0, 1);
+        assert_eq!(r.read(2), 1);
+    }
+
+    #[test]
+    fn coupling_idempotent_forces_value() {
+        let mut r = bom(4);
+        r.inject(FaultKind::CouplingIdempotent {
+            agg_cell: 1,
+            agg_bit: 0,
+            victim_cell: 3,
+            victim_bit: 0,
+            trigger: CouplingTrigger::Fall,
+            force: 1,
+        })
+        .unwrap();
+        r.write(1, 1);
+        assert_eq!(r.read(3), 0);
+        r.write(1, 0); // fall → victim forced to 1
+        assert_eq!(r.read(3), 1);
+        r.write(3, 0);
+        r.write(1, 0); // no transition (already 0) → no force
+        assert_eq!(r.read(3), 0);
+    }
+
+    #[test]
+    fn state_coupling_enforced_on_victim_write_and_read() {
+        let mut r = bom(4);
+        r.inject(FaultKind::CouplingState {
+            agg_cell: 0,
+            agg_bit: 0,
+            agg_state: 0,
+            victim_cell: 2,
+            victim_bit: 0,
+            force: 0,
+        })
+        .unwrap();
+        // Aggressor holds 0 → victim cannot keep a 1.
+        r.write(2, 1);
+        assert_eq!(r.read(2), 0);
+        // Free the victim by putting the aggressor in state 1.
+        r.write(0, 1);
+        r.write(2, 1);
+        assert_eq!(r.read(2), 1);
+        // Aggressor back to 0 → victim forced again.
+        r.write(0, 0);
+        assert_eq!(r.read(2), 0);
+    }
+
+    #[test]
+    fn intra_word_coupling() {
+        let mut r = Ram::new(Geometry::wom(4, 4).unwrap());
+        r.inject(FaultKind::CouplingInversion {
+            agg_cell: 1,
+            agg_bit: 0,
+            victim_cell: 1,
+            victim_bit: 3,
+            trigger: CouplingTrigger::Rise,
+        })
+        .unwrap();
+        r.write(1, 0b0001); // bit0 rises → bit3 inverts
+        assert_eq!(r.read(1), 0b1001);
+    }
+
+    #[test]
+    fn decoder_no_access() {
+        let mut r = bom(4);
+        r.inject(FaultKind::DecoderNoAccess { addr: 2 }).unwrap();
+        r.write(2, 1); // lost
+        assert_eq!(r.read(2), 0); // wired-OR default
+        r.set_wired(ReadWired::And);
+        assert_eq!(r.read(2), 1); // wired-AND default (precharged high)
+        assert_eq!(r.peek(2), 0); // the physical cell was never touched
+    }
+
+    #[test]
+    fn decoder_extra_cell_wired_or() {
+        let mut r = bom(8);
+        r.inject(FaultKind::DecoderExtraCell { addr: 1, extra_cell: 5 }).unwrap();
+        r.write(1, 1); // writes cells 1 and 5
+        assert_eq!(r.peek(5), 1);
+        r.poke(1, 0);
+        assert_eq!(r.read(1), 1); // OR(0, 1)
+        r.set_wired(ReadWired::And);
+        assert_eq!(r.read(1), 0); // AND(0, 1)
+    }
+
+    #[test]
+    fn decoder_shadow() {
+        let mut r = bom(8);
+        r.inject(FaultKind::DecoderShadow { addr: 3, instead_cell: 6 }).unwrap();
+        r.write(3, 1);
+        assert_eq!(r.peek(3), 0); // own cell untouched
+        assert_eq!(r.peek(6), 1);
+        assert_eq!(r.read(3), 1); // reads the shadow cell
+        r.write(6, 0);
+        assert_eq!(r.read(3), 0); // aliased through both addresses
+    }
+
+    #[test]
+    fn stuck_open_latches_sense_amp() {
+        let mut r = bom(4);
+        r.inject(FaultKind::StuckOpen { cell: 2 }).unwrap();
+        r.write(1, 1);
+        r.write(2, 1); // lost
+        assert_eq!(r.peek(2), 0);
+        let _ = r.read(1); // sense amp now holds 1
+        assert_eq!(r.read(2), 1); // SOF returns latched value, not the cell
+        r.write(0, 0);
+        let _ = r.read(0); // sense amp now holds 0
+        assert_eq!(r.read(2), 0);
+    }
+
+    #[test]
+    fn read_destructive_flips_and_lies() {
+        let mut r = bom(2);
+        r.inject(FaultKind::ReadDestructive { cell: 0, bit: 0 }).unwrap();
+        r.write(0, 1);
+        assert_eq!(r.read(0), 0); // flipped and returned wrong
+        assert_eq!(r.peek(0), 0);
+        assert_eq!(r.read(0), 1); // flips again
+    }
+
+    #[test]
+    fn deceptive_read_returns_truth_but_flips() {
+        let mut r = bom(2);
+        r.inject(FaultKind::DeceptiveRead { cell: 0, bit: 0 }).unwrap();
+        r.write(0, 1);
+        assert_eq!(r.read(0), 1); // correct value returned…
+        assert_eq!(r.peek(0), 0); // …but the cell flipped underneath
+        assert_eq!(r.read(0), 0);
+    }
+
+    #[test]
+    fn incorrect_read_is_output_only() {
+        let mut r = bom(2);
+        r.inject(FaultKind::IncorrectRead { cell: 0, bit: 0 }).unwrap();
+        r.write(0, 1);
+        assert_eq!(r.read(0), 0);
+        assert_eq!(r.peek(0), 1); // storage intact
+        assert_eq!(r.read(0), 0); // consistently wrong
+    }
+
+    #[test]
+    fn write_disturb_on_non_transition_write() {
+        let mut r = bom(2);
+        r.inject(FaultKind::WriteDisturb { cell: 0, bit: 0 }).unwrap();
+        r.write(0, 1); // 0→1 transition: fine
+        assert_eq!(r.peek(0), 1);
+        r.write(0, 1); // non-transition write → disturbed to 0
+        assert_eq!(r.peek(0), 0);
+    }
+
+    #[test]
+    fn data_retention_decay() {
+        let mut r = bom(4);
+        r.inject(FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 })
+            .unwrap();
+        r.write(0, 1);
+        assert_eq!(r.read(0), 1); // within retention
+        // Three unrelated operations pass the retention window.
+        r.write(1, 1);
+        r.write(2, 1);
+        r.write(3, 1);
+        assert_eq!(r.read(0), 0); // decayed
+    }
+
+    #[test]
+    fn npsf_forces_on_pattern() {
+        let mut r = bom(5);
+        r.inject(FaultKind::Npsf {
+            victim_cell: 2,
+            victim_bit: 0,
+            neighbors: vec![(1, 0, 1), (3, 0, 1)],
+            force: 1,
+        })
+        .unwrap();
+        r.write(2, 0);
+        r.write(1, 1);
+        assert_eq!(r.read(2), 0); // pattern incomplete
+        r.write(3, 1); // completes the pattern
+        assert_eq!(r.read(2), 1);
+    }
+
+    #[test]
+    fn dual_port_simultaneous_reads() {
+        let mut r = Ram::with_ports(Geometry::bom(8), 2).unwrap();
+        r.write(3, 1);
+        let res = r
+            .cycle(&[PortOp::Read { addr: 3 }, PortOp::Read { addr: 4 }])
+            .unwrap();
+        assert_eq!(res, vec![Some(1), Some(0)]);
+        assert_eq!(r.stats().reads, 2);
+        assert_eq!(r.stats().cycles, 2); // one write + one dual-read cycle
+    }
+
+    #[test]
+    fn read_before_write_in_same_cycle() {
+        let mut r = Ram::with_ports(Geometry::bom(4), 2).unwrap();
+        r.write(0, 1);
+        let res = r
+            .cycle(&[PortOp::Read { addr: 0 }, PortOp::Write { addr: 0, data: 0 }])
+            .unwrap();
+        assert_eq!(res[0], Some(1)); // read saw the pre-cycle value
+        assert_eq!(r.peek(0), 0); // write committed afterwards
+    }
+
+    #[test]
+    fn write_write_conflict_rejected() {
+        let mut r = Ram::with_ports(Geometry::bom(4), 2).unwrap();
+        let err = r
+            .cycle(&[PortOp::Write { addr: 1, data: 1 }, PortOp::Write { addr: 1, data: 0 }])
+            .unwrap_err();
+        assert!(matches!(err, RamError::WriteWriteConflict { cell: 1 }));
+    }
+
+    #[test]
+    fn too_many_port_ops_rejected() {
+        let mut r = Ram::new(Geometry::bom(4));
+        let err = r
+            .cycle(&[PortOp::Idle, PortOp::Idle])
+            .unwrap_err();
+        assert!(matches!(err, RamError::TooManyPortOps { .. }));
+    }
+
+    #[test]
+    fn idle_cycle_still_costs_a_cycle() {
+        let mut r = Ram::with_ports(Geometry::bom(4), 2).unwrap();
+        r.cycle(&[PortOp::Idle, PortOp::Idle]).unwrap();
+        assert_eq!(r.stats().cycles, 1);
+        assert_eq!(r.stats().ops(), 0);
+    }
+
+    #[test]
+    fn randomize_is_deterministic() {
+        let mut a = Ram::new(Geometry::wom(16, 8).unwrap());
+        let mut b = Ram::new(Geometry::wom(16, 8).unwrap());
+        a.randomize(&mut SplitMix64::new(1));
+        b.randomize(&mut SplitMix64::new(1));
+        for c in 0..16 {
+            assert_eq!(a.peek(c), b.peek(c));
+            assert!(a.peek(c) <= 0xFF);
+        }
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut r = bom(2);
+        r.write(0, 1);
+        r.reset_stats();
+        assert_eq!(r.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn stuck_at_dominates_coupling() {
+        let mut r = bom(4);
+        r.inject(FaultKind::StuckAt { cell: 2, bit: 0, value: 0 }).unwrap();
+        r.inject(FaultKind::CouplingIdempotent {
+            agg_cell: 0,
+            agg_bit: 0,
+            victim_cell: 2,
+            victim_bit: 0,
+            trigger: CouplingTrigger::Rise,
+            force: 1,
+        })
+        .unwrap();
+        r.write(0, 1); // tries to force victim to 1, but SA0 wins
+        assert_eq!(r.read(2), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Access accounting.
+//!
+//! The paper's complexity claims — `O(3n)` per π-iteration on single-port
+//! RAM, `2n` cycles on dual-port RAM, `5n`…`17n` for the March baselines —
+//! are *measured* by these counters rather than asserted.
+
+/// Operation and cycle counters for a memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Completed read operations (across all ports).
+    pub reads: u64,
+    /// Completed write operations (across all ports).
+    pub writes: u64,
+    /// Elapsed device cycles. A single-port operation costs one cycle; a
+    /// multi-port [`crate::Ram::cycle`] call costs one cycle regardless of
+    /// how many ports were active.
+    pub cycles: u64,
+}
+
+impl AccessStats {
+    /// Total operations, reads plus writes.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = AccessStats::default();
+    }
+}
+
+impl std::fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} reads, {} writes, {} cycles", self.reads, self.writes, self.cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_is_sum() {
+        let s = AccessStats { reads: 3, writes: 4, cycles: 7 };
+        assert_eq!(s.ops(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = AccessStats { reads: 1, writes: 2, cycles: 3 };
+        s.reset();
+        assert_eq!(s, AccessStats::default());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = AccessStats { reads: 1, writes: 2, cycles: 3 };
+        assert_eq!(s.to_string(), "1 reads, 2 writes, 3 cycles");
+    }
+}

@@ -1,0 +1,302 @@
+//! Physical array topology: logical-address → (row, column) mapping.
+//!
+//! Neighbourhood pattern sensitive faults (NPSF) are defined over the
+//! *physical* layout, not the logical address order. This module provides
+//! the row-major mapping and the classic type-1 (von Neumann) neighbourhood
+//! used to instantiate [`crate::FaultKind::Npsf`] faults, plus address
+//! scrambling so tests can model decoders whose logical order differs from
+//! the physical one.
+
+use crate::{FaultKind, Geometry, RamError};
+
+/// A rectangular physical layout for an `n`-cell array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    rows: usize,
+    cols: usize,
+}
+
+impl Layout {
+    /// Creates a `rows × cols` layout.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::UnsupportedGeometry`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Layout, RamError> {
+        if rows == 0 || cols == 0 {
+            return Err(RamError::UnsupportedGeometry { reason: "zero layout dimension" });
+        }
+        Ok(Layout { rows, cols })
+    }
+
+    /// The most-square layout for a geometry (`cols ≥ rows`).
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::UnsupportedGeometry`] if the cell count has no
+    /// rectangular factorisation (never: `1 × n` always works).
+    pub fn squarish(geom: Geometry) -> Result<Layout, RamError> {
+        let n = geom.cells();
+        let mut rows = (n as f64).sqrt() as usize;
+        while rows > 1 && !n.is_multiple_of(rows) {
+            rows -= 1;
+        }
+        Layout::new(rows.max(1), n / rows.max(1))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Logical cell index of physical position `(row, col)` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the layout.
+    pub fn cell_at(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "position outside layout");
+        row * self.cols + col
+    }
+
+    /// Physical position of a logical cell index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is outside the layout.
+    pub fn position_of(&self, cell: usize) -> (usize, usize) {
+        assert!(cell < self.cells(), "cell outside layout");
+        (cell / self.cols, cell % self.cols)
+    }
+
+    /// The von Neumann (N/E/S/W) neighbours of a cell, clipped at edges.
+    pub fn von_neumann(&self, cell: usize) -> Vec<usize> {
+        let (r, c) = self.position_of(cell);
+        let mut out = Vec::with_capacity(4);
+        if r > 0 {
+            out.push(self.cell_at(r - 1, c));
+        }
+        if c + 1 < self.cols {
+            out.push(self.cell_at(r, c + 1));
+        }
+        if r + 1 < self.rows {
+            out.push(self.cell_at(r + 1, c));
+        }
+        if c > 0 {
+            out.push(self.cell_at(r, c - 1));
+        }
+        out
+    }
+
+    /// Builds a static type-1 NPSF fault: the victim bit is forced to
+    /// `force` whenever every von Neumann neighbour holds `pattern`'s
+    /// corresponding bit (pattern bit `i` = i-th neighbour in N/E/S/W
+    /// order after edge clipping).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-site validation when the fault is later injected;
+    /// this constructor itself fails only for a victim outside the layout.
+    pub fn npsf(
+        &self,
+        victim_cell: usize,
+        victim_bit: u32,
+        pattern: u64,
+        force: u8,
+    ) -> Result<FaultKind, RamError> {
+        if victim_cell >= self.cells() {
+            return Err(RamError::AddressOutOfRange {
+                addr: victim_cell,
+                cells: self.cells(),
+            });
+        }
+        let neighbors: Vec<(usize, u32, u8)> = self
+            .von_neumann(victim_cell)
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, victim_bit, ((pattern >> i) & 1) as u8))
+            .collect();
+        Ok(FaultKind::Npsf { victim_cell, victim_bit, neighbors, force })
+    }
+
+    /// Enumerates all type-1 static NPSF instances (every interior victim,
+    /// every neighbour pattern, both forced values) for bit `bit`.
+    pub fn npsf_universe(&self, bit: u32) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        for r in 1..self.rows.saturating_sub(1) {
+            for c in 1..self.cols.saturating_sub(1) {
+                let victim = self.cell_at(r, c);
+                for pattern in 0..16u64 {
+                    for force in [0u8, 1] {
+                        out.push(
+                            self.npsf(victim, bit, pattern, force)
+                                .expect("victim inside layout"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A deterministic address scrambler: logical address → physical cell,
+/// modelling decoders whose bit order is permuted/inverted (common in real
+/// parts, and the reason topological tests must un-scramble).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scrambler {
+    bits: u32,
+    /// For each physical address bit: (source logical bit, invert?).
+    map: Vec<(u32, bool)>,
+}
+
+impl Scrambler {
+    /// Identity scrambler over `bits` address bits.
+    pub fn identity(bits: u32) -> Scrambler {
+        Scrambler { bits, map: (0..bits).map(|b| (b, false)).collect() }
+    }
+
+    /// Bit-reversal scrambler.
+    pub fn reversed(bits: u32) -> Scrambler {
+        Scrambler { bits, map: (0..bits).rev().map(|b| (b, false)).collect() }
+    }
+
+    /// Scrambler from an explicit `(source bit, invert)` table.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::UnsupportedGeometry`] if the table is not a permutation
+    /// of the address bits.
+    pub fn from_table(map: Vec<(u32, bool)>) -> Result<Scrambler, RamError> {
+        let bits = map.len() as u32;
+        let mut seen = vec![false; bits as usize];
+        for &(src, _) in &map {
+            if src >= bits || seen[src as usize] {
+                return Err(RamError::UnsupportedGeometry {
+                    reason: "scrambler table is not a bit permutation",
+                });
+            }
+            seen[src as usize] = true;
+        }
+        Ok(Scrambler { bits, map })
+    }
+
+    /// Number of address bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Applies the scrambling to a logical address.
+    pub fn scramble(&self, logical: usize) -> usize {
+        let mut out = 0usize;
+        for (phys_bit, &(src, inv)) in self.map.iter().enumerate() {
+            let mut b = (logical >> src) & 1;
+            if inv {
+                b ^= 1;
+            }
+            out |= b << phys_bit;
+        }
+        out
+    }
+
+    /// The inverse mapping (physical → logical).
+    pub fn unscramble(&self, physical: usize) -> usize {
+        let mut out = 0usize;
+        for (phys_bit, &(src, inv)) in self.map.iter().enumerate() {
+            let mut b = (physical >> phys_bit) & 1;
+            if inv {
+                b ^= 1;
+            }
+            out |= b << src;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ram;
+
+    #[test]
+    fn layout_roundtrip() {
+        let l = Layout::new(4, 8).unwrap();
+        assert_eq!(l.cells(), 32);
+        for cell in 0..32 {
+            let (r, c) = l.position_of(cell);
+            assert_eq!(l.cell_at(r, c), cell);
+        }
+    }
+
+    #[test]
+    fn squarish_prefers_square() {
+        let l = Layout::squarish(Geometry::bom(36)).unwrap();
+        assert_eq!((l.rows(), l.cols()), (6, 6));
+        let l = Layout::squarish(Geometry::bom(15)).unwrap();
+        assert_eq!((l.rows(), l.cols()), (3, 5));
+        let l = Layout::squarish(Geometry::bom(13)).unwrap(); // prime
+        assert_eq!((l.rows(), l.cols()), (1, 13));
+    }
+
+    #[test]
+    fn von_neumann_neighbourhoods() {
+        let l = Layout::new(3, 3).unwrap();
+        // Centre cell 4 has all four neighbours: N=1, E=5, S=7, W=3.
+        assert_eq!(l.von_neumann(4), vec![1, 5, 7, 3]);
+        // Corner cell 0 has two.
+        assert_eq!(l.von_neumann(0), vec![1, 3]);
+    }
+
+    #[test]
+    fn npsf_fault_behaves_topologically() {
+        let l = Layout::new(3, 3).unwrap();
+        let fault = l.npsf(4, 0, 0b1111, 1).unwrap(); // all neighbours 1 → victim forced 1
+        let mut ram = Ram::new(Geometry::bom(9));
+        ram.inject(fault).unwrap();
+        for nb in [1usize, 5, 7] {
+            ram.write(nb, 1);
+        }
+        assert_eq!(ram.read(4), 0, "pattern incomplete");
+        ram.write(3, 1); // completes N/E/S/W = 1111
+        assert_eq!(ram.read(4), 1, "victim forced by the neighbourhood");
+    }
+
+    #[test]
+    fn npsf_universe_size() {
+        let l = Layout::new(4, 4).unwrap();
+        // interior victims: 2×2 = 4; patterns 16; forces 2 → 128.
+        assert_eq!(l.npsf_universe(0).len(), 128);
+    }
+
+    #[test]
+    fn scrambler_roundtrip_and_validation() {
+        for s in [Scrambler::identity(4), Scrambler::reversed(4)] {
+            for a in 0..16 {
+                assert_eq!(s.unscramble(s.scramble(a)), a);
+            }
+        }
+        let custom = Scrambler::from_table(vec![(1, true), (0, false), (2, true)]).unwrap();
+        for a in 0..8 {
+            assert_eq!(custom.unscramble(custom.scramble(a)), a);
+        }
+        assert!(Scrambler::from_table(vec![(0, false), (0, true)]).is_err());
+        assert!(Scrambler::from_table(vec![(0, false), (2, false)]).is_err());
+    }
+
+    #[test]
+    fn reversed_scrambler_maps_as_expected() {
+        let s = Scrambler::reversed(3);
+        assert_eq!(s.scramble(0b001), 0b100);
+        assert_eq!(s.scramble(0b110), 0b011);
+    }
+}

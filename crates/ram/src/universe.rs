@@ -1,0 +1,420 @@
+//! Exhaustive fault-universe enumeration.
+//!
+//! The coverage experiments (E3, E4, E10) and the paper's §3 claim ("all
+//! single and multi-cell memory faults are detected in 3 π-test iterations")
+//! quantify detection over a *universe*: every instance of the selected
+//! fault models on a given geometry. This module enumerates those
+//! universes deterministically so the experiment tables are reproducible.
+
+use crate::fault::{CouplingTrigger, FaultKind};
+use crate::{Geometry, Ram, SplitMix64};
+
+/// Which fault classes to include in a universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniverseSpec {
+    /// Stuck-at 0/1 on every bit.
+    pub saf: bool,
+    /// Up/down transition faults on every bit.
+    pub tf: bool,
+    /// Inversion coupling faults (both triggers) on cell pairs.
+    pub cfin: bool,
+    /// Idempotent coupling faults (both triggers × both forced values).
+    pub cfid: bool,
+    /// State coupling faults (both states × both forced values).
+    pub cfst: bool,
+    /// Address-decoder faults (all three modelled types).
+    pub af: bool,
+    /// Stuck-open cells.
+    pub sof: bool,
+    /// Destructive reads.
+    pub rdf: bool,
+    /// Deceptive destructive reads.
+    pub drdf: bool,
+    /// Incorrect reads.
+    pub irf: bool,
+    /// Write disturbs.
+    pub wdf: bool,
+    /// Restrict coupling pairs to |aggressor − victim| ≤ this distance
+    /// (`None` = all ordered pairs; quadratic in the cell count).
+    pub coupling_radius: Option<usize>,
+    /// Also enumerate *intra-word* coupling faults (aggressor and victim
+    /// bits within the same cell) for the enabled coupling classes —
+    /// the word-oriented fault family of the paper's §2.
+    pub intra_word: bool,
+}
+
+impl UniverseSpec {
+    /// The classic "all single and multi-cell faults" universe the paper's
+    /// §3 claim quantifies over: SAF + TF + CFin + CFid + CFst + AF.
+    pub fn paper_claim() -> UniverseSpec {
+        UniverseSpec {
+            saf: true,
+            tf: true,
+            cfin: true,
+            cfid: true,
+            cfst: true,
+            af: true,
+            ..UniverseSpec::default()
+        }
+    }
+
+    /// Single-cell static faults only (SAF + TF).
+    pub fn single_cell() -> UniverseSpec {
+        UniverseSpec { saf: true, tf: true, ..UniverseSpec::default() }
+    }
+
+    /// Everything this simulator models.
+    pub fn full() -> UniverseSpec {
+        UniverseSpec {
+            saf: true,
+            tf: true,
+            cfin: true,
+            cfid: true,
+            cfst: true,
+            af: true,
+            sof: true,
+            rdf: true,
+            drdf: true,
+            irf: true,
+            wdf: true,
+            coupling_radius: None,
+            intra_word: true,
+        }
+    }
+}
+
+/// An enumerated universe of single-fault instances on a fixed geometry.
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    geom: Geometry,
+    faults: Vec<FaultKind>,
+}
+
+impl FaultUniverse {
+    /// Enumerates the universe for `spec` on `geom`.
+    pub fn enumerate(geom: Geometry, spec: &UniverseSpec) -> FaultUniverse {
+        let n = geom.cells();
+        let m = geom.width();
+        let mut faults = Vec::new();
+
+        if spec.saf {
+            for cell in 0..n {
+                for bit in 0..m {
+                    faults.push(FaultKind::StuckAt { cell, bit, value: 0 });
+                    faults.push(FaultKind::StuckAt { cell, bit, value: 1 });
+                }
+            }
+        }
+        if spec.tf {
+            for cell in 0..n {
+                for bit in 0..m {
+                    faults.push(FaultKind::Transition { cell, bit, rising: true });
+                    faults.push(FaultKind::Transition { cell, bit, rising: false });
+                }
+            }
+        }
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|a| (0..n).map(move |v| (a, v)))
+            .filter(|&(a, v)| a != v)
+            .filter(|&(a, v)| match spec.coupling_radius {
+                Some(r) => a.abs_diff(v) <= r,
+                None => true,
+            })
+            .collect();
+        if spec.cfin {
+            for &(a, v) in &pairs {
+                for (ab, vb) in bit_pairs(m) {
+                    for trigger in [CouplingTrigger::Rise, CouplingTrigger::Fall] {
+                        faults.push(FaultKind::CouplingInversion {
+                            agg_cell: a,
+                            agg_bit: ab,
+                            victim_cell: v,
+                            victim_bit: vb,
+                            trigger,
+                        });
+                    }
+                }
+            }
+        }
+        if spec.cfid {
+            for &(a, v) in &pairs {
+                for (ab, vb) in bit_pairs(m) {
+                    for trigger in [CouplingTrigger::Rise, CouplingTrigger::Fall] {
+                        for force in [0u8, 1] {
+                            faults.push(FaultKind::CouplingIdempotent {
+                                agg_cell: a,
+                                agg_bit: ab,
+                                victim_cell: v,
+                                victim_bit: vb,
+                                trigger,
+                                force,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if spec.cfst {
+            for &(a, v) in &pairs {
+                for (ab, vb) in bit_pairs(m) {
+                    for agg_state in [0u8, 1] {
+                        for force in [0u8, 1] {
+                            faults.push(FaultKind::CouplingState {
+                                agg_cell: a,
+                                agg_bit: ab,
+                                agg_state,
+                                victim_cell: v,
+                                victim_bit: vb,
+                                force,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if spec.intra_word && m > 1 {
+            let intra: Vec<(u32, u32)> = (0..m)
+                .flat_map(|a| (0..m).map(move |v| (a, v)))
+                .filter(|&(a, v)| a != v)
+                .collect();
+            for cell in 0..n {
+                for &(ab, vb) in &intra {
+                    if spec.cfin {
+                        for trigger in [CouplingTrigger::Rise, CouplingTrigger::Fall] {
+                            faults.push(FaultKind::CouplingInversion {
+                                agg_cell: cell,
+                                agg_bit: ab,
+                                victim_cell: cell,
+                                victim_bit: vb,
+                                trigger,
+                            });
+                        }
+                    }
+                    if spec.cfid {
+                        for trigger in [CouplingTrigger::Rise, CouplingTrigger::Fall] {
+                            for force in [0u8, 1] {
+                                faults.push(FaultKind::CouplingIdempotent {
+                                    agg_cell: cell,
+                                    agg_bit: ab,
+                                    victim_cell: cell,
+                                    victim_bit: vb,
+                                    trigger,
+                                    force,
+                                });
+                            }
+                        }
+                    }
+                    if spec.cfst {
+                        for agg_state in [0u8, 1] {
+                            for force in [0u8, 1] {
+                                faults.push(FaultKind::CouplingState {
+                                    agg_cell: cell,
+                                    agg_bit: ab,
+                                    agg_state,
+                                    victim_cell: cell,
+                                    victim_bit: vb,
+                                    force,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if spec.af {
+            for addr in 0..n {
+                faults.push(FaultKind::DecoderNoAccess { addr });
+            }
+            for addr in 0..n {
+                let extra = (addr + 1) % n;
+                faults.push(FaultKind::DecoderExtraCell { addr, extra_cell: extra });
+                let instead = (addr + n / 2).max(addr + 1) % n;
+                if instead != addr {
+                    faults.push(FaultKind::DecoderShadow { addr, instead_cell: instead });
+                }
+            }
+        }
+        if spec.sof {
+            for cell in 0..n {
+                faults.push(FaultKind::StuckOpen { cell });
+            }
+        }
+        for cell in 0..n {
+            for bit in 0..m {
+                if spec.rdf {
+                    faults.push(FaultKind::ReadDestructive { cell, bit });
+                }
+                if spec.drdf {
+                    faults.push(FaultKind::DeceptiveRead { cell, bit });
+                }
+                if spec.irf {
+                    faults.push(FaultKind::IncorrectRead { cell, bit });
+                }
+                if spec.wdf {
+                    faults.push(FaultKind::WriteDisturb { cell, bit });
+                }
+            }
+        }
+        FaultUniverse { geom, faults }
+    }
+
+    /// Geometry the universe was enumerated for.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Number of fault instances.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault instances.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// Iterates `(fault, fresh single-fault memory)` pairs.
+    pub fn instances(&self) -> impl Iterator<Item = (FaultKind, Ram)> + '_ {
+        self.faults.iter().map(move |f| {
+            let mut ram = Ram::new(self.geom);
+            ram.inject(f.clone()).expect("enumerated faults are valid");
+            (f.clone(), ram)
+        })
+    }
+
+    /// Iterates `(fault, fresh P-port single-fault memory)` pairs.
+    pub fn instances_with_ports(
+        &self,
+        ports: usize,
+    ) -> impl Iterator<Item = (FaultKind, Ram)> + '_ {
+        self.faults.iter().map(move |f| {
+            let mut ram = Ram::with_ports(self.geom, ports).expect("port count validated");
+            ram.inject(f.clone()).expect("enumerated faults are valid");
+            (f.clone(), ram)
+        })
+    }
+
+    /// Deterministically subsamples the universe down to at most `max`
+    /// instances (keeps tables tractable for large geometries). The sample
+    /// is seeded so every run selects the same instances.
+    pub fn sample(mut self, max: usize, seed: u64) -> FaultUniverse {
+        if self.faults.len() > max {
+            let mut rng = SplitMix64::new(seed);
+            rng.shuffle(&mut self.faults);
+            self.faults.truncate(max);
+        }
+        self
+    }
+
+    /// Counts instances per mnemonic, for table headers.
+    pub fn census(&self) -> Vec<(&'static str, usize)> {
+        let mut out: Vec<(&'static str, usize)> = Vec::new();
+        for f in &self.faults {
+            let m = f.mnemonic();
+            match out.iter_mut().find(|(k, _)| *k == m) {
+                Some((_, c)) => *c += 1,
+                None => out.push((m, 1)),
+            }
+        }
+        out
+    }
+}
+
+fn bit_pairs(m: u32) -> Vec<(u32, u32)> {
+    // For BOM this is just (0,0); for WOM include same-bit cross-cell pairs
+    // plus a diagonal neighbour to exercise intra-bit-position couplings
+    // without exploding the universe (m² pairs per cell pair otherwise).
+    if m == 1 {
+        vec![(0, 0)]
+    } else {
+        let mut v: Vec<(u32, u32)> = (0..m).map(|b| (b, b)).collect();
+        v.extend((0..m).map(|b| (b, (b + 1) % m)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_universe_counts() {
+        let g = Geometry::bom(8);
+        let u = FaultUniverse::enumerate(g, &UniverseSpec::single_cell());
+        // 8 cells × (2 SAF + 2 TF) = 32
+        assert_eq!(u.len(), 32);
+        let census = u.census();
+        assert!(census.contains(&("SAF", 16)));
+        assert!(census.contains(&("TF", 16)));
+    }
+
+    #[test]
+    fn paper_claim_universe_counts() {
+        let g = Geometry::bom(4);
+        let u = FaultUniverse::enumerate(g, &UniverseSpec::paper_claim());
+        // pairs = 4·3 = 12
+        // SAF 8, TF 8, CFin 12·2 = 24, CFid 12·4 = 48, CFst 12·4 = 48,
+        // AF: 4 none + 4 extra + shadows (addr where instead != addr).
+        let census = u.census();
+        assert!(census.contains(&("SAF", 8)));
+        assert!(census.contains(&("TF", 8)));
+        assert!(census.contains(&("CFin", 24)));
+        assert!(census.contains(&("CFid", 48)));
+        assert!(census.contains(&("CFst", 48)));
+        assert!(census.iter().any(|&(k, c)| k == "AF" && c >= 8));
+    }
+
+    #[test]
+    fn coupling_radius_limits_pairs() {
+        let g = Geometry::bom(16);
+        let spec = UniverseSpec { cfin: true, coupling_radius: Some(1), ..Default::default() };
+        let u = FaultUniverse::enumerate(g, &spec);
+        // adjacent ordered pairs: 2·15 = 30, × 2 triggers = 60
+        assert_eq!(u.len(), 60);
+    }
+
+    #[test]
+    fn instances_are_single_fault_memories() {
+        let g = Geometry::bom(4);
+        let u = FaultUniverse::enumerate(g, &UniverseSpec::single_cell());
+        for (fault, ram) in u.instances() {
+            assert_eq!(ram.fault_bank().len(), 1);
+            assert_eq!(ram.fault_bank().faults()[0], fault);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let g = Geometry::bom(16);
+        let u1 = FaultUniverse::enumerate(g, &UniverseSpec::paper_claim()).sample(50, 7);
+        let u2 = FaultUniverse::enumerate(g, &UniverseSpec::paper_claim()).sample(50, 7);
+        assert_eq!(u1.len(), 50);
+        assert_eq!(u1.faults(), u2.faults());
+    }
+
+    #[test]
+    fn wom_universe_includes_intra_bit_pairs() {
+        let g = Geometry::wom(4, 4).unwrap();
+        let spec = UniverseSpec { cfin: true, coupling_radius: Some(1), ..Default::default() };
+        let u = FaultUniverse::enumerate(g, &spec);
+        assert!(u
+            .faults()
+            .iter()
+            .any(|f| matches!(f, FaultKind::CouplingInversion { agg_bit: 1, victim_bit: 2, .. })));
+    }
+
+    #[test]
+    fn full_universe_has_every_mnemonic() {
+        let g = Geometry::bom(4);
+        let u = FaultUniverse::enumerate(g, &UniverseSpec::full());
+        let census = u.census();
+        for k in ["SAF", "TF", "CFin", "CFid", "CFst", "AF", "SOF", "RDF", "DRDF", "IRF", "WDF"] {
+            assert!(census.iter().any(|&(m, _)| m == k), "missing {k}");
+        }
+    }
+}

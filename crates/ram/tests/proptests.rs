@@ -1,0 +1,157 @@
+//! Property-based tests for the RAM simulator: model equivalence and
+//! fault-semantics invariants under random operation sequences.
+
+use proptest::prelude::*;
+use prt_ram::{FaultKind, Geometry, PortOp, Ram};
+
+#[derive(Debug, Clone)]
+enum Action {
+    Read(usize),
+    Write(usize, u64),
+}
+
+fn arb_actions(n: usize, mask: u64) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        (0usize..n, any::<u64>(), any::<bool>()).prop_map(move |(a, d, is_read)| {
+            if is_read {
+                Action::Read(a)
+            } else {
+                Action::Write(a, d & mask)
+            }
+        }),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A fault-free RAM is observationally equivalent to a plain vector
+    /// under arbitrary operation sequences (the golden model).
+    #[test]
+    fn fault_free_ram_equals_vector_model(actions in arb_actions(16, 0xF)) {
+        let geom = Geometry::wom(16, 4).unwrap();
+        let mut ram = Ram::new(geom);
+        let mut model = vec![0u64; 16];
+        for act in &actions {
+            match *act {
+                Action::Read(a) => prop_assert_eq!(ram.read(a), model[a]),
+                Action::Write(a, d) => {
+                    ram.write(a, d);
+                    model[a] = d;
+                }
+            }
+        }
+        // Raw storage matches the model too.
+        for (c, &m) in model.iter().enumerate() {
+            prop_assert_eq!(ram.peek(c), m);
+        }
+        prop_assert_eq!(ram.stats().ops(), actions.len() as u64);
+    }
+
+    /// A stuck-at bit reads its stuck value after EVERY operation sequence.
+    #[test]
+    fn stuck_bit_always_stuck(
+        actions in arb_actions(8, 1),
+        cell in 0usize..8,
+        value in 0u8..2,
+    ) {
+        let mut ram = Ram::new(Geometry::bom(8));
+        ram.inject(FaultKind::StuckAt { cell, bit: 0, value }).unwrap();
+        for act in &actions {
+            match *act {
+                Action::Read(a) => {
+                    let v = ram.read(a);
+                    if a == cell {
+                        prop_assert_eq!(v, u64::from(value));
+                    }
+                }
+                Action::Write(a, d) => ram.write(a, d),
+            }
+        }
+        prop_assert_eq!(ram.read(cell), u64::from(value));
+    }
+
+    /// An up-transition fault never lets the bit rise via writes, while
+    /// falls always succeed.
+    #[test]
+    fn transition_fault_monotone(actions in arb_actions(8, 1), cell in 0usize..8) {
+        let mut ram = Ram::new(Geometry::bom(8));
+        ram.inject(FaultKind::Transition { cell, bit: 0, rising: true }).unwrap();
+        for act in &actions {
+            match *act {
+                Action::Read(a) => { let _ = ram.read(a); }
+                Action::Write(a, d) => {
+                    ram.write(a, d);
+                    if a == cell {
+                        // Starting from 0, the cell can never become 1.
+                        prop_assert_eq!(ram.peek(cell), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incorrect-read faults never change storage.
+    #[test]
+    fn irf_preserves_storage(actions in arb_actions(8, 1), cell in 0usize..8) {
+        let mut ram = Ram::new(Geometry::bom(8));
+        ram.inject(FaultKind::IncorrectRead { cell, bit: 0 }).unwrap();
+        let mut model = vec![0u64; 8];
+        for act in &actions {
+            match *act {
+                Action::Read(a) => {
+                    let v = ram.read(a);
+                    if a == cell {
+                        prop_assert_eq!(v, model[a] ^ 1, "IRF complements the output");
+                    } else {
+                        prop_assert_eq!(v, model[a]);
+                    }
+                }
+                Action::Write(a, d) => {
+                    ram.write(a, d);
+                    model[a] = d;
+                }
+            }
+            prop_assert_eq!(ram.peek(cell), model[cell], "storage must be intact");
+        }
+    }
+
+    /// Multi-port cycles with disjoint writes equal the same ops issued
+    /// sequentially through one port.
+    #[test]
+    fn dual_port_disjoint_writes_equal_sequential(
+        pairs in prop::collection::vec((0usize..8, 8usize..16, 0u64..2, 0u64..2), 1..30),
+    ) {
+        let geom = Geometry::bom(16);
+        let mut dual = Ram::with_ports(geom, 2).unwrap();
+        let mut seq = Ram::new(geom);
+        for &(a, b, da, db) in &pairs {
+            dual.cycle(&[
+                PortOp::Write { addr: a, data: da },
+                PortOp::Write { addr: b, data: db },
+            ]).unwrap();
+            seq.write(a, da);
+            seq.write(b, db);
+        }
+        for c in 0..16 {
+            prop_assert_eq!(dual.peek(c), seq.peek(c), "cell {}", c);
+        }
+        // Cycle accounting: one cycle per pair vs two sequential.
+        prop_assert_eq!(dual.stats().cycles * 2, seq.stats().cycles);
+    }
+
+    /// Decoder shadow faults alias exactly two addresses to one cell.
+    #[test]
+    fn decoder_shadow_aliasing(addr in 0usize..8, data in 0u64..2, probe in 0u64..2) {
+        let instead = (addr + 4) % 8;
+        prop_assume!(instead != addr);
+        let mut ram = Ram::new(Geometry::bom(8));
+        ram.inject(FaultKind::DecoderShadow { addr, instead_cell: instead }).unwrap();
+        ram.write(addr, data);
+        prop_assert_eq!(ram.read(instead), data, "write went to the shadow cell");
+        ram.write(instead, probe);
+        prop_assert_eq!(ram.read(addr), probe, "read comes from the shadow cell");
+        prop_assert_eq!(ram.peek(addr), 0, "own cell never touched");
+    }
+}

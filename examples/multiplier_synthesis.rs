@@ -1,0 +1,77 @@
+//! Scenario: synthesizing the WOM datapath's constant multiplier.
+//!
+//! The word-oriented π-test datapath needs `x ↦ 2·x` over GF(2⁴) (the
+//! paper's generator `g = 1 + 2x + 2x²`), built from XOR gates only so it
+//! can sit "inherently in the memory circuit" (§2). This example
+//! synthesizes the network, prints the netlist, verifies it exhaustively
+//! against the field, and compares naive vs CSE synthesis for a denser
+//! constant in GF(2⁸).
+//!
+//! Run: `cargo run --release --example multiplier_synthesis`
+
+use prt_suite::prelude::*;
+use prt_gf::{mult_synth, SynthesisStrategy};
+
+fn print_netlist(name: &str, net: &XorNetwork) {
+    println!("{name}: {} XOR gates, depth {}", net.gate_count(), net.depth());
+    for (i, gate) in net.gates().iter().enumerate() {
+        let label = |s: usize| {
+            if s < net.input_count() {
+                format!("x{s}")
+            } else {
+                format!("t{}", s - net.input_count())
+            }
+        };
+        println!("  t{i} = {} ^ {}", label(gate.a), label(gate.b));
+    }
+    for (bit, drv) in net.outputs().iter().enumerate() {
+        let d = match drv {
+            None => "0".to_string(),
+            Some(s) if *s < net.input_count() => format!("x{s}"),
+            Some(s) => format!("t{}", s - net.input_count()),
+        };
+        println!("  y{bit} = {d}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's multiplier: ·2 over GF(2⁴), p(z) = 1 + z + z⁴.
+    let field = Field::new(4, 0b1_0011)?;
+    let net = mult_synth::for_constant(&field, 2, SynthesisStrategy::Paar);
+    print_netlist("x ↦ 2·x over GF(2⁴)", &net);
+
+    // Exhaustive verification against the field (the netlist is hardware;
+    // trust nothing).
+    for x in 0..16u64 {
+        assert_eq!(net.eval(x as u128) as u64, field.mul(2, x));
+    }
+    println!("verified against GF(2⁴) multiplication for all 16 inputs\n");
+
+    // A dense constant in GF(2⁸): where CSE starts to pay.
+    let f256 = Field::gf(8)?;
+    let c = 0xB5;
+    let matrix = mult_synth::mult_matrix(&f256, c);
+    let naive = mult_synth::synthesize(&matrix, SynthesisStrategy::Naive);
+    let cse = mult_synth::synthesize(&matrix, SynthesisStrategy::Paar);
+    println!(
+        "x ↦ {c:#x}·x over GF(2⁸): naive {} gates, CSE {} gates ({}% saved), depth {} → {}",
+        naive.gate_count(),
+        cse.gate_count(),
+        100 * (naive.gate_count() - cse.gate_count()) / naive.gate_count(),
+        naive.depth(),
+        cse.depth()
+    );
+    for x in 0..256u64 {
+        assert_eq!(cse.eval(x as u128) as u64, f256.mul(c, x));
+    }
+    println!("verified against GF(2⁸) multiplication for all 256 inputs");
+
+    // Survey the whole field: the distribution a datapath generator would use.
+    let survey = mult_synth::survey_field(&field);
+    let worst = survey.iter().max_by_key(|s| s.paar_gates).expect("non-empty");
+    println!(
+        "\nGF(2⁴) survey: worst constant {} needs {} XOR gates (naive {})",
+        worst.constant, worst.paar_gates, worst.naive_gates
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: pseudo-ring testing in five minutes.
+//!
+//! Builds the paper's two automata (Figure 1a and 1b), runs them on
+//! fault-free and faulty memories, and shows the Fin/Fin* signature
+//! mechanism and the pseudo-ring closure.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use prt_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Figure 1a: bit-oriented memory ---------------------------------
+    let pi = PiTest::figure_1a()?;
+    println!("bit-oriented automaton: g(x) = 1 + x + x², period {}", pi.period()?);
+
+    let mut good = Ram::new(Geometry::bom(32));
+    let clean = pi.run(&mut good)?;
+    println!(
+        "fault-free run:  Fin = {:?}  Fin* = {:?}  detected = {}",
+        clean.fin(),
+        clean.fin_star(),
+        clean.detected()
+    );
+
+    let mut bad = Ram::new(Geometry::bom(32));
+    bad.inject(FaultKind::StuckAt { cell: 17, bit: 0, value: 0 })?;
+    let caught = pi.run(&mut bad)?;
+    println!(
+        "SA0 @ cell 17:   Fin = {:?}  Fin* = {:?}  detected = {}",
+        caught.fin(),
+        caught.fin_star(),
+        caught.detected()
+    );
+
+    // --- Figure 1b: word-oriented memory over GF(2⁴) ---------------------
+    let pi = PiTest::figure_1b()?;
+    let period = pi.period()? as usize;
+    println!("\nword-oriented automaton: g(x) = 1 + 2x + 2x² over GF(2⁴), period {period}");
+    let n = period + 2; // pseudo-ring closes exactly here
+    let mut wom = Ram::new(Geometry::wom(n, 4)?);
+    let res = pi.run(&mut wom)?;
+    println!(
+        "n = {n}: ring closed (Fin = Init)? {}  ops = {} (= 3n − 2)",
+        res.fin() == pi.init(),
+        res.ops()
+    );
+
+    // --- A complete self-test: the standard 3-iteration scheme ----------
+    let scheme = PrtScheme::standard3(Field::new(1, 0b11)?)?;
+    let mut victim = Ram::new(Geometry::bom(64));
+    victim.inject(FaultKind::CouplingInversion {
+        agg_cell: 40,
+        agg_bit: 0,
+        victim_cell: 9,
+        victim_bit: 0,
+        trigger: CouplingTrigger::Rise,
+    })?;
+    let verdict = scheme.run(&mut victim)?;
+    println!(
+        "\nstandard3 on a CFin-coupled memory: detected = {} (iteration {:?}), {} ops",
+        verdict.detected(),
+        verdict.first_detection(),
+        verdict.ops()
+    );
+    Ok(())
+}

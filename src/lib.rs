@@ -1,0 +1,46 @@
+//! Umbrella crate for the PRT reproduction workspace.
+//!
+//! Re-exports every subsystem so the examples and cross-crate integration
+//! tests have a single import surface:
+//!
+//! * [`prt_gf`] — Galois-field arithmetic and XOR-network synthesis,
+//! * [`prt_lfsr`] — bit and word LFSR models,
+//! * [`prt_ram`] — the fault-injecting RAM simulator,
+//! * [`prt_march`] — the March test engine and baselines,
+//! * [`prt_core`] — pseudo-ring testing itself.
+//!
+//! # Example
+//!
+//! ```
+//! use prt_suite::prelude::*;
+//!
+//! let pi = PiTest::figure_1a()?;
+//! let mut ram = Ram::new(Geometry::bom(12));
+//! assert!(!pi.run(&mut ram)?.detected());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use prt_core;
+pub use prt_gf;
+pub use prt_lfsr;
+pub use prt_march;
+pub use prt_ram;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use prt_core::{
+        BistController, BitPlanePi, PiResult, PiTest, PlaneScheme, PlaneSeeding, PrtError,
+        PrtScheme, Trajectory,
+    };
+    pub use prt_core::scheme::IterationSpec;
+    pub use prt_gf::{BitMatrix, Field, Poly2, PolyGf, XorNetwork};
+    pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
+    pub use prt_march::{library as march_library, Executor, MarchTest};
+    pub use prt_ram::{
+        CouplingTrigger, FaultKind, FaultUniverse, Geometry, PortOp, Ram, RamError,
+        SplitMix64, UniverseSpec,
+    };
+}

@@ -1,0 +1,161 @@
+//! Integration tests for the paper's §3 coverage claims (experiments
+//! E3/E4/E10 in miniature).
+
+use prt_suite::prelude::*;
+
+fn gf2() -> Field {
+    Field::new(1, 0b11).expect("GF(2)")
+}
+
+#[test]
+fn simulator_calibration_march_textbook_table() {
+    // The E10 validation in miniature: known March guarantees.
+    let universe = FaultUniverse::enumerate(Geometry::bom(8), &UniverseSpec::paper_claim());
+    let ex = Executor::new().stop_at_first_mismatch();
+    let check = |test: &MarchTest, complete: &[&str], incomplete: &[&str]| {
+        let r = prt_march::coverage::evaluate(test, &universe, &ex);
+        for c in complete {
+            assert!(
+                r.class(c).expect("class").complete(),
+                "{} must fully cover {c}",
+                test.name()
+            );
+        }
+        for c in incomplete {
+            assert!(
+                !r.class(c).expect("class").complete(),
+                "{} should NOT fully cover {c}",
+                test.name()
+            );
+        }
+    };
+    check(&march_library::mats_plus(), &["SAF", "AF"], &["TF"]);
+    check(&march_library::mats_plus_plus(), &["SAF", "AF", "TF"], &["CFid"]);
+    check(&march_library::march_x(), &["SAF", "AF", "TF", "CFin"], &["CFid"]);
+    check(
+        &march_library::march_c_minus(),
+        &["SAF", "AF", "TF", "CFin", "CFid", "CFst"],
+        &[],
+    );
+}
+
+#[test]
+fn standard3_reproduces_paper_claim_except_cfid() {
+    let scheme = PrtScheme::standard3(gf2()).expect("scheme");
+    let universe = FaultUniverse::enumerate(Geometry::bom(10), &UniverseSpec::paper_claim());
+    let report = scheme.coverage(&universe);
+    for class in ["SAF", "TF", "AF", "CFin", "CFst"] {
+        assert!(
+            report.class(class).expect("class").complete(),
+            "standard3 must fully cover {class}"
+        );
+    }
+    let cfid = report.class("CFid").expect("class");
+    assert_eq!(cfid.detected * 2, cfid.total, "the structural 50% cap");
+}
+
+#[test]
+fn full_coverage_scheme_is_complete_and_size_stable() {
+    for n in [8usize, 14] {
+        let (scheme, verified) =
+            PrtScheme::full_coverage(gf2(), Geometry::bom(n)).expect("synthesis");
+        assert!(verified > 0);
+        assert_eq!(scheme.iterations().len(), 5, "5 iterations suffice at n={n}");
+        let universe = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+        assert!(scheme.coverage(&universe).complete(), "n={n}");
+    }
+}
+
+#[test]
+fn full_coverage_also_handles_extended_fault_families() {
+    // SOF/RDF/DRDF/IRF were not part of the synthesis target but fall out
+    // for free (read-path corruption always propagates). WDF is the
+    // interesting one: a write-disturb fires only on NON-transition writes,
+    // and complement-structured TDBs transition on every write by design —
+    // so WDF coverage needs one *repeated* iteration (same seed twice),
+    // which makes every write a non-transition one.
+    let (scheme, _) = PrtScheme::full_coverage(gf2(), Geometry::bom(10)).expect("synthesis");
+    let spec = UniverseSpec {
+        sof: true,
+        rdf: true,
+        drdf: true,
+        irf: true,
+        wdf: true,
+        ..UniverseSpec::default()
+    };
+    let universe = FaultUniverse::enumerate(Geometry::bom(10), &spec);
+    let report = scheme.coverage(&universe);
+    for row in report.rows() {
+        if row.class == "WDF" {
+            assert!(!row.complete(), "WDF should expose the all-transition blind spot");
+        } else {
+            assert!(
+                row.complete(),
+                "{}: {}/{} — read-path faults are easy for π-tests",
+                row.class,
+                row.detected,
+                row.total
+            );
+        }
+    }
+    // Remedy: append a repeat of the last iteration — every write becomes
+    // a non-transition write, firing every WDF.
+    let mut specs = scheme.iterations().to_vec();
+    specs.push(specs.last().expect("non-empty").clone());
+    let extended = PrtScheme::new(gf2(), scheme.feedback(), specs)
+        .expect("extended scheme")
+        .with_preread(true)
+        .with_final_readback(true);
+    let report = extended.coverage(&universe);
+    assert!(
+        report.class("WDF").expect("class").complete(),
+        "a repeated iteration must complete WDF coverage"
+    );
+}
+
+#[test]
+fn prt_and_march_agree_on_fault_free_memories() {
+    let scheme = PrtScheme::standard3(gf2()).expect("scheme");
+    let march = march_library::march_c_minus();
+    let ex = Executor::new();
+    for n in [5usize, 16, 31] {
+        let mut a = Ram::new(Geometry::bom(n));
+        assert!(!scheme.run(&mut a).expect("run").detected(), "PRT false positive n={n}");
+        let mut b = Ram::new(Geometry::bom(n));
+        assert!(!ex.run(&march, &mut b).detected(), "March false positive n={n}");
+    }
+}
+
+#[test]
+fn wom_standard3_on_word_universe() {
+    let field = Field::new(4, 0b1_0011).expect("GF(16)");
+    let scheme = PrtScheme::standard3(field).expect("scheme");
+    let spec = UniverseSpec {
+        saf: true,
+        tf: true,
+        af: true,
+        coupling_radius: Some(2),
+        cfin: true,
+        ..UniverseSpec::default()
+    };
+    let universe =
+        FaultUniverse::enumerate(Geometry::wom(8, 4).expect("geometry"), &spec);
+    let report = scheme.coverage(&universe);
+    assert!(report.complete(), "SAF/TF/AF/CFin must be complete on WOM");
+}
+
+#[test]
+fn dual_port_scheme_coverage_equals_single_port() {
+    // The Figure 2 schedule must not lose detection power.
+    let scheme = PrtScheme::plain(gf2(), 4).expect("scheme");
+    let universe = FaultUniverse::enumerate(Geometry::bom(8), &UniverseSpec::single_cell());
+    for (fault, _) in universe.instances() {
+        let mut single = Ram::new(Geometry::bom(8));
+        single.inject(fault.clone()).expect("inject");
+        let s = scheme.run(&mut single).expect("run").detected();
+        let mut dual = Ram::with_ports(Geometry::bom(8), 2).expect("ports");
+        dual.inject(fault.clone()).expect("inject");
+        let d = scheme.run_dual_port(&mut dual).expect("run").detected();
+        assert_eq!(s, d, "verdicts differ for {fault}");
+    }
+}

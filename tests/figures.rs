@@ -1,0 +1,78 @@
+//! Integration tests reproducing the paper's figures end-to-end.
+
+use prt_suite::prelude::*;
+
+#[test]
+fn figure_1a_cell_row() {
+    // Memory contents after a BOM π-iteration: 0 1 1 | 0 1 1 | …
+    let pi = PiTest::figure_1a().expect("automaton");
+    let mut ram = Ram::new(Geometry::bom(12));
+    pi.run(&mut ram).expect("run");
+    let expect = [0u64, 1, 1, 0, 1, 1, 0, 1, 1, 0, 1, 1];
+    for (c, &e) in expect.iter().enumerate() {
+        assert_eq!(ram.peek(c), e, "cell {c}");
+    }
+}
+
+#[test]
+fn figure_1a_ring_closure_iff_period_divides() {
+    let pi = PiTest::figure_1a().expect("automaton");
+    for n in 4..40usize {
+        let mut ram = Ram::new(Geometry::bom(n));
+        let res = pi.run(&mut ram).expect("run");
+        let closed = res.fin() == pi.init();
+        assert_eq!(closed, (n - 2) % 3 == 0, "n={n}");
+        assert!(!res.detected(), "fault-free run must pass, n={n}");
+    }
+}
+
+#[test]
+fn figure_1b_sequence_and_field() {
+    let field = Field::new(4, 0b1_0011).expect("p(z)=1+z+z⁴");
+    let g = PolyGf::new(&field, vec![1, 2, 2]).expect("g");
+    assert!(g.is_irreducible(&field), "the paper's irreducibility statement");
+    let pi = PiTest::figure_1b().expect("automaton");
+    assert_eq!(&pi.expected_sequence(4), &[0, 1, 2, 6], "the figure's prefix");
+    assert_eq!(pi.period().expect("period"), 255, "g is in fact primitive");
+}
+
+#[test]
+fn figure_1b_ring_closure_on_memory() {
+    let pi = PiTest::figure_1b().expect("automaton");
+    let mut ram = Ram::new(Geometry::wom(257, 4).expect("geometry")); // 255 + k
+    let res = pi.run(&mut ram).expect("run");
+    assert_eq!(res.fin(), pi.init());
+    assert!(!res.detected());
+}
+
+#[test]
+fn figure_2_dual_port_equivalence_and_cycles() {
+    let pi = PiTest::figure_1b().expect("automaton");
+    for n in [16usize, 33, 128] {
+        let mut single = Ram::new(Geometry::wom(n, 4).expect("geometry"));
+        let r1 = pi.run(&mut single).expect("run");
+        let mut dual =
+            Ram::with_ports(Geometry::wom(n, 4).expect("geometry"), 2).expect("ports");
+        let r2 = pi.run_dual_port(&mut dual).expect("run");
+        assert_eq!(r1.fin(), r2.fin(), "schedules must agree, n={n}");
+        assert_eq!(r1.cycles(), 3 * n as u64 - 2);
+        assert_eq!(r2.cycles(), 2 * n as u64 - 2);
+        // Same storage left behind by both schedules.
+        for c in 0..n {
+            assert_eq!(single.peek(c), dual.peek(c), "cell {c}");
+        }
+    }
+}
+
+#[test]
+fn memory_sequence_has_automaton_complexity() {
+    // Berlekamp–Massey on the memory contents: exactly the k-stage LFSR.
+    let pi = PiTest::figure_1b().expect("automaton");
+    let mut ram = Ram::new(Geometry::wom(64, 4).expect("geometry"));
+    pi.run(&mut ram).expect("run");
+    let field = Field::new(4, 0b1_0011).expect("field");
+    let words: Vec<u64> = (0..64).map(|c| ram.peek(c)).collect();
+    let lc = prt_suite::prt_lfsr::linear_complexity_words(&field, &words);
+    assert_eq!(lc.complexity, 2);
+    assert_eq!(lc.connection, vec![1, 2, 2], "recovers g(x) itself");
+}

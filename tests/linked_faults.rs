@@ -1,0 +1,155 @@
+//! Linked-fault analysis: two coupling faults sharing a victim can mask
+//! each other — the classical reason March A/B exist despite March C-'s
+//! complete *unlinked* coverage (van de Goor). The simulator composes
+//! injected faults sequentially, so masking emerges naturally; these tests
+//! measure it rather than assume it.
+
+use prt_suite::prelude::*;
+
+/// All ordered linked CFin pairs `⟨d₁⟩ a₁→v, ⟨d₂⟩ a₂→v` with distinct
+/// aggressors on an `n`-cell BOM.
+fn linked_cfin_pairs(n: usize) -> Vec<[FaultKind; 2]> {
+    let mut out = Vec::new();
+    let dirs = [CouplingTrigger::Rise, CouplingTrigger::Fall];
+    for v in 0..n {
+        for a1 in 0..n {
+            for a2 in (a1 + 1)..n {
+                if a1 == v || a2 == v {
+                    continue;
+                }
+                for d1 in dirs {
+                    for d2 in dirs {
+                        out.push([
+                            FaultKind::CouplingInversion {
+                                agg_cell: a1,
+                                agg_bit: 0,
+                                victim_cell: v,
+                                victim_bit: 0,
+                                trigger: d1,
+                            },
+                            FaultKind::CouplingInversion {
+                                agg_cell: a2,
+                                agg_bit: 0,
+                                victim_cell: v,
+                                victim_bit: 0,
+                                trigger: d2,
+                            },
+                        ]);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn march_coverage_on_pairs(test: &MarchTest, n: usize, pairs: &[[FaultKind; 2]]) -> (usize, usize) {
+    let ex = Executor::new().stop_at_first_mismatch();
+    let mut detected = 0;
+    for pair in pairs {
+        let mut ram = Ram::new(Geometry::bom(n));
+        for f in pair {
+            ram.inject(f.clone()).expect("valid");
+        }
+        if ex.run(test, &mut ram).detected() {
+            detected += 1;
+        }
+    }
+    (detected, pairs.len())
+}
+
+#[test]
+fn linked_cfin_pairs_mask_each_other_for_march_c_minus() {
+    let n = 8;
+    let pairs = linked_cfin_pairs(n);
+    let (c_minus, total) = march_coverage_on_pairs(&march_library::march_c_minus(), n, &pairs);
+    // March C- covers 100% of UNLINKED CFin (E10) but linked pairs mask:
+    assert!(
+        c_minus < total,
+        "some linked CFin pair must escape March C- ({c_minus}/{total})"
+    );
+    // …while single-fault behaviour stays complete (sanity).
+    let universe = FaultUniverse::enumerate(
+        Geometry::bom(n),
+        &UniverseSpec { cfin: true, ..UniverseSpec::default() },
+    );
+    let report = prt_march::coverage::evaluate(
+        &march_library::march_c_minus(),
+        &universe,
+        &Executor::new().stop_at_first_mismatch(),
+    );
+    assert!(report.complete(), "unlinked CFin must stay at 100%");
+}
+
+#[test]
+fn stronger_march_tests_and_prt_reduce_linked_escapes() {
+    let n = 8;
+    let pairs = linked_cfin_pairs(n);
+    let (c_minus, total) = march_coverage_on_pairs(&march_library::march_c_minus(), n, &pairs);
+    let (march_a, _) = march_coverage_on_pairs(&march_library::march_a(), n, &pairs);
+    let (march_b, _) = march_coverage_on_pairs(&march_library::march_b(), n, &pairs);
+
+    // The textbook motivation for March A/B: better linked-fault behaviour.
+    assert!(
+        march_a >= c_minus && march_b >= c_minus,
+        "March A ({march_a}) and B ({march_b}) should not be worse than C- ({c_minus}) of {total}"
+    );
+
+    // PRT full-coverage schedule on the same linked pairs.
+    let (scheme, _) = PrtScheme::full_coverage(
+        Field::new(1, 0b11).expect("GF(2)"),
+        Geometry::bom(n),
+    )
+    .expect("synthesis");
+    let mut prt_detected = 0;
+    for pair in &pairs {
+        let mut ram = Ram::new(Geometry::bom(n));
+        for f in pair {
+            ram.inject(f.clone()).expect("valid");
+        }
+        if scheme.run(&mut ram).expect("run").detected() {
+            prt_detected += 1;
+        }
+    }
+    assert!(
+        prt_detected > c_minus,
+        "pre-read PRT ({prt_detected}/{total}) should beat March C- ({c_minus}) on linked pairs: \
+         the stale-value check observes intermediate corruption that in-element masking hides"
+    );
+}
+
+#[test]
+fn double_inversion_within_one_window_is_the_masking_mechanism() {
+    // Construct the mechanism explicitly: two aggressors adjacent to the
+    // victim's read window fire once each, restoring the victim before the
+    // next read — a March element sees nothing.
+    let n = 6;
+    let mk = |a: usize| FaultKind::CouplingInversion {
+        agg_cell: a,
+        agg_bit: 0,
+        victim_cell: 1,
+        victim_bit: 0,
+        trigger: CouplingTrigger::Rise,
+    };
+    // Sanity: each alone is detected by March C-.
+    let ex = Executor::new().stop_at_first_mismatch();
+    for a in [3usize, 4] {
+        let mut ram = Ram::new(Geometry::bom(n));
+        ram.inject(mk(a)).expect("valid");
+        assert!(
+            ex.run(&march_library::march_c_minus(), &mut ram).detected(),
+            "single CFin {a}→1 must be detected"
+        );
+    }
+    // Together they may or may not mask depending on element structure —
+    // the aggregate masking existence is asserted by the pair sweep above;
+    // here we just confirm the simulator composes both faults.
+    let mut ram = Ram::new(Geometry::bom(n));
+    ram.inject(mk(3)).expect("valid");
+    ram.inject(mk(4)).expect("valid");
+    ram.write(1, 0);
+    ram.write(3, 1); // rise → victim flips to 1
+    assert_eq!(ram.peek(1), 1);
+    ram.write(4, 1); // rise → victim flips back to 0
+    assert_eq!(ram.peek(1), 0, "double inversion must cancel in storage");
+}
