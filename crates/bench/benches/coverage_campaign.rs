@@ -1,0 +1,105 @@
+//! Criterion group measuring campaign-engine throughput (faults/second):
+//! the seed's per-fault-allocation loop vs the pooled sequential engine vs
+//! the parallel fan-out, for both a March runner (cheap per fault, early
+//! exit) and a PRT scheme runner (heavier per fault).
+//!
+//! Run: `cargo bench -p prt-bench --bench coverage_campaign`
+//!
+//! The three variants produce bit-identical verdict vectors (asserted in
+//! the prt-sim and integration tests); this bench quantifies the speedup.
+//! Parallel gains scale with core count — on a single-core host the
+//! `parallel_auto` row collapses to the pooled-sequential number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prt_core::PrtScheme;
+use prt_gf::Field;
+use prt_march::{coverage::MarchRunner, library, Executor};
+use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+use prt_sim::{Campaign, Parallelism};
+
+fn bench_march_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_march_c_minus");
+    let test = library::march_c_minus();
+    let ex = Executor::new().stop_at_first_mismatch();
+    for n in [16usize, 32] {
+        let universe = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+        group.throughput(Throughput::Elements(universe.len() as u64));
+        group.bench_with_input(BenchmarkId::new("seed_alloc_per_fault", n), &universe, |b, u| {
+            b.iter(|| Campaign::new(u, MarchRunner::new(&test, &ex)).detections_reference())
+        });
+        group.bench_with_input(BenchmarkId::new("pooled_sequential", n), &universe, |b, u| {
+            b.iter(|| {
+                Campaign::new(u, MarchRunner::new(&test, &ex))
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
+            b.iter(|| {
+                Campaign::new(u, MarchRunner::new(&test, &ex))
+                    .with_parallelism(Parallelism::Auto)
+                    .detections()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheme_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_prt_standard3");
+    let scheme = PrtScheme::standard3(Field::new(1, 0b11).expect("GF(2)")).expect("scheme");
+    let n = 24usize;
+    let universe = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+    group.throughput(Throughput::Elements(universe.len() as u64));
+    group.bench_with_input(BenchmarkId::new("seed_alloc_per_fault", n), &universe, |b, u| {
+        b.iter(|| Campaign::new(u, &scheme).detections_reference())
+    });
+    group.bench_with_input(BenchmarkId::new("pooled_sequential", n), &universe, |b, u| {
+        b.iter(|| Campaign::new(u, &scheme).with_parallelism(Parallelism::Sequential).detections())
+    });
+    group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
+        b.iter(|| Campaign::new(u, &scheme).with_parallelism(Parallelism::Auto).detections())
+    });
+    group.finish();
+}
+
+fn bench_multi_background(c: &mut Criterion) {
+    // Word-oriented multi-background sweep: the per-fault early exit across
+    // backgrounds is the dominant win here.
+    let mut group = c.benchmark_group("campaign_march_multibg_wom");
+    let test = library::march_c_minus();
+    let ex = Executor::new().stop_at_first_mismatch();
+    let bgs = prt_march::coverage::standard_backgrounds(4);
+    let spec =
+        UniverseSpec { coupling_radius: Some(3), intra_word: true, ..UniverseSpec::paper_claim() };
+    let n = 12usize;
+    let universe = FaultUniverse::enumerate(Geometry::wom(n, 4).expect("geometry"), &spec);
+    group.throughput(Throughput::Elements(universe.len() as u64));
+    group.bench_with_input(BenchmarkId::new("seed_alloc_per_fault", n), &universe, |b, u| {
+        b.iter(|| {
+            Campaign::new(u, MarchRunner::new(&test, &ex))
+                .with_backgrounds(&bgs)
+                .detections_reference()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("pooled_sequential", n), &universe, |b, u| {
+        b.iter(|| {
+            Campaign::new(u, MarchRunner::new(&test, &ex))
+                .with_backgrounds(&bgs)
+                .with_parallelism(Parallelism::Sequential)
+                .detections()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
+        b.iter(|| {
+            Campaign::new(u, MarchRunner::new(&test, &ex))
+                .with_backgrounds(&bgs)
+                .with_parallelism(Parallelism::Auto)
+                .detections()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_march_campaign, bench_scheme_campaign, bench_multi_background);
+criterion_main!(benches);

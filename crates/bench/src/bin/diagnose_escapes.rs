@@ -6,11 +6,11 @@
 use prt_core::PrtScheme;
 use prt_gf::Field;
 use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+use prt_sim::Campaign;
 
 fn main() {
     let ns: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
         if args.is_empty() {
             vec![9, 10, 11]
         } else {
@@ -66,20 +66,9 @@ fn full_coverage_growth(ns: &[usize]) {
 }
 
 fn report(scheme: &PrtScheme, u: &FaultUniverse, label: &str) {
-    let mut escapes = 0usize;
-    let mut shown = 0usize;
-    for (fault, mut ram) in u.instances() {
-        let det = scheme.run(&mut ram).map(|r| r.detected()).unwrap_or(false);
-        if !det {
-            escapes += 1;
-            if shown < 25 {
-                println!("  escape: {fault}");
-                shown += 1;
-            }
-        }
+    let escapes = Campaign::new(u, scheme).escapes();
+    for &i in escapes.iter().take(25) {
+        println!("  escape: {}", u.faults()[i]);
     }
-    println!("{label}: escapes {escapes}/{}", u.len());
+    println!("{label}: escapes {}/{}", escapes.len(), u.len());
 }
-
-#[allow(dead_code)]
-fn unused() {}

@@ -70,12 +70,7 @@ fn main() {
     }
     by_period.sort_unstable_by_key(|&(p, _, _)| p);
     for (p, c, example) in by_period {
-        t.row_owned(vec![
-            example,
-            p.to_string(),
-            c.to_string(),
-            (p == 255).to_string(),
-        ]);
+        t.row_owned(vec![example, p.to_string(), c.to_string(), (p == 255).to_string()]);
     }
     t.print();
 }

@@ -15,9 +15,7 @@ use prt_ram::{Geometry, Ram};
 
 fn main() {
     let pi = PiTest::figure_1b().expect("paper automaton");
-    println!(
-        "dual-port π-test, g(x) has two feedback terms (g1 = g2 = 2) as §4 recommends\n"
-    );
+    println!("dual-port π-test, g(x) has two feedback terms (g1 = g2 = 2) as §4 recommends\n");
 
     // Cycle-by-cycle trace for n = 8 (what Figure 2 draws as edges).
     let n = 8usize;
@@ -29,11 +27,7 @@ fn main() {
     let mut cycle = 1;
     for i in 0..n - 2 {
         cycle += 1;
-        t.row_owned(vec![
-            cycle.to_string(),
-            format!("r c{i}"),
-            format!("r c{}", i + 1),
-        ]);
+        t.row_owned(vec![cycle.to_string(), format!("r c{i}"), format!("r c{}", i + 1)]);
         cycle += 1;
         t.row_owned(vec![
             cycle.to_string(),
@@ -42,7 +36,11 @@ fn main() {
         ]);
     }
     cycle += 1;
-    t.row_owned(vec![cycle.to_string(), format!("r c{} (Fin)", n - 2), format!("r c{} (Fin)", n - 1)]);
+    t.row_owned(vec![
+        cycle.to_string(),
+        format!("r c{} (Fin)", n - 2),
+        format!("r c{} (Fin)", n - 1),
+    ]);
     t.print();
     println!("total: {cycle} cycles = 2n − 2\n");
 

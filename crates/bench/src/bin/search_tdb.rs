@@ -15,7 +15,8 @@
 use prt_core::scheme::{IterationSpec, PrtScheme};
 use prt_core::Trajectory;
 use prt_gf::Field;
-use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram, UniverseSpec};
+use prt_ram::{FaultKind, FaultUniverse, Geometry, UniverseSpec};
+use prt_sim::{Campaign, Parallelism};
 
 /// Hardness-ordered fault instances: the classes that escape most schemes
 /// come first so fail-fast pruning triggers early.
@@ -36,34 +37,27 @@ fn ordered_instances(n: usize) -> (Geometry, Vec<FaultKind>) {
 }
 
 fn first_escape(scheme: &PrtScheme, sets: &[(Geometry, Vec<FaultKind>)]) -> Option<FaultKind> {
+    // Sequential campaigns: each candidate schedule is checked fail-fast
+    // against hardness-ordered instances, and the odometer visits millions
+    // of candidates — pooled memories matter here, thread fan-out would
+    // not amortise per candidate.
     for (geom, faults) in sets {
-        for fault in faults {
-            let mut ram = Ram::new(*geom);
-            ram.inject(fault.clone()).expect("valid");
-            match scheme.run(&mut ram) {
-                Ok(res) if res.detected() => {}
-                _ => return Some(fault.clone()),
-            }
+        let found = Campaign::over(*geom, faults, scheme)
+            .with_parallelism(Parallelism::Sequential)
+            .first_escape();
+        if let Some(i) = found {
+            return Some(faults[i].clone());
         }
     }
     None
 }
 
 fn label(spec: &IterationSpec) -> String {
-    format!(
-        "{}({},{})e{}",
-        spec.trajectory.label(),
-        spec.init[0],
-        spec.init[1],
-        spec.affine
-    )
+    format!("{}({},{})e{}", spec.trajectory.label(), spec.init[0], spec.init[1], spec.affine)
 }
 
 fn main() {
-    let max_iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let max_iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     let field = Field::new(1, 0b11).expect("GF(2)");
     let sets: Vec<(Geometry, Vec<FaultKind>)> =

@@ -16,8 +16,9 @@
 use prt_bench::{pct, Table};
 use prt_core::PrtScheme;
 use prt_gf::Field;
-use prt_march::{coverage, library, CoverageReport, Executor};
+use prt_march::{coverage, coverage::MarchRunner, library, CoverageReport, Executor};
 use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+use prt_sim::Campaign;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
@@ -70,10 +71,7 @@ fn main() {
     let mut header = vec!["scheme", "ops"];
     header.extend(classes);
     header.push("overall");
-    let mut t = Table::new(
-        format!("E3: fault coverage on BOM n={n} (percent detected)"),
-        &header,
-    );
+    let mut t = Table::new(format!("E3: fault coverage on BOM n={n} (percent detected)"), &header);
     for (name, report, ops) in &schemes {
         let mut row = vec![name.clone(), ops.clone()];
         for class in classes {
@@ -104,31 +102,14 @@ fn main() {
         ),
     ];
     for (name, scheme) in &candidates {
-        let mut detected = 0usize;
-        for fault in &npsf {
-            let mut ram = prt_ram::Ram::new(Geometry::bom(16));
-            ram.inject(fault.clone()).expect("valid");
-            if scheme.run(&mut ram).map(|r| r.detected()).unwrap_or(false) {
-                detected += 1;
-            }
-        }
+        let detected = Campaign::over(Geometry::bom(16), &npsf, scheme).count_detected();
         println!("  {name}: {}", pct(100.0 * detected as f64 / npsf.len() as f64));
     }
     let ex = Executor::new().stop_at_first_mismatch();
     for test in [library::march_c_minus(), library::march_ss()] {
-        let mut detected = 0usize;
-        for fault in &npsf {
-            let mut ram = prt_ram::Ram::new(Geometry::bom(16));
-            ram.inject(fault.clone()).expect("valid");
-            if ex.run(&test, &mut ram).detected() {
-                detected += 1;
-            }
-        }
-        println!(
-            "  {}: {}",
-            test.name(),
-            pct(100.0 * detected as f64 / npsf.len() as f64)
-        );
+        let detected =
+            Campaign::over(Geometry::bom(16), &npsf, MarchRunner::new(&test, &ex)).count_detected();
+        println!("  {}: {}", test.name(), pct(100.0 * detected as f64 / npsf.len() as f64));
     }
     println!(
         "  (full NPSF coverage classically needs dedicated tiling tests — the\n\

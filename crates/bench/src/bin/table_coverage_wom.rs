@@ -16,8 +16,9 @@
 use prt_bench::{pct, Table};
 use prt_core::{BitPlanePi, PlaneSeeding, PrtScheme};
 use prt_gf::{Field, Poly2};
-use prt_march::{coverage, library, CoverageRow, Executor};
+use prt_march::{coverage, library, Executor};
 use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
+use prt_sim::Campaign;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9);
@@ -26,11 +27,8 @@ fn main() {
     let geom = Geometry::wom(n, m).expect("geometry");
 
     // Part 1: full WOM universe, standard schemes vs March baseline.
-    let spec = UniverseSpec {
-        coupling_radius: Some(3),
-        intra_word: true,
-        ..UniverseSpec::paper_claim()
-    };
+    let spec =
+        UniverseSpec { coupling_radius: Some(3), intra_word: true, ..UniverseSpec::paper_claim() };
     let universe = FaultUniverse::enumerate(geom, &spec);
     println!(
         "universe: {} instances on a {n}×{m}b word-oriented memory (radius-3 couplings + intra-word)",
@@ -117,8 +115,7 @@ fn main() {
         PlaneSeeding::Explicit(vec![0b11, 0b01, 0b10, 0b10]),
         PlaneSeeding::Explicit(vec![0b10, 0b01, 0b11, 0b01]),
     ];
-    let random: Vec<PlaneSeeding> =
-        (0..4).map(|i| PlaneSeeding::Random { seed: 2 + i }).collect();
+    let random: Vec<PlaneSeeding> = (0..4).map(|i| PlaneSeeding::Random { seed: 2 + i }).collect();
     let mut t2 = Table::new(
         format!("E4b: 1–4 plane-π iterations on intra-word couplings, n={n}, m={m}"),
         &["plane seeding", "iters", "CFin", "CFid", "CFst", "overall"],
@@ -129,37 +126,20 @@ fn main() {
         ("explicit decorrelated", &decorrelated),
     ] {
         for iters in [1usize, 2, 4] {
-            let mut rows: Vec<CoverageRow> = Vec::new();
-            for (fault, _) in intra.instances() {
-                let mut ram = Ram::new(geom);
-                ram.inject(fault.clone()).expect("valid");
+            // One campaign per schedule prefix: the runner plays the first
+            // `iters` plane iterations back-to-back on the pooled memory,
+            // accumulating state exactly like the historical loop did.
+            let runner = |ram: &mut Ram, _bg: u64| {
                 let mut detected = false;
                 for seeding in &schedule[..iters] {
                     let pi = BitPlanePi::new(poly, seeding.clone()).expect("plane π");
-                    detected |= pi.run(&mut ram).map(|r| r.detected()).unwrap_or(false);
+                    detected |= pi.run(ram).map(|r| r.detected()).unwrap_or(false);
                 }
-                let class = fault.mnemonic();
-                let row = match rows.iter_mut().find(|r| r.class == class) {
-                    Some(r) => r,
-                    None => {
-                        rows.push(CoverageRow { class, detected: 0, total: 0 });
-                        rows.last_mut().expect("pushed")
-                    }
-                };
-                row.total += 1;
-                if detected {
-                    row.detected += 1;
-                }
-            }
-            let overall: f64 = {
-                let (d, tot) =
-                    rows.iter().fold((0, 0), |(d, t), r| (d + r.detected, t + r.total));
-                100.0 * d as f64 / tot as f64
+                detected
             };
+            let report = Campaign::new(&intra, runner).with_name(format!("{name} ×{iters}")).run();
             let cell = |class: &str| -> String {
-                rows.iter()
-                    .find(|r| r.class == class)
-                    .map_or("—".into(), |r| pct(r.percent()))
+                report.class(class).map_or("—".into(), |r| pct(r.percent()))
             };
             t2.row_owned(vec![
                 name.to_string(),
@@ -167,7 +147,7 @@ fn main() {
                 cell("CFin"),
                 cell("CFid"),
                 cell("CFst"),
-                pct(overall),
+                pct(report.overall_percent()),
             ]);
         }
     }

@@ -55,10 +55,7 @@ fn main() {
     let pairs = linked_cfin_pairs(n);
     println!("{} linked CFin pairs on BOM n={n}\n", pairs.len());
 
-    let mut t = Table::new(
-        "E11: linked CFin-pair detection",
-        &["test", "detected", "coverage"],
-    );
+    let mut t = Table::new("E11: linked CFin-pair detection", &["test", "detected", "coverage"]);
     let ex = Executor::new().stop_at_first_mismatch();
     for test in [
         library::mats_plus(),

@@ -45,10 +45,6 @@ fn main() {
     complete("MATS+", &library::mats_plus(), &["SAF", "AF"]);
     complete("MATS++", &library::mats_plus_plus(), &["SAF", "AF", "TF"]);
     complete("March X", &library::march_x(), &["SAF", "AF", "TF", "CFin"]);
-    complete(
-        "March C-",
-        &library::march_c_minus(),
-        &["SAF", "AF", "TF", "CFin", "CFid", "CFst"],
-    );
+    complete("March C-", &library::march_c_minus(), &["SAF", "AF", "TF", "CFin", "CFid", "CFst"]);
     println!("\nverdict: textbook guarantees reproduced exactly — simulator calibrated.");
 }

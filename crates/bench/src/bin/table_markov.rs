@@ -23,7 +23,9 @@ fn class_instances(class: &str, n: usize) -> Vec<FaultKind> {
             .flat_map(|c| [0u8, 1].map(|v| FaultKind::StuckAt { cell: c, bit: 0, value: v }))
             .collect(),
         "TF" => cells
-            .flat_map(|c| [true, false].map(|r| FaultKind::Transition { cell: c, bit: 0, rising: r }))
+            .flat_map(|c| {
+                [true, false].map(|r| FaultKind::Transition { cell: c, bit: 0, rising: r })
+            })
             .collect(),
         "IRF" => cells.map(|c| FaultKind::IncorrectRead { cell: c, bit: 0 }).collect(),
         "RDF" => cells.map(|c| FaultKind::ReadDestructive { cell: c, bit: 0 }).collect(),
@@ -66,18 +68,16 @@ fn class_instances(class: &str, n: usize) -> Vec<FaultKind> {
             cells
                 .filter(move |v| v + dist < n - 2)
                 .flat_map(move |v| {
-                    [CouplingTrigger::Rise, CouplingTrigger::Fall].into_iter().flat_map(
-                        move |t| {
-                            [0u8, 1].map(move |f| FaultKind::CouplingIdempotent {
-                                agg_cell: v + dist,
-                                agg_bit: 0,
-                                victim_cell: v,
-                                victim_bit: 0,
-                                trigger: t,
-                                force: f,
-                            })
-                        },
-                    )
+                    [CouplingTrigger::Rise, CouplingTrigger::Fall].into_iter().flat_map(move |t| {
+                        [0u8, 1].map(move |f| FaultKind::CouplingIdempotent {
+                            agg_cell: v + dist,
+                            agg_bit: 0,
+                            victim_cell: v,
+                            victim_bit: 0,
+                            trigger: t,
+                            force: f,
+                        })
+                    })
                 })
                 .collect()
         }

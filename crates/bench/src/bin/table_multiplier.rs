@@ -19,16 +19,7 @@ use prt_gf::{mult_synth, Field, SynthesisStrategy};
 fn main() {
     let mut t = Table::new(
         "E7: XOR gates for x ↦ c·x in GF(2^m) (all constants c ≥ 2)",
-        &[
-            "m",
-            "constants",
-            "naive avg",
-            "naive max",
-            "CSE avg",
-            "CSE max",
-            "saved",
-            "max depth",
-        ],
+        &["m", "constants", "naive avg", "naive max", "CSE avg", "CSE max", "saved", "max depth"],
     );
     for m in 2..=8u32 {
         let field = Field::gf(m).expect("default field");

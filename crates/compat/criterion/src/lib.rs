@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds without registry access, so the real crate cannot
+//! be fetched. This shim implements the subset the suite's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`], [`Throughput`],
+//! [`BenchmarkId`], [`criterion_group!`] / [`criterion_main!`] and
+//! [`black_box`] — with a simple calibrated-timing loop and plain-text
+//! reporting (mean ns/iter plus derived throughput). No statistics,
+//! plots or baseline comparison.
+//!
+//! Tuning via environment:
+//!
+//! * `CRITERION_MEASURE_MS` — target measurement time per benchmark
+//!   (default 300 ms),
+//! * `CRITERION_FILTER` — substring filter on benchmark labels (the
+//!   positional CLI filter argument is honoured the same way).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        let filter = std::env::var("CRITERION_FILTER")
+            .ok()
+            .or_else(|| std::env::args().skip(1).find(|a| !a.starts_with('-')));
+        Criterion { measure: Duration::from_millis(ms), filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, c: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        run_one(&label, None, self.measure, self.filter.as_deref(), &mut f);
+        self
+    }
+}
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark label (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the `function/parameter` label.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.throughput, self.c.measure, self.c.filter.as_deref(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `name`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        name: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.throughput, self.c.measure, self.c.filter.as_deref(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (the whole batch, one measurement).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    measure: Duration,
+    filter: Option<&str>,
+    f: &mut F,
+) {
+    if let Some(pat) = filter {
+        if !label.contains(pat) {
+            return;
+        }
+    }
+    // Calibration: grow the batch until it costs ≥ ~1% of the target.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= measure / 100 || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(8);
+    };
+    // Measurement: one batch sized to the target time.
+    let target_iters = ((measure.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 34);
+    let mut b = Bencher { iters: target_iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let ns = b.elapsed.as_secs_f64() * 1e9 / b.iters as f64;
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}/s", si(n as f64 / (ns * 1e-9), "elem"))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}/s", si(n as f64 / (ns * 1e-9), "B"))
+        }
+        None => String::new(),
+    };
+    println!("{label:<55} time: {:>12}/iter{thrpt}", si(ns, "ns"));
+}
+
+/// Human-readable magnitude formatting (`1234567 ns` → `1.235 Mns`… kept
+/// simple: scales by 1000 with k/M/G suffixes).
+fn si(value: f64, unit: &str) -> String {
+    let (v, prefix) = if value >= 1e9 {
+        (value / 1e9, "G")
+    } else if value >= 1e6 {
+        (value / 1e6, "M")
+    } else if value >= 1e3 {
+        (value / 1e3, "k")
+    } else {
+        (value, "")
+    };
+    format!("{v:.3} {prefix}{unit}")
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+
+    #[test]
+    fn bencher_runs_requested_iters() {
+        let mut count = 0u64;
+        let mut b = Bencher { iters: 10, elapsed: Duration::ZERO };
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+        assert!(b.elapsed > Duration::ZERO || count == 10);
+    }
+
+    #[test]
+    fn si_scales() {
+        assert_eq!(si(1500.0, "ns"), "1.500 kns");
+        assert_eq!(si(2.0, "ns"), "2.000 ns");
+    }
+}

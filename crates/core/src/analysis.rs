@@ -74,7 +74,11 @@ pub fn bom_closed_forms() -> Vec<DetectionModel> {
             rationale: "up-TF: P(s=1)=1/2 from zero fill; down-TF: 0 — average",
         },
         DetectionModel { class: "IRF", p_detect: 1.0, rationale: "every operand read corrupted" },
-        DetectionModel { class: "RDF", p_detect: 1.0, rationale: "destructive read observed directly" },
+        DetectionModel {
+            class: "RDF",
+            p_detect: 1.0,
+            rationale: "destructive read observed directly",
+        },
         DetectionModel {
             class: "DRDF",
             p_detect: 1.0,
@@ -139,9 +143,11 @@ pub fn iterations_for_escape(p_detect: f64, target: f64) -> u32 {
 /// Monte-Carlo estimate of the single-iteration detection probability of
 /// `fault` on an `n`-cell bit-oriented memory under the uniform-TDB model.
 ///
-/// Each trial zero-fills a fresh faulty memory, draws a uniform `Init`
+/// Each trial zero-fills a (pooled) faulty memory, draws a uniform `Init`
 /// (over all 4 states of the k=2 automaton) and runs one plain ascending
-/// π-iteration.
+/// π-iteration. Trials fan out on the campaign engine; the TDB draws are
+/// made sequentially up front, so the estimate is bit-identical to the
+/// historical sequential loop for any thread count.
 ///
 /// # Errors
 ///
@@ -153,17 +159,27 @@ pub fn monte_carlo_bom(
     seed: u64,
 ) -> Result<f64, PrtError> {
     let field = Field::new(1, 0b11)?;
-    let mut rng = SplitMix64::new(seed);
-    let mut detected = 0u32;
-    for _ in 0..trials {
-        let init = [rng.next_u64() & 1, rng.next_u64() & 1];
-        let pi = PiTest::new(field.clone(), &[1, 1, 1], &init)?;
-        let mut ram = Ram::new(prt_ram::Geometry::bom(n));
-        ram.inject(fault.clone())?;
-        if pi.run(&mut ram)?.detected() {
-            detected += 1;
-        }
+    let geom = prt_ram::Geometry::bom(n);
+    // Surface the per-trial construction errors of the historical loop
+    // once, up front: fault-site validation and the memory-size check.
+    {
+        let mut probe = Ram::new(geom);
+        probe.inject(fault.clone())?;
+        PiTest::new(field.clone(), &[1, 1, 1], &[0, 1])?.run(&mut probe)?;
     }
+    let mut rng = SplitMix64::new(seed);
+    let inits: Vec<[u64; 2]> =
+        (0..trials).map(|_| [rng.next_u64() & 1, rng.next_u64() & 1]).collect();
+    let verdicts =
+        prt_sim::run_trials(geom, 1, trials as usize, prt_sim::Parallelism::Auto, |t, ram| {
+            ram.inject(fault.clone()).expect("validated above");
+            PiTest::new(field.clone(), &[1, 1, 1], &inits[t])
+                .expect("validated above")
+                .run(ram)
+                .map(|res| res.detected())
+                .unwrap_or(false)
+        });
+    let detected = verdicts.into_iter().filter(|&d| d).count() as u32;
     Ok(f64::from(detected) / f64::from(trials))
 }
 
@@ -241,9 +257,11 @@ mod tests {
     fn tf_class_average_near_quarter() {
         let faults: Vec<FaultKind> = (2..10)
             .flat_map(|c| {
-                [true, false]
-                    .into_iter()
-                    .map(move |rising| FaultKind::Transition { cell: c, bit: 0, rising })
+                [true, false].into_iter().map(move |rising| FaultKind::Transition {
+                    cell: c,
+                    bit: 0,
+                    rising,
+                })
             })
             .collect();
         let p = monte_carlo_class(12, &faults, 120, 3).unwrap();

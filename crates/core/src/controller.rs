@@ -111,20 +111,15 @@ impl BistController {
         self.cycles += 1;
         match self.state {
             CtrlState::Seed { j } => {
-                ram.cycle(&[PortOp::Write {
-                    addr: self.order[j],
-                    data: self.pi.init()[j],
-                }])?;
-                self.state = if j + 1 < k {
-                    CtrlState::Seed { j: j + 1 }
-                } else {
-                    CtrlState::Read { i: 0 }
-                };
+                ram.cycle(&[PortOp::Write { addr: self.order[j], data: self.pi.init()[j] }])?;
+                self.state =
+                    if j + 1 < k { CtrlState::Seed { j: j + 1 } } else { CtrlState::Read { i: 0 } };
             }
             CtrlState::Read { i } => {
                 let res = ram.cycle(&[PortOp::Read { addr: self.order[self.t + i] }])?;
                 self.operands[i] = res[0].expect("read issued");
-                self.state = if i + 1 < k { CtrlState::Read { i: i + 1 } } else { CtrlState::Write };
+                self.state =
+                    if i + 1 < k { CtrlState::Read { i: i + 1 } } else { CtrlState::Write };
             }
             CtrlState::Write => {
                 // Datapath: e ⊕ Σ c_i·operand — the XOR tree + constant
@@ -179,6 +174,28 @@ impl BistController {
     }
 }
 
+/// Cross-checks the hardware FSM against the algorithmic runner over an
+/// entire fault universe — the §4 faithfulness argument, run as two pooled
+/// campaigns (one driving a [`BistController`] per instance, one driving
+/// [`PiTest::run`]) whose verdict tables are then compared element-wise.
+///
+/// Returns the indices of the fault instances on which the two models
+/// disagree; an empty result means the cycle-level controller is
+/// observationally equivalent to the algorithmic view on that universe.
+pub fn cross_check(pi: &PiTest, universe: &prt_ram::FaultUniverse) -> Vec<usize> {
+    use prt_sim::Campaign;
+    let n = universe.geometry().cells();
+    let hw_runner = |ram: &mut Ram, _bg: u64| {
+        BistController::new(pi.clone(), n)
+            .and_then(|mut ctrl| ctrl.run_to_completion(ram))
+            .map(|pass| !pass)
+            .unwrap_or(false)
+    };
+    let hw = Campaign::new(universe, hw_runner).detections();
+    let sw = Campaign::new(universe, pi).detections();
+    hw.iter().zip(&sw).enumerate().filter_map(|(i, (h, s))| (h != s).then_some(i)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +239,22 @@ mod tests {
     }
 
     #[test]
+    fn cross_check_full_universe_agrees() {
+        use prt_ram::{FaultUniverse, UniverseSpec};
+        let pi = PiTest::figure_1a().unwrap();
+        let universe = FaultUniverse::enumerate(Geometry::bom(12), &UniverseSpec::paper_claim());
+        let disagreements = cross_check(&pi, &universe);
+        assert!(
+            disagreements.is_empty(),
+            "controller disagrees with the algorithmic runner on {} of {} instances \
+             (first: {})",
+            disagreements.len(),
+            universe.len(),
+            universe.faults()[disagreements[0]]
+        );
+    }
+
+    #[test]
     fn fsm_state_progression() {
         let pi = PiTest::figure_1a().unwrap();
         let mut ram = Ram::new(Geometry::bom(4));
@@ -245,10 +278,7 @@ mod tests {
     #[test]
     fn too_small_memory_rejected() {
         let pi = PiTest::figure_1a().unwrap();
-        assert!(matches!(
-            BistController::new(pi, 2),
-            Err(PrtError::MemoryTooSmall { .. })
-        ));
+        assert!(matches!(BistController::new(pi, 2), Err(PrtError::MemoryTooSmall { .. })));
     }
 
     #[test]

@@ -39,10 +39,9 @@ pub enum PrtError {
 impl fmt::Display for PrtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PrtError::WidthMismatch { field_bits, memory_bits } => write!(
-                f,
-                "π-test over GF(2^{field_bits}) cannot run on {memory_bits}-bit cells"
-            ),
+            PrtError::WidthMismatch { field_bits, memory_bits } => {
+                write!(f, "π-test over GF(2^{field_bits}) cannot run on {memory_bits}-bit cells")
+            }
             PrtError::MemoryTooSmall { cells, needed } => {
                 write!(f, "memory has {cells} cells, π-test needs at least {needed}")
             }

@@ -56,7 +56,7 @@ pub mod plane;
 pub mod scheme;
 pub mod trajectory;
 
-pub use controller::BistController;
+pub use controller::{cross_check, BistController};
 pub use error::PrtError;
 pub use pi::{PiResult, PiTest};
 pub use plane::{BitPlanePi, PlaneScheme, PlaneSeeding};

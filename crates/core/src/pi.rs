@@ -491,8 +491,7 @@ impl PiTest {
         // Signature readback, `ports` reads at a time.
         let mut fin = Vec::with_capacity(k);
         for chunk in (n - k..n).collect::<Vec<_>>().chunks(ports) {
-            let ops: Vec<PortOp> =
-                chunk.iter().map(|&j| PortOp::Read { addr: order[j] }).collect();
+            let ops: Vec<PortOp> = chunk.iter().map(|&j| PortOp::Read { addr: order[j] }).collect();
             let res = ram.cycle(&ops)?;
             fin.extend(res.into_iter().flatten());
         }
@@ -512,6 +511,14 @@ impl PiTest {
         let field = self.field();
         let g0_inv = field.inv(g[0]).expect("validated at construction");
         g[1..].iter().map(|&gi| field.mul(g0_inv, gi)).collect()
+    }
+}
+
+/// A single π-iteration drives fault-simulation campaigns directly
+/// (single-port schedule); a run error counts as an escape.
+impl prt_sim::FaultRunner for &PiTest {
+    fn detect(&self, ram: &mut Ram, _background: u64) -> bool {
+        self.run(ram).map(|res| res.detected()).unwrap_or(false)
     }
 }
 
@@ -585,8 +592,7 @@ mod tests {
         let expect = pi.expected_sequence(9);
         let cell = 3; // expect[3] = 0
         let mut ram = Ram::new(Geometry::bom(9));
-        ram.inject(FaultKind::StuckAt { cell, bit: 0, value: expect[cell] as u8 })
-            .unwrap();
+        ram.inject(FaultKind::StuckAt { cell, bit: 0, value: expect[cell] as u8 }).unwrap();
         let res = pi.run(&mut ram).unwrap();
         assert!(!res.detected());
     }
@@ -636,9 +642,7 @@ mod tests {
 
     #[test]
     fn random_trajectory_is_fault_free_clean() {
-        let pi = PiTest::figure_1b()
-            .unwrap()
-            .with_trajectory(Trajectory::Random(17));
+        let pi = PiTest::figure_1b().unwrap().with_trajectory(Trajectory::Random(17));
         let mut ram = Ram::new(Geometry::wom(32, 4).unwrap());
         let res = pi.run(&mut ram).unwrap();
         assert!(!res.detected());

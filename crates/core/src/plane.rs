@@ -19,8 +19,8 @@
 use crate::{PiResult, PrtError, Trajectory};
 use prt_gf::Poly2;
 use prt_lfsr::BitLfsr;
-use prt_ram::{MemoryDevice, SplitMix64};
-
+use prt_ram::{MemoryDevice, Ram, SplitMix64};
+use prt_sim::{Campaign, FaultRunner};
 
 /// How the `m` bit-plane automata are seeded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,12 +72,7 @@ impl BitPlanePi {
     pub fn new(poly: Poly2, seeding: PlaneSeeding) -> Result<BitPlanePi, PrtError> {
         // Validate by constructing a probe register.
         let probe = BitLfsr::new(poly, 0)?;
-        Ok(BitPlanePi {
-            poly,
-            k: probe.stages() as usize,
-            seeding,
-            trajectory: Trajectory::Up,
-        })
+        Ok(BitPlanePi { poly, k: probe.stages() as usize, seeding, trajectory: Trajectory::Up })
     }
 
     /// Sets the cell-visit trajectory (shared by all planes — the
@@ -111,17 +106,12 @@ impl BitPlanePi {
     /// The fault-free word sequence for an `n`-cell, `m`-bit memory.
     pub fn expected_sequence(&self, n: usize, m: u32) -> Vec<u64> {
         let seeds = self.plane_seeds(m);
-        let mut regs: Vec<BitLfsr> = seeds
-            .iter()
-            .map(|&s| BitLfsr::new(self.poly, s).expect("validated"))
-            .collect();
+        let mut regs: Vec<BitLfsr> =
+            seeds.iter().map(|&s| BitLfsr::new(self.poly, s).expect("validated")).collect();
         let plane_seqs: Vec<Vec<u8>> = regs.iter_mut().map(|r| r.sequence(n)).collect();
         (0..n)
             .map(|t| {
-                plane_seqs
-                    .iter()
-                    .enumerate()
-                    .fold(0u64, |w, (b, seq)| w | (u64::from(seq[t]) << b))
+                plane_seqs.iter().enumerate().fold(0u64, |w, (b, seq)| w | (u64::from(seq[t]) << b))
             })
             .collect()
     }
@@ -247,8 +237,7 @@ impl PlaneScheme {
             if round == 0 {
                 list.push(PlaneSeeding::Parallel { seed: 0b10 & (seed_count - 1) });
             } else {
-                let seeds: Vec<u64> =
-                    (0..m).map(|_| 1 + rng.next_below(seed_count - 1)).collect();
+                let seeds: Vec<u64> = (0..m).map(|_| 1 + rng.next_below(seed_count - 1)).collect();
                 list.push(PlaneSeeding::Explicit(seeds));
             }
         }
@@ -274,41 +263,34 @@ impl PlaneScheme {
     pub fn run<M: MemoryDevice>(&self, mem: &mut M) -> Result<Vec<PiResult>, PrtError> {
         let mut out = Vec::with_capacity(self.rounds.len());
         for seeding in &self.rounds {
-            let pi = BitPlanePi::new(self.poly, seeding.clone())?
-                .with_trajectory(self.trajectory);
+            let pi = BitPlanePi::new(self.poly, seeding.clone())?.with_trajectory(self.trajectory);
             out.push(pi.run(mem)?);
         }
         Ok(out)
     }
 
-    /// Coverage over a fault universe (any round detecting counts).
+    /// Coverage over a fault universe (any round detecting counts), run on
+    /// the campaign engine: pooled memories, parallel fan-out,
+    /// deterministic aggregation.
     pub fn coverage(&self, universe: &prt_ram::FaultUniverse) -> prt_march::CoverageReport {
-        use prt_march::CoverageRow;
-        let mut rows: Vec<CoverageRow> = Vec::new();
-        for fault in universe.faults() {
-            let mut ram = prt_ram::Ram::new(universe.geometry());
-            ram.inject(fault.clone()).expect("enumerated faults are valid");
-            let detected = self
-                .run(&mut ram)
-                .map(|rs| rs.iter().any(PiResult::detected))
-                .unwrap_or(false);
-            let class = fault.mnemonic();
-            let row = match rows.iter_mut().find(|r| r.class == class) {
-                Some(r) => r,
-                None => {
-                    rows.push(CoverageRow { class, detected: 0, total: 0 });
-                    rows.last_mut().expect("just pushed")
-                }
-            };
-            row.total += 1;
-            if detected {
-                row.detected += 1;
-            }
-        }
-        prt_march::CoverageReport::from_rows(
-            format!("plane scheme ×{}", self.rounds.len()),
-            rows,
-        )
+        Campaign::new(universe, self)
+            .with_name(format!("plane scheme ×{}", self.rounds.len()))
+            .run()
+    }
+}
+
+/// A plane scheme drives campaigns directly: any round detecting counts,
+/// and a run error counts as an escape.
+impl FaultRunner for &PlaneScheme {
+    fn detect(&self, ram: &mut Ram, _background: u64) -> bool {
+        self.run(ram).map(|rs| rs.iter().any(PiResult::detected)).unwrap_or(false)
+    }
+}
+
+/// A single parallel-plane iteration as a campaign runner.
+impl FaultRunner for &BitPlanePi {
+    fn detect(&self, ram: &mut Ram, _background: u64) -> bool {
+        self.run(ram).map(|res| res.detected()).unwrap_or(false)
     }
 }
 
@@ -343,10 +325,7 @@ mod tests {
 
     #[test]
     fn fault_free_run_is_clean_both_seedings() {
-        for seeding in [
-            PlaneSeeding::Parallel { seed: 0b10 },
-            PlaneSeeding::Random { seed: 11 },
-        ] {
+        for seeding in [PlaneSeeding::Parallel { seed: 0b10 }, PlaneSeeding::Random { seed: 11 }] {
             let pi = BitPlanePi::new(poly(), seeding).unwrap();
             let mut ram = Ram::new(Geometry::wom(24, 8).unwrap());
             let res = pi.run(&mut ram).unwrap();
@@ -450,10 +429,7 @@ mod tests {
 
     #[test]
     fn plane_scheme_rejects_empty() {
-        assert!(matches!(
-            PlaneScheme::new(poly(), vec![]),
-            Err(PrtError::EmptyScheme)
-        ));
+        assert!(matches!(PlaneScheme::new(poly(), vec![]), Err(PrtError::EmptyScheme)));
         let s = PlaneScheme::standard(poly(), 4, 3).unwrap();
         assert_eq!(s.rounds(), 3);
     }

@@ -27,8 +27,9 @@
 
 use crate::{PiResult, PiTest, PrtError, Trajectory};
 use prt_gf::Field;
-use prt_march::{CoverageReport, CoverageRow};
-use prt_ram::{FaultUniverse, MemoryDevice, Ram};
+use prt_march::CoverageReport;
+use prt_ram::{FaultKind, FaultUniverse, MemoryDevice, Ram};
+use prt_sim::{Campaign, FaultRunner};
 
 /// One iteration of a PRT scheme: seed, affine term and trajectory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,8 +199,7 @@ impl PrtScheme {
     /// Field/LFSR validation errors (never for a well-formed field).
     pub fn standard3(field: Field) -> Result<PrtScheme, PrtError> {
         let mask = field.mask();
-        let feedback: Vec<u64> =
-            if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
+        let feedback: Vec<u64> = if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
         let init: Vec<u64> = vec![0, 1];
         let compl: Vec<u64> = init.iter().map(|&s| s ^ mask).collect();
         // e = K·(1 ⊕ c1 ⊕ c2): the affine constant under which the
@@ -233,8 +233,7 @@ impl PrtScheme {
     /// Field/LFSR validation errors (never for a well-formed field).
     pub fn standard4(field: Field) -> Result<PrtScheme, PrtError> {
         let mask = field.mask();
-        let feedback: Vec<u64> =
-            if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
+        let feedback: Vec<u64> = if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
         let c_sum = field.add(1, field.add(feedback[1], feedback[2]));
         let e = field.mul(mask, c_sum);
         let seed1: Vec<u64> = vec![0, 1];
@@ -286,9 +285,12 @@ impl PrtScheme {
         }
         let spec = UniverseSpec { intra_word: true, ..UniverseSpec::paper_claim() };
         let universe = FaultUniverse::enumerate(geom, &spec);
+        // Surface runner errors (e.g. MemoryTooSmall) precisely, up front:
+        // campaign runners map per-trial errors to escapes, which would
+        // otherwise misreport an infrastructure failure as a greedy stall.
+        PrtScheme::standard3(field.clone())?.run(&mut Ram::new(geom))?;
         let mask = field.mask();
-        let feedback: Vec<u64> =
-            if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
+        let feedback: Vec<u64> = if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
         let c_sum = field.add(1, field.add(feedback[1], feedback[2]));
         let e = field.mul(mask, c_sum);
 
@@ -316,11 +318,7 @@ impl PrtScheme {
         for s in &seeds {
             for aff in [0, e] {
                 for traj in [Trajectory::Up, Trajectory::Down] {
-                    pool.push(IterationSpec {
-                        init: s.clone(),
-                        affine: aff,
-                        trajectory: traj,
-                    });
+                    pool.push(IterationSpec { init: s.clone(), affine: aff, trajectory: traj });
                 }
             }
         }
@@ -328,24 +326,20 @@ impl PrtScheme {
         // Start from the paper's 3-iteration schedule, then greedily append
         // the candidate that kills the most remaining escapes (set-cover
         // heuristic), re-verifying globally after each append because the
-        // final-readback channel moves with the last iteration.
+        // final-readback channel moves with the last iteration. Both the
+        // global verification sweeps and the per-candidate kill counts run
+        // on the campaign engine (pooled memories, parallel fan-out).
         let mut iterations = PrtScheme::standard3(field.clone())?.iterations.clone();
         let run_escapes = |iters: &[IterationSpec]| -> Result<Vec<usize>, PrtError> {
             let scheme = PrtScheme::new(field.clone(), &feedback, iters.to_vec())?
                 .with_preread(true)
                 .with_final_readback(true);
-            let mut escapes = Vec::new();
-            for (i, fault) in universe.faults().iter().enumerate() {
-                let mut ram = Ram::new(geom);
-                ram.inject(fault.clone())?;
-                if !scheme.run(&mut ram)?.detected() {
-                    escapes.push(i);
-                }
-            }
-            Ok(escapes)
+            Ok(Campaign::new(&universe, &scheme).escapes())
         };
         let mut escapes = run_escapes(&iterations)?;
         while !escapes.is_empty() && iterations.len() < 32 {
+            let escaped: Vec<FaultKind> =
+                escapes.iter().map(|&fi| universe.faults()[fi].clone()).collect();
             let mut best: Option<(usize, usize)> = None; // (pool idx, kills)
             for (ci, cand) in pool.iter().enumerate() {
                 let mut trial = iterations.clone();
@@ -353,14 +347,7 @@ impl PrtScheme {
                 let scheme = PrtScheme::new(field.clone(), &feedback, trial)?
                     .with_preread(true)
                     .with_final_readback(true);
-                let mut kills = 0usize;
-                for &fi in &escapes {
-                    let mut ram = Ram::new(geom);
-                    ram.inject(universe.faults()[fi].clone())?;
-                    if scheme.run(&mut ram)?.detected() {
-                        kills += 1;
-                    }
-                }
+                let kills = Campaign::over(geom, &escaped, &scheme).count_detected();
                 if best.is_none_or(|(_, k)| kills > k) {
                     best = Some((ci, kills));
                 }
@@ -397,8 +384,7 @@ impl PrtScheme {
     /// otherwise.
     pub fn plain(field: Field, iters: usize) -> Result<PrtScheme, PrtError> {
         let mask = field.mask();
-        let feedback: Vec<u64> =
-            if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
+        let feedback: Vec<u64> = if field.degree() == 1 { vec![1, 1, 1] } else { vec![1, 2, 2] };
         let c_sum = field.add(1, field.add(feedback[1], feedback[2]));
         let e = field.mul(mask, c_sum);
         let seeds: [[u64; 2]; 3] = [[0, 1], [1, 0], [1, 1]];
@@ -412,8 +398,7 @@ impl PrtScheme {
                 trajectory: traj,
             });
         }
-        let iterations: Vec<IterationSpec> =
-            table.into_iter().cycle().take(iters).collect();
+        let iterations: Vec<IterationSpec> = table.into_iter().cycle().take(iters).collect();
         let name = format!("PRT plain ×{iters}");
         Ok(PrtScheme::new(field, &feedback, iterations)?.with_name(name))
     }
@@ -530,28 +515,20 @@ impl PrtScheme {
     }
 
     /// Measures this scheme's coverage over a fault universe, in the same
-    /// report format as the March engine (E3/E4 driver).
+    /// report format as the March engine (E3/E4 driver). Runs on the
+    /// campaign engine: pooled memories, parallel fan-out, deterministic
+    /// aggregation.
     pub fn coverage(&self, universe: &FaultUniverse) -> CoverageReport {
-        let mut rows: Vec<CoverageRow> = Vec::new();
-        for (fault, mut ram) in universe.instances() {
-            let detected = match self.run(&mut ram) {
-                Ok(res) => res.detected(),
-                Err(_) => false,
-            };
-            let class = fault.mnemonic();
-            let row = match rows.iter_mut().find(|r| r.class == class) {
-                Some(r) => r,
-                None => {
-                    rows.push(CoverageRow { class, detected: 0, total: 0 });
-                    rows.last_mut().expect("just pushed")
-                }
-            };
-            row.total += 1;
-            if detected {
-                row.detected += 1;
-            }
-        }
-        CoverageReport::from_rows(self.name.clone(), rows)
+        Campaign::new(universe, self).with_name(self.name.clone()).run()
+    }
+}
+
+/// PRT schemes drive campaigns directly; a run error (e.g. a memory too
+/// small for the automaton) counts as an escape, mirroring the historical
+/// sweep loops.
+impl FaultRunner for &PrtScheme {
+    fn detect(&self, ram: &mut Ram, _background: u64) -> bool {
+        self.run(ram).map(|res| res.detected()).unwrap_or(false)
     }
 }
 
@@ -591,8 +568,7 @@ pub fn search_tdb(
     let mut best: Option<(PrtScheme, CoverageReport, f64)> = None;
     let mut stack = vec![0usize; iters];
     loop {
-        let specs: Vec<IterationSpec> =
-            stack.iter().map(|&i| candidates[i].clone()).collect();
+        let specs: Vec<IterationSpec> = stack.iter().map(|&i| candidates[i].clone()).collect();
         if let Ok(scheme) = PrtScheme::new(field.clone(), feedback, specs) {
             let scheme = scheme
                 .with_preread(preread)
@@ -641,10 +617,7 @@ mod tests {
 
     #[test]
     fn scheme_construction_validates() {
-        assert!(matches!(
-            PrtScheme::new(gf2(), &[1, 1, 1], vec![]),
-            Err(PrtError::EmptyScheme)
-        ));
+        assert!(matches!(PrtScheme::new(gf2(), &[1, 1, 1], vec![]), Err(PrtError::EmptyScheme)));
         assert!(PrtScheme::new(gf2(), &[1, 1, 1], vec![IterationSpec::up(vec![0, 1])]).is_ok());
         // Bad init length rejected.
         assert!(PrtScheme::new(gf2(), &[1, 1, 1], vec![IterationSpec::up(vec![0])]).is_err());
@@ -682,13 +655,7 @@ mod tests {
                     row.total
                 );
             } else {
-                assert!(
-                    row.complete(),
-                    "{}: {}/{} detected",
-                    row.class,
-                    row.detected,
-                    row.total
-                );
+                assert!(row.complete(), "{}: {}/{} detected", row.class, row.detected, row.total);
             }
         }
     }
@@ -716,11 +683,7 @@ mod tests {
                 // half-visible; the paper's own remedy is the §2
                 // decorrelated ("random") plane seeding measured in E4.
                 "CFst" => {
-                    assert!(
-                        row.percent() > 80.0,
-                        "CFst unexpectedly low: {}",
-                        row.percent()
-                    );
+                    assert!(row.percent() > 80.0, "CFst unexpectedly low: {}", row.percent());
                 }
                 _ => assert!(
                     row.complete(),
@@ -751,12 +714,22 @@ mod tests {
     fn full_coverage_synthesis_reaches_100_percent_bom() {
         // Greedy TDB synthesis: 5 pre-read iterations cover the whole
         // universe (size-independent; see fig/table E3).
-        let (scheme, verified) =
-            PrtScheme::full_coverage(gf2(), Geometry::bom(9)).unwrap();
+        let (scheme, verified) = PrtScheme::full_coverage(gf2(), Geometry::bom(9)).unwrap();
         assert!(verified > 700);
         assert!(scheme.iterations().len() <= 6);
         let u = FaultUniverse::enumerate(Geometry::bom(9), &UniverseSpec::paper_claim());
         assert!(scheme.coverage(&u).complete());
+    }
+
+    #[test]
+    fn full_coverage_surfaces_memory_too_small() {
+        // The campaign runner maps per-trial run errors to escapes, so the
+        // synthesis probes the geometry up front: a memory too small for
+        // the automaton must surface as the precise error, not as a stall.
+        assert!(matches!(
+            PrtScheme::full_coverage(gf2(), Geometry::bom(2)),
+            Err(PrtError::MemoryTooSmall { .. })
+        ));
     }
 
     #[test]
@@ -791,8 +764,7 @@ mod tests {
     #[test]
     fn measured_ops_match_ops_per_cell() {
         let n = 16usize;
-        for scheme in [PrtScheme::standard3(gf2()).unwrap(), PrtScheme::plain(gf2(), 3).unwrap()]
-        {
+        for scheme in [PrtScheme::standard3(gf2()).unwrap(), PrtScheme::plain(gf2(), 3).unwrap()] {
             let mut ram = Ram::new(Geometry::bom(n));
             let res = scheme.run(&mut ram).unwrap();
             let per_cell = scheme.ops_per_cell() as u64;

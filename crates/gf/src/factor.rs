@@ -194,10 +194,7 @@ mod tests {
         // 2^32 − 1 = 3 · 5 · 17 · 257 · 65537
         assert_eq!(prime_divisors((1u128 << 32) - 1), vec![3, 5, 17, 257, 65537]);
         // 2^64 − 1 = 3 · 5 · 17 · 257 · 641 · 65537 · 6700417
-        assert_eq!(
-            prime_divisors(u64::MAX as u128),
-            vec![3, 5, 17, 257, 641, 65537, 6700417]
-        );
+        assert_eq!(prime_divisors(u64::MAX as u128), vec![3, 5, 17, 257, 641, 65537, 6700417]);
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn poly_sqrt(f: Poly2) -> Poly2 {
     let mut i = 0u32;
     while i as i32 <= f.degree() {
         if f.coeff(i) == 1 {
-            debug_assert!(i % 2 == 0, "not a perfect square");
+            debug_assert!(i.is_multiple_of(2), "not a perfect square");
             out |= 1u128 << (i / 2);
         }
         i += 2;

@@ -98,12 +98,7 @@ impl XorNetwork {
         for (i, g) in self.gates.iter().enumerate() {
             depth[self.inputs + i] = 1 + depth[g.a].max(depth[g.b]);
         }
-        self.outputs
-            .iter()
-            .flatten()
-            .map(|&s| depth[s])
-            .max()
-            .unwrap_or(0)
+        self.outputs.iter().flatten().map(|&s| depth[s]).max().unwrap_or(0)
     }
 
     /// Evaluates the network; bit `i` of `x` is input `i`, bit `j` of the
@@ -157,9 +152,7 @@ pub fn mult_matrix(field: &Field, c: u64) -> BitMatrix {
 /// Number of XOR gates a naive (no-sharing) implementation of the matrix
 /// needs: `Σ max(popcount(row) − 1, 0)`.
 pub fn naive_gate_count(matrix: &BitMatrix) -> usize {
-    (0..matrix.nrows())
-        .map(|i| (matrix.row(i).count_ones() as usize).saturating_sub(1))
-        .sum()
+    (0..matrix.nrows()).map(|i| (matrix.row(i).count_ones() as usize).saturating_sub(1)).sum()
 }
 
 /// Synthesizes an XOR network computing `y = M·x` with the chosen strategy.

@@ -509,7 +509,7 @@ mod tests {
     #[test]
     fn gcd_of_multiples() {
         let g = Poly2::from_bits(0b111); // x²+x+1 irreducible
-        // Multipliers x and x+1 are coprime, so gcd(a, b) = g exactly.
+                                         // Multipliers x and x+1 are coprime, so gcd(a, b) = g exactly.
         let a = g.mul(Poly2::from_bits(0b10));
         let b = g.mul(Poly2::from_bits(0b11));
         assert_eq!(a.gcd(b), g);

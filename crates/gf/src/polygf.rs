@@ -353,10 +353,7 @@ mod tests {
         let p = PolyGf::new(&f, vec![1, 2, 0, 0]).unwrap();
         assert_eq!(p.degree(), 1);
         assert_eq!(p.coeffs(), &[1, 2]);
-        assert!(matches!(
-            PolyGf::new(&f, vec![16]),
-            Err(GfError::CoefficientOutOfField { .. })
-        ));
+        assert!(matches!(PolyGf::new(&f, vec![16]), Err(GfError::CoefficientOutOfField { .. })));
         assert!(PolyGf::new(&f, vec![0, 0]).unwrap().is_zero());
     }
 
@@ -366,8 +363,8 @@ mod tests {
         let a = PolyGf::new(&f, vec![1, 2]).unwrap(); // 1 + 2x
         let b = PolyGf::new(&f, vec![3, 2]).unwrap(); // 3 + 2x
         assert_eq!(a.add(&f, &b).coeffs(), &[2]); // x-terms cancel
-        // (1+2x)(3+2x) = 3 + (2+6)x + 4x² = 3 + 4x + 4x²
-        // 2·3=6, so x coeff = 2+6=4; 2·2=4.
+                                                  // (1+2x)(3+2x) = 3 + (2+6)x + 4x² = 3 + 4x + 4x²
+                                                  // 2·3=6, so x coeff = 2+6=4; 2·2=4.
         assert_eq!(a.mul(&f, &b).coeffs(), &[3, 4, 4]);
     }
 

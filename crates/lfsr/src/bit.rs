@@ -317,10 +317,7 @@ mod tests {
 
     #[test]
     fn construction_errors() {
-        assert!(matches!(
-            BitLfsr::new(Poly2::ONE, 0),
-            Err(LfsrError::DegenerateFeedback)
-        ));
+        assert!(matches!(BitLfsr::new(Poly2::ONE, 0), Err(LfsrError::DegenerateFeedback)));
         assert!(matches!(
             BitLfsr::new(Poly2::from_bits(0b110), 0),
             Err(LfsrError::NonInvertibleG0)

@@ -176,9 +176,6 @@ mod tests {
     #[test]
     fn rejects_bad_polynomials() {
         assert!(matches!(Misr::new(Poly2::ONE), Err(LfsrError::DegenerateFeedback)));
-        assert!(matches!(
-            Misr::new(Poly2::from_bits(0b10)),
-            Err(LfsrError::NonInvertibleG0)
-        ));
+        assert!(matches!(Misr::new(Poly2::from_bits(0b10)), Err(LfsrError::NonInvertibleG0)));
     }
 }

@@ -76,13 +76,7 @@ impl WordLfsr {
         }
         let g0_inv = field.inv(g[0]).expect("g0 non-zero");
         let coeffs = g[1..].iter().map(|&gi| field.mul(g0_inv, gi)).collect();
-        Ok(WordLfsr {
-            field,
-            coeffs,
-            feedback: g.to_vec(),
-            affine: 0,
-            state: init.to_vec(),
-        })
+        Ok(WordLfsr { field, coeffs, feedback: g.to_vec(), affine: 0, state: init.to_vec() })
     }
 
     /// Sets the affine term `e` (returns `self` for chaining).
@@ -226,9 +220,7 @@ impl WordLfsr {
     fn unpack_state(&self, v: u128) -> Vec<u64> {
         let mbits = self.field.degree();
         let mask = (1u128 << mbits) - 1;
-        (0..self.stages())
-            .map(|j| ((v >> (j as u32 * mbits)) & mask) as u64)
-            .collect()
+        (0..self.stages()).map(|j| ((v >> (j as u32 * mbits)) & mask) as u64).collect()
     }
 
     /// The `km × km` GF(2) transition matrix of the linear (non-affine) part
@@ -423,10 +415,7 @@ mod tests {
         let f = Field::gf(1).unwrap();
         let mut w = WordLfsr::from_feedback(f, &[1, 1, 1], &[0, 1]).unwrap();
         let mut b = crate::BitLfsr::new(prt_gf::Poly2::from_bits(0b111), 0b10).unwrap();
-        assert_eq!(
-            w.sequence(20),
-            b.sequence(20).into_iter().map(u64::from).collect::<Vec<_>>()
-        );
+        assert_eq!(w.sequence(20), b.sequence(20).into_iter().map(u64::from).collect::<Vec<_>>());
     }
 
     #[test]
@@ -474,9 +463,7 @@ mod tests {
     #[test]
     fn superposition_of_word_sequences() {
         // Linearity over GF(2^m): seq(a ⊕ b) = seq(a) ⊕ seq(b).
-        let mk = |s0: u64, s1: u64| {
-            WordLfsr::from_feedback(gf16(), &[1, 2, 2], &[s0, s1]).unwrap()
-        };
+        let mk = |s0: u64, s1: u64| WordLfsr::from_feedback(gf16(), &[1, 2, 2], &[s0, s1]).unwrap();
         for a in 0..8u64 {
             for b in 0..8u64 {
                 let mut la = mk(a, b);
@@ -499,10 +486,8 @@ mod tests {
 
     #[test]
     fn affine_escapes_zero_state() {
-        let mut l = WordLfsr::from_feedback(gf16(), &[1, 2, 2], &[0, 0])
-            .unwrap()
-            .with_affine(1)
-            .unwrap();
+        let mut l =
+            WordLfsr::from_feedback(gf16(), &[1, 2, 2], &[0, 0]).unwrap().with_affine(1).unwrap();
         let seq = l.sequence(5);
         assert_eq!(seq[2], 1); // 2·0 + 2·0 + 1
         assert_ne!(seq[3], 0);

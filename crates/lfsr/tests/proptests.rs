@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use prt_gf::{Field, Poly2};
 use prt_lfsr::{
-    enumerate_cycles, linear_complexity_words, max_period_from_factors, BitLfsr, Misr,
-    WordLfsr,
+    enumerate_cycles, linear_complexity_words, max_period_from_factors, BitLfsr, Misr, WordLfsr,
 };
 
 fn arb_feedback_poly() -> impl Strategy<Value = Poly2> {

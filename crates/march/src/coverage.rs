@@ -4,83 +4,39 @@
 //! detection per fault class. Experiment E10 uses this to reproduce the
 //! textbook coverage table (MATS+ → SAF+AF, March C- → +TF+CF…), which
 //! validates the fault simulator that the PRT experiments then build on.
+//!
+//! Evaluation is delegated to the [`prt_sim`] campaign engine: pooled
+//! memories, parallel fan-out over fault instances and deterministic
+//! aggregation (the report is identical to a sequential sweep for any
+//! thread count). [`CoverageRow`], [`CoverageReport`] and [`ClassTally`]
+//! live in `prt-sim` now and are re-exported here unchanged.
 
 use crate::executor::Executor;
 use crate::notation::MarchTest;
-use prt_ram::FaultUniverse;
+use prt_ram::{FaultUniverse, Ram};
+use prt_sim::{Campaign, FaultRunner};
 
-/// Coverage of one fault class by one test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CoverageRow {
-    /// Fault-class mnemonic (`"SAF"`, `"TF"`, …).
-    pub class: &'static str,
-    /// Instances detected.
-    pub detected: usize,
-    /// Instances in the universe.
-    pub total: usize,
+pub use prt_sim::{ClassTally, CoverageReport, CoverageRow};
+
+/// Campaign adapter running a March test against pooled memories — the
+/// [`FaultRunner`] the evaluator (and the `coverage_campaign` benches)
+/// feed to [`Campaign`].
+#[derive(Debug, Clone, Copy)]
+pub struct MarchRunner<'a> {
+    test: &'a MarchTest,
+    executor: &'a Executor,
 }
 
-impl CoverageRow {
-    /// Detection ratio in percent.
-    pub fn percent(&self) -> f64 {
-        if self.total == 0 {
-            100.0
-        } else {
-            100.0 * self.detected as f64 / self.total as f64
-        }
-    }
-
-    /// `true` when every instance was detected.
-    pub fn complete(&self) -> bool {
-        self.detected == self.total
+impl<'a> MarchRunner<'a> {
+    /// Pairs a test with executor settings.
+    pub fn new(test: &'a MarchTest, executor: &'a Executor) -> MarchRunner<'a> {
+        MarchRunner { test, executor }
     }
 }
 
-/// Aggregated coverage of a whole universe.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CoverageReport {
-    test_name: String,
-    rows: Vec<CoverageRow>,
-}
-
-impl CoverageReport {
-    /// Assembles a report from pre-computed rows. Public so that other test
-    /// engines (the PRT schemes) can report coverage in the same format.
-    pub fn from_rows(test_name: impl Into<String>, rows: Vec<CoverageRow>) -> CoverageReport {
-        CoverageReport { test_name: test_name.into(), rows }
-    }
-
-    /// Name of the evaluated test.
-    pub fn test_name(&self) -> &str {
-        &self.test_name
-    }
-
-    /// Per-class rows in first-seen order.
-    pub fn rows(&self) -> &[CoverageRow] {
-        &self.rows
-    }
-
-    /// The row for a class, if present in the universe.
-    pub fn class(&self, mnemonic: &str) -> Option<CoverageRow> {
-        self.rows.iter().copied().find(|r| r.class == mnemonic)
-    }
-
-    /// Overall detection ratio in percent.
-    pub fn overall_percent(&self) -> f64 {
-        let (d, t) = self
-            .rows
-            .iter()
-            .fold((0usize, 0usize), |(d, t), r| (d + r.detected, t + r.total));
-        if t == 0 {
-            100.0
-        } else {
-            100.0 * d as f64 / t as f64
-        }
-    }
-
-    /// `true` when every instance of every class was detected.
-    pub fn complete(&self) -> bool {
-        self.rows.iter().all(CoverageRow::complete)
+impl FaultRunner for MarchRunner<'_> {
+    fn detect(&self, ram: &mut Ram, background: u64) -> bool {
+        self.executor.clone().with_background(background).run(self.test, ram).detected()
     }
 }
 
@@ -96,11 +52,7 @@ impl CoverageReport {
 /// let report = coverage::evaluate(&library::march_c_minus(), &u, &Executor::new());
 /// assert!(report.complete()); // March C- detects all SAF and TF
 /// ```
-pub fn evaluate(
-    test: &MarchTest,
-    universe: &FaultUniverse,
-    executor: &Executor,
-) -> CoverageReport {
+pub fn evaluate(test: &MarchTest, universe: &FaultUniverse, executor: &Executor) -> CoverageReport {
     evaluate_multi_background(test, universe, executor, &[0])
 }
 
@@ -136,32 +88,10 @@ pub fn evaluate_multi_background(
     backgrounds: &[u64],
 ) -> CoverageReport {
     assert!(!backgrounds.is_empty(), "at least one data background required");
-    let mut rows: Vec<CoverageRow> = Vec::new();
-    for fault in universe.faults() {
-        let mut detected = false;
-        for &bg in backgrounds {
-            let mut ram = prt_ram::Ram::new(universe.geometry());
-            ram.inject(fault.clone()).expect("enumerated faults are valid");
-            let ex = executor.clone().with_background(bg);
-            if ex.run(test, &mut ram).detected() {
-                detected = true;
-                break;
-            }
-        }
-        let class = fault.mnemonic();
-        let row = match rows.iter_mut().find(|r| r.class == class) {
-            Some(r) => r,
-            None => {
-                rows.push(CoverageRow { class, detected: 0, total: 0 });
-                rows.last_mut().expect("just pushed")
-            }
-        };
-        row.total += 1;
-        if detected {
-            row.detected += 1;
-        }
-    }
-    CoverageReport { test_name: test.name().to_string(), rows }
+    Campaign::new(universe, MarchRunner::new(test, executor))
+        .with_backgrounds(backgrounds)
+        .with_name(test.name())
+        .run()
 }
 
 /// The standard background set for `m`-bit words: all-zeros plus the
@@ -211,11 +141,7 @@ mod tests {
     #[test]
     fn march_c_minus_covers_the_paper_claim_universe() {
         let u = universe(8);
-        let r = evaluate(
-            &library::march_c_minus(),
-            &u,
-            &Executor::new().stop_at_first_mismatch(),
-        );
+        let r = evaluate(&library::march_c_minus(), &u, &Executor::new().stop_at_first_mismatch());
         for class in ["SAF", "TF", "AF", "CFin", "CFid", "CFst"] {
             let row = r.class(class).unwrap();
             assert!(
@@ -279,17 +205,52 @@ mod tests {
         let ex = Executor::new().stop_at_first_mismatch();
         let single = evaluate(&library::march_ss(), &u, &ex);
         assert!(!single.complete(), "single background must miss intra-word faults");
-        let multi = evaluate_multi_background(
-            &library::march_ss(),
-            &u,
-            &ex,
-            &standard_backgrounds(4),
-        );
+        let multi =
+            evaluate_multi_background(&library::march_ss(), &u, &ex, &standard_backgrounds(4));
         assert!(
             multi.complete(),
             "standard backgrounds must complete March SS intra-word coverage: {:?}",
             multi.rows()
         );
+    }
+
+    #[test]
+    fn engine_report_is_thread_count_invariant() {
+        use prt_sim::{Campaign, Parallelism};
+        let u = universe(8);
+        let test = library::march_c_minus();
+        let ex = Executor::new().stop_at_first_mismatch();
+        let make = |p: Parallelism| {
+            Campaign::new(&u, MarchRunner::new(&test, &ex))
+                .with_name(test.name())
+                .with_parallelism(p)
+                .run()
+        };
+        let sequential = make(Parallelism::Sequential);
+        for threads in [2usize, 5] {
+            assert_eq!(sequential, make(Parallelism::Threads(threads)), "threads={threads}");
+        }
+        // …and equals what the seed's fresh-Ram-per-trial loop produced.
+        let reference = Campaign::new(&u, MarchRunner::new(&test, &ex)).detections_reference();
+        let pooled = Campaign::new(&u, MarchRunner::new(&test, &ex)).detections();
+        assert_eq!(reference, pooled);
+    }
+
+    #[test]
+    fn multi_background_pooled_matches_reference() {
+        use prt_sim::Campaign;
+        let spec = UniverseSpec {
+            cfst: true,
+            intra_word: true,
+            coupling_radius: Some(0),
+            ..UniverseSpec::default()
+        };
+        let u = FaultUniverse::enumerate(Geometry::wom(8, 4).unwrap(), &spec);
+        let test = library::march_ss();
+        let ex = Executor::new().stop_at_first_mismatch();
+        let bgs = standard_backgrounds(4);
+        let campaign = Campaign::new(&u, MarchRunner::new(&test, &ex)).with_backgrounds(&bgs);
+        assert_eq!(campaign.detections(), campaign.detections_reference());
     }
 
     #[test]

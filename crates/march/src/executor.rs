@@ -143,9 +143,7 @@ mod tests {
     fn fault_free_wom_passes_with_any_background() {
         for bg in [0x0u64, 0xF, 0x5, 0xA] {
             let mut ram = Ram::new(Geometry::wom(8, 4).unwrap());
-            let o = Executor::new()
-                .with_background(bg)
-                .run(&library::march_c_minus(), &mut ram);
+            let o = Executor::new().with_background(bg).run(&library::march_c_minus(), &mut ram);
             assert!(!o.detected(), "bg={bg:x}");
         }
     }
@@ -204,9 +202,8 @@ mod tests {
             r.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }).unwrap();
             r
         });
-        let early = Executor::new()
-            .stop_at_first_mismatch()
-            .run(&library::march_c_minus(), &mut ram);
+        let early =
+            Executor::new().stop_at_first_mismatch().run(&library::march_c_minus(), &mut ram);
         assert!(early.detected() && full.detected());
         assert!(early.ops() < full.ops());
     }

@@ -43,51 +43,33 @@ pub fn march_y() -> MarchTest {
 /// March C, 11n: the original Marinescu algorithm (contains a redundant
 /// middle `c(r0)`).
 pub fn march_c() -> MarchTest {
-    must(
-        "March C",
-        "{c(w0); ⇑(r0,w1); ⇑(r1,w0); c(r0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}",
-    )
+    must("March C", "{c(w0); ⇑(r0,w1); ⇑(r1,w0); c(r0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}")
 }
 
 /// March C-, 10n: the redundancy-free March C; detects all unlinked SAF,
 /// TF, CFin, CFid, CFst and AF.
 pub fn march_c_minus() -> MarchTest {
-    must(
-        "March C-",
-        "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}",
-    )
+    must("March C-", "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}")
 }
 
 /// March A, 15n: linked coupling-fault coverage.
 pub fn march_a() -> MarchTest {
-    must(
-        "March A",
-        "{c(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
-    )
+    must("March A", "{c(w0); ⇑(r0,w1,w0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}")
 }
 
 /// March B, 17n: March A plus linked TF coverage.
 pub fn march_b() -> MarchTest {
-    must(
-        "March B",
-        "{c(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}",
-    )
+    must("March B", "{c(w0); ⇑(r0,w1,r1,w0,r0,w1); ⇑(r1,w0,w1); ⇓(r1,w0,w1,w0); ⇓(r0,w1,w0)}")
 }
 
 /// March LR, 14n: realistic linked-fault coverage (van de Goor & Gaydadjiev).
 pub fn march_lr() -> MarchTest {
-    must(
-        "March LR",
-        "{c(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); c(r0)}",
-    )
+    must("March LR", "{c(w0); ⇓(r0,w1); ⇑(r1,w0,r0,w1); ⇑(r1,w0); ⇑(r0,w1,r1,w0); c(r0)}")
 }
 
 /// PMOVI, 13n: the MOVI core without the address-shift repetitions.
 pub fn pmovi() -> MarchTest {
-    must(
-        "PMOVI",
-        "{⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0)}",
-    )
+    must("PMOVI", "{⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0)}")
 }
 
 /// March SS, 22n: detects all *simple static* faults including read/write

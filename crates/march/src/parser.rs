@@ -51,9 +51,8 @@ pub fn parse(name: &str, notation: &str) -> Result<MarchTest, MarchError> {
 }
 
 fn parse_element(text: &str) -> Result<MarchElement, MarchError> {
-    let open = text.find('(').ok_or_else(|| MarchError::MalformedElement {
-        text: text.to_string(),
-    })?;
+    let open =
+        text.find('(').ok_or_else(|| MarchError::MalformedElement { text: text.to_string() })?;
     if !text.ends_with(')') {
         return Err(MarchError::MalformedElement { text: text.to_string() });
     }
@@ -144,14 +143,8 @@ mod tests {
     fn error_cases() {
         assert!(matches!(parse("e", ""), Err(MarchError::Empty)));
         assert!(matches!(parse("e", "c(w0)"), Err(MarchError::UnbalancedBraces)));
-        assert!(matches!(
-            parse("e", "{c w0}"),
-            Err(MarchError::MalformedElement { .. })
-        ));
-        assert!(matches!(
-            parse("e", "{q(w0)}"),
-            Err(MarchError::UnknownOrder { .. })
-        ));
+        assert!(matches!(parse("e", "{c w0}"), Err(MarchError::MalformedElement { .. })));
+        assert!(matches!(parse("e", "{q(w0)}"), Err(MarchError::UnknownOrder { .. })));
         assert!(matches!(parse("e", "{c(w2)}"), Err(MarchError::UnknownOp { .. })));
         assert!(matches!(parse("e", "{c()}"), Err(MarchError::EmptyElement)));
         assert!(matches!(parse("e", "{}"), Err(MarchError::Empty)));

@@ -13,18 +13,14 @@ fn arb_order() -> impl Strategy<Value = AddrOrder> {
 }
 
 fn arb_test() -> impl Strategy<Value = MarchTest> {
-    prop::collection::vec(
-        (arb_order(), prop::collection::vec(arb_op(), 1..6)),
-        1..6,
+    prop::collection::vec((arb_order(), prop::collection::vec(arb_op(), 1..6)), 1..6).prop_map(
+        |els| {
+            MarchTest::new(
+                "generated",
+                els.into_iter().map(|(order, ops)| MarchElement::new(order, ops)).collect(),
+            )
+        },
     )
-    .prop_map(|els| {
-        MarchTest::new(
-            "generated",
-            els.into_iter()
-                .map(|(order, ops)| MarchElement::new(order, ops))
-                .collect(),
-        )
-    })
 }
 
 proptest! {

@@ -292,7 +292,13 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Transition { cell, bit, rising } => {
                 write!(f, "TF{}@{cell}.{bit}", if *rising { "↑" } else { "↓" })
             }
-            FaultKind::CouplingInversion { agg_cell, agg_bit, victim_cell, victim_bit, trigger } => {
+            FaultKind::CouplingInversion {
+                agg_cell,
+                agg_bit,
+                victim_cell,
+                victim_bit,
+                trigger,
+            } => {
                 write!(
                     f,
                     "CFin⟨{}⟩ {agg_cell}.{agg_bit}→{victim_cell}.{victim_bit}",
@@ -303,7 +309,12 @@ impl std::fmt::Display for FaultKind {
                 )
             }
             FaultKind::CouplingIdempotent {
-                agg_cell, agg_bit, victim_cell, victim_bit, trigger, force,
+                agg_cell,
+                agg_bit,
+                victim_cell,
+                victim_bit,
+                trigger,
+                force,
             } => write!(
                 f,
                 "CFid⟨{};{force}⟩ {agg_cell}.{agg_bit}→{victim_cell}.{victim_bit}",
@@ -313,7 +324,12 @@ impl std::fmt::Display for FaultKind {
                 }
             ),
             FaultKind::CouplingState {
-                agg_cell, agg_bit, agg_state, victim_cell, victim_bit, force,
+                agg_cell,
+                agg_bit,
+                agg_state,
+                victim_cell,
+                victim_bit,
+                force,
             } => write!(
                 f,
                 "CFst⟨{agg_state};{force}⟩ {agg_cell}.{agg_bit}→{victim_cell}.{victim_bit}"
@@ -342,16 +358,26 @@ impl std::fmt::Display for FaultKind {
 
 /// An indexed collection of faults, organised for O(1) lookup on the hot
 /// access path.
+///
+/// The victim/aggressor indexes are plain per-cell buckets (lazily sized to
+/// the geometry on first insert) rather than hash maps: the simulator
+/// performs several index lookups per memory operation, and an array index
+/// beats hashing on every one of them. [`FaultBank::clear`] empties only
+/// the buckets previous inserts touched, so recycling a bank across
+/// campaign trials is O(#faults) and allocation-free in the steady state.
 #[derive(Debug, Clone, Default)]
 pub struct FaultBank {
     faults: Vec<FaultKind>,
-    /// Fault indices whose *victim site* lies in the keyed cell (everything
-    /// except decoder faults and pure aggressor roles).
-    by_victim: HashMap<usize, Vec<usize>>,
+    /// Fault indices whose *victim site* lies in the indexed cell
+    /// (everything except decoder faults and pure aggressor roles).
+    by_victim: Vec<Vec<usize>>,
     /// Fault indices with a coupling/NPSF *aggressor or neighbour* in the
-    /// keyed cell.
-    by_aggressor: HashMap<usize, Vec<usize>>,
-    /// Decoder behaviour overrides by address.
+    /// indexed cell.
+    by_aggressor: Vec<Vec<usize>>,
+    /// Cells whose buckets may be non-empty (deduplicated lazily by
+    /// [`FaultBank::clear`]; duplicates are harmless).
+    touched: Vec<usize>,
+    /// Decoder behaviour overrides by address (rare — kept as a map).
     decoder: HashMap<usize, DecoderMap>,
 }
 
@@ -402,13 +428,13 @@ impl FaultBank {
             | FaultKind::IncorrectRead { cell, .. }
             | FaultKind::WriteDisturb { cell, .. }
             | FaultKind::DataRetention { cell, .. } => {
-                self.by_victim.entry(*cell).or_default().push(idx);
+                self.index_site(*cell, idx, true);
             }
             FaultKind::CouplingInversion { agg_cell, victim_cell, .. }
             | FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. }
             | FaultKind::CouplingState { agg_cell, victim_cell, .. } => {
-                self.by_aggressor.entry(*agg_cell).or_default().push(idx);
-                self.by_victim.entry(*victim_cell).or_default().push(idx);
+                self.index_site(*agg_cell, idx, false);
+                self.index_site(*victim_cell, idx, true);
             }
             FaultKind::DecoderNoAccess { addr } => {
                 self.decoder.insert(*addr, DecoderMap::None);
@@ -420,14 +446,41 @@ impl FaultBank {
                 self.decoder.insert(*addr, DecoderMap::Cells(vec![*instead_cell]));
             }
             FaultKind::Npsf { victim_cell, neighbors, .. } => {
-                self.by_victim.entry(*victim_cell).or_default().push(idx);
+                self.index_site(*victim_cell, idx, true);
                 for &(c, _, _) in neighbors {
-                    self.by_aggressor.entry(c).or_default().push(idx);
+                    self.index_site(c, idx, false);
                 }
             }
         }
         self.faults.push(fault);
         Ok(())
+    }
+
+    /// Removes every fault while retaining the allocated per-cell index
+    /// buckets, so a pooled [`crate::Ram`] can be recycled across campaign
+    /// trials without reallocating its fault indexes: only the buckets
+    /// previous inserts touched are emptied (O(#faults), not O(cells)),
+    /// and the steady-state inject path pushes into already-sized buffers.
+    pub fn clear(&mut self) {
+        self.faults.clear();
+        for &cell in &self.touched {
+            self.by_victim[cell].clear();
+            self.by_aggressor[cell].clear();
+        }
+        self.touched.clear();
+        self.decoder.clear();
+    }
+
+    /// Grows the per-cell buckets to cover `cell`, then records the fault
+    /// index in the chosen index (`victim` or aggressor).
+    fn index_site(&mut self, cell: usize, idx: usize, victim: bool) {
+        if self.by_victim.len() <= cell {
+            self.by_victim.resize_with(cell + 1, Vec::new);
+            self.by_aggressor.resize_with(cell + 1, Vec::new);
+        }
+        let bucket = if victim { &mut self.by_victim[cell] } else { &mut self.by_aggressor[cell] };
+        bucket.push(idx);
+        self.touched.push(cell);
     }
 
     /// Decoder mapping for an address (`Cells(vec![addr])` when fault-free).
@@ -438,14 +491,26 @@ impl FaultBank {
         }
     }
 
+    /// The decoder override for `addr`, if some decoder fault remapped it.
+    /// `None` means the address decodes normally — unlike
+    /// [`FaultBank::map_addr`] this never allocates, which keeps the
+    /// fault-free access path of [`crate::Ram`] allocation-free.
+    pub fn decoder_override(&self, addr: usize) -> Option<&DecoderMap> {
+        if self.decoder.is_empty() {
+            None
+        } else {
+            self.decoder.get(&addr)
+        }
+    }
+
     /// Fault indices with victim site in `cell`.
     pub fn victims_in(&self, cell: usize) -> &[usize] {
-        self.by_victim.get(&cell).map_or(&[], Vec::as_slice)
+        self.by_victim.get(cell).map_or(&[], Vec::as_slice)
     }
 
     /// Fault indices with an aggressor/neighbour in `cell`.
     pub fn aggressors_in(&self, cell: usize) -> &[usize] {
-        self.by_aggressor.get(&cell).map_or(&[], Vec::as_slice)
+        self.by_aggressor.get(cell).map_or(&[], Vec::as_slice)
     }
 
     /// The fault at a given index.
@@ -539,10 +604,7 @@ mod tests {
             (FaultKind::IncorrectRead { cell: 0, bit: 0 }, "IRF"),
             (FaultKind::WriteDisturb { cell: 0, bit: 0 }, "WDF"),
             (FaultKind::DecoderNoAccess { addr: 0 }, "AF"),
-            (
-                FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 10 },
-                "DRF",
-            ),
+            (FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 10 }, "DRF"),
         ];
         for (k, m) in cases {
             assert_eq!(k.mnemonic(), m);
@@ -574,12 +636,8 @@ mod tests {
             force: 1,
         };
         assert!(ok.validate(&g).is_ok());
-        let self_ref = FaultKind::Npsf {
-            victim_cell: 4,
-            victim_bit: 0,
-            neighbors: vec![(4, 0, 1)],
-            force: 1,
-        };
+        let self_ref =
+            FaultKind::Npsf { victim_cell: 4, victim_bit: 0, neighbors: vec![(4, 0, 1)], force: 1 };
         assert!(matches!(self_ref.validate(&g), Err(RamError::SelfCoupling { .. })));
     }
 }

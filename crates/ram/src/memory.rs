@@ -88,6 +88,16 @@ pub struct Ram {
     stats: AccessStats,
     /// Device operation counter (drives data-retention decay).
     time: u64,
+    /// Reusable buffer of victim-fault indices for the current access, so
+    /// the faulty-access path performs no per-operation allocation.
+    scratch_victims: Vec<usize>,
+    /// Reusable buffer of pending bit actions (`None` = invert,
+    /// `Some(v)` = force to `v`) fired by CFin/CFid coupling triggers.
+    scratch_actions: Vec<(usize, u32, Option<u8>)>,
+    /// Reusable buffer of pending forced-bit writes staged by CFst/NPSF
+    /// enforcement (always a concrete value — kept separate from
+    /// `scratch_actions` so the force-only paths stay force-only by type).
+    scratch_forces: Vec<(usize, u32, u8)>,
 }
 
 impl Ram {
@@ -116,7 +126,44 @@ impl Ram {
             sense: [0; MAX_PORTS],
             stats: AccessStats::default(),
             time: 0,
+            scratch_victims: Vec::new(),
+            scratch_actions: Vec::new(),
+            scratch_forces: Vec::new(),
         })
+    }
+
+    /// Resets the device state in place to a just-constructed memory whose
+    /// every cell holds `background`: storage, retention timestamps, sense
+    /// amplifiers, access counters and the operation clock. Injected faults
+    /// are untouched (use [`Ram::eject_faults`] to drop them) and the
+    /// [`ReadWired`] convention is preserved.
+    ///
+    /// Together with [`Ram::eject_faults`] this lets fault-simulation
+    /// campaigns keep one `Ram` per worker and reuse it for millions of
+    /// trials with **zero steady-state heap allocation** — the storage and
+    /// index buffers are recycled rather than reallocated. A
+    /// `reset_to(0)`-then-inject sequence is observationally identical to a
+    /// freshly constructed memory (property-tested in
+    /// `tests/proptests.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` exceeds the cell width.
+    pub fn reset_to(&mut self, background: u64) {
+        assert!(self.geom.check_data(background).is_ok(), "data wider than cells");
+        self.store.fill(background);
+        self.last_write.fill(0);
+        self.sense = [0; MAX_PORTS];
+        self.stats.reset();
+        self.time = 0;
+    }
+
+    /// Removes every injected fault in place, retaining the fault bank's
+    /// allocated index capacity (see [`FaultBank::clear`]). The storage is
+    /// untouched — pair with [`Ram::reset_to`] when recycling the device
+    /// for a new trial.
+    pub fn eject_faults(&mut self) {
+        self.bank.clear();
     }
 
     /// Selects the bitline wiring convention used for decoder faults.
@@ -249,12 +296,20 @@ impl Ram {
         let mut write_targets: Vec<usize> = Vec::new();
         for op in ops {
             if let PortOp::Write { addr, .. } = *op {
-                if let DecoderMap::Cells(cells) = self.bank.map_addr(addr) {
-                    for c in cells {
-                        if write_targets.contains(&c) {
-                            return Err(RamError::WriteWriteConflict { cell: c });
+                let mut claim = |c: usize| -> Result<(), RamError> {
+                    if write_targets.contains(&c) {
+                        return Err(RamError::WriteWriteConflict { cell: c });
+                    }
+                    write_targets.push(c);
+                    Ok(())
+                };
+                match self.bank.decoder_override(addr) {
+                    None => claim(addr)?,
+                    Some(DecoderMap::None) => {}
+                    Some(DecoderMap::Cells(cells)) => {
+                        for &c in cells {
+                            claim(c)?;
                         }
-                        write_targets.push(c);
                     }
                 }
             }
@@ -282,12 +337,16 @@ impl Ram {
     fn read_port(&mut self, port: usize, addr: usize) -> u64 {
         self.stats.reads += 1;
         self.time += 1;
-        let value = match self.bank.map_addr(addr) {
-            DecoderMap::None => match self.wired {
+        // Fast path: no decoder fault remaps this address, so the access
+        // targets exactly its own cell — no `DecoderMap` is materialised
+        // (the map clone below only happens for decoder-faulted addresses).
+        let value = match self.bank.decoder_override(addr).cloned() {
+            None => self.read_cell(port, addr),
+            Some(DecoderMap::None) => match self.wired {
                 ReadWired::Or => 0,
                 ReadWired::And => self.geom.data_mask(),
             },
-            DecoderMap::Cells(cells) => {
+            Some(DecoderMap::Cells(cells)) => {
                 let mut acc: Option<u64> = None;
                 for c in cells {
                     let v = self.read_cell(port, c);
@@ -308,9 +367,10 @@ impl Ram {
         let _ = port;
         self.stats.writes += 1;
         self.time += 1;
-        match self.bank.map_addr(addr) {
-            DecoderMap::None => {} // write lost
-            DecoderMap::Cells(cells) => {
+        match self.bank.decoder_override(addr).cloned() {
+            None => self.write_cell(addr, data),
+            Some(DecoderMap::None) => {} // write lost
+            Some(DecoderMap::Cells(cells)) => {
                 for c in cells {
                     self.write_cell(c, data);
                 }
@@ -324,47 +384,55 @@ impl Ram {
         if self.bank.is_empty() {
             return self.store[cell];
         }
-        let victim_faults: Vec<usize> = self.bank.victims_in(cell).to_vec();
-        // Stuck-open: sense amplifier retains its previous value.
-        for &i in &victim_faults {
-            if matches!(self.bank.fault(i), FaultKind::StuckOpen { .. }) {
-                return self.sense[port];
-            }
-        }
-        // Data retention decay.
-        for &i in &victim_faults {
-            if let FaultKind::DataRetention { bit, decays_to, after, .. } =
-                *self.bank.fault(i)
-            {
-                if self.time.saturating_sub(self.last_write[cell]) > after {
-                    self.force_bit(cell, bit, decays_to);
+        // Snapshot the victim indices into the reusable scratch buffer (the
+        // bank cannot stay borrowed across the mutating enforcement calls,
+        // and allocating a fresh Vec per access would dominate campaigns).
+        let mut victim_faults = std::mem::take(&mut self.scratch_victims);
+        victim_faults.clear();
+        victim_faults.extend_from_slice(self.bank.victims_in(cell));
+        let returned = 'body: {
+            // Stuck-open: sense amplifier retains its previous value.
+            for &i in &victim_faults {
+                if matches!(self.bank.fault(i), FaultKind::StuckOpen { .. }) {
+                    break 'body self.sense[port];
                 }
             }
-        }
-        self.enforce_state_on_victim(cell);
-        self.enforce_npsf_on_victim(cell);
-        self.store[cell] = self.enforce_sa(cell, self.store[cell]);
-        let stored = self.store[cell];
-        let mut flips_store = 0u64;
-        let mut returned = stored;
-        for &i in &victim_faults {
-            match *self.bank.fault(i) {
-                FaultKind::ReadDestructive { bit, .. } => {
-                    flips_store |= 1 << bit;
-                    returned ^= 1 << bit; // returns the new, wrong value
+            // Data retention decay.
+            for &i in &victim_faults {
+                if let FaultKind::DataRetention { bit, decays_to, after, .. } = *self.bank.fault(i)
+                {
+                    if self.time.saturating_sub(self.last_write[cell]) > after {
+                        self.force_bit(cell, bit, decays_to);
+                    }
                 }
-                FaultKind::DeceptiveRead { bit, .. } => {
-                    flips_store |= 1 << bit; // returns the old, correct value
-                }
-                FaultKind::IncorrectRead { bit, .. } => {
-                    returned ^= 1 << bit; // store unchanged
-                }
-                _ => {}
             }
-        }
-        if flips_store != 0 {
-            self.store[cell] = self.enforce_sa(cell, stored ^ flips_store);
-        }
+            self.enforce_state_on_victim(cell);
+            self.enforce_npsf_on_victim(cell);
+            self.store[cell] = self.enforce_sa(cell, self.store[cell]);
+            let stored = self.store[cell];
+            let mut flips_store = 0u64;
+            let mut returned = stored;
+            for &i in &victim_faults {
+                match *self.bank.fault(i) {
+                    FaultKind::ReadDestructive { bit, .. } => {
+                        flips_store |= 1 << bit;
+                        returned ^= 1 << bit; // returns the new, wrong value
+                    }
+                    FaultKind::DeceptiveRead { bit, .. } => {
+                        flips_store |= 1 << bit; // returns the old, correct value
+                    }
+                    FaultKind::IncorrectRead { bit, .. } => {
+                        returned ^= 1 << bit; // store unchanged
+                    }
+                    _ => {}
+                }
+            }
+            if flips_store != 0 {
+                self.store[cell] = self.enforce_sa(cell, stored ^ flips_store);
+            }
+            returned
+        };
+        self.scratch_victims = victim_faults;
         returned
     }
 
@@ -375,54 +443,65 @@ impl Ram {
             self.store[cell] = data;
             return;
         }
-        let victim_faults: Vec<usize> = self.bank.victims_in(cell).to_vec();
-        for &i in &victim_faults {
-            if matches!(self.bank.fault(i), FaultKind::StuckOpen { .. }) {
-                return; // write lost
-            }
-        }
-        let old = self.store[cell];
-        let mut new = data;
-        for &i in &victim_faults {
-            match *self.bank.fault(i) {
-                FaultKind::Transition { bit, rising, .. } => {
-                    let ob = (old >> bit) & 1;
-                    let nb = (new >> bit) & 1;
-                    let blocked = if rising { ob == 0 && nb == 1 } else { ob == 1 && nb == 0 };
-                    if blocked {
-                        new = (new & !(1 << bit)) | (ob << bit);
-                    }
+        let mut victim_faults = std::mem::take(&mut self.scratch_victims);
+        victim_faults.clear();
+        victim_faults.extend_from_slice(self.bank.victims_in(cell));
+        'body: {
+            for &i in &victim_faults {
+                if matches!(self.bank.fault(i), FaultKind::StuckOpen { .. }) {
+                    break 'body; // write lost
                 }
-                FaultKind::WriteDisturb { bit, .. }
-                    if (old >> bit) & 1 == (new >> bit) & 1 => {
+            }
+            let old = self.store[cell];
+            let mut new = data;
+            for &i in &victim_faults {
+                match *self.bank.fault(i) {
+                    FaultKind::Transition { bit, rising, .. } => {
+                        let ob = (old >> bit) & 1;
+                        let nb = (new >> bit) & 1;
+                        let blocked = if rising { ob == 0 && nb == 1 } else { ob == 1 && nb == 0 };
+                        if blocked {
+                            new = (new & !(1 << bit)) | (ob << bit);
+                        }
+                    }
+                    FaultKind::WriteDisturb { bit, .. } if (old >> bit) & 1 == (new >> bit) & 1 => {
                         new ^= 1 << bit;
                     }
-                _ => {}
+                    _ => {}
+                }
             }
+            new = self.enforce_sa(cell, new);
+            self.store[cell] = new;
+            self.last_write[cell] = self.time;
+            // Coupling triggers on the bits that actually flipped.
+            let rising = !old & new;
+            let falling = old & !new;
+            if rising != 0 || falling != 0 {
+                self.fire_couplings(cell, rising, falling);
+            }
+            self.enforce_state_from_aggressor(cell);
+            self.enforce_state_on_victim(cell);
+            self.enforce_npsf_from_neighbor(cell);
         }
-        new = self.enforce_sa(cell, new);
-        self.store[cell] = new;
-        self.last_write[cell] = self.time;
-        // Coupling triggers on the bits that actually flipped.
-        let rising = !old & new;
-        let falling = old & !new;
-        if rising != 0 || falling != 0 {
-            self.fire_couplings(cell, rising, falling);
-        }
-        self.enforce_state_from_aggressor(cell);
-        self.enforce_state_on_victim(cell);
-        self.enforce_npsf_from_neighbor(cell);
+        self.scratch_victims = victim_faults;
     }
 
     /// Applies CFin/CFid triggered by transitions in `cell`. One level deep:
     /// fault-induced victim flips do not re-trigger further couplings
     /// (unlinked-fault assumption, the same one March proofs use).
     fn fire_couplings(&mut self, cell: usize, rising: u64, falling: u64) {
-        let mut actions: Vec<(usize, u32, Option<u8>)> = Vec::new(); // (cell, bit, None=flip / Some(v)=force)
+        // (cell, bit, None=flip / Some(v)=force), staged in the reusable
+        // action buffer so the aggressor path allocates nothing.
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
         for &i in self.bank.aggressors_in(cell) {
             match *self.bank.fault(i) {
                 FaultKind::CouplingInversion {
-                    agg_cell, agg_bit, victim_cell, victim_bit, trigger,
+                    agg_cell,
+                    agg_bit,
+                    victim_cell,
+                    victim_bit,
+                    trigger,
                 } if agg_cell == cell => {
                     let fired = match trigger {
                         CouplingTrigger::Rise => (rising >> agg_bit) & 1 == 1,
@@ -433,7 +512,12 @@ impl Ram {
                     }
                 }
                 FaultKind::CouplingIdempotent {
-                    agg_cell, agg_bit, victim_cell, victim_bit, trigger, force,
+                    agg_cell,
+                    agg_bit,
+                    victim_cell,
+                    victim_bit,
+                    trigger,
+                    force,
                 } if agg_cell == cell => {
                     let fired = match trigger {
                         CouplingTrigger::Rise => (rising >> agg_bit) & 1 == 1,
@@ -446,7 +530,7 @@ impl Ram {
                 _ => {}
             }
         }
-        for (vc, vb, act) in actions {
+        for &(vc, vb, act) in &actions {
             match act {
                 None => {
                     let v = (self.store[vc] >> vb) & 1;
@@ -455,86 +539,99 @@ impl Ram {
                 Some(f) => self.force_bit(vc, vb, f),
             }
         }
+        self.scratch_actions = actions;
     }
 
     /// CFst where `cell` is the aggressor: enforce on current state.
     fn enforce_state_from_aggressor(&mut self, cell: usize) {
-        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        let mut forces = std::mem::take(&mut self.scratch_forces);
+        forces.clear();
         for &i in self.bank.aggressors_in(cell) {
             if let FaultKind::CouplingState {
-                agg_cell, agg_bit, agg_state, victim_cell, victim_bit, force,
+                agg_cell,
+                agg_bit,
+                agg_state,
+                victim_cell,
+                victim_bit,
+                force,
             } = *self.bank.fault(i)
             {
                 if agg_cell == cell && ((self.store[cell] >> agg_bit) & 1) as u8 == agg_state {
-                    actions.push((victim_cell, victim_bit, force));
+                    forces.push((victim_cell, victim_bit, force));
                 }
             }
         }
-        for (vc, vb, f) in actions {
+        for &(vc, vb, f) in &forces {
             self.force_bit(vc, vb, f);
         }
+        self.scratch_forces = forces;
     }
 
     /// CFst where `cell` is the victim: re-enforce if the aggressor
     /// currently holds the trigger state.
     fn enforce_state_on_victim(&mut self, cell: usize) {
-        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        let mut forces = std::mem::take(&mut self.scratch_forces);
+        forces.clear();
         for &i in self.bank.victims_in(cell) {
             if let FaultKind::CouplingState {
-                agg_cell, agg_bit, agg_state, victim_cell, victim_bit, force,
+                agg_cell,
+                agg_bit,
+                agg_state,
+                victim_cell,
+                victim_bit,
+                force,
             } = *self.bank.fault(i)
             {
-                if victim_cell == cell
-                    && ((self.store[agg_cell] >> agg_bit) & 1) as u8 == agg_state
+                if victim_cell == cell && ((self.store[agg_cell] >> agg_bit) & 1) as u8 == agg_state
                 {
-                    actions.push((victim_cell, victim_bit, force));
+                    forces.push((victim_cell, victim_bit, force));
                 }
             }
         }
-        for (vc, vb, f) in actions {
+        for &(vc, vb, f) in &forces {
             self.force_bit(vc, vb, f);
         }
+        self.scratch_forces = forces;
     }
 
     /// NPSF where `cell` is one of the neighbours.
     fn enforce_npsf_from_neighbor(&mut self, cell: usize) {
-        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        let mut forces = std::mem::take(&mut self.scratch_forces);
+        forces.clear();
         for &i in self.bank.aggressors_in(cell) {
             if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } =
                 self.bank.fault(i)
             {
-                if neighbors
-                    .iter()
-                    .all(|&(c, b, v)| ((self.store[c] >> b) & 1) as u8 == v)
-                {
-                    actions.push((*victim_cell, *victim_bit, *force));
+                if neighbors.iter().all(|&(c, b, v)| ((self.store[c] >> b) & 1) as u8 == v) {
+                    forces.push((*victim_cell, *victim_bit, *force));
                 }
             }
         }
-        for (vc, vb, f) in actions {
+        for &(vc, vb, f) in &forces {
             self.force_bit(vc, vb, f);
         }
+        self.scratch_forces = forces;
     }
 
     /// NPSF where `cell` is the victim (checked at read).
     fn enforce_npsf_on_victim(&mut self, cell: usize) {
-        let mut actions: Vec<(usize, u32, u8)> = Vec::new();
+        let mut forces = std::mem::take(&mut self.scratch_forces);
+        forces.clear();
         for &i in self.bank.victims_in(cell) {
             if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } =
                 self.bank.fault(i)
             {
                 if *victim_cell == cell
-                    && neighbors
-                        .iter()
-                        .all(|&(c, b, v)| ((self.store[c] >> b) & 1) as u8 == v)
+                    && neighbors.iter().all(|&(c, b, v)| ((self.store[c] >> b) & 1) as u8 == v)
                 {
-                    actions.push((*victim_cell, *victim_bit, *force));
+                    forces.push((*victim_cell, *victim_bit, *force));
                 }
             }
         }
-        for (vc, vb, f) in actions {
+        for &(vc, vb, f) in &forces {
             self.force_bit(vc, vb, f);
         }
+        self.scratch_forces = forces;
     }
 
     /// Forces one stored bit, respecting any stuck-at fault on the same
@@ -814,11 +911,10 @@ mod tests {
     #[test]
     fn data_retention_decay() {
         let mut r = bom(4);
-        r.inject(FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 })
-            .unwrap();
+        r.inject(FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 }).unwrap();
         r.write(0, 1);
         assert_eq!(r.read(0), 1); // within retention
-        // Three unrelated operations pass the retention window.
+                                  // Three unrelated operations pass the retention window.
         r.write(1, 1);
         r.write(2, 1);
         r.write(3, 1);
@@ -846,9 +942,7 @@ mod tests {
     fn dual_port_simultaneous_reads() {
         let mut r = Ram::with_ports(Geometry::bom(8), 2).unwrap();
         r.write(3, 1);
-        let res = r
-            .cycle(&[PortOp::Read { addr: 3 }, PortOp::Read { addr: 4 }])
-            .unwrap();
+        let res = r.cycle(&[PortOp::Read { addr: 3 }, PortOp::Read { addr: 4 }]).unwrap();
         assert_eq!(res, vec![Some(1), Some(0)]);
         assert_eq!(r.stats().reads, 2);
         assert_eq!(r.stats().cycles, 2); // one write + one dual-read cycle
@@ -858,9 +952,7 @@ mod tests {
     fn read_before_write_in_same_cycle() {
         let mut r = Ram::with_ports(Geometry::bom(4), 2).unwrap();
         r.write(0, 1);
-        let res = r
-            .cycle(&[PortOp::Read { addr: 0 }, PortOp::Write { addr: 0, data: 0 }])
-            .unwrap();
+        let res = r.cycle(&[PortOp::Read { addr: 0 }, PortOp::Write { addr: 0, data: 0 }]).unwrap();
         assert_eq!(res[0], Some(1)); // read saw the pre-cycle value
         assert_eq!(r.peek(0), 0); // write committed afterwards
     }
@@ -877,9 +969,7 @@ mod tests {
     #[test]
     fn too_many_port_ops_rejected() {
         let mut r = Ram::new(Geometry::bom(4));
-        let err = r
-            .cycle(&[PortOp::Idle, PortOp::Idle])
-            .unwrap_err();
+        let err = r.cycle(&[PortOp::Idle, PortOp::Idle]).unwrap_err();
         assert!(matches!(err, RamError::TooManyPortOps { .. }));
     }
 
@@ -909,6 +999,113 @@ mod tests {
         r.write(0, 1);
         r.reset_stats();
         assert_eq!(r.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn reset_to_restores_pristine_state() {
+        let mut r = Ram::new(Geometry::wom(8, 4).unwrap());
+        for a in 0..8 {
+            r.write(a, 0xF);
+        }
+        let _ = r.read(3); // sense amp now holds 0xF
+        r.reset_to(0);
+        assert_eq!(r.stats(), AccessStats::default());
+        for a in 0..8 {
+            assert_eq!(r.peek(a), 0, "cell {a}");
+        }
+        // Sense amplifiers were cleared: a stuck-open read returns 0, as
+        // it would on a fresh device after the same op sequence.
+        r.inject(FaultKind::StuckOpen { cell: 2 }).unwrap();
+        assert_eq!(r.read(2), 0);
+    }
+
+    #[test]
+    fn reset_to_fills_background_and_keeps_faults() {
+        let mut r = Ram::new(Geometry::wom(4, 4).unwrap());
+        r.inject(FaultKind::StuckAt { cell: 1, bit: 0, value: 0 }).unwrap();
+        r.reset_to(0xA);
+        for a in 0..4 {
+            assert_eq!(r.peek(a), 0xA, "raw fill bypasses fault semantics");
+        }
+        // The fault survived the reset.
+        r.write(1, 0xB);
+        assert_eq!(r.read(1), 0xA, "stuck-at bit 0 still enforced");
+    }
+
+    #[test]
+    #[should_panic(expected = "data wider than cells")]
+    fn reset_to_rejects_wide_background() {
+        bom(4).reset_to(2);
+    }
+
+    #[test]
+    fn reset_to_restarts_retention_clock() {
+        let mut r = bom(4);
+        r.inject(FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 }).unwrap();
+        // Age the device past the retention window…
+        for _ in 0..2 {
+            for a in 0..4 {
+                r.write(a, 1);
+            }
+        }
+        // …then recycle it: the write below must sit within a fresh window.
+        r.reset_to(0);
+        r.write(0, 1);
+        assert_eq!(r.read(0), 1, "retention window must restart at reset");
+        r.write(1, 1);
+        r.write(2, 1);
+        r.write(3, 1);
+        assert_eq!(r.read(0), 0, "and decay again once exceeded");
+    }
+
+    #[test]
+    fn eject_faults_heals_the_device() {
+        let mut r = bom(4);
+        r.inject(FaultKind::StuckAt { cell: 1, bit: 0, value: 0 }).unwrap();
+        r.inject(FaultKind::DecoderNoAccess { addr: 2 }).unwrap();
+        r.write(1, 1);
+        assert_eq!(r.read(1), 0);
+        r.eject_faults();
+        assert!(r.fault_bank().is_empty());
+        r.write(1, 1);
+        r.write(2, 1);
+        assert_eq!(r.read(1), 1);
+        assert_eq!(r.read(2), 1, "decoder override must be gone");
+    }
+
+    #[test]
+    fn recycled_ram_matches_fresh_ram() {
+        // The pooling contract in miniature: eject + reset ≡ fresh.
+        let geom = Geometry::bom(8);
+        let mut pooled = Ram::new(geom);
+        pooled.inject(FaultKind::StuckOpen { cell: 3 }).unwrap();
+        for a in 0..8 {
+            pooled.write(a, a as u64 & 1);
+            let _ = pooled.read(a);
+        }
+        pooled.eject_faults();
+        pooled.reset_to(0);
+
+        let mut fresh = Ram::new(geom);
+        let fault = FaultKind::CouplingIdempotent {
+            agg_cell: 0,
+            agg_bit: 0,
+            victim_cell: 5,
+            victim_bit: 0,
+            trigger: CouplingTrigger::Rise,
+            force: 1,
+        };
+        pooled.inject(fault.clone()).unwrap();
+        fresh.inject(fault).unwrap();
+        for step in [(5usize, 0u64), (0, 1), (5, 0), (0, 0), (0, 1)] {
+            pooled.write(step.0, step.1);
+            fresh.write(step.0, step.1);
+        }
+        for c in 0..8 {
+            assert_eq!(pooled.read(c), fresh.read(c), "cell {c}");
+            assert_eq!(pooled.peek(c), fresh.peek(c), "cell {c}");
+        }
+        assert_eq!(pooled.stats(), fresh.stats());
     }
 
     #[test]

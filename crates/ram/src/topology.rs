@@ -115,10 +115,7 @@ impl Layout {
         force: u8,
     ) -> Result<FaultKind, RamError> {
         if victim_cell >= self.cells() {
-            return Err(RamError::AddressOutOfRange {
-                addr: victim_cell,
-                cells: self.cells(),
-            });
+            return Err(RamError::AddressOutOfRange { addr: victim_cell, cells: self.cells() });
         }
         let neighbors: Vec<(usize, u32, u8)> = self
             .von_neumann(victim_cell)
@@ -139,8 +136,7 @@ impl Layout {
                 for pattern in 0..16u64 {
                     for force in [0u8, 1] {
                         out.push(
-                            self.npsf(victim, bit, pattern, force)
-                                .expect("victim inside layout"),
+                            self.npsf(victim, bit, pattern, force).expect("victim inside layout"),
                         );
                     }
                 }

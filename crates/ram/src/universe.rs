@@ -173,10 +173,8 @@ impl FaultUniverse {
             }
         }
         if spec.intra_word && m > 1 {
-            let intra: Vec<(u32, u32)> = (0..m)
-                .flat_map(|a| (0..m).map(move |v| (a, v)))
-                .filter(|&(a, v)| a != v)
-                .collect();
+            let intra: Vec<(u32, u32)> =
+                (0..m).flat_map(|a| (0..m).map(move |v| (a, v))).filter(|&(a, v)| a != v).collect();
             for cell in 0..n {
                 for &(ab, vb) in &intra {
                     if spec.cfin {

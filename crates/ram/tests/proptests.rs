@@ -23,6 +23,51 @@ fn arb_actions(n: usize, mask: u64) -> impl Strategy<Value = Vec<Action>> {
     )
 }
 
+/// One random single-bit fault on an `n`-cell bit-oriented memory,
+/// spanning every steady-state fault family the pooled campaign engine
+/// recycles devices across.
+fn arb_fault(n: usize) -> impl Strategy<Value = FaultKind> {
+    (0usize..10, 0usize..n, 0usize..n, any::<bool>(), any::<bool>()).prop_map(
+        move |(kind, a, b, flag, flag2)| {
+            let v = (a + 1 + usize::from(a == b)) % n; // distinct second site
+            let trigger =
+                if flag2 { prt_ram::CouplingTrigger::Rise } else { prt_ram::CouplingTrigger::Fall };
+            match kind {
+                0 => FaultKind::StuckAt { cell: a, bit: 0, value: u8::from(flag) },
+                1 => FaultKind::Transition { cell: a, bit: 0, rising: flag },
+                2 => FaultKind::CouplingInversion {
+                    agg_cell: a,
+                    agg_bit: 0,
+                    victim_cell: v,
+                    victim_bit: 0,
+                    trigger,
+                },
+                3 => FaultKind::CouplingIdempotent {
+                    agg_cell: a,
+                    agg_bit: 0,
+                    victim_cell: v,
+                    victim_bit: 0,
+                    trigger,
+                    force: u8::from(flag),
+                },
+                4 => FaultKind::CouplingState {
+                    agg_cell: a,
+                    agg_bit: 0,
+                    agg_state: u8::from(flag2),
+                    victim_cell: v,
+                    victim_bit: 0,
+                    force: u8::from(flag),
+                },
+                5 => FaultKind::StuckOpen { cell: a },
+                6 => FaultKind::ReadDestructive { cell: a, bit: 0 },
+                7 => FaultKind::DeceptiveRead { cell: a, bit: 0 },
+                8 => FaultKind::WriteDisturb { cell: a, bit: 0 },
+                _ => FaultKind::DecoderShadow { addr: a, instead_cell: v },
+            }
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -139,6 +184,49 @@ proptest! {
         }
         // Cycle accounting: one cycle per pair vs two sequential.
         prop_assert_eq!(dual.stats().cycles * 2, seq.stats().cycles);
+    }
+
+    /// The pooling contract behind the prt-sim campaign engine: a `Ram`
+    /// that has been dirtied by one trial and recycled via
+    /// `eject_faults()` + `reset_to(0)` is observationally identical to a
+    /// freshly allocated one, for random faults and random op sequences on
+    /// both sides of the recycle.
+    #[test]
+    fn recycled_ram_equals_fresh_ram(
+        dirty_fault in arb_fault(8),
+        dirty_actions in arb_actions(8, 1),
+        fault in arb_fault(8),
+        actions in arb_actions(8, 1),
+    ) {
+        let geom = Geometry::bom(8);
+        // Dirty a pooled device with a first trial…
+        let mut pooled = Ram::new(geom);
+        pooled.inject(dirty_fault).unwrap();
+        for act in &dirty_actions {
+            match *act {
+                Action::Read(a) => { let _ = pooled.read(a); }
+                Action::Write(a, d) => pooled.write(a, d),
+            }
+        }
+        // …then recycle it and replay a second trial against a fresh one.
+        pooled.eject_faults();
+        pooled.reset_to(0);
+        let mut fresh = Ram::new(geom);
+        pooled.inject(fault.clone()).unwrap();
+        fresh.inject(fault).unwrap();
+        for act in &actions {
+            match *act {
+                Action::Read(a) => prop_assert_eq!(pooled.read(a), fresh.read(a)),
+                Action::Write(a, d) => {
+                    pooled.write(a, d);
+                    fresh.write(a, d);
+                }
+            }
+        }
+        for c in 0..8 {
+            prop_assert_eq!(pooled.peek(c), fresh.peek(c), "cell {}", c);
+        }
+        prop_assert_eq!(pooled.stats(), fresh.stats());
     }
 
     /// Decoder shadow faults alias exactly two addresses to one cell.

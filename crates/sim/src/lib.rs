@@ -1,0 +1,548 @@
+//! Parallel, allocation-free fault-simulation campaign engine.
+//!
+//! Every coverage experiment in this workspace — the E3/E10 tables, scheme
+//! synthesis, Monte-Carlo detection probability, the hardware/software
+//! cross-check — reduces to the same inner loop: *for each enumerated fault
+//! instance, prepare a RAM, inject, run a test, aggregate*. This crate
+//! hoists that loop out of the five places it used to be written and makes
+//! it fast:
+//!
+//! * **Pooled devices** — each worker keeps one [`Ram`] and recycles it via
+//!   [`Ram::reset_to`] + [`Ram::eject_faults`], so the steady-state
+//!   campaign performs **zero heap allocation per fault** instead of two
+//!   `Vec` allocations plus fault-bank rebuilds per trial.
+//! * **Parallel fan-out** — fault instances are independent, so workers
+//!   self-schedule over chunks of the instance index space (chunked
+//!   work-stealing on `std::thread::scope`; the environment this workspace
+//!   builds in has no registry access, so the fan-out is built on `std`
+//!   instead of rayon — the scheduling discipline is the same).
+//! * **Early exit** — a fault detected under one data background skips the
+//!   remaining backgrounds, exactly like the sequential reference.
+//! * **Deterministic aggregation** — workers only fill a per-fault verdict
+//!   table; rows are tallied afterwards in enumeration order, so the
+//!   resulting [`CoverageReport`] is identical to the sequential path for
+//!   any thread count.
+//!
+//! # Quick start
+//!
+//! Run a custom checker (anything implementing [`FaultRunner`], including
+//! plain closures) over an enumerated fault universe:
+//!
+//! ```
+//! use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
+//! use prt_sim::Campaign;
+//!
+//! let universe = FaultUniverse::enumerate(Geometry::bom(8), &UniverseSpec::single_cell());
+//! // A toy test: write/readback both polarities on every cell.
+//! let report = Campaign::new(&universe, |ram: &mut Ram, _bg: u64| {
+//!     let n = ram.geometry().cells();
+//!     (0..n).any(|a| {
+//!         ram.write(a, 0);
+//!         let zero_ok = ram.read(a) == 0;
+//!         ram.write(a, 1);
+//!         !zero_ok || ram.read(a) != 1
+//!     })
+//! })
+//! .with_name("write-readback")
+//! .run();
+//! assert!(report.class("SAF").unwrap().complete());
+//! assert!(!report.class("TF").unwrap().complete()); // down-TFs escape
+//! ```
+//!
+//! The higher layers provide ready-made runners: `prt-march` adapts March
+//! tests (`MarchRunner`), `prt-core` implements [`FaultRunner`] for
+//! `PiTest`, `PrtScheme`, `BitPlanePi` and `PlaneScheme` directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram};
+
+mod report;
+
+pub use report::{ClassTally, CoverageReport, CoverageRow};
+
+/// Below this many trials a campaign stays sequential under
+/// [`Parallelism::Auto`] — thread spawn/join costs more than the work.
+const AUTO_PARALLEL_THRESHOLD: usize = 512;
+
+/// Work-stealing chunk size bounds: small enough to balance ragged trial
+/// costs (early-exit makes detected faults much cheaper than escapes),
+/// large enough to amortise the shared-counter traffic.
+const MAX_CHUNK: usize = 64;
+
+/// How a campaign distributes its trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker on the calling thread (the sequential reference).
+    Sequential,
+    /// One worker per available core when the campaign is large enough to
+    /// amortise thread startup; sequential otherwise.
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to ≥ 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    fn workers(self, trials: usize) -> usize {
+        let w = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => {
+                if trials < AUTO_PARALLEL_THRESHOLD {
+                    1
+                } else {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                }
+            }
+        };
+        w.min(trials.max(1))
+    }
+}
+
+/// Something that can run one prepared, single-fault memory and report
+/// whether the fault was detected.
+///
+/// The campaign hands the runner a pooled [`Ram`] that has already been
+/// reset and injected; `background` is the data background for this trial
+/// (test engines that have no background notion are free to ignore it).
+/// Closures `Fn(&mut Ram, u64) -> bool + Sync` implement this directly.
+pub trait FaultRunner: Sync {
+    /// Runs the test; `true` means the fault was detected.
+    fn detect(&self, ram: &mut Ram, background: u64) -> bool;
+}
+
+impl<F> FaultRunner for F
+where
+    F: Fn(&mut Ram, u64) -> bool + Sync,
+{
+    fn detect(&self, ram: &mut Ram, background: u64) -> bool {
+        self(ram, background)
+    }
+}
+
+// NOTE: no blanket `impl FaultRunner for &R` — it would overlap with the
+// closure impl above. Engine-aware types implement the trait on their
+// reference type instead (`impl FaultRunner for &PrtScheme`, …), so
+// campaigns can borrow the runner.
+
+/// Runs `count` independent trials against pooled memories and collects the
+/// per-trial verdicts in trial order.
+///
+/// This is the engine's lowest-level primitive (Monte-Carlo campaigns use
+/// it directly; [`Campaign`] builds fault-universe sweeps on top). Each
+/// worker owns one `Ram`; before every trial the device is healed
+/// ([`Ram::eject_faults`]) and zero-reset ([`Ram::reset_to`]), so `trial`
+/// always observes a pristine memory and the steady state allocates
+/// nothing.
+///
+/// # Panics
+///
+/// Panics if `ports` is not a valid port count for [`Ram::with_ports`].
+pub fn run_trials<F>(
+    geom: Geometry,
+    ports: usize,
+    count: usize,
+    parallelism: Parallelism,
+    trial: F,
+) -> Vec<bool>
+where
+    F: Fn(usize, &mut Ram) -> bool + Sync,
+{
+    let workers = parallelism.workers(count);
+    if workers <= 1 {
+        let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
+        return (0..count)
+            .map(|i| {
+                ram.eject_faults();
+                ram.reset_to(0);
+                trial(i, &mut ram)
+            })
+            .collect();
+    }
+    let verdicts: Vec<AtomicBool> = (0..count).map(|_| AtomicBool::new(false)).collect();
+    let next = AtomicUsize::new(0);
+    let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= count {
+                        break;
+                    }
+                    for (i, slot) in
+                        verdicts.iter().enumerate().take((start + chunk).min(count)).skip(start)
+                    {
+                        ram.eject_faults();
+                        ram.reset_to(0);
+                        slot.store(trial(i, &mut ram), Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    verdicts.into_iter().map(AtomicBool::into_inner).collect()
+}
+
+/// A configured fault-simulation campaign: a fault set × a runner × data
+/// backgrounds, with a parallelism policy.
+///
+/// Construction is cheap; nothing runs until [`Campaign::run`],
+/// [`Campaign::detections`] or one of the other drivers is called.
+#[derive(Debug)]
+pub struct Campaign<'a, R> {
+    geom: Geometry,
+    faults: &'a [FaultKind],
+    runner: R,
+    backgrounds: Vec<u64>,
+    ports: usize,
+    parallelism: Parallelism,
+    name: String,
+}
+
+impl<'a, R: FaultRunner> Campaign<'a, R> {
+    /// A campaign over every instance of an enumerated universe.
+    pub fn new(universe: &'a FaultUniverse, runner: R) -> Campaign<'a, R> {
+        Campaign::over(universe.geometry(), universe.faults(), runner)
+    }
+
+    /// A campaign over an explicit fault list (e.g. the escapes of a
+    /// previous campaign, or a topological NPSF set).
+    pub fn over(geom: Geometry, faults: &'a [FaultKind], runner: R) -> Campaign<'a, R> {
+        Campaign {
+            geom,
+            faults,
+            runner,
+            backgrounds: vec![0],
+            ports: 1,
+            parallelism: Parallelism::Auto,
+            name: "campaign".to_string(),
+        }
+    }
+
+    /// Sets the data backgrounds; a fault counts as detected when **any**
+    /// background run flags it, and later backgrounds are skipped once one
+    /// does (the per-fault early exit).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty background list.
+    pub fn with_backgrounds(mut self, backgrounds: &[u64]) -> Campaign<'a, R> {
+        assert!(!backgrounds.is_empty(), "at least one data background required");
+        self.backgrounds = backgrounds.to_vec();
+        self
+    }
+
+    /// Number of ports on the pooled memories (default 1).
+    pub fn with_ports(mut self, ports: usize) -> Campaign<'a, R> {
+        self.ports = ports;
+        self
+    }
+
+    /// Sets the parallelism policy (default [`Parallelism::Auto`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Campaign<'a, R> {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the report name (default `"campaign"`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Campaign<'a, R> {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of fault instances in the campaign.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the campaign has no fault instances.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    fn run_fault(&self, i: usize, ram: &mut Ram) -> bool {
+        ram.inject(self.faults[i].clone()).expect("campaign faults are valid");
+        for (bi, &bg) in self.backgrounds.iter().enumerate() {
+            if bi > 0 {
+                ram.reset_to(0);
+            }
+            if self.runner.detect(ram, bg) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Per-fault verdicts in enumeration order. Deterministic: the result
+    /// is independent of the parallelism policy because every trial is
+    /// isolated on its own (pooled) memory.
+    pub fn detections(&self) -> Vec<bool> {
+        run_trials(self.geom, self.ports, self.faults.len(), self.parallelism, |i, ram| {
+            self.run_fault(i, ram)
+        })
+    }
+
+    /// The seed's original inner loop — a fresh [`Ram`] allocated per
+    /// (fault, background) trial, strictly sequential. Kept as the
+    /// differential-testing oracle and the benchmark baseline the pooled
+    /// engine is measured against; produces bit-identical verdicts.
+    pub fn detections_reference(&self) -> Vec<bool> {
+        self.faults
+            .iter()
+            .map(|fault| {
+                for &bg in &self.backgrounds {
+                    let mut ram = Ram::with_ports(self.geom, self.ports).expect("valid port count");
+                    ram.inject(fault.clone()).expect("campaign faults are valid");
+                    if self.runner.detect(&mut ram, bg) {
+                        return true;
+                    }
+                }
+                false
+            })
+            .collect()
+    }
+
+    /// Indices of the faults that escaped (were not detected).
+    pub fn escapes(&self) -> Vec<usize> {
+        self.detections().into_iter().enumerate().filter_map(|(i, d)| (!d).then_some(i)).collect()
+    }
+
+    /// Number of detected faults.
+    pub fn count_detected(&self) -> usize {
+        self.detections().into_iter().filter(|&d| d).count()
+    }
+
+    /// Index of the first escaping fault, or `None` when coverage is
+    /// complete. Fail-fast: sequential campaigns stop at the first escape;
+    /// parallel campaigns stop refining once no smaller index can escape.
+    /// The result equals `self.escapes().first()` for any thread count.
+    pub fn first_escape(&self) -> Option<usize> {
+        let count = self.faults.len();
+        let workers = self.parallelism.workers(count);
+        if workers <= 1 {
+            let mut ram = Ram::with_ports(self.geom, self.ports).expect("valid port count");
+            return (0..count).find(|&i| {
+                ram.eject_faults();
+                ram.reset_to(0);
+                !self.run_fault(i, &mut ram)
+            });
+        }
+        let best = AtomicUsize::new(usize::MAX);
+        let next = AtomicUsize::new(0);
+        let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut ram = Ram::with_ports(self.geom, self.ports).expect("valid port count");
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= count || start >= best.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(count) {
+                            // Indices past a known escape cannot improve the
+                            // minimum; indices below it are all still visited,
+                            // so the final value is the true first escape.
+                            if i >= best.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            ram.eject_faults();
+                            ram.reset_to(0);
+                            if !self.run_fault(i, &mut ram) {
+                                best.fetch_min(i, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let found = best.into_inner();
+        (found != usize::MAX).then_some(found)
+    }
+
+    /// Runs the campaign and aggregates per-class coverage. The report is
+    /// byte-identical to the sequential reference path regardless of the
+    /// parallelism policy: workers only fill the per-fault verdict table,
+    /// and rows are tallied in enumeration order afterwards.
+    pub fn run(&self) -> CoverageReport {
+        let verdicts = self.detections();
+        let mut tally = ClassTally::new();
+        for (fault, detected) in self.faults.iter().zip(&verdicts) {
+            tally.record(fault.mnemonic(), *detected);
+        }
+        tally.into_report(self.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prt_ram::UniverseSpec;
+    use std::sync::atomic::AtomicUsize;
+
+    /// `w0 ⇑(r0) w1 ⇑(r1)`-ish toy test with full SAF coverage.
+    fn toy_runner(ram: &mut Ram, _bg: u64) -> bool {
+        let n = ram.geometry().cells();
+        let mask = ram.geometry().data_mask();
+        for a in 0..n {
+            ram.write(a, 0);
+        }
+        for a in 0..n {
+            if ram.read(a) != 0 {
+                return true;
+            }
+            ram.write(a, mask);
+        }
+        (0..n).any(|a| {
+            let got = ram.read(a) != mask;
+            ram.write(a, 0);
+            got
+        })
+    }
+
+    fn universe() -> FaultUniverse {
+        FaultUniverse::enumerate(Geometry::bom(10), &UniverseSpec::full())
+    }
+
+    #[test]
+    fn parallel_matches_sequential_and_reference() {
+        let u = universe();
+        let seq =
+            Campaign::new(&u, toy_runner).with_parallelism(Parallelism::Sequential).detections();
+        let par =
+            Campaign::new(&u, toy_runner).with_parallelism(Parallelism::Threads(4)).detections();
+        let reference = Campaign::new(&u, toy_runner).detections_reference();
+        assert_eq!(seq, par);
+        assert_eq!(seq, reference);
+    }
+
+    #[test]
+    fn reports_identical_across_thread_counts() {
+        let u = universe();
+        let base = Campaign::new(&u, toy_runner)
+            .with_parallelism(Parallelism::Sequential)
+            .with_name("toy")
+            .run();
+        for threads in [2usize, 3, 8] {
+            let r = Campaign::new(&u, toy_runner)
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_name("toy")
+                .run();
+            assert_eq!(base, r, "threads={threads}");
+        }
+        assert!(base.class("SAF").unwrap().complete());
+    }
+
+    #[test]
+    fn multi_background_early_exit() {
+        // SAF-only: the toy runner has full stuck-at coverage.
+        let u = FaultUniverse::enumerate(
+            Geometry::bom(6),
+            &UniverseSpec { saf: true, ..UniverseSpec::default() },
+        );
+        let calls = AtomicUsize::new(0);
+        let runner = |ram: &mut Ram, bg: u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            // Only background 1 ever detects anything.
+            bg == 1 && toy_runner(ram, bg)
+        };
+        let det = Campaign::new(&u, runner)
+            .with_backgrounds(&[1, 0, 0, 0])
+            .with_parallelism(Parallelism::Sequential)
+            .detections();
+        // Every stuck-at is caught on the first background, so exactly one
+        // runner call per fault.
+        assert!(det.iter().all(|&d| d));
+        assert_eq!(calls.load(Ordering::Relaxed), u.len());
+    }
+
+    #[test]
+    fn backgrounds_reset_state_between_runs() {
+        let u = FaultUniverse::enumerate(Geometry::bom(4), &UniverseSpec::single_cell());
+        // A runner that dirties the RAM and detects nothing: the second
+        // background must still observe a pristine store.
+        let runner = |ram: &mut Ram, bg: u64| {
+            if bg == 0 {
+                ram.write(0, 1);
+                false
+            } else {
+                ram.read(0) == 1 // dirty state leaked from background 0
+            }
+        };
+        let det = Campaign::new(&u, runner)
+            .with_backgrounds(&[0, 1])
+            .with_parallelism(Parallelism::Sequential)
+            .detections();
+        // Cell-0 faults can make the leak check misfire legitimately
+        // (SA1@0 reads 1 even on a clean store); every other instance must
+        // see a clean device on background 1.
+        for (i, d) in det.iter().enumerate() {
+            if !matches!(
+                u.faults()[i],
+                FaultKind::StuckAt { cell: 0, .. } | FaultKind::Transition { cell: 0, .. }
+            ) {
+                assert!(!d, "fault {i}: state leaked across backgrounds");
+            }
+        }
+    }
+
+    #[test]
+    fn escapes_and_first_escape_agree() {
+        let u = universe();
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let c = Campaign::new(&u, toy_runner).with_parallelism(parallelism);
+            let escapes = c.escapes();
+            assert_eq!(c.first_escape(), escapes.first().copied());
+            assert_eq!(c.count_detected(), u.len() - escapes.len());
+        }
+    }
+
+    #[test]
+    fn complete_campaign_has_no_first_escape() {
+        let u = FaultUniverse::enumerate(
+            Geometry::bom(8),
+            &UniverseSpec { saf: true, ..UniverseSpec::default() },
+        );
+        let c = Campaign::new(&u, toy_runner).with_parallelism(Parallelism::Threads(3));
+        assert_eq!(c.first_escape(), None);
+        assert!(c.run().complete());
+    }
+
+    #[test]
+    fn over_subset_campaign() {
+        let u = universe();
+        let all = Campaign::new(&u, toy_runner);
+        let escapes = all.escapes();
+        let escaped: Vec<FaultKind> = escapes.iter().map(|&i| u.faults()[i].clone()).collect();
+        let sub = Campaign::over(u.geometry(), &escaped, toy_runner);
+        assert_eq!(sub.len(), escaped.len());
+        assert!(!sub.is_empty());
+        assert_eq!(sub.count_detected(), 0, "escapes must still escape");
+    }
+
+    #[test]
+    fn run_trials_verdict_order() {
+        let det =
+            run_trials(Geometry::bom(4), 1, 100, Parallelism::Threads(4), |i, _ram| i % 3 == 0);
+        for (i, d) in det.iter().enumerate() {
+            assert_eq!(*d, i % 3 == 0, "trial {i}");
+        }
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let faults: Vec<FaultKind> = Vec::new();
+        let c = Campaign::over(Geometry::bom(4), &faults, toy_runner);
+        assert!(c.is_empty());
+        assert!(c.detections().is_empty());
+        assert_eq!(c.first_escape(), None);
+        assert!(c.run().complete());
+    }
+}

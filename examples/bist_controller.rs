@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "TF↑ @ 700.3: controller pass = {pass}, algorithmic detected = {} → agree = {}",
         algo.detected(),
-        !pass == algo.detected()
+        pass != algo.detected()
     );
     assert_eq!(!pass, algo.detected());
     Ok(())

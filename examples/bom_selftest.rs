@@ -37,11 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // March C- baseline through the same coverage evaluator.
     let march = march_library::march_c_minus();
-    let report = prt_march::coverage::evaluate(
-        &march,
-        &universe,
-        &Executor::new().stop_at_first_mismatch(),
-    );
+    let report =
+        prt_march::coverage::evaluate(&march, &universe, &Executor::new().stop_at_first_mismatch());
     println!(
         "{:<28} {:>7}n {:>9.2}% {:>9}",
         march.name(),

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => vec![
             ("March C-".into(), "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); c(r0)}".into()),
             // Same elements but ascending-only: loses some couplings.
-            ("ascending-only".into(), "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇑(r0,w1); ⇑(r1,w0); c(r0)}".into()),
+            (
+                "ascending-only".into(),
+                "{c(w0); ⇑(r0,w1); ⇑(r1,w0); ⇑(r0,w1); ⇑(r1,w0); c(r0)}".into(),
+            ),
             // ASCII notation works too.
             ("MATS+ (ascii)".into(), "{any(w0); up(r0,w1); down(r1,w0)}".into()),
         ],

@@ -9,8 +9,8 @@
 //!
 //! Run: `cargo run --release --example multiplier_synthesis`
 
-use prt_suite::prelude::*;
 use prt_gf::{mult_synth, SynthesisStrategy};
+use prt_suite::prelude::*;
 
 fn print_netlist(name: &str, net: &XorNetwork) {
     println!("{name}: {} XOR gates, depth {}", net.gate_count(), net.depth());

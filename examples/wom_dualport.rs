@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c2 = pi.run_dual_port(&mut dual)?.cycles();
     println!("single-port iteration: {c1} cycles (3n − 2)");
     println!("dual-port   iteration: {c2} cycles (2n − 2) → {:.2}× faster", c1 as f64 / c2 as f64);
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         let mut quad = Ram::with_ports(Geometry::wom(n, 4)?, 4)?;
         let c4 = pi.run_quad_port(&mut quad)?.cycles();
         println!("quad-port multi-LFSR:  {c4} cycles (≈ n)");

@@ -31,16 +31,16 @@ pub use prt_ram;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
+    pub use prt_core::scheme::IterationSpec;
     pub use prt_core::{
         BistController, BitPlanePi, PiResult, PiTest, PlaneScheme, PlaneSeeding, PrtError,
         PrtScheme, Trajectory,
     };
-    pub use prt_core::scheme::IterationSpec;
     pub use prt_gf::{BitMatrix, Field, Poly2, PolyGf, XorNetwork};
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
-        CouplingTrigger, FaultKind, FaultUniverse, Geometry, PortOp, Ram, RamError,
-        SplitMix64, UniverseSpec,
+        CouplingTrigger, FaultKind, FaultUniverse, Geometry, PortOp, Ram, RamError, SplitMix64,
+        UniverseSpec,
     };
 }

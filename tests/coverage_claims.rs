@@ -15,11 +15,7 @@ fn simulator_calibration_march_textbook_table() {
     let check = |test: &MarchTest, complete: &[&str], incomplete: &[&str]| {
         let r = prt_march::coverage::evaluate(test, &universe, &ex);
         for c in complete {
-            assert!(
-                r.class(c).expect("class").complete(),
-                "{} must fully cover {c}",
-                test.name()
-            );
+            assert!(r.class(c).expect("class").complete(), "{} must fully cover {c}", test.name());
         }
         for c in incomplete {
             assert!(
@@ -32,11 +28,7 @@ fn simulator_calibration_march_textbook_table() {
     check(&march_library::mats_plus(), &["SAF", "AF"], &["TF"]);
     check(&march_library::mats_plus_plus(), &["SAF", "AF", "TF"], &["CFid"]);
     check(&march_library::march_x(), &["SAF", "AF", "TF", "CFin"], &["CFid"]);
-    check(
-        &march_library::march_c_minus(),
-        &["SAF", "AF", "TF", "CFin", "CFid", "CFst"],
-        &[],
-    );
+    check(&march_library::march_c_minus(), &["SAF", "AF", "TF", "CFin", "CFid", "CFst"], &[]);
 }
 
 #[test]
@@ -138,8 +130,7 @@ fn wom_standard3_on_word_universe() {
         cfin: true,
         ..UniverseSpec::default()
     };
-    let universe =
-        FaultUniverse::enumerate(Geometry::wom(8, 4).expect("geometry"), &spec);
+    let universe = FaultUniverse::enumerate(Geometry::wom(8, 4).expect("geometry"), &spec);
     let report = scheme.coverage(&universe);
     assert!(report.complete(), "SAF/TF/AF/CFin must be complete on WOM");
 }

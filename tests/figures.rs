@@ -51,8 +51,7 @@ fn figure_2_dual_port_equivalence_and_cycles() {
     for n in [16usize, 33, 128] {
         let mut single = Ram::new(Geometry::wom(n, 4).expect("geometry"));
         let r1 = pi.run(&mut single).expect("run");
-        let mut dual =
-            Ram::with_ports(Geometry::wom(n, 4).expect("geometry"), 2).expect("ports");
+        let mut dual = Ram::with_ports(Geometry::wom(n, 4).expect("geometry"), 2).expect("ports");
         let r2 = pi.run_dual_port(&mut dual).expect("run");
         assert_eq!(r1.fin(), r2.fin(), "schedules must agree, n={n}");
         assert_eq!(r1.cycles(), 3 * n as u64 - 2);

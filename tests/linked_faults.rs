@@ -64,10 +64,7 @@ fn linked_cfin_pairs_mask_each_other_for_march_c_minus() {
     let pairs = linked_cfin_pairs(n);
     let (c_minus, total) = march_coverage_on_pairs(&march_library::march_c_minus(), n, &pairs);
     // March C- covers 100% of UNLINKED CFin (E10) but linked pairs mask:
-    assert!(
-        c_minus < total,
-        "some linked CFin pair must escape March C- ({c_minus}/{total})"
-    );
+    assert!(c_minus < total, "some linked CFin pair must escape March C- ({c_minus}/{total})");
     // …while single-fault behaviour stays complete (sanity).
     let universe = FaultUniverse::enumerate(
         Geometry::bom(n),
@@ -96,11 +93,9 @@ fn stronger_march_tests_and_prt_reduce_linked_escapes() {
     );
 
     // PRT full-coverage schedule on the same linked pairs.
-    let (scheme, _) = PrtScheme::full_coverage(
-        Field::new(1, 0b11).expect("GF(2)"),
-        Geometry::bom(n),
-    )
-    .expect("synthesis");
+    let (scheme, _) =
+        PrtScheme::full_coverage(Field::new(1, 0b11).expect("GF(2)"), Geometry::bom(n))
+            .expect("synthesis");
     let mut prt_detected = 0;
     for pair in &pairs {
         let mut ram = Ram::new(Geometry::bom(n));

@@ -32,11 +32,8 @@ fn single_fault_consensus_on_random_instances() {
     // PRT full-coverage schedule should both detect it — consensus between
     // two completely different engines doubles as a simulator check.
     let geom = Geometry::bom(12);
-    let (prt, _) = PrtScheme::full_coverage(
-        Field::new(1, 0b11).expect("GF(2)"),
-        geom,
-    )
-    .expect("synthesis");
+    let (prt, _) =
+        PrtScheme::full_coverage(Field::new(1, 0b11).expect("GF(2)"), geom).expect("synthesis");
     let march = march_library::march_ss();
     let ex = Executor::new().stop_at_first_mismatch();
     let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim()).sample(150, 99);
