@@ -1,19 +1,25 @@
 //! Criterion group measuring campaign-engine throughput (faults/second):
 //! the seed's per-fault-allocation loop vs the pooled sequential engine vs
-//! the parallel fan-out, for both a March runner (cheap per fault, early
-//! exit) and a PRT scheme runner (heavier per fault).
+//! the compiled-program path vs the parallel fan-out, for both a March
+//! runner (cheap per fault, early exit) and a PRT scheme runner (heavier
+//! per fault).
 //!
 //! Run: `cargo bench -p prt-bench --bench coverage_campaign`
 //!
-//! The three variants produce bit-identical verdict vectors (asserted in
-//! the prt-sim and integration tests); this bench quantifies the speedup.
-//! Parallel gains scale with core count — on a single-core host the
-//! `parallel_auto` row collapses to the pooled-sequential number.
+//! The `compiled_*` rows lower the test to the `prt_ram::prog` IR **once
+//! per campaign** (the compile cost is measured inside the loop — it is
+//! three orders of magnitude below the sweep) and run the allocation-free
+//! interpreter per trial; `pooled_sequential` re-interprets the high-level
+//! notation per trial. All variants produce bit-identical verdict vectors
+//! (asserted in the prt-sim, prt-core and integration property tests);
+//! this bench quantifies the per-trial interpretation tax. Parallel gains
+//! scale with core count — on a single-core host the `*_parallel` rows
+//! collapse to their sequential numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use prt_core::PrtScheme;
 use prt_gf::Field;
-use prt_march::{coverage::MarchRunner, library, Executor};
+use prt_march::{coverage, coverage::MarchRunner, library, Executor};
 use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
 use prt_sim::{Campaign, Parallelism};
 
@@ -34,11 +40,23 @@ fn bench_march_campaign(c: &mut Criterion) {
                     .detections()
             })
         });
+        group.bench_with_input(BenchmarkId::new("compiled_sequential", n), &universe, |b, u| {
+            b.iter(|| {
+                let program = ex.compile(&test, u.geometry());
+                Campaign::new(u, &program).with_parallelism(Parallelism::Sequential).detections()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
             b.iter(|| {
                 Campaign::new(u, MarchRunner::new(&test, &ex))
                     .with_parallelism(Parallelism::Auto)
                     .detections()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compiled_parallel", n), &universe, |b, u| {
+            b.iter(|| {
+                let program = ex.compile(&test, u.geometry());
+                Campaign::new(u, &program).with_parallelism(Parallelism::Auto).detections()
             })
         });
     }
@@ -57,8 +75,20 @@ fn bench_scheme_campaign(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("pooled_sequential", n), &universe, |b, u| {
         b.iter(|| Campaign::new(u, &scheme).with_parallelism(Parallelism::Sequential).detections())
     });
+    group.bench_with_input(BenchmarkId::new("compiled_sequential", n), &universe, |b, u| {
+        b.iter(|| {
+            let program = scheme.compile(u.geometry()).expect("compile");
+            Campaign::new(u, &program).with_parallelism(Parallelism::Sequential).detections()
+        })
+    });
     group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
         b.iter(|| Campaign::new(u, &scheme).with_parallelism(Parallelism::Auto).detections())
+    });
+    group.bench_with_input(BenchmarkId::new("compiled_parallel", n), &universe, |b, u| {
+        b.iter(|| {
+            let program = scheme.compile(u.geometry()).expect("compile");
+            Campaign::new(u, &program).with_parallelism(Parallelism::Auto).detections()
+        })
     });
     group.finish();
 }
@@ -90,9 +120,27 @@ fn bench_multi_background(c: &mut Criterion) {
                 .detections()
         })
     });
+    group.bench_with_input(BenchmarkId::new("compiled_sequential", n), &universe, |b, u| {
+        b.iter(|| {
+            let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+            Campaign::new(u, &bank)
+                .with_backgrounds(&bgs)
+                .with_parallelism(Parallelism::Sequential)
+                .detections()
+        })
+    });
     group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
         b.iter(|| {
             Campaign::new(u, MarchRunner::new(&test, &ex))
+                .with_backgrounds(&bgs)
+                .with_parallelism(Parallelism::Auto)
+                .detections()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("compiled_parallel", n), &universe, |b, u| {
+        b.iter(|| {
+            let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+            Campaign::new(u, &bank)
                 .with_backgrounds(&bgs)
                 .with_parallelism(Parallelism::Auto)
                 .detections()

@@ -170,14 +170,18 @@ pub fn monte_carlo_bom(
     let mut rng = SplitMix64::new(seed);
     let inits: Vec<[u64; 2]> =
         (0..trials).map(|_| [rng.next_u64() & 1, rng.next_u64() & 1]).collect();
+    // The k = 2 automaton over GF(2) has exactly four TDB states: compile
+    // all four π-programs up front, then every trial is one allocation-free
+    // interpreter pass (verdict-identical to running `PiTest::run` per
+    // trial — property-tested).
+    let programs: Vec<prt_ram::TestProgram> = (0..4u64)
+        .map(|i| PiTest::new(field.clone(), &[1, 1, 1], &[(i >> 1) & 1, i & 1])?.compile(geom))
+        .collect::<Result<_, _>>()?;
     let verdicts =
         prt_sim::run_trials(geom, 1, trials as usize, prt_sim::Parallelism::Auto, |t, ram| {
             ram.inject(fault.clone()).expect("validated above");
-            PiTest::new(field.clone(), &[1, 1, 1], &inits[t])
-                .expect("validated above")
-                .run(ram)
-                .map(|res| res.detected())
-                .unwrap_or(false)
+            let [s0, s1] = inits[t];
+            programs[((s0 << 1) | s1) as usize].detect(ram)
         });
     let detected = verdicts.into_iter().filter(|&d| d).count() as u32;
     Ok(f64::from(detected) / f64::from(trials))

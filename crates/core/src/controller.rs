@@ -192,7 +192,13 @@ pub fn cross_check(pi: &PiTest, universe: &prt_ram::FaultUniverse) -> Vec<usize>
             .unwrap_or(false)
     };
     let hw = Campaign::new(universe, hw_runner).detections();
-    let sw = Campaign::new(universe, pi).detections();
+    // The algorithmic side runs the compiled π-program (one compile, one
+    // interpreter pass per trial); a geometry the automaton cannot host
+    // falls back to the interpreted runner with its error-as-escape rule.
+    let sw = match pi.compile(universe.geometry()) {
+        Ok(program) => Campaign::new(universe, &program).detections(),
+        Err(_) => Campaign::new(universe, pi).detections(),
+    };
     hw.iter().zip(&sw).enumerate().filter_map(|(i, (h, s))| (h != s).then_some(i)).collect()
 }
 

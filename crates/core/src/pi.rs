@@ -23,7 +23,7 @@
 use crate::{PrtError, Trajectory};
 use prt_gf::Field;
 use prt_lfsr::WordLfsr;
-use prt_ram::{MemoryDevice, PortOp, Ram};
+use prt_ram::{Geometry, MemoryDevice, PortOp, ProgramBuilder, Ram, SlotOp, TestProgram};
 
 /// One configured π-test iteration.
 ///
@@ -64,6 +64,20 @@ pub struct PiResult {
 impl PiResult {
     pub(crate) fn from_parts(fin: Vec<u64>, fin_star: Vec<u64>, ops: u64, cycles: u64) -> PiResult {
         PiResult { fin, fin_star, ops, cycles, stale_errors: 0 }
+    }
+
+    pub(crate) fn from_execution(
+        fin: Vec<u64>,
+        fin_star: Vec<u64>,
+        exec: &prt_ram::Execution,
+    ) -> PiResult {
+        PiResult {
+            fin,
+            fin_star,
+            ops: exec.ops,
+            cycles: exec.cycles,
+            stale_errors: exec.stale_errors,
+        }
     }
 
     /// The observed final state (last `k` trajectory cells).
@@ -335,16 +349,192 @@ impl PiTest {
         })
     }
 
+    /// Compiles one plain single-port π-iteration for `geom` into a
+    /// [`TestProgram`]: the trajectory is materialised, the normalised
+    /// feedback constants become precompiled GF(2)-linear maps driving the
+    /// interpreter's accumulator, and the `Fin` reads carry their `Fin*`
+    /// expectations inline. The program performs the **exact** access
+    /// sequence of [`PiTest::run`] — including the fault-propagating
+    /// data-dependent wave writes — and is verdict-identical to it
+    /// (property-tested). Compile once per (test, geometry); run per
+    /// trial.
+    ///
+    /// # Errors
+    ///
+    /// As [`PiTest::run`].
+    pub fn compile(&self, geom: Geometry) -> Result<TestProgram, PrtError> {
+        self.compile_with_preread(geom, None)
+    }
+
+    /// Compiles the pre-read variant (see [`PiTest::run_with_preread`]):
+    /// with `expected_stale` given (indexed by address), every wave write
+    /// is preceded by a stale-channel check of its target. `None` degrades
+    /// to the plain program.
+    ///
+    /// # Errors
+    ///
+    /// As [`PiTest::run`].
+    pub fn compile_with_preread(
+        &self,
+        geom: Geometry,
+        expected_stale: Option<&[u64]>,
+    ) -> Result<TestProgram, PrtError> {
+        let mut b = ProgramBuilder::new(geom).with_name("π-iteration");
+        self.compile_into(&mut b, geom, expected_stale)?;
+        Ok(b.build())
+    }
+
+    /// Appends this iteration's ops to `b` (the scheme compiler fuses all
+    /// iterations into one flat program).
+    pub(crate) fn compile_into(
+        &self,
+        b: &mut ProgramBuilder,
+        geom: Geometry,
+        expected_stale: Option<&[u64]>,
+    ) -> Result<(), PrtError> {
+        self.validate_geometry(geom.cells(), geom.width())?;
+        let n = geom.cells();
+        let k = self.stages();
+        let order = self.trajectory.order(n);
+        let maps = self.coefficient_maps(b, geom);
+        for (j, &cell) in order.iter().take(k).enumerate() {
+            if let Some(stale) = expected_stale {
+                b.read_stale(cell, stale[cell]);
+            }
+            b.write(cell, self.init()[j]);
+        }
+        for t in 0..n - k {
+            b.acc_set(self.affine());
+            for (i, &m) in maps.iter().enumerate() {
+                // c_i multiplies s_{t+k−i} — trajectory position t+k−i.
+                b.read_acc(order[t + k - 1 - i], m);
+            }
+            let target = order[t + k];
+            if let Some(stale) = expected_stale {
+                b.read_stale(target, stale[target]);
+            }
+            b.write_acc(target);
+        }
+        let fin_star = self.fin_star(n);
+        for (j, &cell) in order[n - k..].iter().enumerate() {
+            b.read_capture(cell, fin_star[j]);
+        }
+        Ok(())
+    }
+
+    /// Compiles the dual-port schedule (Figure 2) into a two-port
+    /// [`TestProgram`]: operand reads pair up two per cycle. Without
+    /// `expected_stale` this is the plain `2n − 2`-cycle schedule of
+    /// [`PiTest::run_dual_port`]. With it, the program additionally
+    /// carries the **pre-read transformation**: each wave write's stale
+    /// check is *fused into the write cycle* (the device reads before it
+    /// writes within one cycle), so pre-read coverage costs only
+    /// `⌊k/2⌋` extra seed cycles (the seeds unpair to fuse their own
+    /// stale checks) and zero extra wave cycles — `2n − 1` cycles for
+    /// `k = 2` instead of the single-port pre-read's `4n − 2` operations.
+    ///
+    /// # Errors
+    ///
+    /// As [`PiTest::run`] (the port check happens when the program meets a
+    /// device).
+    pub fn compile_dual_port(
+        &self,
+        geom: Geometry,
+        expected_stale: Option<&[u64]>,
+    ) -> Result<TestProgram, PrtError> {
+        let mut b = ProgramBuilder::new(geom).with_name("π dual-port");
+        self.compile_dual_into(&mut b, geom, expected_stale)?;
+        Ok(b.build())
+    }
+
+    pub(crate) fn compile_dual_into(
+        &self,
+        b: &mut ProgramBuilder,
+        geom: Geometry,
+        expected_stale: Option<&[u64]>,
+    ) -> Result<(), PrtError> {
+        self.validate_geometry(geom.cells(), geom.width())?;
+        let n = geom.cells();
+        let k = self.stages();
+        let order = self.trajectory.order(n);
+        let maps = self.coefficient_maps(b, geom);
+        // Seed: plain mode packs the k init writes two per cycle; pre-read
+        // mode fuses each seed's stale check with its write instead (one
+        // seed per cycle — the stale read sees the pre-write contents).
+        match expected_stale {
+            None => b.cycle2_pairs(
+                (0..k).map(|j| SlotOp::Write { addr: order[j] as u32, data: self.init()[j] }),
+            ),
+            Some(stale) => {
+                for j in 0..k {
+                    b.cycle2(
+                        SlotOp::ReadStale { addr: order[j] as u32, expect: stale[order[j]] },
+                        SlotOp::Write { addr: order[j] as u32, data: self.init()[j] },
+                    );
+                }
+            }
+        }
+        for t in 0..n - k {
+            b.acc_set(self.affine());
+            // Read phase: the k operand reads, two per cycle — the value at
+            // trajectory position t+j pairs with coefficient c_{k−j}.
+            b.cycle2_pairs(
+                (0..k).map(|j| SlotOp::ReadAcc { addr: order[t + j] as u32, map: maps[k - 1 - j] }),
+            );
+            // Write phase: plain mode writes alone; pre-read mode fuses the
+            // target's stale check into the same cycle for free.
+            let target = order[t + k];
+            match expected_stale {
+                None => b.cycle2(SlotOp::WriteAcc { addr: target as u32 }, SlotOp::Idle),
+                Some(stale) => b.cycle2(
+                    SlotOp::ReadStale { addr: target as u32, expect: stale[target] },
+                    SlotOp::WriteAcc { addr: target as u32 },
+                ),
+            }
+        }
+        // Signature readback, two per cycle.
+        let fin_star = self.fin_star(n);
+        b.cycle2_pairs(
+            (0..k).map(|j| SlotOp::ReadCapture {
+                addr: order[n - k + j] as u32,
+                expect: fin_star[j],
+            }),
+        );
+        Ok(())
+    }
+
+    /// Registers one GF(2)-linear map per normalised feedback constant
+    /// (mul-by-`c_i` as per-bit XOR masks) and returns their table
+    /// indices, in coefficient order.
+    fn coefficient_maps(&self, b: &mut ProgramBuilder, geom: Geometry) -> Vec<u16> {
+        let field = self.field();
+        self.normalised_coeffs()
+            .iter()
+            .map(|&c| {
+                let masks = (0..geom.width()).map(|j| field.mul(c, 1u64 << j)).collect();
+                b.add_map(masks)
+            })
+            .collect()
+    }
+
     /// Runs one π-iteration on a dual-port memory (the paper's Figure 2
     /// scheme): both operand reads are issued *simultaneously* on the two
-    /// ports, halving the cycle count to `2n − 2` for `k = 2`.
+    /// ports, halving the cycle count to `2n − 2` for `k = 2`. Executes
+    /// the compiled dual-port program ([`PiTest::compile_dual_port`]).
     ///
     /// # Errors
     ///
     /// Geometry errors as in [`PiTest::run`], plus
     /// [`PrtError::NotEnoughPorts`] if the device has fewer than two ports.
     pub fn run_dual_port(&self, ram: &mut Ram) -> Result<PiResult, PrtError> {
-        self.run_multi_port(ram, 2)
+        let geom = ram.geometry();
+        let program = self.compile_dual_port(geom, None)?;
+        if ram.ports() < 2 {
+            return Err(PrtError::NotEnoughPorts { have: ram.ports(), need: 2 });
+        }
+        let mut fin = Vec::with_capacity(program.captures());
+        let exec = program.execute(ram, false, Some(&mut fin))?;
+        Ok(PiResult::from_execution(fin, self.fin_star(geom.cells()), &exec))
     }
 
     /// Runs two independent half-array automata concurrently on a four-port
@@ -449,60 +639,6 @@ impl PiTest {
     fn half_fin_star(&self, len: usize) -> Vec<u64> {
         let k = self.stages();
         self.lfsr.state_after((len - k) as u128)
-    }
-
-    fn run_multi_port(&self, ram: &mut Ram, ports: usize) -> Result<PiResult, PrtError> {
-        let geom = ram.geometry();
-        self.validate_geometry(geom.cells(), geom.width())?;
-        if ram.ports() < ports {
-            return Err(PrtError::NotEnoughPorts { have: ram.ports(), need: ports });
-        }
-        let n = geom.cells();
-        let k = self.stages();
-        let order = self.trajectory.order(n);
-        let before = ram.stats();
-        let field = self.field().clone();
-        let coeffs = self.normalised_coeffs();
-
-        // Seed: pack the k init writes into ⌈k/ports⌉ cycles.
-        for chunk in (0..k).collect::<Vec<_>>().chunks(ports) {
-            let ops: Vec<PortOp> = chunk
-                .iter()
-                .map(|&j| PortOp::Write { addr: order[j], data: self.init()[j] })
-                .collect();
-            ram.cycle(&ops)?;
-        }
-        for t in 0..n - k {
-            // Read phase: k operand reads, `ports` at a time — for k = 2 and
-            // two ports this is the single simultaneous-read cycle of Fig. 2.
-            let mut values = Vec::with_capacity(k);
-            for chunk in (0..k).collect::<Vec<_>>().chunks(ports) {
-                let ops: Vec<PortOp> =
-                    chunk.iter().map(|&j| PortOp::Read { addr: order[t + j] }).collect();
-                let res = ram.cycle(&ops)?;
-                values.extend(res.into_iter().flatten());
-            }
-            let mut acc = self.affine();
-            for (i, &c) in coeffs.iter().enumerate() {
-                acc = field.add(acc, field.mul(c, values[k - 1 - i]));
-            }
-            ram.cycle(&[PortOp::Write { addr: order[t + k], data: acc }])?;
-        }
-        // Signature readback, `ports` reads at a time.
-        let mut fin = Vec::with_capacity(k);
-        for chunk in (n - k..n).collect::<Vec<_>>().chunks(ports) {
-            let ops: Vec<PortOp> = chunk.iter().map(|&j| PortOp::Read { addr: order[j] }).collect();
-            let res = ram.cycle(&ops)?;
-            fin.extend(res.into_iter().flatten());
-        }
-        let after = ram.stats();
-        Ok(PiResult {
-            fin,
-            fin_star: self.fin_star(n),
-            ops: after.ops() - before.ops(),
-            cycles: after.cycles - before.cycles,
-            stale_errors: 0,
-        })
     }
 
     /// Normalised feedback constants `c_i = g0⁻¹·g_i`, `i = 1..=k`.
@@ -704,6 +840,83 @@ mod tests {
             ram.inject(FaultKind::IncorrectRead { cell, bit: 0 }).unwrap();
             let res = pi.run_quad_port(&mut ram).unwrap();
             assert!(res.detected(), "fault in cell {cell} escaped quad-port run");
+        }
+    }
+
+    #[test]
+    fn compiled_program_matches_interpreted_run() {
+        // Same verdict, same memory image, same op/cycle counts, for both
+        // figures and a sweep of single faults.
+        for pi in [PiTest::figure_1a().unwrap(), PiTest::figure_1b().unwrap()] {
+            let width = pi.field().degree();
+            let geom = Geometry::wom(14, width).unwrap();
+            let prog = pi.compile(geom).unwrap();
+            for cell in 0..14 {
+                let fault = FaultKind::IncorrectRead { cell, bit: 0 };
+                let mut a = Ram::new(geom);
+                a.inject(fault.clone()).unwrap();
+                let mut b2 = Ram::new(geom);
+                b2.inject(fault).unwrap();
+                let interpreted = pi.run(&mut a).unwrap();
+                let mut fin = Vec::new();
+                let exec = prog.execute(&mut b2, false, Some(&mut fin)).unwrap();
+                assert_eq!(interpreted.detected(), exec.detected(), "cell {cell}");
+                assert_eq!(interpreted.fin(), fin, "cell {cell}");
+                assert_eq!(interpreted.ops(), exec.ops);
+                assert_eq!(interpreted.cycles(), exec.cycles);
+                for c in 0..14 {
+                    assert_eq!(a.peek(c), b2.peek(c), "cell image {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_preread_matches_interpreted_preread() {
+        let pi = PiTest::figure_1a().unwrap();
+        let geom = Geometry::bom(12);
+        // Stale expectations: the contents a previous plain iteration
+        // would have left behind.
+        let stale = pi.expected_sequence(12);
+        let prog = pi.compile_with_preread(geom, Some(&stale)).unwrap();
+        for cell in 2..12 {
+            let fault = FaultKind::CouplingInversion {
+                agg_cell: cell,
+                agg_bit: 0,
+                victim_cell: 1,
+                victim_bit: 0,
+                trigger: prt_ram::CouplingTrigger::Rise,
+            };
+            let mut a = Ram::new(geom);
+            a.inject(fault.clone()).unwrap();
+            let mut b2 = Ram::new(geom);
+            b2.inject(fault).unwrap();
+            let interpreted = pi.run_with_preread(&mut a, Some(&stale)).unwrap();
+            let exec = prog.execute(&mut b2, false, None).unwrap();
+            assert_eq!(interpreted.stale_errors(), exec.stale_errors, "agg {cell}");
+            assert_eq!(interpreted.detected(), exec.detected(), "agg {cell}");
+            assert_eq!(interpreted.ops(), exec.ops);
+        }
+    }
+
+    #[test]
+    fn compiled_dual_port_preread_fuses_stale_into_write_cycles() {
+        // Pre-read on two ports costs ⌊k/2⌋ extra seed cycles and nothing
+        // in the wave: 2n − 1 cycles for k = 2, vs 2n − 2 plain — while
+        // the single-port pre-read needs 4n − 2 operations.
+        let pi = PiTest::figure_1a().unwrap();
+        for n in [9usize, 16, 31] {
+            let geom = Geometry::bom(n);
+            let stale = pi.expected_sequence(n);
+            let prog = pi.compile_dual_port(geom, Some(&stale)).unwrap();
+            let mut ram = Ram::with_ports(geom, 2).unwrap();
+            // Pre-load the stale image so the fault-free run is clean.
+            for (c, &v) in stale.iter().enumerate() {
+                ram.poke(c, v);
+            }
+            let exec = prog.execute(&mut ram, false, None).unwrap();
+            assert!(!exec.detected(), "n={n}");
+            assert_eq!(exec.cycles, 2 * n as u64 - 1, "n={n}");
         }
     }
 

@@ -19,7 +19,7 @@
 use crate::{PiResult, PrtError, Trajectory};
 use prt_gf::Poly2;
 use prt_lfsr::BitLfsr;
-use prt_ram::{MemoryDevice, Ram, SplitMix64};
+use prt_ram::{Geometry, MemoryDevice, ProgramBuilder, Ram, SplitMix64, TestProgram};
 use prt_sim::{Campaign, FaultRunner};
 
 /// How the `m` bit-plane automata are seeded.
@@ -164,6 +164,58 @@ impl BitPlanePi {
             after.cycles - before.cycles,
         ))
     }
+
+    /// Compiles the parallel-plane iteration for `geom` into a
+    /// [`TestProgram`]: all planes share the GF(2) tap structure, so the
+    /// word-wide recurrence lowers to identity-map accumulation (plain
+    /// XOR), with the per-plane seeding baked into the seed writes and
+    /// `Fin` expectations. Verdict-identical to [`BitPlanePi::run`]
+    /// (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// As [`BitPlanePi::run`].
+    pub fn compile(&self, geom: Geometry) -> Result<TestProgram, PrtError> {
+        let mut b = ProgramBuilder::new(geom).with_name("bit-plane π");
+        self.compile_into(&mut b, geom)?;
+        Ok(b.build())
+    }
+
+    pub(crate) fn compile_into(
+        &self,
+        b: &mut ProgramBuilder,
+        geom: Geometry,
+    ) -> Result<(), PrtError> {
+        let n = geom.cells();
+        let m = geom.width();
+        let k = self.k;
+        if n < k + 1 {
+            return Err(PrtError::MemoryTooSmall { cells: n, needed: k + 1 });
+        }
+        let order = self.trajectory.order(n);
+        let expected = self.expected_sequence(n, m);
+        let id = b.identity_map();
+        for j in 0..k {
+            b.write(order[j], expected[j]);
+        }
+        let taps: Vec<usize> = (1..=k).filter(|&i| self.poly.coeff(i as u32) == 1).collect();
+        for t in 0..n - k {
+            b.acc_set(0);
+            for &i in &taps {
+                b.read_acc(order[t + k - i], id);
+            }
+            for i in 1..=k {
+                if !taps.contains(&i) {
+                    b.read_any(order[t + k - i]);
+                }
+            }
+            b.write_acc(order[t + k]);
+        }
+        for (j, &cell) in order[n - k..].iter().enumerate() {
+            b.read_capture(cell, expected[n - k + j]);
+        }
+        Ok(())
+    }
 }
 
 /// A multi-round bit-plane scheme: several [`BitPlanePi`] iterations run
@@ -269,13 +321,35 @@ impl PlaneScheme {
         Ok(out)
     }
 
-    /// Coverage over a fault universe (any round detecting counts), run on
-    /// the campaign engine: pooled memories, parallel fan-out,
-    /// deterministic aggregation.
+    /// Compiles all rounds into one flat [`TestProgram`] (one marker per
+    /// round), so campaigns pay the per-round seed derivation and
+    /// trajectory materialisation once instead of once per fault trial.
+    ///
+    /// # Errors
+    ///
+    /// As [`BitPlanePi::run`].
+    pub fn compile(&self, geom: Geometry) -> Result<TestProgram, PrtError> {
+        let mut b =
+            ProgramBuilder::new(geom).with_name(format!("plane scheme ×{}", self.rounds.len()));
+        for (j, seeding) in self.rounds.iter().enumerate() {
+            b.mark(j as u32);
+            let pi = BitPlanePi::new(self.poly, seeding.clone())?.with_trajectory(self.trajectory);
+            pi.compile_into(&mut b, geom)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Coverage over a fault universe (any round detecting counts), run as
+    /// the **compiled** scheme program on the campaign engine: pooled
+    /// memories, parallel fan-out, deterministic aggregation. Falls back
+    /// to the interpreted runner (errors count as escapes) when the
+    /// geometry cannot host the automaton.
     pub fn coverage(&self, universe: &prt_ram::FaultUniverse) -> prt_march::CoverageReport {
-        Campaign::new(universe, self)
-            .with_name(format!("plane scheme ×{}", self.rounds.len()))
-            .run()
+        let name = format!("plane scheme ×{}", self.rounds.len());
+        match self.compile(universe.geometry()) {
+            Ok(program) => Campaign::new(universe, &program).with_name(name).run(),
+            Err(_) => Campaign::new(universe, self).with_name(name).run(),
+        }
     }
 }
 
@@ -425,6 +499,50 @@ mod tests {
             few.overall_percent()
         );
         assert!(many.overall_percent() > 60.0);
+    }
+
+    #[test]
+    fn compiled_plane_matches_interpreted() {
+        use prt_ram::{FaultUniverse, UniverseSpec};
+        let spec = UniverseSpec {
+            cfin: true,
+            cfid: true,
+            cfst: true,
+            coupling_radius: Some(1),
+            intra_word: true,
+            ..UniverseSpec::paper_claim()
+        };
+        let geom = Geometry::wom(9, 4).unwrap();
+        let u = FaultUniverse::enumerate(geom, &spec);
+        for seeding in [PlaneSeeding::Parallel { seed: 0b10 }, PlaneSeeding::Random { seed: 5 }] {
+            let pi = BitPlanePi::new(poly(), seeding).unwrap();
+            let prog = pi.compile(geom).unwrap();
+            let compiled = prt_sim::Campaign::new(&u, &prog).detections();
+            let interpreted = prt_sim::Campaign::new(&u, &pi).detections();
+            assert_eq!(compiled, interpreted);
+        }
+        let scheme = PlaneScheme::standard(poly(), 4, 3).unwrap();
+        let prog = scheme.compile(geom).unwrap();
+        assert_eq!(prog.marks().len(), 3);
+        let compiled = prt_sim::Campaign::new(&u, &prog).detections();
+        let interpreted = prt_sim::Campaign::new(&u, &scheme).detections();
+        assert_eq!(compiled, interpreted);
+    }
+
+    #[test]
+    fn compiled_plane_preserves_op_count_and_image() {
+        let pi = BitPlanePi::new(poly(), PlaneSeeding::Random { seed: 5 }).unwrap();
+        let geom = Geometry::wom(16, 4).unwrap();
+        let prog = pi.compile(geom).unwrap();
+        let mut a = Ram::new(geom);
+        let res = pi.run(&mut a).unwrap();
+        let mut b = Ram::new(geom);
+        let exec = prog.execute(&mut b, false, None).unwrap();
+        assert!(!exec.detected());
+        assert_eq!(exec.ops, res.ops());
+        for c in 0..16 {
+            assert_eq!(a.peek(c), b.peek(c), "cell {c}");
+        }
     }
 
     #[test]

@@ -28,7 +28,9 @@
 use crate::{PiResult, PiTest, PrtError, Trajectory};
 use prt_gf::Field;
 use prt_march::CoverageReport;
-use prt_ram::{FaultKind, FaultUniverse, MemoryDevice, Ram};
+use prt_ram::{
+    FaultKind, FaultUniverse, Geometry, MemoryDevice, ProgramBuilder, Ram, SlotOp, TestProgram,
+};
 use prt_sim::{Campaign, FaultRunner};
 
 /// One iteration of a PRT scheme: seed, affine term and trajectory.
@@ -86,6 +88,7 @@ pub struct SchemeResult {
     iterations: Vec<PiResult>,
     readback_errors: u64,
     readback_ops: u64,
+    readback_cycles: u64,
 }
 
 impl SchemeResult {
@@ -114,9 +117,10 @@ impl SchemeResult {
         self.iterations.iter().map(PiResult::ops).sum::<u64>() + self.readback_ops
     }
 
-    /// Total device cycles across iterations (including the readback).
+    /// Total device cycles across iterations (including the readback —
+    /// fewer cycles than reads on a multi-port readback sweep).
     pub fn cycles(&self) -> u64 {
-        self.iterations.iter().map(PiResult::cycles).sum::<u64>() + self.readback_ops
+        self.iterations.iter().map(PiResult::cycles).sum::<u64>() + self.readback_cycles
     }
 }
 
@@ -328,13 +332,15 @@ impl PrtScheme {
         // heuristic), re-verifying globally after each append because the
         // final-readback channel moves with the last iteration. Both the
         // global verification sweeps and the per-candidate kill counts run
-        // on the campaign engine (pooled memories, parallel fan-out).
+        // compiled programs on the campaign engine (each candidate schedule
+        // is lowered to the IR once, then swept over the whole escape set).
         let mut iterations = PrtScheme::standard3(field.clone())?.iterations.clone();
         let run_escapes = |iters: &[IterationSpec]| -> Result<Vec<usize>, PrtError> {
-            let scheme = PrtScheme::new(field.clone(), &feedback, iters.to_vec())?
+            let program = PrtScheme::new(field.clone(), &feedback, iters.to_vec())?
                 .with_preread(true)
-                .with_final_readback(true);
-            Ok(Campaign::new(&universe, &scheme).escapes())
+                .with_final_readback(true)
+                .compile(geom)?;
+            Ok(Campaign::new(&universe, &program).escapes())
         };
         let mut escapes = run_escapes(&iterations)?;
         while !escapes.is_empty() && iterations.len() < 32 {
@@ -344,10 +350,11 @@ impl PrtScheme {
             for (ci, cand) in pool.iter().enumerate() {
                 let mut trial = iterations.clone();
                 trial.push(cand.clone());
-                let scheme = PrtScheme::new(field.clone(), &feedback, trial)?
+                let program = PrtScheme::new(field.clone(), &feedback, trial)?
                     .with_preread(true)
-                    .with_final_readback(true);
-                let kills = Campaign::over(geom, &escaped, &scheme).count_detected();
+                    .with_final_readback(true)
+                    .compile(geom)?;
+                let kills = Campaign::over(geom, &escaped, &program).count_detected();
                 if best.is_none_or(|(_, k)| kills > k) {
                     best = Some((ci, kills));
                 }
@@ -478,22 +485,136 @@ impl PrtScheme {
         } else {
             (0, 0)
         };
-        Ok(SchemeResult { iterations: results, readback_errors, readback_ops })
+        Ok(SchemeResult {
+            iterations: results,
+            readback_errors,
+            readback_ops,
+            readback_cycles: readback_ops,
+        })
     }
 
-    /// Runs all iterations with the dual-port schedule (plain mode only —
-    /// pre-read scheduling on two ports is future work tracked in
-    /// DESIGN.md).
+    /// Compiles the whole scheme for `geom` into **one flat single-port
+    /// [`TestProgram`]**: every iteration's π-ops back to back (stale
+    /// expectations baked in when pre-read mode is on; the first iteration
+    /// always runs plain), followed by the final-readback sweep when
+    /// enabled. One marker per iteration (the readback gets the next id).
+    ///
+    /// The program is verdict-identical to [`PrtScheme::run`]
+    /// (property-tested); campaigns compile once and run it per trial —
+    /// this is what [`PrtScheme::coverage`] and the greedy
+    /// [`PrtScheme::full_coverage`] synthesis execute.
     ///
     /// # Errors
     ///
-    /// Geometry/port errors from [`PiTest::run_dual_port`].
-    pub fn run_dual_port(&self, ram: &mut Ram) -> Result<SchemeResult, PrtError> {
-        let mut results = Vec::with_capacity(self.iterations.len());
-        for spec in &self.iterations {
-            results.push(self.pi_for(spec)?.run_dual_port(ram)?);
+    /// As [`PrtScheme::run`] (geometry validation).
+    pub fn compile(&self, geom: Geometry) -> Result<TestProgram, PrtError> {
+        let mut b = ProgramBuilder::new(geom).with_name(self.name.clone());
+        let prev = self.compile_iterations_into(&mut b, geom, false)?;
+        if self.final_readback {
+            b.mark(self.iterations.len() as u32);
+            for (addr, &want) in prev.iter().enumerate() {
+                b.read_expect(addr, want);
+            }
         }
-        Ok(SchemeResult { iterations: results, readback_errors: 0, readback_ops: 0 })
+        Ok(b.build())
+    }
+
+    /// Compiles the scheme's dual-port schedule into one flat two-port
+    /// [`TestProgram`]. In pre-read mode every wave write fuses its stale
+    /// check into the write cycle ([`PiTest::compile_dual_port`]), so the
+    /// pre-read schedule runs at plain-mode cycle cost (`≈ 2n` per
+    /// iteration instead of the single-port pre-read's `4n` operations) —
+    /// the dual-port pre-read scheduling mode, realised as a program
+    /// transformation. The final readback, when enabled, pairs its reads
+    /// two per cycle (`⌈n/2⌉` cycles).
+    ///
+    /// # Errors
+    ///
+    /// As [`PrtScheme::run`] (geometry validation).
+    pub fn compile_dual_port(&self, geom: Geometry) -> Result<TestProgram, PrtError> {
+        let mut b = ProgramBuilder::new(geom).with_name(format!("{} (dual-port)", self.name));
+        let prev = self.compile_iterations_into(&mut b, geom, true)?;
+        if self.final_readback {
+            b.mark(self.iterations.len() as u32);
+            compile_dual_readback_into(&mut b, &prev);
+        }
+        Ok(b.build())
+    }
+
+    /// The scheme's iteration-threading policy in ONE place: walks the
+    /// iterations in order, handing each one's `PiTest` and stale
+    /// expectations (the previous iteration's fault-free contents in
+    /// pre-read mode; the first iteration always runs plain) to `visit`.
+    /// Returns the expected memory contents after the last iteration (the
+    /// readback expectations). Shared by the flat compilers and
+    /// [`PrtScheme::run_dual_port`] so single-run and campaign paths can
+    /// never drift apart.
+    fn for_each_iteration<F>(&self, n: usize, mut visit: F) -> Result<Vec<u64>, PrtError>
+    where
+        F: FnMut(usize, &PiTest, Option<&[u64]>) -> Result<(), PrtError>,
+    {
+        let mut prev: Option<Vec<u64>> = None;
+        for (j, spec) in self.iterations.iter().enumerate() {
+            let pi = self.pi_for(spec)?;
+            let stale = if self.preread { prev.as_deref() } else { None };
+            visit(j, &pi, stale)?;
+            prev = Some(self.expected_contents(&pi, n));
+        }
+        Ok(prev.expect("schemes have at least one iteration"))
+    }
+
+    /// Appends every iteration's ops to `b`; returns the expected memory
+    /// contents after the last iteration (the readback expectations).
+    fn compile_iterations_into(
+        &self,
+        b: &mut ProgramBuilder,
+        geom: Geometry,
+        dual_port: bool,
+    ) -> Result<Vec<u64>, PrtError> {
+        self.for_each_iteration(geom.cells(), |j, pi, stale| {
+            b.mark(j as u32);
+            if dual_port {
+                pi.compile_dual_into(b, geom, stale)
+            } else {
+                pi.compile_into(b, geom, stale)
+            }
+        })
+    }
+
+    /// Runs all iterations with the dual-port schedule, executing the
+    /// compiled per-iteration programs of [`PiTest::compile_dual_port`].
+    /// In pre-read mode (e.g. [`PrtScheme::standard3`]) the stale checks
+    /// ride inside the write cycles — the pre-read scheduling the
+    /// single-port path pays `4n` operations for comes at plain-mode
+    /// dual-port cycle cost. The final readback, when enabled, reads two
+    /// cells per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Geometry/port errors from the underlying compiled programs.
+    pub fn run_dual_port(&self, ram: &mut Ram) -> Result<SchemeResult, PrtError> {
+        let geom = ram.geometry();
+        let n = geom.cells();
+        let mut results = Vec::with_capacity(self.iterations.len());
+        let mut fin = Vec::new();
+        let expected = self.for_each_iteration(n, |_, pi, stale| {
+            let program = pi.compile_dual_port(geom, stale)?;
+            if ram.ports() < 2 {
+                return Err(PrtError::NotEnoughPorts { have: ram.ports(), need: 2 });
+            }
+            let exec = program.execute(ram, false, Some(&mut fin))?;
+            results.push(PiResult::from_execution(fin.clone(), pi.fin_star(n), &exec));
+            Ok(())
+        })?;
+        let (readback_errors, readback_ops, readback_cycles) = if self.final_readback {
+            let mut b = ProgramBuilder::new(geom).with_name("readback");
+            compile_dual_readback_into(&mut b, &expected);
+            let exec = b.build().execute(ram, false, None)?;
+            (exec.mismatches, exec.ops, exec.cycles)
+        } else {
+            (0, 0, 0)
+        };
+        Ok(SchemeResult { iterations: results, readback_errors, readback_ops, readback_cycles })
     }
 
     fn pi_for(&self, spec: &IterationSpec) -> Result<PiTest, PrtError> {
@@ -515,11 +636,18 @@ impl PrtScheme {
     }
 
     /// Measures this scheme's coverage over a fault universe, in the same
-    /// report format as the March engine (E3/E4 driver). Runs on the
-    /// campaign engine: pooled memories, parallel fan-out, deterministic
-    /// aggregation.
+    /// report format as the March engine (E3/E4 driver). Runs the
+    /// **compiled** scheme program on the campaign engine (pooled
+    /// memories, parallel fan-out, deterministic aggregation): the
+    /// iteration specs are lowered to the IR once, then every trial is a
+    /// pure interpreter pass. A scheme the geometry cannot host falls
+    /// back to the interpreted runner, whose per-trial errors count as
+    /// escapes — the historical convention.
     pub fn coverage(&self, universe: &FaultUniverse) -> CoverageReport {
-        Campaign::new(universe, self).with_name(self.name.clone()).run()
+        match self.compile(universe.geometry()) {
+            Ok(program) => Campaign::new(universe, &program).with_name(self.name.clone()).run(),
+            Err(_) => Campaign::new(universe, self).with_name(self.name.clone()).run(),
+        }
     }
 }
 
@@ -530,6 +658,19 @@ impl FaultRunner for &PrtScheme {
     fn detect(&self, ram: &mut Ram, _background: u64) -> bool {
         self.run(ram).map(|res| res.detected()).unwrap_or(false)
     }
+}
+
+/// Appends the dual-port final-readback sweep to `b`: every cell read
+/// once on the verdict channel, paired two per cycle (`⌈n/2⌉` cycles).
+/// Shared by the flat scheme compiler and `run_dual_port`'s per-segment
+/// execution so the two can never drift apart.
+fn compile_dual_readback_into(b: &mut ProgramBuilder, expected: &[u64]) {
+    b.cycle2_pairs(
+        expected
+            .iter()
+            .enumerate()
+            .map(|(addr, &expect)| SlotOp::ReadExpect { addr: addr as u32, expect }),
+    );
 }
 
 /// Checkerboard pattern `…0101` of the given bit width.
@@ -800,6 +941,103 @@ mod tests {
         assert!(!res.detected());
         // 3 iterations × (2n − 2) cycles.
         assert_eq!(res.cycles(), 3 * (2 * 12 - 2));
+    }
+
+    #[test]
+    fn compiled_scheme_matches_interpreted_over_universe() {
+        // The coverage path now executes the compiled flat program; the
+        // interpreted runner must agree on every single verdict.
+        let u = FaultUniverse::enumerate(Geometry::bom(9), &UniverseSpec::paper_claim());
+        for scheme in [
+            PrtScheme::standard3(gf2()).unwrap(),
+            PrtScheme::standard4(gf2()).unwrap(),
+            PrtScheme::plain(gf2(), 4).unwrap(),
+        ] {
+            let program = scheme.compile(u.geometry()).unwrap();
+            let compiled = Campaign::new(&u, &program).detections();
+            let interpreted = Campaign::new(&u, &scheme).detections();
+            assert_eq!(compiled, interpreted, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn compiled_scheme_program_structure() {
+        let scheme = PrtScheme::standard3(gf2()).unwrap();
+        let geom = Geometry::bom(16);
+        let program = scheme.compile(geom).unwrap();
+        // One marker per iteration plus the readback sweep.
+        assert_eq!(program.marks().len(), 4);
+        assert_eq!(program.ports(), 1);
+        // Fault-free execution is clean and costs what run() costs.
+        let mut ram = Ram::new(geom);
+        let exec = program.execute(&mut ram, false, None).unwrap();
+        assert!(!exec.detected());
+        let mut ram2 = Ram::new(geom);
+        let res = scheme.run(&mut ram2).unwrap();
+        assert_eq!(exec.ops, res.ops());
+        assert_eq!(exec.cycles, res.cycles());
+    }
+
+    #[test]
+    fn dual_port_preread_closes_the_distant_coupling_blind_spot() {
+        // THE ROADMAP ITEM: pre-read scheduling on two ports. A distant
+        // inversion coupling (aggressor far after the victim in the
+        // trajectory) structurally escapes plain-mode schedules; the
+        // pre-read program transformation catches it — now on the
+        // dual-port schedule too, at plain-mode cycle cost.
+        let n = 16usize;
+        let fault = FaultKind::CouplingInversion {
+            agg_cell: 12,
+            agg_bit: 0,
+            victim_cell: 3,
+            victim_bit: 0,
+            trigger: prt_ram::CouplingTrigger::Rise,
+        };
+        let plain = PrtScheme::plain(gf2(), 3).unwrap();
+        let mut ram = Ram::with_ports(Geometry::bom(n), 2).unwrap();
+        ram.inject(fault.clone()).unwrap();
+        let res = plain.run_dual_port(&mut ram).unwrap();
+        assert!(!res.detected(), "distant CFin must escape the plain dual-port schedule");
+
+        let preread = PrtScheme::standard3(gf2()).unwrap();
+        let mut ram = Ram::with_ports(Geometry::bom(n), 2).unwrap();
+        ram.inject(fault).unwrap();
+        let res = preread.run_dual_port(&mut ram).unwrap();
+        assert!(res.detected(), "dual-port pre-read must catch the distant CFin");
+        // Cycle budget: 3 iterations (first plain: 2n−2; two pre-read:
+        // 2n−1 each) + paired readback (⌈n/2⌉).
+        let expected = (2 * n as u64 - 2) + 2 * (2 * n as u64 - 1) + n.div_ceil(2) as u64;
+        assert_eq!(res.cycles(), expected);
+    }
+
+    #[test]
+    fn dual_port_preread_matches_single_port_verdicts() {
+        // Verdict parity between the single-port pre-read scheme and its
+        // dual-port compilation over the whole paper-claim universe.
+        let u = FaultUniverse::enumerate(Geometry::bom(9), &UniverseSpec::paper_claim());
+        let scheme = PrtScheme::standard3(gf2()).unwrap();
+        let single = Campaign::new(&u, &scheme).detections();
+        let dual_prog = scheme.compile_dual_port(u.geometry()).unwrap();
+        let dual = Campaign::new(&u, &dual_prog).with_ports(2).detections();
+        // The two schedules are not observation-identical: a dual-port
+        // cycle commits simultaneous writes in port order, which decoder
+        // (AF) faults can observe. Everything outside AF must agree
+        // verdict-for-verdict, and the disagreements must stay rare.
+        let disagreements: Vec<usize> = single
+            .iter()
+            .zip(&dual)
+            .enumerate()
+            .filter_map(|(i, (s, d))| (s != d).then_some(i))
+            .collect();
+        for &i in &disagreements {
+            assert_eq!(
+                u.faults()[i].mnemonic(),
+                "AF",
+                "only decoder faults may be schedule-sensitive: {:?}",
+                u.faults()[i]
+            );
+        }
+        assert!(disagreements.len() <= u.len() / 100, "{} disagreements", disagreements.len());
     }
 
     #[test]

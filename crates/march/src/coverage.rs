@@ -14,13 +14,14 @@
 use crate::executor::Executor;
 use crate::notation::MarchTest;
 use prt_ram::{FaultUniverse, Ram};
-use prt_sim::{Campaign, FaultRunner};
+use prt_sim::{Campaign, FaultRunner, ProgramBank};
 
 pub use prt_sim::{ClassTally, CoverageReport, CoverageRow};
 
-/// Campaign adapter running a March test against pooled memories — the
-/// [`FaultRunner`] the evaluator (and the `coverage_campaign` benches)
-/// feed to [`Campaign`].
+/// Campaign adapter that re-interprets the March notation on every trial —
+/// kept as the pre-compilation reference the compiled path is
+/// property-tested and benchmarked against. The evaluators below compile
+/// the test once per (geometry, background) instead ([`compile_bank`]).
 #[derive(Debug, Clone, Copy)]
 pub struct MarchRunner<'a> {
     test: &'a MarchTest,
@@ -88,10 +89,25 @@ pub fn evaluate_multi_background(
     backgrounds: &[u64],
 ) -> CoverageReport {
     assert!(!backgrounds.is_empty(), "at least one data background required");
-    Campaign::new(universe, MarchRunner::new(test, executor))
-        .with_backgrounds(backgrounds)
-        .with_name(test.name())
-        .run()
+    let bank = compile_bank(test, universe.geometry(), executor, backgrounds);
+    Campaign::new(universe, &bank).with_backgrounds(backgrounds).with_name(test.name()).run()
+}
+
+/// Compiles `test` once per background into a [`ProgramBank`] ready for
+/// [`Campaign::with_backgrounds`] — the compile-once-run-many path the
+/// evaluators use. The compiled trials stop at the first mismatch (the
+/// verdict is identical either way; see [`Executor::compile`]).
+pub fn compile_bank(
+    test: &MarchTest,
+    geom: prt_ram::Geometry,
+    executor: &Executor,
+    backgrounds: &[u64],
+) -> ProgramBank {
+    ProgramBank::new(
+        backgrounds
+            .iter()
+            .map(|&bg| (bg, executor.clone().with_background(bg).compile(test, geom))),
+    )
 }
 
 /// The standard background set for `m`-bit words: all-zeros plus the
@@ -251,6 +267,40 @@ mod tests {
         let bgs = standard_backgrounds(4);
         let campaign = Campaign::new(&u, MarchRunner::new(&test, &ex)).with_backgrounds(&bgs);
         assert_eq!(campaign.detections(), campaign.detections_reference());
+    }
+
+    #[test]
+    fn compiled_evaluation_matches_interpreted_runner() {
+        // The evaluators now run compiled programs; the interpreted
+        // MarchRunner path must agree report-for-report.
+        let u = universe(8);
+        let ex = Executor::new().stop_at_first_mismatch();
+        for test in [library::mats_plus(), library::march_c_minus(), library::march_ss()] {
+            let compiled = evaluate(&test, &u, &ex);
+            let interpreted =
+                Campaign::new(&u, MarchRunner::new(&test, &ex)).with_name(test.name()).run();
+            assert_eq!(compiled, interpreted, "{}", test.name());
+        }
+    }
+
+    #[test]
+    fn compiled_multi_background_matches_interpreted_runner() {
+        let spec = UniverseSpec {
+            cfst: true,
+            intra_word: true,
+            coupling_radius: Some(0),
+            ..UniverseSpec::default()
+        };
+        let u = FaultUniverse::enumerate(Geometry::wom(8, 4).unwrap(), &spec);
+        let test = library::march_ss();
+        let ex = Executor::new().stop_at_first_mismatch();
+        let bgs = standard_backgrounds(4);
+        let compiled = evaluate_multi_background(&test, &u, &ex, &bgs);
+        let interpreted = Campaign::new(&u, MarchRunner::new(&test, &ex))
+            .with_backgrounds(&bgs)
+            .with_name(test.name())
+            .run();
+        assert_eq!(compiled, interpreted);
     }
 
     #[test]

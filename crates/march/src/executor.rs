@@ -1,7 +1,20 @@
 //! March test execution against a simulated memory.
+//!
+//! Two execution paths share the same semantics:
+//!
+//! * [`Executor::run`] interprets the notation directly against any
+//!   [`MemoryDevice`] — the reference path, and the oracle the compiled
+//!   path is property-tested against.
+//! * [`Executor::compile`] lowers a [`MarchTest`] to a flat
+//!   [`prt_ram::TestProgram`] (one `Write`/`ReadExpect` per executed
+//!   operation, background pre-expanded, one marker per March element),
+//!   which [`Executor::run_compiled`] — or any `prt-sim` campaign —
+//!   executes without re-reading the notation. Fault-simulation campaigns
+//!   compile once per (test, geometry, background) and reuse the program
+//!   across every trial.
 
 use crate::notation::{AddrOrder, MarchTest, Op};
-use prt_ram::MemoryDevice;
+use prt_ram::{Geometry, MemoryDevice, ProgramBuilder, Ram, TestProgram};
 
 /// The first observed read mismatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +134,61 @@ impl Executor {
     pub fn run_to_completion<M: MemoryDevice>(&self, test: &MarchTest, mem: &mut M) -> Outcome {
         Executor { background: self.background, stop_at_first: false }.run(test, mem)
     }
+
+    /// Compiles `test` for `geom` into a flat [`TestProgram`]: the address
+    /// orders are materialised, every logical value is expanded through
+    /// this executor's background, and each March element contributes a
+    /// marker (so a mismatching op index maps back to its element).
+    ///
+    /// The program executes the exact operation sequence of
+    /// [`Executor::run`] and is verdict- and op-count-identical to it
+    /// (property-tested); campaigns reuse it across all trials.
+    pub fn compile(&self, test: &MarchTest, geom: Geometry) -> TestProgram {
+        let n = geom.cells();
+        let mask = geom.data_mask();
+        let bg = self.background & mask;
+        let mut b =
+            ProgramBuilder::new(geom).with_name(test.name()).with_background(self.background);
+        for (ei, element) in test.elements().iter().enumerate() {
+            b.mark(ei as u32);
+            let addrs: Box<dyn Iterator<Item = usize>> = match element.order {
+                AddrOrder::Up | AddrOrder::Any => Box::new(0..n),
+                AddrOrder::Down => Box::new((0..n).rev()),
+            };
+            for addr in addrs {
+                for op in &element.ops {
+                    match *op {
+                        Op::Write(d) => b.write(addr, d.expand(bg, mask)),
+                        Op::Read(d) => b.read_expect(addr, d.expand(bg, mask)),
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Runs a program produced by [`Executor::compile`] and reports the
+    /// outcome in the same shape as [`Executor::run`] (this executor's
+    /// `stop_at_first` setting applies; its background does not — the
+    /// program's own baked-in background is what executes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ram`'s geometry differs from the one the program was
+    /// compiled for (the only way a single-port compiled program can
+    /// fail — every operand was validated at compile time).
+    pub fn run_compiled(&self, program: &TestProgram, ram: &mut Ram) -> Outcome {
+        let exec = program
+            .execute(ram, self.stop_at_first, None)
+            .unwrap_or_else(|e| panic!("compiled March program cannot run on this device: {e}"));
+        let mismatch = exec.first_mismatch.map(|m| Mismatch {
+            element: program.mark_before(m.op_index).unwrap_or(0) as usize,
+            addr: m.addr,
+            expected: m.expected,
+            got: m.got,
+        });
+        Outcome { mismatch, ops: exec.ops }
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +290,54 @@ mod tests {
         let o = Executor::new().run(&t, &mut ram);
         assert!(!o.detected());
         assert_eq!(o.ops(), 5 * 4);
+    }
+
+    #[test]
+    fn compiled_program_matches_interpreted_run() {
+        // Every library test, a fault in every cell: identical verdict,
+        // mismatch location and op count on both paths.
+        let geom = Geometry::bom(8);
+        for ex in [Executor::new(), Executor::new().stop_at_first_mismatch()] {
+            for t in library::all() {
+                let prog = ex.compile(&t, geom);
+                assert_eq!(prog.ops().len(), t.total_ops(8) as usize);
+                for cell in 0..8 {
+                    let mut a = Ram::new(geom);
+                    a.inject(FaultKind::StuckAt { cell, bit: 0, value: 1 }).unwrap();
+                    let mut b = Ram::new(geom);
+                    b.inject(FaultKind::StuckAt { cell, bit: 0, value: 1 }).unwrap();
+                    let interpreted = ex.run(&t, &mut a);
+                    let compiled = ex.run_compiled(&prog, &mut b);
+                    assert_eq!(interpreted, compiled, "{} SA1@{cell}", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_background_expansion_matches() {
+        let geom = Geometry::wom(8, 4).unwrap();
+        let ex = Executor::new().with_background(0b0101);
+        let t = library::march_c_minus();
+        let prog = ex.compile(&t, geom);
+        let mut a = Ram::new(geom);
+        a.inject(FaultKind::StuckAt { cell: 3, bit: 2, value: 1 }).unwrap();
+        let mut b = Ram::new(geom);
+        b.inject(FaultKind::StuckAt { cell: 3, bit: 2, value: 1 }).unwrap();
+        assert_eq!(ex.run(&t, &mut a), ex.run_compiled(&prog, &mut b));
+    }
+
+    #[test]
+    fn compiled_mismatch_recovers_element_index() {
+        let geom = Geometry::bom(8);
+        let ex = Executor::new();
+        let t = library::mats_plus();
+        let prog = ex.compile(&t, geom);
+        let mut ram = Ram::new(geom);
+        ram.inject(FaultKind::StuckAt { cell: 5, bit: 0, value: 0 }).unwrap();
+        let o = ex.run_compiled(&prog, &mut ram);
+        let m = o.mismatch().expect("detected");
+        assert_eq!((m.element, m.addr, m.expected, m.got), (2, 5, 1, 0));
     }
 
     #[test]

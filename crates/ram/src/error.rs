@@ -48,6 +48,13 @@ pub enum RamError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A compiled program met a device with a different geometry.
+    ProgramGeometryMismatch {
+        /// Cells/width the program was compiled for.
+        compiled: crate::Geometry,
+        /// Cells/width of the device it was run on.
+        device: crate::Geometry,
+    },
 }
 
 impl fmt::Display for RamError {
@@ -73,6 +80,16 @@ impl fmt::Display for RamError {
             }
             RamError::UnsupportedGeometry { reason } => {
                 write!(f, "unsupported geometry: {reason}")
+            }
+            RamError::ProgramGeometryMismatch { compiled, device } => {
+                write!(
+                    f,
+                    "program compiled for {}×{}b run on a {}×{}b device",
+                    compiled.cells(),
+                    compiled.width(),
+                    device.cells(),
+                    device.width()
+                )
             }
         }
     }

@@ -20,6 +20,10 @@
 //!   semantics and explicit conflict errors.
 //! * [`universe`] — enumerators for exhaustive fault universes, used by the
 //!   coverage experiments (E3/E4/E10).
+//! * [`prog`] — the compiled memory-test program IR ([`TestProgram`]): a
+//!   flat [`MemOp`] sequence plus one allocation-free interpreter that the
+//!   March/π/PRT/bit-plane compilers target, so fault-simulation campaigns
+//!   pay notation interpretation once instead of once per trial.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@ mod error;
 pub mod fault;
 pub mod geometry;
 pub mod memory;
+pub mod prog;
 pub mod rng;
 pub mod stats;
 pub mod topology;
@@ -50,6 +55,7 @@ pub use error::RamError;
 pub use fault::{CouplingTrigger, FaultBank, FaultKind};
 pub use geometry::Geometry;
 pub use memory::{MemoryDevice, PortOp, Ram, ReadWired, MAX_PORTS};
+pub use prog::{Execution, MemOp, OpMismatch, ProgramBuilder, SlotOp, TestProgram};
 pub use rng::SplitMix64;
 pub use stats::AccessStats;
 pub use topology::{Layout, Scrambler};

@@ -98,6 +98,12 @@ pub struct Ram {
     /// enforcement (always a concrete value — kept separate from
     /// `scratch_actions` so the force-only paths stay force-only by type).
     scratch_forces: Vec<(usize, u32, u8)>,
+    /// Reusable buffer of mapped write-target cells used by the multi-port
+    /// write-write conflict check in [`Ram::cycle_ref`].
+    scratch_write_targets: Vec<usize>,
+    /// Reusable per-port read-result buffer returned by [`Ram::cycle_ref`],
+    /// so steady-state multi-port campaigns allocate nothing per cycle.
+    scratch_results: Vec<Option<u64>>,
 }
 
 impl Ram {
@@ -129,6 +135,8 @@ impl Ram {
             scratch_victims: Vec::new(),
             scratch_actions: Vec::new(),
             scratch_forces: Vec::new(),
+            scratch_write_targets: Vec::new(),
+            scratch_results: Vec::new(),
         })
     }
 
@@ -278,6 +286,23 @@ impl Ram {
     /// * [`RamError::WriteWriteConflict`] when two writes target the same
     ///   cell (after decoder mapping).
     pub fn cycle(&mut self, ops: &[PortOp]) -> Result<Vec<Option<u64>>, RamError> {
+        self.cycle_ref(ops).map(<[Option<u64>]>::to_vec)
+    }
+
+    /// [`Ram::cycle`] without the per-cycle result allocation: the read
+    /// results are returned as a borrow of an internal scratch buffer that
+    /// is recycled on the next call. The conflict-detection work list is
+    /// likewise a persistent scratch, so the steady-state multi-port path
+    /// performs **zero heap allocation per cycle** — this is the access
+    /// path the compiled-program interpreter ([`crate::prog`]) drives.
+    ///
+    /// Copy any values you need out of the returned slice before issuing
+    /// the next operation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ram::cycle`].
+    pub fn cycle_ref(&mut self, ops: &[PortOp]) -> Result<&[Option<u64>], RamError> {
         if ops.len() > self.ports {
             return Err(RamError::TooManyPortOps { submitted: ops.len(), ports: self.ports });
         }
@@ -292,42 +317,60 @@ impl Ram {
                 }
             }
         }
-        // Write-write conflict detection on mapped cells.
-        let mut write_targets: Vec<usize> = Vec::new();
-        for op in ops {
+        // Write-write conflict detection on mapped cells, staged in the
+        // persistent scratch (taken out so the bank can stay borrowed).
+        let mut write_targets = std::mem::take(&mut self.scratch_write_targets);
+        write_targets.clear();
+        let mut conflict: Option<usize> = None;
+        'detect: for op in ops {
             if let PortOp::Write { addr, .. } = *op {
-                let mut claim = |c: usize| -> Result<(), RamError> {
+                let mut claim = |c: usize| -> bool {
                     if write_targets.contains(&c) {
-                        return Err(RamError::WriteWriteConflict { cell: c });
+                        return false;
                     }
                     write_targets.push(c);
-                    Ok(())
+                    true
                 };
                 match self.bank.decoder_override(addr) {
-                    None => claim(addr)?,
+                    None => {
+                        if !claim(addr) {
+                            conflict = Some(addr);
+                            break 'detect;
+                        }
+                    }
                     Some(DecoderMap::None) => {}
                     Some(DecoderMap::Cells(cells)) => {
                         for &c in cells {
-                            claim(c)?;
+                            if !claim(c) {
+                                conflict = Some(c);
+                                break 'detect;
+                            }
                         }
                     }
                 }
             }
         }
+        self.scratch_write_targets = write_targets;
+        if let Some(cell) = conflict {
+            return Err(RamError::WriteWriteConflict { cell });
+        }
         // Reads first (read-before-write), port order as tiebreak.
-        let mut results = vec![None; ops.len()];
+        let mut results = std::mem::take(&mut self.scratch_results);
+        results.clear();
+        results.resize(ops.len(), None);
         for (p, op) in ops.iter().enumerate() {
             if let PortOp::Read { addr } = *op {
                 results[p] = Some(self.read_port(p, addr));
             }
         }
+        self.scratch_results = results;
         for (p, op) in ops.iter().enumerate() {
             if let PortOp::Write { addr, data } = *op {
                 self.write_port(p, addr, data);
             }
         }
         self.stats.cycles += 1;
-        Ok(results)
+        Ok(&self.scratch_results)
     }
 
     // ------------------------------------------------------------------

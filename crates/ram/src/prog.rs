@@ -1,0 +1,887 @@
+//! The compiled memory-test program IR.
+//!
+//! Every test family in this workspace — March tests, π-tests, PRT schemes
+//! and bit-plane schemes — ultimately reduces to a fixed, data-independent
+//! sequence of memory operations whose *values* are known at configuration
+//! time (the fault-free LFSR sequences, March backgrounds and stale-cell
+//! expectations are all precomputable). The historical runners re-derived
+//! that sequence from their high-level notation on **every fault trial**:
+//! a campaign over 10⁵–10⁶ faults paid the trajectory materialisation,
+//! field clones and coefficient normalisation 10⁵–10⁶ times.
+//!
+//! [`TestProgram`] is the compile-once alternative: a flat sequence of
+//! typed [`MemOp`]s plus a table of GF(2)-linear maps, executed by one
+//! allocation-free interpreter ([`TestProgram::execute`] /
+//! [`TestProgram::detect`]) that drives a [`Ram`] through
+//! [`Ram::read`] / [`Ram::write`] / [`Ram::cycle_ref`].
+//!
+//! # Execution model
+//!
+//! The interpreter owns a single `u64` *accumulator*. Data-dependent tests
+//! (the π-wave, whose writes combine previous **actual** read values so
+//! that errors propagate to the signature) compile to
+//! [`MemOp::AccSet`] / [`MemOp::ReadAcc`] / [`MemOp::WriteAcc`]: each
+//! `ReadAcc` XORs a linear image of the value read into the accumulator.
+//! Multiplication by a constant `c` in GF(2^m) is GF(2)-linear in its
+//! operand, so `c·v` is exactly the XOR of per-bit masks `c·z^j` over the
+//! set bits `j` of `v` — the interpreter needs **no field arithmetic**,
+//! only the precompiled mask table, and reproduces the interpreted
+//! runners' results bit-for-bit (property-tested).
+//!
+//! Checked reads come in three flavours that feed two error channels:
+//!
+//! * [`MemOp::ReadExpect`] — verdict channel (a March `r d`, a readback
+//!   sweep),
+//! * [`MemOp::ReadCapture`] — verdict channel *and* records the value read
+//!   (the π-test's `Fin` cells),
+//! * [`MemOp::ReadStale`] — stale channel (pre-read mode's check of the
+//!   previous iteration's leftovers).
+//!
+//! # Dual-port slots
+//!
+//! [`MemOp::Cycle2`] issues two [`SlotOp`]s in **one** device cycle via
+//! [`Ram::cycle_ref`]. Reads observe the pre-cycle state and writes commit
+//! after all reads (the device contract), which is what makes the
+//! dual-port *pre-read* transformation free: a stale check and the wave
+//! write of the same cell fuse into a single cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use prt_ram::prog::ProgramBuilder;
+//! use prt_ram::{FaultKind, Geometry, Ram};
+//!
+//! // A two-op "program": write 1, read it back.
+//! let mut b = ProgramBuilder::new(Geometry::bom(4));
+//! b.write(2, 1);
+//! b.read_expect(2, 1);
+//! let prog = b.build();
+//!
+//! let mut good = Ram::new(Geometry::bom(4));
+//! assert!(!prog.detect(&mut good));
+//! let mut bad = Ram::new(Geometry::bom(4));
+//! bad.inject(FaultKind::StuckAt { cell: 2, bit: 0, value: 0 })?;
+//! assert!(prog.detect(&mut bad));
+//! # Ok::<(), prt_ram::RamError>(())
+//! ```
+
+use crate::{Geometry, PortOp, Ram, RamError};
+
+/// One operation of a port slot inside a [`MemOp::Cycle2`].
+///
+/// Slot reads observe the pre-cycle memory state; slot writes commit after
+/// every read of the same cycle. A [`SlotOp::WriteAcc`] uses the
+/// accumulator value from *before* the cycle (its reads have not been
+/// folded in yet) — schedule accumulator reads in an earlier cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOp {
+    /// The port stays idle this cycle.
+    Idle,
+    /// Read and XOR the mapped value into the accumulator.
+    ReadAcc {
+        /// Address to read.
+        addr: u32,
+        /// Index into the program's linear-map table.
+        map: u16,
+    },
+    /// Read and compare on the verdict channel.
+    ReadExpect {
+        /// Address to read.
+        addr: u32,
+        /// Expected word.
+        expect: u64,
+    },
+    /// Read and compare on the stale (pre-read) channel.
+    ReadStale {
+        /// Address to read.
+        addr: u32,
+        /// Contents the previous iteration should have left.
+        expect: u64,
+    },
+    /// Read, record the value, and compare on the verdict channel.
+    ReadCapture {
+        /// Address to read.
+        addr: u32,
+        /// Expected word.
+        expect: u64,
+    },
+    /// Write an immediate word.
+    Write {
+        /// Address to write.
+        addr: u32,
+        /// Data word.
+        data: u64,
+    },
+    /// Write the accumulator (value as of the start of this cycle).
+    WriteAcc {
+        /// Address to write.
+        addr: u32,
+    },
+}
+
+/// One compiled memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Write an immediate word (seeds, March writes).
+    Write {
+        /// Address to write.
+        addr: u32,
+        /// Data word.
+        data: u64,
+    },
+    /// Read and compare against a precomputed expected word; a mismatch
+    /// counts on the **verdict** channel.
+    ReadExpect {
+        /// Address to read.
+        addr: u32,
+        /// Expected word.
+        expect: u64,
+    },
+    /// Read and compare against the previous iteration's expected
+    /// contents; a mismatch counts on the **stale** channel (pre-read
+    /// mode).
+    ReadStale {
+        /// Address to read.
+        addr: u32,
+        /// Expected stale word.
+        expect: u64,
+    },
+    /// Read, record the value into the caller's capture buffer, and
+    /// compare on the verdict channel (signature / `Fin` reads).
+    ReadCapture {
+        /// Address to read.
+        addr: u32,
+        /// Expected word (`Fin*`).
+        expect: u64,
+    },
+    /// Read and discard (keeps the op-count structure of schedules whose
+    /// hardware senses a whole operand window).
+    ReadAny {
+        /// Address to read.
+        addr: u32,
+    },
+    /// Load the accumulator with an immediate (a π-iteration's affine
+    /// term, or 0).
+    AccSet {
+        /// New accumulator value.
+        value: u64,
+    },
+    /// Read and XOR the mapped value into the accumulator:
+    /// `acc ^= map(value)` — the compiled form of `acc += c·value` over
+    /// GF(2^m).
+    ReadAcc {
+        /// Address to read.
+        addr: u32,
+        /// Index into the program's linear-map table.
+        map: u16,
+    },
+    /// Write the accumulator.
+    WriteAcc {
+        /// Address to write.
+        addr: u32,
+    },
+    /// One dual-port cycle: both slots issue simultaneously through
+    /// [`Ram::cycle_ref`].
+    Cycle2 {
+        /// Port-0 slot.
+        a: SlotOp,
+        /// Port-1 slot.
+        b: SlotOp,
+    },
+}
+
+/// First verdict-channel mismatch of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMismatch {
+    /// Index of the [`MemOp`] that observed the mismatch.
+    pub op_index: usize,
+    /// Address read.
+    pub addr: usize,
+    /// Expected word.
+    pub expected: u64,
+    /// Word actually returned.
+    pub got: u64,
+}
+
+/// Summary of one program execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Execution {
+    /// Verdict-channel mismatches observed
+    /// ([`MemOp::ReadExpect`] / [`MemOp::ReadCapture`]).
+    pub mismatches: u64,
+    /// Stale-channel mismatches observed ([`MemOp::ReadStale`]).
+    pub stale_errors: u64,
+    /// The first verdict-channel mismatch, if any.
+    pub first_mismatch: Option<OpMismatch>,
+    /// Read + write operations performed.
+    pub ops: u64,
+    /// Device cycles consumed.
+    pub cycles: u64,
+}
+
+impl Execution {
+    /// `true` when any channel flagged the memory as faulty.
+    pub fn detected(&self) -> bool {
+        self.mismatches > 0 || self.stale_errors > 0
+    }
+}
+
+/// A compiled memory-test program: flat ops, linear-map table, geometry.
+///
+/// Build with [`ProgramBuilder`]; run with [`TestProgram::detect`] (early
+/// exit, allocation-free — the campaign hot path) or
+/// [`TestProgram::execute`] (full counts, optional signature capture).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestProgram {
+    name: String,
+    geom: Geometry,
+    ports: usize,
+    background: Option<u64>,
+    ops: Vec<MemOp>,
+    /// `maps[m][j]` is the XOR contribution of input bit `j` under linear
+    /// map `m` (for a GF(2^m) constant `c`: `c·z^j`).
+    maps: Vec<Vec<u64>>,
+    /// `(op index, marker id)` pairs in ascending op order — compilers use
+    /// these to recover source structure (March element, iteration…).
+    marks: Vec<(usize, u32)>,
+    captures: usize,
+}
+
+impl TestProgram {
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Geometry the program was compiled for.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Ports the program needs (1, or 2 when it contains
+    /// [`MemOp::Cycle2`]).
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The data background this program was compiled for, when the source
+    /// notation has one (March compilers declare it; π/PRT/bit-plane
+    /// programs have no background notion and leave it `None`). Campaign
+    /// runners use it to reject a program/background mismatch loudly.
+    pub fn background(&self) -> Option<u64> {
+        self.background
+    }
+
+    /// The compiled operations.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Number of [`MemOp::ReadCapture`] ops (capacity needed by the
+    /// capture buffer).
+    pub fn captures(&self) -> usize {
+        self.captures
+    }
+
+    /// The `(op index, marker id)` pairs, ascending.
+    pub fn marks(&self) -> &[(usize, u32)] {
+        &self.marks
+    }
+
+    /// The id of the last marker at or before `op_index`.
+    pub fn mark_before(&self, op_index: usize) -> Option<u32> {
+        match self.marks.binary_search_by_key(&op_index, |&(i, _)| i) {
+            Ok(i) => Some(self.marks[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.marks[i - 1].1),
+        }
+    }
+
+    /// Runs the program to the first failing read and reports whether the
+    /// memory was flagged. Allocation-free (single-port programs touch the
+    /// heap nowhere; dual-port cycles go through the [`Ram::cycle_ref`]
+    /// scratch); a device error (a geometry-mismatched device, or e.g. a
+    /// decoder-fault write conflict on a dual-port cycle) counts as *not
+    /// detected*, mirroring the interpreted runners' error-as-escape
+    /// convention.
+    pub fn detect(&self, ram: &mut Ram) -> bool {
+        self.run(ram, true, None).map(|e| e.detected()).unwrap_or(false)
+    }
+
+    /// Runs the program and reports full channel counts. With
+    /// `stop_at_first` the run halts at the first failing read (either
+    /// channel); `captures`, when given, receives the value of every
+    /// [`MemOp::ReadCapture`] in program order (the buffer is cleared
+    /// first and reused across calls).
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::ProgramGeometryMismatch`] when `ram`'s geometry differs
+    /// from the one the program was compiled for; otherwise device errors
+    /// from multi-port cycles (single-port programs cannot fail beyond the
+    /// geometry check: the builder validated every operand).
+    pub fn execute(
+        &self,
+        ram: &mut Ram,
+        stop_at_first: bool,
+        captures: Option<&mut Vec<u64>>,
+    ) -> Result<Execution, RamError> {
+        self.run(ram, stop_at_first, captures)
+    }
+
+    fn run(
+        &self,
+        ram: &mut Ram,
+        stop_at_first: bool,
+        captures: Option<&mut Vec<u64>>,
+    ) -> Result<Execution, RamError> {
+        // A program's operands were validated against its own geometry at
+        // build time — running it on a different device would panic inside
+        // the access layer. Surface the mismatch as an error instead, so
+        // campaigns apply the usual error-as-escape convention.
+        if ram.geometry() != self.geom {
+            return Err(RamError::ProgramGeometryMismatch {
+                compiled: self.geom,
+                device: ram.geometry(),
+            });
+        }
+        let before = ram.stats();
+        let mut acc = 0u64;
+        let mut exec = Execution::default();
+        let mut caps = captures;
+        if let Some(c) = caps.as_deref_mut() {
+            c.clear();
+        }
+        for (idx, op) in self.ops.iter().enumerate() {
+            match *op {
+                MemOp::Write { addr, data } => ram.write(addr as usize, data),
+                MemOp::ReadExpect { addr, expect } => {
+                    let got = ram.read(addr as usize);
+                    if got != expect {
+                        self.flag(&mut exec, idx, addr, expect, got);
+                    }
+                }
+                MemOp::ReadStale { addr, expect } => {
+                    if ram.read(addr as usize) != expect {
+                        exec.stale_errors += 1;
+                    }
+                }
+                MemOp::ReadCapture { addr, expect } => {
+                    let got = ram.read(addr as usize);
+                    if let Some(c) = caps.as_deref_mut() {
+                        c.push(got);
+                    }
+                    if got != expect {
+                        self.flag(&mut exec, idx, addr, expect, got);
+                    }
+                }
+                MemOp::ReadAny { addr } => {
+                    let _ = ram.read(addr as usize);
+                }
+                MemOp::AccSet { value } => acc = value,
+                MemOp::ReadAcc { addr, map } => {
+                    let v = ram.read(addr as usize);
+                    acc ^= apply_map(&self.maps[map as usize], v);
+                }
+                MemOp::WriteAcc { addr } => ram.write(addr as usize, acc),
+                MemOp::Cycle2 { a, b } => {
+                    let port_ops = [self.slot_port_op(a, acc), self.slot_port_op(b, acc)];
+                    // Copy both results out before the next borrow of `ram`.
+                    let res = ram.cycle_ref(&port_ops)?;
+                    let got = [res[0], res[1]];
+                    for (slot, got) in [a, b].into_iter().zip(got) {
+                        self.apply_slot(slot, got, &mut acc, &mut exec, idx, &mut caps);
+                    }
+                }
+            }
+            if stop_at_first && exec.detected() {
+                break;
+            }
+        }
+        let after = ram.stats();
+        exec.ops = after.ops() - before.ops();
+        exec.cycles = after.cycles - before.cycles;
+        Ok(exec)
+    }
+
+    fn flag(&self, exec: &mut Execution, idx: usize, addr: u32, expected: u64, got: u64) {
+        exec.mismatches += 1;
+        if exec.first_mismatch.is_none() {
+            exec.first_mismatch =
+                Some(OpMismatch { op_index: idx, addr: addr as usize, expected, got });
+        }
+    }
+
+    fn slot_port_op(&self, slot: SlotOp, acc: u64) -> PortOp {
+        match slot {
+            SlotOp::Idle => PortOp::Idle,
+            SlotOp::ReadAcc { addr, .. }
+            | SlotOp::ReadExpect { addr, .. }
+            | SlotOp::ReadStale { addr, .. }
+            | SlotOp::ReadCapture { addr, .. } => PortOp::Read { addr: addr as usize },
+            SlotOp::Write { addr, data } => PortOp::Write { addr: addr as usize, data },
+            SlotOp::WriteAcc { addr } => PortOp::Write { addr: addr as usize, data: acc },
+        }
+    }
+
+    fn apply_slot(
+        &self,
+        slot: SlotOp,
+        got: Option<u64>,
+        acc: &mut u64,
+        exec: &mut Execution,
+        idx: usize,
+        caps: &mut Option<&mut Vec<u64>>,
+    ) {
+        match slot {
+            SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
+            SlotOp::ReadAcc { map, .. } => {
+                let v = got.expect("read slot produced a value");
+                *acc ^= apply_map(&self.maps[map as usize], v);
+            }
+            SlotOp::ReadExpect { addr, expect } => {
+                let v = got.expect("read slot produced a value");
+                if v != expect {
+                    self.flag(exec, idx, addr, expect, v);
+                }
+            }
+            SlotOp::ReadStale { expect, .. } => {
+                if got.expect("read slot produced a value") != expect {
+                    exec.stale_errors += 1;
+                }
+            }
+            SlotOp::ReadCapture { addr, expect } => {
+                let v = got.expect("read slot produced a value");
+                if let Some(c) = caps.as_deref_mut() {
+                    c.push(v);
+                }
+                if v != expect {
+                    self.flag(exec, idx, addr, expect, v);
+                }
+            }
+        }
+    }
+}
+
+/// Applies a precompiled GF(2)-linear map: XOR of the per-bit masks over
+/// the set bits of `v`.
+#[inline]
+fn apply_map(masks: &[u64], v: u64) -> u64 {
+    let mut out = 0u64;
+    let mut rest = v;
+    while rest != 0 {
+        let j = rest.trailing_zeros();
+        out ^= masks[j as usize];
+        rest &= rest - 1;
+    }
+    out
+}
+
+/// Incremental builder for [`TestProgram`]s.
+///
+/// Operand validation happens here, once per compile, so the interpreter
+/// can run unguarded: every push method panics on an out-of-range address
+/// or an over-wide data word, exactly like the corresponding [`Ram`]
+/// access would.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    geom: Geometry,
+    ports: usize,
+    background: Option<u64>,
+    ops: Vec<MemOp>,
+    maps: Vec<Vec<u64>>,
+    marks: Vec<(usize, u32)>,
+    captures: usize,
+}
+
+impl ProgramBuilder {
+    /// A builder for a single-port program over `geom`.
+    pub fn new(geom: Geometry) -> ProgramBuilder {
+        ProgramBuilder {
+            name: "program".to_string(),
+            geom,
+            ports: 1,
+            background: None,
+            ops: Vec::new(),
+            maps: Vec::new(),
+            marks: Vec::new(),
+            captures: 0,
+        }
+    }
+
+    /// Sets the display name.
+    pub fn with_name(mut self, name: impl Into<String>) -> ProgramBuilder {
+        self.name = name.into();
+        self
+    }
+
+    /// Declares the data background the program is compiled for (see
+    /// [`TestProgram::background`]).
+    pub fn with_background(mut self, background: u64) -> ProgramBuilder {
+        self.background = Some(background);
+        self
+    }
+
+    /// Registers a GF(2)-linear map given its per-bit masks
+    /// (`masks[j]` = image of input bit `j`) and returns its table index.
+    /// Identical maps are deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask count differs from the cell width, any mask
+    /// exceeds the data mask, or the table outgrows `u16`.
+    pub fn add_map(&mut self, masks: Vec<u64>) -> u16 {
+        assert_eq!(masks.len(), self.geom.width() as usize, "one mask per data bit");
+        assert!(
+            masks.iter().all(|&m| m <= self.geom.data_mask()),
+            "map image exceeds the cell width"
+        );
+        if let Some(i) = self.maps.iter().position(|m| *m == masks) {
+            return i as u16;
+        }
+        let idx = u16::try_from(self.maps.len()).expect("map table fits u16");
+        self.maps.push(masks);
+        idx
+    }
+
+    /// Registers the identity map (plain XOR accumulation, the GF(2)
+    /// bit-plane case).
+    pub fn identity_map(&mut self) -> u16 {
+        let masks = (0..self.geom.width()).map(|j| 1u64 << j).collect();
+        self.add_map(masks)
+    }
+
+    /// Records a marker at the current op position (March element index,
+    /// iteration number, …).
+    pub fn mark(&mut self, id: u32) {
+        self.marks.push((self.ops.len(), id));
+    }
+
+    /// Pushes an immediate write.
+    pub fn write(&mut self, addr: usize, data: u64) {
+        self.check(addr, Some(data));
+        self.ops.push(MemOp::Write { addr: addr as u32, data });
+    }
+
+    /// Pushes a verdict-channel checked read.
+    pub fn read_expect(&mut self, addr: usize, expect: u64) {
+        self.check(addr, Some(expect));
+        self.ops.push(MemOp::ReadExpect { addr: addr as u32, expect });
+    }
+
+    /// Pushes a stale-channel checked read (pre-read mode).
+    pub fn read_stale(&mut self, addr: usize, expect: u64) {
+        self.check(addr, Some(expect));
+        self.ops.push(MemOp::ReadStale { addr: addr as u32, expect });
+    }
+
+    /// Pushes a capturing checked read (signature cell).
+    pub fn read_capture(&mut self, addr: usize, expect: u64) {
+        self.check(addr, Some(expect));
+        self.captures += 1;
+        self.ops.push(MemOp::ReadCapture { addr: addr as u32, expect });
+    }
+
+    /// Pushes an unchecked read.
+    pub fn read_any(&mut self, addr: usize) {
+        self.check(addr, None);
+        self.ops.push(MemOp::ReadAny { addr: addr as u32 });
+    }
+
+    /// Pushes an accumulator load.
+    pub fn acc_set(&mut self, value: u64) {
+        assert!(value <= self.geom.data_mask(), "accumulator load exceeds the cell width");
+        self.ops.push(MemOp::AccSet { value });
+    }
+
+    /// Pushes an accumulating read through map `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` was not registered.
+    pub fn read_acc(&mut self, addr: usize, map: u16) {
+        self.check(addr, None);
+        assert!((map as usize) < self.maps.len(), "unregistered map index");
+        self.ops.push(MemOp::ReadAcc { addr: addr as u32, map });
+    }
+
+    /// Pushes an accumulator write.
+    pub fn write_acc(&mut self, addr: usize) {
+        self.check(addr, None);
+        self.ops.push(MemOp::WriteAcc { addr: addr as u32 });
+    }
+
+    /// Pushes one dual-port cycle; the program then needs a two-port
+    /// device.
+    pub fn cycle2(&mut self, a: SlotOp, b: SlotOp) {
+        for slot in [a, b] {
+            match slot {
+                SlotOp::Idle => {}
+                SlotOp::ReadAcc { addr, map } => {
+                    self.check(addr as usize, None);
+                    assert!((map as usize) < self.maps.len(), "unregistered map index");
+                }
+                SlotOp::ReadExpect { addr, expect }
+                | SlotOp::ReadStale { addr, expect }
+                | SlotOp::ReadCapture { addr, expect } => {
+                    self.check(addr as usize, Some(expect));
+                }
+                SlotOp::Write { addr, data } => self.check(addr as usize, Some(data)),
+                SlotOp::WriteAcc { addr } => self.check(addr as usize, None),
+            }
+            if let SlotOp::ReadCapture { .. } = slot {
+                self.captures += 1;
+            }
+        }
+        self.ports = 2;
+        self.ops.push(MemOp::Cycle2 { a, b });
+    }
+
+    /// Pushes a run of slot ops as dual-port cycles, two per cycle, the
+    /// odd tail padded with [`SlotOp::Idle`] — the standard pairing every
+    /// dual-port schedule (seeds, operand reads, signature, readback)
+    /// uses.
+    pub fn cycle2_pairs(&mut self, slots: impl IntoIterator<Item = SlotOp>) {
+        let mut slots = slots.into_iter();
+        while let Some(a) = slots.next() {
+            self.cycle2(a, slots.next().unwrap_or(SlotOp::Idle));
+        }
+    }
+
+    /// Finalises the program.
+    pub fn build(self) -> TestProgram {
+        TestProgram {
+            name: self.name,
+            geom: self.geom,
+            ports: self.ports,
+            background: self.background,
+            ops: self.ops,
+            maps: self.maps,
+            marks: self.marks,
+            captures: self.captures,
+        }
+    }
+
+    fn check(&self, addr: usize, data: Option<u64>) {
+        assert!(u32::try_from(addr).is_ok(), "address exceeds the IR's u32 range");
+        self.geom.check_addr(addr).expect("address in range");
+        if let Some(d) = data {
+            self.geom.check_data(d).expect("data fits cell width");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+
+    #[test]
+    fn march_like_program_detects_stuck_at() {
+        let geom = Geometry::bom(8);
+        let mut b = ProgramBuilder::new(geom);
+        for a in 0..8 {
+            b.write(a, 0);
+        }
+        for a in 0..8 {
+            b.read_expect(a, 0);
+            b.write(a, 1);
+        }
+        for a in 0..8 {
+            b.read_expect(a, 1);
+        }
+        let prog = b.build();
+        assert_eq!(prog.ports(), 1);
+        let mut good = Ram::new(geom);
+        let exec = prog.execute(&mut good, false, None).unwrap();
+        assert!(!exec.detected());
+        assert_eq!(exec.ops, 8 * 4);
+        let mut bad = Ram::new(geom);
+        bad.inject(FaultKind::StuckAt { cell: 5, bit: 0, value: 0 }).unwrap();
+        let exec = prog.execute(&mut bad, false, None).unwrap();
+        assert!(exec.detected());
+        let m = exec.first_mismatch.unwrap();
+        assert_eq!((m.addr, m.expected, m.got), (5, 1, 0));
+    }
+
+    #[test]
+    fn stop_at_first_halts_early() {
+        let geom = Geometry::bom(16);
+        let mut b = ProgramBuilder::new(geom);
+        for a in 0..16 {
+            b.write(a, 1);
+        }
+        for a in 0..16 {
+            b.read_expect(a, 1);
+        }
+        let prog = b.build();
+        let mut bad = Ram::new(geom);
+        bad.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }).unwrap();
+        let full = prog.execute(&mut bad, false, None).unwrap();
+        bad.eject_faults();
+        bad.reset_to(0);
+        bad.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }).unwrap();
+        let early = prog.execute(&mut bad, true, None).unwrap();
+        assert!(full.detected() && early.detected());
+        assert!(early.ops < full.ops);
+        assert_eq!(full.mismatches, 1); // only cell 0 is wrong
+    }
+
+    #[test]
+    fn accumulator_reproduces_gf2_wave() {
+        // k = 2 XOR wave: s_{t+2} = s_t ⊕ s_{t+1}, seeds (0, 1) — the
+        // Figure 1a sequence 0 1 1 0 1 1 …
+        let geom = Geometry::bom(9);
+        let mut b = ProgramBuilder::new(geom);
+        let id = b.identity_map();
+        b.write(0, 0);
+        b.write(1, 1);
+        for t in 0..7 {
+            b.acc_set(0);
+            b.read_acc(t + 1, id);
+            b.read_acc(t, id);
+            b.write_acc(t + 2);
+        }
+        let expect = [0u64, 1, 1, 0, 1, 1, 0, 1, 1];
+        b.read_capture(7, expect[7]);
+        b.read_capture(8, expect[8]);
+        let prog = b.build();
+        assert_eq!(prog.captures(), 2);
+        let mut ram = Ram::new(geom);
+        let mut caps = Vec::new();
+        let exec = prog.execute(&mut ram, false, Some(&mut caps)).unwrap();
+        assert!(!exec.detected());
+        assert_eq!(caps, vec![expect[7], expect[8]]);
+        for (c, &e) in expect.iter().enumerate() {
+            assert_eq!(ram.peek(c), e, "cell {c}");
+        }
+        assert_eq!(exec.ops, 3 * 9 - 2);
+    }
+
+    #[test]
+    fn linear_map_equals_field_multiplication() {
+        // GF(2^4), p = 1 + z + z^4: mul-by-c as mask XOR must equal a
+        // reference shift-and-add multiply for every (c, v).
+        let poly = 0b1_0011u64;
+        let clmul = |mut a: u64, mut b: u64| {
+            let mut r = 0u64;
+            while b != 0 {
+                if b & 1 == 1 {
+                    r ^= a;
+                }
+                b >>= 1;
+                a <<= 1;
+                if a & 0b1_0000 != 0 {
+                    a ^= poly;
+                }
+            }
+            r
+        };
+        let geom = Geometry::wom(4, 4).unwrap();
+        for c in 0..16u64 {
+            let mut b = ProgramBuilder::new(geom);
+            let masks: Vec<u64> = (0..4).map(|j| clmul(c, 1 << j)).collect();
+            let m = b.add_map(masks.clone());
+            assert_eq!(m, 0);
+            for v in 0..16u64 {
+                assert_eq!(apply_map(&masks, v), clmul(c, v), "c={c} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_deduplication() {
+        let mut b = ProgramBuilder::new(Geometry::bom(4));
+        let a = b.identity_map();
+        let c = b.add_map(vec![1]);
+        assert_eq!(a, c);
+        let d = b.add_map(vec![0]);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn stale_channel_is_separate() {
+        let geom = Geometry::bom(4);
+        let mut b = ProgramBuilder::new(geom);
+        b.read_stale(0, 1); // fresh memory holds 0 → stale error
+        b.read_expect(0, 0); // verdict channel is clean
+        let prog = b.build();
+        let mut ram = Ram::new(geom);
+        let exec = prog.execute(&mut ram, false, None).unwrap();
+        assert_eq!(exec.stale_errors, 1);
+        assert_eq!(exec.mismatches, 0);
+        assert!(exec.first_mismatch.is_none());
+        assert!(exec.detected());
+        assert!(prog.detect(&mut Ram::new(geom)));
+    }
+
+    #[test]
+    fn dual_port_cycle_reads_before_writes() {
+        let geom = Geometry::bom(4);
+        let mut b = ProgramBuilder::new(geom);
+        b.write(0, 1);
+        // Same-cycle read + write of cell 0: the read must see the
+        // pre-cycle value — the fused pre-read transformation.
+        b.cycle2(SlotOp::ReadStale { addr: 0, expect: 1 }, SlotOp::Write { addr: 0, data: 0 });
+        b.read_expect(0, 0);
+        let prog = b.build();
+        assert_eq!(prog.ports(), 2);
+        let mut ram = Ram::with_ports(geom, 2).unwrap();
+        let exec = prog.execute(&mut ram, false, None).unwrap();
+        assert!(!exec.detected());
+        assert_eq!(exec.cycles, 3);
+        assert_eq!(exec.ops, 4);
+    }
+
+    #[test]
+    fn dual_port_program_on_single_port_device_is_an_escape() {
+        let geom = Geometry::bom(4);
+        let mut b = ProgramBuilder::new(geom);
+        b.cycle2(SlotOp::ReadExpect { addr: 0, expect: 1 }, SlotOp::Idle);
+        let prog = b.build();
+        let mut ram = Ram::new(geom);
+        assert!(prog.execute(&mut ram, false, None).is_err());
+        assert!(!prog.detect(&mut ram), "device errors count as escapes");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_an_error_not_a_panic() {
+        let mut b = ProgramBuilder::new(Geometry::wom(4, 4).unwrap());
+        b.write(0, 0xF);
+        let prog = b.build();
+        let mut ram = Ram::new(Geometry::bom(4));
+        assert!(matches!(
+            prog.execute(&mut ram, false, None),
+            Err(RamError::ProgramGeometryMismatch { .. })
+        ));
+        assert!(!prog.detect(&mut ram), "mismatch counts as an escape");
+    }
+
+    #[test]
+    fn marks_recover_source_structure() {
+        let mut b = ProgramBuilder::new(Geometry::bom(2));
+        b.mark(0);
+        b.write(0, 0);
+        b.write(1, 0);
+        b.mark(1);
+        b.read_expect(0, 0);
+        let prog = b.build();
+        assert_eq!(prog.mark_before(0), Some(0));
+        assert_eq!(prog.mark_before(1), Some(0));
+        assert_eq!(prog.mark_before(2), Some(1));
+        assert_eq!(prog.marks(), &[(0, 0), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "address in range")]
+    fn builder_rejects_out_of_range_address() {
+        ProgramBuilder::new(Geometry::bom(4)).write(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data fits cell width")]
+    fn builder_rejects_wide_data() {
+        ProgramBuilder::new(Geometry::bom(4)).write(0, 2);
+    }
+}

@@ -52,13 +52,20 @@
 //! The higher layers provide ready-made runners: `prt-march` adapts March
 //! tests (`MarchRunner`), `prt-core` implements [`FaultRunner`] for
 //! `PiTest`, `PrtScheme`, `BitPlanePi` and `PlaneScheme` directly.
+//!
+//! The fastest path is a **pre-compiled program**: every test family
+//! compiles to the [`prt_ram::prog`] IR (`Executor::compile`,
+//! `PiTest::compile`, `PrtScheme::compile`, `PlaneScheme::compile`), and
+//! `&TestProgram` / [`ProgramBank`] implement [`FaultRunner`], so the
+//! per-trial notation-interpretation tax is paid once per campaign instead
+//! of once per fault.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram};
+use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram, TestProgram};
 
 mod report;
 
@@ -128,6 +135,133 @@ where
 // closure impl above. Engine-aware types implement the trait on their
 // reference type instead (`impl FaultRunner for &PrtScheme`, …), so
 // campaigns can borrow the runner.
+
+/// A pre-compiled program drives campaigns directly: compilation happened
+/// once, so every trial is a pure interpreter pass (allocation-free, early
+/// exit at the first failing read). The trial background is ignored — a
+/// compiled program bakes its data background in; use [`ProgramBank`] for
+/// multi-background campaigns.
+///
+/// # Panics
+///
+/// Panics when the campaign's configuration contradicts the program:
+/// wrong geometry, too few pooled ports, or a trial background that
+/// differs from the one the program declares (March compilers declare
+/// theirs). Per-trial device errors count as escapes, but any of these
+/// mismatches would turn the *whole* campaign into silently wrong
+/// coverage — configuration errors are surfaced loudly instead.
+impl FaultRunner for &TestProgram {
+    fn detect(&self, ram: &mut Ram, background: u64) -> bool {
+        detect_checked(self, ram, background)
+    }
+}
+
+/// Campaign-side program dispatch: reject whole-campaign configuration
+/// errors loudly, then run with the usual per-trial error-as-escape
+/// semantics.
+fn detect_checked(program: &TestProgram, ram: &mut Ram, background: u64) -> bool {
+    assert_eq!(
+        ram.geometry(),
+        program.geometry(),
+        "campaign geometry does not match the geometry '{}' was compiled for",
+        program.name()
+    );
+    assert!(
+        ram.ports() >= program.ports(),
+        "'{}' needs {} ports but the campaign pools {}-port memories — add .with_ports({})",
+        program.name(),
+        program.ports(),
+        ram.ports(),
+        program.ports()
+    );
+    if let Some(baked) = program.background() {
+        assert_eq!(
+            baked,
+            background,
+            "trial background {background:#x} does not match the background '{}' was \
+             compiled for — compile one program per background (ProgramBank)",
+            program.name()
+        );
+    }
+    program.detect(ram)
+}
+
+/// A set of compiled programs keyed by data background — the compiled
+/// counterpart of running one test under
+/// [`Campaign::with_backgrounds`]: the campaign hands each trial's
+/// background to the bank, which dispatches to the program compiled for
+/// it.
+///
+/// # Example
+///
+/// ```
+/// use prt_ram::{Geometry, ProgramBuilder, FaultUniverse, UniverseSpec};
+/// use prt_sim::{Campaign, ProgramBank};
+///
+/// let geom = Geometry::wom(4, 4)?;
+/// let bank = ProgramBank::new([0u64, 0b1111].map(|bg| {
+///     let mut b = ProgramBuilder::new(geom);
+///     for a in 0..4 {
+///         b.write(a, bg);
+///         b.read_expect(a, bg);
+///     }
+///     (bg, b.build())
+/// }));
+/// let u = FaultUniverse::enumerate(geom, &UniverseSpec::single_cell());
+/// let report = Campaign::new(&u, &bank).with_backgrounds(&[0, 0b1111]).run();
+/// assert!(report.class("SAF").unwrap().complete());
+/// # Ok::<(), prt_ram::RamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBank {
+    programs: Vec<(u64, TestProgram)>,
+}
+
+impl ProgramBank {
+    /// Builds a bank from `(background, program)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty collection.
+    pub fn new(programs: impl IntoIterator<Item = (u64, TestProgram)>) -> ProgramBank {
+        let programs: Vec<(u64, TestProgram)> = programs.into_iter().collect();
+        assert!(!programs.is_empty(), "program bank needs at least one program");
+        ProgramBank { programs }
+    }
+
+    /// A bank holding a single program (background 0).
+    pub fn single(program: TestProgram) -> ProgramBank {
+        ProgramBank { programs: vec![(0, program)] }
+    }
+
+    /// The backgrounds this bank was compiled for, in insertion order —
+    /// pass these to [`Campaign::with_backgrounds`].
+    pub fn backgrounds(&self) -> Vec<u64> {
+        self.programs.iter().map(|&(bg, _)| bg).collect()
+    }
+
+    /// The program compiled for `background` (`None` if absent).
+    pub fn program(&self, background: u64) -> Option<&TestProgram> {
+        self.programs.iter().find(|&&(bg, _)| bg == background).map(|(_, p)| p)
+    }
+}
+
+/// Campaigns dispatch each trial's background to the matching compiled
+/// program.
+///
+/// # Panics
+///
+/// Panics when a trial asks for a background the bank was not compiled
+/// for, or when the campaign's geometry differs from the programs' — both
+/// campaign/bank configuration mismatches.
+impl FaultRunner for &ProgramBank {
+    fn detect(&self, ram: &mut Ram, background: u64) -> bool {
+        let program = self
+            .program(background)
+            .unwrap_or_else(|| panic!("no program compiled for background {background:#x}"));
+        detect_checked(program, ram, background)
+    }
+}
 
 /// Runs `count` independent trials against pooled memories and collects the
 /// per-trial verdicts in trial order.
@@ -534,6 +668,99 @@ mod tests {
         for (i, d) in det.iter().enumerate() {
             assert_eq!(*d, i % 3 == 0, "trial {i}");
         }
+    }
+
+    /// The toy runner, compiled to the IR once for a given geometry.
+    fn toy_program(geom: Geometry) -> TestProgram {
+        let mut b = prt_ram::ProgramBuilder::new(geom).with_name("toy compiled");
+        let n = geom.cells();
+        let mask = geom.data_mask();
+        for a in 0..n {
+            b.write(a, 0);
+        }
+        for a in 0..n {
+            b.read_expect(a, 0);
+            b.write(a, mask);
+        }
+        for a in 0..n {
+            b.read_expect(a, mask);
+            b.write(a, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn compiled_program_campaign_matches_interpreted() {
+        let u = universe();
+        let prog = toy_program(u.geometry());
+        let interpreted = Campaign::new(&u, toy_runner).detections();
+        let compiled = Campaign::new(&u, &prog).detections();
+        assert_eq!(interpreted, compiled);
+        for threads in [2usize, 5] {
+            let par = Campaign::new(&u, &prog)
+                .with_parallelism(Parallelism::Threads(threads))
+                .detections();
+            assert_eq!(compiled, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn program_bank_dispatches_by_background() {
+        use std::sync::atomic::AtomicUsize;
+        let geom = Geometry::bom(6);
+        let u = FaultUniverse::enumerate(geom, &UniverseSpec::single_cell());
+        let bank = ProgramBank::new([(0u64, toy_program(geom))]);
+        assert_eq!(bank.backgrounds(), vec![0]);
+        assert!(bank.program(0).is_some() && bank.program(1).is_none());
+        let report = Campaign::new(&u, &bank).with_name("bank").run();
+        let verdict_count = AtomicUsize::new(0);
+        let interpreted = Campaign::new(&u, |ram: &mut Ram, bg: u64| {
+            verdict_count.fetch_add(1, Ordering::Relaxed);
+            toy_runner(ram, bg)
+        })
+        .with_name("bank")
+        .run();
+        assert_eq!(report, interpreted);
+        assert_eq!(verdict_count.load(Ordering::Relaxed), u.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no program compiled for background")]
+    fn program_bank_rejects_unknown_background() {
+        let geom = Geometry::bom(4);
+        let bank = ProgramBank::new([(0u64, toy_program(geom))]);
+        let mut ram = Ram::new(geom);
+        let _ = (&bank).detect(&mut ram, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign geometry does not match")]
+    fn compiled_runner_rejects_wrong_geometry() {
+        let prog = toy_program(Geometry::bom(8));
+        let mut ram = Ram::new(Geometry::bom(4));
+        let _ = FaultRunner::detect(&&prog, &mut ram, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2 ports")]
+    fn compiled_runner_rejects_port_shortfall() {
+        let geom = Geometry::bom(4);
+        let mut b = prt_ram::ProgramBuilder::new(geom).with_name("dual");
+        b.cycle2(prt_ram::SlotOp::ReadExpect { addr: 0, expect: 0 }, prt_ram::SlotOp::Idle);
+        let prog = b.build();
+        let mut ram = Ram::new(geom);
+        let _ = FaultRunner::detect(&&prog, &mut ram, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the background")]
+    fn compiled_runner_rejects_background_mismatch() {
+        let geom = Geometry::bom(4);
+        let mut b = prt_ram::ProgramBuilder::new(geom).with_background(0);
+        b.read_expect(0, 0);
+        let prog = b.build();
+        let mut ram = Ram::new(geom);
+        let _ = FaultRunner::detect(&&prog, &mut ram, 1);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! within a cycle budget at power-on. The dual-port π-schedule issues both
 //! operand reads simultaneously (Figure 2), cutting the iteration from
 //! `3n` to `2n` cycles; the quad-port multi-LFSR variant halves it again.
-//! This example runs the power-on flow, checks the budget and shows that a
-//! marginal cell (simulated data-retention fault) is caught.
+//! This example runs the power-on flow, checks the budget, shows that a
+//! marginal cell (simulated data-retention fault) is caught, and
+//! demonstrates the **dual-port pre-read program mode**: the compiled
+//! schedule fuses each wave-write's stale check into the write cycle, so
+//! pre-read coverage (the distant-coupling blind-spot closer) comes at
+//! plain-mode cycle cost.
 //!
 //! Run: `cargo run --release --example wom_dualport [cells]`
 
@@ -68,5 +72,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         multi.detected()
     );
     assert!(multi.detected(), "retention fault must be caught by the multi-iteration scheme");
+
+    // ------------------------------------------------------------------
+    // Dual-port pre-read program mode.
+    //
+    // A distant inversion coupling (aggressor far after the victim in the
+    // trajectory) corrupts the victim after its operand reads; plain-mode
+    // schedules overwrite the corruption before anything observes it. The
+    // pre-read transformation catches it — and on two ports the compiled
+    // program fuses each stale check into the wave-write cycle (the RAM
+    // reads before it writes within a cycle), so the check is cycle-free.
+    // ------------------------------------------------------------------
+    let field = Field::new(4, 0b1_0011)?;
+    let distant_cfin = FaultKind::CouplingInversion {
+        agg_cell: 3 * n / 4,
+        agg_bit: 1,
+        victim_cell: n / 8,
+        victim_bit: 1,
+        trigger: CouplingTrigger::Rise,
+    };
+    println!("\ninjecting a distant CFin (aggressor {} → victim {})…", 3 * n / 4, n / 8);
+
+    let plain = PrtScheme::plain(field.clone(), 3)?;
+    let mut ram = Ram::with_ports(Geometry::wom(n, 4)?, 2)?;
+    ram.inject(distant_cfin.clone())?;
+    let plain_res = plain.run_dual_port(&mut ram)?;
+
+    let preread = PrtScheme::standard3(field)?;
+    let program = preread.compile_dual_port(Geometry::wom(n, 4)?)?;
+    let mut ram = Ram::with_ports(Geometry::wom(n, 4)?, 2)?;
+    ram.inject(distant_cfin)?;
+    let preread_res = preread.run_dual_port(&mut ram)?;
+    println!(
+        "plain ×3 dual-port:    {} cycles, detected: {}",
+        plain_res.cycles(),
+        plain_res.detected()
+    );
+    println!(
+        "standard3 dual-port:   {} cycles, detected: {}  (pre-read fused into write cycles)",
+        preread_res.cycles(),
+        preread_res.detected()
+    );
+    println!(
+        "compiled program:      {} ops over {} port(s), ≈ {:.2} cycles/cell/iteration",
+        program.ops().len(),
+        program.ports(),
+        preread_res.cycles() as f64 / (3.0 * n as f64)
+    );
+    assert!(!plain_res.detected(), "distant CFin escapes the plain dual-port schedule");
+    assert!(preread_res.detected(), "dual-port pre-read must catch the distant CFin");
     Ok(())
 }

@@ -7,7 +7,9 @@
 //! * [`prt_lfsr`] — bit and word LFSR models,
 //! * [`prt_ram`] — the fault-injecting RAM simulator,
 //! * [`prt_march`] — the March test engine and baselines,
-//! * [`prt_core`] — pseudo-ring testing itself.
+//! * [`prt_core`] — pseudo-ring testing itself,
+//! * [`prt_sim`] — the parallel fault-simulation campaign engine (pooled
+//!   memories, compiled-program runners, deterministic aggregation).
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@ pub use prt_gf;
 pub use prt_lfsr;
 pub use prt_march;
 pub use prt_ram;
+pub use prt_sim;
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
@@ -40,7 +43,8 @@ pub mod prelude {
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
-        CouplingTrigger, FaultKind, FaultUniverse, Geometry, PortOp, Ram, RamError, SplitMix64,
-        UniverseSpec,
+        CouplingTrigger, FaultKind, FaultUniverse, Geometry, PortOp, ProgramBuilder, Ram, RamError,
+        SplitMix64, TestProgram, UniverseSpec,
     };
+    pub use prt_sim::{Campaign, FaultRunner, Parallelism, ProgramBank};
 }

@@ -127,6 +127,154 @@ proptest! {
         }
     }
 
+    /// COMPILED ≡ INTERPRETED (March): for random library tests, random
+    /// backgrounds, sizes, executor modes and random fault instances, the
+    /// compiled program reproduces the interpreted executor's outcome —
+    /// verdict, mismatch location and op count.
+    #[test]
+    fn march_compiled_program_equals_interpreted(
+        test_idx in 0usize..12,
+        bg in 0u64..16,
+        n in 2usize..24,
+        fault_pick in 0usize..100_000,
+        stop in proptest::prelude::any::<bool>(),
+    ) {
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let spec = UniverseSpec {
+            coupling_radius: Some(2), intra_word: true, ..UniverseSpec::paper_claim()
+        };
+        let u = FaultUniverse::enumerate(geom, &spec);
+        let fault = u.faults()[fault_pick % u.len()].clone();
+        let tests = march_library::all();
+        let test = &tests[test_idx];
+        let mut ex = Executor::new().with_background(bg);
+        if stop {
+            ex = ex.stop_at_first_mismatch();
+        }
+        let program = ex.compile(test, geom);
+        let mut a = Ram::new(geom);
+        a.inject(fault.clone()).expect("inject");
+        let mut b = Ram::new(geom);
+        b.inject(fault).expect("inject");
+        let interpreted = ex.run(test, &mut a);
+        let compiled = ex.run_compiled(&program, &mut b);
+        prop_assert_eq!(interpreted, compiled, "{} bg={:x} n={}", test.name(), bg, n);
+    }
+
+    /// COMPILED ≡ INTERPRETED (π-test): random seeds, trajectories, sizes
+    /// and faults — identical verdict, `Fin`, op count and memory image.
+    #[test]
+    fn pi_compiled_program_equals_interpreted(
+        s0 in 0u64..16,
+        s1 in 0u64..16,
+        n in 3usize..32,
+        traj_seed in 0u64..500,
+        fault_pick in 0usize..100_000,
+    ) {
+        let traj = match traj_seed % 3 {
+            0 => Trajectory::Up,
+            1 => Trajectory::Down,
+            _ => Trajectory::Random(traj_seed),
+        };
+        let pi = PiTest::new(gf16(), &[1, 2, 2], &[s0, s1])
+            .expect("config")
+            .with_trajectory(traj);
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let spec = UniverseSpec {
+            coupling_radius: Some(2), intra_word: true, ..UniverseSpec::paper_claim()
+        };
+        let u = FaultUniverse::enumerate(geom, &spec);
+        let fault = u.faults()[fault_pick % u.len()].clone();
+        let program = pi.compile(geom).expect("compile");
+        let mut a = Ram::new(geom);
+        a.inject(fault.clone()).expect("inject");
+        let mut b = Ram::new(geom);
+        b.inject(fault).expect("inject");
+        let interpreted = pi.run(&mut a).expect("run");
+        let mut fin = Vec::new();
+        let exec = program.execute(&mut b, false, Some(&mut fin)).expect("execute");
+        prop_assert_eq!(interpreted.detected(), exec.detected());
+        prop_assert_eq!(interpreted.fin(), &fin[..]);
+        prop_assert_eq!(interpreted.ops(), exec.ops);
+        for c in 0..n {
+            prop_assert_eq!(a.peek(c), b.peek(c), "cell {}", c);
+        }
+    }
+
+    /// COMPILED ≡ INTERPRETED (PRT schemes, pre-read + readback channels
+    /// included): random scheme family, size and fault — identical
+    /// verdict.
+    #[test]
+    fn scheme_compiled_program_equals_interpreted(
+        which in 0usize..4,
+        n in 3usize..20,
+        fault_pick in 0usize..100_000,
+    ) {
+        let field = Field::new(1, 0b11).expect("GF(2)");
+        let scheme = match which {
+            0 => PrtScheme::standard3(field).expect("scheme"),
+            1 => PrtScheme::standard4(field).expect("scheme"),
+            2 => PrtScheme::plain(field, 3).expect("scheme"),
+            _ => PrtScheme::plain(field, 5).expect("scheme"),
+        };
+        let geom = Geometry::bom(n);
+        let u = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let fault = u.faults()[fault_pick % u.len()].clone();
+        let program = scheme.compile(geom).expect("compile");
+        let mut a = Ram::new(geom);
+        a.inject(fault.clone()).expect("inject");
+        let mut b = Ram::new(geom);
+        b.inject(fault).expect("inject");
+        let interpreted = scheme.run(&mut a).expect("run").detected();
+        prop_assert_eq!(interpreted, program.detect(&mut b), "{} n={}", scheme.name(), n);
+    }
+
+    /// COMPILED ≡ INTERPRETED (bit-plane schemes): random seeding policy,
+    /// rounds, width and fault — identical any-round verdict.
+    #[test]
+    fn plane_compiled_program_equals_interpreted(
+        seed in 0u64..1000,
+        rounds in 1usize..5,
+        n in 3usize..16,
+        fault_pick in 0usize..100_000,
+    ) {
+        let scheme = PlaneScheme::standard(Poly2::from_bits(0b111), 4, rounds)
+            .expect("scheme");
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let spec = UniverseSpec {
+            coupling_radius: Some(2), intra_word: true, ..UniverseSpec::paper_claim()
+        };
+        let u = FaultUniverse::enumerate(geom, &spec);
+        let fault = u.faults()[(fault_pick ^ seed as usize) % u.len()].clone();
+        let program = scheme.compile(geom).expect("compile");
+        let mut a = Ram::new(geom);
+        a.inject(fault.clone()).expect("inject");
+        let mut b = Ram::new(geom);
+        b.inject(fault).expect("inject");
+        let interpreted = scheme.run(&mut a).expect("run").iter().any(|r| r.detected());
+        prop_assert_eq!(interpreted, program.detect(&mut b), "rounds={} n={}", rounds, n);
+    }
+
+    /// Campaigns over compiled programs are verdict-identical to the
+    /// pre-refactor interpreted campaign path, for any thread count.
+    #[test]
+    fn compiled_campaign_equals_interpreted_campaign(
+        n in 4usize..14,
+        threads in 1usize..5,
+    ) {
+        let geom = Geometry::bom(n);
+        let u = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let scheme = PrtScheme::standard3(Field::new(1, 0b11).expect("GF(2)")).expect("scheme");
+        let program = scheme.compile(geom).expect("compile");
+        let compiled = Campaign::new(&u, &program)
+            .with_parallelism(Parallelism::Threads(threads))
+            .detections();
+        let interpreted = Campaign::new(&u, &scheme)
+            .with_parallelism(Parallelism::Sequential)
+            .detections();
+        prop_assert_eq!(compiled, interpreted);
+    }
+
     /// The affine (complemented) iteration really is the bitwise complement
     /// of the plain one.
     #[test]
