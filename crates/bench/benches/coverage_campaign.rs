@@ -18,9 +18,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use prt_core::PrtScheme;
-use prt_gf::Field;
+use prt_diag::{FaultDictionary, Localizer};
+use prt_gf::{Field, Poly2};
 use prt_march::{coverage, coverage::MarchRunner, library, Executor};
-use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
 use prt_sim::{Campaign, Parallelism};
 
 fn bench_march_campaign(c: &mut Criterion) {
@@ -149,5 +150,47 @@ fn bench_multi_background(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_march_campaign, bench_scheme_campaign, bench_multi_background);
+fn bench_diagnosis(c: &mut Criterion) {
+    // The diagnosis workload: dictionary building is a signature-collecting
+    // campaign (one compiled-program pass + MISR per fault); localization
+    // is the adaptive probe loop over a failing device.
+    let mut group = c.benchmark_group("campaign_diagnosis");
+    let n = 16usize;
+    let geom = Geometry::bom(n);
+    let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+    let program = Executor::new().compile(&library::march_diag(), geom);
+    let poly = Poly2::from_bits(0b1_0001_1011);
+    group.throughput(Throughput::Elements(universe.len() as u64));
+    group.bench_with_input(BenchmarkId::new("dictionary_build", n), &universe, |b, u| {
+        b.iter(|| FaultDictionary::build(u, &program, poly, Parallelism::Auto).expect("build"))
+    });
+    group.bench_with_input(BenchmarkId::new("dictionary_build_seq", n), &universe, |b, u| {
+        b.iter(|| {
+            FaultDictionary::build(u, &program, poly, Parallelism::Sequential).expect("build")
+        })
+    });
+    let dict = FaultDictionary::build(&universe, &program, poly, Parallelism::Auto).expect("build");
+    let localizer = Localizer::new(library::march_diag(), geom).with_dictionary(&dict);
+    let sample: Vec<usize> =
+        (0..universe.len()).step_by(universe.len().div_ceil(32).max(1)).collect();
+    group.throughput(Throughput::Elements(sample.len() as u64));
+    group.bench_with_input(BenchmarkId::new("localize", n), &sample, |b, sample| {
+        b.iter(|| {
+            for &i in sample {
+                let mut ram = Ram::new(geom);
+                ram.inject(universe.faults()[i].clone()).expect("valid");
+                let _ = localizer.diagnose(&mut ram).expect("diagnose");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_march_campaign,
+    bench_scheme_campaign,
+    bench_multi_background,
+    bench_diagnosis
+);
 criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! Machine-readable campaign throughput: the `coverage_campaign` rows as
+//! JSON, so the perf trajectory is tracked per PR instead of scraped from
+//! Criterion's plain-text output.
+//!
+//! Run: `cargo run --release -p prt-bench --bin bench_json [out.json]`
+//!
+//! Writes `BENCH_campaign.json` (or the given path): one row per
+//! (group, n, variant) with faults/second, plus the diagnosis subsystem
+//! rows (dictionary build and adaptive localization throughput). Tuning:
+//! `BENCH_JSON_MS` sets the per-row measurement budget (default 200 ms —
+//! CI smoke runs use a lower value; trend numbers come from the default).
+
+use std::time::Instant;
+
+use prt_core::PrtScheme;
+use prt_diag::{FaultDictionary, Localizer};
+use prt_gf::{Field, Poly2};
+use prt_march::{coverage, coverage::MarchRunner, library, Executor};
+use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
+use prt_sim::{Campaign, Parallelism};
+
+struct Row {
+    group: &'static str,
+    n: usize,
+    variant: &'static str,
+    unit: &'static str,
+    elements: usize,
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        self.elements as f64 / (self.mean_ns * 1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"    {{"group": "{}", "n": {}, "variant": "{}", "unit": "{}", "throughput": {:.1}, "elements": {}, "iters": {}, "mean_ns": {:.0}}}"#,
+            self.group,
+            self.n,
+            self.variant,
+            self.unit,
+            self.throughput(),
+            self.elements,
+            self.iters,
+            self.mean_ns
+        )
+    }
+}
+
+/// Calibrated timing loop: run `f` until the measurement budget is spent,
+/// report the mean time per call.
+fn measure<F: FnMut()>(budget_ms: u64, mut f: F) -> (u64, f64) {
+    // Warm-up + calibration pass.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let budget = budget_ms * 1_000_000;
+    let iters = (budget / once).clamp(1, 1_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (iters, t1.elapsed().as_nanos() as f64 / iters as f64)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let budget_ms: u64 =
+        std::env::var("BENCH_JSON_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |group: &'static str,
+                    n: usize,
+                    variant: &'static str,
+                    elements: usize,
+                    m: (u64, f64)| {
+        let unit = if variant == "localize" { "diagnoses_per_sec" } else { "faults_per_sec" };
+        let row = Row { group, n, variant, unit, elements, iters: m.0, mean_ns: m.1 };
+        eprintln!("{group}/{variant} n={n}: {:.0} {unit} ({} iters)", row.throughput(), row.iters);
+        rows.push(row);
+    };
+
+    // March C- on the BOM paper-claim universe.
+    let test = library::march_c_minus();
+    let ex = Executor::new().stop_at_first_mismatch();
+    for n in [16usize, 32] {
+        let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+        let len = u.len();
+        push(
+            "campaign_march_c_minus",
+            n,
+            "seed_alloc_per_fault",
+            len,
+            measure(budget_ms, || {
+                let _ = Campaign::new(&u, MarchRunner::new(&test, &ex)).detections_reference();
+            }),
+        );
+        push(
+            "campaign_march_c_minus",
+            n,
+            "pooled_sequential",
+            len,
+            measure(budget_ms, || {
+                let _ = Campaign::new(&u, MarchRunner::new(&test, &ex))
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections();
+            }),
+        );
+        push(
+            "campaign_march_c_minus",
+            n,
+            "compiled_sequential",
+            len,
+            measure(budget_ms, || {
+                let program = ex.compile(&test, u.geometry());
+                let _ = Campaign::new(&u, &program)
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections();
+            }),
+        );
+        push(
+            "campaign_march_c_minus",
+            n,
+            "compiled_parallel",
+            len,
+            measure(budget_ms, || {
+                let program = ex.compile(&test, u.geometry());
+                let _ =
+                    Campaign::new(&u, &program).with_parallelism(Parallelism::Auto).detections();
+            }),
+        );
+    }
+
+    // PRT standard3.
+    let scheme = PrtScheme::standard3(Field::new(1, 0b11).expect("GF(2)")).expect("scheme");
+    {
+        let n = 24usize;
+        let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+        let len = u.len();
+        push(
+            "campaign_prt_standard3",
+            n,
+            "seed_alloc_per_fault",
+            len,
+            measure(budget_ms, || {
+                let _ = Campaign::new(&u, &scheme).detections_reference();
+            }),
+        );
+        push(
+            "campaign_prt_standard3",
+            n,
+            "pooled_sequential",
+            len,
+            measure(budget_ms, || {
+                let _ = Campaign::new(&u, &scheme)
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections();
+            }),
+        );
+        push(
+            "campaign_prt_standard3",
+            n,
+            "compiled_sequential",
+            len,
+            measure(budget_ms, || {
+                let program = scheme.compile(u.geometry()).expect("compile");
+                let _ = Campaign::new(&u, &program)
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections();
+            }),
+        );
+        push(
+            "campaign_prt_standard3",
+            n,
+            "compiled_parallel",
+            len,
+            measure(budget_ms, || {
+                let program = scheme.compile(u.geometry()).expect("compile");
+                let _ =
+                    Campaign::new(&u, &program).with_parallelism(Parallelism::Auto).detections();
+            }),
+        );
+    }
+
+    // Multi-background WOM sweep.
+    {
+        let n = 12usize;
+        let bgs = coverage::standard_backgrounds(4);
+        let spec = UniverseSpec {
+            coupling_radius: Some(3),
+            intra_word: true,
+            ..UniverseSpec::paper_claim()
+        };
+        let u = FaultUniverse::enumerate(Geometry::wom(n, 4).expect("geometry"), &spec);
+        let len = u.len();
+        push(
+            "campaign_march_multibg_wom",
+            n,
+            "pooled_sequential",
+            len,
+            measure(budget_ms, || {
+                let _ = Campaign::new(&u, MarchRunner::new(&test, &ex))
+                    .with_backgrounds(&bgs)
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections();
+            }),
+        );
+        push(
+            "campaign_march_multibg_wom",
+            n,
+            "compiled_sequential",
+            len,
+            measure(budget_ms, || {
+                let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+                let _ = Campaign::new(&u, &bank)
+                    .with_backgrounds(&bgs)
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections();
+            }),
+        );
+        push(
+            "campaign_march_multibg_wom",
+            n,
+            "compiled_parallel",
+            len,
+            measure(budget_ms, || {
+                let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+                let _ = Campaign::new(&u, &bank)
+                    .with_backgrounds(&bgs)
+                    .with_parallelism(Parallelism::Auto)
+                    .detections();
+            }),
+        );
+    }
+
+    // Diagnosis subsystem: dictionary build and adaptive localization.
+    {
+        let n = 16usize;
+        let geom = Geometry::bom(n);
+        let u = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let len = u.len();
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let poly = Poly2::from_bits(0b1_0001_1011);
+        push(
+            "campaign_diagnosis",
+            n,
+            "dictionary_build",
+            len,
+            measure(budget_ms, || {
+                let _ =
+                    FaultDictionary::build(&u, &program, poly, Parallelism::Auto).expect("build");
+            }),
+        );
+        let dict = FaultDictionary::build(&u, &program, poly, Parallelism::Auto).expect("build");
+        let localizer = Localizer::new(library::march_diag(), geom).with_dictionary(&dict);
+        // Localization throughput over a fixed fault sample (one diagnosis
+        // per universe stride), reported as diagnoses/second.
+        let sample: Vec<usize> = (0..len).step_by(len.div_ceil(32).max(1)).collect();
+        let samples = sample.len();
+        push(
+            "campaign_diagnosis",
+            n,
+            "localize",
+            samples,
+            measure(budget_ms, || {
+                for &i in &sample {
+                    let mut ram = Ram::new(geom);
+                    ram.inject(u.faults()[i].clone()).expect("valid");
+                    let _ = localizer.diagnose(&mut ram).expect("diagnose");
+                }
+            }),
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"prt-bench/campaign-v1\",\n");
+    json.push_str(&format!("  \"measure_ms\": {budget_ms},\n"));
+    json.push_str("  \"rows\": [\n");
+    let body: Vec<String> = rows.iter().map(Row::json).collect();
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

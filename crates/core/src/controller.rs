@@ -16,6 +16,8 @@
 //! structures.
 
 use crate::{PiTest, PrtError};
+use prt_gf::Poly2;
+use prt_lfsr::Misr;
 use prt_ram::{PortOp, Ram};
 
 /// Controller FSM states (one memory cycle per state transition).
@@ -54,6 +56,11 @@ pub struct BistController {
     state: CtrlState,
     fin: Vec<u64>,
     cycles: u64,
+    /// Optional response compactor (signature mode): absorbs every read
+    /// response the controller observes.
+    misr: Option<Misr>,
+    /// The fault-free signature, precomputed at configuration time.
+    reference_signature: Option<u64>,
 }
 
 impl BistController {
@@ -77,7 +84,44 @@ impl BistController {
             state: CtrlState::Seed { j: 0 },
             fin: Vec::new(),
             cycles: 0,
+            misr: None,
+            reference_signature: None,
         })
+    }
+
+    /// Enables **signature mode**: a [`Misr`] over `poly` absorbs every
+    /// read response the controller observes (the `k` operand reads of
+    /// each sub-iteration, then the `Fin` readback) — the conventional
+    /// BIST compaction path the paper's "testing memory by its own
+    /// components" argument compares against. The fault-free reference
+    /// signature is precomputed here from the automaton's expected
+    /// sequence, so a tester needs only the final
+    /// [`BistController::signature`] / [`BistController::signature_matches`]
+    /// comparison, no per-read comparator.
+    ///
+    /// # Errors
+    ///
+    /// [`PrtError::Lfsr`] for a degenerate MISR polynomial.
+    pub fn with_signature(mut self, poly: Poly2) -> Result<BistController, PrtError> {
+        let misr = Misr::new(poly)?;
+        let mut reference = Misr::new(poly)?;
+        let n = self.order.len();
+        let k = self.pi.stages();
+        // The controller reads trajectory positions t..t+k (ascending) per
+        // sub-iteration, then positions n−k..n at readback; the fault-free
+        // value at position p is the reference sequence's p-th element.
+        let seq = self.pi.expected_sequence(n);
+        for t in 0..n - k {
+            for i in 0..k {
+                reference.absorb(seq[t + i]);
+            }
+        }
+        for &v in &seq[n - k..] {
+            reference.absorb(v);
+        }
+        self.reference_signature = Some(reference.signature());
+        self.misr = Some(misr);
+        Ok(self)
     }
 
     /// Current FSM state.
@@ -117,7 +161,11 @@ impl BistController {
             }
             CtrlState::Read { i } => {
                 let res = ram.cycle(&[PortOp::Read { addr: self.order[self.t + i] }])?;
-                self.operands[i] = res[0].expect("read issued");
+                let value = res[0].expect("read issued");
+                self.operands[i] = value;
+                if let Some(m) = &mut self.misr {
+                    m.absorb(value);
+                }
                 self.state =
                     if i + 1 < k { CtrlState::Read { i: i + 1 } } else { CtrlState::Write };
             }
@@ -146,7 +194,11 @@ impl BistController {
             }
             CtrlState::Readback { j } => {
                 let res = ram.cycle(&[PortOp::Read { addr: self.order[n - k + j] }])?;
-                self.fin.push(res[0].expect("read issued"));
+                let value = res[0].expect("read issued");
+                self.fin.push(value);
+                if let Some(m) = &mut self.misr {
+                    m.absorb(value);
+                }
                 self.state =
                     if j + 1 < k { CtrlState::Readback { j: j + 1 } } else { CtrlState::Done };
             }
@@ -171,6 +223,30 @@ impl BistController {
     /// The observed `Fin` (valid after completion).
     pub fn fin(&self) -> &[u64] {
         &self.fin
+    }
+
+    /// The compacted signature so far (`None` unless
+    /// [`BistController::with_signature`] was configured).
+    pub fn signature(&self) -> Option<u64> {
+        self.misr.as_ref().map(Misr::signature)
+    }
+
+    /// The precomputed fault-free signature (`None` without signature
+    /// mode).
+    pub fn reference_signature(&self) -> Option<u64> {
+        self.reference_signature
+    }
+
+    /// Signature verdict after completion: `Some(true)` when the compacted
+    /// response stream matches the fault-free reference. Unlike the
+    /// `Fin`/`Fin*` comparison this needs no per-run expected vector —
+    /// only the `w`-bit reference — at an aliasing risk of `2⁻ʷ`
+    /// ([`Misr::aliasing_probability`]).
+    pub fn signature_matches(&self) -> Option<bool> {
+        match (&self.misr, self.reference_signature) {
+            (Some(m), Some(r)) => Some(m.signature() == r),
+            _ => None,
+        }
     }
 }
 
@@ -258,6 +334,56 @@ mod tests {
             universe.len(),
             universe.faults()[disagreements[0]]
         );
+    }
+
+    #[test]
+    fn signature_mode_matches_fin_verdict() {
+        // The compaction path: fault-free runs land on the precomputed
+        // reference; every single stuck-at over the array is flagged by
+        // the signature exactly when the Fin comparison flags it (no
+        // aliasing observed on this universe — asserted, not assumed).
+        let poly = Poly2::from_bits(0b1_0001_1011); // x⁸+x⁴+x³+x+1
+        let n = 16usize;
+        for pi in [PiTest::figure_1a().unwrap()] {
+            let clean = BistController::new(pi.clone(), n).unwrap().with_signature(poly).unwrap();
+            let mut ctrl = clean.clone();
+            let mut ram = Ram::new(Geometry::bom(n));
+            let pass = ctrl.run_to_completion(&mut ram).unwrap();
+            assert!(pass);
+            assert_eq!(ctrl.signature(), ctrl.reference_signature());
+            assert_eq!(ctrl.signature_matches(), Some(true));
+            for cell in 0..n {
+                for value in [0u8, 1] {
+                    let mut ram = Ram::new(Geometry::bom(n));
+                    ram.inject(FaultKind::StuckAt { cell, bit: 0, value }).unwrap();
+                    let mut ctrl = clean.clone();
+                    let pass = ctrl.run_to_completion(&mut ram).unwrap();
+                    assert_eq!(
+                        ctrl.signature_matches(),
+                        Some(pass),
+                        "SA{value}@{cell}: signature and Fin verdicts diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signature_mode_off_by_default() {
+        let pi = PiTest::figure_1a().unwrap();
+        let mut ram = Ram::new(Geometry::bom(8));
+        let mut ctrl = BistController::new(pi, 8).unwrap();
+        ctrl.run_to_completion(&mut ram).unwrap();
+        assert_eq!(ctrl.signature(), None);
+        assert_eq!(ctrl.reference_signature(), None);
+        assert_eq!(ctrl.signature_matches(), None);
+    }
+
+    #[test]
+    fn signature_mode_rejects_degenerate_polynomial() {
+        let pi = PiTest::figure_1a().unwrap();
+        let ctrl = BistController::new(pi, 8).unwrap();
+        assert!(matches!(ctrl.with_signature(Poly2::ONE), Err(PrtError::Lfsr(_))));
     }
 
     #[test]

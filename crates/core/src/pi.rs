@@ -478,17 +478,19 @@ impl PiTest {
             b.acc_set(self.affine());
             // Read phase: the k operand reads, two per cycle — the value at
             // trajectory position t+j pairs with coefficient c_{k−j}.
-            b.cycle2_pairs(
-                (0..k).map(|j| SlotOp::ReadAcc { addr: order[t + j] as u32, map: maps[k - 1 - j] }),
-            );
+            b.cycle2_pairs((0..k).map(|j| SlotOp::ReadAcc {
+                addr: order[t + j] as u32,
+                map: maps[k - 1 - j],
+                lane: 0,
+            }));
             // Write phase: plain mode writes alone; pre-read mode fuses the
             // target's stale check into the same cycle for free.
             let target = order[t + k];
             match expected_stale {
-                None => b.cycle2(SlotOp::WriteAcc { addr: target as u32 }, SlotOp::Idle),
+                None => b.cycle2(SlotOp::WriteAcc { addr: target as u32, lane: 0 }, SlotOp::Idle),
                 Some(stale) => b.cycle2(
                     SlotOp::ReadStale { addr: target as u32, expect: stale[target] },
-                    SlotOp::WriteAcc { addr: target as u32 },
+                    SlotOp::WriteAcc { addr: target as u32, lane: 0 },
                 ),
             }
         }
@@ -501,6 +503,92 @@ impl PiTest {
             }),
         );
         Ok(())
+    }
+
+    /// Compiles the quad-port multi-LFSR schedule (§4) into a four-port
+    /// [`TestProgram`]: the trajectory splits into two half-array automata
+    /// running concurrently, each on its own **accumulator lane** and port
+    /// pair, so a whole sub-iteration (2 operand reads per half, then both
+    /// wave writes) fits in `⌈k/2⌉ + 1` cycles — ≈ `n` cycles per
+    /// iteration for `k = 2`. The program performs the exact access
+    /// sequence of [`PiTest::run_quad_port`] (slot position = port index,
+    /// idle slots included) and is verdict-, op-, cycle- and
+    /// image-identical to it (asserted in tests); the interpreted runner
+    /// stays as the differential oracle.
+    ///
+    /// # Errors
+    ///
+    /// As [`PiTest::run_quad_port`] (each half must host the automaton).
+    pub fn compile_quad_port(&self, geom: Geometry) -> Result<TestProgram, PrtError> {
+        let n = geom.cells();
+        let k = self.stages();
+        let half = n / 2;
+        self.validate_geometry(half, geom.width())?;
+        let mut b = ProgramBuilder::new(geom).with_name("π quad-port");
+        let order = self.trajectory.order(n);
+        let (lo, hi) = order.split_at(half);
+        let maps = self.coefficient_maps(&mut b, geom);
+        // Seed both halves: k cycles of 2 writes each (ports 0, 2).
+        for j in 0..k {
+            b.cyclen(&[
+                SlotOp::Write { addr: lo[j] as u32, data: self.init()[j] },
+                SlotOp::Idle,
+                SlotOp::Write { addr: hi[j] as u32, data: self.init()[j] },
+                SlotOp::Idle,
+            ]);
+        }
+        // Interleave both halves' sub-iterations, one lane per half.
+        let steps = (lo.len() - k).max(hi.len() - k);
+        for t in 0..steps {
+            for (h, part) in [lo, hi].iter().enumerate() {
+                if t + k < part.len() {
+                    b.acc_set_in(h as u8, self.affine());
+                }
+            }
+            // Read phase(s): k reads per half, two ports per half; the
+            // value at trajectory position t+j pairs with c_{k−j}.
+            for pair in (0..k).step_by(2) {
+                let mut slots = [SlotOp::Idle; 4];
+                for (h, part) in [lo, hi].iter().enumerate() {
+                    if t + k < part.len() {
+                        slots[2 * h] = SlotOp::ReadAcc {
+                            addr: part[t + pair] as u32,
+                            map: maps[k - 1 - pair],
+                            lane: h as u8,
+                        };
+                        if pair + 1 < k {
+                            slots[2 * h + 1] = SlotOp::ReadAcc {
+                                addr: part[t + pair + 1] as u32,
+                                map: maps[k - 2 - pair],
+                                lane: h as u8,
+                            };
+                        }
+                    }
+                }
+                b.cyclen(&slots);
+            }
+            // Write both halves' wave cells in one cycle.
+            let mut slots = [SlotOp::Idle; 4];
+            for (h, part) in [lo, hi].iter().enumerate() {
+                if t + k < part.len() {
+                    slots[2 * h] = SlotOp::WriteAcc { addr: part[t + k] as u32, lane: h as u8 };
+                }
+            }
+            b.cyclen(&slots);
+        }
+        // Signature readback: k cycles of two captures each; Fin is the
+        // concatenation of the two halves' final states.
+        let fin_lo = self.half_fin_star(lo.len());
+        let fin_hi = self.half_fin_star(hi.len());
+        for j in 0..k {
+            b.cyclen(&[
+                SlotOp::ReadCapture { addr: lo[lo.len() - k + j] as u32, expect: fin_lo[j] },
+                SlotOp::Idle,
+                SlotOp::ReadCapture { addr: hi[hi.len() - k + j] as u32, expect: fin_hi[j] },
+                SlotOp::Idle,
+            ]);
+        }
+        Ok(b.build())
     }
 
     /// Registers one GF(2)-linear map per normalised feedback constant
@@ -542,6 +630,11 @@ impl PiTest {
     /// iteration to ≈ `n` cycles. Both halves use this test's seed; `Fin`
     /// is the concatenation of the two halves' final states.
     ///
+    /// This is the interpreted **differential oracle** for
+    /// [`PiTest::compile_quad_port`] — campaigns run the compiled program;
+    /// this runner re-derives the schedule cycle by cycle and is asserted
+    /// verdict-, op-, cycle- and image-identical to it.
+    ///
     /// # Errors
     ///
     /// Geometry errors as in [`PiTest::run`] (each half must fit the
@@ -579,7 +672,7 @@ impl PiTest {
             for pair in (0..k).step_by(2) {
                 let mut ops = [PortOp::Idle; 4];
                 for (h, part) in [lo, hi].iter().enumerate() {
-                    if t + k <= part.len() {
+                    if t + k < part.len() {
                         ops[2 * h] = PortOp::Read { addr: part[t + pair] };
                         if pair + 1 < k {
                             ops[2 * h + 1] = PortOp::Read { addr: part[t + pair + 1] };
@@ -599,7 +692,7 @@ impl PiTest {
             // Combine and write both halves in one cycle.
             let mut ops = [PortOp::Idle; 4];
             for (h, part) in [lo, hi].iter().enumerate() {
-                if t + k <= part.len() {
+                if t + k < part.len() {
                     acc[h] = self.affine();
                     // reads[h][j] holds s_{t+j}; coefficient c_i multiplies
                     // s_{t+k−i}.
@@ -918,6 +1011,65 @@ mod tests {
             assert!(!exec.detected(), "n={n}");
             assert_eq!(exec.cycles, 2 * n as u64 - 1, "n={n}");
         }
+    }
+
+    #[test]
+    fn compiled_quad_port_matches_interpreted_quad_port() {
+        // The ROADMAP item: the §4 multi-LFSR scheme on the compiled path.
+        // Same verdict, cycle count, op count and memory image as the
+        // interpreted oracle, for both figures, odd/even sizes and a sweep
+        // of single faults.
+        for pi in [PiTest::figure_1a().unwrap(), PiTest::figure_1b().unwrap()] {
+            let width = pi.field().degree();
+            for n in [14usize, 17] {
+                let geom = Geometry::wom(n, width).unwrap();
+                let prog = pi.compile_quad_port(geom).unwrap();
+                assert_eq!(prog.ports(), 4);
+                for cell in 0..n {
+                    let fault = FaultKind::IncorrectRead { cell, bit: 0 };
+                    let mut a = Ram::with_ports(geom, 4).unwrap();
+                    a.inject(fault.clone()).unwrap();
+                    let mut b2 = Ram::with_ports(geom, 4).unwrap();
+                    b2.inject(fault).unwrap();
+                    let interpreted = pi.run_quad_port(&mut a).unwrap();
+                    let mut caps = Vec::new();
+                    let exec = prog.execute(&mut b2, false, Some(&mut caps)).unwrap();
+                    assert_eq!(interpreted.detected(), exec.detected(), "n={n} cell {cell}");
+                    assert_eq!(interpreted.ops(), exec.ops, "n={n} cell {cell}");
+                    assert_eq!(interpreted.cycles(), exec.cycles, "n={n} cell {cell}");
+                    // The compiled readback captures per cycle (lo[j],
+                    // hi[j]); the oracle groups per half — reorder.
+                    let k = pi.stages();
+                    let mut fin = vec![0u64; 2 * k];
+                    for j in 0..k {
+                        fin[j] = caps[2 * j];
+                        fin[k + j] = caps[2 * j + 1];
+                    }
+                    assert_eq!(interpreted.fin(), fin, "n={n} cell {cell}");
+                    for c in 0..n {
+                        assert_eq!(a.peek(c), b2.peek(c), "n={n} image cell {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_quad_port_campaigns() {
+        // The compiled program drives the campaign engine directly on
+        // pooled 4-port memories, matching the interpreted runner's
+        // verdicts over the paper-claim universe.
+        use prt_ram::{FaultUniverse, UniverseSpec};
+        let pi = PiTest::figure_1a().unwrap();
+        let u = FaultUniverse::enumerate(Geometry::bom(16), &UniverseSpec::paper_claim());
+        let prog = pi.compile_quad_port(u.geometry()).unwrap();
+        let compiled = prt_sim::Campaign::new(&u, &prog).with_ports(4).detections();
+        let interpreted = prt_sim::Campaign::new(&u, |ram: &mut Ram, _bg: u64| {
+            pi.run_quad_port(ram).map(|r| r.detected()).unwrap_or(false)
+        })
+        .with_ports(4)
+        .detections();
+        assert_eq!(compiled, interpreted);
     }
 
     #[test]

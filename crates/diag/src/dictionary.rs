@@ -1,0 +1,298 @@
+//! Fault dictionaries: `signature → candidate fault set`.
+//!
+//! A tester that sees only a failing MISR signature must answer *which
+//! fault, where* before a repair (row/column replacement) can be chosen.
+//! The classical answer is a **fault dictionary**: simulate every fault of
+//! the universe once at configuration time, record each one's signature,
+//! and invert the map. This module builds that dictionary on `prt-sim`'s
+//! pooled parallel engine ([`prt_sim::map_trials`] — one compiled-program
+//! interpreter pass plus one MISR per trial, no per-trial allocation
+//! beyond the observation record), and measures what analytic formulas
+//! only bound:
+//!
+//! * **aliasing** — faults whose response stream differs from the
+//!   fault-free one but whose compacted signature collides with the
+//!   reference (invisible to a signature-only tester), measured against
+//!   the `2⁻ʷ` bound of [`prt_lfsr::Misr::aliasing_probability`],
+//! * **ambiguity** — how many faults share one failing signature (the
+//!   candidate set a [`crate::Localizer`] then narrows adaptively).
+
+use std::collections::HashMap;
+
+use crate::{DiagError, Observation, SignatureCollector};
+use prt_gf::Poly2;
+use prt_ram::{FaultKind, FaultUniverse, Geometry, TestProgram};
+use prt_sim::{map_trials, Parallelism};
+
+/// Aggregate dictionary statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DictionaryStats {
+    /// Fault instances simulated.
+    pub universe: usize,
+    /// Faults whose raw response stream differed from the fault-free one
+    /// (detectable by a per-read comparator).
+    pub stream_detected: usize,
+    /// Faults with a fault-free response stream (escapes of this program).
+    pub escaped: usize,
+    /// Stream-detected faults whose signature still equals the reference —
+    /// losses to compaction, invisible to a signature-only tester.
+    pub aliased: usize,
+    /// Distinct failing signatures (dictionary keys).
+    pub distinct_signatures: usize,
+    /// Largest candidate set behind one failing signature.
+    pub max_candidates: usize,
+    /// Mean candidate-set size over failing signatures.
+    pub mean_candidates: f64,
+    /// Measured aliasing rate: `aliased / stream_detected`.
+    pub measured_aliasing: f64,
+    /// The analytic `2⁻ʷ` bound for comparison.
+    pub analytic_aliasing_bound: f64,
+}
+
+/// A compiled `signature → candidate fault set` map over one fault
+/// universe and one diagnostic program.
+///
+/// # Example
+///
+/// ```
+/// use prt_diag::FaultDictionary;
+/// use prt_gf::Poly2;
+/// use prt_march::{library, Executor};
+/// use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
+/// use prt_sim::Parallelism;
+///
+/// let geom = Geometry::bom(8);
+/// let universe = FaultUniverse::enumerate(geom, &UniverseSpec::single_cell());
+/// let program = Executor::new().compile(&library::march_diag(), geom);
+/// let dict = FaultDictionary::build(
+///     &universe,
+///     &program,
+///     Poly2::from_bits(0b1_0001_1011),
+///     Parallelism::Auto,
+/// )?;
+/// assert_eq!(dict.stats().escaped, 0); // March C-D covers SAF+TF
+/// # Ok::<(), prt_diag::DiagError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    geom: Geometry,
+    program: TestProgram,
+    collector: SignatureCollector,
+    faults: Vec<FaultKind>,
+    observations: Vec<Observation>,
+    buckets: HashMap<u64, Vec<usize>>,
+    stats: DictionaryStats,
+}
+
+impl FaultDictionary {
+    /// Simulates every fault of `universe` through `program`, compacting
+    /// each trial's response stream with a MISR over `poly`, and inverts
+    /// the signature map. A trial whose device errors out (e.g. a decoder
+    /// fault conflicting on a multi-port cycle) counts as an escape with
+    /// the reference signature — the campaign engine's error-as-escape
+    /// convention.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Lfsr`] for a degenerate `poly`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `universe` and `program` disagree on geometry — a
+    /// whole-dictionary configuration error, surfaced loudly like the
+    /// campaign engine's runner checks.
+    pub fn build(
+        universe: &FaultUniverse,
+        program: &TestProgram,
+        poly: Poly2,
+        parallelism: Parallelism,
+    ) -> Result<FaultDictionary, DiagError> {
+        assert_eq!(
+            universe.geometry(),
+            program.geometry(),
+            "dictionary universe and program geometries differ"
+        );
+        let collector = SignatureCollector::new(program, poly)?;
+        let geom = universe.geometry();
+        let observations: Vec<Observation> =
+            map_trials(geom, program.ports(), universe.len(), parallelism, |i, ram| {
+                ram.inject(universe.faults()[i].clone()).expect("enumerated faults are valid");
+                collector.collect(program, ram).unwrap_or(Observation {
+                    signature: collector.reference(),
+                    exec: Default::default(),
+                })
+            });
+        let reference = collector.reference();
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut stream_detected = 0usize;
+        let mut aliased = 0usize;
+        for (i, obs) in observations.iter().enumerate() {
+            if obs.stream_differs() {
+                stream_detected += 1;
+                if obs.signature == reference {
+                    aliased += 1;
+                } else {
+                    buckets.entry(obs.signature).or_default().push(i);
+                }
+            }
+        }
+        let distinct = buckets.len();
+        let max_candidates = buckets.values().map(Vec::len).max().unwrap_or(0);
+        let keyed: usize = buckets.values().map(Vec::len).sum();
+        let stats = DictionaryStats {
+            universe: universe.len(),
+            stream_detected,
+            escaped: universe.len() - stream_detected,
+            aliased,
+            distinct_signatures: distinct,
+            max_candidates,
+            mean_candidates: if distinct == 0 { 0.0 } else { keyed as f64 / distinct as f64 },
+            measured_aliasing: if stream_detected == 0 {
+                0.0
+            } else {
+                aliased as f64 / stream_detected as f64
+            },
+            analytic_aliasing_bound: collector.aliasing_bound(),
+        };
+        Ok(FaultDictionary {
+            geom,
+            program: program.clone(),
+            collector,
+            faults: universe.faults().to_vec(),
+            observations,
+            buckets,
+            stats,
+        })
+    }
+
+    /// Geometry the dictionary was built for.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// The diagnostic program the signatures were collected under — the
+    /// program a tester must run for [`FaultDictionary::candidates`]
+    /// lookups to be meaningful.
+    pub fn program(&self) -> &TestProgram {
+        &self.program
+    }
+
+    /// The signature collector the dictionary was built with (same MISR
+    /// polynomial, same reference) — what a [`crate::Localizer`] uses to
+    /// compact an observed run before looking it up.
+    pub fn collector(&self) -> &SignatureCollector {
+        &self.collector
+    }
+
+    /// The fault-free reference signature.
+    pub fn reference(&self) -> u64 {
+        self.collector.reference()
+    }
+
+    /// The simulated fault instances, in universe order.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// Per-fault observation (signature + execution summary), in universe
+    /// order.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Candidate fault indices for a failing `signature` (empty for the
+    /// reference signature or one no simulated fault produced).
+    pub fn candidates(&self, signature: u64) -> &[usize] {
+        self.buckets.get(&signature).map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidate faults for a failing `signature`, resolved.
+    pub fn candidate_faults(&self, signature: u64) -> Vec<FaultKind> {
+        self.candidates(signature).iter().map(|&i| self.faults[i].clone()).collect()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &DictionaryStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prt_march::{library, Executor};
+    use prt_ram::{Ram, UniverseSpec};
+
+    fn poly8() -> Poly2 {
+        Poly2::from_bits(0b1_0001_1011)
+    }
+
+    fn build(n: usize) -> (FaultUniverse, FaultDictionary) {
+        let geom = Geometry::bom(n);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let dict = FaultDictionary::build(&universe, &program, poly8(), Parallelism::Auto).unwrap();
+        (universe, dict)
+    }
+
+    #[test]
+    fn round_trip_contains_the_injected_fault() {
+        // Inject → observe signature → look up: the candidate set must
+        // contain the injected fault, for EVERY stream-detected fault.
+        let (universe, dict) = build(8);
+        let collector = SignatureCollector::new(dict.program(), poly8()).unwrap();
+        for (i, fault) in universe.faults().iter().enumerate() {
+            let mut ram = Ram::new(universe.geometry());
+            ram.inject(fault.clone()).unwrap();
+            let obs = collector.collect(dict.program(), &mut ram).unwrap();
+            if obs.stream_differs() && obs.signature != dict.reference() {
+                assert!(
+                    dict.candidates(obs.signature).contains(&i),
+                    "{fault} missing from its own signature bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (universe, dict) = build(8);
+        let s = dict.stats();
+        assert_eq!(s.universe, universe.len());
+        assert_eq!(s.stream_detected + s.escaped, s.universe);
+        assert!(s.aliased <= s.stream_detected);
+        assert!(s.distinct_signatures > 0);
+        assert!(s.max_candidates >= 1);
+        assert!(s.mean_candidates >= 1.0);
+        // Measured aliasing must be consistent with the analytic 2^-w
+        // bound: structured single-fault error streams do no worse than
+        // random ones on a maximal-length register.
+        assert!(
+            s.measured_aliasing <= s.analytic_aliasing_bound,
+            "measured {} vs bound {}",
+            s.measured_aliasing,
+            s.analytic_aliasing_bound
+        );
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let geom = Geometry::bom(8);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let a =
+            FaultDictionary::build(&universe, &program, poly8(), Parallelism::Sequential).unwrap();
+        let b =
+            FaultDictionary::build(&universe, &program, poly8(), Parallelism::Threads(4)).unwrap();
+        assert_eq!(a.observations(), b.observations());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "geometries differ")]
+    fn geometry_mismatch_is_loud() {
+        let universe = FaultUniverse::enumerate(Geometry::bom(8), &UniverseSpec::single_cell());
+        let program = Executor::new().compile(&library::march_diag(), Geometry::bom(4));
+        let _ = FaultDictionary::build(&universe, &program, poly8(), Parallelism::Auto);
+    }
+}

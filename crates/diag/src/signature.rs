@@ -1,0 +1,190 @@
+//! Response compaction: MISR signatures of compiled-program runs.
+//!
+//! A production BIST does not ship a per-read comparator trace to the
+//! tester — it compacts the response stream into a `w`-bit [`Misr`]
+//! signature and compares *once*. This module is that compaction path for
+//! any compiled [`TestProgram`]: the interpreter's checked-read
+//! observations ([`TestProgram::execute_observed`]) feed the register, and
+//! the fault-free **reference signature** comes straight from the
+//! program's baked-in expectations ([`TestProgram::expected_responses`]) —
+//! computed once at configuration time, no golden device run needed.
+
+use crate::DiagError;
+use prt_gf::Poly2;
+use prt_lfsr::Misr;
+use prt_ram::{Execution, Ram, RamError, TestProgram};
+
+/// One observed run: the compacted signature plus the full channel counts
+/// of the execution that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The compacted MISR signature of the checked-read response stream.
+    pub signature: u64,
+    /// The execution summary (mismatch counts, ops, cycles).
+    pub exec: Execution,
+}
+
+impl Observation {
+    /// `true` when the raw response stream differed from the fault-free
+    /// one (some checked read mismatched) — detection at *comparator*
+    /// resolution, before compaction.
+    pub fn stream_differs(&self) -> bool {
+        self.exec.detected()
+    }
+}
+
+/// Compacts every checked-read response of one compiled program through a
+/// MISR, with the fault-free reference signature precomputed from the
+/// program's expectations.
+///
+/// # Example
+///
+/// ```
+/// use prt_diag::SignatureCollector;
+/// use prt_gf::Poly2;
+/// use prt_march::{library, Executor};
+/// use prt_ram::{FaultKind, Geometry, Ram};
+///
+/// let geom = Geometry::bom(16);
+/// let program = Executor::new().compile(&library::march_diag(), geom);
+/// let collector = SignatureCollector::new(&program, Poly2::from_bits(0b1_0001_1011))?;
+///
+/// let mut good = Ram::new(geom);
+/// assert_eq!(collector.collect(&program, &mut good)?.signature, collector.reference());
+///
+/// let mut bad = Ram::new(geom);
+/// bad.inject(FaultKind::StuckAt { cell: 9, bit: 0, value: 1 })?;
+/// assert_ne!(collector.collect(&program, &mut bad)?.signature, collector.reference());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignatureCollector {
+    poly: Poly2,
+    width: u32,
+    responses: u64,
+    reference: u64,
+}
+
+impl SignatureCollector {
+    /// Builds a collector for `program` over the MISR polynomial `poly`:
+    /// the reference signature is the compaction of
+    /// [`TestProgram::expected_responses`].
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Lfsr`] for a degenerate polynomial.
+    pub fn new(program: &TestProgram, poly: Poly2) -> Result<SignatureCollector, DiagError> {
+        let mut reference = Misr::new(poly)?;
+        for expect in program.expected_responses() {
+            reference.absorb(expect);
+        }
+        Ok(SignatureCollector {
+            poly,
+            width: reference.width(),
+            responses: reference.absorbed(),
+            reference: reference.signature(),
+        })
+    }
+
+    /// Register width `w`.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Checked-read responses one run absorbs.
+    pub fn responses(&self) -> u64 {
+        self.responses
+    }
+
+    /// The fault-free reference signature.
+    pub fn reference(&self) -> u64 {
+        self.reference
+    }
+
+    /// The analytic aliasing bound `2⁻ʷ` — the probability a *random*
+    /// error stream compacts to the reference ([`Misr::aliasing_probability`]).
+    /// [`crate::FaultDictionary`] measures the actual rate over a fault
+    /// universe against this bound.
+    pub fn aliasing_bound(&self) -> f64 {
+        (0.5f64).powi(self.width as i32)
+    }
+
+    /// Compacts an already-recorded response stream (e.g. one collected by
+    /// a [`crate::Localizer`] probe) into its signature.
+    pub fn compact(&self, stream: impl IntoIterator<Item = u64>) -> u64 {
+        let mut misr = Misr::new(self.poly).expect("polynomial validated at construction");
+        for v in stream {
+            misr.absorb(v);
+        }
+        misr.signature()
+    }
+
+    /// Runs `program` on `ram` (no early exit, so the stream length is
+    /// response-independent) and compacts the observed checked reads.
+    ///
+    /// # Errors
+    ///
+    /// Device errors from [`TestProgram::execute_observed`] (geometry
+    /// mismatch, multi-port conflicts) — campaign builders map them to the
+    /// escape convention.
+    pub fn collect(&self, program: &TestProgram, ram: &mut Ram) -> Result<Observation, RamError> {
+        let mut misr = Misr::new(self.poly).expect("polynomial validated at construction");
+        let exec = program.execute_observed(ram, false, None, &mut |v| misr.absorb(v))?;
+        Ok(Observation { signature: misr.signature(), exec })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prt_march::{library, Executor};
+    use prt_ram::{FaultKind, Geometry};
+
+    fn poly8() -> Poly2 {
+        Poly2::from_bits(0b1_0001_1011)
+    }
+
+    #[test]
+    fn reference_equals_fault_free_collection() {
+        for bg in [0u64, 1] {
+            let geom = Geometry::bom(12);
+            let program = Executor::new().with_background(bg).compile(&library::march_diag(), geom);
+            let c = SignatureCollector::new(&program, poly8()).unwrap();
+            let mut ram = Ram::new(geom);
+            let obs = c.collect(&program, &mut ram).unwrap();
+            assert!(!obs.stream_differs());
+            assert_eq!(obs.signature, c.reference(), "bg={bg}");
+            assert_eq!(c.responses(), 9 * 12, "March C-D has 9 reads per cell");
+        }
+    }
+
+    #[test]
+    fn faults_perturb_the_signature() {
+        let geom = Geometry::bom(12);
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let c = SignatureCollector::new(&program, poly8()).unwrap();
+        for cell in 0..12 {
+            let mut ram = Ram::new(geom);
+            ram.inject(FaultKind::StuckAt { cell, bit: 0, value: 1 }).unwrap();
+            let obs = c.collect(&program, &mut ram).unwrap();
+            assert!(obs.stream_differs());
+            assert_ne!(obs.signature, c.reference(), "SA1@{cell} aliased");
+        }
+    }
+
+    #[test]
+    fn aliasing_bound_follows_width() {
+        let geom = Geometry::bom(4);
+        let program = Executor::new().compile(&library::mats_plus(), geom);
+        let c = SignatureCollector::new(&program, poly8()).unwrap();
+        assert_eq!(c.width(), 8);
+        assert!((c.aliasing_bound() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_polynomial_rejected() {
+        let geom = Geometry::bom(4);
+        let program = Executor::new().compile(&library::mats(), geom);
+        assert!(matches!(SignatureCollector::new(&program, Poly2::ONE), Err(DiagError::Lfsr(_))));
+    }
+}

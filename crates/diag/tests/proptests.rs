@@ -1,0 +1,75 @@
+//! Property-based tests for the diagnosis subsystem.
+
+use proptest::prelude::*;
+use prt_diag::{FaultDictionary, SignatureCollector};
+use prt_gf::Poly2;
+use prt_march::{library, Executor};
+use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram, UniverseSpec};
+use prt_sim::Parallelism;
+
+fn poly8() -> Poly2 {
+    Poly2::from_bits(0b1_0001_1011)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The MISR signature of a fault-free run is deterministic: it equals
+    /// the compile-time reference for every data background, on a fresh
+    /// device and on a recycled pool device alike (dirty store, injected
+    /// then ejected fault, arbitrary reset background in between).
+    #[test]
+    fn fault_free_signature_deterministic_across_backgrounds_and_reuse(
+        bg in 0u64..16,
+        dirty in 0u64..16,
+        n in 4usize..24,
+    ) {
+        let geom = Geometry::wom(n, 4).unwrap();
+        let program = Executor::new().with_background(bg).compile(&library::march_diag(), geom);
+        let c = SignatureCollector::new(&program, poly8()).unwrap();
+
+        let mut fresh = Ram::new(geom);
+        let first = c.collect(&program, &mut fresh).unwrap();
+        prop_assert!(!first.stream_differs());
+        prop_assert_eq!(first.signature, c.reference());
+
+        // Pool recycling: fault a device, run it, heal and reset — the
+        // signature must come back to the reference exactly.
+        let mut pooled = Ram::new(geom);
+        pooled.inject(FaultKind::StuckAt { cell: n - 1, bit: 2, value: 1 }).unwrap();
+        let faulty = c.collect(&program, &mut pooled).unwrap();
+        prop_assert!(faulty.stream_differs());
+        pooled.eject_faults();
+        pooled.reset_to(dirty);
+        let recycled = c.collect(&program, &mut pooled).unwrap();
+        prop_assert!(!recycled.stream_differs());
+        prop_assert_eq!(recycled.signature, c.reference());
+    }
+
+    /// Dictionary round-trip: inject any universe fault, compact its run,
+    /// look the signature up — the candidate set always contains the
+    /// injected fault (when the signature fails at all).
+    #[test]
+    fn dictionary_round_trip_contains_injected_fault(pick in 0usize..1_000_000, n in 4usize..10) {
+        let geom = Geometry::bom(n);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let dict =
+            FaultDictionary::build(&universe, &program, poly8(), Parallelism::Sequential).unwrap();
+        let i = pick % universe.len();
+        let mut ram = Ram::new(geom);
+        ram.inject(universe.faults()[i].clone()).unwrap();
+        let obs = dict.collector().collect(dict.program(), &mut ram).unwrap();
+        if obs.signature != dict.reference() {
+            prop_assert!(
+                dict.candidates(obs.signature).contains(&i),
+                "{} missing from its signature bucket",
+                universe.faults()[i]
+            );
+        } else {
+            // Reference signature: either a true escape, or (measurably
+            // rare) aliasing — never a bucketed fault.
+            prop_assert!(dict.candidates(obs.signature).is_empty());
+        }
+    }
+}

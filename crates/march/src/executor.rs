@@ -144,11 +144,45 @@ impl Executor {
     /// [`Executor::run`] and is verdict- and op-count-identical to it
     /// (property-tested); campaigns reuse it across all trials.
     pub fn compile(&self, test: &MarchTest, geom: Geometry) -> TestProgram {
+        self.compile_gated(test, geom, None)
+    }
+
+    /// Compiles `test` with the **check window** restricted to `window`
+    /// (see [`prt_ram::ProgramBuilder::with_window`]): every write and
+    /// every read is still issued over the full address range — the
+    /// operation stream is identical to [`Executor::compile`]'s — but
+    /// reads of out-of-window addresses carry no comparison. This models
+    /// address-range gating of the BIST comparator, and is the probe
+    /// primitive of diagnostic bisection: a fault observable on the full
+    /// range stays observable on at least one half, because only the
+    /// *observation* is windowed, never the fault-activating accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or one exceeding the geometry.
+    pub fn compile_window(
+        &self,
+        test: &MarchTest,
+        geom: Geometry,
+        window: std::ops::Range<usize>,
+    ) -> TestProgram {
+        self.compile_gated(test, geom, Some(window))
+    }
+
+    fn compile_gated(
+        &self,
+        test: &MarchTest,
+        geom: Geometry,
+        window: Option<std::ops::Range<usize>>,
+    ) -> TestProgram {
         let n = geom.cells();
         let mask = geom.data_mask();
         let bg = self.background & mask;
         let mut b =
             ProgramBuilder::new(geom).with_name(test.name()).with_background(self.background);
+        if let Some(w) = window {
+            b = b.with_name(format!("{} [{}..{})", test.name(), w.start, w.end)).with_window(w);
+        }
         for (ei, element) in test.elements().iter().enumerate() {
             b.mark(ei as u32);
             let addrs: Box<dyn Iterator<Item = usize>> = match element.order {
@@ -159,7 +193,7 @@ impl Executor {
                 for op in &element.ops {
                     match *op {
                         Op::Write(d) => b.write(addr, d.expand(bg, mask)),
-                        Op::Read(d) => b.read_expect(addr, d.expand(bg, mask)),
+                        Op::Read(d) => b.read_checked(addr, d.expand(bg, mask)),
                     }
                 }
             }
@@ -338,6 +372,36 @@ mod tests {
         let o = ex.run_compiled(&prog, &mut ram);
         let m = o.mismatch().expect("detected");
         assert_eq!((m.element, m.addr, m.expected, m.got), (2, 5, 1, 0));
+    }
+
+    #[test]
+    fn windowed_compile_gates_checks_only() {
+        let geom = Geometry::bom(16);
+        let ex = Executor::new();
+        let t = library::march_c_minus();
+        let full = ex.compile(&t, geom);
+        let lo = ex.compile_window(&t, geom, 0..8);
+        let hi = ex.compile_window(&t, geom, 8..16);
+        assert_eq!(lo.window(), Some(0..8));
+        // Window-invariant op stream: same op count everywhere.
+        for prog in [&full, &lo, &hi] {
+            let mut ram = Ram::new(geom);
+            let exec = prog.execute(&mut ram, false, None).unwrap();
+            assert!(!exec.detected(), "{}", prog.name());
+            assert_eq!(exec.ops, t.total_ops(16), "{}", prog.name());
+        }
+        // A fault is observable exactly in the window holding its victim —
+        // the soundness invariant diagnostic bisection rests on.
+        for cell in 0..16 {
+            let probe = |prog: &prt_ram::TestProgram| {
+                let mut ram = Ram::new(geom);
+                ram.inject(FaultKind::StuckAt { cell, bit: 0, value: 1 }).unwrap();
+                prog.detect(&mut ram)
+            };
+            assert!(probe(&full), "cell {cell}");
+            assert_eq!(probe(&lo), cell < 8, "cell {cell}");
+            assert_eq!(probe(&hi), cell >= 8, "cell {cell}");
+        }
     }
 
     #[test]

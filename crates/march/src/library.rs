@@ -1,8 +1,9 @@
 //! The classic March test library.
 //!
-//! Twelve algorithms spanning the complexity/coverage trade-off from MATS
-//! (4n) to March SS (22n). Complexities and element sequences follow van de
-//! Goor, *Testing Semiconductor Memories* (the paper's reference \[1\]) and
+//! Thirteen algorithms spanning the complexity/coverage trade-off from
+//! MATS (4n) to March SS (22n), plus the diagnosis-oriented
+//! [`march_diag`]. Complexities and element sequences follow van de Goor,
+//! *Testing Semiconductor Memories* (the paper's reference \[1\]) and
 //! Hamdioui et al. for March SS. The *measured* coverage of each test on
 //! this workspace's fault simulator is reported by experiment E10 — that
 //! table is the validation that simulator and literature agree.
@@ -81,6 +82,19 @@ pub fn march_ss() -> MarchTest {
     )
 }
 
+/// March C-D, 14n: the **diagnostic** March C- variant — every
+/// transition write is followed by an immediate read-back. Detection
+/// coverage equals March C-'s; what the extra reads buy is *syndrome
+/// resolution*: the observed response stream separates fault instances
+/// that March C- lumps together (a transition fault fails its
+/// read-after-write in the element that wrote it, a state coupling fails
+/// at the victim while the aggressor holds the trigger state, …), which
+/// is what fault-dictionary diagnosis compacts into per-fault MISR
+/// signatures (`prt-diag`).
+pub fn march_diag() -> MarchTest {
+    must("March C-D", "{c(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0); c(r0)}")
+}
+
 /// All library tests, shortest first.
 pub fn all() -> Vec<MarchTest> {
     vec![
@@ -92,6 +106,7 @@ pub fn all() -> Vec<MarchTest> {
         march_c_minus(),
         march_c(),
         pmovi(),
+        march_diag(),
         march_lr(),
         march_a(),
         march_b(),
@@ -114,6 +129,7 @@ mod tests {
             ("March C-", 10),
             ("March C", 11),
             ("PMOVI", 13),
+            ("March C-D", 14),
             ("March LR", 14),
             ("March A", 15),
             ("March B", 17),

@@ -55,7 +55,7 @@ pub use error::RamError;
 pub use fault::{CouplingTrigger, FaultBank, FaultKind};
 pub use geometry::Geometry;
 pub use memory::{MemoryDevice, PortOp, Ram, ReadWired, MAX_PORTS};
-pub use prog::{Execution, MemOp, OpMismatch, ProgramBuilder, SlotOp, TestProgram};
+pub use prog::{Execution, MemOp, OpMismatch, ProgramBuilder, SlotOp, TestProgram, ACC_LANES};
 pub use rng::SplitMix64;
 pub use stats::AccessStats;
 pub use topology::{Layout, Scrambler};

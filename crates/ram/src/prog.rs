@@ -17,11 +17,12 @@
 //!
 //! # Execution model
 //!
-//! The interpreter owns a single `u64` *accumulator*. Data-dependent tests
-//! (the π-wave, whose writes combine previous **actual** read values so
-//! that errors propagate to the signature) compile to
-//! [`MemOp::AccSet`] / [`MemOp::ReadAcc`] / [`MemOp::WriteAcc`]: each
-//! `ReadAcc` XORs a linear image of the value read into the accumulator.
+//! The interpreter owns [`ACC_LANES`] `u64` *accumulator lanes* (one per
+//! concurrently running automaton — the quad-port multi-LFSR scheme drives
+//! two). Data-dependent tests (the π-wave, whose writes combine previous
+//! **actual** read values so that errors propagate to the signature)
+//! compile to [`MemOp::AccSet`] / [`MemOp::ReadAcc`] / [`MemOp::WriteAcc`]:
+//! each `ReadAcc` XORs a linear image of the value read into its lane.
 //! Multiplication by a constant `c` in GF(2^m) is GF(2)-linear in its
 //! operand, so `c·v` is exactly the XOR of per-bit masks `c·z^j` over the
 //! set bits `j` of `v` — the interpreter needs **no field arithmetic**,
@@ -37,13 +38,21 @@
 //! * [`MemOp::ReadStale`] — stale channel (pre-read mode's check of the
 //!   previous iteration's leftovers).
 //!
-//! # Dual-port slots
+//! Every checked read is also a **response observation**: the diagnosis
+//! layer (`prt-diag`) taps the observed stream through
+//! [`TestProgram::execute_observed`] and compacts it into a MISR
+//! signature, with the fault-free reference stream available without a
+//! device from [`TestProgram::expected_responses`].
 //!
-//! [`MemOp::Cycle2`] issues two [`SlotOp`]s in **one** device cycle via
-//! [`Ram::cycle_ref`]. Reads observe the pre-cycle state and writes commit
-//! after all reads (the device contract), which is what makes the
-//! dual-port *pre-read* transformation free: a stale check and the wave
-//! write of the same cell fuse into a single cycle.
+//! # Multi-port slots
+//!
+//! [`MemOp::CycleN`] issues up to [`MAX_PORTS`] [`SlotOp`]s in **one**
+//! device cycle via [`Ram::cycle_ref`] (slot position = port index, so
+//! idle slots keep the port assignment of the source schedule). Reads
+//! observe the pre-cycle state and writes commit after all reads (the
+//! device contract), which is what makes the dual-port *pre-read*
+//! transformation free: a stale check and the wave write of the same cell
+//! fuse into a single cycle.
 //!
 //! # Example
 //!
@@ -65,24 +74,32 @@
 //! # Ok::<(), prt_ram::RamError>(())
 //! ```
 
-use crate::{Geometry, PortOp, Ram, RamError};
+use crate::{Geometry, PortOp, Ram, RamError, MAX_PORTS};
+use std::ops::Range;
 
-/// One operation of a port slot inside a [`MemOp::Cycle2`].
+/// Number of independent accumulator lanes the interpreter provides (one
+/// per concurrently running automaton; the §4 multi-LFSR quad-port scheme
+/// uses two).
+pub const ACC_LANES: usize = 4;
+
+/// One operation of a port slot inside a [`MemOp::CycleN`].
 ///
 /// Slot reads observe the pre-cycle memory state; slot writes commit after
-/// every read of the same cycle. A [`SlotOp::WriteAcc`] uses the
-/// accumulator value from *before* the cycle (its reads have not been
-/// folded in yet) — schedule accumulator reads in an earlier cycle.
+/// every read of the same cycle. A [`SlotOp::WriteAcc`] uses the lane
+/// value from *before* the cycle (its reads have not been folded in
+/// yet) — schedule accumulator reads in an earlier cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SlotOp {
     /// The port stays idle this cycle.
     Idle,
-    /// Read and XOR the mapped value into the accumulator.
+    /// Read and XOR the mapped value into an accumulator lane.
     ReadAcc {
         /// Address to read.
         addr: u32,
         /// Index into the program's linear-map table.
         map: u16,
+        /// Accumulator lane.
+        lane: u8,
     },
     /// Read and compare on the verdict channel.
     ReadExpect {
@@ -112,10 +129,12 @@ pub enum SlotOp {
         /// Data word.
         data: u64,
     },
-    /// Write the accumulator (value as of the start of this cycle).
+    /// Write an accumulator lane (value as of the start of this cycle).
     WriteAcc {
         /// Address to write.
         addr: u32,
+        /// Accumulator lane.
+        lane: u8,
     },
 }
 
@@ -155,38 +174,46 @@ pub enum MemOp {
         expect: u64,
     },
     /// Read and discard (keeps the op-count structure of schedules whose
-    /// hardware senses a whole operand window).
+    /// hardware senses a whole operand window, and of windowed diagnosis
+    /// programs whose comparator is gated off outside the window).
     ReadAny {
         /// Address to read.
         addr: u32,
     },
-    /// Load the accumulator with an immediate (a π-iteration's affine
+    /// Load an accumulator lane with an immediate (a π-iteration's affine
     /// term, or 0).
     AccSet {
-        /// New accumulator value.
+        /// Accumulator lane.
+        lane: u8,
+        /// New lane value.
         value: u64,
     },
-    /// Read and XOR the mapped value into the accumulator:
-    /// `acc ^= map(value)` — the compiled form of `acc += c·value` over
-    /// GF(2^m).
+    /// Read and XOR the mapped value into an accumulator lane:
+    /// `acc[lane] ^= map(value)` — the compiled form of `acc += c·value`
+    /// over GF(2^m).
     ReadAcc {
         /// Address to read.
         addr: u32,
         /// Index into the program's linear-map table.
         map: u16,
+        /// Accumulator lane.
+        lane: u8,
     },
-    /// Write the accumulator.
+    /// Write an accumulator lane.
     WriteAcc {
         /// Address to write.
         addr: u32,
+        /// Accumulator lane.
+        lane: u8,
     },
-    /// One dual-port cycle: both slots issue simultaneously through
+    /// One multi-port cycle: `len` slots from the program's slot table
+    /// (slot position = port index) issue simultaneously through
     /// [`Ram::cycle_ref`].
-    Cycle2 {
-        /// Port-0 slot.
-        a: SlotOp,
-        /// Port-1 slot.
-        b: SlotOp,
+    CycleN {
+        /// First slot in the program's slot table.
+        start: u32,
+        /// Number of slots (1..=[`MAX_PORTS`]).
+        len: u8,
     },
 }
 
@@ -237,7 +264,10 @@ pub struct TestProgram {
     geom: Geometry,
     ports: usize,
     background: Option<u64>,
+    window: Option<(u32, u32)>,
     ops: Vec<MemOp>,
+    /// Slot table backing [`MemOp::CycleN`] ops.
+    slots: Vec<SlotOp>,
     /// `maps[m][j]` is the XOR contribution of input bit `j` under linear
     /// map `m` (for a GF(2^m) constant `c`: `c·z^j`).
     maps: Vec<Vec<u64>>,
@@ -258,8 +288,7 @@ impl TestProgram {
         self.geom
     }
 
-    /// Ports the program needs (1, or 2 when it contains
-    /// [`MemOp::Cycle2`]).
+    /// Ports the program needs (1, or the widest [`MemOp::CycleN`]).
     pub fn ports(&self) -> usize {
         self.ports
     }
@@ -272,9 +301,23 @@ impl TestProgram {
         self.background
     }
 
+    /// The check window this program was compiled with
+    /// ([`ProgramBuilder::with_window`]), if any: only
+    /// [`ProgramBuilder::read_checked`] reads of in-window addresses carry
+    /// a comparison; out-of-window reads were demoted to
+    /// [`MemOp::ReadAny`].
+    pub fn window(&self) -> Option<Range<usize>> {
+        self.window.map(|(lo, hi)| lo as usize..hi as usize)
+    }
+
     /// The compiled operations.
     pub fn ops(&self) -> &[MemOp] {
         &self.ops
+    }
+
+    /// The slot table backing [`MemOp::CycleN`] ops.
+    pub fn slots(&self) -> &[SlotOp] {
+        &self.slots
     }
 
     /// Number of [`MemOp::ReadCapture`] ops (capacity needed by the
@@ -297,15 +340,43 @@ impl TestProgram {
         }
     }
 
+    /// The fault-free response stream: the expected word of every checked
+    /// read ([`MemOp::ReadExpect`] / [`MemOp::ReadStale`] /
+    /// [`MemOp::ReadCapture`], scalar or slot) in execution order — the
+    /// exact sequence an observer passed to
+    /// [`TestProgram::execute_observed`] sees on a fault-free device
+    /// (asserted in tests). Signature collectors compact this once at
+    /// configuration time to obtain the reference signature without
+    /// touching a device.
+    pub fn expected_responses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ops.iter().flat_map(move |op| {
+            let (scalar, slots): (Option<u64>, &[SlotOp]) = match *op {
+                MemOp::ReadExpect { expect, .. }
+                | MemOp::ReadStale { expect, .. }
+                | MemOp::ReadCapture { expect, .. } => (Some(expect), &[]),
+                MemOp::CycleN { start, len } => {
+                    (None, &self.slots[start as usize..start as usize + len as usize])
+                }
+                _ => (None, &[]),
+            };
+            scalar.into_iter().chain(slots.iter().filter_map(|s| match *s {
+                SlotOp::ReadExpect { expect, .. }
+                | SlotOp::ReadStale { expect, .. }
+                | SlotOp::ReadCapture { expect, .. } => Some(expect),
+                _ => None,
+            }))
+        })
+    }
+
     /// Runs the program to the first failing read and reports whether the
     /// memory was flagged. Allocation-free (single-port programs touch the
-    /// heap nowhere; dual-port cycles go through the [`Ram::cycle_ref`]
+    /// heap nowhere; multi-port cycles go through the [`Ram::cycle_ref`]
     /// scratch); a device error (a geometry-mismatched device, or e.g. a
-    /// decoder-fault write conflict on a dual-port cycle) counts as *not
+    /// decoder-fault write conflict on a multi-port cycle) counts as *not
     /// detected*, mirroring the interpreted runners' error-as-escape
     /// convention.
     pub fn detect(&self, ram: &mut Ram) -> bool {
-        self.run(ram, true, None).map(|e| e.detected()).unwrap_or(false)
+        self.run(ram, true, None, None).map(|e| e.detected()).unwrap_or(false)
     }
 
     /// Runs the program and reports full channel counts. With
@@ -326,7 +397,29 @@ impl TestProgram {
         stop_at_first: bool,
         captures: Option<&mut Vec<u64>>,
     ) -> Result<Execution, RamError> {
-        self.run(ram, stop_at_first, captures)
+        self.run(ram, stop_at_first, captures, None)
+    }
+
+    /// [`TestProgram::execute`] with a response observer: `observer` is
+    /// called with the word returned by **every checked read**
+    /// (`ReadExpect` / `ReadStale` / `ReadCapture`, scalar or slot) in
+    /// execution order — the stream a hardware response compactor (MISR)
+    /// sees. On a fault-free device the observed stream equals
+    /// [`TestProgram::expected_responses`]; run with
+    /// `stop_at_first = false` so the stream length is
+    /// response-independent.
+    ///
+    /// # Errors
+    ///
+    /// As [`TestProgram::execute`].
+    pub fn execute_observed(
+        &self,
+        ram: &mut Ram,
+        stop_at_first: bool,
+        captures: Option<&mut Vec<u64>>,
+        observer: &mut dyn FnMut(u64),
+    ) -> Result<Execution, RamError> {
+        self.run(ram, stop_at_first, captures, Some(observer))
     }
 
     fn run(
@@ -334,6 +427,7 @@ impl TestProgram {
         ram: &mut Ram,
         stop_at_first: bool,
         captures: Option<&mut Vec<u64>>,
+        mut observer: Option<&mut dyn FnMut(u64)>,
     ) -> Result<Execution, RamError> {
         // A program's operands were validated against its own geometry at
         // build time — running it on a different device would panic inside
@@ -346,7 +440,7 @@ impl TestProgram {
             });
         }
         let before = ram.stats();
-        let mut acc = 0u64;
+        let mut acc = [0u64; ACC_LANES];
         let mut exec = Execution::default();
         let mut caps = captures;
         if let Some(c) = caps.as_deref_mut() {
@@ -357,17 +451,27 @@ impl TestProgram {
                 MemOp::Write { addr, data } => ram.write(addr as usize, data),
                 MemOp::ReadExpect { addr, expect } => {
                     let got = ram.read(addr as usize);
+                    if let Some(o) = observer.as_deref_mut() {
+                        o(got);
+                    }
                     if got != expect {
                         self.flag(&mut exec, idx, addr, expect, got);
                     }
                 }
                 MemOp::ReadStale { addr, expect } => {
-                    if ram.read(addr as usize) != expect {
+                    let got = ram.read(addr as usize);
+                    if let Some(o) = observer.as_deref_mut() {
+                        o(got);
+                    }
+                    if got != expect {
                         exec.stale_errors += 1;
                     }
                 }
                 MemOp::ReadCapture { addr, expect } => {
                     let got = ram.read(addr as usize);
+                    if let Some(o) = observer.as_deref_mut() {
+                        o(got);
+                    }
                     if let Some(c) = caps.as_deref_mut() {
                         c.push(got);
                     }
@@ -378,19 +482,32 @@ impl TestProgram {
                 MemOp::ReadAny { addr } => {
                     let _ = ram.read(addr as usize);
                 }
-                MemOp::AccSet { value } => acc = value,
-                MemOp::ReadAcc { addr, map } => {
+                MemOp::AccSet { lane, value } => acc[lane as usize] = value,
+                MemOp::ReadAcc { addr, map, lane } => {
                     let v = ram.read(addr as usize);
-                    acc ^= apply_map(&self.maps[map as usize], v);
+                    acc[lane as usize] ^= apply_map(&self.maps[map as usize], v);
                 }
-                MemOp::WriteAcc { addr } => ram.write(addr as usize, acc),
-                MemOp::Cycle2 { a, b } => {
-                    let port_ops = [self.slot_port_op(a, acc), self.slot_port_op(b, acc)];
-                    // Copy both results out before the next borrow of `ram`.
-                    let res = ram.cycle_ref(&port_ops)?;
-                    let got = [res[0], res[1]];
-                    for (slot, got) in [a, b].into_iter().zip(got) {
-                        self.apply_slot(slot, got, &mut acc, &mut exec, idx, &mut caps);
+                MemOp::WriteAcc { addr, lane } => ram.write(addr as usize, acc[lane as usize]),
+                MemOp::CycleN { start, len } => {
+                    let slots = &self.slots[start as usize..start as usize + len as usize];
+                    let mut port_ops = [PortOp::Idle; MAX_PORTS];
+                    for (p, &slot) in slots.iter().enumerate() {
+                        port_ops[p] = self.slot_port_op(slot, &acc);
+                    }
+                    // Copy the results out before the next borrow of `ram`.
+                    let res = ram.cycle_ref(&port_ops[..slots.len()])?;
+                    let mut got = [None; MAX_PORTS];
+                    got[..slots.len()].copy_from_slice(res);
+                    for (&slot, got) in slots.iter().zip(got) {
+                        self.apply_slot(
+                            slot,
+                            got,
+                            &mut acc,
+                            &mut exec,
+                            idx,
+                            &mut caps,
+                            &mut observer,
+                        );
                     }
                 }
             }
@@ -412,7 +529,7 @@ impl TestProgram {
         }
     }
 
-    fn slot_port_op(&self, slot: SlotOp, acc: u64) -> PortOp {
+    fn slot_port_op(&self, slot: SlotOp, acc: &[u64; ACC_LANES]) -> PortOp {
         match slot {
             SlotOp::Idle => PortOp::Idle,
             SlotOp::ReadAcc { addr, .. }
@@ -420,38 +537,52 @@ impl TestProgram {
             | SlotOp::ReadStale { addr, .. }
             | SlotOp::ReadCapture { addr, .. } => PortOp::Read { addr: addr as usize },
             SlotOp::Write { addr, data } => PortOp::Write { addr: addr as usize, data },
-            SlotOp::WriteAcc { addr } => PortOp::Write { addr: addr as usize, data: acc },
+            SlotOp::WriteAcc { addr, lane } => {
+                PortOp::Write { addr: addr as usize, data: acc[lane as usize] }
+            }
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // interpreter internals, one call site
     fn apply_slot(
         &self,
         slot: SlotOp,
         got: Option<u64>,
-        acc: &mut u64,
+        acc: &mut [u64; ACC_LANES],
         exec: &mut Execution,
         idx: usize,
         caps: &mut Option<&mut Vec<u64>>,
+        observer: &mut Option<&mut dyn FnMut(u64)>,
     ) {
         match slot {
             SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
-            SlotOp::ReadAcc { map, .. } => {
+            SlotOp::ReadAcc { map, lane, .. } => {
                 let v = got.expect("read slot produced a value");
-                *acc ^= apply_map(&self.maps[map as usize], v);
+                acc[lane as usize] ^= apply_map(&self.maps[map as usize], v);
             }
             SlotOp::ReadExpect { addr, expect } => {
                 let v = got.expect("read slot produced a value");
+                if let Some(o) = observer.as_deref_mut() {
+                    o(v);
+                }
                 if v != expect {
                     self.flag(exec, idx, addr, expect, v);
                 }
             }
             SlotOp::ReadStale { expect, .. } => {
-                if got.expect("read slot produced a value") != expect {
+                let v = got.expect("read slot produced a value");
+                if let Some(o) = observer.as_deref_mut() {
+                    o(v);
+                }
+                if v != expect {
                     exec.stale_errors += 1;
                 }
             }
             SlotOp::ReadCapture { addr, expect } => {
                 let v = got.expect("read slot produced a value");
+                if let Some(o) = observer.as_deref_mut() {
+                    o(v);
+                }
                 if let Some(c) = caps.as_deref_mut() {
                     c.push(v);
                 }
@@ -489,7 +620,9 @@ pub struct ProgramBuilder {
     geom: Geometry,
     ports: usize,
     background: Option<u64>,
+    window: Option<(u32, u32)>,
     ops: Vec<MemOp>,
+    slots: Vec<SlotOp>,
     maps: Vec<Vec<u64>>,
     marks: Vec<(usize, u32)>,
     captures: usize,
@@ -503,7 +636,9 @@ impl ProgramBuilder {
             geom,
             ports: 1,
             background: None,
+            window: None,
             ops: Vec::new(),
+            slots: Vec::new(),
             maps: Vec::new(),
             marks: Vec::new(),
             captures: 0,
@@ -520,6 +655,26 @@ impl ProgramBuilder {
     /// [`TestProgram::background`]).
     pub fn with_background(mut self, background: u64) -> ProgramBuilder {
         self.background = Some(background);
+        self
+    }
+
+    /// Restricts the **check window** to `window`:
+    /// [`ProgramBuilder::read_checked`] emits a verdict-channel
+    /// [`MemOp::ReadExpect`] for in-window addresses and an unchecked
+    /// [`MemOp::ReadAny`] otherwise. The operation stream — every read and
+    /// write actually issued — is therefore *window-invariant*: only the
+    /// comparator is gated, which is what makes windowed diagnosis
+    /// bisection sound (a fault observable on the full window is
+    /// observable on at least one half). Models address-range gating of a
+    /// BIST comparator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or one that exceeds the geometry.
+    pub fn with_window(mut self, window: Range<usize>) -> ProgramBuilder {
+        assert!(window.start < window.end, "empty check window");
+        assert!(window.end <= self.geom.cells(), "check window exceeds the geometry");
+        self.window = Some((window.start as u32, window.end as u32));
         self
     }
 
@@ -570,6 +725,19 @@ impl ProgramBuilder {
         self.ops.push(MemOp::ReadExpect { addr: addr as u32, expect });
     }
 
+    /// Pushes a verdict-channel checked read when `addr` lies inside the
+    /// check window ([`ProgramBuilder::with_window`]), an unchecked read
+    /// otherwise. Without a window this is [`ProgramBuilder::read_expect`].
+    pub fn read_checked(&mut self, addr: usize, expect: u64) {
+        let in_window =
+            self.window.is_none_or(|(lo, hi)| (lo as usize..hi as usize).contains(&addr));
+        if in_window {
+            self.read_expect(addr, expect);
+        } else {
+            self.read_any(addr);
+        }
+    }
+
     /// Pushes a stale-channel checked read (pre-read mode).
     pub fn read_stale(&mut self, addr: usize, expect: u64) {
         self.check(addr, Some(expect));
@@ -589,37 +757,78 @@ impl ProgramBuilder {
         self.ops.push(MemOp::ReadAny { addr: addr as u32 });
     }
 
-    /// Pushes an accumulator load.
+    /// Pushes a lane-0 accumulator load.
     pub fn acc_set(&mut self, value: u64) {
-        assert!(value <= self.geom.data_mask(), "accumulator load exceeds the cell width");
-        self.ops.push(MemOp::AccSet { value });
+        self.acc_set_in(0, value);
     }
 
-    /// Pushes an accumulating read through map `map`.
+    /// Pushes an accumulator load into `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range lane or an over-wide value.
+    pub fn acc_set_in(&mut self, lane: u8, value: u64) {
+        self.check_lane(lane);
+        assert!(value <= self.geom.data_mask(), "accumulator load exceeds the cell width");
+        self.ops.push(MemOp::AccSet { lane, value });
+    }
+
+    /// Pushes a lane-0 accumulating read through map `map`.
     ///
     /// # Panics
     ///
     /// Panics if `map` was not registered.
     pub fn read_acc(&mut self, addr: usize, map: u16) {
+        self.read_acc_in(0, addr, map);
+    }
+
+    /// Pushes an accumulating read into `lane` through map `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` was not registered or `lane` is out of range.
+    pub fn read_acc_in(&mut self, lane: u8, addr: usize, map: u16) {
         self.check(addr, None);
+        self.check_lane(lane);
         assert!((map as usize) < self.maps.len(), "unregistered map index");
-        self.ops.push(MemOp::ReadAcc { addr: addr as u32, map });
+        self.ops.push(MemOp::ReadAcc { addr: addr as u32, map, lane });
     }
 
-    /// Pushes an accumulator write.
+    /// Pushes a lane-0 accumulator write.
     pub fn write_acc(&mut self, addr: usize) {
-        self.check(addr, None);
-        self.ops.push(MemOp::WriteAcc { addr: addr as u32 });
+        self.write_acc_in(0, addr);
     }
 
-    /// Pushes one dual-port cycle; the program then needs a two-port
-    /// device.
-    pub fn cycle2(&mut self, a: SlotOp, b: SlotOp) {
-        for slot in [a, b] {
+    /// Pushes an accumulator write from `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range lane.
+    pub fn write_acc_in(&mut self, lane: u8, addr: usize) {
+        self.check(addr, None);
+        self.check_lane(lane);
+        self.ops.push(MemOp::WriteAcc { addr: addr as u32, lane });
+    }
+
+    /// Pushes one multi-port cycle of `slots.len()` port slots (slot
+    /// position = port index, so pad with [`SlotOp::Idle`] to address a
+    /// specific port); the program then needs at least that many ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero slots or more than [`MAX_PORTS`], and on any invalid
+    /// slot operand.
+    pub fn cyclen(&mut self, slots: &[SlotOp]) {
+        assert!(
+            !slots.is_empty() && slots.len() <= MAX_PORTS,
+            "a cycle carries 1..={MAX_PORTS} slots"
+        );
+        for &slot in slots {
             match slot {
                 SlotOp::Idle => {}
-                SlotOp::ReadAcc { addr, map } => {
+                SlotOp::ReadAcc { addr, map, lane } => {
                     self.check(addr as usize, None);
+                    self.check_lane(lane);
                     assert!((map as usize) < self.maps.len(), "unregistered map index");
                 }
                 SlotOp::ReadExpect { addr, expect }
@@ -628,14 +837,25 @@ impl ProgramBuilder {
                     self.check(addr as usize, Some(expect));
                 }
                 SlotOp::Write { addr, data } => self.check(addr as usize, Some(data)),
-                SlotOp::WriteAcc { addr } => self.check(addr as usize, None),
+                SlotOp::WriteAcc { addr, lane } => {
+                    self.check(addr as usize, None);
+                    self.check_lane(lane);
+                }
             }
             if let SlotOp::ReadCapture { .. } = slot {
                 self.captures += 1;
             }
         }
-        self.ports = 2;
-        self.ops.push(MemOp::Cycle2 { a, b });
+        self.ports = self.ports.max(slots.len());
+        let start = u32::try_from(self.slots.len()).expect("slot table fits u32");
+        self.slots.extend_from_slice(slots);
+        self.ops.push(MemOp::CycleN { start, len: slots.len() as u8 });
+    }
+
+    /// Pushes one dual-port cycle (sugar for a two-slot
+    /// [`ProgramBuilder::cyclen`]).
+    pub fn cycle2(&mut self, a: SlotOp, b: SlotOp) {
+        self.cyclen(&[a, b]);
     }
 
     /// Pushes a run of slot ops as dual-port cycles, two per cycle, the
@@ -656,7 +876,9 @@ impl ProgramBuilder {
             geom: self.geom,
             ports: self.ports,
             background: self.background,
+            window: self.window,
             ops: self.ops,
+            slots: self.slots,
             maps: self.maps,
             marks: self.marks,
             captures: self.captures,
@@ -669,6 +891,10 @@ impl ProgramBuilder {
         if let Some(d) = data {
             self.geom.check_data(d).expect("data fits cell width");
         }
+    }
+
+    fn check_lane(&self, lane: u8) {
+        assert!((lane as usize) < ACC_LANES, "accumulator lane out of range");
     }
 }
 
@@ -760,6 +986,39 @@ mod tests {
     }
 
     #[test]
+    fn accumulator_lanes_are_independent() {
+        // Two interleaved XOR waves over disjoint halves, one lane each —
+        // the quad-port compilation pattern in miniature (single-port).
+        let geom = Geometry::bom(12);
+        let mut b = ProgramBuilder::new(geom);
+        let id = b.identity_map();
+        for base in [0usize, 6] {
+            b.write(base, 0);
+            b.write(base + 1, 1);
+        }
+        for t in 0..4 {
+            for (lane, base) in [(0u8, 0usize), (1, 6)] {
+                b.acc_set_in(lane, 0);
+                b.read_acc_in(lane, base + t + 1, id);
+                b.read_acc_in(lane, base + t, id);
+            }
+            // Writes deliberately after BOTH lanes accumulated, to prove
+            // lane isolation.
+            for (lane, base) in [(0u8, 0usize), (1, 6)] {
+                b.write_acc_in(lane, base + t + 2);
+            }
+        }
+        let prog = b.build();
+        let mut ram = Ram::new(geom);
+        assert!(!prog.execute(&mut ram, false, None).unwrap().detected());
+        let expect = [0u64, 1, 1, 0, 1, 1];
+        for (c, &e) in expect.iter().enumerate() {
+            assert_eq!(ram.peek(c), e, "lo cell {c}");
+            assert_eq!(ram.peek(6 + c), e, "hi cell {c}");
+        }
+    }
+
+    #[test]
     fn linear_map_equals_field_multiplication() {
         // GF(2^4), p = 1 + z + z^4: mul-by-c as mask XOR must equal a
         // reference shift-and-add multiply for every (c, v).
@@ -835,7 +1094,39 @@ mod tests {
     }
 
     #[test]
-    fn dual_port_program_on_single_port_device_is_an_escape() {
+    fn quad_cycle_uses_port_positions() {
+        // A 4-slot cycle with idle padding on ports 1 and 3, as the
+        // multi-LFSR schedule issues; both lanes write in one cycle.
+        let geom = Geometry::bom(8);
+        let mut b = ProgramBuilder::new(geom);
+        b.acc_set_in(0, 1);
+        b.acc_set_in(1, 0);
+        b.cyclen(&[
+            SlotOp::WriteAcc { addr: 0, lane: 0 },
+            SlotOp::Idle,
+            SlotOp::WriteAcc { addr: 4, lane: 1 },
+            SlotOp::Idle,
+        ]);
+        b.cyclen(&[
+            SlotOp::ReadExpect { addr: 0, expect: 1 },
+            SlotOp::Idle,
+            SlotOp::ReadExpect { addr: 4, expect: 0 },
+            SlotOp::Idle,
+        ]);
+        let prog = b.build();
+        assert_eq!(prog.ports(), 4);
+        let mut ram = Ram::with_ports(geom, 4).unwrap();
+        let exec = prog.execute(&mut ram, false, None).unwrap();
+        assert!(!exec.detected());
+        assert_eq!(exec.cycles, 2);
+        assert_eq!(exec.ops, 4);
+        // A 2-port device cannot host it.
+        let mut narrow = Ram::with_ports(geom, 2).unwrap();
+        assert!(prog.execute(&mut narrow, false, None).is_err());
+    }
+
+    #[test]
+    fn multi_port_program_on_single_port_device_is_an_escape() {
         let geom = Geometry::bom(4);
         let mut b = ProgramBuilder::new(geom);
         b.cycle2(SlotOp::ReadExpect { addr: 0, expect: 1 }, SlotOp::Idle);
@@ -874,6 +1165,77 @@ mod tests {
     }
 
     #[test]
+    fn observer_sees_checked_reads_in_order() {
+        let geom = Geometry::bom(6);
+        let mut b = ProgramBuilder::new(geom);
+        b.write(0, 1);
+        b.write(1, 0);
+        b.read_expect(0, 1);
+        b.read_any(2); // unchecked: invisible to the observer
+        b.read_stale(1, 0);
+        b.cycle2(
+            SlotOp::ReadCapture { addr: 0, expect: 1 },
+            SlotOp::ReadExpect { addr: 1, expect: 0 },
+        );
+        let prog = b.build();
+        // Fault-free: observed stream equals the expected-response stream.
+        let expected: Vec<u64> = prog.expected_responses().collect();
+        assert_eq!(expected, vec![1, 0, 1, 0]);
+        let mut ram = Ram::with_ports(geom, 2).unwrap();
+        let mut seen = Vec::new();
+        let exec = prog.execute_observed(&mut ram, false, None, &mut |v| seen.push(v)).unwrap();
+        assert!(!exec.detected());
+        assert_eq!(seen, expected);
+        // Faulty: same stream length, different content.
+        let mut bad = Ram::with_ports(geom, 2).unwrap();
+        bad.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }).unwrap();
+        let mut seen = Vec::new();
+        let exec = prog.execute_observed(&mut bad, false, None, &mut |v| seen.push(v)).unwrap();
+        assert!(exec.detected());
+        assert_eq!(seen.len(), expected.len());
+        assert_ne!(seen, expected);
+    }
+
+    #[test]
+    fn check_window_gates_reads_but_not_the_op_stream() {
+        let geom = Geometry::bom(8);
+        let compile = |window: Option<Range<usize>>| {
+            let mut b = ProgramBuilder::new(geom);
+            if let Some(w) = window {
+                b = b.with_window(w);
+            }
+            for a in 0..8 {
+                b.write(a, 1);
+            }
+            for a in 0..8 {
+                b.read_checked(a, 1);
+            }
+            b.build()
+        };
+        let full = compile(None);
+        let lo = compile(Some(0..4));
+        let hi = compile(Some(4..8));
+        assert_eq!(full.window(), None);
+        assert_eq!(lo.window(), Some(0..4));
+        // Identical op stream on the device for every window.
+        for prog in [&full, &lo, &hi] {
+            let mut ram = Ram::new(geom);
+            let exec = prog.execute(&mut ram, false, None).unwrap();
+            assert_eq!(exec.ops, 16, "{}", prog.name());
+            assert!(!exec.detected());
+        }
+        // A fault at cell 6 is flagged by the full and hi windows only.
+        let run = |prog: &TestProgram| {
+            let mut ram = Ram::new(geom);
+            ram.inject(FaultKind::StuckAt { cell: 6, bit: 0, value: 0 }).unwrap();
+            prog.detect(&mut ram)
+        };
+        assert!(run(&full));
+        assert!(!run(&lo));
+        assert!(run(&hi));
+    }
+
+    #[test]
     #[should_panic(expected = "address in range")]
     fn builder_rejects_out_of_range_address() {
         ProgramBuilder::new(Geometry::bom(4)).write(4, 0);
@@ -883,5 +1245,23 @@ mod tests {
     #[should_panic(expected = "data fits cell width")]
     fn builder_rejects_wide_data() {
         ProgramBuilder::new(Geometry::bom(4)).write(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator lane out of range")]
+    fn builder_rejects_bad_lane() {
+        ProgramBuilder::new(Geometry::bom(4)).acc_set_in(ACC_LANES as u8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn builder_rejects_oversized_cycle() {
+        ProgramBuilder::new(Geometry::bom(4)).cyclen(&[SlotOp::Idle; MAX_PORTS + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "check window exceeds the geometry")]
+    fn builder_rejects_bad_window() {
+        let _ = ProgramBuilder::new(Geometry::bom(4)).with_window(0..5);
     }
 }

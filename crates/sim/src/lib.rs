@@ -63,7 +63,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram, TestProgram};
 
@@ -266,12 +267,8 @@ impl FaultRunner for &ProgramBank {
 /// Runs `count` independent trials against pooled memories and collects the
 /// per-trial verdicts in trial order.
 ///
-/// This is the engine's lowest-level primitive (Monte-Carlo campaigns use
-/// it directly; [`Campaign`] builds fault-universe sweeps on top). Each
-/// worker owns one `Ram`; before every trial the device is healed
-/// ([`Ram::eject_faults`]) and zero-reset ([`Ram::reset_to`]), so `trial`
-/// always observes a pristine memory and the steady state allocates
-/// nothing.
+/// This is the boolean specialisation of [`map_trials`] — see there for
+/// the pooling and scheduling contract.
 ///
 /// # Panics
 ///
@@ -286,6 +283,38 @@ pub fn run_trials<F>(
 where
     F: Fn(usize, &mut Ram) -> bool + Sync,
 {
+    map_trials(geom, ports, count, parallelism, trial)
+}
+
+/// Runs `count` independent trials against pooled memories and collects
+/// each trial's **result value** in trial order — the generic campaign
+/// mode that per-fault *measurements* (MISR signatures for fault
+/// dictionaries, observed response streams, per-trial statistics) build
+/// on, where [`run_trials`] only records a verdict bit.
+///
+/// This is the engine's lowest-level primitive (Monte-Carlo campaigns use
+/// it directly; [`Campaign`] builds fault-universe sweeps on top). Each
+/// worker owns one `Ram`; before every trial the device is healed
+/// ([`Ram::eject_faults`]) and zero-reset ([`Ram::reset_to`]), so `trial`
+/// always observes a pristine memory and the steady state allocates
+/// nothing beyond what `trial` itself allocates. Results land in
+/// write-once slots in trial order, so the output is deterministic and
+/// independent of the parallelism policy.
+///
+/// # Panics
+///
+/// Panics if `ports` is not a valid port count for [`Ram::with_ports`].
+pub fn map_trials<T, F>(
+    geom: Geometry,
+    ports: usize,
+    count: usize,
+    parallelism: Parallelism,
+    trial: F,
+) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize, &mut Ram) -> T + Sync,
+{
     let workers = parallelism.workers(count);
     if workers <= 1 {
         let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
@@ -297,7 +326,7 @@ where
             })
             .collect();
     }
-    let verdicts: Vec<AtomicBool> = (0..count).map(|_| AtomicBool::new(false)).collect();
+    let results: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
     std::thread::scope(|scope| {
@@ -310,17 +339,21 @@ where
                         break;
                     }
                     for (i, slot) in
-                        verdicts.iter().enumerate().take((start + chunk).min(count)).skip(start)
+                        results.iter().enumerate().take((start + chunk).min(count)).skip(start)
                     {
                         ram.eject_faults();
                         ram.reset_to(0);
-                        slot.store(trial(i, &mut ram), Ordering::Relaxed);
+                        // Chunks never overlap, so each slot is set once.
+                        let _ = slot.set(trial(i, &mut ram));
                     }
                 }
             });
         }
     });
-    verdicts.into_iter().map(AtomicBool::into_inner).collect()
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every trial index was dispatched"))
+        .collect()
 }
 
 /// A configured fault-simulation campaign: a fault set × a runner × data
@@ -659,6 +692,27 @@ mod tests {
         assert_eq!(sub.len(), escaped.len());
         assert!(!sub.is_empty());
         assert_eq!(sub.count_detected(), 0, "escapes must still escape");
+    }
+
+    #[test]
+    fn map_trials_collects_values_in_order() {
+        // The generic campaign mode: per-trial measurements, not just
+        // verdict bits — deterministic for any thread count.
+        let seq = map_trials(Geometry::bom(4), 1, 200, Parallelism::Sequential, |i, ram| {
+            ram.write(0, (i % 2) as u64);
+            ram.read(0) + 10 * i as u64
+        });
+        for threads in [2usize, 4, 7] {
+            let par =
+                map_trials(Geometry::bom(4), 1, 200, Parallelism::Threads(threads), |i, ram| {
+                    ram.write(0, (i % 2) as u64);
+                    ram.read(0) + 10 * i as u64
+                });
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        for (i, v) in seq.iter().enumerate() {
+            assert_eq!(*v, (i % 2) as u64 + 10 * i as u64, "trial {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Scenario: from a failing signature to a repairable address.
+//!
+//! A production tester runs the BIST, reads back one `w`-bit MISR
+//! signature, and must decide which spare row to burn. This example walks
+//! the whole diagnosis pipeline on a 16-cell bit-oriented array:
+//!
+//! 1. compile the diagnostic March (March C-D) once and derive the
+//!    fault-free reference signature *without a golden device*,
+//! 2. build the fault dictionary over the paper-claim universe on the
+//!    parallel campaign engine, with measured aliasing/ambiguity,
+//! 3. take three field returns (a stuck-at, a distant idempotent
+//!    coupling, a decoder shadow pair), detect them by signature only,
+//!    and localize victim + aggressor with adaptive windowed probes,
+//! 4. cross-check the hardware view: `BistController` in signature mode
+//!    flags the same device.
+//!
+//! Run: `cargo run --release --example diagnosis [cells]`
+
+use prt_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let geom = Geometry::bom(n);
+    let poly = Poly2::from_bits(0b1_0001_1011); // x⁸+x⁴+x³+x+1
+    println!("diagnosis pipeline, {n}×1b array, 8-bit MISR compaction\n");
+
+    // 1. Compile once; reference signature from the program's own
+    //    expectations.
+    let program = Executor::new().compile(&march_library::march_diag(), geom);
+    let collector = SignatureCollector::new(&program, poly)?;
+    println!(
+        "diagnostic program: {} ({} ops, {} checked reads)",
+        program.name(),
+        program.ops().len(),
+        collector.responses()
+    );
+    println!(
+        "reference signature {:#04x}, analytic aliasing bound 2^-{} = {:.4}%",
+        collector.reference(),
+        collector.width(),
+        collector.aliasing_bound() * 100.0
+    );
+
+    // 2. The dictionary: one signature-collecting campaign.
+    let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+    let dict = FaultDictionary::build(&universe, &program, poly, Parallelism::Auto)?;
+    let s = dict.stats();
+    println!("\nfault dictionary over the paper-claim universe:");
+    println!(
+        "  {} faults, {} stream-detected, {} escaped",
+        s.universe, s.stream_detected, s.escaped
+    );
+    println!(
+        "  {} distinct signatures, candidate sets mean {:.2} / max {}",
+        s.distinct_signatures, s.mean_candidates, s.max_candidates
+    );
+    println!(
+        "  measured aliasing {:.4}% (bound {:.4}%)",
+        s.measured_aliasing * 100.0,
+        s.analytic_aliasing_bound * 100.0
+    );
+    assert!(s.measured_aliasing <= s.analytic_aliasing_bound);
+
+    // 3. Field returns.
+    let returns: Vec<FaultKind> = vec![
+        FaultKind::StuckAt { cell: 11 % n, bit: 0, value: 1 },
+        FaultKind::CouplingIdempotent {
+            agg_cell: 3 % n,
+            agg_bit: 0,
+            victim_cell: (n - 2).max(4),
+            victim_bit: 0,
+            trigger: CouplingTrigger::Rise,
+            force: 1,
+        },
+        FaultKind::DecoderShadow { addr: 1, instead_cell: n / 2 + 1 },
+    ];
+    let localizer = Localizer::new(march_library::march_diag(), geom).with_dictionary(&dict);
+    for fault in &returns {
+        println!("\nfield return: {fault}");
+        let mut device = Ram::new(geom);
+        device.inject(fault.clone())?;
+        // Signature-only detection, as the tester sees it.
+        let obs = collector.collect(&program, &mut device)?;
+        println!(
+            "  signature {:#04x} vs reference {:#04x} → {}",
+            obs.signature,
+            collector.reference(),
+            if obs.signature == collector.reference() { "PASS (escape!)" } else { "FAIL" }
+        );
+        let candidates = dict.candidate_faults(obs.signature);
+        println!("  dictionary candidates: {}", candidates.len());
+        // Adaptive localization.
+        let d = localizer.diagnose(&mut device)?.expect("detected fault must localize");
+        print!("  localized in {} probes: victim cell {}", d.probes(), d.victim());
+        if let Some(a) = d.aggressor() {
+            print!(", aggressor/partner {a}");
+        }
+        println!();
+        match d.exact() {
+            Some(f) => println!("  exact identification: {f}"),
+            None => {
+                println!(
+                    "  observational equivalence class ({} candidates):",
+                    d.candidates().len()
+                );
+                for c in d.candidates() {
+                    println!("    {c}");
+                }
+            }
+        }
+        assert!(d.candidates().contains(fault), "true fault must survive");
+    }
+
+    // 4. The hardware view: the paper's π-test controller with the
+    //    conventional MISR bolted on — same verdict, compaction in RTL
+    //    reach.
+    println!("\nhardware cross-check (BistController + MISR):");
+    let pi = PiTest::figure_1a()?;
+    let mut good = Ram::new(geom);
+    let mut ctrl = BistController::new(pi.clone(), n)?.with_signature(poly)?;
+    let clean = ctrl.clone();
+    let pass = ctrl.run_to_completion(&mut good)?;
+    println!(
+        "  fault-free: Fin verdict {}, signature {:#04x} matches reference: {}",
+        pass,
+        ctrl.signature().unwrap(),
+        ctrl.signature_matches().unwrap()
+    );
+    // A stuck value opposing the TDB content at its cell always reaches
+    // the signature (a matched polarity would escape this single
+    // iteration — the reason the paper's scheme runs three).
+    let wrong = (pi.expected_sequence(n)[11 % n] ^ 1) as u8;
+    let sa = FaultKind::StuckAt { cell: 11 % n, bit: 0, value: wrong };
+    let mut bad = Ram::new(geom);
+    bad.inject(sa.clone())?;
+    let mut ctrl = clean.clone();
+    let pass = ctrl.run_to_completion(&mut bad)?;
+    println!("  {sa}: Fin verdict {pass}, signature match {}", ctrl.signature_matches().unwrap());
+    assert_eq!(ctrl.signature_matches(), Some(pass));
+    assert!(!pass, "opposing-polarity stuck-at must fail the iteration");
+
+    println!("\ndiagnosis pipeline OK");
+    Ok(())
+}

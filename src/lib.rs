@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub use prt_core;
+pub use prt_diag;
 pub use prt_gf;
 pub use prt_lfsr;
 pub use prt_march;
@@ -38,6 +39,10 @@ pub mod prelude {
     pub use prt_core::{
         BistController, BitPlanePi, PiResult, PiTest, PlaneScheme, PlaneSeeding, PrtError,
         PrtScheme, Trajectory,
+    };
+    pub use prt_diag::{
+        DiagError, Diagnosis, DictionaryStats, FaultDictionary, FaultFamily, Localizer,
+        Observation, SignatureCollector,
     };
     pub use prt_gf::{BitMatrix, Field, Poly2, PolyGf, XorNetwork};
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
