@@ -9,10 +9,13 @@
 //! The `compiled_*` rows lower the test to the `prt_ram::prog` IR **once
 //! per campaign** (the compile cost is measured inside the loop — it is
 //! three orders of magnitude below the sweep) and run the allocation-free
-//! interpreter per trial; `pooled_sequential` re-interprets the high-level
-//! notation per trial. All variants produce bit-identical verdict vectors
-//! (asserted in the prt-sim, prt-core and integration property tests);
-//! this bench quantifies the per-trial interpretation tax. Parallel gains
+//! interpreter per trial with lane batching disabled; `pooled_sequential`
+//! re-interprets the high-level notation per trial; the `batch_*` rows
+//! run the lane-sliced engine (up to 64 fault trials per interpreter
+//! pass, scalar remainder for the unbatchable families). All variants
+//! produce bit-identical verdict vectors (asserted in the prt-sim,
+//! prt-core and integration property tests); this bench quantifies the
+//! per-trial interpretation tax and the lane-packing win. Parallel gains
 //! scale with core count — on a single-core host the `*_parallel` rows
 //! collapse to their sequential numbers.
 
@@ -44,7 +47,10 @@ fn bench_march_campaign(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("compiled_sequential", n), &universe, |b, u| {
             b.iter(|| {
                 let program = ex.compile(&test, u.geometry());
-                Campaign::new(u, &program).with_parallelism(Parallelism::Sequential).detections()
+                Campaign::new(u, &program)
+                    .with_lane_batching(false)
+                    .with_parallelism(Parallelism::Sequential)
+                    .detections()
             })
         });
         group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
@@ -55,6 +61,21 @@ fn bench_march_campaign(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("compiled_parallel", n), &universe, |b, u| {
+            b.iter(|| {
+                let program = ex.compile(&test, u.geometry());
+                Campaign::new(u, &program)
+                    .with_lane_batching(false)
+                    .with_parallelism(Parallelism::Auto)
+                    .detections()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch_sequential", n), &universe, |b, u| {
+            b.iter(|| {
+                let program = ex.compile(&test, u.geometry());
+                Campaign::new(u, &program).with_parallelism(Parallelism::Sequential).detections()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch_parallel", n), &universe, |b, u| {
             b.iter(|| {
                 let program = ex.compile(&test, u.geometry());
                 Campaign::new(u, &program).with_parallelism(Parallelism::Auto).detections()
@@ -79,13 +100,31 @@ fn bench_scheme_campaign(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("compiled_sequential", n), &universe, |b, u| {
         b.iter(|| {
             let program = scheme.compile(u.geometry()).expect("compile");
-            Campaign::new(u, &program).with_parallelism(Parallelism::Sequential).detections()
+            Campaign::new(u, &program)
+                .with_lane_batching(false)
+                .with_parallelism(Parallelism::Sequential)
+                .detections()
         })
     });
     group.bench_with_input(BenchmarkId::new("parallel_auto", n), &universe, |b, u| {
         b.iter(|| Campaign::new(u, &scheme).with_parallelism(Parallelism::Auto).detections())
     });
     group.bench_with_input(BenchmarkId::new("compiled_parallel", n), &universe, |b, u| {
+        b.iter(|| {
+            let program = scheme.compile(u.geometry()).expect("compile");
+            Campaign::new(u, &program)
+                .with_lane_batching(false)
+                .with_parallelism(Parallelism::Auto)
+                .detections()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batch_sequential", n), &universe, |b, u| {
+        b.iter(|| {
+            let program = scheme.compile(u.geometry()).expect("compile");
+            Campaign::new(u, &program).with_parallelism(Parallelism::Sequential).detections()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batch_parallel", n), &universe, |b, u| {
         b.iter(|| {
             let program = scheme.compile(u.geometry()).expect("compile");
             Campaign::new(u, &program).with_parallelism(Parallelism::Auto).detections()
@@ -126,6 +165,7 @@ fn bench_multi_background(c: &mut Criterion) {
             let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
             Campaign::new(u, &bank)
                 .with_backgrounds(&bgs)
+                .with_lane_batching(false)
                 .with_parallelism(Parallelism::Sequential)
                 .detections()
         })
@@ -139,6 +179,25 @@ fn bench_multi_background(c: &mut Criterion) {
         })
     });
     group.bench_with_input(BenchmarkId::new("compiled_parallel", n), &universe, |b, u| {
+        b.iter(|| {
+            let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+            Campaign::new(u, &bank)
+                .with_backgrounds(&bgs)
+                .with_lane_batching(false)
+                .with_parallelism(Parallelism::Auto)
+                .detections()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batch_sequential", n), &universe, |b, u| {
+        b.iter(|| {
+            let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+            Campaign::new(u, &bank)
+                .with_backgrounds(&bgs)
+                .with_parallelism(Parallelism::Sequential)
+                .detections()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("batch_parallel", n), &universe, |b, u| {
         b.iter(|| {
             let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
             Campaign::new(u, &bank)

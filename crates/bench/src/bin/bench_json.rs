@@ -4,11 +4,15 @@
 //!
 //! Run: `cargo run --release -p prt-bench --bin bench_json [out.json]`
 //!
-//! Writes `BENCH_campaign.json` (or the given path): one row per
-//! (group, n, variant) with faults/second, plus the diagnosis subsystem
-//! rows (dictionary build and adaptive localization throughput). Tuning:
-//! `BENCH_JSON_MS` sets the per-row measurement budget (default 200 ms —
-//! CI smoke runs use a lower value; trend numbers come from the default).
+//! Writes `BENCH_campaign.json` (or the given path) in the
+//! **`campaign-v2` schema**: the header records the measurement budget,
+//! the runner's thread count and the git revision (so perf trajectories
+//! stay comparable across runners), then one row per (group, n, variant)
+//! with faults/second — including the `batch_*` variants of the
+//! lane-sliced engine — plus the diagnosis subsystem rows (dictionary
+//! build and adaptive localization throughput). Tuning: `BENCH_JSON_MS`
+//! sets the per-row measurement budget (default 200 ms — CI smoke runs
+//! use a lower value; trend numbers come from the default).
 
 use std::time::Instant;
 
@@ -47,6 +51,51 @@ impl Row {
             self.mean_ns
         )
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal (the revision
+/// can come from the environment, so quotes/backslashes must not corrupt
+/// the document).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The compiled-program campaign variants every group measures:
+/// `(variant, lane batching, parallelism)`. The `compiled_*` rows pin the
+/// scalar engine the `batch_*` rows are compared against.
+const PROGRAM_VARIANTS: [(&str, bool, Parallelism); 4] = [
+    ("compiled_sequential", false, Parallelism::Sequential),
+    ("compiled_parallel", false, Parallelism::Auto),
+    ("batch_sequential", true, Parallelism::Sequential),
+    ("batch_parallel", true, Parallelism::Auto),
+];
+
+/// The git revision of the working tree, for cross-runner trajectory
+/// comparisons (`GIT_REVISION` overrides; "unknown" when git is absent).
+fn git_revision() -> String {
+    if let Ok(rev) = std::env::var("GIT_REVISION") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Calibrated timing loop: run `f` until the measurement budget is spent,
@@ -107,29 +156,49 @@ fn main() {
                     .detections();
             }),
         );
-        push(
-            "campaign_march_c_minus",
-            n,
-            "compiled_sequential",
-            len,
-            measure(budget_ms, || {
-                let program = ex.compile(&test, u.geometry());
-                let _ = Campaign::new(&u, &program)
-                    .with_parallelism(Parallelism::Sequential)
-                    .detections();
-            }),
-        );
-        push(
-            "campaign_march_c_minus",
-            n,
-            "compiled_parallel",
-            len,
-            measure(budget_ms, || {
-                let program = ex.compile(&test, u.geometry());
-                let _ =
-                    Campaign::new(&u, &program).with_parallelism(Parallelism::Auto).detections();
-            }),
-        );
+        for (variant, batching, par) in PROGRAM_VARIANTS {
+            push(
+                "campaign_march_c_minus",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let program = ex.compile(&test, u.geometry());
+                    let _ = Campaign::new(&u, &program)
+                        .with_lane_batching(batching)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
+    }
+
+    // The two newest library algorithms, wired into the batch campaigns
+    // (sequential variants only — enough for the batch-vs-compiled trend).
+    for (group, test) in
+        [("campaign_march_u", library::march_u()), ("campaign_march_raw", library::march_raw())]
+    {
+        let n = 16usize;
+        let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+        let len = u.len();
+        for (variant, batching, par) in PROGRAM_VARIANTS {
+            if par != Parallelism::Sequential {
+                continue;
+            }
+            push(
+                group,
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let program = ex.compile(&test, u.geometry());
+                    let _ = Campaign::new(&u, &program)
+                        .with_lane_batching(batching)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
     }
 
     // PRT standard3.
@@ -158,29 +227,21 @@ fn main() {
                     .detections();
             }),
         );
-        push(
-            "campaign_prt_standard3",
-            n,
-            "compiled_sequential",
-            len,
-            measure(budget_ms, || {
-                let program = scheme.compile(u.geometry()).expect("compile");
-                let _ = Campaign::new(&u, &program)
-                    .with_parallelism(Parallelism::Sequential)
-                    .detections();
-            }),
-        );
-        push(
-            "campaign_prt_standard3",
-            n,
-            "compiled_parallel",
-            len,
-            measure(budget_ms, || {
-                let program = scheme.compile(u.geometry()).expect("compile");
-                let _ =
-                    Campaign::new(&u, &program).with_parallelism(Parallelism::Auto).detections();
-            }),
-        );
+        for (variant, batching, par) in PROGRAM_VARIANTS {
+            push(
+                "campaign_prt_standard3",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let program = scheme.compile(u.geometry()).expect("compile");
+                    let _ = Campaign::new(&u, &program)
+                        .with_lane_batching(batching)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
     }
 
     // Multi-background WOM sweep.
@@ -206,32 +267,22 @@ fn main() {
                     .detections();
             }),
         );
-        push(
-            "campaign_march_multibg_wom",
-            n,
-            "compiled_sequential",
-            len,
-            measure(budget_ms, || {
-                let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
-                let _ = Campaign::new(&u, &bank)
-                    .with_backgrounds(&bgs)
-                    .with_parallelism(Parallelism::Sequential)
-                    .detections();
-            }),
-        );
-        push(
-            "campaign_march_multibg_wom",
-            n,
-            "compiled_parallel",
-            len,
-            measure(budget_ms, || {
-                let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
-                let _ = Campaign::new(&u, &bank)
-                    .with_backgrounds(&bgs)
-                    .with_parallelism(Parallelism::Auto)
-                    .detections();
-            }),
-        );
+        for (variant, batching, par) in PROGRAM_VARIANTS {
+            push(
+                "campaign_march_multibg_wom",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let bank = coverage::compile_bank(&test, u.geometry(), &ex, &bgs);
+                    let _ = Campaign::new(&u, &bank)
+                        .with_backgrounds(&bgs)
+                        .with_lane_batching(batching)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
     }
 
     // Diagnosis subsystem: dictionary build and adaptive localization.
@@ -273,10 +324,13 @@ fn main() {
         );
     }
 
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"prt-bench/campaign-v1\",\n");
+    json.push_str("  \"schema\": \"prt-bench/campaign-v2\",\n");
     json.push_str(&format!("  \"measure_ms\": {budget_ms},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
     json.push_str("  \"rows\": [\n");
     let body: Vec<String> = rows.iter().map(Row::json).collect();
     json.push_str(&body.join(",\n"));

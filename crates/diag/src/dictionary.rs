@@ -16,8 +16,17 @@
 //!   the `2⁻ʷ` bound of [`prt_lfsr::Misr::aliasing_probability`],
 //! * **ambiguity** — how many faults share one failing signature (the
 //!   candidate set a [`crate::Localizer`] then narrows adaptively).
+//!
+//! For `n ≥ 2¹⁰` arrays a full-signature dictionary carries one `w`-bit
+//! key per universe fault; [`FaultDictionary::compress`] rebuilds the
+//! inversion on **k-bit signature prefixes** instead — the tester stores
+//! and compares only `k` bits per entry — and re-measures what the
+//! truncation costs: aliasing can only grow and candidate sets can only
+//! coarsen, both reported by the compressed dictionary's
+//! [`DictionaryStats`] against the full-signature baseline.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::{DiagError, Observation, SignatureCollector};
 use prt_gf::Poly2;
@@ -76,12 +85,69 @@ pub struct DictionaryStats {
 #[derive(Debug, Clone)]
 pub struct FaultDictionary {
     geom: Geometry,
-    program: TestProgram,
+    /// The program, fault list and per-fault observations are shared
+    /// (`Arc`) between a dictionary and its prefix compressions — a
+    /// [`FaultDictionary::compress`] sweep over several widths must not
+    /// replicate the universe data the compression exists to shrink.
+    program: Arc<TestProgram>,
     collector: SignatureCollector,
-    faults: Vec<FaultKind>,
-    observations: Vec<Observation>,
+    faults: Arc<Vec<FaultKind>>,
+    observations: Arc<Vec<Observation>>,
     buckets: HashMap<u64, Vec<usize>>,
     stats: DictionaryStats,
+    /// `Some(k)`: keys are the low `k` bits of the signature
+    /// ([`FaultDictionary::compress`]); `None`: full signatures.
+    prefix_bits: Option<u32>,
+}
+
+/// The key function selecting the low `bits` bits of a signature.
+fn prefix_key(bits: u32) -> impl Fn(u64) -> u64 {
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    move |sig| sig & mask
+}
+
+/// Inverts `observations` into `key(signature) → candidate set` buckets
+/// and measures aliasing/ambiguity under that key — shared by the
+/// full-signature build and every prefix compression of it.
+fn index_observations(
+    observations: &[Observation],
+    reference: u64,
+    analytic_bound: f64,
+    key: impl Fn(u64) -> u64,
+) -> (HashMap<u64, Vec<usize>>, DictionaryStats) {
+    let reference_key = key(reference);
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut stream_detected = 0usize;
+    let mut aliased = 0usize;
+    for (i, obs) in observations.iter().enumerate() {
+        if obs.stream_differs() {
+            stream_detected += 1;
+            if key(obs.signature) == reference_key {
+                aliased += 1;
+            } else {
+                buckets.entry(key(obs.signature)).or_default().push(i);
+            }
+        }
+    }
+    let distinct = buckets.len();
+    let max_candidates = buckets.values().map(Vec::len).max().unwrap_or(0);
+    let keyed: usize = buckets.values().map(Vec::len).sum();
+    let stats = DictionaryStats {
+        universe: observations.len(),
+        stream_detected,
+        escaped: observations.len() - stream_detected,
+        aliased,
+        distinct_signatures: distinct,
+        max_candidates,
+        mean_candidates: if distinct == 0 { 0.0 } else { keyed as f64 / distinct as f64 },
+        measured_aliasing: if stream_detected == 0 {
+            0.0
+        } else {
+            aliased as f64 / stream_detected as f64
+        },
+        analytic_aliasing_bound: analytic_bound,
+    };
+    (buckets, stats)
 }
 
 impl FaultDictionary {
@@ -122,47 +188,69 @@ impl FaultDictionary {
                     exec: Default::default(),
                 })
             });
-        let reference = collector.reference();
-        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut stream_detected = 0usize;
-        let mut aliased = 0usize;
-        for (i, obs) in observations.iter().enumerate() {
-            if obs.stream_differs() {
-                stream_detected += 1;
-                if obs.signature == reference {
-                    aliased += 1;
-                } else {
-                    buckets.entry(obs.signature).or_default().push(i);
-                }
-            }
-        }
-        let distinct = buckets.len();
-        let max_candidates = buckets.values().map(Vec::len).max().unwrap_or(0);
-        let keyed: usize = buckets.values().map(Vec::len).sum();
-        let stats = DictionaryStats {
-            universe: universe.len(),
-            stream_detected,
-            escaped: universe.len() - stream_detected,
-            aliased,
-            distinct_signatures: distinct,
-            max_candidates,
-            mean_candidates: if distinct == 0 { 0.0 } else { keyed as f64 / distinct as f64 },
-            measured_aliasing: if stream_detected == 0 {
-                0.0
-            } else {
-                aliased as f64 / stream_detected as f64
-            },
-            analytic_aliasing_bound: collector.aliasing_bound(),
-        };
+        let (buckets, stats) = index_observations(
+            &observations,
+            collector.reference(),
+            collector.aliasing_bound(),
+            |sig| sig,
+        );
         Ok(FaultDictionary {
             geom,
-            program: program.clone(),
+            program: Arc::new(program.clone()),
             collector,
-            faults: universe.faults().to_vec(),
-            observations,
+            faults: Arc::new(universe.faults().to_vec()),
+            observations: Arc::new(observations),
             buckets,
             stats,
+            prefix_bits: None,
         })
+    }
+
+    /// Rebuilds this dictionary on **`bits`-bit signature prefixes** (the
+    /// low `bits` bits of each MISR signature) without re-simulating the
+    /// universe: the stored observations are re-inverted under the
+    /// truncated key and the aliasing/ambiguity statistics re-measured.
+    /// The analytic aliasing bound becomes `2⁻ᵏ` for `k < w`.
+    ///
+    /// Lookups through [`FaultDictionary::candidates`] truncate the
+    /// queried signature the same way, so a [`crate::Localizer`] seeded
+    /// with a compressed dictionary keeps working — candidate sets are
+    /// supersets of the full-signature buckets (every full bucket whose
+    /// signatures share a prefix is merged), which the adaptive probes
+    /// then narrow. Compression can only *grow* ambiguity and aliasing;
+    /// the measured growth is the storage/resolution trade a `n ≥ 2¹⁰`
+    /// dictionary buys (asserted in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is 0 or exceeds the MISR width.
+    pub fn compress(&self, bits: u32) -> FaultDictionary {
+        assert!(
+            bits >= 1 && bits <= self.collector.width(),
+            "prefix width must be 1..=MISR width ({} bits)",
+            self.collector.width()
+        );
+        let bound = (0.5f64).powi(bits as i32);
+        let key = prefix_key(bits);
+        let (buckets, stats) =
+            index_observations(&self.observations, self.collector.reference(), bound, key);
+        FaultDictionary {
+            geom: self.geom,
+            // Arc bumps, not copies: only buckets/stats differ per width.
+            program: Arc::clone(&self.program),
+            collector: self.collector.clone(),
+            faults: Arc::clone(&self.faults),
+            observations: Arc::clone(&self.observations),
+            buckets,
+            stats,
+            prefix_bits: Some(bits),
+        }
+    }
+
+    /// The signature-prefix width of a compressed dictionary (`None` for
+    /// a full-signature one).
+    pub fn prefix_bits(&self) -> Option<u32> {
+        self.prefix_bits
     }
 
     /// Geometry the dictionary was built for.
@@ -201,9 +289,15 @@ impl FaultDictionary {
     }
 
     /// Candidate fault indices for a failing `signature` (empty for the
-    /// reference signature or one no simulated fault produced).
+    /// reference signature or one no simulated fault produced). On a
+    /// compressed dictionary the signature is truncated to the prefix
+    /// before lookup.
     pub fn candidates(&self, signature: u64) -> &[usize] {
-        self.buckets.get(&signature).map_or(&[], Vec::as_slice)
+        let key = match self.prefix_bits {
+            Some(bits) => prefix_key(bits)(signature),
+            None => signature,
+        };
+        self.buckets.get(&key).map_or(&[], Vec::as_slice)
     }
 
     /// Candidate faults for a failing `signature`, resolved.
@@ -286,6 +380,119 @@ mod tests {
             FaultDictionary::build(&universe, &program, poly8(), Parallelism::Threads(4)).unwrap();
         assert_eq!(a.observations(), b.observations());
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn compression_measures_ambiguity_growth() {
+        // The n=16 paper-claim baseline vs its k-bit prefix compressions:
+        // aliasing and ambiguity can only grow as the key shrinks, and
+        // the growth is measurable (the ROADMAP n ≥ 2¹⁰ trade).
+        let geom = Geometry::bom(16);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let full = FaultDictionary::build(&universe, &program, poly8(), Parallelism::Auto).unwrap();
+        assert_eq!(full.prefix_bits(), None);
+        let mut prev_distinct = full.stats().distinct_signatures;
+        let mut prev_aliased = full.stats().aliased;
+        for bits in [8u32, 6, 4, 2] {
+            let c = full.compress(bits);
+            let s = c.stats();
+            assert_eq!(c.prefix_bits(), Some(bits));
+            assert_eq!(s.universe, full.stats().universe);
+            assert_eq!(s.stream_detected, full.stats().stream_detected);
+            assert!(
+                s.distinct_signatures <= prev_distinct,
+                "{bits}-bit keys cannot add buckets ({} > {prev_distinct})",
+                s.distinct_signatures
+            );
+            assert!(
+                s.aliased >= prev_aliased,
+                "{bits}-bit keys cannot unalias ({} < {prev_aliased})",
+                s.aliased
+            );
+            assert!((s.analytic_aliasing_bound - (0.5f64).powi(bits as i32)).abs() < 1e-12);
+            prev_distinct = s.distinct_signatures;
+            prev_aliased = s.aliased;
+        }
+        // The headline measurement: 4-bit prefixes coarsen candidate
+        // sets measurably vs the full-signature baseline.
+        let c4 = full.compress(4);
+        assert!(
+            c4.stats().mean_candidates > full.stats().mean_candidates,
+            "4-bit prefixes must grow ambiguity: {} vs {}",
+            c4.stats().mean_candidates,
+            full.stats().mean_candidates
+        );
+        assert!(c4.stats().max_candidates >= full.stats().max_candidates);
+    }
+
+    #[test]
+    fn compressed_round_trip_contains_the_injected_fault() {
+        // Truncated-key lookup: for every stream-detected, non-aliased
+        // fault, the compressed bucket still contains the fault — the
+        // bucket is a superset of the full-signature one.
+        let (universe, dict) = build(8);
+        let compressed = dict.compress(5);
+        let collector = SignatureCollector::new(dict.program(), poly8()).unwrap();
+        let mask = (1u64 << 5) - 1;
+        for (i, fault) in universe.faults().iter().enumerate() {
+            let mut ram = Ram::new(universe.geometry());
+            ram.inject(fault.clone()).unwrap();
+            let obs = collector.collect(dict.program(), &mut ram).unwrap();
+            if !obs.stream_differs() {
+                continue;
+            }
+            if compressed.candidates(obs.signature).is_empty() {
+                // An empty compressed bucket is legitimate ONLY for a
+                // prefix-aliased signature — anything else is a lookup
+                // regression.
+                assert_eq!(
+                    obs.signature & mask,
+                    compressed.reference() & mask,
+                    "{fault}: empty prefix bucket for a non-aliased signature"
+                );
+                continue;
+            }
+            assert!(
+                compressed.candidates(obs.signature).contains(&i),
+                "{fault} missing from its prefix bucket"
+            );
+            for &c in dict.candidates(obs.signature) {
+                assert!(
+                    compressed.candidates(obs.signature).contains(&c),
+                    "prefix bucket must be a superset of the full bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn localizer_works_on_a_compressed_dictionary() {
+        use crate::Localizer;
+        let (universe, dict) = build(8);
+        let compressed = dict.compress(6);
+        let localizer =
+            Localizer::new(library::march_diag(), universe.geometry()).with_dictionary(&compressed);
+        let fault = FaultKind::StuckAt { cell: 5, bit: 0, value: 1 };
+        let mut ram = Ram::new(universe.geometry());
+        ram.inject(fault.clone()).unwrap();
+        let d = localizer.diagnose(&mut ram).unwrap().expect("detected");
+        assert_eq!(d.victim(), 5);
+        assert_eq!(d.exact(), Some(&fault), "probes must narrow the coarser prefix bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix width must be 1..=MISR width")]
+    fn compression_rejects_zero_bits() {
+        let (_, dict) = build(8);
+        let _ = dict.compress(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix width must be 1..=MISR width")]
+    fn compression_rejects_overwide_prefix() {
+        let (_, dict) = build(8);
+        let _ = dict.compress(9);
     }
 
     #[test]

@@ -172,6 +172,20 @@ mod tests {
     }
 
     #[test]
+    fn march_u_and_raw_cover_the_paper_claim_universe() {
+        // The two newest library algorithms, wired through the (default,
+        // lane-batched) evaluator: March U matches March C-'s unlinked
+        // static coverage at 13n, March RAW keeps it at 26n while adding
+        // the read-after-write read-back structure.
+        let u = universe(8);
+        let ex = Executor::new().stop_at_first_mismatch();
+        for test in [library::march_u(), library::march_raw()] {
+            let r = evaluate(&test, &u, &ex);
+            assert!(r.complete(), "{} should cover the paper-claim universe", test.name());
+        }
+    }
+
+    #[test]
     fn coverage_is_monotone_from_mats_to_march_c_minus() {
         let u = universe(6);
         let ex = Executor::new().stop_at_first_mismatch();

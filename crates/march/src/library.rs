@@ -1,12 +1,13 @@
 //! The classic March test library.
 //!
-//! Thirteen algorithms spanning the complexity/coverage trade-off from
-//! MATS (4n) to March SS (22n), plus the diagnosis-oriented
+//! Fifteen algorithms spanning the complexity/coverage trade-off from
+//! MATS (4n) to March RAW (26n), plus the diagnosis-oriented
 //! [`march_diag`]. Complexities and element sequences follow van de Goor,
-//! *Testing Semiconductor Memories* (the paper's reference \[1\]) and
-//! Hamdioui et al. for March SS. The *measured* coverage of each test on
-//! this workspace's fault simulator is reported by experiment E10 — that
-//! table is the validation that simulator and literature agree.
+//! *Testing Semiconductor Memories* (the paper's reference \[1\]),
+//! van de Goor's March U, and Hamdioui et al. for March SS and March RAW.
+//! The *measured* coverage of each test on this workspace's fault
+//! simulator is reported by experiment E10 — that table is the validation
+//! that simulator and literature agree.
 
 use crate::notation::MarchTest;
 use crate::parser::parse;
@@ -73,6 +74,24 @@ pub fn pmovi() -> MarchTest {
     must("PMOVI", "{⇓(w0); ⇑(r0,w1,r1); ⇑(r1,w0,r0); ⇓(r0,w1,r1); ⇓(r1,w0,r0)}")
 }
 
+/// March U, 13n: van de Goor's unlinked-fault test — SAF, AF, TF, CFin
+/// and CFid coverage at 2n fewer operations than March B.
+pub fn march_u() -> MarchTest {
+    must("March U", "{c(w0); ⇑(r0,w1,r1,w0); ⇑(r0,w1); ⇓(r1,w0,r0,w1); ⇓(r1,w0)}")
+}
+
+/// March RAW, 26n: the read-after-write test of Hamdioui, van de Goor &
+/// Rodgers — every state/polarity combination is read immediately after
+/// the write that establishes it (`rX,wX,rX` triplets), targeting the
+/// dynamic read-after-write fault families on top of the full static
+/// coverage.
+pub fn march_raw() -> MarchTest {
+    must(
+        "March RAW",
+        "{c(w0); ⇑(r0,w0,r0,r0,w1,r1); ⇑(r1,w1,r1,r1,w0,r0); ⇓(r0,w0,r0,r0,w1,r1); ⇓(r1,w1,r1,r1,w0,r0); c(r0)}",
+    )
+}
+
 /// March SS, 22n: detects all *simple static* faults including read/write
 /// disturb families (Hamdioui, Al-Ars & van de Goor, VTS 2002).
 pub fn march_ss() -> MarchTest {
@@ -106,11 +125,13 @@ pub fn all() -> Vec<MarchTest> {
         march_c_minus(),
         march_c(),
         pmovi(),
+        march_u(),
         march_diag(),
         march_lr(),
         march_a(),
         march_b(),
         march_ss(),
+        march_raw(),
     ]
 }
 
@@ -129,11 +150,13 @@ mod tests {
             ("March C-", 10),
             ("March C", 11),
             ("PMOVI", 13),
+            ("March U", 13),
             ("March C-D", 14),
             ("March LR", 14),
             ("March A", 15),
             ("March B", 17),
             ("March SS", 22),
+            ("March RAW", 26),
         ];
         let tests = all();
         assert_eq!(tests.len(), expected.len());

@@ -1,0 +1,850 @@
+//! Lane-sliced batch fault simulation: 64 fault trials per device.
+//!
+//! A fault-simulation campaign runs the *same data-independent operation
+//! sequence* against many single-fault memories; the only thing that
+//! differs between trials is which fault is present. [`LaneRam`] exploits
+//! that by packing **64 faulty machines into the bit lanes of one `u64`**:
+//! storage is bit-sliced into `width` *bit-planes* per cell, where bit `k`
+//! of the plane word is the value that bit holds in trial lane `k`. Every
+//! read, write, transition check and coupling trigger then becomes a
+//! handful of bitwise word operations that act on all 64 trials at once —
+//! the classic bit-parallel multi-fault propagation of hardware fault
+//! simulators.
+//!
+//! [`LaneFaultBank`] injects the *batchable* fault families as per-lane
+//! masks: SAF, TF, CFin, CFid, CFst, NPSF and data retention — the
+//! overwhelming bulk of every enumerated universe (coupling families grow
+//! quadratically with the cell count; the scalar-only families are linear).
+//! Decoder faults (which remap whole addresses), stuck-open cells (which
+//! latch the sense amplifier) and the read/write-logic families stay on
+//! the scalar [`crate::Ram`] path, as do multi-port cycle programs —
+//! [`is_lane_batchable`] is the partition predicate campaign engines use.
+//!
+//! # Exactness
+//!
+//! Per lane, [`LaneRam`] is **bitwise-exact** against [`crate::Ram`] with
+//! the same single fault injected: every enforcement phase of the scalar
+//! access path (transition blocking → stuck-at → store → coupling
+//! triggers → state-coupling → NPSF on writes; retention decay →
+//! state-coupling → NPSF → stuck-at on reads) is reproduced in the same
+//! order with the fault's effect masked to its lane. The device clock and
+//! per-cell write timestamps are shared across lanes — sound because the
+//! driving program issues the identical operation sequence to every lane.
+//! The scalar engine remains the differential oracle (property-tested in
+//! `tests/batch.rs` and `crates/ram/tests/proptests.rs`).
+
+use crate::fault::{CouplingTrigger, FaultKind};
+use crate::{Geometry, RamError};
+
+/// Number of fault-trial lanes one [`LaneRam`] carries (the width of the
+/// host word the storage is sliced over).
+pub const LANES: usize = 64;
+
+/// `true` when `fault` belongs to a family [`LaneRam`] can express as a
+/// per-lane mask. Decoder faults, stuck-open cells and the
+/// read/write-logic families (RDF, DRDF, IRF, WDF) must run on the scalar
+/// [`crate::Ram`] path.
+pub fn is_lane_batchable(fault: &FaultKind) -> bool {
+    matches!(
+        fault,
+        FaultKind::StuckAt { .. }
+            | FaultKind::Transition { .. }
+            | FaultKind::CouplingInversion { .. }
+            | FaultKind::CouplingIdempotent { .. }
+            | FaultKind::CouplingState { .. }
+            | FaultKind::Npsf { .. }
+            | FaultKind::DataRetention { .. }
+    )
+}
+
+/// An indexed collection of `(fault, lane mask)` pairs, organised exactly
+/// like the scalar [`crate::FaultBank`]: per-cell victim/aggressor buckets
+/// for O(1) hot-path lookup, recycled allocation-free across campaign
+/// batches via [`LaneFaultBank::clear`].
+#[derive(Debug, Clone, Default)]
+pub struct LaneFaultBank {
+    faults: Vec<(FaultKind, u64)>,
+    /// Fault indices whose victim site lies in the indexed cell.
+    by_victim: Vec<Vec<usize>>,
+    /// Fault indices with a coupling/NPSF aggressor or neighbour in the
+    /// indexed cell.
+    by_aggressor: Vec<Vec<usize>>,
+    /// Cells whose buckets may be non-empty (cleared lazily).
+    touched: Vec<usize>,
+}
+
+impl LaneFaultBank {
+    /// Creates an empty bank.
+    pub fn new() -> LaneFaultBank {
+        LaneFaultBank::default()
+    }
+
+    /// `true` when no faults are present.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The injected `(fault, lane mask)` pairs in insertion order.
+    pub fn faults(&self) -> &[(FaultKind, u64)] {
+        &self.faults
+    }
+
+    /// Adds a batchable fault affecting the lanes of `mask`.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::FaultNotBatchable`] for a scalar-only family;
+    /// otherwise propagates [`FaultKind::validate`] errors.
+    pub fn add(&mut self, geom: &Geometry, fault: FaultKind, mask: u64) -> Result<(), RamError> {
+        if !is_lane_batchable(&fault) {
+            return Err(RamError::FaultNotBatchable { mnemonic: fault.mnemonic() });
+        }
+        fault.validate(geom)?;
+        let idx = self.faults.len();
+        match &fault {
+            FaultKind::StuckAt { cell, .. }
+            | FaultKind::Transition { cell, .. }
+            | FaultKind::DataRetention { cell, .. } => {
+                self.index_site(*cell, idx, true);
+            }
+            FaultKind::CouplingInversion { agg_cell, victim_cell, .. }
+            | FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. }
+            | FaultKind::CouplingState { agg_cell, victim_cell, .. } => {
+                self.index_site(*agg_cell, idx, false);
+                self.index_site(*victim_cell, idx, true);
+            }
+            FaultKind::Npsf { victim_cell, neighbors, .. } => {
+                self.index_site(*victim_cell, idx, true);
+                for &(c, _, _) in neighbors {
+                    self.index_site(c, idx, false);
+                }
+            }
+            _ => unreachable!("is_lane_batchable gated the families above"),
+        }
+        self.faults.push((fault, mask));
+        Ok(())
+    }
+
+    /// Removes every fault while retaining the allocated buckets
+    /// (O(#faults), allocation-free in the steady state).
+    pub fn clear(&mut self) {
+        self.faults.clear();
+        for &cell in &self.touched {
+            self.by_victim[cell].clear();
+            self.by_aggressor[cell].clear();
+        }
+        self.touched.clear();
+    }
+
+    fn index_site(&mut self, cell: usize, idx: usize, victim: bool) {
+        if self.by_victim.len() <= cell {
+            self.by_victim.resize_with(cell + 1, Vec::new);
+            self.by_aggressor.resize_with(cell + 1, Vec::new);
+        }
+        let bucket = if victim { &mut self.by_victim[cell] } else { &mut self.by_aggressor[cell] };
+        bucket.push(idx);
+        self.touched.push(cell);
+    }
+}
+
+/// A bit-sliced memory carrying up to [`LANES`] independent single-fault
+/// trials: `width` bit-planes per cell, one `u64` of 64 trial lanes per
+/// plane.
+///
+/// # Example
+///
+/// ```
+/// use prt_ram::batch::LaneRam;
+/// use prt_ram::{FaultKind, Geometry};
+///
+/// let mut ram = LaneRam::new(Geometry::bom(8));
+/// ram.inject(FaultKind::StuckAt { cell: 3, bit: 0, value: 0 }, 5)?;
+/// ram.write_broadcast(3, 1); // every lane writes 1…
+/// let planes = ram.read(3);
+/// assert_eq!(planes[0], !(1u64 << 5)); // …but lane 5 is stuck at 0
+/// # Ok::<(), prt_ram::RamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneRam {
+    geom: Geometry,
+    /// Bit-plane storage: `store[cell * width + bit]` holds bit `bit` of
+    /// `cell` across all 64 lanes.
+    store: Vec<u64>,
+    /// Per-cell timestamp of the last write (shared by all lanes — the
+    /// driving op sequence is identical per lane).
+    last_write: Vec<u64>,
+    /// Device operation counter (drives data-retention decay).
+    time: u64,
+    /// Mask of lanes with an injected trial.
+    active: u64,
+    bank: LaneFaultBank,
+    /// Reusable staging planes for the value being written.
+    scratch_new: Vec<u64>,
+    /// Reusable copy of the pre-write planes.
+    scratch_old: Vec<u64>,
+    /// Reusable pending bit actions `(cell, bit, None=invert/Some(v),
+    /// lanes)` fired by coupling triggers and enforcement phases.
+    scratch_actions: Vec<(usize, u32, Option<u8>, u64)>,
+}
+
+impl LaneRam {
+    /// Creates a fault-free lane memory, zero-initialised.
+    pub fn new(geom: Geometry) -> LaneRam {
+        let m = geom.width() as usize;
+        LaneRam {
+            geom,
+            store: vec![0; geom.cells() * m],
+            last_write: vec![0; geom.cells()],
+            time: 0,
+            active: 0,
+            bank: LaneFaultBank::new(),
+            scratch_new: Vec::new(),
+            scratch_old: Vec::new(),
+            scratch_actions: Vec::new(),
+        }
+    }
+
+    /// Array geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Mask of lanes holding an injected trial.
+    pub fn active_lanes(&self) -> u64 {
+        self.active
+    }
+
+    /// The injected faults.
+    pub fn fault_bank(&self) -> &LaneFaultBank {
+        &self.bank
+    }
+
+    /// Injects a batchable fault into trial lane `lane`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LaneFaultBank::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is not below [`LANES`].
+    pub fn inject(&mut self, fault: FaultKind, lane: usize) -> Result<(), RamError> {
+        assert!(lane < LANES, "trial lane out of range");
+        self.bank.add(&self.geom, fault, 1u64 << lane)?;
+        self.active |= 1u64 << lane;
+        Ok(())
+    }
+
+    /// Removes every injected fault and clears the active-lane mask; the
+    /// bucket allocations are retained for the next batch.
+    pub fn eject_faults(&mut self) {
+        self.bank.clear();
+        self.active = 0;
+    }
+
+    /// Resets storage (every lane of every cell to `background`), the
+    /// retention timestamps and the operation clock — the lane counterpart
+    /// of [`crate::Ram::reset_to`]. Injected faults are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background` exceeds the cell width.
+    pub fn reset_to(&mut self, background: u64) {
+        assert!(self.geom.check_data(background).is_ok(), "data wider than cells");
+        let m = self.geom.width() as usize;
+        for (idx, p) in self.store.iter_mut().enumerate() {
+            *p = broadcast(background, (idx % m) as u32);
+        }
+        self.last_write.fill(0);
+        self.time = 0;
+    }
+
+    /// The word trial lane `lane` holds in `cell` — raw storage
+    /// inspection, bypassing fault semantics (the lane counterpart of
+    /// [`crate::Ram::peek`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn peek_lane(&self, cell: usize, lane: usize) -> u64 {
+        assert!(lane < LANES, "trial lane out of range");
+        let m = self.geom.width() as usize;
+        let mut word = 0u64;
+        for bit in 0..m {
+            word |= ((self.store[cell * m + bit] >> lane) & 1) << bit;
+        }
+        word
+    }
+
+    /// Reads `addr` on every lane at once, applying fault semantics in the
+    /// scalar read order (retention decay → state coupling → NPSF →
+    /// stuck-at), and returns the cell's bit-planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&mut self, addr: usize) -> &[u64] {
+        self.geom.check_addr(addr).expect("address in range");
+        self.time += 1;
+        let m = self.geom.width() as usize;
+        if !self.bank.is_empty() {
+            // Data-retention decay.
+            let mut actions = std::mem::take(&mut self.scratch_actions);
+            actions.clear();
+            if let Some(bucket) = self.bank.by_victim.get(addr) {
+                for &i in bucket {
+                    let (f, lanes) = &self.bank.faults[i];
+                    if let FaultKind::DataRetention { bit, decays_to, after, .. } = *f {
+                        if self.time.saturating_sub(self.last_write[addr]) > after {
+                            actions.push((addr, bit, Some(decays_to), *lanes));
+                        }
+                    }
+                }
+            }
+            self.apply_actions(&actions);
+            self.scratch_actions = actions;
+            self.enforce_state_on_victim(addr);
+            self.enforce_npsf_on_victim(addr);
+            self.enforce_sa(addr);
+        }
+        &self.store[addr * m..addr * m + m]
+    }
+
+    /// Writes the same word `data` to `addr` on every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `data` exceeds the cell width.
+    pub fn write_broadcast(&mut self, addr: usize, data: u64) {
+        self.geom.check_data(data).expect("data fits cell width");
+        let m = self.geom.width() as usize;
+        let mut new = std::mem::take(&mut self.scratch_new);
+        new.clear();
+        for bit in 0..m {
+            new.push(broadcast(data, bit as u32));
+        }
+        self.write_planes_inner(addr, &mut new);
+        self.scratch_new = new;
+    }
+
+    /// Writes per-lane values to `addr`, given as bit-planes (`planes[j]`
+    /// holds bit `j` of the written word across lanes) — the accumulator
+    /// write path of the batch interpreter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `planes` is not exactly one
+    /// plane per data bit.
+    pub fn write_planes(&mut self, addr: usize, planes: &[u64]) {
+        let m = self.geom.width() as usize;
+        assert_eq!(planes.len(), m, "one plane per data bit");
+        let mut new = std::mem::take(&mut self.scratch_new);
+        new.clear();
+        new.extend_from_slice(planes);
+        self.write_planes_inner(addr, &mut new);
+        self.scratch_new = new;
+    }
+
+    /// The shared write path: transition blocking → stuck-at → store →
+    /// coupling triggers → state coupling → NPSF, each masked per lane —
+    /// the scalar write order exactly.
+    fn write_planes_inner(&mut self, cell: usize, new: &mut [u64]) {
+        self.geom.check_addr(cell).expect("address in range");
+        self.time += 1;
+        let m = self.geom.width() as usize;
+        let base = cell * m;
+        if self.bank.is_empty() {
+            self.store[base..base + m].copy_from_slice(new);
+            return;
+        }
+        let mut old = std::mem::take(&mut self.scratch_old);
+        old.clear();
+        old.extend_from_slice(&self.store[base..base + m]);
+        // Transition blocking, then stuck-at enforcement on the incoming
+        // value — two passes, the scalar write order.
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::Transition { bit, rising, .. } = *f {
+                    let b = bit as usize;
+                    let blocked = if rising { !old[b] & new[b] } else { old[b] & !new[b] } & lanes;
+                    new[b] = (new[b] & !blocked) | (old[b] & blocked);
+                }
+            }
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::StuckAt { bit, value, .. } = *f {
+                    let b = bit as usize;
+                    if value & 1 == 1 {
+                        new[b] |= lanes;
+                    } else {
+                        new[b] &= !lanes;
+                    }
+                }
+            }
+        }
+        self.store[base..base + m].copy_from_slice(new);
+        self.last_write[cell] = self.time;
+        // Coupling triggers on the lanes whose bits actually flipped.
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_aggressor.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                match *f {
+                    FaultKind::CouplingInversion {
+                        agg_cell,
+                        agg_bit,
+                        victim_cell,
+                        victim_bit,
+                        trigger,
+                    } if agg_cell == cell => {
+                        let b = agg_bit as usize;
+                        let fired = match trigger {
+                            CouplingTrigger::Rise => !old[b] & new[b],
+                            CouplingTrigger::Fall => old[b] & !new[b],
+                        } & lanes;
+                        if fired != 0 {
+                            actions.push((victim_cell, victim_bit, None, fired));
+                        }
+                    }
+                    FaultKind::CouplingIdempotent {
+                        agg_cell,
+                        agg_bit,
+                        victim_cell,
+                        victim_bit,
+                        trigger,
+                        force,
+                    } if agg_cell == cell => {
+                        let b = agg_bit as usize;
+                        let fired = match trigger {
+                            CouplingTrigger::Rise => !old[b] & new[b],
+                            CouplingTrigger::Fall => old[b] & !new[b],
+                        } & lanes;
+                        if fired != 0 {
+                            actions.push((victim_cell, victim_bit, Some(force), fired));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+        self.scratch_old = old;
+        self.enforce_state_from_aggressor(cell);
+        self.enforce_state_on_victim(cell);
+        self.enforce_npsf_from_neighbor(cell);
+    }
+
+    /// Applies staged bit actions: `None` inverts the victim bit on the
+    /// masked lanes, `Some(v)` forces it — each followed by stuck-at
+    /// enforcement of the victim cell, like the scalar `force_bit`.
+    fn apply_actions(&mut self, actions: &[(usize, u32, Option<u8>, u64)]) {
+        let m = self.geom.width() as usize;
+        for &(vc, vb, act, lanes) in actions {
+            let p = &mut self.store[vc * m + vb as usize];
+            match act {
+                None => *p ^= lanes,
+                Some(v) => {
+                    if v & 1 == 1 {
+                        *p |= lanes;
+                    } else {
+                        *p &= !lanes;
+                    }
+                }
+            }
+            self.enforce_sa(vc);
+        }
+    }
+
+    /// CFst where `cell` is the aggressor: enforce on the lanes whose
+    /// aggressor bit currently holds the trigger state.
+    fn enforce_state_from_aggressor(&mut self, cell: usize) {
+        let m = self.geom.width() as usize;
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_aggressor.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::CouplingState {
+                    agg_cell,
+                    agg_bit,
+                    agg_state,
+                    victim_cell,
+                    victim_bit,
+                    force,
+                } = *f
+                {
+                    if agg_cell == cell {
+                        let plane = self.store[agg_cell * m + agg_bit as usize];
+                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes;
+                        if cond != 0 {
+                            actions.push((victim_cell, victim_bit, Some(force), cond));
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+    }
+
+    /// CFst where `cell` is the victim: re-enforce on the lanes whose
+    /// aggressor currently holds the trigger state.
+    fn enforce_state_on_victim(&mut self, cell: usize) {
+        let m = self.geom.width() as usize;
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::CouplingState {
+                    agg_cell,
+                    agg_bit,
+                    agg_state,
+                    victim_cell,
+                    victim_bit,
+                    force,
+                } = *f
+                {
+                    if victim_cell == cell {
+                        let plane = self.store[agg_cell * m + agg_bit as usize];
+                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes;
+                        if cond != 0 {
+                            actions.push((victim_cell, victim_bit, Some(force), cond));
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+    }
+
+    /// NPSF where `cell` is one of the neighbours (checked after writes).
+    fn enforce_npsf_from_neighbor(&mut self, cell: usize) {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_aggressor.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
+                    let cond = self.npsf_condition(neighbors, *lanes);
+                    if cond != 0 {
+                        actions.push((*victim_cell, *victim_bit, Some(*force), cond));
+                    }
+                }
+            }
+        }
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+    }
+
+    /// NPSF where `cell` is the victim (checked at reads).
+    fn enforce_npsf_on_victim(&mut self, cell: usize) {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
+                    if *victim_cell == cell {
+                        let cond = self.npsf_condition(neighbors, *lanes);
+                        if cond != 0 {
+                            actions.push((*victim_cell, *victim_bit, Some(*force), cond));
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+    }
+
+    /// The lanes on which every listed neighbour bit holds its listed
+    /// value.
+    fn npsf_condition(&self, neighbors: &[(usize, u32, u8)], lanes: u64) -> u64 {
+        let m = self.geom.width() as usize;
+        let mut cond = lanes;
+        for &(c, b, v) in neighbors {
+            let plane = self.store[c * m + b as usize];
+            cond &= if v & 1 == 1 { plane } else { !plane };
+        }
+        cond
+    }
+
+    /// Applies the stuck-at masks of `cell` to its stored planes.
+    fn enforce_sa(&mut self, cell: usize) {
+        let m = self.geom.width() as usize;
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::StuckAt { bit, value, .. } = *f {
+                    let p = &mut self.store[cell * m + bit as usize];
+                    if value & 1 == 1 {
+                        *p |= lanes;
+                    } else {
+                        *p &= !lanes;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The plane word broadcasting bit `bit` of `word` to all 64 lanes
+/// (shared with the batch interpreter in [`crate::prog`]).
+#[inline]
+pub(crate) fn broadcast(word: u64, bit: u32) -> u64 {
+    if (word >> bit) & 1 == 1 {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ram;
+
+    /// Drives the same op sequence through a scalar single-fault `Ram`
+    /// and a `LaneRam` with the fault in `lane`, asserting bitwise-equal
+    /// reads and storage at every step.
+    fn assert_lane_matches_scalar(
+        geom: Geometry,
+        fault: FaultKind,
+        lane: usize,
+        script: &[(bool, usize, u64)], // (is_write, addr, data)
+    ) {
+        let mut scalar = Ram::new(geom);
+        scalar.inject(fault.clone()).unwrap();
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(fault.clone(), lane).unwrap();
+        for (step, &(is_write, addr, data)) in script.iter().enumerate() {
+            if is_write {
+                scalar.write(addr, data);
+                lanes.write_broadcast(addr, data);
+            } else {
+                let want = scalar.read(addr);
+                let planes = lanes.read(addr);
+                let mut got = 0u64;
+                for (j, p) in planes.iter().enumerate() {
+                    got |= ((p >> lane) & 1) << j;
+                }
+                assert_eq!(got, want, "{fault} lane {lane} step {step}: read @{addr}");
+            }
+            for c in 0..geom.cells() {
+                assert_eq!(
+                    lanes.peek_lane(c, lane),
+                    scalar.peek(c),
+                    "{fault} lane {lane} step {step}: cell {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_matches_scalar_in_any_lane() {
+        for lane in [0usize, 17, 63] {
+            for value in [0u8, 1] {
+                assert_lane_matches_scalar(
+                    Geometry::bom(4),
+                    FaultKind::StuckAt { cell: 1, bit: 0, value },
+                    lane,
+                    &[(true, 1, 1), (false, 1, 0), (true, 1, 0), (false, 1, 0)],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_blocking_matches_scalar() {
+        for rising in [true, false] {
+            assert_lane_matches_scalar(
+                Geometry::bom(2),
+                FaultKind::Transition { cell: 0, bit: 0, rising },
+                9,
+                &[(true, 0, 1), (false, 0, 0), (true, 0, 0), (false, 0, 0), (true, 0, 1)],
+            );
+        }
+    }
+
+    #[test]
+    fn couplings_match_scalar() {
+        let script: Vec<(bool, usize, u64)> = vec![
+            (true, 2, 1),
+            (true, 0, 1),
+            (false, 2, 0),
+            (true, 0, 0),
+            (false, 2, 0),
+            (true, 0, 1),
+            (false, 2, 0),
+            (true, 2, 0),
+            (false, 2, 0),
+        ];
+        for trigger in [CouplingTrigger::Rise, CouplingTrigger::Fall] {
+            assert_lane_matches_scalar(
+                Geometry::bom(4),
+                FaultKind::CouplingInversion {
+                    agg_cell: 0,
+                    agg_bit: 0,
+                    victim_cell: 2,
+                    victim_bit: 0,
+                    trigger,
+                },
+                31,
+                &script,
+            );
+            for force in [0u8, 1] {
+                assert_lane_matches_scalar(
+                    Geometry::bom(4),
+                    FaultKind::CouplingIdempotent {
+                        agg_cell: 0,
+                        agg_bit: 0,
+                        victim_cell: 2,
+                        victim_bit: 0,
+                        trigger,
+                        force,
+                    },
+                    31,
+                    &script,
+                );
+            }
+        }
+        for agg_state in [0u8, 1] {
+            for force in [0u8, 1] {
+                assert_lane_matches_scalar(
+                    Geometry::bom(4),
+                    FaultKind::CouplingState {
+                        agg_cell: 0,
+                        agg_bit: 0,
+                        agg_state,
+                        victim_cell: 2,
+                        victim_bit: 0,
+                        force,
+                    },
+                    62,
+                    &script,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intra_word_coupling_matches_scalar() {
+        assert_lane_matches_scalar(
+            Geometry::wom(4, 4).unwrap(),
+            FaultKind::CouplingInversion {
+                agg_cell: 1,
+                agg_bit: 0,
+                victim_cell: 1,
+                victim_bit: 3,
+                trigger: CouplingTrigger::Rise,
+            },
+            5,
+            &[(true, 1, 0b0001), (false, 1, 0), (true, 1, 0b0000), (false, 1, 0)],
+        );
+    }
+
+    #[test]
+    fn retention_decay_matches_scalar() {
+        assert_lane_matches_scalar(
+            Geometry::bom(4),
+            FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 },
+            44,
+            &[(true, 0, 1), (false, 0, 0), (true, 1, 1), (true, 2, 1), (true, 3, 1), (false, 0, 0)],
+        );
+    }
+
+    #[test]
+    fn npsf_matches_scalar() {
+        assert_lane_matches_scalar(
+            Geometry::bom(5),
+            FaultKind::Npsf {
+                victim_cell: 2,
+                victim_bit: 0,
+                neighbors: vec![(1, 0, 1), (3, 0, 1)],
+                force: 1,
+            },
+            3,
+            &[(true, 2, 0), (true, 1, 1), (false, 2, 0), (true, 3, 1), (false, 2, 0)],
+        );
+    }
+
+    #[test]
+    fn lanes_are_isolated() {
+        // Two different faults in two lanes: each lane behaves like its
+        // own scalar device, the other lane's fault invisible to it.
+        let geom = Geometry::bom(4);
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 2).unwrap();
+        lanes.inject(FaultKind::StuckAt { cell: 1, bit: 0, value: 1 }, 7).unwrap();
+        assert_eq!(lanes.active_lanes(), (1 << 2) | (1 << 7));
+        lanes.write_broadcast(0, 1);
+        lanes.write_broadcast(1, 0);
+        let p0 = lanes.read(0)[0];
+        assert_eq!((p0 >> 2) & 1, 0, "lane 2 is stuck at 0");
+        assert_eq!((p0 >> 7) & 1, 1, "lane 7 sees a healthy cell 0");
+        let p1 = lanes.read(1)[0];
+        assert_eq!((p1 >> 2) & 1, 0, "lane 2 sees a healthy cell 1");
+        assert_eq!((p1 >> 7) & 1, 1, "lane 7 is stuck at 1");
+    }
+
+    #[test]
+    fn reset_and_eject_recycle_the_device() {
+        let geom = Geometry::wom(4, 4).unwrap();
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(FaultKind::StuckAt { cell: 1, bit: 2, value: 1 }, 0).unwrap();
+        lanes.write_broadcast(1, 0xF);
+        lanes.eject_faults();
+        lanes.reset_to(0xA);
+        assert_eq!(lanes.active_lanes(), 0);
+        assert!(lanes.fault_bank().is_empty());
+        for c in 0..4 {
+            for l in [0usize, 63] {
+                assert_eq!(lanes.peek_lane(c, l), 0xA);
+            }
+        }
+        // And the recycled device accepts a fresh batch.
+        lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 63).unwrap();
+        lanes.write_broadcast(0, 0xF);
+        assert_eq!(lanes.peek_lane(0, 63), 0xE);
+    }
+
+    #[test]
+    fn unbatchable_families_are_rejected() {
+        let mut lanes = LaneRam::new(Geometry::bom(4));
+        for fault in [
+            FaultKind::DecoderNoAccess { addr: 0 },
+            FaultKind::StuckOpen { cell: 1 },
+            FaultKind::ReadDestructive { cell: 0, bit: 0 },
+            FaultKind::DeceptiveRead { cell: 0, bit: 0 },
+            FaultKind::IncorrectRead { cell: 0, bit: 0 },
+            FaultKind::WriteDisturb { cell: 0, bit: 0 },
+        ] {
+            assert!(!is_lane_batchable(&fault));
+            assert!(matches!(lanes.inject(fault, 0), Err(RamError::FaultNotBatchable { .. })));
+        }
+        assert_eq!(lanes.active_lanes(), 0, "rejected faults must not claim a lane");
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut lanes = LaneRam::new(Geometry::bom(4));
+        assert!(lanes.inject(FaultKind::StuckAt { cell: 9, bit: 0, value: 0 }, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "trial lane out of range")]
+    fn lane_bound_is_enforced() {
+        let mut lanes = LaneRam::new(Geometry::bom(4));
+        let _ = lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, LANES);
+    }
+}

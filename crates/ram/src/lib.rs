@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod error;
 pub mod fault;
 pub mod geometry;
@@ -51,6 +52,7 @@ pub mod stats;
 pub mod topology;
 pub mod universe;
 
+pub use batch::{is_lane_batchable, LaneFaultBank, LaneRam, LANES};
 pub use error::RamError;
 pub use fault::{CouplingTrigger, FaultBank, FaultKind};
 pub use geometry::Geometry;

@@ -74,6 +74,7 @@
 //! # Ok::<(), prt_ram::RamError>(())
 //! ```
 
+use crate::batch::{broadcast as lane_broadcast, LaneRam};
 use crate::{Geometry, PortOp, Ram, RamError, MAX_PORTS};
 use std::ops::Range;
 
@@ -377,6 +378,98 @@ impl TestProgram {
     /// convention.
     pub fn detect(&self, ram: &mut Ram) -> bool {
         self.run(ram, true, None, None).map(|e| e.detected()).unwrap_or(false)
+    }
+
+    /// `true` when this program can drive a lane-sliced batch run:
+    /// single-port only — every multi-port cycle schedule stays on the
+    /// scalar path (a [`crate::batch::LaneRam`] has no port or decoder
+    /// model).
+    pub fn lane_batchable(&self) -> bool {
+        self.ports == 1
+    }
+
+    /// Runs the program against up to 64 fault trials **simultaneously**
+    /// on a lane-sliced [`LaneRam`], and returns the mask of lanes whose
+    /// trial was flagged (either channel — the lane counterpart of
+    /// [`TestProgram::detect`]).
+    ///
+    /// Checked reads compare every bit-plane against the broadcast
+    /// expected word; accumulator lanes are widened to one bit-plane set
+    /// per trial lane, with the precompiled GF(2)-linear maps applied
+    /// per bit-plane (`acc_plane[i] ^= value_plane[j]` for every set bit
+    /// `i` of mask `j` — no per-lane arithmetic anywhere). The run early
+    /// exits once every active lane has been flagged (the lane-masked
+    /// form of the scalar early exit; verdicts are unaffected because a
+    /// flagged lane's verdict is final). A geometry mismatch counts as
+    /// *not detected* on every lane, mirroring the scalar error-as-escape
+    /// convention.
+    ///
+    /// Per lane, the returned verdict is **bit-identical** to
+    /// [`TestProgram::detect`] on a scalar [`Ram`] carrying that lane's
+    /// fault (property-tested in `tests/batch.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program is not [`TestProgram::lane_batchable`] —
+    /// campaign engines partition multi-port programs to the scalar path
+    /// before ever calling this.
+    pub fn detect_batch(&self, ram: &mut LaneRam) -> u64 {
+        assert!(
+            self.lane_batchable(),
+            "multi-port program '{}' cannot run lane-batched",
+            self.name
+        );
+        if ram.geometry() != self.geom {
+            return 0;
+        }
+        let m = self.geom.width() as usize;
+        let full = ram.active_lanes();
+        let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+        let mut detected = 0u64;
+        for op in &self.ops {
+            match *op {
+                MemOp::Write { addr, data } => ram.write_broadcast(addr as usize, data),
+                MemOp::ReadExpect { addr, expect }
+                | MemOp::ReadStale { addr, expect }
+                | MemOp::ReadCapture { addr, expect } => {
+                    let planes = ram.read(addr as usize);
+                    let mut diff = 0u64;
+                    for (j, &p) in planes.iter().enumerate() {
+                        diff |= p ^ lane_broadcast(expect, j as u32);
+                    }
+                    detected |= diff;
+                }
+                MemOp::ReadAny { addr } => {
+                    let _ = ram.read(addr as usize);
+                }
+                MemOp::AccSet { lane, value } => {
+                    for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
+                        *plane = lane_broadcast(value, j as u32);
+                    }
+                }
+                MemOp::ReadAcc { addr, map, lane } => {
+                    let planes = ram.read(addr as usize);
+                    let masks = &self.maps[map as usize];
+                    let a = &mut acc[lane as usize];
+                    for (j, &p) in planes.iter().enumerate() {
+                        let mut img = masks[j];
+                        while img != 0 {
+                            let i = img.trailing_zeros() as usize;
+                            a[i] ^= p;
+                            img &= img - 1;
+                        }
+                    }
+                }
+                MemOp::WriteAcc { addr, lane } => {
+                    ram.write_planes(addr as usize, &acc[lane as usize][..m]);
+                }
+                MemOp::CycleN { .. } => unreachable!("lane_batchable excluded multi-port cycles"),
+            }
+            if detected & full == full {
+                break;
+            }
+        }
+        detected & full
     }
 
     /// Runs the program and reports full channel counts. With
@@ -1233,6 +1326,118 @@ mod tests {
         assert!(run(&full));
         assert!(!run(&lo));
         assert!(run(&hi));
+    }
+
+    #[test]
+    fn detect_batch_matches_scalar_per_lane() {
+        // A March-like program over 64 lanes, each carrying a different
+        // batchable fault: lane verdicts must equal scalar verdicts.
+        let geom = Geometry::bom(8);
+        let mut b = ProgramBuilder::new(geom);
+        for a in 0..8 {
+            b.write(a, 0);
+        }
+        for a in 0..8 {
+            b.read_expect(a, 0);
+            b.write(a, 1);
+        }
+        for a in (0..8).rev() {
+            b.read_expect(a, 1);
+            b.write(a, 0);
+        }
+        let prog = b.build();
+        assert!(prog.lane_batchable());
+        let mut faults = Vec::new();
+        for cell in 0..8 {
+            faults.push(FaultKind::StuckAt { cell, bit: 0, value: 0 });
+            faults.push(FaultKind::StuckAt { cell, bit: 0, value: 1 });
+            faults.push(FaultKind::Transition { cell, bit: 0, rising: true });
+            faults.push(FaultKind::Transition { cell, bit: 0, rising: false });
+        }
+        for cell in 0..4 {
+            for force in [0u8, 1] {
+                faults.push(FaultKind::CouplingIdempotent {
+                    agg_cell: cell,
+                    agg_bit: 0,
+                    victim_cell: cell + 4,
+                    victim_bit: 0,
+                    trigger: crate::CouplingTrigger::Rise,
+                    force,
+                });
+            }
+        }
+        assert!(faults.len() <= 64);
+        let mut lanes = crate::LaneRam::new(geom);
+        for (lane, fault) in faults.iter().enumerate() {
+            lanes.inject(fault.clone(), lane).unwrap();
+        }
+        let got = prog.detect_batch(&mut lanes);
+        for (lane, fault) in faults.iter().enumerate() {
+            let mut ram = Ram::new(geom);
+            ram.inject(fault.clone()).unwrap();
+            let want = prog.detect(&mut ram);
+            assert_eq!((got >> lane) & 1 == 1, want, "{fault} in lane {lane}");
+        }
+    }
+
+    #[test]
+    fn detect_batch_accumulator_wave_is_lane_exact() {
+        // The GF(2) XOR-wave program of `accumulator_reproduces_gf2_wave`
+        // run batched: a fault-free lane passes, a faulted lane fails,
+        // exactly as the scalar interpreter decides.
+        let geom = Geometry::bom(9);
+        let mut b = ProgramBuilder::new(geom);
+        let id = b.identity_map();
+        b.write(0, 0);
+        b.write(1, 1);
+        for t in 0..7 {
+            b.acc_set(0);
+            b.read_acc(t + 1, id);
+            b.read_acc(t, id);
+            b.write_acc(t + 2);
+        }
+        let expect = [0u64, 1, 1, 0, 1, 1, 0, 1, 1];
+        for (c, &e) in expect.iter().enumerate() {
+            b.read_expect(c, e);
+        }
+        let prog = b.build();
+        let faults = [
+            FaultKind::StuckAt { cell: 4, bit: 0, value: 0 },
+            FaultKind::StuckAt { cell: 4, bit: 0, value: 1 },
+            FaultKind::Transition { cell: 2, bit: 0, rising: true },
+            FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, // matches the seed: escapes?
+        ];
+        let mut lanes = crate::LaneRam::new(geom);
+        for (lane, fault) in faults.iter().enumerate() {
+            lanes.inject(fault.clone(), lane).unwrap();
+        }
+        let got = prog.detect_batch(&mut lanes);
+        for (lane, fault) in faults.iter().enumerate() {
+            let mut ram = Ram::new(geom);
+            ram.inject(fault.clone()).unwrap();
+            assert_eq!((got >> lane) & 1 == 1, prog.detect(&mut ram), "{fault}");
+        }
+    }
+
+    #[test]
+    fn detect_batch_geometry_mismatch_is_an_escape() {
+        let mut b = ProgramBuilder::new(Geometry::bom(8));
+        b.read_expect(0, 1);
+        let prog = b.build();
+        let mut lanes = crate::LaneRam::new(Geometry::bom(4));
+        lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 0).unwrap();
+        assert_eq!(prog.detect_batch(&mut lanes), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run lane-batched")]
+    fn detect_batch_rejects_multi_port_programs() {
+        let geom = Geometry::bom(4);
+        let mut b = ProgramBuilder::new(geom);
+        b.cycle2(SlotOp::ReadExpect { addr: 0, expect: 0 }, SlotOp::Idle);
+        let prog = b.build();
+        assert!(!prog.lane_batchable());
+        let _ = prog.detect_batch(&mut crate::LaneRam::new(geom));
     }
 
     #[test]

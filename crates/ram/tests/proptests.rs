@@ -229,6 +229,66 @@ proptest! {
         prop_assert_eq!(pooled.stats(), fresh.stats());
     }
 
+    /// LANE ≡ SCALAR: under arbitrary operation sequences, a batchable
+    /// fault injected into ANY lane of a `LaneRam` behaves bitwise like
+    /// the same fault on a scalar `Ram` — every read and the final
+    /// storage image agree, and every other lane stays fault-free.
+    #[test]
+    fn lane_ram_equals_scalar_ram(
+        actions in arb_actions(8, 0xF),
+        fault_pick in 0usize..100_000,
+        lane in 0usize..64,
+        witness in 0usize..64,
+    ) {
+        use prt_ram::{is_lane_batchable, LaneRam, UniverseSpec, FaultUniverse};
+        let geom = Geometry::wom(8, 4).unwrap();
+        let spec = UniverseSpec {
+            coupling_radius: Some(3), intra_word: true, ..UniverseSpec::paper_claim()
+        };
+        let batchable: Vec<FaultKind> = FaultUniverse::enumerate(geom, &spec)
+            .faults()
+            .iter()
+            .filter(|f| is_lane_batchable(f))
+            .cloned()
+            .collect();
+        let fault = batchable[fault_pick % batchable.len()].clone();
+        let mut scalar = Ram::new(geom);
+        scalar.inject(fault.clone()).unwrap();
+        let mut healthy = Ram::new(geom);
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(fault.clone(), lane).unwrap();
+        let pick = |planes: &[u64], l: usize| -> u64 {
+            planes.iter().enumerate().fold(0, |w, (j, p)| w | (((p >> l) & 1) << j))
+        };
+        for act in &actions {
+            match *act {
+                Action::Read(a) => {
+                    let want = scalar.read(a);
+                    let clean = healthy.read(a);
+                    let planes = lanes.read(a);
+                    prop_assert_eq!(pick(planes, lane), want, "{} read @{}", &fault, a);
+                    if witness != lane {
+                        prop_assert_eq!(
+                            pick(planes, witness), clean,
+                            "lane {} leaked into lane {}", lane, witness
+                        );
+                    }
+                }
+                Action::Write(a, d) => {
+                    scalar.write(a, d);
+                    healthy.write(a, d);
+                    lanes.write_broadcast(a, d);
+                }
+            }
+        }
+        for c in 0..8 {
+            prop_assert_eq!(lanes.peek_lane(c, lane), scalar.peek(c), "cell {}", c);
+            if witness != lane {
+                prop_assert_eq!(lanes.peek_lane(c, witness), healthy.peek(c), "cell {}", c);
+            }
+        }
+    }
+
     /// Decoder shadow faults alias exactly two addresses to one cell.
     #[test]
     fn decoder_shadow_aliasing(addr in 0usize..8, data in 0u64..2, probe in 0u64..2) {

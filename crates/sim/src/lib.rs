@@ -66,7 +66,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-use prt_ram::{FaultKind, FaultUniverse, Geometry, Ram, TestProgram};
+use prt_ram::{
+    is_lane_batchable, FaultKind, FaultUniverse, Geometry, LaneRam, Ram, TestProgram, LANES,
+};
 
 mod report;
 
@@ -121,6 +123,18 @@ impl Parallelism {
 pub trait FaultRunner: Sync {
     /// Runs the test; `true` means the fault was detected.
     fn detect(&self, ram: &mut Ram, background: u64) -> bool;
+
+    /// The compiled program this runner would execute for `background`,
+    /// if it can expose one — the hook the **lane-batched** campaign path
+    /// dispatches through ([`Campaign::detections`] packs 64 batchable
+    /// fault trials per interpreter pass when every background resolves
+    /// to a single-port program). Runners without a compiled program
+    /// (closures, notation-interpreting adapters) keep the default `None`
+    /// and campaigns fall back to the scalar path.
+    fn batch_program(&self, background: u64) -> Option<&TestProgram> {
+        let _ = background;
+        None
+    }
 }
 
 impl<F> FaultRunner for F
@@ -154,6 +168,16 @@ where
 impl FaultRunner for &TestProgram {
     fn detect(&self, ram: &mut Ram, background: u64) -> bool {
         detect_checked(self, ram, background)
+    }
+
+    fn batch_program(&self, background: u64) -> Option<&TestProgram> {
+        match self.background() {
+            // A baked-in background that differs from the trial's is a
+            // configuration error — decline the batch path so the scalar
+            // path surfaces it with its usual loud panic.
+            Some(baked) if baked != background => None,
+            _ => Some(self),
+        }
     }
 }
 
@@ -262,6 +286,10 @@ impl FaultRunner for &ProgramBank {
             .unwrap_or_else(|| panic!("no program compiled for background {background:#x}"));
         detect_checked(program, ram, background)
     }
+
+    fn batch_program(&self, background: u64) -> Option<&TestProgram> {
+        self.program(background)
+    }
 }
 
 /// Runs `count` independent trials against pooled memories and collects the
@@ -369,6 +397,7 @@ pub struct Campaign<'a, R> {
     backgrounds: Vec<u64>,
     ports: usize,
     parallelism: Parallelism,
+    lane_batching: bool,
     name: String,
 }
 
@@ -388,6 +417,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             backgrounds: vec![0],
             ports: 1,
             parallelism: Parallelism::Auto,
+            lane_batching: true,
             name: "campaign".to_string(),
         }
     }
@@ -414,6 +444,19 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// Sets the parallelism policy (default [`Parallelism::Auto`]).
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Campaign<'a, R> {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Enables or disables the lane-sliced batch path (default enabled).
+    /// With batching on, a campaign whose runner exposes a single-port
+    /// compiled program for every background
+    /// ([`FaultRunner::batch_program`]) partitions its universe into
+    /// batchable lanes-of-64 plus a scalar remainder and evaluates up to
+    /// 64 trials per interpreter pass; verdicts are bit-identical to the
+    /// scalar path either way. Disable to measure or differential-test
+    /// the scalar engine.
+    pub fn with_lane_batching(mut self, enabled: bool) -> Campaign<'a, R> {
+        self.lane_batching = enabled;
         self
     }
 
@@ -448,11 +491,128 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
 
     /// Per-fault verdicts in enumeration order. Deterministic: the result
     /// is independent of the parallelism policy because every trial is
-    /// isolated on its own (pooled) memory.
+    /// isolated on its own (pooled) memory — and of the lane-batching
+    /// policy, because the batch engine is bitwise-exact per lane
+    /// (property-tested in `tests/batch.rs`).
     pub fn detections(&self) -> Vec<bool> {
+        match self.batch_plan() {
+            Some(programs) => self.detections_lane_batched(&programs),
+            None => self.detections_scalar(),
+        }
+    }
+
+    /// The scalar engine: one interpreter pass per (fault, background)
+    /// trial on pooled memories — the reference the batch path is
+    /// differential-tested against.
+    fn detections_scalar(&self) -> Vec<bool> {
         run_trials(self.geom, self.ports, self.faults.len(), self.parallelism, |i, ram| {
             self.run_fault(i, ram)
         })
+    }
+
+    /// The compiled programs (one per background) to batch with, when the
+    /// campaign is eligible: batching enabled, every background resolves
+    /// to a program, and every program is single-port on this geometry.
+    fn batch_plan(&self) -> Option<Vec<&TestProgram>> {
+        if !self.lane_batching {
+            return None;
+        }
+        let programs: Vec<&TestProgram> = self
+            .backgrounds
+            .iter()
+            .map(|&bg| self.runner.batch_program(bg))
+            .collect::<Option<_>>()?;
+        // Geometry mismatches fall through to the scalar path, which
+        // surfaces them with its usual loud panic.
+        programs.iter().all(|p| p.lane_batchable() && p.geometry() == self.geom).then_some(programs)
+    }
+
+    /// The lane-batched engine: batchable faults are packed 64 per
+    /// [`LaneRam`] (scalar-only families — decoder, stuck-open,
+    /// read/write-logic — run on the scalar remainder path), workers
+    /// self-schedule over whole batches, and the verdict table is filled
+    /// by fault index, so the result is identical to
+    /// [`Campaign::detections_scalar`] for any thread count.
+    fn detections_lane_batched(&self, programs: &[&TestProgram]) -> Vec<bool> {
+        let mut verdicts = vec![false; self.faults.len()];
+        let mut batched: Vec<usize> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            if is_lane_batchable(fault) {
+                batched.push(i);
+            } else {
+                rest.push(i);
+            }
+        }
+        let n_batches = batched.len().div_ceil(LANES);
+        let run_batch = |b: usize, ram: &mut LaneRam| -> u64 {
+            ram.eject_faults();
+            ram.reset_to(0);
+            let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
+            for (lane, &fi) in lanes.iter().enumerate() {
+                ram.inject(self.faults[fi].clone(), lane).expect("campaign faults are valid");
+            }
+            let full = ram.active_lanes();
+            let mut detected = 0u64;
+            for (bi, program) in programs.iter().enumerate() {
+                if bi > 0 {
+                    // The per-fault early exit across backgrounds, lane
+                    // style: stop once every lane has been flagged.
+                    if detected == full {
+                        break;
+                    }
+                    ram.reset_to(0);
+                }
+                detected |= program.detect_batch(ram);
+            }
+            detected
+        };
+        let scatter = |verdicts: &mut [bool], b: usize, detected: u64| {
+            for (lane, &fi) in batched[b * LANES..].iter().take(LANES).enumerate() {
+                verdicts[fi] = (detected >> lane) & 1 == 1;
+            }
+        };
+        let workers = self.parallelism.workers(batched.len()).min(n_batches.max(1));
+        if workers <= 1 {
+            let mut ram = LaneRam::new(self.geom);
+            for b in 0..n_batches {
+                let detected = run_batch(b, &mut ram);
+                scatter(&mut verdicts, b, detected);
+            }
+        } else {
+            let results: Vec<OnceLock<u64>> = (0..n_batches).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut ram = LaneRam::new(self.geom);
+                        loop {
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            if b >= n_batches {
+                                break;
+                            }
+                            // Batch indices are claimed uniquely, so each
+                            // slot is set once.
+                            let _ = results[b].set(run_batch(b, &mut ram));
+                        }
+                    });
+                }
+            });
+            for (b, slot) in results.into_iter().enumerate() {
+                let detected = slot.into_inner().expect("every batch index was dispatched");
+                scatter(&mut verdicts, b, detected);
+            }
+        }
+        if !rest.is_empty() {
+            let rest_verdicts =
+                run_trials(self.geom, self.ports, rest.len(), self.parallelism, |k, ram| {
+                    self.run_fault(rest[k], ram)
+                });
+            for (&fi, v) in rest.iter().zip(rest_verdicts) {
+                verdicts[fi] = v;
+            }
+        }
+        verdicts
     }
 
     /// The seed's original inner loop — a fresh [`Ram`] allocated per
@@ -489,6 +649,9 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// complete. Fail-fast: sequential campaigns stop at the first escape;
     /// parallel campaigns stop refining once no smaller index can escape.
     /// The result equals `self.escapes().first()` for any thread count.
+    /// Always runs the scalar engine — the fail-fast scan visits a prefix
+    /// of the universe, where batch packing would mostly evaluate trials
+    /// whose verdicts are then discarded.
     pub fn first_escape(&self) -> Option<usize> {
         let count = self.faults.len();
         let workers = self.parallelism.workers(count);
@@ -756,6 +919,85 @@ mod tests {
                 .detections();
             assert_eq!(compiled, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn lane_batched_campaign_matches_scalar_engine() {
+        // The full() universe mixes batchable (SAF/TF/CF…) and
+        // scalar-only (AF/SOF/RDF…) families, so the partition and the
+        // remainder path are both exercised. Verdicts must be identical
+        // to the scalar engine for any thread count.
+        let u = universe();
+        let prog = toy_program(u.geometry());
+        let scalar = Campaign::new(&u, &prog)
+            .with_lane_batching(false)
+            .with_parallelism(Parallelism::Sequential)
+            .detections();
+        for parallelism in
+            [Parallelism::Sequential, Parallelism::Threads(3), Parallelism::Threads(7)]
+        {
+            let batched = Campaign::new(&u, &prog).with_parallelism(parallelism).detections();
+            assert_eq!(scalar, batched, "{parallelism:?}");
+        }
+        // The aggregated report is identical too.
+        let a = Campaign::new(&u, &prog).with_name("toy").run();
+        let b = Campaign::new(&u, &prog).with_name("toy").with_lane_batching(false).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_batched_multi_background_matches_scalar() {
+        let geom = Geometry::wom(6, 4).expect("geometry");
+        let u = FaultUniverse::enumerate(
+            geom,
+            &UniverseSpec { intra_word: true, ..UniverseSpec::full() },
+        );
+        let bgs = [0u64, 0b0101];
+        let bank = ProgramBank::new(bgs.map(|bg| {
+            let mut b = prt_ram::ProgramBuilder::new(geom).with_background(bg);
+            for a in 0..6 {
+                b.write(a, bg);
+            }
+            for a in 0..6 {
+                b.read_expect(a, bg);
+                b.write(a, bg ^ 0xF);
+            }
+            for a in 0..6 {
+                b.read_expect(a, bg ^ 0xF);
+            }
+            (bg, b.build())
+        }));
+        let scalar =
+            Campaign::new(&u, &bank).with_backgrounds(&bgs).with_lane_batching(false).detections();
+        for threads in [1usize, 4] {
+            let batched = Campaign::new(&u, &bank)
+                .with_backgrounds(&bgs)
+                .with_parallelism(Parallelism::Threads(threads))
+                .detections();
+            assert_eq!(scalar, batched, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn interpreted_runners_have_no_batch_plan() {
+        // A closure runner exposes no compiled program: the batch path
+        // must decline and the scalar engine must serve the verdicts.
+        let u = universe();
+        let c = Campaign::new(&u, toy_runner);
+        assert!(c.batch_plan().is_none());
+        assert_eq!(c.detections(), c.detections_scalar());
+    }
+
+    #[test]
+    fn multi_port_programs_stay_on_the_scalar_path() {
+        let geom = Geometry::bom(4);
+        let mut b = prt_ram::ProgramBuilder::new(geom);
+        b.cycle2(prt_ram::SlotOp::ReadExpect { addr: 0, expect: 0 }, prt_ram::SlotOp::Idle);
+        let prog = b.build();
+        let faults = [FaultKind::StuckAt { cell: 0, bit: 0, value: 1 }];
+        let c = Campaign::over(geom, &faults, &prog).with_ports(2);
+        assert!(c.batch_plan().is_none(), "dual-port programs cannot batch");
+        assert_eq!(c.detections(), vec![true]);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod prelude {
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
-        CouplingTrigger, FaultKind, FaultUniverse, Geometry, PortOp, ProgramBuilder, Ram, RamError,
-        SplitMix64, TestProgram, UniverseSpec,
+        is_lane_batchable, CouplingTrigger, FaultKind, FaultUniverse, Geometry, LaneRam, PortOp,
+        ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec, LANES,
     };
     pub use prt_sim::{Campaign, FaultRunner, Parallelism, ProgramBank};
 }

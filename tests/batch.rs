@@ -1,0 +1,212 @@
+//! Batch-vs-scalar differential property tests: the lane-sliced batch
+//! engine must produce **bit-identical verdicts** to the scalar campaign
+//! engine, per fault, over full BOM/WOM universes, for every compiled
+//! test family (March, π, PRT scheme, bit-plane scheme), any lane
+//! position and any thread count. The scalar path is the oracle — these
+//! are the acceptance tests of the lane-sliced refactor.
+
+use proptest::prelude::*;
+use prt_suite::prelude::*;
+
+fn gf16() -> Field {
+    Field::new(4, 0b1_0011).expect("GF(16)")
+}
+
+/// The mixed universe every campaign property sweeps: batchable families
+/// (SAF/TF/CFin/CFid/CFst, intra-word included on WOM) *plus* the
+/// scalar-only remainder (AF, SOF, read/write-logic families), so the
+/// lanes-of-64 partition and the scalar fallback are both exercised.
+fn mixed_universe(geom: Geometry) -> FaultUniverse {
+    let spec = UniverseSpec {
+        coupling_radius: Some(2),
+        intra_word: geom.width() > 1,
+        ..UniverseSpec::full()
+    };
+    FaultUniverse::enumerate(geom, &spec)
+}
+
+/// Batched (given thread count) vs scalar-sequential verdicts of the same
+/// campaign must be identical.
+fn assert_batch_equals_scalar(universe: &FaultUniverse, program: &TestProgram, threads: usize) {
+    let backgrounds = [program.background().unwrap_or(0)];
+    let scalar = Campaign::new(universe, program)
+        .with_backgrounds(&backgrounds)
+        .with_lane_batching(false)
+        .with_parallelism(Parallelism::Sequential)
+        .detections();
+    let batched = Campaign::new(universe, program)
+        .with_backgrounds(&backgrounds)
+        .with_parallelism(Parallelism::Threads(threads))
+        .detections();
+    for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+        assert_eq!(
+            s,
+            b,
+            "{}: verdict diverged on {} (threads={})",
+            program.name(),
+            universe.faults()[i],
+            threads
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BATCH ≡ SCALAR (March): every library algorithm, random geometry
+    /// (BOM and 4-bit WOM), background and thread count, over the full
+    /// mixed universe.
+    #[test]
+    fn march_batch_campaign_equals_scalar(
+        test_idx in 0usize..15,
+        bg in 0u64..16,
+        n in 2usize..12,
+        wom in any::<bool>(),
+        threads in 1usize..5,
+    ) {
+        let geom = if wom { Geometry::wom(n, 4).expect("geometry") } else { Geometry::bom(n) };
+        let bg = bg & geom.data_mask();
+        let u = mixed_universe(geom);
+        let tests = march_library::all();
+        let test = &tests[test_idx % tests.len()];
+        let ex = Executor::new().with_background(bg).stop_at_first_mismatch();
+        let program = ex.compile(test, geom);
+        assert_batch_equals_scalar(&u, &program, threads);
+    }
+
+    /// BATCH ≡ SCALAR (March, multi-background WOM): the `ProgramBank`
+    /// dispatch path with the per-fault early exit across backgrounds.
+    #[test]
+    fn march_multibackground_batch_equals_scalar(
+        test_idx in 0usize..15,
+        n in 2usize..10,
+        threads in 1usize..5,
+    ) {
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let u = mixed_universe(geom);
+        let tests = march_library::all();
+        let test = &tests[test_idx % tests.len()];
+        let ex = Executor::new().stop_at_first_mismatch();
+        let bgs = prt_march::coverage::standard_backgrounds(4);
+        let bank = prt_march::coverage::compile_bank(test, geom, &ex, &bgs);
+        let scalar = Campaign::new(&u, &bank)
+            .with_backgrounds(&bgs)
+            .with_lane_batching(false)
+            .with_parallelism(Parallelism::Sequential)
+            .detections();
+        let batched = Campaign::new(&u, &bank)
+            .with_backgrounds(&bgs)
+            .with_parallelism(Parallelism::Threads(threads))
+            .detections();
+        prop_assert_eq!(scalar, batched, "{} n={}", test.name(), n);
+    }
+
+    /// BATCH ≡ SCALAR (π-test): random seeds and sizes; the compiled π
+    /// program exercises the accumulator ops (AccSet/ReadAcc/WriteAcc)
+    /// whose lanes the batch interpreter widens to per-trial bit-planes.
+    #[test]
+    fn pi_batch_campaign_equals_scalar(
+        s0 in 0u64..16,
+        s1 in 0u64..16,
+        n in 3usize..14,
+        threads in 1usize..5,
+    ) {
+        let pi = PiTest::new(gf16(), &[1, 2, 2], &[s0, s1]).expect("config");
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let u = mixed_universe(geom);
+        let program = pi.compile(geom).expect("compile");
+        assert_batch_equals_scalar(&u, &program, threads);
+    }
+
+    /// BATCH ≡ SCALAR (PRT schemes): the flat scheme program including
+    /// stale-channel pre-reads and the final readback sweep.
+    #[test]
+    fn scheme_batch_campaign_equals_scalar(
+        which in 0usize..4,
+        n in 3usize..14,
+        threads in 1usize..5,
+    ) {
+        let field = Field::new(1, 0b11).expect("GF(2)");
+        let scheme = match which {
+            0 => PrtScheme::standard3(field).expect("scheme"),
+            1 => PrtScheme::standard4(field).expect("scheme"),
+            2 => PrtScheme::plain(field, 3).expect("scheme"),
+            _ => PrtScheme::plain(field, 5).expect("scheme"),
+        };
+        let geom = Geometry::bom(n);
+        let u = mixed_universe(geom);
+        let program = scheme.compile(geom).expect("compile");
+        assert_batch_equals_scalar(&u, &program, threads);
+    }
+
+    /// BATCH ≡ SCALAR (bit-plane schemes): multi-round GF(2) plane
+    /// programs on word-oriented memories.
+    #[test]
+    fn plane_batch_campaign_equals_scalar(
+        rounds in 1usize..4,
+        n in 3usize..10,
+        threads in 1usize..5,
+    ) {
+        let scheme = PlaneScheme::standard(Poly2::from_bits(0b111), 4, rounds).expect("scheme");
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let u = mixed_universe(geom);
+        let program = scheme.compile(geom).expect("compile");
+        assert_batch_equals_scalar(&u, &program, threads);
+    }
+
+    /// Any lane position: a single batchable fault placed in an arbitrary
+    /// lane of an otherwise empty `LaneRam` yields exactly the scalar
+    /// verdict in exactly that lane — and nothing anywhere else.
+    #[test]
+    fn any_lane_position_matches_scalar(
+        fault_pick in 0usize..100_000,
+        lane in 0usize..LANES,
+        test_idx in 0usize..15,
+        n in 2usize..12,
+    ) {
+        let geom = Geometry::wom(n, 4).expect("geometry");
+        let batchable: Vec<FaultKind> = mixed_universe(geom)
+            .faults()
+            .iter()
+            .filter(|f| is_lane_batchable(f))
+            .cloned()
+            .collect();
+        let fault = batchable[fault_pick % batchable.len()].clone();
+        let tests = march_library::all();
+        let test = &tests[test_idx % tests.len()];
+        let program = Executor::new().stop_at_first_mismatch().compile(test, geom);
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(fault.clone(), lane).expect("inject");
+        let got = program.detect_batch(&mut lanes);
+        let mut scalar = Ram::new(geom);
+        scalar.inject(fault.clone()).expect("inject");
+        let want = program.detect(&mut scalar);
+        prop_assert_eq!((got >> lane) & 1 == 1, want, "{} in lane {}", &fault, lane);
+        prop_assert_eq!(got & !(1u64 << lane), 0, "inactive lanes must stay silent");
+    }
+}
+
+/// The aggregated coverage reports — the artifact campaigns publish —
+/// must be identical between the batch and scalar engines for every
+/// library March test over a mixed universe, at several thread counts.
+#[test]
+fn coverage_reports_identical_across_engines_and_threads() {
+    let geom = Geometry::bom(16);
+    let u = mixed_universe(geom);
+    let ex = Executor::new().stop_at_first_mismatch();
+    for test in march_library::all() {
+        let program = ex.compile(&test, geom);
+        let scalar = Campaign::new(&u, &program)
+            .with_name(test.name())
+            .with_lane_batching(false)
+            .with_parallelism(Parallelism::Sequential)
+            .run();
+        for threads in [1usize, 3, 8] {
+            let batched = Campaign::new(&u, &program)
+                .with_name(test.name())
+                .with_parallelism(Parallelism::Threads(threads))
+                .run();
+            assert_eq!(scalar, batched, "{} threads={threads}", test.name());
+        }
+    }
+}

@@ -133,6 +133,114 @@ fn dictionary_plus_localization_resolves_the_bom16_universe() {
     assert!(exact * 10 >= detected * 8, "{exact}/{detected} exact");
 }
 
+/// The victim bit-plane of a fault, when it has one.
+fn victim_bit(fault: &FaultKind) -> Option<u32> {
+    match *fault {
+        FaultKind::StuckAt { bit, .. } | FaultKind::Transition { bit, .. } => Some(bit),
+        FaultKind::CouplingInversion { victim_bit, .. }
+        | FaultKind::CouplingIdempotent { victim_bit, .. }
+        | FaultKind::CouplingState { victim_bit, .. } => Some(victim_bit),
+        _ => None,
+    }
+}
+
+#[test]
+fn wom_diagnosis_resolves_bit_plane_victims_across_widths() {
+    // Width sweep (the open ROADMAP follow-up): on word-oriented arrays
+    // the Localizer must resolve not just the victim CELL but the victim
+    // BIT-PLANE — every surviving candidate names the injected bit, for
+    // single-cell and coupling faults at the low, middle and high planes
+    // of 2-, 4- and 8-bit words.
+    let n = 8usize;
+    for w in [2u32, 4, 8] {
+        let geom = Geometry::wom(n, w).unwrap();
+        let localizer = Localizer::new(march_library::march_diag(), geom);
+        let bits = [0, w / 2, w - 1];
+        let mut faults: Vec<FaultKind> = Vec::new();
+        for &bit in &bits {
+            // SA1 is observationally unique on a zero-reset device.
+            faults.push(FaultKind::StuckAt { cell: 3, bit, value: 1 });
+            // Cross-cell idempotent coupling on the same plane (the
+            // paper-claim pool enumerates same-bit pairs).
+            faults.push(FaultKind::CouplingIdempotent {
+                agg_cell: 1,
+                agg_bit: bit,
+                victim_cell: 5,
+                victim_bit: bit,
+                trigger: CouplingTrigger::Rise,
+                force: 1,
+            });
+        }
+        for fault in faults {
+            let mut ram = Ram::new(geom);
+            ram.inject(fault.clone()).unwrap();
+            let d = localizer.diagnose(&mut ram).unwrap().unwrap_or_else(|| {
+                panic!("w={w}: {fault} must be detected by the diagnostic March")
+            });
+            assert!(
+                d.candidates().contains(&fault),
+                "w={w}: {fault} eliminated ({:?})",
+                d.candidates()
+            );
+            let bit = victim_bit(&fault).unwrap();
+            assert!(
+                d.candidates().iter().all(|c| victim_bit(c) == Some(bit)),
+                "w={w}: {fault} not resolved to bit-plane {bit} ({:?})",
+                d.candidates()
+            );
+            match fault {
+                FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. } => {
+                    // The victim bit-plane and both cells resolve exactly;
+                    // the AGGRESSOR bit may stay ambiguous — full-word
+                    // probes toggle every aggressor bit together, so CFid
+                    // from sibling bits of one aggressor cell are
+                    // observationally equivalent here.
+                    assert_eq!(d.victim(), victim_cell, "w={w}");
+                    assert_eq!(d.aggressor(), Some(agg_cell), "w={w}");
+                    assert!(
+                        d.candidates().iter().all(|c| matches!(
+                            *c,
+                            FaultKind::CouplingIdempotent {
+                                agg_cell: a,
+                                victim_cell: v,
+                                victim_bit: vb,
+                                trigger: CouplingTrigger::Rise,
+                                force: 1,
+                                ..
+                            } if a == agg_cell && v == victim_cell && vb == bit
+                        )),
+                        "w={w}: {fault} beyond the sibling-aggressor-bit class ({:?})",
+                        d.candidates()
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        d.exact(),
+                        Some(&fault),
+                        "w={w}: {fault} not exact ({:?})",
+                        d.candidates()
+                    );
+                }
+            }
+        }
+        // SA0 collapses into its zero-reset equivalence class {SA0, TF↑}
+        // *on the same bit-plane* — the class must still pin the plane.
+        for &bit in &bits {
+            let fault = FaultKind::StuckAt { cell: 6, bit, value: 0 };
+            let mut ram = Ram::new(geom);
+            ram.inject(fault.clone()).unwrap();
+            let d = localizer.diagnose(&mut ram).unwrap().expect("SA0 is detected");
+            assert_eq!(d.victim(), 6, "w={w} bit={bit}");
+            assert!(d.candidates().contains(&fault), "w={w} bit={bit}: truth eliminated");
+            assert!(
+                d.candidates().iter().all(|c| victim_bit(c) == Some(bit)),
+                "w={w}: SA0@6.{bit} class spans bit-planes ({:?})",
+                d.candidates()
+            );
+        }
+    }
+}
+
 #[test]
 fn signature_only_tester_flow() {
     // End to end as a tester would run it: detect by signature, look up

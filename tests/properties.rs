@@ -71,7 +71,7 @@ proptest! {
     /// for any library test, background and size.
     #[test]
     fn march_no_false_positives(
-        test_idx in 0usize..12,
+        test_idx in 0usize..15,
         bg in 0u64..16,
         n in 2usize..48,
     ) {
@@ -133,7 +133,7 @@ proptest! {
     /// verdict, mismatch location and op count.
     #[test]
     fn march_compiled_program_equals_interpreted(
-        test_idx in 0usize..12,
+        test_idx in 0usize..15,
         bg in 0u64..16,
         n in 2usize..24,
         fault_pick in 0usize..100_000,
