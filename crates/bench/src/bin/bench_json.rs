@@ -201,6 +201,43 @@ fn main() {
         }
     }
 
+    // The newly lane-batched families: a universe of exactly the
+    // read/write-logic (RDF/DRDF/IRF/WDF), stuck-open and address-decoder
+    // instances that ran scalar before the LaneRam decoder/sense/flip
+    // models landed — the batch_vs_compiled margin here is pure PR gain.
+    {
+        let n = 16usize;
+        let spec = UniverseSpec {
+            af: true,
+            sof: true,
+            rdf: true,
+            drdf: true,
+            irf: true,
+            wdf: true,
+            ..UniverseSpec::default()
+        };
+        let u = FaultUniverse::enumerate(Geometry::bom(n), &spec);
+        let len = u.len();
+        for (variant, batching, par) in PROGRAM_VARIANTS {
+            if par != Parallelism::Sequential {
+                continue;
+            }
+            push(
+                "campaign_march_rwlogic_sof_af",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let program = ex.compile(&test, u.geometry());
+                    let _ = Campaign::new(&u, &program)
+                        .with_lane_batching(batching)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
+    }
+
     // PRT standard3.
     let scheme = PrtScheme::standard3(Field::new(1, 0b11).expect("GF(2)")).expect("scheme");
     {
@@ -293,10 +330,28 @@ fn main() {
         let len = u.len();
         let program = Executor::new().compile(&library::march_diag(), geom);
         let poly = Poly2::from_bits(0b1_0001_1011);
+        // Dictionary builds run the batched map_trials mode by default;
+        // the scalar row pins the engine they are measured against.
         push(
             "campaign_diagnosis",
             n,
-            "dictionary_build",
+            "dictionary_build_scalar",
+            len,
+            measure(budget_ms, || {
+                let _ = FaultDictionary::build_with_batching(
+                    &u,
+                    &program,
+                    poly,
+                    Parallelism::Auto,
+                    false,
+                )
+                .expect("build");
+            }),
+        );
+        push(
+            "campaign_diagnosis",
+            n,
+            "dictionary_build_batched",
             len,
             measure(budget_ms, || {
                 let _ =

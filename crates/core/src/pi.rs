@@ -804,8 +804,8 @@ mod tests {
         // read time always reaches Fin (invertible propagation).
         let pi = PiTest::figure_1a().unwrap();
         let expect = pi.expected_sequence(9);
-        for cell in 0..9usize {
-            let wrong = expect[cell] ^ 1;
+        for (cell, &e) in expect.iter().enumerate().take(9) {
+            let wrong = e ^ 1;
             let mut ram = Ram::new(Geometry::bom(9));
             ram.inject(FaultKind::StuckAt { cell, bit: 0, value: wrong as u8 }).unwrap();
             let res = pi.run(&mut ram).unwrap();

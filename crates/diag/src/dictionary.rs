@@ -31,7 +31,7 @@ use std::sync::Arc;
 use crate::{DiagError, Observation, SignatureCollector};
 use prt_gf::Poly2;
 use prt_ram::{FaultKind, FaultUniverse, Geometry, TestProgram};
-use prt_sim::{map_trials, Parallelism};
+use prt_sim::{map_trials, map_trials_batched, Parallelism};
 
 /// Aggregate dictionary statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,6 +158,14 @@ impl FaultDictionary {
     /// the reference signature — the campaign engine's error-as-escape
     /// convention.
     ///
+    /// Single-port programs run **lane-batched**: one interpreter pass
+    /// simulates 64 trials ([`prt_sim::map_trials_batched`] +
+    /// [`SignatureCollector::collect_batch`]), with per-fault signatures
+    /// and statistics identical to the scalar build
+    /// ([`FaultDictionary::build_with_batching`] pins the scalar engine
+    /// for differential tests and benchmarks). Multi-port programs stay
+    /// on the scalar [`map_trials`] sweep.
+    ///
     /// # Errors
     ///
     /// [`DiagError::Lfsr`] for a degenerate `poly`.
@@ -173,6 +181,24 @@ impl FaultDictionary {
         poly: Poly2,
         parallelism: Parallelism,
     ) -> Result<FaultDictionary, DiagError> {
+        FaultDictionary::build_with_batching(universe, program, poly, parallelism, true)
+    }
+
+    /// [`FaultDictionary::build`] with the lane-batched engine explicitly
+    /// enabled or disabled — the dictionary counterpart of
+    /// `Campaign::with_lane_batching(false)`, for differential testing
+    /// and scalar-baseline benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultDictionary::build`].
+    pub fn build_with_batching(
+        universe: &FaultUniverse,
+        program: &TestProgram,
+        poly: Poly2,
+        parallelism: Parallelism,
+        lane_batching: bool,
+    ) -> Result<FaultDictionary, DiagError> {
         assert_eq!(
             universe.geometry(),
             program.geometry(),
@@ -180,14 +206,25 @@ impl FaultDictionary {
         );
         let collector = SignatureCollector::new(program, poly)?;
         let geom = universe.geometry();
-        let observations: Vec<Observation> =
+        let escape = |collector: &SignatureCollector| Observation {
+            signature: collector.reference(),
+            exec: Default::default(),
+        };
+        let observations: Vec<Observation> = if lane_batching && program.lane_batchable() {
+            map_trials_batched(
+                geom,
+                program.ports(),
+                universe.faults(),
+                parallelism,
+                |lanes, out| collector.collect_batch(program, lanes, out),
+                |_, ram| collector.collect(program, ram).unwrap_or(escape(&collector)),
+            )
+        } else {
             map_trials(geom, program.ports(), universe.len(), parallelism, |i, ram| {
                 ram.inject(universe.faults()[i].clone()).expect("enumerated faults are valid");
-                collector.collect(program, ram).unwrap_or(Observation {
-                    signature: collector.reference(),
-                    exec: Default::default(),
-                })
-            });
+                collector.collect(program, ram).unwrap_or(escape(&collector))
+            })
+        };
         let (buckets, stats) = index_observations(
             &observations,
             collector.reference(),
@@ -367,6 +404,31 @@ mod tests {
             s.measured_aliasing,
             s.analytic_aliasing_bound
         );
+    }
+
+    #[test]
+    fn batched_build_equals_scalar_build() {
+        // The lane-batched dictionary build must produce bit-identical
+        // per-fault observations (signature AND execution summary) to the
+        // scalar map_trials sweep, over a universe spanning every family
+        // — including the read/write-logic, SOF and AF instances.
+        let geom = Geometry::bom(12);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::full());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let scalar = FaultDictionary::build_with_batching(
+            &universe,
+            &program,
+            poly8(),
+            Parallelism::Sequential,
+            false,
+        )
+        .unwrap();
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let batched =
+                FaultDictionary::build(&universe, &program, poly8(), parallelism).unwrap();
+            assert_eq!(batched.observations(), scalar.observations(), "{parallelism:?}");
+            assert_eq!(batched.stats(), scalar.stats(), "{parallelism:?}");
+        }
     }
 
     #[test]

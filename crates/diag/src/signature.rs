@@ -12,7 +12,7 @@
 use crate::DiagError;
 use prt_gf::Poly2;
 use prt_lfsr::Misr;
-use prt_ram::{Execution, Ram, RamError, TestProgram};
+use prt_ram::{Execution, LaneRam, Ram, RamError, TestProgram, LANES};
 
 /// One observed run: the compacted signature plus the full channel counts
 /// of the execution that produced it.
@@ -131,6 +131,49 @@ impl SignatureCollector {
         let mut misr = Misr::new(self.poly).expect("polynomial validated at construction");
         let exec = program.execute_observed(ram, false, None, &mut |v| misr.absorb(v))?;
         Ok(Observation { signature: misr.signature(), exec })
+    }
+
+    /// The lane-batched form of [`SignatureCollector::collect`]: runs
+    /// `program` once against every trial of a prepared [`LaneRam`]
+    /// (lanes `0..k` injected, as `prt_sim::map_trials_batched` hands it
+    /// over) and pushes one [`Observation`] per lane, in lane order. One
+    /// MISR per lane absorbs that lane's slice of the observed planes, so
+    /// each signature — and each execution summary — is **identical** to
+    /// what [`SignatureCollector::collect`] returns for a scalar run of
+    /// the same fault (property-tested in `tests/batch.rs`): the device
+    /// pass is shared across the 64 trials, the compaction is not.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the active lanes are not the contiguous `0..k` prefix
+    /// the batched campaign engine guarantees, and propagates the loud
+    /// [`TestProgram::execute_batch_observed`] configuration errors
+    /// (multi-port program, geometry mismatch).
+    pub fn collect_batch(
+        &self,
+        program: &TestProgram,
+        ram: &mut LaneRam,
+        out: &mut Vec<Observation>,
+    ) {
+        let k = ram.active_lanes().count_ones() as usize;
+        let prefix = if k == LANES { u64::MAX } else { (1u64 << k) - 1 };
+        assert_eq!(ram.active_lanes(), prefix, "batched collection expects trials in lanes 0..k");
+        let mut misrs: Vec<Misr> = (0..k)
+            .map(|_| Misr::new(self.poly).expect("polynomial validated at construction"))
+            .collect();
+        let mut execs = [Execution::default(); LANES];
+        let _ = program.execute_batch_observed(ram, &mut execs, &mut |planes| {
+            for (lane, misr) in misrs.iter_mut().enumerate() {
+                let mut word = 0u64;
+                for (j, &p) in planes.iter().enumerate() {
+                    word |= ((p >> lane) & 1) << j;
+                }
+                misr.absorb(word);
+            }
+        });
+        for (lane, misr) in misrs.iter().enumerate() {
+            out.push(Observation { signature: misr.signature(), exec: execs[lane] });
+        }
     }
 }
 

@@ -306,7 +306,7 @@ mod tests {
         assert!(!poly.is_irreducible());
         let l = BitLfsr::new(poly, 0b001).unwrap();
         let p = l.period().unwrap();
-        assert!(p >= 1 && p <= 8);
+        assert!((1..=8).contains(&p));
         // After p steps the state must recur.
         let mut probe = l.clone();
         for _ in 0..p {

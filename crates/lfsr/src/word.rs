@@ -398,7 +398,7 @@ mod tests {
         let k_const = 0xFu64;
         let e = f.mul(k_const, f.add(1, f.add(2, 2))); // 1 + c1 + c2 = 1
         let mut plain = paper_lfsr();
-        let mut compl = WordLfsr::from_feedback(gf16(), &[1, 2, 2], &[0 ^ k_const, 1 ^ k_const])
+        let mut compl = WordLfsr::from_feedback(gf16(), &[1, 2, 2], &[k_const, 1 ^ k_const])
             .unwrap()
             .with_affine(e)
             .unwrap();

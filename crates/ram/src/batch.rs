@@ -11,40 +11,55 @@
 //! the classic bit-parallel multi-fault propagation of hardware fault
 //! simulators.
 //!
-//! [`LaneFaultBank`] injects the *batchable* fault families as per-lane
-//! masks: SAF, TF, CFin, CFid, CFst, NPSF and data retention — the
-//! overwhelming bulk of every enumerated universe (coupling families grow
-//! quadratically with the cell count; the scalar-only families are linear).
-//! Decoder faults (which remap whole addresses), stuck-open cells (which
-//! latch the sense amplifier) and the read/write-logic families stay on
-//! the scalar [`crate::Ram`] path, as do multi-port cycle programs —
-//! [`is_lane_batchable`] is the partition predicate campaign engines use.
+//! [`LaneFaultBank`] injects **every single-port fault family** as
+//! per-lane state: SAF, TF, CFin, CFid, CFst, NPSF and data retention as
+//! per-lane masks applied in the enforcement phases; the read/write-logic
+//! families (RDF, DRDF, IRF, WDF) as per-lane flip masks in the read and
+//! write phases; stuck-open cells via per-lane sense-amplifier planes;
+//! and address-decoder faults through a bit-sliced decoder model —
+//! per-lane address remap masks, the lane analogue of the scalar
+//! decoder table. Only multi-port cycle programs stay on the scalar
+//! [`crate::Ram`] path ([`crate::TestProgram::lane_batchable`]);
+//! [`is_lane_batchable`] remains the per-fault partition predicate and is
+//! `true` for every modelled family.
 //!
 //! # Exactness
 //!
 //! Per lane, [`LaneRam`] is **bitwise-exact** against [`crate::Ram`] with
 //! the same single fault injected: every enforcement phase of the scalar
-//! access path (transition blocking → stuck-at → store → coupling
-//! triggers → state-coupling → NPSF on writes; retention decay →
-//! state-coupling → NPSF → stuck-at on reads) is reproduced in the same
-//! order with the fault's effect masked to its lane. The device clock and
-//! per-cell write timestamps are shared across lanes — sound because the
-//! driving program issues the identical operation sequence to every lane.
-//! The scalar engine remains the differential oracle (property-tested in
+//! access path (stuck-open write loss → transition blocking →
+//! write-disturb → stuck-at → store → coupling triggers → state-coupling
+//! → NPSF on writes; stuck-open sense latch → retention decay →
+//! state-coupling → NPSF → stuck-at → destructive/deceptive-read flips →
+//! incorrect-read inversion on reads) is reproduced in the same order
+//! with the fault's effect masked to its lane. Decoder faults remap which
+//! *cells* an address touches per lane, so every per-cell side effect is
+//! additionally masked to the lanes that actually access the cell — a
+//! lane whose decoder fault diverts an access must not observe another
+//! lane's read-triggered flips, and retention windows are clocked per
+//! fault rather than per cell for the same reason. The device operation
+//! clock is shared across lanes — sound because the driving program
+//! issues the identical operation sequence to every lane. The scalar
+//! engine remains the differential oracle (property-tested in
 //! `tests/batch.rs` and `crates/ram/tests/proptests.rs`).
 
 use crate::fault::{CouplingTrigger, FaultKind};
+use crate::memory::ReadWired;
 use crate::{Geometry, RamError};
+use std::collections::HashMap;
 
 /// Number of fault-trial lanes one [`LaneRam`] carries (the width of the
 /// host word the storage is sliced over).
 pub const LANES: usize = 64;
 
-/// `true` when `fault` belongs to a family [`LaneRam`] can express as a
-/// per-lane mask. Decoder faults, stuck-open cells and the
-/// read/write-logic families (RDF, DRDF, IRF, WDF) must run on the scalar
-/// [`crate::Ram`] path.
+/// `true` when `fault` belongs to a family [`LaneRam`] can express as
+/// per-lane state. Since the decoder model, stuck-open sense planes and
+/// read/write-logic flip masks landed, that is **every modelled family**;
+/// the predicate is kept as the campaign partition hook for future
+/// scalar-only variants of the non-exhaustive [`FaultKind`].
 pub fn is_lane_batchable(fault: &FaultKind) -> bool {
+    // `FaultKind` is non-exhaustive: a future variant defaults to the
+    // scalar path until it opts in here.
     matches!(
         fault,
         FaultKind::StuckAt { .. }
@@ -54,16 +69,43 @@ pub fn is_lane_batchable(fault: &FaultKind) -> bool {
             | FaultKind::CouplingState { .. }
             | FaultKind::Npsf { .. }
             | FaultKind::DataRetention { .. }
+            | FaultKind::DecoderNoAccess { .. }
+            | FaultKind::DecoderExtraCell { .. }
+            | FaultKind::DecoderShadow { .. }
+            | FaultKind::StuckOpen { .. }
+            | FaultKind::ReadDestructive { .. }
+            | FaultKind::DeceptiveRead { .. }
+            | FaultKind::IncorrectRead { .. }
+            | FaultKind::WriteDisturb { .. }
     )
+}
+
+/// Per-lane decoder behaviour for one faulty address (the lane analogue
+/// of the scalar `DecoderMap`, bit-sliced: each entry carries the lanes it
+/// applies to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneDecode {
+    /// The address selects no cell on these lanes (AF type A/B).
+    None,
+    /// The address selects its own cell *plus* this one (AF type C).
+    Extra(usize),
+    /// The address selects this cell *instead of* its own (AF type D).
+    Shadow(usize),
 }
 
 /// An indexed collection of `(fault, lane mask)` pairs, organised exactly
 /// like the scalar [`crate::FaultBank`]: per-cell victim/aggressor buckets
-/// for O(1) hot-path lookup, recycled allocation-free across campaign
+/// for O(1) hot-path lookup, a per-address lane-decoder table for AF, and
+/// per-fault retention clocks — recycled allocation-free across campaign
 /// batches via [`LaneFaultBank::clear`].
 #[derive(Debug, Clone, Default)]
 pub struct LaneFaultBank {
     faults: Vec<(FaultKind, u64)>,
+    /// Per-fault clock of the victim cell's last write *on the fault's
+    /// lanes* (drives data-retention decay; meaningful for DRF entries).
+    /// Per fault, not per cell: decoder remaps make lanes write different
+    /// cells, so a shared per-cell timestamp would leak across lanes.
+    stamps: Vec<u64>,
     /// Fault indices whose victim site lies in the indexed cell.
     by_victim: Vec<Vec<usize>>,
     /// Fault indices with a coupling/NPSF aggressor or neighbour in the
@@ -71,6 +113,14 @@ pub struct LaneFaultBank {
     by_aggressor: Vec<Vec<usize>>,
     /// Cells whose buckets may be non-empty (cleared lazily).
     touched: Vec<usize>,
+    /// Lane-decoder overrides by address (rare — kept as a map, like the
+    /// scalar bank's): each address lists `(remap, lanes)` entries.
+    decoder: HashMap<usize, Vec<(LaneDecode, u64)>>,
+    /// Number of stuck-open faults (gates the sense-plane maintenance).
+    sof_count: usize,
+    /// Number of read-logic faults (RDF/DRDF/IRF) — with none injected a
+    /// read returns the stored planes directly, no staging copy.
+    readlogic_count: usize,
 }
 
 impl LaneFaultBank {
@@ -98,8 +148,9 @@ impl LaneFaultBank {
     ///
     /// # Errors
     ///
-    /// [`RamError::FaultNotBatchable`] for a scalar-only family;
-    /// otherwise propagates [`FaultKind::validate`] errors.
+    /// [`RamError::FaultNotBatchable`] for a scalar-only family (none of
+    /// the currently modelled ones — see [`is_lane_batchable`]); otherwise
+    /// propagates [`FaultKind::validate`] errors.
     pub fn add(&mut self, geom: &Geometry, fault: FaultKind, mask: u64) -> Result<(), RamError> {
         if !is_lane_batchable(&fault) {
             return Err(RamError::FaultNotBatchable { mnemonic: fault.mnemonic() });
@@ -109,8 +160,20 @@ impl LaneFaultBank {
         match &fault {
             FaultKind::StuckAt { cell, .. }
             | FaultKind::Transition { cell, .. }
-            | FaultKind::DataRetention { cell, .. } => {
+            | FaultKind::DataRetention { cell, .. }
+            | FaultKind::StuckOpen { cell }
+            | FaultKind::ReadDestructive { cell, .. }
+            | FaultKind::DeceptiveRead { cell, .. }
+            | FaultKind::IncorrectRead { cell, .. }
+            | FaultKind::WriteDisturb { cell, .. } => {
                 self.index_site(*cell, idx, true);
+                match fault {
+                    FaultKind::StuckOpen { .. } => self.sof_count += 1,
+                    FaultKind::ReadDestructive { .. }
+                    | FaultKind::DeceptiveRead { .. }
+                    | FaultKind::IncorrectRead { .. } => self.readlogic_count += 1,
+                    _ => {}
+                }
             }
             FaultKind::CouplingInversion { agg_cell, victim_cell, .. }
             | FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. }
@@ -124,9 +187,21 @@ impl LaneFaultBank {
                     self.index_site(c, idx, false);
                 }
             }
-            _ => unreachable!("is_lane_batchable gated the families above"),
+            FaultKind::DecoderNoAccess { addr } => {
+                self.decoder.entry(*addr).or_default().push((LaneDecode::None, mask));
+            }
+            FaultKind::DecoderExtraCell { addr, extra_cell } => {
+                self.decoder.entry(*addr).or_default().push((LaneDecode::Extra(*extra_cell), mask));
+            }
+            FaultKind::DecoderShadow { addr, instead_cell } => {
+                self.decoder
+                    .entry(*addr)
+                    .or_default()
+                    .push((LaneDecode::Shadow(*instead_cell), mask));
+            }
         }
         self.faults.push((fault, mask));
+        self.stamps.push(0);
         Ok(())
     }
 
@@ -134,11 +209,30 @@ impl LaneFaultBank {
     /// (O(#faults), allocation-free in the steady state).
     pub fn clear(&mut self) {
         self.faults.clear();
+        self.stamps.clear();
         for &cell in &self.touched {
             self.by_victim[cell].clear();
             self.by_aggressor[cell].clear();
         }
         self.touched.clear();
+        self.decoder.clear();
+        self.sof_count = 0;
+        self.readlogic_count = 0;
+    }
+
+    /// Restarts every retention clock (device reset; the faults stay).
+    fn reset_clocks(&mut self) {
+        self.stamps.fill(0);
+    }
+
+    /// The lane-decoder entries for `addr`, if any decoder fault remapped
+    /// it (never allocates; empty-map fast path).
+    fn decoder_at(&self, addr: usize) -> Option<&[(LaneDecode, u64)]> {
+        if self.decoder.is_empty() {
+            None
+        } else {
+            self.decoder.get(&addr).map(Vec::as_slice)
+        }
     }
 
     fn index_site(&mut self, cell: usize, idx: usize, victim: bool) {
@@ -154,7 +248,8 @@ impl LaneFaultBank {
 
 /// A bit-sliced memory carrying up to [`LANES`] independent single-fault
 /// trials: `width` bit-planes per cell, one `u64` of 64 trial lanes per
-/// plane.
+/// plane, plus per-lane sense-amplifier planes (for stuck-open cells) and
+/// a per-lane address decoder (for decoder faults).
 ///
 /// # Example
 ///
@@ -172,21 +267,34 @@ impl LaneFaultBank {
 #[derive(Debug, Clone)]
 pub struct LaneRam {
     geom: Geometry,
+    wired: ReadWired,
     /// Bit-plane storage: `store[cell * width + bit]` holds bit `bit` of
     /// `cell` across all 64 lanes.
     store: Vec<u64>,
-    /// Per-cell timestamp of the last write (shared by all lanes — the
-    /// driving op sequence is identical per lane).
-    last_write: Vec<u64>,
+    /// Per-lane sense-amplifier planes (port 0): the value each lane's
+    /// last read returned — what a stuck-open read latches onto.
+    sense: Vec<u64>,
     /// Device operation counter (drives data-retention decay).
     time: u64,
     /// Mask of lanes with an injected trial.
     active: u64,
     bank: LaneFaultBank,
-    /// Reusable staging planes for the value being written.
+    /// Reusable staging planes for the value being written (the write
+    /// operand, shared by every cell the decoder selects).
     scratch_new: Vec<u64>,
+    /// Reusable per-cell working copy of the staged value (transition
+    /// blocking and stuck-at enforcement mutate it per target cell).
+    scratch_val: Vec<u64>,
     /// Reusable copy of the pre-write planes.
     scratch_old: Vec<u64>,
+    /// Reusable buffer for the planes a read returns.
+    scratch_read: Vec<u64>,
+    /// Reusable buffer for one cell's read contribution (decoder
+    /// multi-select combines several into `scratch_read`).
+    scratch_cell: Vec<u64>,
+    /// Reusable copy of an address's lane-decoder entries (the bank must
+    /// not stay borrowed across the mutating per-cell accesses).
+    scratch_decode: Vec<(LaneDecode, u64)>,
     /// Reusable pending bit actions `(cell, bit, None=invert/Some(v),
     /// lanes)` fired by coupling triggers and enforcement phases.
     scratch_actions: Vec<(usize, u32, Option<u8>, u64)>,
@@ -198,13 +306,18 @@ impl LaneRam {
         let m = geom.width() as usize;
         LaneRam {
             geom,
+            wired: ReadWired::default(),
             store: vec![0; geom.cells() * m],
-            last_write: vec![0; geom.cells()],
+            sense: vec![0; m],
             time: 0,
             active: 0,
             bank: LaneFaultBank::new(),
             scratch_new: Vec::new(),
+            scratch_val: Vec::new(),
             scratch_old: Vec::new(),
+            scratch_read: Vec::new(),
+            scratch_cell: Vec::new(),
+            scratch_decode: Vec::new(),
             scratch_actions: Vec::new(),
         }
     }
@@ -212,6 +325,12 @@ impl LaneRam {
     /// Array geometry.
     pub fn geometry(&self) -> Geometry {
         self.geom
+    }
+
+    /// Selects the bitline wiring convention decoder faults observe (the
+    /// lane counterpart of [`crate::Ram::set_wired`]; default wired-OR).
+    pub fn set_wired(&mut self, wired: ReadWired) {
+        self.wired = wired;
     }
 
     /// Mask of lanes holding an injected trial.
@@ -225,6 +344,14 @@ impl LaneRam {
     }
 
     /// Injects a batchable fault into trial lane `lane`.
+    ///
+    /// Inject **before** driving operations (the campaign contract:
+    /// eject → reset → inject → run). Sense-amplifier latching is only
+    /// maintained while a stuck-open fault is present, so a `StuckOpen`
+    /// injected after reads were already issued observes a latch those
+    /// reads did not update — the scalar device latches on every read
+    /// unconditionally, and the bitwise-exactness guarantee holds for
+    /// runs whose faults were in place from the first operation.
     ///
     /// # Errors
     ///
@@ -248,8 +375,9 @@ impl LaneRam {
     }
 
     /// Resets storage (every lane of every cell to `background`), the
-    /// retention timestamps and the operation clock — the lane counterpart
-    /// of [`crate::Ram::reset_to`]. Injected faults are untouched.
+    /// sense amplifiers, the retention clocks and the operation clock —
+    /// the lane counterpart of [`crate::Ram::reset_to`]. Injected faults
+    /// are untouched.
     ///
     /// # Panics
     ///
@@ -260,7 +388,8 @@ impl LaneRam {
         for (idx, p) in self.store.iter_mut().enumerate() {
             *p = broadcast(background, (idx % m) as u32);
         }
-        self.last_write.fill(0);
+        self.sense.fill(0);
+        self.bank.reset_clocks();
         self.time = 0;
     }
 
@@ -282,8 +411,10 @@ impl LaneRam {
     }
 
     /// Reads `addr` on every lane at once, applying fault semantics in the
-    /// scalar read order (retention decay → state coupling → NPSF →
-    /// stuck-at), and returns the cell's bit-planes.
+    /// scalar read order (stuck-open latch → retention decay → state
+    /// coupling → NPSF → stuck-at → read-logic flips) with any decoder
+    /// fault remapping the accessed cells per lane, and returns the
+    /// bit-planes of the value read.
     ///
     /// # Panics
     ///
@@ -292,27 +423,171 @@ impl LaneRam {
         self.geom.check_addr(addr).expect("address in range");
         self.time += 1;
         let m = self.geom.width() as usize;
-        if !self.bank.is_empty() {
-            // Data-retention decay.
-            let mut actions = std::mem::take(&mut self.scratch_actions);
-            actions.clear();
-            if let Some(bucket) = self.bank.by_victim.get(addr) {
-                for &i in bucket {
-                    let (f, lanes) = &self.bank.faults[i];
-                    if let FaultKind::DataRetention { bit, decays_to, after, .. } = *f {
-                        if self.time.saturating_sub(self.last_write[addr]) > after {
-                            actions.push((addr, bit, Some(decays_to), *lanes));
-                        }
+        if self.bank.is_empty() {
+            return &self.store[addr * m..addr * m + m];
+        }
+        if self.bank.decoder_at(addr).is_none() {
+            // Every lane reads its own cell. Without stuck-open or
+            // read-logic faults anywhere, the value read IS the stored
+            // planes — no staging copy, no sense maintenance (the PR-4
+            // hot path, preserved).
+            if self.bank.sof_count == 0 && self.bank.readlogic_count == 0 {
+                self.read_enforce(addr, u64::MAX);
+                return &self.store[addr * m..addr * m + m];
+            }
+            self.read_cell(addr, u64::MAX);
+            let mut out = std::mem::take(&mut self.scratch_read);
+            out.clear();
+            out.extend_from_slice(&self.scratch_cell);
+            self.scratch_read = out;
+        } else {
+            self.read_decoded(addr);
+        }
+        if self.bank.sof_count > 0 {
+            // Every read latches the sense amplifier with the value
+            // returned — on every lane, exactly like the scalar port.
+            self.sense.copy_from_slice(&self.scratch_read);
+        }
+        &self.scratch_read
+    }
+
+    /// The decoder-faulted read path: partitions the lanes by the cells
+    /// their decoder actually selects and combines the per-cell
+    /// contributions under the bitline wiring convention (wired-OR floats
+    /// to 0 on no-select lanes, wired-AND to all-ones — the scalar
+    /// semantics, bit-sliced).
+    fn read_decoded(&mut self, addr: usize) {
+        let m = self.geom.width() as usize;
+        let mut remap = std::mem::take(&mut self.scratch_decode);
+        remap.clear();
+        remap.extend_from_slice(self.bank.decoder_at(addr).expect("caller checked"));
+        let mut base_lanes = u64::MAX;
+        for &(_, lanes) in &remap {
+            base_lanes &= !lanes;
+        }
+        let mut out = std::mem::take(&mut self.scratch_read);
+        out.clear();
+        let init = match self.wired {
+            ReadWired::Or => 0,
+            ReadWired::And => u64::MAX,
+        };
+        out.resize(m, init);
+        let fold = |out: &mut [u64], cell_planes: &[u64], lanes: u64, wired: ReadWired| {
+            for (o, &p) in out.iter_mut().zip(cell_planes) {
+                match wired {
+                    ReadWired::Or => *o |= p & lanes,
+                    ReadWired::And => *o &= p | !lanes,
+                }
+            }
+        };
+        if base_lanes != 0 {
+            self.read_cell(addr, base_lanes);
+            fold(&mut out, &self.scratch_cell, base_lanes, self.wired);
+        }
+        for &(decode, lanes) in &remap {
+            match decode {
+                // No cell selected: the bitline default already seeded
+                // `out` on these lanes.
+                LaneDecode::None => {}
+                LaneDecode::Extra(extra) => {
+                    self.read_cell(addr, lanes);
+                    fold(&mut out, &self.scratch_cell, lanes, self.wired);
+                    self.read_cell(extra, lanes);
+                    fold(&mut out, &self.scratch_cell, lanes, self.wired);
+                }
+                LaneDecode::Shadow(instead) => {
+                    self.read_cell(instead, lanes);
+                    fold(&mut out, &self.scratch_cell, lanes, self.wired);
+                }
+            }
+        }
+        self.scratch_read = out;
+        self.scratch_decode = remap;
+    }
+
+    /// Read effects for one physical cell on the `access` lanes, leaving
+    /// the planes of the value read in `scratch_cell`. Scalar order:
+    /// stuck-open latch → retention decay → CFst → NPSF → stuck-at →
+    /// RDF/DRDF store flips → IRF output inversion — every effect masked
+    /// to the lanes that actually access the cell.
+    fn read_cell(&mut self, cell: usize, access: u64) {
+        let m = self.geom.width() as usize;
+        let base = cell * m;
+        let sof = self.sof_lanes(cell) & access;
+        let act = access & !sof;
+        self.read_enforce(cell, act);
+        let mut out = std::mem::take(&mut self.scratch_cell);
+        out.clear();
+        out.extend_from_slice(&self.store[base..base + m]);
+        // Read-logic faults: RDF flips the store and returns the new,
+        // wrong value; DRDF flips the store but returns the old, correct
+        // one; IRF inverts the output only. Store flips are OR-staged so
+        // the post-flip stuck-at enforcement runs once, like the scalar
+        // path.
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            let mut flips = [0u64; Geometry::MAX_WIDTH as usize];
+            let mut any_flip = false;
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                let eff = lanes & act;
+                if eff == 0 {
+                    continue;
+                }
+                match *f {
+                    FaultKind::ReadDestructive { bit, .. } => {
+                        flips[bit as usize] |= eff;
+                        out[bit as usize] ^= eff;
+                        any_flip = true;
+                    }
+                    FaultKind::DeceptiveRead { bit, .. } => {
+                        flips[bit as usize] |= eff;
+                        any_flip = true;
+                    }
+                    FaultKind::IncorrectRead { bit, .. } => {
+                        out[bit as usize] ^= eff;
+                    }
+                    _ => {}
+                }
+            }
+            if any_flip {
+                for (b, &flip) in flips[..m].iter().enumerate() {
+                    self.store[base + b] ^= flip;
+                }
+                self.enforce_sa(cell);
+            }
+        }
+        // Stuck-open lanes return the latched sense-amplifier value.
+        if sof != 0 {
+            for (o, &s) in out.iter_mut().zip(&self.sense) {
+                *o = (*o & !sof) | (s & sof);
+            }
+        }
+        self.scratch_cell = out;
+    }
+
+    /// The state-enforcement half of a read on the `act` lanes (scalar
+    /// order: retention decay → CFst → NPSF → stuck-at), leaving the
+    /// stored planes as the value a divergence-free read returns.
+    fn read_enforce(&mut self, cell: usize, act: u64) {
+        // Data-retention decay (per-fault clocks).
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::DataRetention { bit, decays_to, after, .. } = *f {
+                    let eff = lanes & act;
+                    if eff != 0 && self.time.saturating_sub(self.bank.stamps[i]) > after {
+                        actions.push((cell, bit, Some(decays_to), eff));
                     }
                 }
             }
-            self.apply_actions(&actions);
-            self.scratch_actions = actions;
-            self.enforce_state_on_victim(addr);
-            self.enforce_npsf_on_victim(addr);
-            self.enforce_sa(addr);
         }
-        &self.store[addr * m..addr * m + m]
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+        self.enforce_state_on_victim(cell, act);
+        self.enforce_npsf_on_victim(cell, act);
+        self.enforce_sa(cell);
     }
 
     /// Writes the same word `data` to `addr` on every lane.
@@ -328,8 +603,8 @@ impl LaneRam {
         for bit in 0..m {
             new.push(broadcast(data, bit as u32));
         }
-        self.write_planes_inner(addr, &mut new);
         self.scratch_new = new;
+        self.write_decoded(addr);
     }
 
     /// Writes per-lane values to `addr`, given as bit-planes (`planes[j]`
@@ -346,34 +621,87 @@ impl LaneRam {
         let mut new = std::mem::take(&mut self.scratch_new);
         new.clear();
         new.extend_from_slice(planes);
-        self.write_planes_inner(addr, &mut new);
         self.scratch_new = new;
+        self.write_decoded(addr);
     }
 
-    /// The shared write path: transition blocking → stuck-at → store →
-    /// coupling triggers → state coupling → NPSF, each masked per lane —
-    /// the scalar write order exactly.
-    fn write_planes_inner(&mut self, cell: usize, new: &mut [u64]) {
-        self.geom.check_addr(cell).expect("address in range");
+    /// The shared write entry: resolves which cells each lane's decoder
+    /// selects for `addr` (its own cell when no decoder fault remaps it)
+    /// and commits the staged `scratch_new` planes to each.
+    fn write_decoded(&mut self, addr: usize) {
+        self.geom.check_addr(addr).expect("address in range");
         self.time += 1;
+        if self.bank.decoder_at(addr).is_none() {
+            self.write_cell(addr, u64::MAX);
+            return;
+        }
+        let mut remap = std::mem::take(&mut self.scratch_decode);
+        remap.clear();
+        remap.extend_from_slice(self.bank.decoder_at(addr).expect("checked above"));
+        let mut base_lanes = u64::MAX;
+        for &(_, lanes) in &remap {
+            base_lanes &= !lanes;
+        }
+        if base_lanes != 0 {
+            self.write_cell(addr, base_lanes);
+        }
+        for &(decode, lanes) in &remap {
+            match decode {
+                LaneDecode::None => {} // write lost on these lanes
+                LaneDecode::Extra(extra) => {
+                    self.write_cell(addr, lanes);
+                    self.write_cell(extra, lanes);
+                }
+                LaneDecode::Shadow(instead) => {
+                    self.write_cell(instead, lanes);
+                }
+            }
+        }
+        self.scratch_decode = remap;
+    }
+
+    /// Write effects for one physical cell on the `access` lanes, from the
+    /// staged `scratch_new` planes. Scalar order: stuck-open (write lost)
+    /// → transition blocking → write-disturb → stuck-at → store →
+    /// coupling triggers → state coupling → NPSF, each masked per lane
+    /// and to the accessing lanes.
+    fn write_cell(&mut self, cell: usize, access: u64) {
         let m = self.geom.width() as usize;
         let base = cell * m;
         if self.bank.is_empty() {
-            self.store[base..base + m].copy_from_slice(new);
+            self.store[base..base + m].copy_from_slice(&self.scratch_new);
             return;
         }
+        // Stuck-open lanes lose the write entirely.
+        let eff = access & !self.sof_lanes(cell);
+        if eff == 0 {
+            return;
+        }
+        let mut new = std::mem::take(&mut self.scratch_val);
+        new.clear();
+        new.extend_from_slice(&self.scratch_new);
         let mut old = std::mem::take(&mut self.scratch_old);
         old.clear();
         old.extend_from_slice(&self.store[base..base + m]);
-        // Transition blocking, then stuck-at enforcement on the incoming
-        // value — two passes, the scalar write order.
+        // Transition blocking, then write-disturb, then stuck-at
+        // enforcement on the incoming value — the scalar write order.
         if let Some(bucket) = self.bank.by_victim.get(cell) {
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::Transition { bit, rising, .. } = *f {
                     let b = bit as usize;
-                    let blocked = if rising { !old[b] & new[b] } else { old[b] & !new[b] } & lanes;
+                    let blocked =
+                        if rising { !old[b] & new[b] } else { old[b] & !new[b] } & lanes & eff;
                     new[b] = (new[b] & !blocked) | (old[b] & blocked);
+                }
+            }
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::WriteDisturb { bit, .. } = *f {
+                    let b = bit as usize;
+                    // A non-transition write (bit already holds the value)
+                    // flips the bit.
+                    new[b] ^= !(old[b] ^ new[b]) & lanes & eff;
                 }
             }
             for &i in bucket {
@@ -381,15 +709,26 @@ impl LaneRam {
                 if let FaultKind::StuckAt { bit, value, .. } = *f {
                     let b = bit as usize;
                     if value & 1 == 1 {
-                        new[b] |= lanes;
+                        new[b] |= lanes & eff;
                     } else {
-                        new[b] &= !lanes;
+                        new[b] &= !(lanes & eff);
                     }
                 }
             }
         }
-        self.store[base..base + m].copy_from_slice(new);
-        self.last_write[cell] = self.time;
+        for (b, &v) in new.iter().enumerate() {
+            let p = &mut self.store[base + b];
+            *p = (v & eff) | (*p & !eff);
+        }
+        // Restart the retention clock of every DRF whose lanes wrote.
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if matches!(f, FaultKind::DataRetention { .. }) && lanes & eff != 0 {
+                    self.bank.stamps[i] = self.time;
+                }
+            }
+        }
         // Coupling triggers on the lanes whose bits actually flipped.
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -408,7 +747,8 @@ impl LaneRam {
                         let fired = match trigger {
                             CouplingTrigger::Rise => !old[b] & new[b],
                             CouplingTrigger::Fall => old[b] & !new[b],
-                        } & lanes;
+                        } & lanes
+                            & eff;
                         if fired != 0 {
                             actions.push((victim_cell, victim_bit, None, fired));
                         }
@@ -425,7 +765,8 @@ impl LaneRam {
                         let fired = match trigger {
                             CouplingTrigger::Rise => !old[b] & new[b],
                             CouplingTrigger::Fall => old[b] & !new[b],
-                        } & lanes;
+                        } & lanes
+                            & eff;
                         if fired != 0 {
                             actions.push((victim_cell, victim_bit, Some(force), fired));
                         }
@@ -437,9 +778,26 @@ impl LaneRam {
         self.apply_actions(&actions);
         self.scratch_actions = actions;
         self.scratch_old = old;
-        self.enforce_state_from_aggressor(cell);
-        self.enforce_state_on_victim(cell);
-        self.enforce_npsf_from_neighbor(cell);
+        self.scratch_val = new;
+        self.enforce_state_from_aggressor(cell, eff);
+        self.enforce_state_on_victim(cell, eff);
+        self.enforce_npsf_from_neighbor(cell, eff);
+    }
+
+    /// The lanes on which `cell` carries a stuck-open fault.
+    fn sof_lanes(&self, cell: usize) -> u64 {
+        let mut sof = 0u64;
+        if self.bank.sof_count > 0 {
+            if let Some(bucket) = self.bank.by_victim.get(cell) {
+                for &i in bucket {
+                    let (f, lanes) = &self.bank.faults[i];
+                    if matches!(f, FaultKind::StuckOpen { .. }) {
+                        sof |= lanes;
+                    }
+                }
+            }
+        }
+        sof
     }
 
     /// Applies staged bit actions: `None` inverts the victim bit on the
@@ -463,9 +821,9 @@ impl LaneRam {
         }
     }
 
-    /// CFst where `cell` is the aggressor: enforce on the lanes whose
-    /// aggressor bit currently holds the trigger state.
-    fn enforce_state_from_aggressor(&mut self, cell: usize) {
+    /// CFst where `cell` is the aggressor: enforce on the accessing lanes
+    /// whose aggressor bit currently holds the trigger state.
+    fn enforce_state_from_aggressor(&mut self, cell: usize, access: u64) {
         let m = self.geom.width() as usize;
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -483,7 +841,7 @@ impl LaneRam {
                 {
                     if agg_cell == cell {
                         let plane = self.store[agg_cell * m + agg_bit as usize];
-                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes;
+                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes & access;
                         if cond != 0 {
                             actions.push((victim_cell, victim_bit, Some(force), cond));
                         }
@@ -495,9 +853,9 @@ impl LaneRam {
         self.scratch_actions = actions;
     }
 
-    /// CFst where `cell` is the victim: re-enforce on the lanes whose
-    /// aggressor currently holds the trigger state.
-    fn enforce_state_on_victim(&mut self, cell: usize) {
+    /// CFst where `cell` is the victim: re-enforce on the accessing lanes
+    /// whose aggressor currently holds the trigger state.
+    fn enforce_state_on_victim(&mut self, cell: usize, access: u64) {
         let m = self.geom.width() as usize;
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -515,7 +873,7 @@ impl LaneRam {
                 {
                     if victim_cell == cell {
                         let plane = self.store[agg_cell * m + agg_bit as usize];
-                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes;
+                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes & access;
                         if cond != 0 {
                             actions.push((victim_cell, victim_bit, Some(force), cond));
                         }
@@ -528,14 +886,14 @@ impl LaneRam {
     }
 
     /// NPSF where `cell` is one of the neighbours (checked after writes).
-    fn enforce_npsf_from_neighbor(&mut self, cell: usize) {
+    fn enforce_npsf_from_neighbor(&mut self, cell: usize, access: u64) {
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
         if let Some(bucket) = self.bank.by_aggressor.get(cell) {
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
-                    let cond = self.npsf_condition(neighbors, *lanes);
+                    let cond = self.npsf_condition(neighbors, *lanes & access);
                     if cond != 0 {
                         actions.push((*victim_cell, *victim_bit, Some(*force), cond));
                     }
@@ -547,7 +905,7 @@ impl LaneRam {
     }
 
     /// NPSF where `cell` is the victim (checked at reads).
-    fn enforce_npsf_on_victim(&mut self, cell: usize) {
+    fn enforce_npsf_on_victim(&mut self, cell: usize, access: u64) {
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
         if let Some(bucket) = self.bank.by_victim.get(cell) {
@@ -555,7 +913,7 @@ impl LaneRam {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
                     if *victim_cell == cell {
-                        let cond = self.npsf_condition(neighbors, *lanes);
+                        let cond = self.npsf_condition(neighbors, *lanes & access);
                         if cond != 0 {
                             actions.push((*victim_cell, *victim_bit, Some(*force), cond));
                         }
@@ -580,6 +938,9 @@ impl LaneRam {
     }
 
     /// Applies the stuck-at masks of `cell` to its stored planes.
+    /// Unmasked by design: stuck-at enforcement is idempotent, so
+    /// re-applying it on lanes whose device did not access the cell is
+    /// harmless (the bit already holds the stuck value).
     fn enforce_sa(&mut self, cell: usize) {
         let m = self.geom.width() as usize;
         if let Some(bucket) = self.bank.by_victim.get(cell) {
@@ -623,9 +984,21 @@ mod tests {
         lane: usize,
         script: &[(bool, usize, u64)], // (is_write, addr, data)
     ) {
+        assert_lane_matches_scalar_wired(geom, fault, lane, script, ReadWired::Or);
+    }
+
+    fn assert_lane_matches_scalar_wired(
+        geom: Geometry,
+        fault: FaultKind,
+        lane: usize,
+        script: &[(bool, usize, u64)],
+        wired: ReadWired,
+    ) {
         let mut scalar = Ram::new(geom);
+        scalar.set_wired(wired);
         scalar.inject(fault.clone()).unwrap();
         let mut lanes = LaneRam::new(geom);
+        lanes.set_wired(wired);
         lanes.inject(fault.clone(), lane).unwrap();
         for (step, &(is_write, addr, data)) in script.iter().enumerate() {
             if is_write {
@@ -779,6 +1152,116 @@ mod tests {
     }
 
     #[test]
+    fn stuck_open_matches_scalar() {
+        // The sense amplifier latches the last read value; SOF reads
+        // return the latch, SOF writes are lost — mirror the scalar
+        // `stuck_open_latches_sense_amp` scenario step by step.
+        assert_lane_matches_scalar(
+            Geometry::bom(4),
+            FaultKind::StuckOpen { cell: 2 },
+            29,
+            &[
+                (true, 1, 1),
+                (true, 2, 1),  // lost
+                (false, 1, 0), // latch 1
+                (false, 2, 0), // returns latched 1
+                (true, 0, 0),
+                (false, 0, 0), // latch 0
+                (false, 2, 0), // returns latched 0
+            ],
+        );
+    }
+
+    #[test]
+    fn read_logic_families_match_scalar() {
+        let script: &[(bool, usize, u64)] = &[
+            (true, 0, 1),
+            (false, 0, 0),
+            (false, 0, 0),
+            (true, 0, 1),
+            (false, 0, 0),
+            (true, 0, 0),
+            (false, 0, 0),
+            (false, 0, 0),
+        ];
+        for fault in [
+            FaultKind::ReadDestructive { cell: 0, bit: 0 },
+            FaultKind::DeceptiveRead { cell: 0, bit: 0 },
+            FaultKind::IncorrectRead { cell: 0, bit: 0 },
+        ] {
+            for lane in [0usize, 40, 63] {
+                assert_lane_matches_scalar(Geometry::bom(2), fault.clone(), lane, script);
+            }
+        }
+    }
+
+    #[test]
+    fn write_disturb_matches_scalar() {
+        assert_lane_matches_scalar(
+            Geometry::bom(2),
+            FaultKind::WriteDisturb { cell: 0, bit: 0 },
+            13,
+            &[
+                (true, 0, 1), // transition: fine
+                (false, 0, 0),
+                (true, 0, 1), // non-transition: disturbed to 0
+                (false, 0, 0),
+                (true, 0, 0), // now a non-transition 0-write: disturbed to 1
+                (false, 0, 0),
+            ],
+        );
+    }
+
+    #[test]
+    fn decoder_faults_match_scalar_under_both_wirings() {
+        let script: &[(bool, usize, u64)] = &[
+            (true, 2, 1),
+            (false, 2, 0),
+            (true, 5, 1),
+            (false, 5, 0),
+            (true, 2, 0),
+            (false, 2, 0),
+            (false, 5, 0),
+            (true, 6, 1),
+            (false, 3, 0),
+            (false, 6, 0),
+        ];
+        for wired in [ReadWired::Or, ReadWired::And] {
+            for fault in [
+                FaultKind::DecoderNoAccess { addr: 2 },
+                FaultKind::DecoderExtraCell { addr: 2, extra_cell: 5 },
+                FaultKind::DecoderShadow { addr: 3, instead_cell: 6 },
+            ] {
+                for lane in [0usize, 21, 63] {
+                    assert_lane_matches_scalar_wired(
+                        Geometry::bom(8),
+                        fault.clone(),
+                        lane,
+                        script,
+                        wired,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_extra_cell_wom_matches_scalar() {
+        assert_lane_matches_scalar(
+            Geometry::wom(6, 4).unwrap(),
+            FaultKind::DecoderExtraCell { addr: 1, extra_cell: 4 },
+            50,
+            &[
+                (true, 1, 0xA), // writes cells 1 and 4
+                (false, 4, 0),
+                (true, 4, 0x5),
+                (false, 1, 0), // OR(0xA, 0x5)
+                (false, 4, 0),
+            ],
+        );
+    }
+
+    #[test]
     fn lanes_are_isolated() {
         // Two different faults in two lanes: each lane behaves like its
         // own scalar device, the other lane's fault invisible to it.
@@ -795,6 +1278,48 @@ mod tests {
         let p1 = lanes.read(1)[0];
         assert_eq!((p1 >> 2) & 1, 0, "lane 2 sees a healthy cell 1");
         assert_eq!((p1 >> 7) & 1, 1, "lane 7 is stuck at 1");
+    }
+
+    #[test]
+    fn decoder_and_read_logic_lanes_stay_isolated() {
+        // A decoder fault in one lane diverts its accesses; the diverted
+        // accesses must not fire another lane's read-triggered fault, and
+        // vice versa — the cross-lane hazard the per-access lane masks
+        // exist to prevent.
+        let geom = Geometry::bom(8);
+        let shadow = FaultKind::DecoderShadow { addr: 3, instead_cell: 6 };
+        let rdf = FaultKind::ReadDestructive { cell: 6, bit: 0 };
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(shadow.clone(), 11).unwrap();
+        lanes.inject(rdf.clone(), 44).unwrap();
+        let mut s_shadow = Ram::new(geom);
+        s_shadow.inject(shadow).unwrap();
+        let mut s_rdf = Ram::new(geom);
+        s_rdf.inject(rdf).unwrap();
+        let script: &[(bool, usize, u64)] = &[
+            (true, 6, 1),
+            (true, 3, 0),  // lane 11 writes cell 6 instead
+            (false, 3, 0), // lane 11 reads cell 6; lane 44's RDF must not fire
+            (false, 6, 0), // lane 44's RDF fires exactly once here
+            (false, 6, 0),
+        ];
+        for (step, &(is_write, addr, data)) in script.iter().enumerate() {
+            if is_write {
+                s_shadow.write(addr, data);
+                s_rdf.write(addr, data);
+                lanes.write_broadcast(addr, data);
+            } else {
+                let w_shadow = s_shadow.read(addr);
+                let w_rdf = s_rdf.read(addr);
+                let planes = lanes.read(addr);
+                assert_eq!((planes[0] >> 11) & 1, w_shadow, "shadow lane, step {step}");
+                assert_eq!((planes[0] >> 44) & 1, w_rdf, "rdf lane, step {step}");
+            }
+            for c in 0..8 {
+                assert_eq!(lanes.peek_lane(c, 11), s_shadow.peek(c), "step {step} cell {c}");
+                assert_eq!(lanes.peek_lane(c, 44), s_rdf.peek(c), "step {step} cell {c}");
+            }
+        }
     }
 
     #[test]
@@ -819,26 +1344,67 @@ mod tests {
     }
 
     #[test]
-    fn unbatchable_families_are_rejected() {
+    fn reset_recycles_sense_and_retention_state() {
+        let geom = Geometry::bom(4);
+        let mut lanes = LaneRam::new(geom);
+        lanes.inject(FaultKind::StuckOpen { cell: 2 }, 3).unwrap();
+        lanes.write_broadcast(1, 1);
+        let _ = lanes.read(1); // latch 1
+        lanes.reset_to(0);
+        // A fresh device after reset: the latch was cleared, so the SOF
+        // read returns 0, as on a just-constructed memory.
+        assert_eq!((lanes.read(2)[0] >> 3) & 1, 0, "sense latch must reset");
+
+        let mut lanes = LaneRam::new(geom);
+        lanes
+            .inject(FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 }, 9)
+            .unwrap();
+        // Age the device past the retention window, then recycle it.
+        for _ in 0..2 {
+            for a in 0..4 {
+                lanes.write_broadcast(a, 1);
+            }
+        }
+        lanes.reset_to(0);
+        lanes.write_broadcast(0, 1);
+        assert_eq!((lanes.read(0)[0] >> 9) & 1, 1, "retention window must restart at reset");
+        lanes.write_broadcast(1, 1);
+        lanes.write_broadcast(2, 1);
+        lanes.write_broadcast(3, 1);
+        assert_eq!((lanes.read(0)[0] >> 9) & 1, 0, "and decay again once exceeded");
+    }
+
+    #[test]
+    fn every_family_is_batchable() {
         let mut lanes = LaneRam::new(Geometry::bom(4));
-        for fault in [
+        for (lane, fault) in [
             FaultKind::DecoderNoAccess { addr: 0 },
+            FaultKind::DecoderExtraCell { addr: 1, extra_cell: 2 },
+            FaultKind::DecoderShadow { addr: 2, instead_cell: 3 },
             FaultKind::StuckOpen { cell: 1 },
             FaultKind::ReadDestructive { cell: 0, bit: 0 },
             FaultKind::DeceptiveRead { cell: 0, bit: 0 },
             FaultKind::IncorrectRead { cell: 0, bit: 0 },
             FaultKind::WriteDisturb { cell: 0, bit: 0 },
-        ] {
-            assert!(!is_lane_batchable(&fault));
-            assert!(matches!(lanes.inject(fault, 0), Err(RamError::FaultNotBatchable { .. })));
+            FaultKind::StuckAt { cell: 0, bit: 0, value: 0 },
+            FaultKind::Transition { cell: 0, bit: 0, rising: true },
+            FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 2 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(is_lane_batchable(&fault), "{fault}");
+            lanes.inject(fault, lane).expect("every modelled family injects");
         }
-        assert_eq!(lanes.active_lanes(), 0, "rejected faults must not claim a lane");
+        assert_eq!(lanes.active_lanes().count_ones(), 11);
     }
 
     #[test]
     fn validation_errors_propagate() {
         let mut lanes = LaneRam::new(Geometry::bom(4));
         assert!(lanes.inject(FaultKind::StuckAt { cell: 9, bit: 0, value: 0 }, 0).is_err());
+        assert!(lanes.inject(FaultKind::DecoderNoAccess { addr: 4 }, 0).is_err());
+        assert_eq!(lanes.active_lanes(), 0, "rejected faults must not claim a lane");
     }
 
     #[test]

@@ -74,7 +74,7 @@
 //! # Ok::<(), prt_ram::RamError>(())
 //! ```
 
-use crate::batch::{broadcast as lane_broadcast, LaneRam};
+use crate::batch::{broadcast as lane_broadcast, LaneRam, LANES};
 use crate::{Geometry, PortOp, Ram, RamError, MAX_PORTS};
 use std::ops::Range;
 
@@ -400,9 +400,7 @@ impl TestProgram {
     /// `i` of mask `j` — no per-lane arithmetic anywhere). The run early
     /// exits once every active lane has been flagged (the lane-masked
     /// form of the scalar early exit; verdicts are unaffected because a
-    /// flagged lane's verdict is final). A geometry mismatch counts as
-    /// *not detected* on every lane, mirroring the scalar error-as-escape
-    /// convention.
+    /// flagged lane's verdict is final).
     ///
     /// Per lane, the returned verdict is **bit-identical** to
     /// [`TestProgram::detect`] on a scalar [`Ram`] carrying that lane's
@@ -412,16 +410,23 @@ impl TestProgram {
     ///
     /// Panics when the program is not [`TestProgram::lane_batchable`] —
     /// campaign engines partition multi-port programs to the scalar path
-    /// before ever calling this.
+    /// before ever calling this — or when `ram`'s geometry differs from
+    /// the one the program was compiled for. A whole *batch* on the wrong
+    /// device would silently report 64 escapes (0% coverage), so unlike
+    /// the scalar per-trial error-as-escape convention this
+    /// configuration error is surfaced loudly.
     pub fn detect_batch(&self, ram: &mut LaneRam) -> u64 {
         assert!(
             self.lane_batchable(),
             "multi-port program '{}' cannot run lane-batched",
             self.name
         );
-        if ram.geometry() != self.geom {
-            return 0;
-        }
+        assert_eq!(
+            ram.geometry(),
+            self.geom,
+            "program '{}' was compiled for a different geometry than the LaneRam",
+            self.name
+        );
         let m = self.geom.width() as usize;
         let full = ram.active_lanes();
         let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
@@ -470,6 +475,131 @@ impl TestProgram {
             }
         }
         detected & full
+    }
+
+    /// Runs the program against up to 64 fault trials simultaneously
+    /// **without early exit**, reporting per-lane channel counts and
+    /// feeding `observer` the bit-planes of every checked read — the lane
+    /// counterpart of [`TestProgram::execute_observed`], and the engine
+    /// batched *measurement* campaigns (MISR signature collection, fault
+    /// dictionaries) run on: the response-stream length is
+    /// lane-independent, so a per-lane compactor sees exactly the stream
+    /// a scalar run of that lane's fault would produce.
+    ///
+    /// `execs[k]` receives lane `k`'s execution summary (reset first);
+    /// per lane it equals the scalar
+    /// `execute_observed(ram, false, None, ..)` summary on a [`Ram`]
+    /// carrying that lane's fault — counts, first mismatch, ops and
+    /// cycles (property-tested in `tests/batch.rs`). Returns the mask of
+    /// active lanes whose trial was flagged on either channel.
+    ///
+    /// # Panics
+    ///
+    /// As [`TestProgram::detect_batch`]: multi-port programs and a
+    /// geometry-mismatched `ram` are loud configuration errors.
+    pub fn execute_batch_observed(
+        &self,
+        ram: &mut LaneRam,
+        execs: &mut [Execution; LANES],
+        observer: &mut dyn FnMut(&[u64]),
+    ) -> u64 {
+        assert!(
+            self.lane_batchable(),
+            "multi-port program '{}' cannot run lane-batched",
+            self.name
+        );
+        assert_eq!(
+            ram.geometry(),
+            self.geom,
+            "program '{}' was compiled for a different geometry than the LaneRam",
+            self.name
+        );
+        let m = self.geom.width() as usize;
+        execs.fill(Execution::default());
+        let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+        let mut detected = 0u64;
+        let mut ops = 0u64;
+        for (idx, op) in self.ops.iter().enumerate() {
+            match *op {
+                MemOp::Write { addr, data } => {
+                    ram.write_broadcast(addr as usize, data);
+                    ops += 1;
+                }
+                MemOp::ReadExpect { addr, expect }
+                | MemOp::ReadStale { addr, expect }
+                | MemOp::ReadCapture { addr, expect } => {
+                    let planes = ram.read(addr as usize);
+                    observer(planes);
+                    ops += 1;
+                    let mut diff = 0u64;
+                    for (j, &p) in planes.iter().enumerate() {
+                        diff |= p ^ lane_broadcast(expect, j as u32);
+                    }
+                    if diff != 0 {
+                        let stale = matches!(op, MemOp::ReadStale { .. });
+                        let mut rest = diff;
+                        while rest != 0 {
+                            let lane = rest.trailing_zeros() as usize;
+                            rest &= rest - 1;
+                            let e = &mut execs[lane];
+                            if stale {
+                                e.stale_errors += 1;
+                            } else {
+                                e.mismatches += 1;
+                                if e.first_mismatch.is_none() {
+                                    let mut got = 0u64;
+                                    for (j, &p) in planes.iter().enumerate() {
+                                        got |= ((p >> lane) & 1) << j;
+                                    }
+                                    e.first_mismatch = Some(OpMismatch {
+                                        op_index: idx,
+                                        addr: addr as usize,
+                                        expected: expect,
+                                        got,
+                                    });
+                                }
+                            }
+                        }
+                        detected |= diff;
+                    }
+                }
+                MemOp::ReadAny { addr } => {
+                    let _ = ram.read(addr as usize);
+                    ops += 1;
+                }
+                MemOp::AccSet { lane, value } => {
+                    for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
+                        *plane = lane_broadcast(value, j as u32);
+                    }
+                }
+                MemOp::ReadAcc { addr, map, lane } => {
+                    let planes = ram.read(addr as usize);
+                    ops += 1;
+                    let masks = &self.maps[map as usize];
+                    let a = &mut acc[lane as usize];
+                    for (j, &p) in planes.iter().enumerate() {
+                        let mut img = masks[j];
+                        while img != 0 {
+                            let i = img.trailing_zeros() as usize;
+                            a[i] ^= p;
+                            img &= img - 1;
+                        }
+                    }
+                }
+                MemOp::WriteAcc { addr, lane } => {
+                    ram.write_planes(addr as usize, &acc[lane as usize][..m]);
+                    ops += 1;
+                }
+                MemOp::CycleN { .. } => unreachable!("lane_batchable excluded multi-port cycles"),
+            }
+        }
+        // Single-port programs cost one cycle per read/write on every
+        // lane — identical across lanes because there is no early exit.
+        for e in execs.iter_mut() {
+            e.ops = ops;
+            e.cycles = ops;
+        }
+        detected & ram.active_lanes()
     }
 
     /// Runs the program and reports full channel counts. With
@@ -1420,13 +1550,94 @@ mod tests {
     }
 
     #[test]
-    fn detect_batch_geometry_mismatch_is_an_escape() {
+    #[should_panic(expected = "different geometry")]
+    fn detect_batch_geometry_mismatch_is_loud() {
+        // Regression: this used to return 0 ("all 64 lanes escaped"),
+        // silently reporting 0% coverage for a mis-sized program, where
+        // the scalar checked path errors with ProgramGeometryMismatch.
         let mut b = ProgramBuilder::new(Geometry::bom(8));
         b.read_expect(0, 1);
         let prog = b.build();
         let mut lanes = crate::LaneRam::new(Geometry::bom(4));
         lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 0).unwrap();
-        assert_eq!(prog.detect_batch(&mut lanes), 0);
+        let _ = prog.detect_batch(&mut lanes);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn execute_batch_observed_geometry_mismatch_is_loud() {
+        let mut b = ProgramBuilder::new(Geometry::bom(8));
+        b.read_expect(0, 1);
+        let prog = b.build();
+        let mut lanes = crate::LaneRam::new(Geometry::bom(4));
+        let mut execs = [Execution::default(); crate::LANES];
+        let _ = prog.execute_batch_observed(&mut lanes, &mut execs, &mut |_| {});
+    }
+
+    #[test]
+    fn execute_batch_observed_matches_scalar_per_lane() {
+        // Per-lane execution summaries AND the per-lane observed response
+        // stream must equal the scalar full-run (`stop_at_first = false`)
+        // observed execution for every fault family, including the newly
+        // batchable ones.
+        let geom = Geometry::bom(8);
+        let mut b = ProgramBuilder::new(geom);
+        for a in 0..8 {
+            b.write(a, 0);
+        }
+        for a in 0..8 {
+            b.read_expect(a, 0);
+            b.write(a, 1);
+        }
+        for a in (0..8).rev() {
+            b.read_expect(a, 1);
+            b.write(a, 0);
+        }
+        for a in 0..8 {
+            b.read_expect(a, 0);
+        }
+        let prog = b.build();
+        let faults = [
+            FaultKind::StuckAt { cell: 5, bit: 0, value: 1 },
+            FaultKind::Transition { cell: 2, bit: 0, rising: true },
+            FaultKind::StuckOpen { cell: 3 },
+            FaultKind::ReadDestructive { cell: 1, bit: 0 },
+            FaultKind::DeceptiveRead { cell: 6, bit: 0 },
+            FaultKind::IncorrectRead { cell: 4, bit: 0 },
+            FaultKind::WriteDisturb { cell: 7, bit: 0 },
+            FaultKind::DecoderNoAccess { addr: 2 },
+            FaultKind::DecoderExtraCell { addr: 1, extra_cell: 6 },
+            FaultKind::DecoderShadow { addr: 4, instead_cell: 0 },
+        ];
+        let mut lanes = crate::LaneRam::new(geom);
+        // Spread the trials over arbitrary lane positions.
+        let lane_of = |i: usize| (i * 7 + 3) % crate::LANES;
+        for (i, fault) in faults.iter().enumerate() {
+            lanes.inject(fault.clone(), lane_of(i)).unwrap();
+        }
+        let mut execs = [Execution::default(); crate::LANES];
+        let mut streams: Vec<Vec<u64>> = vec![Vec::new(); crate::LANES];
+        let flagged = prog.execute_batch_observed(&mut lanes, &mut execs, &mut |planes| {
+            for (lane, stream) in streams.iter_mut().enumerate() {
+                let mut word = 0u64;
+                for (j, &p) in planes.iter().enumerate() {
+                    word |= ((p >> lane) & 1) << j;
+                }
+                stream.push(word);
+            }
+        });
+        for (i, fault) in faults.iter().enumerate() {
+            let lane = lane_of(i);
+            let mut ram = Ram::new(geom);
+            ram.inject(fault.clone()).unwrap();
+            let mut seen = Vec::new();
+            let exec = prog
+                .execute_observed(&mut ram, false, None, &mut |v| seen.push(v))
+                .expect("single-port run");
+            assert_eq!(execs[lane], exec, "{fault}: execution summary diverged");
+            assert_eq!(streams[lane], seen, "{fault}: observed stream diverged");
+            assert_eq!((flagged >> lane) & 1 == 1, exec.detected(), "{fault}");
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ proptest! {
     fn fault_free_ram_equals_vector_model(actions in arb_actions(16, 0xF)) {
         let geom = Geometry::wom(16, 4).unwrap();
         let mut ram = Ram::new(geom);
-        let mut model = vec![0u64; 16];
+        let mut model = [0u64; 16];
         for act in &actions {
             match *act {
                 Action::Read(a) => prop_assert_eq!(ram.read(a), model[a]),
@@ -142,7 +142,7 @@ proptest! {
     fn irf_preserves_storage(actions in arb_actions(8, 1), cell in 0usize..8) {
         let mut ram = Ram::new(Geometry::bom(8));
         ram.inject(FaultKind::IncorrectRead { cell, bit: 0 }).unwrap();
-        let mut model = vec![0u64; 8];
+        let mut model = [0u64; 8];
         for act in &actions {
             match *act {
                 Action::Read(a) => {

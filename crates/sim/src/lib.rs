@@ -318,7 +318,9 @@ where
 /// each trial's **result value** in trial order — the generic campaign
 /// mode that per-fault *measurements* (MISR signatures for fault
 /// dictionaries, observed response streams, per-trial statistics) build
-/// on, where [`run_trials`] only records a verdict bit.
+/// on, where [`run_trials`] only records a verdict bit. See
+/// [`map_trials_batched`] for the lane-sliced form measurement campaigns
+/// over an explicit fault list use.
 ///
 /// This is the engine's lowest-level primitive (Monte-Carlo campaigns use
 /// it directly; [`Campaign`] builds fault-universe sweeps on top). Each
@@ -381,6 +383,110 @@ where
     results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every trial index was dispatched"))
+        .collect()
+}
+
+/// The lane-sliced form of [`map_trials`] for per-fault measurement
+/// campaigns: batchable faults are packed [`LANES`] per [`LaneRam`] and
+/// measured by one `batch_trial` pass per batch; any scalar-only
+/// remainder (future [`is_lane_batchable`] opt-outs) runs through
+/// `scalar_trial` on pooled [`Ram`]s. Results land by **fault index**, so
+/// the output is deterministic and identical for any parallelism policy —
+/// and, when the two trial functions measure the same thing (the contract
+/// callers are property-tested against), identical to the all-scalar
+/// [`map_trials`] sweep.
+///
+/// `batch_trial` receives a healed, zero-reset [`LaneRam`] whose lanes
+/// `0..k` carry the batch's faults in index order and must push exactly
+/// one result per injected lane, in lane order (checked). `scalar_trial`
+/// receives the fault's universe index and a pooled memory with the fault
+/// **already injected** (unlike the raw [`map_trials`], which hands the
+/// closure a pristine device).
+///
+/// Callers remain responsible for only routing measurements that *can*
+/// batch — e.g. `prt-diag` dictionary builds fall back to [`map_trials`]
+/// entirely when the diagnostic program is multi-port.
+///
+/// # Panics
+///
+/// Panics if `ports` is invalid, a fault fails to inject, or
+/// `batch_trial` yields a wrong result count.
+pub fn map_trials_batched<T, FB, FS>(
+    geom: Geometry,
+    ports: usize,
+    faults: &[FaultKind],
+    parallelism: Parallelism,
+    batch_trial: FB,
+    scalar_trial: FS,
+) -> Vec<T>
+where
+    T: Send + Sync,
+    FB: Fn(&mut LaneRam, &mut Vec<T>) + Sync,
+    FS: Fn(usize, &mut Ram) -> T + Sync,
+{
+    let mut batched: Vec<usize> = Vec::new();
+    let mut rest: Vec<usize> = Vec::new();
+    for (i, fault) in faults.iter().enumerate() {
+        if is_lane_batchable(fault) {
+            batched.push(i);
+        } else {
+            rest.push(i);
+        }
+    }
+    let n_batches = batched.len().div_ceil(LANES);
+    let results: Vec<OnceLock<T>> = (0..faults.len()).map(|_| OnceLock::new()).collect();
+    let run_batch = |b: usize, ram: &mut LaneRam, out: &mut Vec<T>| {
+        ram.eject_faults();
+        ram.reset_to(0);
+        let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
+        for (lane, &fi) in lanes.iter().enumerate() {
+            ram.inject(faults[fi].clone(), lane).expect("campaign faults are valid");
+        }
+        out.clear();
+        batch_trial(ram, out);
+        assert_eq!(out.len(), lanes.len(), "batch trial must yield one result per injected lane");
+        for (&fi, v) in lanes.iter().zip(out.drain(..)) {
+            // Batch indices are claimed uniquely, so each slot is set once.
+            let _ = results[fi].set(v);
+        }
+    };
+    let workers = parallelism.workers(batched.len()).min(n_batches.max(1));
+    if workers <= 1 {
+        let mut ram = LaneRam::new(geom);
+        let mut out = Vec::new();
+        for b in 0..n_batches {
+            run_batch(b, &mut ram, &mut out);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut ram = LaneRam::new(geom);
+                    let mut out = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_batches {
+                            break;
+                        }
+                        run_batch(b, &mut ram, &mut out);
+                    }
+                });
+            }
+        });
+    }
+    if !rest.is_empty() {
+        let rest_vals = map_trials(geom, ports, rest.len(), parallelism, |k, ram| {
+            ram.inject(faults[rest[k]].clone()).expect("campaign faults are valid");
+            scalar_trial(rest[k], ram)
+        });
+        for (&fi, v) in rest.iter().zip(rest_vals) {
+            let _ = results[fi].set(v);
+        }
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every fault index was dispatched"))
         .collect()
 }
 
@@ -450,11 +556,12 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// Enables or disables the lane-sliced batch path (default enabled).
     /// With batching on, a campaign whose runner exposes a single-port
     /// compiled program for every background
-    /// ([`FaultRunner::batch_program`]) partitions its universe into
-    /// batchable lanes-of-64 plus a scalar remainder and evaluates up to
-    /// 64 trials per interpreter pass; verdicts are bit-identical to the
-    /// scalar path either way. Disable to measure or differential-test
-    /// the scalar engine.
+    /// ([`FaultRunner::batch_program`]) evaluates its universe in
+    /// lanes-of-64, up to 64 trials per interpreter pass — the partition
+    /// predicate has shrunk to "multi-port program only", since every
+    /// modelled fault family now batches; verdicts are bit-identical to
+    /// the scalar path either way. Disable to measure or
+    /// differential-test the scalar engine.
     pub fn with_lane_batching(mut self, enabled: bool) -> Campaign<'a, R> {
         self.lane_batching = enabled;
         self
@@ -527,12 +634,13 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         programs.iter().all(|p| p.lane_batchable() && p.geometry() == self.geom).then_some(programs)
     }
 
-    /// The lane-batched engine: batchable faults are packed 64 per
-    /// [`LaneRam`] (scalar-only families — decoder, stuck-open,
-    /// read/write-logic — run on the scalar remainder path), workers
+    /// The lane-batched engine: batchable faults — since the decoder
+    /// model, sense planes and read/write-logic masks landed, **every**
+    /// modelled family — are packed 64 per [`LaneRam`], workers
     /// self-schedule over whole batches, and the verdict table is filled
     /// by fault index, so the result is identical to
-    /// [`Campaign::detections_scalar`] for any thread count.
+    /// [`Campaign::detections_scalar`] for any thread count. The scalar
+    /// remainder path persists for future [`is_lane_batchable`] opt-outs.
     fn detections_lane_batched(&self, programs: &[&TestProgram]) -> Vec<bool> {
         let mut verdicts = vec![false; self.faults.len()];
         let mut batched: Vec<usize> = Vec::new();
@@ -876,6 +984,50 @@ mod tests {
         for (i, v) in seq.iter().enumerate() {
             assert_eq!(*v, (i % 2) as u64 + 10 * i as u64, "trial {i}");
         }
+    }
+
+    #[test]
+    fn map_trials_batched_matches_scalar_map() {
+        // The lane-sliced measurement mode must produce, fault for fault,
+        // the same values as an all-scalar map_trials sweep, for any
+        // thread count — over the full universe (every family batches).
+        let u = universe();
+        let prog = toy_program(u.geometry());
+        let scalar: Vec<bool> =
+            map_trials(u.geometry(), 1, u.len(), Parallelism::Sequential, |i, ram| {
+                ram.inject(u.faults()[i].clone()).expect("valid");
+                prog.detect(ram)
+            });
+        for threads in [1usize, 3, 7] {
+            let batched = map_trials_batched(
+                u.geometry(),
+                1,
+                u.faults(),
+                Parallelism::Threads(threads),
+                |lanes: &mut LaneRam, out: &mut Vec<bool>| {
+                    let verdicts = prog.detect_batch(lanes);
+                    for lane in 0..lanes.active_lanes().count_ones() as usize {
+                        out.push((verdicts >> lane) & 1 == 1);
+                    }
+                },
+                |_, ram| prog.detect(ram),
+            );
+            assert_eq!(scalar, batched, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per injected lane")]
+    fn map_trials_batched_rejects_wrong_result_count() {
+        let u = FaultUniverse::enumerate(Geometry::bom(4), &UniverseSpec::single_cell());
+        let _ = map_trials_batched(
+            u.geometry(),
+            1,
+            u.faults(),
+            Parallelism::Sequential,
+            |_lanes: &mut LaneRam, out: &mut Vec<bool>| out.push(true), // too few
+            |_, _| true,
+        );
     }
 
     #[test]

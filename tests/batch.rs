@@ -1,9 +1,13 @@
 //! Batch-vs-scalar differential property tests: the lane-sliced batch
 //! engine must produce **bit-identical verdicts** to the scalar campaign
 //! engine, per fault, over full BOM/WOM universes, for every compiled
-//! test family (March, π, PRT scheme, bit-plane scheme), any lane
-//! position and any thread count. The scalar path is the oracle — these
-//! are the acceptance tests of the lane-sliced refactor.
+//! test family (March, π, PRT scheme, bit-plane scheme), every fault
+//! family — including the read/write-logic (RDF/DRDF/IRF/WDF),
+//! stuck-open and address-decoder families that batch since the decoder
+//! model landed — any lane position and any thread count; and the
+//! batched `map_trials` measurement mode must reproduce the scalar
+//! per-fault MISR signatures exactly. The scalar path is the oracle —
+//! these are the acceptance tests of the lane-sliced refactor.
 
 use proptest::prelude::*;
 use prt_suite::prelude::*;
@@ -12,10 +16,11 @@ fn gf16() -> Field {
     Field::new(4, 0b1_0011).expect("GF(16)")
 }
 
-/// The mixed universe every campaign property sweeps: batchable families
-/// (SAF/TF/CFin/CFid/CFst, intra-word included on WOM) *plus* the
-/// scalar-only remainder (AF, SOF, read/write-logic families), so the
-/// lanes-of-64 partition and the scalar fallback are both exercised.
+/// The mixed universe every campaign property sweeps: **every** modelled
+/// family — SAF/TF/CFin/CFid/CFst (intra-word included on WOM) plus AF,
+/// SOF and the read/write-logic families. All of it batches now; the
+/// sweep proves the per-lane decoder/sense/read-logic models against the
+/// scalar oracle.
 fn mixed_universe(geom: Geometry) -> FaultUniverse {
     let spec = UniverseSpec {
         coupling_radius: Some(2),
@@ -183,6 +188,105 @@ proptest! {
         let want = program.detect(&mut scalar);
         prop_assert_eq!((got >> lane) & 1 == 1, want, "{} in lane {}", &fault, lane);
         prop_assert_eq!(got & !(1u64 << lane), 0, "inactive lanes must stay silent");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// BATCHED MEASUREMENT ≡ SCALAR MEASUREMENT: `map_trials_batched`
+    /// signature collection must reproduce, per fault index, the exact
+    /// MISR signature and execution summary the scalar `collect` path
+    /// measures — for random March programs, sizes and thread counts.
+    #[test]
+    fn signature_map_batched_equals_scalar(
+        test_idx in 0usize..15,
+        n in 2usize..10,
+        threads in 1usize..5,
+    ) {
+        let geom = Geometry::bom(n);
+        let u = mixed_universe(geom);
+        let tests = march_library::all();
+        let test = &tests[test_idx % tests.len()];
+        let program = Executor::new().compile(test, geom);
+        let collector = SignatureCollector::new(&program, Poly2::from_bits(0b1_0001_1011))
+            .expect("collector");
+        let scalar: Vec<Observation> =
+            prt_sim::map_trials(geom, 1, u.len(), Parallelism::Sequential, |i, ram| {
+                ram.inject(u.faults()[i].clone()).expect("valid");
+                collector.collect(&program, ram).expect("single-port run")
+            });
+        let batched: Vec<Observation> = prt_sim::map_trials_batched(
+            geom,
+            1,
+            u.faults(),
+            Parallelism::Threads(threads),
+            |lanes, out| collector.collect_batch(&program, lanes, out),
+            |_, ram| collector.collect(&program, ram).expect("single-port run"),
+        );
+        for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+            prop_assert_eq!(
+                s, b,
+                "{}: observation diverged on {} (threads={})",
+                test.name(), &u.faults()[i], threads
+            );
+        }
+    }
+}
+
+/// Every modelled fault family is lane-batchable now: a full-universe
+/// campaign leaves **no scalar remainder** (the partition predicate has
+/// shrunk to "multi-port program only").
+#[test]
+fn full_universe_is_entirely_batchable() {
+    let u = mixed_universe(Geometry::wom(6, 4).expect("geometry"));
+    for fault in u.faults() {
+        assert!(is_lane_batchable(fault), "{fault} should batch");
+    }
+    let mut lanes = LaneRam::new(u.geometry());
+    for (lane, fault) in u.faults().iter().take(LANES).enumerate() {
+        lanes.inject(fault.clone(), lane).expect("every family injects");
+    }
+}
+
+/// A geometry-mismatched batch run is a LOUD configuration error — the
+/// regression guard for the silent-zero-coverage bug, at the integration
+/// level the campaign engine drives.
+#[test]
+#[should_panic(expected = "different geometry")]
+fn geometry_mismatched_detect_batch_is_loud() {
+    let program = Executor::new().compile(&march_library::march_c_minus(), Geometry::bom(16));
+    let mut lanes = LaneRam::new(Geometry::bom(8));
+    lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 0).expect("inject");
+    let _ = program.detect_batch(&mut lanes);
+}
+
+/// BATCHED DICTIONARY ≡ SCALAR DICTIONARY: a `FaultDictionary` built on
+/// the lane-batched `map_trials` mode must carry identical per-fault
+/// signatures (and identical aggregate statistics) to the scalar build,
+/// over a universe spanning every family.
+#[test]
+fn dictionary_build_batched_equals_scalar() {
+    let geom = Geometry::bom(16);
+    let u = mixed_universe(geom);
+    let program = Executor::new().compile(&march_library::march_diag(), geom);
+    let poly = Poly2::from_bits(0b1_0001_1011);
+    let scalar =
+        FaultDictionary::build_with_batching(&u, &program, poly, Parallelism::Sequential, false)
+            .expect("scalar build");
+    for threads in [1usize, 4] {
+        let batched = FaultDictionary::build(&u, &program, poly, Parallelism::Threads(threads))
+            .expect("batched build");
+        for (i, (s, b)) in scalar.observations().iter().zip(batched.observations()).enumerate() {
+            assert_eq!(
+                s.signature,
+                b.signature,
+                "signature diverged on {} (threads={threads})",
+                &u.faults()[i]
+            );
+            assert_eq!(s, b, "observation diverged on {}", &u.faults()[i]);
+        }
+        assert_eq!(scalar.stats(), batched.stats(), "threads={threads}");
     }
 }
 
