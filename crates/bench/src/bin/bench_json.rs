@@ -116,8 +116,7 @@ fn measure<F: FnMut()>(budget_ms: u64, mut f: F) -> (u64, f64) {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_campaign.json".to_string());
-    let budget_ms: u64 =
-        std::env::var("BENCH_JSON_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let budget_ms: u64 = prt_bench::env_or("BENCH_JSON_MS", 200);
     let mut rows: Vec<Row> = Vec::new();
     let mut push = |group: &'static str,
                     n: usize,
@@ -390,7 +389,11 @@ fn main() {
     let body: Vec<String> = rows.iter().map(Row::json).collect();
     json.push_str(&body.join(",\n"));
     json.push_str("\n  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
+    // Atomic publish: consumers polling the file see the old complete
+    // run or the new one, never a torn half-write.
+    if let Err(e) = prt_bench::write_atomic(&out_path, &json) {
+        prt_bench::die(format!("cannot write {out_path}: {e}"));
+    }
     println!("{json}");
     eprintln!("wrote {out_path}");
 }

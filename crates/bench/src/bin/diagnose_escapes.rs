@@ -10,7 +10,15 @@ use prt_sim::Campaign;
 
 fn main() {
     let ns: Vec<usize> = {
-        let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+        // Malformed sizes are a usage error, not silently skipped runs.
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|s| {
+                s.parse().unwrap_or_else(|e| {
+                    prt_bench::die(format!("invalid array-size argument '{s}': {e}"))
+                })
+            })
+            .collect();
         if args.is_empty() {
             vec![9, 10, 11]
         } else {

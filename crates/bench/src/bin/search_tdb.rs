@@ -57,7 +57,7 @@ fn label(spec: &IterationSpec) -> String {
 }
 
 fn main() {
-    let max_iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let max_iters: usize = prt_bench::arg_or(1, 5, "max-iterations");
 
     let field = Field::new(1, 0b11).expect("GF(2)");
     let sets: Vec<(Geometry, Vec<FaultKind>)> =

@@ -21,7 +21,7 @@ use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
 use prt_sim::Campaign;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n: usize = prt_bench::arg_or(1, 12, "array-size");
     let field = || Field::new(1, 0b11).expect("GF(2)");
     let universe = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
     println!(

@@ -21,7 +21,7 @@ use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
 use prt_sim::Campaign;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9);
+    let n: usize = prt_bench::arg_or(1, 9, "array-size");
     let m = 4u32;
     let field = || Field::new(4, 0b1_0011).expect("GF(16)");
     let geom = Geometry::wom(n, m).expect("geometry");

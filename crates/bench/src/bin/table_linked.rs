@@ -51,7 +51,7 @@ fn linked_cfin_pairs(n: usize) -> Vec<[FaultKind; 2]> {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n: usize = prt_bench::arg_or(1, 8, "array-size");
     let pairs = linked_cfin_pairs(n);
     println!("{} linked CFin pairs on BOM n={n}\n", pairs.len());
 

@@ -14,7 +14,7 @@ use prt_march::{coverage, library, Executor};
 use prt_ram::{FaultUniverse, Geometry, UniverseSpec};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let n: usize = prt_bench::arg_or(1, 10, "array-size");
     let universe = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
     println!("universe: {} instances on BOM n={n}\n", universe.len());
 

@@ -86,7 +86,7 @@ fn class_instances(class: &str, n: usize) -> Vec<FaultKind> {
 }
 
 fn main() {
-    let trials: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let trials: u32 = prt_bench::arg_or(1, 300, "trial-count");
     let n = 12usize;
     println!("uniform-TDB model, n = {n}, {trials} Monte-Carlo trials per instance\n");
 

@@ -26,12 +26,17 @@
 //! [`DictionaryStats`] against the full-signature baseline.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use crate::{DiagError, Observation, SignatureCollector};
 use prt_gf::Poly2;
 use prt_ram::{FaultKind, FaultUniverse, Geometry, TestProgram};
-use prt_sim::{map_trials, map_trials_batched, Parallelism};
+use prt_sim::checkpoint::{self, FingerprintBuilder};
+use prt_sim::{
+    map_trials, map_trials_batched, try_map_trials, try_map_trials_batched, CampaignError,
+    Parallelism,
+};
 
 /// Aggregate dictionary statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +103,36 @@ pub struct FaultDictionary {
     /// `Some(k)`: keys are the low `k` bits of the signature
     /// ([`FaultDictionary::compress`]); `None`: full signatures.
     prefix_bits: Option<u32>,
+}
+
+/// Fingerprint of everything that determines a dictionary's observation
+/// table: geometry, the fault universe, the compiled diagnostic program
+/// and the MISR polynomial. Parallelism is deliberately excluded —
+/// observations are keyed by universe index, so a checkpoint resumes
+/// correctly at any thread count.
+fn dictionary_fingerprint(universe: &FaultUniverse, program: &TestProgram, poly: Poly2) -> u64 {
+    let mut fp = FingerprintBuilder::new();
+    fp.push_str("prt-diag/dictionary/v1");
+    fp.push_debug(&universe.geometry());
+    fp.push_u64(universe.len() as u64);
+    for fault in universe.faults() {
+        fp.push_debug(fault);
+    }
+    fp.push_debug(program);
+    fp.push_debug(&poly);
+    fp.finish()
+}
+
+/// Routes a campaign-engine failure out of a dictionary build: checkpoint
+/// errors are typed ([`DiagError::Checkpoint`]); anything else (a caught
+/// trial panic, a configuration error the upfront asserts did not cover)
+/// keeps the engine's loud legacy behavior.
+fn surface_campaign_error(e: CampaignError) -> DiagError {
+    match e {
+        CampaignError::Checkpoint(c) => DiagError::Checkpoint(c),
+        CampaignError::WorkerPanic { payload, .. } => std::panic::panic_any(payload),
+        other => panic!("{other}"),
+    }
 }
 
 /// The key function selecting the low `bits` bits of a signature.
@@ -225,6 +260,101 @@ impl FaultDictionary {
                 collector.collect(program, ram).unwrap_or(escape(&collector))
             })
         };
+        let (buckets, stats) = index_observations(
+            &observations,
+            collector.reference(),
+            collector.aliasing_bound(),
+            |sig| sig,
+        );
+        Ok(FaultDictionary {
+            geom,
+            program: Arc::new(program.clone()),
+            collector,
+            faults: Arc::new(universe.faults().to_vec()),
+            observations: Arc::new(observations),
+            buckets,
+            stats,
+            prefix_bits: None,
+        })
+    }
+
+    /// [`FaultDictionary::build`] with progress checkpointed to `path`
+    /// every `every` observations (clamped to ≥ 1) — the dictionary
+    /// adoption of the campaign engine's checkpoint/resume hook. A
+    /// compatible checkpoint already at `path` resumes the universe sweep
+    /// where it stopped; the finished dictionary is bit-identical to an
+    /// uninterrupted [`FaultDictionary::build`] at any parallelism, since
+    /// observations are keyed by universe index. Snapshots are written
+    /// atomically and fingerprinted against the geometry, universe,
+    /// program and MISR polynomial, so a checkpoint of a *different*
+    /// build is refused, never silently mixed in.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Lfsr`] for a degenerate `poly`;
+    /// [`DiagError::Checkpoint`] when a snapshot cannot be saved, loaded
+    /// or trusted.
+    ///
+    /// # Panics
+    ///
+    /// As [`FaultDictionary::build`]; additionally, a panicking trial
+    /// resumes its original payload after the completed prefix has been
+    /// checkpointed — restart to resume past the poisoned chunk.
+    pub fn build_with_checkpoint(
+        universe: &FaultUniverse,
+        program: &TestProgram,
+        poly: Poly2,
+        parallelism: Parallelism,
+        path: impl AsRef<Path>,
+        every: usize,
+    ) -> Result<FaultDictionary, DiagError> {
+        assert_eq!(
+            universe.geometry(),
+            program.geometry(),
+            "dictionary universe and program geometries differ"
+        );
+        let collector = SignatureCollector::new(program, poly)?;
+        let geom = universe.geometry();
+        let total = universe.len();
+        let every = every.max(1);
+        let path = path.as_ref();
+        let fingerprint = dictionary_fingerprint(universe, program, poly);
+        let escape = |collector: &SignatureCollector| Observation {
+            signature: collector.reference(),
+            exec: Default::default(),
+        };
+        let mut observations: Vec<Observation> =
+            checkpoint::load_records(path, fingerprint, total)?.unwrap_or_default();
+        while observations.len() < total {
+            let end = (observations.len() + every).min(total);
+            let segment = &universe.faults()[observations.len()..end];
+            let attempt = if program.lane_batchable() {
+                try_map_trials_batched(
+                    geom,
+                    program.ports(),
+                    segment,
+                    parallelism,
+                    |lanes, out| collector.collect_batch(program, lanes, out),
+                    |_, ram| collector.collect(program, ram).unwrap_or(escape(&collector)),
+                )
+                .map(|(values, _degraded)| values)
+            } else {
+                try_map_trials(geom, program.ports(), segment.len(), parallelism, |k, ram| {
+                    ram.inject(segment[k].clone()).expect("enumerated faults are valid");
+                    collector.collect(program, ram).unwrap_or(escape(&collector))
+                })
+            };
+            match attempt {
+                Ok(segment_obs) => observations.extend(segment_obs),
+                Err(e) => {
+                    // The completed prefix survives the failure: save it
+                    // before surfacing, so a restart resumes here.
+                    checkpoint::save_records(path, fingerprint, total, &observations)?;
+                    return Err(surface_campaign_error(e));
+                }
+            }
+            checkpoint::save_records(path, fingerprint, total, &observations)?;
+        }
         let (buckets, stats) = index_observations(
             &observations,
             collector.reference(),
@@ -563,5 +693,143 @@ mod tests {
         let universe = FaultUniverse::enumerate(Geometry::bom(8), &UniverseSpec::single_cell());
         let program = Executor::new().compile(&library::march_diag(), Geometry::bom(4));
         let _ = FaultDictionary::build(&universe, &program, poly8(), Parallelism::Auto);
+    }
+
+    fn temp_ckpt(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prt-diag-unit-{}-{name}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn checkpointed_build_matches_plain_build() {
+        let geom = Geometry::bom(8);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let plain =
+            FaultDictionary::build(&universe, &program, poly8(), Parallelism::Auto).unwrap();
+        let path = temp_ckpt("segmented");
+        let segmented = FaultDictionary::build_with_checkpoint(
+            &universe,
+            &program,
+            poly8(),
+            Parallelism::Auto,
+            &path,
+            25,
+        )
+        .unwrap();
+        assert_eq!(plain.observations(), segmented.observations());
+        assert_eq!(plain.stats(), segmented.stats());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupted_build_resumes_bit_identically() {
+        // A completed checkpointed build leaves a cursor == total file;
+        // truncating its record list to a prefix reproduces exactly what
+        // a killed build would have left behind, and the resumed build
+        // must equal the uninterrupted one — at a different parallelism.
+        let geom = Geometry::bom(8);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let path = temp_ckpt("resume");
+        let full = FaultDictionary::build_with_checkpoint(
+            &universe,
+            &program,
+            poly8(),
+            Parallelism::Sequential,
+            &path,
+            50,
+        )
+        .unwrap();
+        let fp = checkpoint::peek_fingerprint(&path).unwrap();
+        let saved: Vec<Observation> =
+            checkpoint::load_records(&path, fp, universe.len()).unwrap().expect("not cold");
+        assert_eq!(saved.len(), universe.len());
+        checkpoint::save_records(&path, fp, universe.len(), &saved[..universe.len() / 3]).unwrap();
+        let resumed = FaultDictionary::build_with_checkpoint(
+            &universe,
+            &program,
+            poly8(),
+            Parallelism::Threads(4),
+            &path,
+            50,
+        )
+        .unwrap();
+        assert_eq!(full.observations(), resumed.observations());
+        assert_eq!(full.stats(), resumed.stats());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_dictionary_checkpoint_is_refused() {
+        let geom = Geometry::bom(8);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::paper_claim());
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let path = temp_ckpt("foreign");
+        FaultDictionary::build_with_checkpoint(
+            &universe,
+            &program,
+            poly8(),
+            Parallelism::Auto,
+            &path,
+            50,
+        )
+        .unwrap();
+        // A different MISR polynomial produces different signatures: its
+        // build must refuse the stale file.
+        let err = FaultDictionary::build_with_checkpoint(
+            &universe,
+            &program,
+            Poly2::from_bits(0b1_1000_0011),
+            Parallelism::Auto,
+            &path,
+            50,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DiagError::Checkpoint(prt_sim::CheckpointError::FingerprintMismatch { .. })
+            ),
+            "expected FingerprintMismatch, got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn observation_record_round_trips() {
+        use prt_ram::{Execution, OpMismatch};
+        use prt_sim::checkpoint::CheckpointRecord;
+        let samples = [
+            Observation { signature: 0xDEAD_BEEF, exec: Execution::default() },
+            Observation {
+                signature: u64::MAX,
+                exec: Execution {
+                    mismatches: 3,
+                    stale_errors: 1,
+                    first_mismatch: Some(OpMismatch {
+                        op_index: 17,
+                        addr: 5,
+                        expected: 0b1010,
+                        got: 0b1110,
+                    }),
+                    ops: 96,
+                    cycles: 100,
+                },
+            },
+        ];
+        for obs in samples {
+            let mut words = Vec::new();
+            obs.encode(&mut words);
+            assert_eq!(words.len(), <Observation as CheckpointRecord>::WORDS);
+            assert_eq!(Observation::decode(&words), Some(obs));
+        }
+        // An undecodable flag word is corruption, not a default.
+        let mut words = Vec::new();
+        samples[0].encode(&mut words);
+        words[3] = 2;
+        assert_eq!(Observation::decode(&words), None);
     }
 }

@@ -24,6 +24,10 @@ pub enum DiagError {
     /// deterministic single-fault models this workspace simulates, kept as
     /// a loud failure instead of a wrong diagnosis.
     Inconsistent,
+    /// A dictionary checkpoint could not be saved, loaded or trusted
+    /// (I/O failure, corruption, version skew or a fingerprint of a
+    /// different build).
+    Checkpoint(prt_sim::CheckpointError),
 }
 
 impl fmt::Display for DiagError {
@@ -37,6 +41,7 @@ impl fmt::Display for DiagError {
             DiagError::Inconsistent => {
                 write!(f, "probe outcomes violate the window-bisection invariant")
             }
+            DiagError::Checkpoint(e) => write!(f, "dictionary checkpoint error: {e}"),
         }
     }
 }
@@ -46,6 +51,7 @@ impl Error for DiagError {
         match self {
             DiagError::Lfsr(e) => Some(e),
             DiagError::Ram(e) => Some(e),
+            DiagError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }
@@ -60,5 +66,11 @@ impl From<prt_lfsr::LfsrError> for DiagError {
 impl From<prt_ram::RamError> for DiagError {
     fn from(e: prt_ram::RamError) -> Self {
         DiagError::Ram(e)
+    }
+}
+
+impl From<prt_sim::CheckpointError> for DiagError {
+    fn from(e: prt_sim::CheckpointError) -> Self {
+        DiagError::Checkpoint(e)
     }
 }

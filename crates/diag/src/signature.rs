@@ -33,6 +33,57 @@ impl Observation {
     }
 }
 
+/// Dictionary-build checkpoints: one observation per simulated fault —
+/// signature, channel counts and the optional first mismatch, flattened
+/// to ten words ([`FaultDictionary::build_with_checkpoint`] resumes an
+/// interrupted universe sweep from these).
+///
+/// [`FaultDictionary::build_with_checkpoint`]: crate::FaultDictionary::build_with_checkpoint
+impl prt_sim::checkpoint::CheckpointRecord for Observation {
+    const KIND: u32 = 2;
+    const WORDS: usize = 10;
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.signature);
+        out.push(self.exec.mismatches);
+        out.push(self.exec.stale_errors);
+        match &self.exec.first_mismatch {
+            Some(m) => {
+                out.push(1);
+                out.push(m.op_index as u64);
+                out.push(m.addr as u64);
+                out.push(m.expected);
+                out.push(m.got);
+            }
+            None => out.extend_from_slice(&[0; 5]),
+        }
+        out.push(self.exec.ops);
+        out.push(self.exec.cycles);
+    }
+
+    fn decode(words: &[u64]) -> Option<Observation> {
+        let [signature, mismatches, stale_errors, has_first, op_index, addr, expected, got, ops, cycles] =
+            *words
+        else {
+            return None;
+        };
+        let first_mismatch = match has_first {
+            0 if (op_index, addr, expected, got) == (0, 0, 0, 0) => None,
+            1 => Some(prt_ram::OpMismatch {
+                op_index: usize::try_from(op_index).ok()?,
+                addr: usize::try_from(addr).ok()?,
+                expected,
+                got,
+            }),
+            _ => return None,
+        };
+        Some(Observation {
+            signature,
+            exec: Execution { mismatches, stale_errors, first_mismatch, ops, cycles },
+        })
+    }
+}
+
 /// Compacts every checked-read response of one compiled program through a
 /// MISR, with the fault-free reference signature precomputed from the
 /// program's expectations.

@@ -414,19 +414,63 @@ impl TestProgram {
     /// the one the program was compiled for. A whole *batch* on the wrong
     /// device would silently report 64 escapes (0% coverage), so unlike
     /// the scalar per-trial error-as-escape convention this
-    /// configuration error is surfaced loudly.
+    /// configuration error is surfaced loudly. Resilient campaign
+    /// runtimes that must not abort use [`TestProgram::try_detect_batch`],
+    /// which this is a thin wrapper over.
     pub fn detect_batch(&self, ram: &mut LaneRam) -> u64 {
-        assert!(
-            self.lane_batchable(),
-            "multi-port program '{}' cannot run lane-batched",
-            self.name
-        );
-        assert_eq!(
-            ram.geometry(),
-            self.geom,
-            "program '{}' was compiled for a different geometry than the LaneRam",
-            self.name
-        );
+        self.try_detect_batch(ram).unwrap_or_else(|e| self.panic_batch_config(e))
+    }
+
+    /// The fallible form of [`TestProgram::detect_batch`]: the same batch
+    /// interpreter pass, with the two whole-batch configuration errors
+    /// surfaced as typed [`RamError`]s instead of panics — the entry point
+    /// fault-tolerant campaign services dispatch through.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::ProgramNotBatchable`] for a multi-port program;
+    /// [`RamError::ProgramGeometryMismatch`] when `ram` was built for a
+    /// different geometry than the program was compiled for.
+    pub fn try_detect_batch(&self, ram: &mut LaneRam) -> Result<u64, RamError> {
+        self.check_batch_config(ram)?;
+        Ok(self.detect_batch_unchecked(ram))
+    }
+
+    /// Rejects the whole-batch configuration errors (validated before any
+    /// lane is touched, so a rejected batch has no side effects).
+    fn check_batch_config(&self, ram: &LaneRam) -> Result<(), RamError> {
+        if !self.lane_batchable() {
+            return Err(RamError::ProgramNotBatchable {
+                program: self.name.clone(),
+                ports: self.ports,
+            });
+        }
+        if ram.geometry() != self.geom {
+            return Err(RamError::ProgramGeometryMismatch {
+                compiled: self.geom,
+                device: ram.geometry(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Maps a batch configuration error back onto the exact panic message
+    /// the panicking wrappers have always used (regression-tested since
+    /// the silent-zero-coverage fix).
+    fn panic_batch_config(&self, e: RamError) -> ! {
+        match e {
+            RamError::ProgramNotBatchable { .. } => {
+                panic!("multi-port program '{}' cannot run lane-batched", self.name)
+            }
+            RamError::ProgramGeometryMismatch { .. } => panic!(
+                "program '{}' was compiled for a different geometry than the LaneRam",
+                self.name
+            ),
+            e => panic!("{e}"),
+        }
+    }
+
+    fn detect_batch_unchecked(&self, ram: &mut LaneRam) -> u64 {
         let m = self.geom.width() as usize;
         let full = ram.active_lanes();
         let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
@@ -496,24 +540,33 @@ impl TestProgram {
     /// # Panics
     ///
     /// As [`TestProgram::detect_batch`]: multi-port programs and a
-    /// geometry-mismatched `ram` are loud configuration errors.
+    /// geometry-mismatched `ram` are loud configuration errors
+    /// ([`TestProgram::try_execute_batch_observed`] is the fallible form
+    /// this is a thin wrapper over).
     pub fn execute_batch_observed(
         &self,
         ram: &mut LaneRam,
         execs: &mut [Execution; LANES],
         observer: &mut dyn FnMut(&[u64]),
     ) -> u64 {
-        assert!(
-            self.lane_batchable(),
-            "multi-port program '{}' cannot run lane-batched",
-            self.name
-        );
-        assert_eq!(
-            ram.geometry(),
-            self.geom,
-            "program '{}' was compiled for a different geometry than the LaneRam",
-            self.name
-        );
+        self.try_execute_batch_observed(ram, execs, observer)
+            .unwrap_or_else(|e| self.panic_batch_config(e))
+    }
+
+    /// The fallible form of [`TestProgram::execute_batch_observed`]: the
+    /// same full-counts batch pass, with the whole-batch configuration
+    /// errors surfaced as typed [`RamError`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// As [`TestProgram::try_detect_batch`].
+    pub fn try_execute_batch_observed(
+        &self,
+        ram: &mut LaneRam,
+        execs: &mut [Execution; LANES],
+        observer: &mut dyn FnMut(&[u64]),
+    ) -> Result<u64, RamError> {
+        self.check_batch_config(ram)?;
         let m = self.geom.width() as usize;
         execs.fill(Execution::default());
         let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
@@ -599,7 +652,7 @@ impl TestProgram {
             e.ops = ops;
             e.cycles = ops;
         }
-        detected & ram.active_lanes()
+        Ok(detected & ram.active_lanes())
     }
 
     /// Runs the program and reports full channel counts. With

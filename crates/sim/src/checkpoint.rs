@@ -1,0 +1,472 @@
+//! Versioned, fingerprinted, atomically-written campaign checkpoints.
+//!
+//! A checkpoint persists a **contiguous prefix** of per-trial records
+//! (campaign verdicts, dictionary observations) plus everything needed to
+//! refuse a wrong resume: a format version, a *kind* tag for the record
+//! type, a caller-computed **fingerprint** of the run configuration
+//! (geometry / universe / program / backgrounds / schedule), the universe
+//! size, and a whole-file checksum. Writes go to a sibling temp file and
+//! are published with an atomic `rename`, so a crash mid-write can never
+//! leave a half-written file at the checkpoint path — the old checkpoint
+//! (or no file) survives instead.
+//!
+//! # File format (version 1)
+//!
+//! A flat sequence of little-endian `u64` words:
+//!
+//! | word | content |
+//! |------|---------|
+//! | 0 | magic `"PRTCKPT1"` (`0x5052_5443_4B50_5431`) |
+//! | 1 | `version << 32 \| record kind` |
+//! | 2 | run fingerprint |
+//! | 3 | `total` — records in a complete run |
+//! | 4 | `cursor` — records present (`≤ total`) |
+//! | 5… | `cursor × WORDS` payload words |
+//! | last | FNV-1a 64 checksum of all preceding words' bytes |
+//!
+//! Validation on load runs strictest-signal-first: I/O errors surface as
+//! [`CheckpointError::Io`], structural damage (size, magic, checksum,
+//! truncated or undecodable payload) as [`CheckpointError::Corrupt`], a
+//! foreign format version as [`CheckpointError::VersionMismatch`] and a
+//! checkpoint of a *different run* as
+//! [`CheckpointError::FingerprintMismatch`]. A missing file is not an
+//! error — it is simply a cold start ([`load_records`] returns
+//! `Ok(None)`).
+
+use std::fmt;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::Path;
+
+pub use crate::error::CheckpointError;
+
+/// `"PRTCKPT1"` as a big-endian word — the first word of every file.
+const MAGIC: u64 = 0x5052_5443_4B50_5431;
+
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// A fixed-width record a checkpoint can carry.
+///
+/// Implementations declare a `KIND` tag (so a verdict checkpoint is never
+/// mistaken for an observation checkpoint) and a fixed word width, and
+/// encode/decode themselves as `u64` words. [`bool`] (campaign verdicts)
+/// is provided here; `prt-diag` implements it for its observations.
+pub trait CheckpointRecord: Sized {
+    /// Record-type tag stored in the header (must be nonzero and unique
+    /// per record type).
+    const KIND: u32;
+    /// Words per record.
+    const WORDS: usize;
+    /// Appends exactly [`CheckpointRecord::WORDS`] words to `out`.
+    fn encode(&self, out: &mut Vec<u64>);
+    /// Decodes one record from exactly [`CheckpointRecord::WORDS`] words;
+    /// `None` marks an undecodable (corrupt) payload.
+    fn decode(words: &[u64]) -> Option<Self>;
+}
+
+/// Campaign verdicts: one word per trial, `0`/`1`.
+impl CheckpointRecord for bool {
+    const KIND: u32 = 1;
+    const WORDS: usize = 1;
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(*self));
+    }
+
+    fn decode(words: &[u64]) -> Option<bool> {
+        match words {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// FNV-1a 64 over a word slice's little-endian bytes.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Incremental FNV-1a 64 fingerprint of a run configuration.
+///
+/// Campaigns hash their geometry, universe, compiled programs and
+/// schedule discipline through this builder; the resulting fingerprint is
+/// stored in every checkpoint and compared on resume, so a checkpoint
+/// can never silently seed a *different* run with stale verdicts.
+/// Implements [`fmt::Write`], so arbitrary `Debug` representations hash
+/// without intermediate allocation.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    hash: u64,
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
+    }
+}
+
+impl FingerprintBuilder {
+    /// A fresh builder at the FNV offset basis.
+    pub fn new() -> FingerprintBuilder {
+        FingerprintBuilder { hash: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Hashes a string (with a terminator, so `"ab"+"c"` ≠ `"a"+"bc"`).
+    pub fn push_str(&mut self, s: &str) {
+        self.push_bytes(s.as_bytes());
+        self.push_bytes(&[0xff]);
+    }
+
+    /// Hashes a word.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a value's `Debug` representation (allocation-free).
+    pub fn push_debug(&mut self, v: &impl fmt::Debug) {
+        use fmt::Write;
+        // Writing to the hasher cannot fail.
+        let _ = write!(self, "{v:?}");
+        self.push_bytes(&[0xff]);
+    }
+
+    /// The fingerprint of everything pushed so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl fmt::Write for FingerprintBuilder {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.push_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn io_err(path: &Path, op: &'static str, e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io { path: path.display().to_string(), op, message: e.to_string() }
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt { path: path.display().to_string(), reason: reason.into() }
+}
+
+/// Atomically writes a checkpoint: `records` is the contiguous prefix
+/// `[0, cursor)` of a run over `total` records whose configuration hashes
+/// to `fingerprint`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the temp-file write or the publishing
+/// rename fails; the previous checkpoint (if any) is left intact.
+pub fn save_records<R: CheckpointRecord>(
+    path: &Path,
+    fingerprint: u64,
+    total: usize,
+    records: &[R],
+) -> Result<(), CheckpointError> {
+    debug_assert!(records.len() <= total);
+    let mut words: Vec<u64> = Vec::with_capacity(6 + records.len() * R::WORDS);
+    words.push(MAGIC);
+    words.push((u64::from(VERSION) << 32) | u64::from(R::KIND));
+    words.push(fingerprint);
+    words.push(total as u64);
+    words.push(records.len() as u64);
+    for r in records {
+        r.encode(&mut words);
+    }
+    words.push(fnv1a(&words));
+    let mut bytes: Vec<u8> = Vec::with_capacity(words.len() * 8);
+    for w in &words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    // Publish atomically: a crash between write and rename leaves the old
+    // checkpoint untouched; rename on the same filesystem replaces it in
+    // one step.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, "write", &e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err(path, "rename", &e))
+}
+
+/// Reads a file as little-endian words.
+fn read_words(path: &Path) -> Result<Option<Vec<u64>>, CheckpointError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(path, "read", &e)),
+    };
+    if bytes.len() % 8 != 0 {
+        return Err(corrupt(path, format!("size {} is not a multiple of 8", bytes.len())));
+    }
+    Ok(Some(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect()))
+}
+
+/// Validates everything but the payload; returns
+/// `(kind, fingerprint, total, cursor, payload_words)`.
+fn validate_header(path: &Path, words: &[u64]) -> Result<(u32, u64, u64, u64), CheckpointError> {
+    if words.len() < 6 {
+        return Err(corrupt(path, format!("only {} words — header needs 6", words.len())));
+    }
+    if words[0] != MAGIC {
+        return Err(corrupt(path, format!("bad magic {:#018x}", words[0])));
+    }
+    let (body, checksum) = words.split_at(words.len() - 1);
+    if fnv1a(body) != checksum[0] {
+        return Err(corrupt(path, "checksum mismatch".to_string()));
+    }
+    let version = (words[1] >> 32) as u32;
+    if version != VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            path: path.display().to_string(),
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let kind = (words[1] & 0xffff_ffff) as u32;
+    Ok((kind, words[2], words[3], words[4]))
+}
+
+/// Reads the run fingerprint out of a checkpoint without knowing which
+/// run it belongs to — the inspection hook tools (and tests) use to
+/// examine a file before deciding whether to resume from it.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] when the file cannot be read (including when
+/// it does not exist) and [`CheckpointError::Corrupt`] /
+/// [`CheckpointError::VersionMismatch`] when it is not a readable
+/// checkpoint.
+pub fn peek_fingerprint(path: &Path) -> Result<u64, CheckpointError> {
+    let words = read_words(path)?.ok_or_else(|| CheckpointError::Io {
+        path: path.display().to_string(),
+        op: "read",
+        message: "no such file".to_string(),
+    })?;
+    let (_, fingerprint, _, _) = validate_header(path, &words)?;
+    Ok(fingerprint)
+}
+
+/// Loads the record prefix of a checkpoint, validating structure, format
+/// version, record kind, fingerprint and payload. `Ok(None)` means the
+/// file does not exist — a cold start, not an error.
+///
+/// # Errors
+///
+/// See the module docs for the variant-per-failure mapping. A cursor
+/// exceeding `total`, a payload of the wrong length, or a record that
+/// fails to decode are all [`CheckpointError::Corrupt`].
+pub fn load_records<R: CheckpointRecord>(
+    path: &Path,
+    fingerprint: u64,
+    total: usize,
+) -> Result<Option<Vec<R>>, CheckpointError> {
+    let Some(words) = read_words(path)? else {
+        return Ok(None);
+    };
+    let (kind, found_fp, file_total, cursor) = validate_header(path, &words)?;
+    if kind != R::KIND {
+        return Err(corrupt(path, format!("record kind {kind} — expected {}", R::KIND)));
+    }
+    if found_fp != fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            path: path.display().to_string(),
+            expected: fingerprint,
+            found: found_fp,
+        });
+    }
+    if file_total != total as u64 {
+        return Err(corrupt(path, format!("universe size {file_total} — expected {total}")));
+    }
+    if cursor > file_total {
+        return Err(corrupt(path, format!("cursor {cursor} exceeds universe size {file_total}")));
+    }
+    let cursor = cursor as usize;
+    let payload = &words[5..words.len() - 1];
+    if payload.len() != cursor * R::WORDS {
+        return Err(corrupt(
+            path,
+            format!(
+                "payload is {} words — {cursor} records need {}",
+                payload.len(),
+                cursor * R::WORDS
+            ),
+        ));
+    }
+    let mut records = Vec::with_capacity(cursor);
+    for (i, chunk) in payload.chunks_exact(R::WORDS).enumerate() {
+        match R::decode(chunk) {
+            Some(r) => records.push(r),
+            None => return Err(corrupt(path, format!("record {i} does not decode"))),
+        }
+    }
+    Ok(Some(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prt-sim-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_a_verdict_prefix() {
+        let path = temp_path("roundtrip");
+        let verdicts = vec![true, false, true, true, false];
+        save_records(&path, 0xfeed, 9, &verdicts).unwrap();
+        let loaded: Vec<bool> = load_records(&path, 0xfeed, 9).unwrap().unwrap();
+        assert_eq!(loaded, verdicts);
+        assert_eq!(peek_fingerprint(&path).unwrap(), 0xfeed);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start() {
+        let path = temp_path("missing");
+        let loaded = load_records::<bool>(&path, 1, 4).unwrap();
+        assert_eq!(loaded, None);
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_rejected() {
+        let path = temp_path("fingerprint");
+        save_records(&path, 0xaaaa, 3, &[true, false]).unwrap();
+        let err = load_records::<bool>(&path, 0xbbbb, 3).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::FingerprintMismatch {
+                path: path.display().to_string(),
+                expected: 0xbbbb,
+                found: 0xaaaa,
+            }
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_universe_size_is_corrupt() {
+        let path = temp_path("total");
+        save_records(&path, 7, 3, &[true]).unwrap();
+        assert!(matches!(load_records::<bool>(&path, 7, 4), Err(CheckpointError::Corrupt { .. })));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_bitflips_are_corrupt() {
+        let path = temp_path("damage");
+        save_records(&path, 7, 4, &[true, false, true]).unwrap();
+        let pristine = fs::read(&path).unwrap();
+        // Truncate to every shorter multiple of 8 and every ragged size.
+        for keep in 0..pristine.len() {
+            fs::write(&path, &pristine[..keep]).unwrap();
+            assert!(
+                matches!(load_records::<bool>(&path, 7, 4), Err(CheckpointError::Corrupt { .. })),
+                "truncated to {keep} bytes"
+            );
+        }
+        // Flip one bit in each word; the checksum (or, for flips inside
+        // the checksum word itself, the mismatch with the body) catches
+        // every one.
+        for byte in (0..pristine.len()).step_by(8) {
+            let mut damaged = pristine.clone();
+            damaged[byte] ^= 0x10;
+            fs::write(&path, &damaged).unwrap();
+            assert!(
+                load_records::<bool>(&path, 7, 4).is_err(),
+                "bit flip at byte {byte} went unnoticed"
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn foreign_version_is_version_mismatch() {
+        let path = temp_path("version");
+        save_records(&path, 7, 2, &[true, true]).unwrap();
+        let mut words: Vec<u64> = fs::read(&path)
+            .unwrap()
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        words[1] = (99u64 << 32) | 1; // version 99, kind preserved
+        let last = words.len() - 1;
+        words[last] = fnv1a(&words[..last]); // keep the checksum honest
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            load_records::<bool>(&path, 7, 2),
+            Err(CheckpointError::VersionMismatch { found: 99, supported: VERSION, .. })
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_record_kind_is_corrupt() {
+        struct Pair(u64, u64);
+        impl CheckpointRecord for Pair {
+            const KIND: u32 = 77;
+            const WORDS: usize = 2;
+            fn encode(&self, out: &mut Vec<u64>) {
+                out.extend([self.0, self.1]);
+            }
+            fn decode(words: &[u64]) -> Option<Pair> {
+                Some(Pair(words[0], words[1]))
+            }
+        }
+        let path = temp_path("kind");
+        save_records(&path, 7, 2, &[Pair(1, 2)]).unwrap();
+        assert!(matches!(load_records::<bool>(&path, 7, 2), Err(CheckpointError::Corrupt { .. })));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp() {
+        let path = temp_path("replace");
+        save_records(&path, 7, 4, &[true]).unwrap();
+        save_records(&path, 7, 4, &[true, false, false]).unwrap();
+        let loaded: Vec<bool> = load_records(&path, 7, 4).unwrap().unwrap();
+        assert_eq!(loaded, vec![true, false, false]);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists(), "temp file must not survive a save");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_builder_separates_fields() {
+        let mut a = FingerprintBuilder::new();
+        a.push_str("ab");
+        a.push_str("c");
+        let mut b = FingerprintBuilder::new();
+        b.push_str("a");
+        b.push_str("bc");
+        assert_ne!(a.finish(), b.finish(), "field boundaries must be hashed");
+        let mut c = FingerprintBuilder::new();
+        c.push_debug(&(1u8, "x"));
+        let mut d = FingerprintBuilder::new();
+        d.push_debug(&(1u8, "x"));
+        assert_eq!(c.finish(), d.finish());
+    }
+}

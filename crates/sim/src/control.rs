@@ -1,0 +1,143 @@
+//! Cooperative run control: deadlines and cancellation.
+//!
+//! Long campaigns on tester hardware cannot be aborted with `kill -9`
+//! without losing everything; they need a *cooperative* stop that yields a
+//! partial, explicitly-marked result. The resilient campaign drivers check
+//! a [`RunControl`] at **chunk granularity** — between chunks of scalar
+//! trials and between lane batches — so a stop costs at most one chunk of
+//! extra work and never tears a trial mid-flight.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped before evaluating its whole universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The campaign's [`crate::Campaign::with_deadline`] budget ran out.
+    DeadlineExceeded,
+    /// A shared [`CancelToken`] was fired.
+    Cancelled,
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopCause::DeadlineExceeded => write!(f, "deadline exceeded"),
+            StopCause::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A shareable, clonable cancellation handle.
+///
+/// Clones share one flag: any holder (a signal handler, a service's job
+/// supervisor, another thread) calls [`CancelToken::cancel`] and every
+/// campaign configured with a clone stops claiming work at the next chunk
+/// boundary, returning its progress so far. Cancellation is one-way and
+/// sticky — there is no reset; build a new token for a new run.
+///
+/// # Example
+///
+/// ```
+/// use prt_sim::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token: every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once any clone has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// The per-run stop conditions the drivers poll between chunks.
+#[derive(Debug, Clone)]
+pub(crate) struct RunControl {
+    started: Instant,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+}
+
+impl RunControl {
+    /// Arms the control; the deadline clock starts now.
+    pub(crate) fn new(deadline: Option<Duration>, cancel: Option<CancelToken>) -> RunControl {
+        RunControl { started: Instant::now(), deadline, cancel }
+    }
+
+    /// A control that never stops.
+    #[cfg(test)]
+    pub(crate) fn unlimited() -> RunControl {
+        RunControl::new(None, None)
+    }
+
+    /// The stop cause, if a stop condition holds right now. Cancellation
+    /// wins over the deadline when both hold (it is the more deliberate
+    /// signal).
+    pub(crate) fn stop_cause(&self) -> Option<StopCause> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopCause::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| self.started.elapsed() >= d) {
+            return Some(StopCause::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// Time spent since the control was armed.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_and_sticky() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn unlimited_control_never_stops() {
+        assert_eq!(RunControl::unlimited().stop_cause(), None);
+    }
+
+    #[test]
+    fn zero_deadline_stops_immediately() {
+        let c = RunControl::new(Some(Duration::ZERO), None);
+        assert_eq!(c.stop_cause(), Some(StopCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let c = RunControl::new(Some(Duration::ZERO), Some(token));
+        assert_eq!(c.stop_cause(), Some(StopCause::Cancelled));
+    }
+}

@@ -60,19 +60,73 @@
 //! per-trial notation-interpretation tax is paid once per campaign instead
 //! of once per fault.
 
+//!
+//! # Resilience
+//!
+//! Campaigns are built to survive the failures a long tester-side run
+//! meets: every driver has a fallible `try_*` form returning a typed
+//! [`CampaignError`] (the panicking APIs are thin wrappers kept for
+//! batch binaries and regression tests), progress can be checkpointed
+//! and resumed ([`Campaign::with_checkpoint`]), runs accept a deadline
+//! ([`Campaign::with_deadline`]) and cooperative cancellation
+//! ([`CancelToken`]) yielding explicitly-marked partial reports, worker
+//! panics poison only their own chunk, and a failing lane batch degrades
+//! to the scalar oracle instead of killing the campaign
+//! ([`CoverageReport::degraded_batches`]). See `DESIGN.md` §"Failure
+//! semantics" for the full policy.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
 
 use prt_ram::{
     is_lane_batchable, FaultKind, FaultUniverse, Geometry, LaneRam, Ram, TestProgram, LANES,
 };
 
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
+pub mod checkpoint;
+mod control;
+mod error;
 mod report;
 
-pub use report::{ClassTally, CoverageReport, CoverageRow};
+pub use control::{CancelToken, StopCause};
+pub use error::{CampaignError, CheckpointError};
+pub use report::{ClassTally, CoverageReport, CoverageRow, PartialCoverage};
+
+use checkpoint::FingerprintBuilder;
+use control::RunControl;
+
+/// First worker panic of a fan-out: the poisoned chunk plus the payload.
+type PanicSlot = Mutex<Option<((usize, usize), String)>>;
+
+/// Stringifies a caught panic payload and stores the first one.
+fn record_panic(slot: &PanicSlot, chunk: (usize, usize), payload: Box<dyn std::any::Any + Send>) {
+    let message = match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "worker panicked with a non-string payload".to_string(),
+        },
+    };
+    let mut slot = slot.lock().expect("panic slot lock");
+    if slot.is_none() {
+        *slot = Some((chunk, message));
+    }
+}
+
+/// Stores the first stop cause a worker observed.
+fn record_stop(slot: &Mutex<Option<StopCause>>, cause: StopCause) {
+    let mut slot = slot.lock().expect("stop slot lock");
+    if slot.is_none() {
+        *slot = Some(cause);
+    }
+}
 
 /// Below this many trials a campaign stays sequential under
 /// [`Parallelism::Auto`] — thread spawn/join costs more than the work.
@@ -135,6 +189,45 @@ pub trait FaultRunner: Sync {
         let _ = background;
         None
     }
+
+    /// Checks this runner against a campaign's whole-run configuration
+    /// *before* any trial runs — the fallible drivers call it upfront so
+    /// a misconfiguration becomes a typed [`CampaignError`] instead of a
+    /// worker panic. Runners that cannot know their requirements ahead
+    /// of time (closures) keep the default `Ok`.
+    fn validate(
+        &self,
+        geom: Geometry,
+        ports: usize,
+        backgrounds: &[u64],
+    ) -> Result<(), CampaignError> {
+        let _ = (geom, ports, backgrounds);
+        Ok(())
+    }
+}
+
+/// The program-vs-campaign checks shared by the compiled runners: same
+/// geometry, enough pooled ports.
+fn validate_program(
+    program: &TestProgram,
+    geom: Geometry,
+    ports: usize,
+) -> Result<(), CampaignError> {
+    if geom != program.geometry() {
+        return Err(CampaignError::GeometryMismatch {
+            program: program.name().to_string(),
+            compiled: program.geometry(),
+            campaign: geom,
+        });
+    }
+    if ports < program.ports() {
+        return Err(CampaignError::PortShortfall {
+            program: program.name().to_string(),
+            needed: program.ports(),
+            pooled: ports,
+        });
+    }
+    Ok(())
 }
 
 impl<F> FaultRunner for F
@@ -178,6 +271,27 @@ impl FaultRunner for &TestProgram {
             Some(baked) if baked != background => None,
             _ => Some(self),
         }
+    }
+
+    fn validate(
+        &self,
+        geom: Geometry,
+        ports: usize,
+        backgrounds: &[u64],
+    ) -> Result<(), CampaignError> {
+        validate_program(self, geom, ports)?;
+        if let Some(baked) = self.background() {
+            for &bg in backgrounds {
+                if baked != bg {
+                    return Err(CampaignError::BackgroundMismatch {
+                        program: self.name().to_string(),
+                        compiled: baked,
+                        requested: bg,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -290,6 +404,29 @@ impl FaultRunner for &ProgramBank {
     fn batch_program(&self, background: u64) -> Option<&TestProgram> {
         self.program(background)
     }
+
+    fn validate(
+        &self,
+        geom: Geometry,
+        ports: usize,
+        backgrounds: &[u64],
+    ) -> Result<(), CampaignError> {
+        for &bg in backgrounds {
+            let program =
+                self.program(bg).ok_or(CampaignError::UnknownBackground { background: bg })?;
+            validate_program(program, geom, ports)?;
+            if let Some(baked) = program.background() {
+                if baked != bg {
+                    return Err(CampaignError::BackgroundMismatch {
+                        program: program.name().to_string(),
+                        compiled: baked,
+                        requested: bg,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs `count` independent trials against pooled memories and collects the
@@ -314,6 +451,28 @@ where
     map_trials(geom, ports, count, parallelism, trial)
 }
 
+/// The fallible form of [`run_trials`]: configuration errors and caught
+/// worker panics come back as a typed [`CampaignError`] instead of
+/// aborting the process.
+///
+/// # Errors
+///
+/// [`CampaignError::BadConfiguration`] for an invalid port count,
+/// [`CampaignError::WorkerPanic`] when `trial` panicked (the panic is
+/// caught at the fan-out join and poisons only its chunk).
+pub fn try_run_trials<F>(
+    geom: Geometry,
+    ports: usize,
+    count: usize,
+    parallelism: Parallelism,
+    trial: F,
+) -> Result<Vec<bool>, CampaignError>
+where
+    F: Fn(usize, &mut Ram) -> bool + Sync,
+{
+    try_map_trials(geom, ports, count, parallelism, trial)
+}
+
 /// Runs `count` independent trials against pooled memories and collects
 /// each trial's **result value** in trial order — the generic campaign
 /// mode that per-fault *measurements* (MISR signatures for fault
@@ -333,7 +492,10 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `ports` is not a valid port count for [`Ram::with_ports`].
+/// Re-raises whatever [`try_map_trials`] reports: an invalid port count
+/// panics with its configuration message, a caught trial panic resumes
+/// with its original payload (this is a thin wrapper over the fallible
+/// engine).
 pub fn map_trials<T, F>(
     geom: Geometry,
     ports: usize,
@@ -345,45 +507,87 @@ where
     T: Send + Sync,
     F: Fn(usize, &mut Ram) -> T + Sync,
 {
+    try_map_trials(geom, ports, count, parallelism, trial).unwrap_or_else(|e| e.raise())
+}
+
+/// The fallible form of [`map_trials`] — the engine the panicking
+/// wrapper delegates to. Pooling, scheduling and determinism contracts
+/// are identical; failures come back typed.
+///
+/// # Errors
+///
+/// [`CampaignError::BadConfiguration`] for an invalid port count,
+/// [`CampaignError::WorkerPanic`] when `trial` panicked. A panic poisons
+/// only the chunk it fired in: the remaining workers drain quickly and
+/// the **first** panic is reported with its chunk's trial range.
+pub fn try_map_trials<T, F>(
+    geom: Geometry,
+    ports: usize,
+    count: usize,
+    parallelism: Parallelism,
+    trial: F,
+) -> Result<Vec<T>, CampaignError>
+where
+    T: Send + Sync,
+    F: Fn(usize, &mut Ram) -> T + Sync,
+{
+    validate_ports(geom, ports)?;
     let workers = parallelism.workers(count);
-    if workers <= 1 {
-        let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
-        return (0..count)
-            .map(|i| {
-                ram.eject_faults();
-                ram.reset_to(0);
-                trial(i, &mut ram)
-            })
-            .collect();
-    }
+    let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
+    let n_chunks = count.div_ceil(chunk);
     let results: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
-    let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= count {
-                        break;
-                    }
-                    for (i, slot) in
-                        results.iter().enumerate().take((start + chunk).min(count)).skip(start)
-                    {
-                        ram.eject_faults();
-                        ram.reset_to(0);
-                        // Chunks never overlap, so each slot is set once.
-                        let _ = slot.set(trial(i, &mut ram));
-                    }
+    let panicked = AtomicBool::new(false);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    let worker = || {
+        let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
+        loop {
+            if panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(count));
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                for (i, slot) in results.iter().enumerate().take(hi).skip(lo) {
+                    ram.eject_faults();
+                    ram.reset_to(0);
+                    // Chunks never overlap, so each slot is set once.
+                    let _ = slot.set(trial(i, &mut ram));
                 }
-            });
+            }));
+            if let Err(payload) = attempt {
+                record_panic(&panic_slot, (lo, hi), payload);
+                panicked.store(true, Ordering::Relaxed);
+            }
         }
-    });
-    results
+    };
+    if workers <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(worker);
+            }
+        });
+    }
+    if let Some((chunk, payload)) = panic_slot.into_inner().expect("panic slot lock") {
+        return Err(CampaignError::WorkerPanic { chunk, payload });
+    }
+    Ok(results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every trial index was dispatched"))
-        .collect()
+        .collect())
+}
+
+/// Validates the pooled-device configuration once, upfront, so workers
+/// can `expect` their pool construction.
+fn validate_ports(geom: Geometry, ports: usize) -> Result<(), CampaignError> {
+    Ram::with_ports(geom, ports).map(drop).map_err(|e| CampaignError::BadConfiguration {
+        reason: format!("cannot pool {ports}-port memories: {e}"),
+    })
 }
 
 /// The lane-sliced form of [`map_trials`] for per-fault measurement
@@ -409,8 +613,12 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `ports` is invalid, a fault fails to inject, or
-/// `batch_trial` yields a wrong result count.
+/// Re-raises whatever [`try_map_trials_batched`] reports: an invalid
+/// port count or a wrong `batch_trial` result count panics with its
+/// configuration message (containing the historical "one result per
+/// injected lane" phrase), a caught scalar panic resumes with its
+/// original payload. A *batch* panic does not surface here at all — it
+/// degrades to the scalar oracle (see the fallible form).
 pub fn map_trials_batched<T, FB, FS>(
     geom: Geometry,
     ports: usize,
@@ -424,6 +632,39 @@ where
     FB: Fn(&mut LaneRam, &mut Vec<T>) + Sync,
     FS: Fn(usize, &mut Ram) -> T + Sync,
 {
+    try_map_trials_batched(geom, ports, faults, parallelism, batch_trial, scalar_trial)
+        .unwrap_or_else(|e| e.raise())
+        .0
+}
+
+/// The fallible form of [`map_trials_batched`]. Returns the per-fault
+/// results plus the number of **degraded batches**: a lane batch whose
+/// `batch_trial` panicked is retried fault-by-fault on the scalar oracle
+/// (`scalar_trial`) instead of killing the run, and counted. Because the
+/// scalar trial measures the same thing (the contract callers are
+/// property-tested against), a degraded run's results are still exact.
+///
+/// # Errors
+///
+/// [`CampaignError::BadConfiguration`] for an invalid port count or a
+/// `batch_trial` yielding a wrong result count;
+/// [`CampaignError::WorkerPanic`] when a *scalar* trial panicked
+/// (including a degraded retry — a batch that fails both engines is a
+/// real failure, not a batching artifact).
+pub fn try_map_trials_batched<T, FB, FS>(
+    geom: Geometry,
+    ports: usize,
+    faults: &[FaultKind],
+    parallelism: Parallelism,
+    batch_trial: FB,
+    scalar_trial: FS,
+) -> Result<(Vec<T>, usize), CampaignError>
+where
+    T: Send + Sync,
+    FB: Fn(&mut LaneRam, &mut Vec<T>) + Sync,
+    FS: Fn(usize, &mut Ram) -> T + Sync,
+{
+    validate_ports(geom, ports)?;
     let mut batched: Vec<usize> = Vec::new();
     let mut rest: Vec<usize> = Vec::new();
     for (i, fault) in faults.iter().enumerate() {
@@ -435,59 +676,115 @@ where
     }
     let n_batches = batched.len().div_ceil(LANES);
     let results: Vec<OnceLock<T>> = (0..faults.len()).map(|_| OnceLock::new()).collect();
+    let degraded = AtomicUsize::new(0);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    let error_slot: Mutex<Option<CampaignError>> = Mutex::new(None);
+    let failed = AtomicBool::new(false);
     let run_batch = |b: usize, ram: &mut LaneRam, out: &mut Vec<T>| {
-        ram.eject_faults();
-        ram.reset_to(0);
         let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
-        for (lane, &fi) in lanes.iter().enumerate() {
-            ram.inject(faults[fi].clone(), lane).expect("campaign faults are valid");
-        }
-        out.clear();
-        batch_trial(ram, out);
-        assert_eq!(out.len(), lanes.len(), "batch trial must yield one result per injected lane");
-        for (&fi, v) in lanes.iter().zip(out.drain(..)) {
-            // Batch indices are claimed uniquely, so each slot is set once.
-            let _ = results[fi].set(v);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            ram.eject_faults();
+            ram.reset_to(0);
+            for (lane, &fi) in lanes.iter().enumerate() {
+                ram.inject(faults[fi].clone(), lane).expect("campaign faults are valid");
+            }
+            out.clear();
+            batch_trial(ram, out);
+        }));
+        match attempt {
+            Ok(()) => {
+                if out.len() != lanes.len() {
+                    let mut slot = error_slot.lock().expect("error slot lock");
+                    if slot.is_none() {
+                        *slot = Some(CampaignError::BadConfiguration {
+                            reason: format!(
+                                "batch trial must yield one result per injected lane — got {} \
+                                 results for {} lanes",
+                                out.len(),
+                                lanes.len()
+                            ),
+                        });
+                    }
+                    failed.store(true, Ordering::Relaxed);
+                    return;
+                }
+                for (&fi, v) in lanes.iter().zip(out.drain(..)) {
+                    // Batch indices are claimed uniquely, so each slot is
+                    // set once.
+                    let _ = results[fi].set(v);
+                }
+            }
+            Err(_) => {
+                // Graceful degradation: the whole batch retries on the
+                // scalar oracle; only a retry that *also* fails is fatal.
+                degraded.fetch_add(1, Ordering::Relaxed);
+                let mut scalar = Ram::with_ports(geom, ports).expect("valid port count");
+                for &fi in lanes {
+                    scalar.eject_faults();
+                    scalar.reset_to(0);
+                    let retry = catch_unwind(AssertUnwindSafe(|| {
+                        scalar.inject(faults[fi].clone()).expect("campaign faults are valid");
+                        scalar_trial(fi, &mut scalar)
+                    }));
+                    match retry {
+                        Ok(v) => {
+                            let _ = results[fi].set(v);
+                        }
+                        Err(payload) => {
+                            record_panic(&panic_slot, (fi, fi + 1), payload);
+                            failed.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            }
         }
     };
     let workers = parallelism.workers(batched.len()).min(n_batches.max(1));
-    if workers <= 1 {
+    let next = AtomicUsize::new(0);
+    let batch_worker = || {
         let mut ram = LaneRam::new(geom);
         let mut out = Vec::new();
-        for b in 0..n_batches {
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let b = next.fetch_add(1, Ordering::Relaxed);
+            if b >= n_batches {
+                break;
+            }
             run_batch(b, &mut ram, &mut out);
         }
+    };
+    if workers <= 1 {
+        batch_worker();
     } else {
-        let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut ram = LaneRam::new(geom);
-                    let mut out = Vec::new();
-                    loop {
-                        let b = next.fetch_add(1, Ordering::Relaxed);
-                        if b >= n_batches {
-                            break;
-                        }
-                        run_batch(b, &mut ram, &mut out);
-                    }
-                });
+                scope.spawn(batch_worker);
             }
         });
     }
+    if let Some(e) = error_slot.into_inner().expect("error slot lock") {
+        return Err(e);
+    }
+    if let Some((chunk, payload)) = panic_slot.into_inner().expect("panic slot lock") {
+        return Err(CampaignError::WorkerPanic { chunk, payload });
+    }
     if !rest.is_empty() {
-        let rest_vals = map_trials(geom, ports, rest.len(), parallelism, |k, ram| {
+        let rest_vals = try_map_trials(geom, ports, rest.len(), parallelism, |k, ram| {
             ram.inject(faults[rest[k]].clone()).expect("campaign faults are valid");
             scalar_trial(rest[k], ram)
-        });
+        })?;
         for (&fi, v) in rest.iter().zip(rest_vals) {
             let _ = results[fi].set(v);
         }
     }
-    results
+    let values = results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every fault index was dispatched"))
-        .collect()
+        .collect();
+    Ok((values, degraded.load(Ordering::Relaxed)))
 }
 
 /// A configured fault-simulation campaign: a fault set × a runner × data
@@ -505,6 +802,45 @@ pub struct Campaign<'a, R> {
     parallelism: Parallelism,
     lane_batching: bool,
     name: String,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+    checkpoint: Option<(PathBuf, usize)>,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: Option<std::sync::Arc<chaos::ChaosPlan>>,
+}
+
+/// Campaign progress as the resilient driver reports it: the verdict
+/// table (meaningful on `[0, evaluated)` when stopped early), the stop
+/// cause if any, and the degradation counter.
+struct Progress {
+    verdicts: Vec<bool>,
+    evaluated: usize,
+    stopped: Option<StopCause>,
+    degraded_batches: usize,
+    elapsed: Duration,
+}
+
+/// How one segment's fan-out ended.
+enum SegmentOutcome {
+    /// Every trial of the segment completed.
+    Done,
+    /// The deadline or a cancellation stopped the fan-out mid-segment.
+    Stopped(StopCause),
+    /// A worker panic poisoned a chunk; everything else drained.
+    Panicked { chunk: (usize, usize), payload: String },
+}
+
+/// The shared per-run state the segment drivers write into.
+struct DriveCtx<'t> {
+    /// Per-fault verdicts, keyed by universe index.
+    table: &'t [AtomicBool],
+    /// Per-fault completion flags — the checkpoint cursor is the length
+    /// of the contiguous `true` prefix.
+    done: &'t [AtomicBool],
+    /// Deadline/cancellation, polled at chunk granularity.
+    control: &'t RunControl,
+    /// Lane batches degraded to the scalar oracle so far.
+    degraded: &'t AtomicUsize,
 }
 
 impl<'a, R: FaultRunner> Campaign<'a, R> {
@@ -525,6 +861,11 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             parallelism: Parallelism::Auto,
             lane_batching: true,
             name: "campaign".to_string(),
+            deadline: None,
+            cancel: None,
+            checkpoint: None,
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: None,
         }
     }
 
@@ -573,6 +914,74 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         self
     }
 
+    /// Gives the run a time budget. The budget is polled at chunk
+    /// granularity; when it runs out, [`Campaign::try_run`] returns a
+    /// report explicitly marked partial ([`CoverageReport::partial`])
+    /// covering the evaluated universe prefix, and
+    /// [`Campaign::try_detections`] returns
+    /// [`CampaignError::DeadlineExceeded`]. The clock starts when a
+    /// driver is called, not when the campaign is configured.
+    pub fn with_deadline(mut self, deadline: Duration) -> Campaign<'a, R> {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arms cooperative cancellation: any clone of `token` can stop the
+    /// run at the next chunk boundary, yielding a partial report exactly
+    /// like an expired deadline. Cancellation is sticky — a campaign
+    /// armed with an already-fired token stops before its first trial.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Campaign<'a, R> {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Checkpoints progress to `path` every `every` trials (clamped to
+    /// ≥ 1), and **resumes** from `path` when a compatible checkpoint is
+    /// already there. Snapshots are written atomically (temp file +
+    /// rename), versioned, fingerprinted against this campaign's
+    /// geometry/universe/programs/backgrounds, and validated on load —
+    /// a checkpoint of a different run is refused with
+    /// [`CheckpointError::FingerprintMismatch`], never silently mixed
+    /// in. A resumed campaign produces a report **bit-identical** to an
+    /// uninterrupted run, at any thread count: verdict slots are keyed
+    /// by fault index, so the schedule never leaks into the table.
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Campaign<'a, R> {
+        self.checkpoint = Some((path.into(), every.max(1)));
+        self
+    }
+
+    /// Arms a chaos-injection plan (test builds only): deliberate worker
+    /// kills, batch kills and cancellations at deterministic points, for
+    /// the resilience suite.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn with_chaos(mut self, plan: std::sync::Arc<chaos::ChaosPlan>) -> Campaign<'a, R> {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Chaos checkpoint before a primary scalar trial (no-op outside
+    /// test builds, and in degraded retries — degradation must succeed).
+    #[cfg(any(test, feature = "chaos"))]
+    fn chaos_trial(&self, i: usize) {
+        if let Some(plan) = &self.chaos {
+            plan.trial_event(i);
+        }
+    }
+
+    #[cfg(not(any(test, feature = "chaos")))]
+    fn chaos_trial(&self, _i: usize) {}
+
+    /// Chaos checkpoint before a lane batch (no-op outside test builds).
+    #[cfg(any(test, feature = "chaos"))]
+    fn chaos_batch(&self, first: usize) {
+        if let Some(plan) = &self.chaos {
+            plan.batch_event(first);
+        }
+    }
+
+    #[cfg(not(any(test, feature = "chaos")))]
+    fn chaos_batch(&self, _first: usize) {}
+
     /// Number of fault instances in the campaign.
     pub fn len(&self) -> usize {
         self.faults.len()
@@ -601,20 +1010,340 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// isolated on its own (pooled) memory — and of the lane-batching
     /// policy, because the batch engine is bitwise-exact per lane
     /// (property-tested in `tests/batch.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Thin wrapper over [`Campaign::try_detections`]: configuration
+    /// errors panic with the historical loud messages, caught worker
+    /// panics resume with their original payload.
     pub fn detections(&self) -> Vec<bool> {
-        match self.batch_plan() {
-            Some(programs) => self.detections_lane_batched(&programs),
-            None => self.detections_scalar(),
+        self.try_detections().unwrap_or_else(|e| e.raise())
+    }
+
+    /// The fallible form of [`Campaign::detections`].
+    ///
+    /// # Errors
+    ///
+    /// The full [`CampaignError`] taxonomy: upfront configuration errors
+    /// (geometry/port/background mismatches from
+    /// [`FaultRunner::validate`], invalid port counts), checkpoint
+    /// failures, [`CampaignError::WorkerPanic`] for a caught trial
+    /// panic, and — because a verdict *vector* cannot be partial —
+    /// [`CampaignError::DeadlineExceeded`] / [`CampaignError::Cancelled`]
+    /// when a stop condition fired first (use [`Campaign::try_run`] for
+    /// an explicitly-marked partial report instead).
+    pub fn try_detections(&self) -> Result<Vec<bool>, CampaignError> {
+        let progress = self.try_progress()?;
+        match progress.stopped {
+            None => Ok(progress.verdicts),
+            Some(StopCause::DeadlineExceeded) => Err(CampaignError::DeadlineExceeded {
+                elapsed: progress.elapsed,
+                deadline: self.deadline.unwrap_or_default(),
+                completed: progress.evaluated,
+                total: self.faults.len(),
+            }),
+            Some(StopCause::Cancelled) => Err(CampaignError::Cancelled {
+                completed: progress.evaluated,
+                total: self.faults.len(),
+            }),
         }
     }
 
-    /// The scalar engine: one interpreter pass per (fault, background)
-    /// trial on pooled memories — the reference the batch path is
-    /// differential-tested against.
-    fn detections_scalar(&self) -> Vec<bool> {
-        run_trials(self.geom, self.ports, self.faults.len(), self.parallelism, |i, ram| {
-            self.run_fault(i, ram)
+    /// The resilient driver every campaign entry point sits on: validates
+    /// the configuration upfront, resumes from a checkpoint when one is
+    /// armed and compatible, then drives the universe in **segments**
+    /// (`every` trials per segment when checkpointing, the whole
+    /// remainder otherwise), checkpointing the contiguous verdict prefix
+    /// after each. Worker panics poison only their chunk; deadline and
+    /// cancellation stop the fan-out at chunk boundaries; a panicking
+    /// lane batch degrades to the scalar oracle.
+    fn try_progress(&self) -> Result<Progress, CampaignError> {
+        self.runner.validate(self.geom, self.ports, &self.backgrounds)?;
+        validate_ports(self.geom, self.ports)?;
+        let total = self.faults.len();
+        let fingerprint = self.checkpoint.as_ref().map(|_| self.fingerprint());
+        let table: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+        let done: Vec<AtomicBool> = (0..total).map(|_| AtomicBool::new(false)).collect();
+        let mut cursor = 0usize;
+        if let (Some((path, _)), Some(fp)) = (&self.checkpoint, fingerprint) {
+            if let Some(saved) = checkpoint::load_records::<bool>(path, fp, total)? {
+                cursor = saved.len();
+                for (i, verdict) in saved.into_iter().enumerate() {
+                    table[i].store(verdict, Ordering::Relaxed);
+                    done[i].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let plan = self.batch_plan();
+        let degraded = AtomicUsize::new(0);
+        let control = RunControl::new(self.deadline, self.cancel.clone());
+        let mut stopped = None;
+        while cursor < total {
+            let seg_end = match &self.checkpoint {
+                Some((_, every)) => (cursor + every).min(total),
+                None => total,
+            };
+            let ctx =
+                DriveCtx { table: &table, done: &done, control: &control, degraded: &degraded };
+            let outcome = match &plan {
+                Some(programs) => self.drive_segment_batched(cursor, seg_end, programs, &ctx),
+                None => self.drive_scalar_prefix(cursor, seg_end, &ctx),
+            };
+            while cursor < seg_end && done[cursor].load(Ordering::Relaxed) {
+                cursor += 1;
+            }
+            if let (Some((path, _)), Some(fp)) = (&self.checkpoint, fingerprint) {
+                let prefix: Vec<bool> =
+                    table[..cursor].iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                checkpoint::save_records(path, fp, total, &prefix)?;
+            }
+            match outcome {
+                SegmentOutcome::Done => {}
+                SegmentOutcome::Stopped(cause) => {
+                    stopped = Some(cause);
+                    break;
+                }
+                SegmentOutcome::Panicked { chunk, payload } => {
+                    return Err(CampaignError::WorkerPanic { chunk, payload });
+                }
+            }
+        }
+        Ok(Progress {
+            verdicts: table.into_iter().map(AtomicBool::into_inner).collect(),
+            evaluated: cursor,
+            stopped,
+            degraded_batches: degraded.load(Ordering::Relaxed),
+            elapsed: control.elapsed(),
         })
+    }
+
+    /// Fingerprint of everything that determines this campaign's verdict
+    /// table: geometry, ports, backgrounds, the fault universe and the
+    /// compiled program per background. The **schedule** is fingerprinted
+    /// only by its discipline name — verdict slots are keyed by fault
+    /// index, so thread count, chunking and lane packing never change the
+    /// table and a checkpoint resumes correctly at any parallelism.
+    fn fingerprint(&self) -> u64 {
+        let mut fp = FingerprintBuilder::new();
+        fp.push_str("prt-sim/campaign/v1");
+        fp.push_str("schedule:fault-index/v1");
+        fp.push_debug(&self.geom);
+        fp.push_u64(self.ports as u64);
+        fp.push_u64(self.backgrounds.len() as u64);
+        for &bg in &self.backgrounds {
+            fp.push_u64(bg);
+        }
+        fp.push_u64(self.faults.len() as u64);
+        for fault in self.faults {
+            fp.push_debug(fault);
+        }
+        for &bg in &self.backgrounds {
+            match self.runner.batch_program(bg) {
+                Some(program) => fp.push_debug(program),
+                None => fp.push_str("interpreted"),
+            }
+        }
+        fp.finish()
+    }
+
+    /// Scalar fan-out over the contiguous range `[start, end)`.
+    fn drive_scalar_prefix(&self, start: usize, end: usize, ctx: &DriveCtx<'_>) -> SegmentOutcome {
+        self.drive_scalar(end - start, &|k| start + k, ctx)
+    }
+
+    /// Chunked work-stealing scalar fan-out over `count` trials whose
+    /// universe indices are `map_index(0..count)`. Each worker pools one
+    /// [`Ram`]; chunks are claimed atomically; every chunk body runs
+    /// under [`catch_unwind`], so a panic poisons exactly one chunk (the
+    /// other workers drain and the first panic is reported). The control
+    /// is polled before every claim.
+    fn drive_scalar(
+        &self,
+        count: usize,
+        map_index: &(dyn Fn(usize) -> usize + Sync),
+        ctx: &DriveCtx<'_>,
+    ) -> SegmentOutcome {
+        let workers = self.parallelism.workers(count);
+        let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
+        let n_chunks = count.div_ceil(chunk);
+        let next = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        let panic_slot: PanicSlot = Mutex::new(None);
+        let stop_slot: Mutex<Option<StopCause>> = Mutex::new(None);
+        let worker = || {
+            let mut ram = Ram::with_ports(self.geom, self.ports).expect("valid port count");
+            loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(cause) = ctx.control.stop_cause() {
+                    record_stop(&stop_slot, cause);
+                    break;
+                }
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(count));
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    for k in lo..hi {
+                        let i = map_index(k);
+                        self.chaos_trial(i);
+                        ram.eject_faults();
+                        ram.reset_to(0);
+                        let verdict = self.run_fault(i, &mut ram);
+                        ctx.table[i].store(verdict, Ordering::Relaxed);
+                        ctx.done[i].store(true, Ordering::Relaxed);
+                    }
+                }));
+                if let Err(payload) = attempt {
+                    record_panic(&panic_slot, (map_index(lo), map_index(hi - 1) + 1), payload);
+                    panicked.store(true, Ordering::Relaxed);
+                }
+            }
+        };
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+        if let Some((chunk, payload)) = panic_slot.into_inner().expect("panic slot lock") {
+            return SegmentOutcome::Panicked { chunk, payload };
+        }
+        if let Some(cause) = stop_slot.into_inner().expect("stop slot lock") {
+            return SegmentOutcome::Stopped(cause);
+        }
+        SegmentOutcome::Done
+    }
+
+    /// Lane-batched fan-out over the segment `[start, end)`: batchable
+    /// faults are packed [`LANES`] per [`LaneRam`] (one interpreter pass
+    /// per batch per background, with the cross-background early exit
+    /// per lane), any scalar-only remainder runs through
+    /// [`Campaign::drive_scalar`]. A batch whose interpreter pass
+    /// panics **degrades**: its faults retry one-by-one on the scalar
+    /// oracle and the degradation counter is bumped — only a retry that
+    /// also fails poisons the run.
+    fn drive_segment_batched(
+        &self,
+        start: usize,
+        end: usize,
+        programs: &[&TestProgram],
+        ctx: &DriveCtx<'_>,
+    ) -> SegmentOutcome {
+        let mut batched: Vec<usize> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        for i in start..end {
+            if is_lane_batchable(&self.faults[i]) {
+                batched.push(i);
+            } else {
+                rest.push(i);
+            }
+        }
+        let n_batches = batched.len().div_ceil(LANES);
+        let next = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        let panic_slot: PanicSlot = Mutex::new(None);
+        let stop_slot: Mutex<Option<StopCause>> = Mutex::new(None);
+        let run_batch = |b: usize, ram: &mut LaneRam| {
+            let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.chaos_batch(lanes[0]);
+                ram.eject_faults();
+                ram.reset_to(0);
+                for (lane, &fi) in lanes.iter().enumerate() {
+                    ram.inject(self.faults[fi].clone(), lane).expect("campaign faults are valid");
+                }
+                let full = ram.active_lanes();
+                let mut detected = 0u64;
+                for (bi, program) in programs.iter().enumerate() {
+                    if bi > 0 {
+                        // The per-fault early exit across backgrounds,
+                        // lane style: stop once every lane is flagged.
+                        if detected == full {
+                            break;
+                        }
+                        ram.reset_to(0);
+                    }
+                    detected |= program.detect_batch(ram);
+                }
+                detected
+            }));
+            match attempt {
+                Ok(detected) => {
+                    for (lane, &fi) in lanes.iter().enumerate() {
+                        ctx.table[fi].store((detected >> lane) & 1 == 1, Ordering::Relaxed);
+                        ctx.done[fi].store(true, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    // Graceful degradation: retry the batch on the scalar
+                    // oracle (which produces bit-identical verdicts).
+                    ctx.degraded.fetch_add(1, Ordering::Relaxed);
+                    let mut scalar =
+                        Ram::with_ports(self.geom, self.ports).expect("valid port count");
+                    for &fi in lanes {
+                        scalar.eject_faults();
+                        scalar.reset_to(0);
+                        let retry =
+                            catch_unwind(AssertUnwindSafe(|| self.run_fault(fi, &mut scalar)));
+                        match retry {
+                            Ok(verdict) => {
+                                ctx.table[fi].store(verdict, Ordering::Relaxed);
+                                ctx.done[fi].store(true, Ordering::Relaxed);
+                            }
+                            Err(payload) => {
+                                record_panic(&panic_slot, (fi, fi + 1), payload);
+                                panicked.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        let workers = self.parallelism.workers(batched.len()).min(n_batches.max(1));
+        let worker = || {
+            let mut ram = LaneRam::new(self.geom);
+            loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(cause) = ctx.control.stop_cause() {
+                    record_stop(&stop_slot, cause);
+                    break;
+                }
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= n_batches {
+                    break;
+                }
+                run_batch(b, &mut ram);
+            }
+        };
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+        if let Some((chunk, payload)) = panic_slot.into_inner().expect("panic slot lock") {
+            return SegmentOutcome::Panicked { chunk, payload };
+        }
+        if let Some(cause) = stop_slot.into_inner().expect("stop slot lock") {
+            return SegmentOutcome::Stopped(cause);
+        }
+        if rest.is_empty() {
+            SegmentOutcome::Done
+        } else {
+            self.drive_scalar(rest.len(), &|k| rest[k], ctx)
+        }
     }
 
     /// The compiled programs (one per background) to batch with, when the
@@ -632,95 +1361,6 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         // Geometry mismatches fall through to the scalar path, which
         // surfaces them with its usual loud panic.
         programs.iter().all(|p| p.lane_batchable() && p.geometry() == self.geom).then_some(programs)
-    }
-
-    /// The lane-batched engine: batchable faults — since the decoder
-    /// model, sense planes and read/write-logic masks landed, **every**
-    /// modelled family — are packed 64 per [`LaneRam`], workers
-    /// self-schedule over whole batches, and the verdict table is filled
-    /// by fault index, so the result is identical to
-    /// [`Campaign::detections_scalar`] for any thread count. The scalar
-    /// remainder path persists for future [`is_lane_batchable`] opt-outs.
-    fn detections_lane_batched(&self, programs: &[&TestProgram]) -> Vec<bool> {
-        let mut verdicts = vec![false; self.faults.len()];
-        let mut batched: Vec<usize> = Vec::new();
-        let mut rest: Vec<usize> = Vec::new();
-        for (i, fault) in self.faults.iter().enumerate() {
-            if is_lane_batchable(fault) {
-                batched.push(i);
-            } else {
-                rest.push(i);
-            }
-        }
-        let n_batches = batched.len().div_ceil(LANES);
-        let run_batch = |b: usize, ram: &mut LaneRam| -> u64 {
-            ram.eject_faults();
-            ram.reset_to(0);
-            let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
-            for (lane, &fi) in lanes.iter().enumerate() {
-                ram.inject(self.faults[fi].clone(), lane).expect("campaign faults are valid");
-            }
-            let full = ram.active_lanes();
-            let mut detected = 0u64;
-            for (bi, program) in programs.iter().enumerate() {
-                if bi > 0 {
-                    // The per-fault early exit across backgrounds, lane
-                    // style: stop once every lane has been flagged.
-                    if detected == full {
-                        break;
-                    }
-                    ram.reset_to(0);
-                }
-                detected |= program.detect_batch(ram);
-            }
-            detected
-        };
-        let scatter = |verdicts: &mut [bool], b: usize, detected: u64| {
-            for (lane, &fi) in batched[b * LANES..].iter().take(LANES).enumerate() {
-                verdicts[fi] = (detected >> lane) & 1 == 1;
-            }
-        };
-        let workers = self.parallelism.workers(batched.len()).min(n_batches.max(1));
-        if workers <= 1 {
-            let mut ram = LaneRam::new(self.geom);
-            for b in 0..n_batches {
-                let detected = run_batch(b, &mut ram);
-                scatter(&mut verdicts, b, detected);
-            }
-        } else {
-            let results: Vec<OnceLock<u64>> = (0..n_batches).map(|_| OnceLock::new()).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| {
-                        let mut ram = LaneRam::new(self.geom);
-                        loop {
-                            let b = next.fetch_add(1, Ordering::Relaxed);
-                            if b >= n_batches {
-                                break;
-                            }
-                            // Batch indices are claimed uniquely, so each
-                            // slot is set once.
-                            let _ = results[b].set(run_batch(b, &mut ram));
-                        }
-                    });
-                }
-            });
-            for (b, slot) in results.into_iter().enumerate() {
-                let detected = slot.into_inner().expect("every batch index was dispatched");
-                scatter(&mut verdicts, b, detected);
-            }
-        }
-        if !rest.is_empty() {
-            let rest_verdicts =
-                run_trials(self.geom, self.ports, rest.len(), self.parallelism, |k, ram| {
-                    self.run_fault(rest[k], ram)
-                });
-            for (&fi, v) in rest.iter().zip(rest_verdicts) {
-                verdicts[fi] = v;
-            }
-        }
-        verdicts
     }
 
     /// The seed's original inner loop — a fresh [`Ram`] allocated per
@@ -809,13 +1449,50 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// byte-identical to the sequential reference path regardless of the
     /// parallelism policy: workers only fill the per-fault verdict table,
     /// and rows are tallied in enumeration order afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Thin wrapper over [`Campaign::try_run`]: configuration errors
+    /// panic with the historical loud messages, caught worker panics
+    /// resume with their original payload.
     pub fn run(&self) -> CoverageReport {
-        let verdicts = self.detections();
+        self.try_run().unwrap_or_else(|e| e.raise())
+    }
+
+    /// The fallible form of [`Campaign::run`]. A run stopped by its
+    /// deadline or a cancellation is **not** an error here: it returns
+    /// `Ok` with a report explicitly marked partial
+    /// ([`CoverageReport::partial`]) whose rows tally the evaluated
+    /// universe prefix — detected-so-far plus a cursor instead of
+    /// nothing. Lane batches that degraded to the scalar oracle are
+    /// counted in [`CoverageReport::degraded_batches`].
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors ([`FaultRunner::validate`] and port-pool
+    /// validation), [`CampaignError::Checkpoint`] when an armed
+    /// checkpoint cannot be saved/loaded or belongs to a different run,
+    /// and [`CampaignError::WorkerPanic`] when a trial panicked (with
+    /// progress up to the poisoned chunk checkpointed first, when
+    /// checkpointing is on).
+    pub fn try_run(&self) -> Result<CoverageReport, CampaignError> {
+        let progress = self.try_progress()?;
         let mut tally = ClassTally::new();
-        for (fault, detected) in self.faults.iter().zip(&verdicts) {
-            tally.record(fault.mnemonic(), *detected);
+        for (fault, &detected) in
+            self.faults.iter().zip(&progress.verdicts).take(progress.evaluated)
+        {
+            tally.record(fault.mnemonic(), detected);
         }
-        tally.into_report(self.name.clone())
+        let mut report = tally.into_report(self.name.clone());
+        report.set_degraded_batches(progress.degraded_batches);
+        if let Some(cause) = progress.stopped {
+            report.set_partial(PartialCoverage {
+                evaluated: progress.evaluated,
+                total: self.faults.len(),
+                cause,
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -1137,7 +1814,7 @@ mod tests {
         let u = universe();
         let c = Campaign::new(&u, toy_runner);
         assert!(c.batch_plan().is_none());
-        assert_eq!(c.detections(), c.detections_scalar());
+        assert_eq!(c.detections(), Campaign::new(&u, toy_runner).detections_reference());
     }
 
     #[test]
@@ -1219,5 +1896,184 @@ mod tests {
         assert!(c.detections().is_empty());
         assert_eq!(c.first_escape(), None);
         assert!(c.run().complete());
+    }
+
+    // ---- resilience -----------------------------------------------------
+
+    use std::sync::Arc;
+
+    /// A fresh checkpoint path in the system temp dir (removed upfront so
+    /// every test starts cold).
+    fn temp_ckpt(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prt-sim-unit-{}-{name}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn wrong_geometry_program_is_a_typed_error() {
+        // The same misconfiguration that panics the legacy wrapper is a
+        // typed CampaignError on the fallible path — caught *before* any
+        // worker spawns.
+        let u = FaultUniverse::enumerate(Geometry::bom(4), &UniverseSpec::single_cell());
+        let prog = toy_program(Geometry::bom(8));
+        let err = Campaign::new(&u, &prog).try_detections().unwrap_err();
+        assert!(
+            matches!(err, CampaignError::GeometryMismatch { .. }),
+            "expected GeometryMismatch, got {err:?}"
+        );
+        assert!(err.to_string().contains("campaign geometry does not match"));
+    }
+
+    #[test]
+    fn unknown_background_is_a_typed_error() {
+        let geom = Geometry::bom(4);
+        let u = FaultUniverse::enumerate(geom, &UniverseSpec::single_cell());
+        let bank = ProgramBank::new([(0u64, toy_program(geom))]);
+        let err = Campaign::new(&u, &bank).with_backgrounds(&[0, 7]).try_run().unwrap_err();
+        assert_eq!(err, CampaignError::UnknownBackground { background: 7 });
+    }
+
+    #[test]
+    fn cancelled_before_start_yields_empty_partial_report() {
+        let u = universe();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Campaign::new(&u, toy_runner).with_cancel(&token).try_run().expect("partial");
+        let partial = report.partial().expect("must be marked partial");
+        assert_eq!(partial.cause, StopCause::Cancelled);
+        assert_eq!(partial.evaluated, 0);
+        assert_eq!(partial.total, u.len());
+        assert!(!report.complete());
+        assert!(report.rows().is_empty());
+        // The verdict-vector driver cannot return a partial vector: typed
+        // error instead.
+        let err = Campaign::new(&u, toy_runner).with_cancel(&token).try_detections().unwrap_err();
+        assert_eq!(err, CampaignError::Cancelled { completed: 0, total: u.len() });
+    }
+
+    #[test]
+    fn zero_deadline_yields_partial_report() {
+        let u = universe();
+        let report =
+            Campaign::new(&u, toy_runner).with_deadline(Duration::ZERO).try_run().expect("partial");
+        let partial = report.partial().expect("must be marked partial");
+        assert_eq!(partial.cause, StopCause::DeadlineExceeded);
+        assert_eq!(partial.evaluated, 0);
+        match Campaign::new(&u, toy_runner).with_deadline(Duration::ZERO).try_detections() {
+            Err(CampaignError::DeadlineExceeded { completed: 0, .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killed_scalar_campaign_resumes_bit_identically() {
+        // The acceptance scenario: a worker dies mid-run, the run errors
+        // with WorkerPanic after checkpointing its progress, and a resumed
+        // campaign — at any thread count — produces a report bit-identical
+        // to an uninterrupted run.
+        let u = universe();
+        let uninterrupted = Campaign::new(&u, toy_runner).with_name("toy").run();
+        let kill_at = u.len() / 2;
+        for (round, threads) in [1usize, 3, 7].into_iter().enumerate() {
+            let path = temp_ckpt(&format!("kill-resume-{round}"));
+            let plan = Arc::new(chaos::ChaosPlan::new().panic_on_trial(kill_at));
+            let err = Campaign::new(&u, toy_runner)
+                .with_name("toy")
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_checkpoint(&path, 16)
+                .with_chaos(plan)
+                .try_run()
+                .unwrap_err();
+            match &err {
+                CampaignError::WorkerPanic { payload, .. } => {
+                    assert!(payload.contains("chaos: injected panic"), "payload: {payload}")
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+            // The checkpoint captured a strict prefix of the universe.
+            let fp = checkpoint::peek_fingerprint(&path).expect("checkpoint exists");
+            let saved = checkpoint::load_records::<bool>(&path, fp, u.len())
+                .expect("valid checkpoint")
+                .expect("not cold");
+            assert!(saved.len() < u.len(), "kill must leave an incomplete checkpoint");
+            // Resume with a different thread count than the killed run.
+            let resumed = Campaign::new(&u, toy_runner)
+                .with_name("toy")
+                .with_parallelism(Parallelism::Threads(threads + 1))
+                .with_checkpoint(&path, 16)
+                .run();
+            assert_eq!(uninterrupted, resumed, "threads={threads}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn panicking_batch_degrades_to_scalar_oracle() {
+        // A lane batch that dies must not kill the campaign: its faults
+        // retry on the scalar oracle, verdicts stay exact, and the report
+        // carries a degradation counter instead of an error.
+        let u = universe();
+        let prog = toy_program(u.geometry());
+        let clean = Campaign::new(&u, &prog).with_name("toy").run();
+        assert_eq!(clean.degraded_batches(), 0);
+        let first_batchable =
+            (0..u.len()).find(|&i| is_lane_batchable(&u.faults()[i])).expect("batchable fault");
+        let plan = Arc::new(chaos::ChaosPlan::new().panic_on_batch(first_batchable));
+        let degraded = Campaign::new(&u, &prog).with_name("toy").with_chaos(plan).run();
+        assert!(degraded.degraded_batches() >= 1, "batch kill must be counted");
+        assert!(degraded.partial().is_none(), "degradation is not a partial run");
+        assert_eq!(clean.rows(), degraded.rows(), "degraded verdicts must stay exact");
+    }
+
+    #[test]
+    fn chaos_cancellation_stops_mid_campaign() {
+        let u = universe();
+        let token = CancelToken::new();
+        let plan = Arc::new(chaos::ChaosPlan::new().cancel_after(u.len() / 2, &token));
+        let report = Campaign::new(&u, toy_runner)
+            .with_parallelism(Parallelism::Sequential)
+            .with_cancel(&token)
+            .with_chaos(plan)
+            .try_run()
+            .expect("partial");
+        let partial = report.partial().expect("must be marked partial");
+        assert_eq!(partial.cause, StopCause::Cancelled);
+        assert!(partial.evaluated < u.len());
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_refused() {
+        let u = universe();
+        let path = temp_ckpt("foreign");
+        // A completed campaign keeps its checkpoint file (cursor == total).
+        let first = Campaign::new(&u, toy_runner).with_checkpoint(&path, 32).run();
+        assert!(first.partial().is_none(), "uninterrupted run must not be partial");
+        // A campaign with different backgrounds has a different verdict
+        // table: adopting the old file silently would be corruption.
+        let err = Campaign::new(&u, toy_runner)
+            .with_backgrounds(&[0, 1])
+            .with_checkpoint(&path, 32)
+            .try_run()
+            .unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })),
+            "expected FingerprintMismatch, got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        // Segmenting the universe for checkpoints must not change the
+        // verdicts — scalar and lane-batched engines alike.
+        let u = universe();
+        let prog = toy_program(u.geometry());
+        let plain = Campaign::new(&u, &prog).with_name("toy").run();
+        let path = temp_ckpt("segmented");
+        let segmented = Campaign::new(&u, &prog).with_name("toy").with_checkpoint(&path, 10).run();
+        assert_eq!(plain, segmented);
+        let _ = std::fs::remove_file(&path);
     }
 }

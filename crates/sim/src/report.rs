@@ -6,6 +6,24 @@
 //! — March, π-test, PRT scheme or closure — aggregates through one code
 //! path instead of five hand-rolled copies of the same row-bumping loop.
 
+use crate::StopCause;
+
+/// The explicit mark a stopped run leaves on its report: how far the
+/// campaign got before the deadline or cancellation hit, and why it
+/// stopped. Rows of a partial report tally only the evaluated prefix
+/// `[0, evaluated)` of the universe — detected-so-far plus a cursor, never
+/// a silently wrong total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialCoverage {
+    /// Trials evaluated (the contiguous universe prefix — also the
+    /// checkpoint cursor when checkpointing is on).
+    pub evaluated: usize,
+    /// Trials in the whole universe.
+    pub total: usize,
+    /// Why the run stopped.
+    pub cause: StopCause,
+}
+
 /// Coverage of one fault class by one test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoverageRow {
@@ -38,13 +56,42 @@ impl CoverageRow {
 pub struct CoverageReport {
     test_name: String,
     rows: Vec<CoverageRow>,
+    partial: Option<PartialCoverage>,
+    degraded_batches: usize,
 }
 
 impl CoverageReport {
     /// Assembles a report from pre-computed rows. Public so that any test
     /// engine can report coverage in the same format.
     pub fn from_rows(test_name: impl Into<String>, rows: Vec<CoverageRow>) -> CoverageReport {
-        CoverageReport { test_name: test_name.into(), rows }
+        CoverageReport { test_name: test_name.into(), rows, partial: None, degraded_batches: 0 }
+    }
+
+    pub(crate) fn set_partial(&mut self, partial: PartialCoverage) {
+        self.partial = Some(partial);
+    }
+
+    pub(crate) fn set_degraded_batches(&mut self, degraded: usize) {
+        self.degraded_batches = degraded;
+    }
+
+    /// `Some` when the run stopped early (deadline or cancellation): the
+    /// rows then cover only the evaluated universe prefix.
+    pub fn partial(&self) -> Option<PartialCoverage> {
+        self.partial
+    }
+
+    /// `true` for a report whose rows cover only part of the universe.
+    pub fn is_partial(&self) -> bool {
+        self.partial.is_some()
+    }
+
+    /// Lane batches that panicked and were retried on the scalar oracle
+    /// (graceful degradation). The verdicts behind a degraded report are
+    /// still exact — the scalar retry *is* the reference engine — but a
+    /// nonzero counter flags that the batch path misbehaved.
+    pub fn degraded_batches(&self) -> usize {
+        self.degraded_batches
     }
 
     /// Name of the evaluated test.
@@ -73,9 +120,10 @@ impl CoverageReport {
         }
     }
 
-    /// `true` when every instance of every class was detected.
+    /// `true` when every instance of every class was detected — never for
+    /// a partial report, whose unevaluated tail is unknown.
     pub fn complete(&self) -> bool {
-        self.rows.iter().all(CoverageRow::complete)
+        self.partial.is_none() && self.rows.iter().all(CoverageRow::complete)
     }
 }
 

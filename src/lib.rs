@@ -51,5 +51,8 @@ pub mod prelude {
         is_lane_batchable, CouplingTrigger, FaultKind, FaultUniverse, Geometry, LaneRam, PortOp,
         ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec, LANES,
     };
-    pub use prt_sim::{Campaign, FaultRunner, Parallelism, ProgramBank};
+    pub use prt_sim::{
+        Campaign, CampaignError, CancelToken, CheckpointError, CoverageReport, FaultRunner,
+        Parallelism, PartialCoverage, ProgramBank, StopCause,
+    };
 }
