@@ -5,14 +5,18 @@
 //! Run: `cargo run --release -p prt-bench --bin bench_json [out.json]`
 //!
 //! Writes `BENCH_campaign.json` (or the given path) in the
-//! **`campaign-v2` schema**: the header records the measurement budget,
-//! the runner's thread count and the git revision (so perf trajectories
-//! stay comparable across runners), then one row per (group, n, variant)
-//! with faults/second — including the `batch_*` variants of the
-//! lane-sliced engine — plus the diagnosis subsystem rows (dictionary
-//! build and adaptive localization throughput). Tuning: `BENCH_JSON_MS`
-//! sets the per-row measurement budget (default 200 ms — CI smoke runs
-//! use a lower value; trend numbers come from the default).
+//! **`campaign-v3` schema**: the header records the measurement budget,
+//! the runner's thread count, the detected CPU core count, the default
+//! lane-chunk width and the git revision (so perf trajectories stay
+//! comparable across runners), then one row per (group, n, variant) with
+//! faults/second — including the `batch_*` variants of the lane-sliced
+//! engine at 64 (`batch_sequential`, the baseline), 256 (`batch256`) and
+//! 512 (`batch512`) lanes per pass, and a `campaign_threads_sweep` group
+//! scheduling whole lane chunks across 1/2/4/8 workers — plus the
+//! diagnosis subsystem rows (dictionary build and adaptive localization
+//! throughput). Tuning: `BENCH_JSON_MS` sets the per-row measurement
+//! budget (default 200 ms — CI smoke runs use a lower value; trend
+//! numbers come from the default).
 
 use std::time::Instant;
 
@@ -21,7 +25,7 @@ use prt_diag::{FaultDictionary, Localizer};
 use prt_gf::{Field, Poly2};
 use prt_march::{coverage, coverage::MarchRunner, library, Executor};
 use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
-use prt_sim::{Campaign, Parallelism};
+use prt_sim::{Campaign, LaneWidth, Parallelism};
 
 struct Row {
     group: &'static str,
@@ -70,13 +74,18 @@ fn json_escape(s: &str) -> String {
 }
 
 /// The compiled-program campaign variants every group measures:
-/// `(variant, lane batching, parallelism)`. The `compiled_*` rows pin the
-/// scalar engine the `batch_*` rows are compared against.
-const PROGRAM_VARIANTS: [(&str, bool, Parallelism); 4] = [
-    ("compiled_sequential", false, Parallelism::Sequential),
-    ("compiled_parallel", false, Parallelism::Auto),
-    ("batch_sequential", true, Parallelism::Sequential),
-    ("batch_parallel", true, Parallelism::Auto),
+/// `(variant, lane batching, parallelism, lane width)`. The `compiled_*`
+/// rows pin the scalar engine the `batch_*` rows are compared against;
+/// `batch_sequential` stays pinned to 64 lanes as the cross-PR baseline,
+/// `batch256`/`batch512` measure the wide chunks against it, and
+/// `batch_parallel` runs the default width across all cores.
+const PROGRAM_VARIANTS: [(&str, bool, Parallelism, LaneWidth); 6] = [
+    ("compiled_sequential", false, Parallelism::Sequential, LaneWidth::X64),
+    ("compiled_parallel", false, Parallelism::Auto, LaneWidth::X64),
+    ("batch_sequential", true, Parallelism::Sequential, LaneWidth::X64),
+    ("batch256", true, Parallelism::Sequential, LaneWidth::X256),
+    ("batch512", true, Parallelism::Sequential, LaneWidth::X512),
+    ("batch_parallel", true, Parallelism::Auto, LaneWidth::X512),
 ];
 
 /// The git revision of the working tree, for cross-runner trajectory
@@ -155,7 +164,7 @@ fn main() {
                     .detections();
             }),
         );
-        for (variant, batching, par) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width) in PROGRAM_VARIANTS {
             push(
                 "campaign_march_c_minus",
                 n,
@@ -165,6 +174,66 @@ fn main() {
                     let program = ex.compile(&test, u.geometry());
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
+                        .with_lane_width(width)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
+    }
+
+    // Threads × lane-chunk scheduling sweep: March C- at n = 32, default
+    // lane width, whole chunks fanned out across an explicit worker
+    // count. On a single-core runner the rows flatline — the group is
+    // still emitted so multi-core runners chart the scaling curve.
+    {
+        let n = 32usize;
+        let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
+        let len = u.len();
+        let program = ex.compile(&test, u.geometry());
+        for (variant, threads) in [
+            ("batch_threads_1", 1usize),
+            ("batch_threads_2", 2),
+            ("batch_threads_4", 4),
+            ("batch_threads_8", 8),
+        ] {
+            push(
+                "campaign_threads_sweep",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let _ = Campaign::new(&u, &program)
+                        .with_parallelism(Parallelism::Threads(threads))
+                        .detections();
+                }),
+            );
+        }
+    }
+
+    // Wide-chunk scaling at large n: the single-cell universe on a 1 Kib
+    // BOM array spreads the faults thin (4 per cell), so per-pass
+    // dispatch — not fault enforcement — dominates and the wider chunks
+    // amortize it across more lanes. This is the group where the
+    // 256/512-lane widths separate from the legacy 64-lane baseline
+    // (batch-only: the scalar interpreter needs seconds per pass here).
+    {
+        let n = 1024usize;
+        let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::single_cell());
+        let len = u.len();
+        let program = ex.compile(&test, u.geometry());
+        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+            if !batching {
+                continue;
+            }
+            push(
+                "campaign_march_large",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let _ = Campaign::new(&u, &program)
+                        .with_lane_width(width)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -180,7 +249,7 @@ fn main() {
         let n = 16usize;
         let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
         let len = u.len();
-        for (variant, batching, par) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width) in PROGRAM_VARIANTS {
             if par != Parallelism::Sequential {
                 continue;
             }
@@ -193,6 +262,7 @@ fn main() {
                     let program = ex.compile(&test, u.geometry());
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
+                        .with_lane_width(width)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -217,7 +287,7 @@ fn main() {
         };
         let u = FaultUniverse::enumerate(Geometry::bom(n), &spec);
         let len = u.len();
-        for (variant, batching, par) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width) in PROGRAM_VARIANTS {
             if par != Parallelism::Sequential {
                 continue;
             }
@@ -230,6 +300,7 @@ fn main() {
                     let program = ex.compile(&test, u.geometry());
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
+                        .with_lane_width(width)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -263,7 +334,7 @@ fn main() {
                     .detections();
             }),
         );
-        for (variant, batching, par) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width) in PROGRAM_VARIANTS {
             push(
                 "campaign_prt_standard3",
                 n,
@@ -273,6 +344,7 @@ fn main() {
                     let program = scheme.compile(u.geometry()).expect("compile");
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
+                        .with_lane_width(width)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -303,7 +375,7 @@ fn main() {
                     .detections();
             }),
         );
-        for (variant, batching, par) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width) in PROGRAM_VARIANTS {
             push(
                 "campaign_march_multibg_wom",
                 n,
@@ -314,6 +386,7 @@ fn main() {
                     let _ = Campaign::new(&u, &bank)
                         .with_backgrounds(&bgs)
                         .with_lane_batching(batching)
+                        .with_lane_width(width)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -378,12 +451,14 @@ fn main() {
         );
     }
 
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"prt-bench/campaign-v2\",\n");
+    json.push_str("  \"schema\": \"prt-bench/campaign-v3\",\n");
     json.push_str(&format!("  \"measure_ms\": {budget_ms},\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"threads\": {cpu_cores},\n"));
+    json.push_str(&format!("  \"cpu_cores\": {cpu_cores},\n"));
+    json.push_str(&format!("  \"lane_width\": {},\n", LaneWidth::default().lanes()));
     json.push_str(&format!("  \"git_revision\": \"{}\",\n", json_escape(&git_revision())));
     json.push_str("  \"rows\": [\n");
     let body: Vec<String> = rows.iter().map(Row::json).collect();

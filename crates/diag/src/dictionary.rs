@@ -35,7 +35,7 @@ use prt_ram::{FaultKind, FaultUniverse, Geometry, TestProgram};
 use prt_sim::checkpoint::{self, FingerprintBuilder};
 use prt_sim::{
     map_trials, map_trials_batched, try_map_trials, try_map_trials_batched, CampaignError,
-    Parallelism,
+    LaneWidth, Parallelism,
 };
 
 /// Aggregate dictionary statistics.
@@ -185,6 +185,52 @@ fn index_observations(
     (buckets, stats)
 }
 
+/// The escape observation substituted when a scalar trial's device
+/// errors out: the reference signature with a default execution.
+fn escape_observation(collector: &SignatureCollector) -> Observation {
+    Observation { signature: collector.reference(), exec: Default::default() }
+}
+
+/// One lane-batched measurement sweep at chunk width `K` — the
+/// monomorphised body [`FaultDictionary::build_with_batching`] dispatches
+/// to per [`LaneWidth`].
+fn batched_observations<const K: usize>(
+    collector: &SignatureCollector,
+    program: &TestProgram,
+    geom: Geometry,
+    faults: &[FaultKind],
+    parallelism: Parallelism,
+) -> Vec<Observation> {
+    map_trials_batched::<K, _, _, _>(
+        geom,
+        program.ports(),
+        faults,
+        parallelism,
+        |lanes, out| collector.collect_batch(program, lanes, out),
+        |_, ram| collector.collect(program, ram).unwrap_or_else(|_| escape_observation(collector)),
+    )
+}
+
+/// The fallible form of [`batched_observations`], for the checkpointed
+/// build.
+fn try_batched_observations<const K: usize>(
+    collector: &SignatureCollector,
+    program: &TestProgram,
+    geom: Geometry,
+    faults: &[FaultKind],
+    parallelism: Parallelism,
+) -> Result<Vec<Observation>, CampaignError> {
+    try_map_trials_batched::<K, _, _, _>(
+        geom,
+        program.ports(),
+        faults,
+        parallelism,
+        |lanes, out| collector.collect_batch(program, lanes, out),
+        |_, ram| collector.collect(program, ram).unwrap_or_else(|_| escape_observation(collector)),
+    )
+    .map(|(values, _degraded)| values)
+}
+
 impl FaultDictionary {
     /// Simulates every fault of `universe` through `program`, compacting
     /// each trial's response stream with a MISR over `poly`, and inverts
@@ -193,13 +239,13 @@ impl FaultDictionary {
     /// the reference signature — the campaign engine's error-as-escape
     /// convention.
     ///
-    /// Single-port programs run **lane-batched**: one interpreter pass
-    /// simulates 64 trials ([`prt_sim::map_trials_batched`] +
-    /// [`SignatureCollector::collect_batch`]), with per-fault signatures
-    /// and statistics identical to the scalar build
-    /// ([`FaultDictionary::build_with_batching`] pins the scalar engine
-    /// for differential tests and benchmarks). Multi-port programs stay
-    /// on the scalar [`map_trials`] sweep.
+    /// Every program — single- or multi-port — runs **lane-batched**: one
+    /// interpreter pass simulates a whole lane chunk of trials
+    /// ([`prt_sim::map_trials_batched`] +
+    /// [`SignatureCollector::collect_batch`] at the default
+    /// [`LaneWidth`]), with per-fault signatures and statistics identical
+    /// to the scalar build ([`FaultDictionary::build_with_batching`] pins
+    /// the scalar engine for differential tests and benchmarks).
     ///
     /// # Errors
     ///
@@ -246,14 +292,29 @@ impl FaultDictionary {
             exec: Default::default(),
         };
         let observations: Vec<Observation> = if lane_batching && program.lane_batchable() {
-            map_trials_batched(
-                geom,
-                program.ports(),
-                universe.faults(),
-                parallelism,
-                |lanes, out| collector.collect_batch(program, lanes, out),
-                |_, ram| collector.collect(program, ram).unwrap_or(escape(&collector)),
-            )
+            match LaneWidth::default() {
+                LaneWidth::X64 => batched_observations::<1>(
+                    &collector,
+                    program,
+                    geom,
+                    universe.faults(),
+                    parallelism,
+                ),
+                LaneWidth::X256 => batched_observations::<4>(
+                    &collector,
+                    program,
+                    geom,
+                    universe.faults(),
+                    parallelism,
+                ),
+                LaneWidth::X512 => batched_observations::<8>(
+                    &collector,
+                    program,
+                    geom,
+                    universe.faults(),
+                    parallelism,
+                ),
+            }
         } else {
             map_trials(geom, program.ports(), universe.len(), parallelism, |i, ram| {
                 ram.inject(universe.faults()[i].clone()).expect("enumerated faults are valid");
@@ -329,15 +390,29 @@ impl FaultDictionary {
             let end = (observations.len() + every).min(total);
             let segment = &universe.faults()[observations.len()..end];
             let attempt = if program.lane_batchable() {
-                try_map_trials_batched(
-                    geom,
-                    program.ports(),
-                    segment,
-                    parallelism,
-                    |lanes, out| collector.collect_batch(program, lanes, out),
-                    |_, ram| collector.collect(program, ram).unwrap_or(escape(&collector)),
-                )
-                .map(|(values, _degraded)| values)
+                match LaneWidth::default() {
+                    LaneWidth::X64 => try_batched_observations::<1>(
+                        &collector,
+                        program,
+                        geom,
+                        segment,
+                        parallelism,
+                    ),
+                    LaneWidth::X256 => try_batched_observations::<4>(
+                        &collector,
+                        program,
+                        geom,
+                        segment,
+                        parallelism,
+                    ),
+                    LaneWidth::X512 => try_batched_observations::<8>(
+                        &collector,
+                        program,
+                        geom,
+                        segment,
+                        parallelism,
+                    ),
+                }
             } else {
                 try_map_trials(geom, program.ports(), segment.len(), parallelism, |k, ram| {
                     ram.inject(segment[k].clone()).expect("enumerated faults are valid");

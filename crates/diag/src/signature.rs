@@ -12,7 +12,7 @@
 use crate::DiagError;
 use prt_gf::Poly2;
 use prt_lfsr::Misr;
-use prt_ram::{Execution, LaneRam, Ram, RamError, TestProgram, LANES};
+use prt_ram::{lane_word, Execution, LaneChunk, LaneRam, Ram, RamError, TestProgram};
 
 /// One observed run: the compacted signature plus the full channel counts
 /// of the execution that produced it.
@@ -192,38 +192,48 @@ impl SignatureCollector {
     /// each signature — and each execution summary — is **identical** to
     /// what [`SignatureCollector::collect`] returns for a scalar run of
     /// the same fault (property-tested in `tests/batch.rs`): the device
-    /// pass is shared across the 64 trials, the compaction is not.
+    /// pass is shared across the chunk's trials, the compaction is not.
+    ///
+    /// Lanes frozen by a multi-port write-write conflict
+    /// ([`LaneRam::errored_lanes`]) receive the scalar error-as-escape
+    /// observation — the reference signature with a default execution —
+    /// exactly what a campaign's escape closure substitutes when the
+    /// scalar [`SignatureCollector::collect`] returns the device error.
     ///
     /// # Panics
     ///
     /// Panics when the active lanes are not the contiguous `0..k` prefix
     /// the batched campaign engine guarantees, and propagates the loud
     /// [`TestProgram::execute_batch_observed`] configuration errors
-    /// (multi-port program, geometry mismatch).
-    pub fn collect_batch(
+    /// (port shortfall, geometry mismatch).
+    pub fn collect_batch<const K: usize>(
         &self,
         program: &TestProgram,
-        ram: &mut LaneRam,
+        ram: &mut LaneRam<K>,
         out: &mut Vec<Observation>,
     ) {
         let k = ram.active_lanes().count_ones() as usize;
-        let prefix = if k == LANES { u64::MAX } else { (1u64 << k) - 1 };
-        assert_eq!(ram.active_lanes(), prefix, "batched collection expects trials in lanes 0..k");
+        assert_eq!(
+            ram.active_lanes(),
+            LaneChunk::prefix(k),
+            "batched collection expects trials in lanes 0..k"
+        );
         let mut misrs: Vec<Misr> = (0..k)
             .map(|_| Misr::new(self.poly).expect("polynomial validated at construction"))
             .collect();
-        let mut execs = [Execution::default(); LANES];
+        let mut execs = vec![Execution::default(); LaneRam::<K>::LANES];
         let _ = program.execute_batch_observed(ram, &mut execs, &mut |planes| {
             for (lane, misr) in misrs.iter_mut().enumerate() {
-                let mut word = 0u64;
-                for (j, &p) in planes.iter().enumerate() {
-                    word |= ((p >> lane) & 1) << j;
-                }
-                misr.absorb(word);
+                misr.absorb(lane_word(planes, lane));
             }
         });
+        let errored = ram.errored_lanes();
         for (lane, misr) in misrs.iter().enumerate() {
-            out.push(Observation { signature: misr.signature(), exec: execs[lane] });
+            if errored.get(lane) {
+                out.push(Observation { signature: self.reference, exec: Execution::default() });
+            } else {
+                out.push(Observation { signature: misr.signature(), exec: execs[lane] });
+            }
         }
     }
 }

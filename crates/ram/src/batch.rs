@@ -1,27 +1,34 @@
-//! Lane-sliced batch fault simulation: 64 fault trials per device.
+//! Lane-sliced batch fault simulation: whole lane *chunks* of fault
+//! trials per device.
 //!
 //! A fault-simulation campaign runs the *same data-independent operation
 //! sequence* against many single-fault memories; the only thing that
 //! differs between trials is which fault is present. [`LaneRam`] exploits
-//! that by packing **64 faulty machines into the bit lanes of one `u64`**:
-//! storage is bit-sliced into `width` *bit-planes* per cell, where bit `k`
-//! of the plane word is the value that bit holds in trial lane `k`. Every
+//! that by packing faulty machines into the bit lanes of a
+//! [`LaneChunk`] — `K` host words of 64 lanes each, so one interpreter
+//! pass carries `64 * K` trials (64/256/512 for the stock K ∈ {1, 4, 8}).
+//! Storage is bit-sliced into `width` *bit-planes* per cell, where lane
+//! `k` of the plane chunk is the value that bit holds in trial `k`. Every
 //! read, write, transition check and coupling trigger then becomes a
-//! handful of bitwise word operations that act on all 64 trials at once —
+//! handful of bitwise chunk operations that act on all lanes at once —
 //! the classic bit-parallel multi-fault propagation of hardware fault
-//! simulators.
+//! simulators, widened to a SIMD-friendly `[u64; K]` that the compiler
+//! auto-vectorizes.
 //!
-//! [`LaneFaultBank`] injects **every single-port fault family** as
-//! per-lane state: SAF, TF, CFin, CFid, CFst, NPSF and data retention as
-//! per-lane masks applied in the enforcement phases; the read/write-logic
-//! families (RDF, DRDF, IRF, WDF) as per-lane flip masks in the read and
-//! write phases; stuck-open cells via per-lane sense-amplifier planes;
-//! and address-decoder faults through a bit-sliced decoder model —
-//! per-lane address remap masks, the lane analogue of the scalar
-//! decoder table. Only multi-port cycle programs stay on the scalar
-//! [`crate::Ram`] path ([`crate::TestProgram::lane_batchable`]);
-//! [`is_lane_batchable`] remains the per-fault partition predicate and is
-//! `true` for every modelled family.
+//! [`LaneFaultBank`] injects **every fault family** as per-lane state:
+//! SAF, TF, CFin, CFid, CFst, NPSF and data retention as per-lane masks
+//! applied in the enforcement phases; the read/write-logic families
+//! (RDF, DRDF, IRF, WDF) as per-lane flip masks in the read and write
+//! phases; stuck-open cells via per-lane, per-port sense-amplifier
+//! planes; and address-decoder faults through a bit-sliced decoder model
+//! — per-lane address remap masks, the lane analogue of the scalar
+//! decoder table. Multi-port cycle programs batch too: [`LaneRam`] pools
+//! per-port sense planes and a per-lane write-write conflict engine
+//! ([`LaneRam::cycle_conflicts`]), so nothing is left on the scalar
+//! [`crate::Ram`] path. [`is_lane_batchable`] is `true` for every
+//! modelled family and survives only as the campaign partition seam for
+//! future scalar-only variants of the non-exhaustive
+//! [`crate::FaultKind`].
 //!
 //! # Exactness
 //!
@@ -42,21 +49,36 @@
 //! issues the identical operation sequence to every lane. The scalar
 //! engine remains the differential oracle (property-tested in
 //! `tests/batch.rs` and `crates/ram/tests/proptests.rs`).
+//!
+//! # Frozen lanes
+//!
+//! A multi-port cycle whose writes collide (after per-lane decoder
+//! mapping) is a device error on the scalar path: `cycle_ref` rejects the
+//! cycle before any side effect and the run aborts, which campaigns map
+//! to an escape. The lane engine mirrors that with the **frozen-lane
+//! convention**: [`LaneRam::cycle_conflicts`] accumulates the conflicted
+//! lanes into [`LaneRam::errored_lanes`], and the batch interpreter stops
+//! *counting* those lanes (verdicts, mismatch counts) from that point on.
+//! The frozen lanes' storage keeps evolving — masking them out of the
+//! access hot paths would cost every operation a chunk AND for state
+//! nobody reads: a frozen lane's verdict is final, its observations are
+//! substituted by the measurement collector, and lane isolation
+//! guarantees its (now don't-care) state never leaks into another lane.
 
 use crate::fault::{CouplingTrigger, FaultKind};
-use crate::memory::ReadWired;
+use crate::memory::{ReadWired, MAX_PORTS};
 use crate::{Geometry, RamError};
 use std::collections::HashMap;
 
-/// Number of fault-trial lanes one [`LaneRam`] carries (the width of the
-/// host word the storage is sliced over).
+/// Number of fault-trial lanes per chunk *word* (the width of the host
+/// word the storage is sliced over). A [`LaneChunk<K>`] carries
+/// `K * LANES` lanes — see [`LaneChunk::LANES`] for the per-chunk count.
 pub const LANES: usize = 64;
 
 /// `true` when `fault` belongs to a family [`LaneRam`] can express as
-/// per-lane state. Since the decoder model, stuck-open sense planes and
-/// read/write-logic flip masks landed, that is **every modelled family**;
-/// the predicate is kept as the campaign partition hook for future
-/// scalar-only variants of the non-exhaustive [`FaultKind`].
+/// per-lane state. That is **every modelled family**; the predicate is
+/// kept as the campaign partition hook for future scalar-only variants
+/// of the non-exhaustive [`FaultKind`].
 pub fn is_lane_batchable(fault: &FaultKind) -> bool {
     // `FaultKind` is non-exhaustive: a future variant defaults to the
     // scalar path until it opts in here.
@@ -80,6 +102,159 @@ pub fn is_lane_batchable(fault: &FaultKind) -> bool {
     )
 }
 
+/// A chunk of `K * 64` trial lanes: the lane-mask word of the batch
+/// engine, generalised from one `u64` to `[u64; K]` so a single
+/// interpreter pass (and a single campaign batch) carries 64, 256 or 512
+/// trials. All plane and mask arithmetic goes through the bitwise
+/// operator impls below — fixed-size word loops the compiler unrolls and
+/// auto-vectorizes.
+///
+/// Lane `l` lives in bit `l % 64` of word `l / 64`; a `K = 1` chunk is
+/// bit-for-bit the legacy `u64` lane mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneChunk<const K: usize>(pub(crate) [u64; K]);
+
+impl<const K: usize> LaneChunk<K> {
+    /// Number of trial lanes in this chunk width.
+    pub const LANES: usize = 64 * K;
+
+    /// The empty lane mask.
+    pub const ZERO: LaneChunk<K> = LaneChunk([0; K]);
+
+    /// The all-lanes mask.
+    pub const FULL: LaneChunk<K> = LaneChunk([u64::MAX; K]);
+
+    /// The plane chunk broadcasting bit `bit` of `word` to every lane
+    /// (shared with the batch interpreter in [`crate::prog`]).
+    #[inline]
+    pub fn broadcast(word: u64, bit: u32) -> LaneChunk<K> {
+        if (word >> bit) & 1 == 1 {
+            Self::FULL
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// The mask selecting exactly trial lane `lane`.
+    #[inline]
+    pub fn single(lane: usize) -> LaneChunk<K> {
+        debug_assert!(lane < Self::LANES, "trial lane out of range");
+        let mut c = Self::ZERO;
+        c.0[lane / 64] = 1u64 << (lane % 64);
+        c
+    }
+
+    /// The mask selecting the first `k` lanes (batches fill lanes from 0
+    /// upward, so a partial batch's active mask is a prefix).
+    #[inline]
+    pub fn prefix(k: usize) -> LaneChunk<K> {
+        debug_assert!(k <= Self::LANES, "prefix wider than the chunk");
+        let mut c = Self::ZERO;
+        for (i, w) in c.0.iter_mut().enumerate() {
+            let lo = i * 64;
+            *w = match k.saturating_sub(lo) {
+                0 => 0,
+                n if n >= 64 => u64::MAX,
+                n => (1u64 << n) - 1,
+            };
+        }
+        c
+    }
+
+    /// `true` when lane `lane` is set.
+    #[inline]
+    pub fn get(&self, lane: usize) -> bool {
+        debug_assert!(lane < Self::LANES, "trial lane out of range");
+        (self.0[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    /// `true` when no lane is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; K]
+    }
+
+    /// Number of set lanes.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Calls `f` with the index of every set lane, in ascending order.
+    #[inline]
+    pub fn for_each_lane(&self, mut f: impl FnMut(usize)) {
+        for (i, &word) in self.0.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(i * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// The raw lane words (word `i` carries lanes `64 * i ..  64 * i + 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64; K] {
+        &self.0
+    }
+}
+
+impl<const K: usize> Default for LaneChunk<K> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+macro_rules! chunk_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl<const K: usize> std::ops::$assign_trait for LaneChunk<K> {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Self) {
+                for i in 0..K {
+                    self.0[i] $op rhs.0[i];
+                }
+            }
+        }
+        impl<const K: usize> std::ops::$trait for LaneChunk<K> {
+            type Output = LaneChunk<K>;
+            #[inline]
+            fn $method(mut self, rhs: Self) -> LaneChunk<K> {
+                use std::ops::$assign_trait;
+                self.$assign_method(rhs);
+                self
+            }
+        }
+    };
+}
+
+chunk_binop!(BitAnd, bitand, BitAndAssign, bitand_assign, &=);
+chunk_binop!(BitOr, bitor, BitOrAssign, bitor_assign, |=);
+chunk_binop!(BitXor, bitxor, BitXorAssign, bitxor_assign, ^=);
+
+impl<const K: usize> std::ops::Not for LaneChunk<K> {
+    type Output = LaneChunk<K>;
+    #[inline]
+    fn not(mut self) -> LaneChunk<K> {
+        for w in &mut self.0 {
+            *w = !*w;
+        }
+        self
+    }
+}
+
+/// The word trial lane `lane` reads off a slice of bit-plane chunks
+/// (`planes[j]` holds bit `j` across lanes) — the de-slicing helper the
+/// batch interpreter, the measurement collectors and the differential
+/// tests share.
+#[inline]
+pub fn lane_word<const K: usize>(planes: &[LaneChunk<K>], lane: usize) -> u64 {
+    let mut word = 0u64;
+    for (j, p) in planes.iter().enumerate() {
+        word |= (p.get(lane) as u64) << j;
+    }
+    word
+}
+
 /// Per-lane decoder behaviour for one faulty address (the lane analogue
 /// of the scalar `DecoderMap`, bit-sliced: each entry carries the lanes it
 /// applies to).
@@ -98,9 +273,17 @@ enum LaneDecode {
 /// for O(1) hot-path lookup, a per-address lane-decoder table for AF, and
 /// per-fault retention clocks — recycled allocation-free across campaign
 /// batches via [`LaneFaultBank::clear`].
-#[derive(Debug, Clone, Default)]
-pub struct LaneFaultBank {
-    faults: Vec<(FaultKind, u64)>,
+#[derive(Debug, Clone)]
+pub struct LaneFaultBank<const K: usize = 1> {
+    faults: Vec<(FaultKind, LaneChunk<K>)>,
+    /// Per-fault `(lo, hi)` range of the chunk words its lane mask
+    /// occupies. Campaign injection puts each fault in one lane, so the
+    /// span is almost always a single word — the enforcement hot paths
+    /// loop over it instead of the whole chunk, keeping per-fault cost
+    /// O(1) in `K`. (Bucket population grows with the lane count, so
+    /// whole-chunk per-fault ops would make enforcement cost per *lane*
+    /// grow linearly with `K` — measured as the dominant term at K = 8.)
+    spans: Vec<(u32, u32)>,
     /// Per-fault clock of the victim cell's last write *on the fault's
     /// lanes* (drives data-retention decay; meaningful for DRF entries).
     /// Per fault, not per cell: decoder remaps make lanes write different
@@ -115,7 +298,7 @@ pub struct LaneFaultBank {
     touched: Vec<usize>,
     /// Lane-decoder overrides by address (rare — kept as a map, like the
     /// scalar bank's): each address lists `(remap, lanes)` entries.
-    decoder: HashMap<usize, Vec<(LaneDecode, u64)>>,
+    decoder: HashMap<usize, Vec<(LaneDecode, LaneChunk<K>)>>,
     /// Number of stuck-open faults (gates the sense-plane maintenance).
     sof_count: usize,
     /// Number of read-logic faults (RDF/DRDF/IRF) — with none injected a
@@ -123,9 +306,25 @@ pub struct LaneFaultBank {
     readlogic_count: usize,
 }
 
-impl LaneFaultBank {
+impl<const K: usize> Default for LaneFaultBank<K> {
+    fn default() -> Self {
+        LaneFaultBank {
+            faults: Vec::new(),
+            spans: Vec::new(),
+            stamps: Vec::new(),
+            by_victim: Vec::new(),
+            by_aggressor: Vec::new(),
+            touched: Vec::new(),
+            decoder: HashMap::new(),
+            sof_count: 0,
+            readlogic_count: 0,
+        }
+    }
+}
+
+impl<const K: usize> LaneFaultBank<K> {
     /// Creates an empty bank.
-    pub fn new() -> LaneFaultBank {
+    pub fn new() -> LaneFaultBank<K> {
         LaneFaultBank::default()
     }
 
@@ -140,7 +339,7 @@ impl LaneFaultBank {
     }
 
     /// The injected `(fault, lane mask)` pairs in insertion order.
-    pub fn faults(&self) -> &[(FaultKind, u64)] {
+    pub fn faults(&self) -> &[(FaultKind, LaneChunk<K>)] {
         &self.faults
     }
 
@@ -151,7 +350,12 @@ impl LaneFaultBank {
     /// [`RamError::FaultNotBatchable`] for a scalar-only family (none of
     /// the currently modelled ones — see [`is_lane_batchable`]); otherwise
     /// propagates [`FaultKind::validate`] errors.
-    pub fn add(&mut self, geom: &Geometry, fault: FaultKind, mask: u64) -> Result<(), RamError> {
+    pub fn add(
+        &mut self,
+        geom: &Geometry,
+        fault: FaultKind,
+        mask: LaneChunk<K>,
+    ) -> Result<(), RamError> {
         if !is_lane_batchable(&fault) {
             return Err(RamError::FaultNotBatchable { mnemonic: fault.mnemonic() });
         }
@@ -201,14 +405,28 @@ impl LaneFaultBank {
             }
         }
         self.faults.push((fault, mask));
+        let lo = mask.0.iter().position(|&w| w != 0).unwrap_or(0);
+        let hi = mask.0.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+        self.spans.push((lo as u32, hi as u32));
         self.stamps.push(0);
         Ok(())
+    }
+
+    /// The chunk-word range fault `i`'s lane mask occupies (a single word
+    /// for the usual one-lane-per-fault injection). Outside the span the
+    /// mask words are zero, so masked enforcement ops are identities —
+    /// skipping them is exact.
+    #[inline]
+    fn span(&self, i: usize) -> std::ops::Range<usize> {
+        let (lo, hi) = self.spans[i];
+        lo as usize..hi as usize
     }
 
     /// Removes every fault while retaining the allocated buckets
     /// (O(#faults), allocation-free in the steady state).
     pub fn clear(&mut self) {
         self.faults.clear();
+        self.spans.clear();
         self.stamps.clear();
         for &cell in &self.touched {
             self.by_victim[cell].clear();
@@ -227,7 +445,7 @@ impl LaneFaultBank {
 
     /// The lane-decoder entries for `addr`, if any decoder fault remapped
     /// it (never allocates; empty-map fast path).
-    fn decoder_at(&self, addr: usize) -> Option<&[(LaneDecode, u64)]> {
+    fn decoder_at(&self, addr: usize) -> Option<&[(LaneDecode, LaneChunk<K>)]> {
         if self.decoder.is_empty() {
             None
         } else {
@@ -246,71 +464,107 @@ impl LaneFaultBank {
     }
 }
 
-/// A bit-sliced memory carrying up to [`LANES`] independent single-fault
-/// trials: `width` bit-planes per cell, one `u64` of 64 trial lanes per
-/// plane, plus per-lane sense-amplifier planes (for stuck-open cells) and
-/// a per-lane address decoder (for decoder faults).
+/// A bit-sliced memory carrying one [`LaneChunk`] of independent
+/// single-fault trials (`64 * K` lanes): `width` bit-planes per cell, one
+/// chunk of lanes per plane, plus per-lane, per-port sense-amplifier
+/// planes (for stuck-open cells under multi-port cycles) and a per-lane
+/// address decoder (for decoder faults). `LaneRam` (no parameter) is the
+/// legacy 64-lane width.
 ///
 /// # Example
 ///
 /// ```
-/// use prt_ram::batch::LaneRam;
+/// use prt_ram::batch::{LaneChunk, LaneRam};
 /// use prt_ram::{FaultKind, Geometry};
 ///
-/// let mut ram = LaneRam::new(Geometry::bom(8));
+/// let mut ram: LaneRam = LaneRam::new(Geometry::bom(8));
 /// ram.inject(FaultKind::StuckAt { cell: 3, bit: 0, value: 0 }, 5)?;
 /// ram.write_broadcast(3, 1); // every lane writes 1…
 /// let planes = ram.read(3);
-/// assert_eq!(planes[0], !(1u64 << 5)); // …but lane 5 is stuck at 0
+/// assert_eq!(planes[0], !LaneChunk::single(5)); // …but lane 5 is stuck at 0
 /// # Ok::<(), prt_ram::RamError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct LaneRam {
+pub struct LaneRam<const K: usize = 1> {
     geom: Geometry,
     wired: ReadWired,
+    ports: usize,
     /// Bit-plane storage: `store[cell * width + bit]` holds bit `bit` of
-    /// `cell` across all 64 lanes.
-    store: Vec<u64>,
-    /// Per-lane sense-amplifier planes (port 0): the value each lane's
-    /// last read returned — what a stuck-open read latches onto.
-    sense: Vec<u64>,
+    /// `cell` across all lanes.
+    store: Vec<LaneChunk<K>>,
+    /// Per-lane, per-port sense-amplifier planes (`sense[port * width ..
+    /// (port + 1) * width]`): the value each lane's last read on that port
+    /// returned — what a stuck-open read latches onto.
+    sense: Vec<LaneChunk<K>>,
     /// Device operation counter (drives data-retention decay).
     time: u64,
     /// Mask of lanes with an injected trial.
-    active: u64,
-    bank: LaneFaultBank,
+    active: LaneChunk<K>,
+    /// Mask of lanes frozen by a device error (write-write conflict in a
+    /// multi-port cycle) — the lane analogue of the scalar run aborting.
+    errored: LaneChunk<K>,
+    bank: LaneFaultBank<K>,
     /// Reusable staging planes for the value being written (the write
     /// operand, shared by every cell the decoder selects).
-    scratch_new: Vec<u64>,
+    scratch_new: Vec<LaneChunk<K>>,
     /// Reusable per-cell working copy of the staged value (transition
     /// blocking and stuck-at enforcement mutate it per target cell).
-    scratch_val: Vec<u64>,
+    scratch_val: Vec<LaneChunk<K>>,
     /// Reusable copy of the pre-write planes.
-    scratch_old: Vec<u64>,
+    scratch_old: Vec<LaneChunk<K>>,
     /// Reusable buffer for the planes a read returns.
-    scratch_read: Vec<u64>,
+    scratch_read: Vec<LaneChunk<K>>,
     /// Reusable buffer for one cell's read contribution (decoder
     /// multi-select combines several into `scratch_read`).
-    scratch_cell: Vec<u64>,
+    scratch_cell: Vec<LaneChunk<K>>,
     /// Reusable copy of an address's lane-decoder entries (the bank must
     /// not stay borrowed across the mutating per-cell accesses).
-    scratch_decode: Vec<(LaneDecode, u64)>,
+    scratch_decode: Vec<(LaneDecode, LaneChunk<K>)>,
     /// Reusable pending bit actions `(cell, bit, None=invert/Some(v),
-    /// lanes)` fired by coupling triggers and enforcement phases.
-    scratch_actions: Vec<(usize, u32, Option<u8>, u64)>,
+    /// chunk word, lane-mask word)` fired by coupling triggers and
+    /// enforcement phases. Word-granular (not whole-chunk) so a fired
+    /// fault costs O(1) in `K` — its lanes live in one chunk word.
+    scratch_actions: Vec<(usize, u32, Option<u8>, usize, u64)>,
+    /// Reusable per-bit store-flip masks for the read-logic faults
+    /// (sized to the cell width — a `MAX_WIDTH` stack array would zero
+    /// `32 · K` words on every read, which dominates at wide `K`).
+    scratch_flips: Vec<LaneChunk<K>>,
+    /// Reusable write-claim list for the cycle conflict engine.
+    scratch_claims: Vec<(usize, LaneChunk<K>)>,
 }
 
-impl LaneRam {
-    /// Creates a fault-free lane memory, zero-initialised.
-    pub fn new(geom: Geometry) -> LaneRam {
+impl<const K: usize> LaneRam<K> {
+    /// Number of trial lanes this chunk width carries per pass.
+    pub const LANES: usize = LaneChunk::<K>::LANES;
+
+    /// Creates a fault-free single-port lane memory, zero-initialised.
+    pub fn new(geom: Geometry) -> LaneRam<K> {
+        LaneRam::with_ports(geom, 1).expect("one port is always valid")
+    }
+
+    /// Creates a fault-free `ports`-port lane memory, zero-initialised —
+    /// the lane counterpart of [`crate::Ram::with_ports`]. Multi-port
+    /// cycle programs require a device pooled with at least as many
+    /// ports as the program's widest cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::TooManyPortOps`] if `ports` is 0 or exceeds
+    /// [`MAX_PORTS`].
+    pub fn with_ports(geom: Geometry, ports: usize) -> Result<LaneRam<K>, RamError> {
+        if ports == 0 || ports > MAX_PORTS {
+            return Err(RamError::TooManyPortOps { submitted: ports, ports: MAX_PORTS });
+        }
         let m = geom.width() as usize;
-        LaneRam {
+        Ok(LaneRam {
             geom,
             wired: ReadWired::default(),
-            store: vec![0; geom.cells() * m],
-            sense: vec![0; m],
+            ports,
+            store: vec![LaneChunk::ZERO; geom.cells() * m],
+            sense: vec![LaneChunk::ZERO; ports * m],
             time: 0,
-            active: 0,
+            active: LaneChunk::ZERO,
+            errored: LaneChunk::ZERO,
             bank: LaneFaultBank::new(),
             scratch_new: Vec::new(),
             scratch_val: Vec::new(),
@@ -319,12 +573,25 @@ impl LaneRam {
             scratch_cell: Vec::new(),
             scratch_decode: Vec::new(),
             scratch_actions: Vec::new(),
-        }
+            scratch_claims: Vec::new(),
+            scratch_flips: Vec::new(),
+        })
     }
 
     /// Array geometry.
     pub fn geometry(&self) -> Geometry {
         self.geom
+    }
+
+    /// Number of ports the device was pooled with.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of trial lanes per pass (`64 * K` — the runtime accessor
+    /// for code that is not generic over the chunk width).
+    pub fn lanes(&self) -> usize {
+        Self::LANES
     }
 
     /// Selects the bitline wiring convention decoder faults observe (the
@@ -334,12 +601,23 @@ impl LaneRam {
     }
 
     /// Mask of lanes holding an injected trial.
-    pub fn active_lanes(&self) -> u64 {
+    pub fn active_lanes(&self) -> LaneChunk<K> {
         self.active
     }
 
+    /// Mask of lanes frozen by a device error — so far, only write-write
+    /// conflicts in multi-port cycles ([`LaneRam::cycle_conflicts`]). On
+    /// the scalar path these trials abort with
+    /// [`RamError::WriteWriteConflict`] and campaigns score them as
+    /// escapes; batched measurement substitutes the escape observation
+    /// for exactly these lanes. Cleared by [`LaneRam::reset_to`] and
+    /// [`LaneRam::eject_faults`].
+    pub fn errored_lanes(&self) -> LaneChunk<K> {
+        self.errored
+    }
+
     /// The injected faults.
-    pub fn fault_bank(&self) -> &LaneFaultBank {
+    pub fn fault_bank(&self) -> &LaneFaultBank<K> {
         &self.bank
     }
 
@@ -359,25 +637,28 @@ impl LaneRam {
     ///
     /// # Panics
     ///
-    /// Panics when `lane` is not below [`LANES`].
+    /// Panics when `lane` is not below [`LaneRam::LANES`].
     pub fn inject(&mut self, fault: FaultKind, lane: usize) -> Result<(), RamError> {
-        assert!(lane < LANES, "trial lane out of range");
-        self.bank.add(&self.geom, fault, 1u64 << lane)?;
-        self.active |= 1u64 << lane;
+        assert!(lane < Self::LANES, "trial lane out of range");
+        let mask = LaneChunk::single(lane);
+        self.bank.add(&self.geom, fault, mask)?;
+        self.active |= mask;
         Ok(())
     }
 
-    /// Removes every injected fault and clears the active-lane mask; the
-    /// bucket allocations are retained for the next batch.
+    /// Removes every injected fault and clears the active-lane and
+    /// frozen-lane masks; the bucket allocations are retained for the
+    /// next batch.
     pub fn eject_faults(&mut self) {
         self.bank.clear();
-        self.active = 0;
+        self.active = LaneChunk::ZERO;
+        self.errored = LaneChunk::ZERO;
     }
 
     /// Resets storage (every lane of every cell to `background`), the
-    /// sense amplifiers, the retention clocks and the operation clock —
-    /// the lane counterpart of [`crate::Ram::reset_to`]. Injected faults
-    /// are untouched.
+    /// sense amplifiers, the retention clocks, the frozen-lane mask and
+    /// the operation clock — the lane counterpart of
+    /// [`crate::Ram::reset_to`]. Injected faults are untouched.
     ///
     /// # Panics
     ///
@@ -386,10 +667,11 @@ impl LaneRam {
         assert!(self.geom.check_data(background).is_ok(), "data wider than cells");
         let m = self.geom.width() as usize;
         for (idx, p) in self.store.iter_mut().enumerate() {
-            *p = broadcast(background, (idx % m) as u32);
+            *p = LaneChunk::broadcast(background, (idx % m) as u32);
         }
-        self.sense.fill(0);
+        self.sense.fill(LaneChunk::ZERO);
         self.bank.reset_clocks();
+        self.errored = LaneChunk::ZERO;
         self.time = 0;
     }
 
@@ -401,25 +683,34 @@ impl LaneRam {
     ///
     /// Panics if `cell` is out of range.
     pub fn peek_lane(&self, cell: usize, lane: usize) -> u64 {
-        assert!(lane < LANES, "trial lane out of range");
+        assert!(lane < Self::LANES, "trial lane out of range");
         let m = self.geom.width() as usize;
-        let mut word = 0u64;
-        for bit in 0..m {
-            word |= ((self.store[cell * m + bit] >> lane) & 1) << bit;
-        }
-        word
+        lane_word(&self.store[cell * m..cell * m + m], lane)
     }
 
-    /// Reads `addr` on every lane at once, applying fault semantics in the
-    /// scalar read order (stuck-open latch → retention decay → state
-    /// coupling → NPSF → stuck-at → read-logic flips) with any decoder
-    /// fault remapping the accessed cells per lane, and returns the
-    /// bit-planes of the value read.
+    /// Reads `addr` on every lane at once through port 0, applying fault
+    /// semantics in the scalar read order (stuck-open latch → retention
+    /// decay → state coupling → NPSF → stuck-at → read-logic flips) with
+    /// any decoder fault remapping the accessed cells per lane, and
+    /// returns the bit-planes of the value read.
     ///
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
-    pub fn read(&mut self, addr: usize) -> &[u64] {
+    pub fn read(&mut self, addr: usize) -> &[LaneChunk<K>] {
+        self.read_on_port(0, addr)
+    }
+
+    /// [`LaneRam::read`] through a specific port: identical fault
+    /// semantics, but the stuck-open sense amplifier latched (and
+    /// consulted) is `port`'s — the lane counterpart of the scalar
+    /// per-port sense in multi-port cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `port` is out of range.
+    pub fn read_on_port(&mut self, port: usize, addr: usize) -> &[LaneChunk<K>] {
+        assert!(port < self.ports, "port out of range");
         self.geom.check_addr(addr).expect("address in range");
         self.time += 1;
         let m = self.geom.width() as usize;
@@ -432,21 +723,22 @@ impl LaneRam {
             // planes — no staging copy, no sense maintenance (the PR-4
             // hot path, preserved).
             if self.bank.sof_count == 0 && self.bank.readlogic_count == 0 {
-                self.read_enforce(addr, u64::MAX);
+                self.read_enforce(addr, LaneChunk::FULL);
                 return &self.store[addr * m..addr * m + m];
             }
-            self.read_cell(addr, u64::MAX);
+            self.read_cell(addr, LaneChunk::FULL, port);
             let mut out = std::mem::take(&mut self.scratch_read);
             out.clear();
             out.extend_from_slice(&self.scratch_cell);
             self.scratch_read = out;
         } else {
-            self.read_decoded(addr);
+            self.read_decoded(addr, port);
         }
         if self.bank.sof_count > 0 {
-            // Every read latches the sense amplifier with the value
-            // returned — on every lane, exactly like the scalar port.
-            self.sense.copy_from_slice(&self.scratch_read);
+            // Every read latches the port's sense amplifier with the
+            // value returned — on every lane, exactly like the scalar
+            // port.
+            self.sense[port * m..(port + 1) * m].copy_from_slice(&self.scratch_read);
         }
         &self.scratch_read
     }
@@ -456,32 +748,33 @@ impl LaneRam {
     /// contributions under the bitline wiring convention (wired-OR floats
     /// to 0 on no-select lanes, wired-AND to all-ones — the scalar
     /// semantics, bit-sliced).
-    fn read_decoded(&mut self, addr: usize) {
+    fn read_decoded(&mut self, addr: usize, port: usize) {
         let m = self.geom.width() as usize;
         let mut remap = std::mem::take(&mut self.scratch_decode);
         remap.clear();
         remap.extend_from_slice(self.bank.decoder_at(addr).expect("caller checked"));
-        let mut base_lanes = u64::MAX;
+        let mut base_lanes = LaneChunk::FULL;
         for &(_, lanes) in &remap {
             base_lanes &= !lanes;
         }
         let mut out = std::mem::take(&mut self.scratch_read);
         out.clear();
         let init = match self.wired {
-            ReadWired::Or => 0,
-            ReadWired::And => u64::MAX,
+            ReadWired::Or => LaneChunk::ZERO,
+            ReadWired::And => LaneChunk::FULL,
         };
         out.resize(m, init);
-        let fold = |out: &mut [u64], cell_planes: &[u64], lanes: u64, wired: ReadWired| {
-            for (o, &p) in out.iter_mut().zip(cell_planes) {
-                match wired {
-                    ReadWired::Or => *o |= p & lanes,
-                    ReadWired::And => *o &= p | !lanes,
+        let fold =
+            |out: &mut [LaneChunk<K>], cell_planes: &[LaneChunk<K>], lanes: LaneChunk<K>, wired| {
+                for (o, &p) in out.iter_mut().zip(cell_planes) {
+                    match wired {
+                        ReadWired::Or => *o |= p & lanes,
+                        ReadWired::And => *o &= p | !lanes,
+                    }
                 }
-            }
-        };
-        if base_lanes != 0 {
-            self.read_cell(addr, base_lanes);
+            };
+        if !base_lanes.is_zero() {
+            self.read_cell(addr, base_lanes, port);
             fold(&mut out, &self.scratch_cell, base_lanes, self.wired);
         }
         for &(decode, lanes) in &remap {
@@ -490,13 +783,13 @@ impl LaneRam {
                 // `out` on these lanes.
                 LaneDecode::None => {}
                 LaneDecode::Extra(extra) => {
-                    self.read_cell(addr, lanes);
+                    self.read_cell(addr, lanes, port);
                     fold(&mut out, &self.scratch_cell, lanes, self.wired);
-                    self.read_cell(extra, lanes);
+                    self.read_cell(extra, lanes, port);
                     fold(&mut out, &self.scratch_cell, lanes, self.wired);
                 }
                 LaneDecode::Shadow(instead) => {
-                    self.read_cell(instead, lanes);
+                    self.read_cell(instead, lanes, port);
                     fold(&mut out, &self.scratch_cell, lanes, self.wired);
                 }
             }
@@ -510,7 +803,7 @@ impl LaneRam {
     /// stuck-open latch → retention decay → CFst → NPSF → stuck-at →
     /// RDF/DRDF store flips → IRF output inversion — every effect masked
     /// to the lanes that actually access the cell.
-    fn read_cell(&mut self, cell: usize, access: u64) {
+    fn read_cell(&mut self, cell: usize, access: LaneChunk<K>, port: usize) {
         let m = self.geom.width() as usize;
         let base = cell * m;
         let sof = self.sof_lanes(cell) & access;
@@ -525,26 +818,36 @@ impl LaneRam {
         // the post-flip stuck-at enforcement runs once, like the scalar
         // path.
         if let Some(bucket) = self.bank.by_victim.get(cell) {
-            let mut flips = [0u64; Geometry::MAX_WIDTH as usize];
+            let mut flips = std::mem::take(&mut self.scratch_flips);
+            flips.clear();
+            flips.resize(m, LaneChunk::ZERO);
             let mut any_flip = false;
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
-                let eff = lanes & act;
-                if eff == 0 {
-                    continue;
-                }
                 match *f {
                     FaultKind::ReadDestructive { bit, .. } => {
-                        flips[bit as usize] |= eff;
-                        out[bit as usize] ^= eff;
-                        any_flip = true;
+                        for w in self.bank.span(i) {
+                            let eff = lanes.0[w] & act.0[w];
+                            if eff != 0 {
+                                flips[bit as usize].0[w] |= eff;
+                                out[bit as usize].0[w] ^= eff;
+                                any_flip = true;
+                            }
+                        }
                     }
                     FaultKind::DeceptiveRead { bit, .. } => {
-                        flips[bit as usize] |= eff;
-                        any_flip = true;
+                        for w in self.bank.span(i) {
+                            let eff = lanes.0[w] & act.0[w];
+                            if eff != 0 {
+                                flips[bit as usize].0[w] |= eff;
+                                any_flip = true;
+                            }
+                        }
                     }
                     FaultKind::IncorrectRead { bit, .. } => {
-                        out[bit as usize] ^= eff;
+                        for w in self.bank.span(i) {
+                            out[bit as usize].0[w] ^= lanes.0[w] & act.0[w];
+                        }
                     }
                     _ => {}
                 }
@@ -555,10 +858,12 @@ impl LaneRam {
                 }
                 self.enforce_sa(cell);
             }
+            self.scratch_flips = flips;
         }
-        // Stuck-open lanes return the latched sense-amplifier value.
-        if sof != 0 {
-            for (o, &s) in out.iter_mut().zip(&self.sense) {
+        // Stuck-open lanes return the port's latched sense-amplifier
+        // value.
+        if !sof.is_zero() {
+            for (o, &s) in out.iter_mut().zip(&self.sense[port * m..(port + 1) * m]) {
                 *o = (*o & !sof) | (s & sof);
             }
         }
@@ -568,7 +873,7 @@ impl LaneRam {
     /// The state-enforcement half of a read on the `act` lanes (scalar
     /// order: retention decay → CFst → NPSF → stuck-at), leaving the
     /// stored planes as the value a divergence-free read returns.
-    fn read_enforce(&mut self, cell: usize, act: u64) {
+    fn read_enforce(&mut self, cell: usize, act: LaneChunk<K>) {
         // Data-retention decay (per-fault clocks).
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -576,9 +881,13 @@ impl LaneRam {
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::DataRetention { bit, decays_to, after, .. } = *f {
-                    let eff = lanes & act;
-                    if eff != 0 && self.time.saturating_sub(self.bank.stamps[i]) > after {
-                        actions.push((cell, bit, Some(decays_to), eff));
+                    if self.time.saturating_sub(self.bank.stamps[i]) > after {
+                        for w in self.bank.span(i) {
+                            let eff = lanes.0[w] & act.0[w];
+                            if eff != 0 {
+                                actions.push((cell, bit, Some(decays_to), w, eff));
+                            }
+                        }
                     }
                 }
             }
@@ -601,7 +910,7 @@ impl LaneRam {
         let mut new = std::mem::take(&mut self.scratch_new);
         new.clear();
         for bit in 0..m {
-            new.push(broadcast(data, bit as u32));
+            new.push(LaneChunk::broadcast(data, bit as u32));
         }
         self.scratch_new = new;
         self.write_decoded(addr);
@@ -615,7 +924,7 @@ impl LaneRam {
     ///
     /// Panics if `addr` is out of range or `planes` is not exactly one
     /// plane per data bit.
-    pub fn write_planes(&mut self, addr: usize, planes: &[u64]) {
+    pub fn write_planes(&mut self, addr: usize, planes: &[LaneChunk<K>]) {
         let m = self.geom.width() as usize;
         assert_eq!(planes.len(), m, "one plane per data bit");
         let mut new = std::mem::take(&mut self.scratch_new);
@@ -625,6 +934,73 @@ impl LaneRam {
         self.write_decoded(addr);
     }
 
+    /// The per-lane write-write conflict engine for one multi-port cycle:
+    /// given the cycle's write addresses, stages each lane's decoder-
+    /// mapped claims exactly like the scalar `cycle_ref` conflict check
+    /// (an unfaulted write claims its own cell; `Extra` claims the
+    /// address *and* the extra cell; `Shadow` claims the shadow cell;
+    /// `None` claims nothing — the write is lost) and accumulates every
+    /// lane on which two writes claim the same cell into
+    /// [`LaneRam::errored_lanes`].
+    ///
+    /// Call **before** driving the cycle's reads and writes, mirroring
+    /// the scalar ordering (conflicts are detected before any side
+    /// effect). Like the scalar check, a colliding pair of writes errors
+    /// on *every* lane whose decoder maps them to one cell — including
+    /// fault-free lanes when the program itself writes one address twice.
+    /// Does not advance the operation clock. Returns the cumulative
+    /// frozen-lane mask.
+    pub fn cycle_conflicts(&mut self, write_addrs: &[usize]) -> LaneChunk<K> {
+        fn stage<const K: usize>(
+            claims: &mut Vec<(usize, LaneChunk<K>)>,
+            conflict: &mut LaneChunk<K>,
+            cell: usize,
+            lanes: LaneChunk<K>,
+        ) {
+            if lanes.is_zero() {
+                return;
+            }
+            for (c, l) in claims.iter_mut() {
+                if *c == cell {
+                    *conflict |= *l & lanes;
+                    *l |= lanes;
+                    return;
+                }
+            }
+            claims.push((cell, lanes));
+        }
+        let mut claims = std::mem::take(&mut self.scratch_claims);
+        claims.clear();
+        let mut conflict = LaneChunk::ZERO;
+        for &addr in write_addrs {
+            match self.bank.decoder_at(addr) {
+                None => stage(&mut claims, &mut conflict, addr, LaneChunk::FULL),
+                Some(entries) => {
+                    let mut base = LaneChunk::FULL;
+                    for &(_, lanes) in entries {
+                        base &= !lanes;
+                    }
+                    stage(&mut claims, &mut conflict, addr, base);
+                    for &(decode, lanes) in entries {
+                        match decode {
+                            LaneDecode::None => {}
+                            LaneDecode::Extra(extra) => {
+                                stage(&mut claims, &mut conflict, addr, lanes);
+                                stage(&mut claims, &mut conflict, extra, lanes);
+                            }
+                            LaneDecode::Shadow(instead) => {
+                                stage(&mut claims, &mut conflict, instead, lanes);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.scratch_claims = claims;
+        self.errored |= conflict;
+        self.errored
+    }
+
     /// The shared write entry: resolves which cells each lane's decoder
     /// selects for `addr` (its own cell when no decoder fault remaps it)
     /// and commits the staged `scratch_new` planes to each.
@@ -632,17 +1008,17 @@ impl LaneRam {
         self.geom.check_addr(addr).expect("address in range");
         self.time += 1;
         if self.bank.decoder_at(addr).is_none() {
-            self.write_cell(addr, u64::MAX);
+            self.write_cell(addr, LaneChunk::FULL);
             return;
         }
         let mut remap = std::mem::take(&mut self.scratch_decode);
         remap.clear();
         remap.extend_from_slice(self.bank.decoder_at(addr).expect("checked above"));
-        let mut base_lanes = u64::MAX;
+        let mut base_lanes = LaneChunk::FULL;
         for &(_, lanes) in &remap {
             base_lanes &= !lanes;
         }
-        if base_lanes != 0 {
+        if !base_lanes.is_zero() {
             self.write_cell(addr, base_lanes);
         }
         for &(decode, lanes) in &remap {
@@ -665,7 +1041,7 @@ impl LaneRam {
     /// → transition blocking → write-disturb → stuck-at → store →
     /// coupling triggers → state coupling → NPSF, each masked per lane
     /// and to the accessing lanes.
-    fn write_cell(&mut self, cell: usize, access: u64) {
+    fn write_cell(&mut self, cell: usize, access: LaneChunk<K>) {
         let m = self.geom.width() as usize;
         let base = cell * m;
         if self.bank.is_empty() {
@@ -674,7 +1050,7 @@ impl LaneRam {
         }
         // Stuck-open lanes lose the write entirely.
         let eff = access & !self.sof_lanes(cell);
-        if eff == 0 {
+        if eff.is_zero() {
             return;
         }
         let mut new = std::mem::take(&mut self.scratch_val);
@@ -690,28 +1066,39 @@ impl LaneRam {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::Transition { bit, rising, .. } = *f {
                     let b = bit as usize;
-                    let blocked =
-                        if rising { !old[b] & new[b] } else { old[b] & !new[b] } & lanes & eff;
-                    new[b] = (new[b] & !blocked) | (old[b] & blocked);
+                    for w in self.bank.span(i) {
+                        let blocked = (if rising {
+                            !old[b].0[w] & new[b].0[w]
+                        } else {
+                            old[b].0[w] & !new[b].0[w]
+                        }) & lanes.0[w]
+                            & eff.0[w];
+                        new[b].0[w] = (new[b].0[w] & !blocked) | (old[b].0[w] & blocked);
+                    }
                 }
             }
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::WriteDisturb { bit, .. } = *f {
                     let b = bit as usize;
-                    // A non-transition write (bit already holds the value)
-                    // flips the bit.
-                    new[b] ^= !(old[b] ^ new[b]) & lanes & eff;
+                    for w in self.bank.span(i) {
+                        // A non-transition write (bit already holds the
+                        // value) flips the bit.
+                        let disturbed = !(old[b].0[w] ^ new[b].0[w]) & lanes.0[w] & eff.0[w];
+                        new[b].0[w] ^= disturbed;
+                    }
                 }
             }
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::StuckAt { bit, value, .. } = *f {
                     let b = bit as usize;
-                    if value & 1 == 1 {
-                        new[b] |= lanes & eff;
-                    } else {
-                        new[b] &= !(lanes & eff);
+                    for w in self.bank.span(i) {
+                        if value & 1 == 1 {
+                            new[b].0[w] |= lanes.0[w] & eff.0[w];
+                        } else {
+                            new[b].0[w] &= !(lanes.0[w] & eff.0[w]);
+                        }
                     }
                 }
             }
@@ -724,7 +1111,9 @@ impl LaneRam {
         if let Some(bucket) = self.bank.by_victim.get(cell) {
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
-                if matches!(f, FaultKind::DataRetention { .. }) && lanes & eff != 0 {
+                if matches!(f, FaultKind::DataRetention { .. })
+                    && self.bank.span(i).any(|w| lanes.0[w] & eff.0[w] != 0)
+                {
                     self.bank.stamps[i] = self.time;
                 }
             }
@@ -744,13 +1133,15 @@ impl LaneRam {
                         trigger,
                     } if agg_cell == cell => {
                         let b = agg_bit as usize;
-                        let fired = match trigger {
-                            CouplingTrigger::Rise => !old[b] & new[b],
-                            CouplingTrigger::Fall => old[b] & !new[b],
-                        } & lanes
-                            & eff;
-                        if fired != 0 {
-                            actions.push((victim_cell, victim_bit, None, fired));
+                        for w in self.bank.span(i) {
+                            let fired = (match trigger {
+                                CouplingTrigger::Rise => !old[b].0[w] & new[b].0[w],
+                                CouplingTrigger::Fall => old[b].0[w] & !new[b].0[w],
+                            }) & lanes.0[w]
+                                & eff.0[w];
+                            if fired != 0 {
+                                actions.push((victim_cell, victim_bit, None, w, fired));
+                            }
                         }
                     }
                     FaultKind::CouplingIdempotent {
@@ -762,13 +1153,15 @@ impl LaneRam {
                         force,
                     } if agg_cell == cell => {
                         let b = agg_bit as usize;
-                        let fired = match trigger {
-                            CouplingTrigger::Rise => !old[b] & new[b],
-                            CouplingTrigger::Fall => old[b] & !new[b],
-                        } & lanes
-                            & eff;
-                        if fired != 0 {
-                            actions.push((victim_cell, victim_bit, Some(force), fired));
+                        for w in self.bank.span(i) {
+                            let fired = (match trigger {
+                                CouplingTrigger::Rise => !old[b].0[w] & new[b].0[w],
+                                CouplingTrigger::Fall => old[b].0[w] & !new[b].0[w],
+                            }) & lanes.0[w]
+                                & eff.0[w];
+                            if fired != 0 {
+                                actions.push((victim_cell, victim_bit, Some(force), w, fired));
+                            }
                         }
                     }
                     _ => {}
@@ -785,14 +1178,16 @@ impl LaneRam {
     }
 
     /// The lanes on which `cell` carries a stuck-open fault.
-    fn sof_lanes(&self, cell: usize) -> u64 {
-        let mut sof = 0u64;
+    fn sof_lanes(&self, cell: usize) -> LaneChunk<K> {
+        let mut sof = LaneChunk::ZERO;
         if self.bank.sof_count > 0 {
             if let Some(bucket) = self.bank.by_victim.get(cell) {
                 for &i in bucket {
                     let (f, lanes) = &self.bank.faults[i];
                     if matches!(f, FaultKind::StuckOpen { .. }) {
-                        sof |= lanes;
+                        for w in self.bank.span(i) {
+                            sof.0[w] |= lanes.0[w];
+                        }
                     }
                 }
             }
@@ -803,10 +1198,10 @@ impl LaneRam {
     /// Applies staged bit actions: `None` inverts the victim bit on the
     /// masked lanes, `Some(v)` forces it — each followed by stuck-at
     /// enforcement of the victim cell, like the scalar `force_bit`.
-    fn apply_actions(&mut self, actions: &[(usize, u32, Option<u8>, u64)]) {
+    fn apply_actions(&mut self, actions: &[(usize, u32, Option<u8>, usize, u64)]) {
         let m = self.geom.width() as usize;
-        for &(vc, vb, act, lanes) in actions {
-            let p = &mut self.store[vc * m + vb as usize];
+        for &(vc, vb, act, w, lanes) in actions {
+            let p = &mut self.store[vc * m + vb as usize].0[w];
             match act {
                 None => *p ^= lanes,
                 Some(v) => {
@@ -823,7 +1218,7 @@ impl LaneRam {
 
     /// CFst where `cell` is the aggressor: enforce on the accessing lanes
     /// whose aggressor bit currently holds the trigger state.
-    fn enforce_state_from_aggressor(&mut self, cell: usize, access: u64) {
+    fn enforce_state_from_aggressor(&mut self, cell: usize, access: LaneChunk<K>) {
         let m = self.geom.width() as usize;
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -840,10 +1235,14 @@ impl LaneRam {
                 } = *f
                 {
                     if agg_cell == cell {
-                        let plane = self.store[agg_cell * m + agg_bit as usize];
-                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes & access;
-                        if cond != 0 {
-                            actions.push((victim_cell, victim_bit, Some(force), cond));
+                        for w in self.bank.span(i) {
+                            let pw = self.store[agg_cell * m + agg_bit as usize].0[w];
+                            let cond = (if agg_state & 1 == 1 { pw } else { !pw })
+                                & lanes.0[w]
+                                & access.0[w];
+                            if cond != 0 {
+                                actions.push((victim_cell, victim_bit, Some(force), w, cond));
+                            }
                         }
                     }
                 }
@@ -855,7 +1254,7 @@ impl LaneRam {
 
     /// CFst where `cell` is the victim: re-enforce on the accessing lanes
     /// whose aggressor currently holds the trigger state.
-    fn enforce_state_on_victim(&mut self, cell: usize, access: u64) {
+    fn enforce_state_on_victim(&mut self, cell: usize, access: LaneChunk<K>) {
         let m = self.geom.width() as usize;
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -872,10 +1271,14 @@ impl LaneRam {
                 } = *f
                 {
                     if victim_cell == cell {
-                        let plane = self.store[agg_cell * m + agg_bit as usize];
-                        let cond = if agg_state & 1 == 1 { plane } else { !plane } & lanes & access;
-                        if cond != 0 {
-                            actions.push((victim_cell, victim_bit, Some(force), cond));
+                        for w in self.bank.span(i) {
+                            let pw = self.store[agg_cell * m + agg_bit as usize].0[w];
+                            let cond = (if agg_state & 1 == 1 { pw } else { !pw })
+                                & lanes.0[w]
+                                & access.0[w];
+                            if cond != 0 {
+                                actions.push((victim_cell, victim_bit, Some(force), w, cond));
+                            }
                         }
                     }
                 }
@@ -886,36 +1289,17 @@ impl LaneRam {
     }
 
     /// NPSF where `cell` is one of the neighbours (checked after writes).
-    fn enforce_npsf_from_neighbor(&mut self, cell: usize, access: u64) {
+    fn enforce_npsf_from_neighbor(&mut self, cell: usize, access: LaneChunk<K>) {
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
         if let Some(bucket) = self.bank.by_aggressor.get(cell) {
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
-                    let cond = self.npsf_condition(neighbors, *lanes & access);
-                    if cond != 0 {
-                        actions.push((*victim_cell, *victim_bit, Some(*force), cond));
-                    }
-                }
-            }
-        }
-        self.apply_actions(&actions);
-        self.scratch_actions = actions;
-    }
-
-    /// NPSF where `cell` is the victim (checked at reads).
-    fn enforce_npsf_on_victim(&mut self, cell: usize, access: u64) {
-        let mut actions = std::mem::take(&mut self.scratch_actions);
-        actions.clear();
-        if let Some(bucket) = self.bank.by_victim.get(cell) {
-            for &i in bucket {
-                let (f, lanes) = &self.bank.faults[i];
-                if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
-                    if *victim_cell == cell {
-                        let cond = self.npsf_condition(neighbors, *lanes & access);
+                    for w in self.bank.span(i) {
+                        let cond = self.npsf_condition(neighbors, w, lanes.0[w] & access.0[w]);
                         if cond != 0 {
-                            actions.push((*victim_cell, *victim_bit, Some(*force), cond));
+                            actions.push((*victim_cell, *victim_bit, Some(*force), w, cond));
                         }
                     }
                 }
@@ -925,14 +1309,37 @@ impl LaneRam {
         self.scratch_actions = actions;
     }
 
-    /// The lanes on which every listed neighbour bit holds its listed
-    /// value.
-    fn npsf_condition(&self, neighbors: &[(usize, u32, u8)], lanes: u64) -> u64 {
+    /// NPSF where `cell` is the victim (checked at reads).
+    fn enforce_npsf_on_victim(&mut self, cell: usize, access: LaneChunk<K>) {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.clear();
+        if let Some(bucket) = self.bank.by_victim.get(cell) {
+            for &i in bucket {
+                let (f, lanes) = &self.bank.faults[i];
+                if let FaultKind::Npsf { victim_cell, victim_bit, neighbors, force } = f {
+                    if *victim_cell == cell {
+                        for w in self.bank.span(i) {
+                            let cond = self.npsf_condition(neighbors, w, lanes.0[w] & access.0[w]);
+                            if cond != 0 {
+                                actions.push((*victim_cell, *victim_bit, Some(*force), w, cond));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_actions(&actions);
+        self.scratch_actions = actions;
+    }
+
+    /// The lanes of chunk word `w` on which every listed neighbour bit
+    /// holds its listed value.
+    fn npsf_condition(&self, neighbors: &[(usize, u32, u8)], w: usize, lanes: u64) -> u64 {
         let m = self.geom.width() as usize;
         let mut cond = lanes;
         for &(c, b, v) in neighbors {
-            let plane = self.store[c * m + b as usize];
-            cond &= if v & 1 == 1 { plane } else { !plane };
+            let pw = self.store[c * m + b as usize].0[w];
+            cond &= if v & 1 == 1 { pw } else { !pw };
         }
         cond
     }
@@ -947,26 +1354,17 @@ impl LaneRam {
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::StuckAt { bit, value, .. } = *f {
-                    let p = &mut self.store[cell * m + bit as usize];
-                    if value & 1 == 1 {
-                        *p |= lanes;
-                    } else {
-                        *p &= !lanes;
+                    for w in self.bank.span(i) {
+                        let p = &mut self.store[cell * m + bit as usize].0[w];
+                        if value & 1 == 1 {
+                            *p |= lanes.0[w];
+                        } else {
+                            *p &= !lanes.0[w];
+                        }
                     }
                 }
             }
         }
-    }
-}
-
-/// The plane word broadcasting bit `bit` of `word` to all 64 lanes
-/// (shared with the batch interpreter in [`crate::prog`]).
-#[inline]
-pub(crate) fn broadcast(word: u64, bit: u32) -> u64 {
-    if (word >> bit) & 1 == 1 {
-        u64::MAX
-    } else {
-        0
     }
 }
 
@@ -976,13 +1374,45 @@ mod tests {
     use crate::Ram;
 
     /// Drives the same op sequence through a scalar single-fault `Ram`
-    /// and a `LaneRam` with the fault in `lane`, asserting bitwise-equal
-    /// reads and storage at every step.
+    /// and a `LaneRam<K>` with the fault in `lane`, asserting bitwise-
+    /// equal reads and storage at every step.
+    fn assert_chunk_matches_scalar<const K: usize>(
+        geom: Geometry,
+        fault: &FaultKind,
+        lane: usize,
+        script: &[(bool, usize, u64)], // (is_write, addr, data)
+        wired: ReadWired,
+    ) {
+        let mut scalar = Ram::new(geom);
+        scalar.set_wired(wired);
+        scalar.inject(fault.clone()).unwrap();
+        let mut lanes = LaneRam::<K>::new(geom);
+        lanes.set_wired(wired);
+        lanes.inject(fault.clone(), lane).unwrap();
+        for (step, &(is_write, addr, data)) in script.iter().enumerate() {
+            if is_write {
+                scalar.write(addr, data);
+                lanes.write_broadcast(addr, data);
+            } else {
+                let want = scalar.read(addr);
+                let got = lane_word(lanes.read(addr), lane);
+                assert_eq!(got, want, "{fault} lane {lane} step {step}: read @{addr}");
+            }
+            for c in 0..geom.cells() {
+                assert_eq!(
+                    lanes.peek_lane(c, lane),
+                    scalar.peek(c),
+                    "{fault} lane {lane} step {step}: cell {c}"
+                );
+            }
+        }
+    }
+
     fn assert_lane_matches_scalar(
         geom: Geometry,
         fault: FaultKind,
         lane: usize,
-        script: &[(bool, usize, u64)], // (is_write, addr, data)
+        script: &[(bool, usize, u64)],
     ) {
         assert_lane_matches_scalar_wired(geom, fault, lane, script, ReadWired::Or);
     }
@@ -994,33 +1424,11 @@ mod tests {
         script: &[(bool, usize, u64)],
         wired: ReadWired,
     ) {
-        let mut scalar = Ram::new(geom);
-        scalar.set_wired(wired);
-        scalar.inject(fault.clone()).unwrap();
-        let mut lanes = LaneRam::new(geom);
-        lanes.set_wired(wired);
-        lanes.inject(fault.clone(), lane).unwrap();
-        for (step, &(is_write, addr, data)) in script.iter().enumerate() {
-            if is_write {
-                scalar.write(addr, data);
-                lanes.write_broadcast(addr, data);
-            } else {
-                let want = scalar.read(addr);
-                let planes = lanes.read(addr);
-                let mut got = 0u64;
-                for (j, p) in planes.iter().enumerate() {
-                    got |= ((p >> lane) & 1) << j;
-                }
-                assert_eq!(got, want, "{fault} lane {lane} step {step}: read @{addr}");
-            }
-            for c in 0..geom.cells() {
-                assert_eq!(
-                    lanes.peek_lane(c, lane),
-                    scalar.peek(c),
-                    "{fault} lane {lane} step {step}: cell {c}"
-                );
-            }
-        }
+        assert_chunk_matches_scalar::<1>(geom, &fault, lane, script, wired);
+        // The same trial relocated into the top word of a 4-word chunk:
+        // widening the lane dimension must not change per-lane semantics
+        // wherever the lane lands.
+        assert_chunk_matches_scalar::<4>(geom, &fault, lane + 3 * LANES, script, wired);
     }
 
     #[test]
@@ -1262,22 +1670,50 @@ mod tests {
     }
 
     #[test]
+    fn wide_chunks_match_scalar_in_every_word() {
+        // One trial per chunk word of an 8-word (512-lane) chunk,
+        // including both word-boundary lanes.
+        let geom = Geometry::bom(4);
+        let fault = FaultKind::StuckAt { cell: 1, bit: 0, value: 0 };
+        let script: &[(bool, usize, u64)] =
+            &[(true, 1, 1), (false, 1, 0), (true, 1, 0), (false, 1, 0)];
+        for lane in [0usize, 63, 64, 130, 255, 256, 320, 511] {
+            assert_chunk_matches_scalar::<8>(geom, &fault, lane, script, ReadWired::Or);
+        }
+    }
+
+    #[test]
     fn lanes_are_isolated() {
         // Two different faults in two lanes: each lane behaves like its
         // own scalar device, the other lane's fault invisible to it.
         let geom = Geometry::bom(4);
-        let mut lanes = LaneRam::new(geom);
+        let mut lanes: LaneRam = LaneRam::new(geom);
         lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 2).unwrap();
         lanes.inject(FaultKind::StuckAt { cell: 1, bit: 0, value: 1 }, 7).unwrap();
-        assert_eq!(lanes.active_lanes(), (1 << 2) | (1 << 7));
+        assert_eq!(lanes.active_lanes(), LaneChunk::single(2) | LaneChunk::single(7));
         lanes.write_broadcast(0, 1);
         lanes.write_broadcast(1, 0);
         let p0 = lanes.read(0)[0];
-        assert_eq!((p0 >> 2) & 1, 0, "lane 2 is stuck at 0");
-        assert_eq!((p0 >> 7) & 1, 1, "lane 7 sees a healthy cell 0");
+        assert!(!p0.get(2), "lane 2 is stuck at 0");
+        assert!(p0.get(7), "lane 7 sees a healthy cell 0");
         let p1 = lanes.read(1)[0];
-        assert_eq!((p1 >> 2) & 1, 0, "lane 2 sees a healthy cell 1");
-        assert_eq!((p1 >> 7) & 1, 1, "lane 7 is stuck at 1");
+        assert!(!p1.get(2), "lane 2 sees a healthy cell 1");
+        assert!(p1.get(7), "lane 7 is stuck at 1");
+    }
+
+    #[test]
+    fn cross_word_lanes_are_isolated() {
+        // The same two-fault isolation, with the trials in different
+        // words of a 4-word chunk.
+        let geom = Geometry::bom(4);
+        let mut lanes: LaneRam<4> = LaneRam::new(geom);
+        lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 70).unwrap();
+        lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 1 }, 200).unwrap();
+        lanes.write_broadcast(0, 1);
+        let p = lanes.read(0)[0];
+        assert!(!p.get(70), "lane 70 is stuck at 0");
+        assert!(p.get(200), "lane 200 is stuck at 1");
+        assert!(p.get(0) && p.get(130) && p.get(255), "unfaulted lanes read the written 1");
     }
 
     #[test]
@@ -1289,7 +1725,7 @@ mod tests {
         let geom = Geometry::bom(8);
         let shadow = FaultKind::DecoderShadow { addr: 3, instead_cell: 6 };
         let rdf = FaultKind::ReadDestructive { cell: 6, bit: 0 };
-        let mut lanes = LaneRam::new(geom);
+        let mut lanes: LaneRam = LaneRam::new(geom);
         lanes.inject(shadow.clone(), 11).unwrap();
         lanes.inject(rdf.clone(), 44).unwrap();
         let mut s_shadow = Ram::new(geom);
@@ -1312,8 +1748,8 @@ mod tests {
                 let w_shadow = s_shadow.read(addr);
                 let w_rdf = s_rdf.read(addr);
                 let planes = lanes.read(addr);
-                assert_eq!((planes[0] >> 11) & 1, w_shadow, "shadow lane, step {step}");
-                assert_eq!((planes[0] >> 44) & 1, w_rdf, "rdf lane, step {step}");
+                assert_eq!(lane_word(planes, 11), w_shadow, "shadow lane, step {step}");
+                assert_eq!(lane_word(planes, 44), w_rdf, "rdf lane, step {step}");
             }
             for c in 0..8 {
                 assert_eq!(lanes.peek_lane(c, 11), s_shadow.peek(c), "step {step} cell {c}");
@@ -1323,14 +1759,69 @@ mod tests {
     }
 
     #[test]
+    fn multi_port_sense_planes_are_independent() {
+        // A stuck-open read returns the latch of the port doing the
+        // read; reads on other ports must not disturb it — the scalar
+        // per-port sense array, bit-sliced.
+        let geom = Geometry::bom(4);
+        let mut lanes = LaneRam::<1>::with_ports(geom, 2).unwrap();
+        lanes.inject(FaultKind::StuckOpen { cell: 2 }, 7).unwrap();
+        lanes.write_broadcast(0, 1);
+        lanes.write_broadcast(1, 0);
+        let _ = lanes.read_on_port(0, 0); // port 0 latches 1
+        let _ = lanes.read_on_port(1, 1); // port 1 latches 0
+        assert_eq!(lane_word(lanes.read_on_port(0, 2), 7), 1, "port 0 returns its own latch");
+        assert_eq!(lane_word(lanes.read_on_port(1, 2), 7), 0, "port 1 returns its own latch");
+    }
+
+    #[test]
+    fn cycle_conflicts_follow_per_lane_decoder_claims() {
+        let geom = Geometry::bom(8);
+        let mut lanes: LaneRam = LaneRam::new(geom);
+        lanes.inject(FaultKind::DecoderShadow { addr: 1, instead_cell: 0 }, 5).unwrap();
+        // Writes to 0 and 1 land on one cell only where the shadow
+        // diverts them…
+        assert_eq!(lanes.cycle_conflicts(&[0, 1]), LaneChunk::single(5));
+        assert_eq!(lanes.errored_lanes(), LaneChunk::single(5));
+        // …a conflict-free cycle leaves the frozen set sticky…
+        assert_eq!(lanes.cycle_conflicts(&[2, 3]), LaneChunk::single(5));
+        // …and recycling the device clears it.
+        lanes.reset_to(0);
+        assert!(lanes.errored_lanes().is_zero());
+        // Two writes to one address conflict on every lane, fault-free
+        // included (the scalar device errors regardless of faults).
+        assert_eq!(lanes.cycle_conflicts(&[4, 4]), LaneChunk::FULL);
+        lanes.eject_faults();
+        assert!(lanes.errored_lanes().is_zero());
+    }
+
+    #[test]
+    fn lost_writes_claim_no_cell() {
+        let geom = Geometry::bom(8);
+        let mut lanes: LaneRam = LaneRam::new(geom);
+        lanes.inject(FaultKind::DecoderNoAccess { addr: 1 }, 3).unwrap();
+        // Both writes to address 1 are lost on lane 3 — every other lane
+        // conflicts.
+        assert_eq!(lanes.cycle_conflicts(&[1, 1]), !LaneChunk::single(3));
+    }
+
+    #[test]
+    fn port_pool_bounds_are_enforced() {
+        let geom = Geometry::bom(4);
+        assert!(LaneRam::<1>::with_ports(geom, 0).is_err());
+        assert!(LaneRam::<1>::with_ports(geom, MAX_PORTS + 1).is_err());
+        assert_eq!(LaneRam::<1>::with_ports(geom, 4).unwrap().ports(), 4);
+    }
+
+    #[test]
     fn reset_and_eject_recycle_the_device() {
         let geom = Geometry::wom(4, 4).unwrap();
-        let mut lanes = LaneRam::new(geom);
+        let mut lanes: LaneRam = LaneRam::new(geom);
         lanes.inject(FaultKind::StuckAt { cell: 1, bit: 2, value: 1 }, 0).unwrap();
         lanes.write_broadcast(1, 0xF);
         lanes.eject_faults();
         lanes.reset_to(0xA);
-        assert_eq!(lanes.active_lanes(), 0);
+        assert!(lanes.active_lanes().is_zero());
         assert!(lanes.fault_bank().is_empty());
         for c in 0..4 {
             for l in [0usize, 63] {
@@ -1346,16 +1837,16 @@ mod tests {
     #[test]
     fn reset_recycles_sense_and_retention_state() {
         let geom = Geometry::bom(4);
-        let mut lanes = LaneRam::new(geom);
+        let mut lanes: LaneRam = LaneRam::new(geom);
         lanes.inject(FaultKind::StuckOpen { cell: 2 }, 3).unwrap();
         lanes.write_broadcast(1, 1);
         let _ = lanes.read(1); // latch 1
         lanes.reset_to(0);
         // A fresh device after reset: the latch was cleared, so the SOF
         // read returns 0, as on a just-constructed memory.
-        assert_eq!((lanes.read(2)[0] >> 3) & 1, 0, "sense latch must reset");
+        assert!(!lanes.read(2)[0].get(3), "sense latch must reset");
 
-        let mut lanes = LaneRam::new(geom);
+        let mut lanes: LaneRam = LaneRam::new(geom);
         lanes
             .inject(FaultKind::DataRetention { cell: 0, bit: 0, decays_to: 0, after: 3 }, 9)
             .unwrap();
@@ -1367,16 +1858,16 @@ mod tests {
         }
         lanes.reset_to(0);
         lanes.write_broadcast(0, 1);
-        assert_eq!((lanes.read(0)[0] >> 9) & 1, 1, "retention window must restart at reset");
+        assert!(lanes.read(0)[0].get(9), "retention window must restart at reset");
         lanes.write_broadcast(1, 1);
         lanes.write_broadcast(2, 1);
         lanes.write_broadcast(3, 1);
-        assert_eq!((lanes.read(0)[0] >> 9) & 1, 0, "and decay again once exceeded");
+        assert!(!lanes.read(0)[0].get(9), "and decay again once exceeded");
     }
 
     #[test]
     fn every_family_is_batchable() {
-        let mut lanes = LaneRam::new(Geometry::bom(4));
+        let mut lanes: LaneRam = LaneRam::new(Geometry::bom(4));
         for (lane, fault) in [
             FaultKind::DecoderNoAccess { addr: 0 },
             FaultKind::DecoderExtraCell { addr: 1, extra_cell: 2 },
@@ -1400,17 +1891,39 @@ mod tests {
     }
 
     #[test]
+    fn chunk_mask_helpers_are_consistent() {
+        assert_eq!(LaneChunk::<4>::LANES, 256);
+        assert_eq!(LaneChunk::<4>::prefix(0), LaneChunk::ZERO);
+        assert_eq!(LaneChunk::<4>::prefix(256), LaneChunk::FULL);
+        let p = LaneChunk::<4>::prefix(100);
+        assert_eq!(p.count_ones(), 100);
+        assert!(p.get(99) && !p.get(100));
+        let mut seen = Vec::new();
+        (LaneChunk::<4>::single(3) | LaneChunk::single(64) | LaneChunk::single(255))
+            .for_each_lane(|l| seen.push(l));
+        assert_eq!(seen, [3, 64, 255]);
+        assert_eq!(lane_word(&[LaneChunk::<4>::single(70), LaneChunk::ZERO], 70), 0b01);
+    }
+
+    #[test]
     fn validation_errors_propagate() {
-        let mut lanes = LaneRam::new(Geometry::bom(4));
+        let mut lanes: LaneRam = LaneRam::new(Geometry::bom(4));
         assert!(lanes.inject(FaultKind::StuckAt { cell: 9, bit: 0, value: 0 }, 0).is_err());
         assert!(lanes.inject(FaultKind::DecoderNoAccess { addr: 4 }, 0).is_err());
-        assert_eq!(lanes.active_lanes(), 0, "rejected faults must not claim a lane");
+        assert!(lanes.active_lanes().is_zero(), "rejected faults must not claim a lane");
     }
 
     #[test]
     #[should_panic(expected = "trial lane out of range")]
     fn lane_bound_is_enforced() {
-        let mut lanes = LaneRam::new(Geometry::bom(4));
+        let mut lanes: LaneRam = LaneRam::new(Geometry::bom(4));
         let _ = lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, LANES);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial lane out of range")]
+    fn wide_lane_bound_is_enforced() {
+        let mut lanes: LaneRam<4> = LaneRam::new(Geometry::bom(4));
+        let _ = lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 4 * LANES);
     }
 }

@@ -52,7 +52,7 @@ pub mod stats;
 pub mod topology;
 pub mod universe;
 
-pub use batch::{is_lane_batchable, LaneFaultBank, LaneRam, LANES};
+pub use batch::{is_lane_batchable, lane_word, LaneChunk, LaneFaultBank, LaneRam, LANES};
 pub use error::RamError;
 pub use fault::{CouplingTrigger, FaultBank, FaultKind};
 pub use geometry::Geometry;

@@ -74,7 +74,7 @@
 //! # Ok::<(), prt_ram::RamError>(())
 //! ```
 
-use crate::batch::{broadcast as lane_broadcast, LaneRam, LANES};
+use crate::batch::{lane_word, LaneChunk, LaneRam};
 use crate::{Geometry, PortOp, Ram, RamError, MAX_PORTS};
 use std::ops::Range;
 
@@ -380,18 +380,20 @@ impl TestProgram {
         self.run(ram, true, None, None).map(|e| e.detected()).unwrap_or(false)
     }
 
-    /// `true` when this program can drive a lane-sliced batch run:
-    /// single-port only — every multi-port cycle schedule stays on the
-    /// scalar path (a [`crate::batch::LaneRam`] has no port or decoder
-    /// model).
+    /// `true` when this program can drive a lane-sliced batch run.
+    ///
+    /// Since the multi-port `CycleN` interpreter arm was batched, every
+    /// compiled program batches — the predicate is kept only as the
+    /// partition seam campaign engines query, so a future scalar-only
+    /// program variant has somewhere to opt out.
     pub fn lane_batchable(&self) -> bool {
-        self.ports == 1
+        true
     }
 
-    /// Runs the program against up to 64 fault trials **simultaneously**
-    /// on a lane-sliced [`LaneRam`], and returns the mask of lanes whose
-    /// trial was flagged (either channel — the lane counterpart of
-    /// [`TestProgram::detect`]).
+    /// Runs the program against up to [`LaneRam::<K>::LANES`] fault
+    /// trials **simultaneously** on a lane-sliced [`LaneRam`], and
+    /// returns the mask of lanes whose trial was flagged (either channel
+    /// — the lane counterpart of [`TestProgram::detect`]).
     ///
     /// Checked reads compare every bit-plane against the broadcast
     /// expected word; accumulator lanes are widened to one bit-plane set
@@ -406,18 +408,27 @@ impl TestProgram {
     /// [`TestProgram::detect`] on a scalar [`Ram`] carrying that lane's
     /// fault (property-tested in `tests/batch.rs`).
     ///
+    /// Multi-port `CycleN` schedules batch too: each cycle stages its
+    /// write claims through [`LaneRam::cycle_conflicts`] first (the
+    /// bit-sliced form of the scalar write-write conflict check), then
+    /// performs all reads in port order, all writes in port order, and
+    /// finally processes the slot table in slot order — the exact scalar
+    /// cycle sequencing. Lanes whose decoder image produces a conflict
+    /// are *frozen*: their verdict is final (`false`, the scalar
+    /// error-as-escape convention) and later reads on them can neither
+    /// set nor clear detection.
+    ///
     /// # Panics
     ///
-    /// Panics when the program is not [`TestProgram::lane_batchable`] —
-    /// campaign engines partition multi-port programs to the scalar path
-    /// before ever calling this — or when `ram`'s geometry differs from
-    /// the one the program was compiled for. A whole *batch* on the wrong
-    /// device would silently report 64 escapes (0% coverage), so unlike
-    /// the scalar per-trial error-as-escape convention this
-    /// configuration error is surfaced loudly. Resilient campaign
+    /// Panics when the program needs more ports than `ram` was built
+    /// with, or when `ram`'s geometry differs from the one the program
+    /// was compiled for. A whole *batch* on the wrong device would
+    /// silently report every lane as an escape (0% coverage), so unlike
+    /// the scalar per-trial error-as-escape convention these
+    /// configuration errors are surfaced loudly. Resilient campaign
     /// runtimes that must not abort use [`TestProgram::try_detect_batch`],
     /// which this is a thin wrapper over.
-    pub fn detect_batch(&self, ram: &mut LaneRam) -> u64 {
+    pub fn detect_batch<const K: usize>(&self, ram: &mut LaneRam<K>) -> LaneChunk<K> {
         self.try_detect_batch(ram).unwrap_or_else(|e| self.panic_batch_config(e))
     }
 
@@ -428,22 +439,24 @@ impl TestProgram {
     ///
     /// # Errors
     ///
-    /// [`RamError::ProgramNotBatchable`] for a multi-port program;
-    /// [`RamError::ProgramGeometryMismatch`] when `ram` was built for a
-    /// different geometry than the program was compiled for.
-    pub fn try_detect_batch(&self, ram: &mut LaneRam) -> Result<u64, RamError> {
+    /// [`RamError::TooManyPortOps`] when the program needs more ports
+    /// than `ram` was built with (construct the pool with
+    /// [`LaneRam::with_ports`]); [`RamError::ProgramGeometryMismatch`]
+    /// when `ram` was built for a different geometry than the program
+    /// was compiled for.
+    pub fn try_detect_batch<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+    ) -> Result<LaneChunk<K>, RamError> {
         self.check_batch_config(ram)?;
         Ok(self.detect_batch_unchecked(ram))
     }
 
     /// Rejects the whole-batch configuration errors (validated before any
     /// lane is touched, so a rejected batch has no side effects).
-    fn check_batch_config(&self, ram: &LaneRam) -> Result<(), RamError> {
-        if !self.lane_batchable() {
-            return Err(RamError::ProgramNotBatchable {
-                program: self.name.clone(),
-                ports: self.ports,
-            });
+    fn check_batch_config<const K: usize>(&self, ram: &LaneRam<K>) -> Result<(), RamError> {
+        if self.ports > ram.ports() {
+            return Err(RamError::TooManyPortOps { submitted: self.ports, ports: ram.ports() });
         }
         if ram.geometry() != self.geom {
             return Err(RamError::ProgramGeometryMismatch {
@@ -459,9 +472,10 @@ impl TestProgram {
     /// the silent-zero-coverage fix).
     fn panic_batch_config(&self, e: RamError) -> ! {
         match e {
-            RamError::ProgramNotBatchable { .. } => {
-                panic!("multi-port program '{}' cannot run lane-batched", self.name)
-            }
+            RamError::TooManyPortOps { submitted, ports } => panic!(
+                "program '{}' needs {} ports but the LaneRam was built with {}",
+                self.name, submitted, ports
+            ),
             RamError::ProgramGeometryMismatch { .. } => panic!(
                 "program '{}' was compiled for a different geometry than the LaneRam",
                 self.name
@@ -470,11 +484,13 @@ impl TestProgram {
         }
     }
 
-    fn detect_batch_unchecked(&self, ram: &mut LaneRam) -> u64 {
+    fn detect_batch_unchecked<const K: usize>(&self, ram: &mut LaneRam<K>) -> LaneChunk<K> {
         let m = self.geom.width() as usize;
         let full = ram.active_lanes();
-        let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
-        let mut detected = 0u64;
+        let mut acc = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+        let mut reads = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
+        let mut detected = LaneChunk::<K>::ZERO;
+        let mut errored = LaneChunk::<K>::ZERO;
         for op in &self.ops {
             match *op {
                 MemOp::Write { addr, data } => ram.write_broadcast(addr as usize, data),
@@ -482,18 +498,18 @@ impl TestProgram {
                 | MemOp::ReadStale { addr, expect }
                 | MemOp::ReadCapture { addr, expect } => {
                     let planes = ram.read(addr as usize);
-                    let mut diff = 0u64;
+                    let mut diff = LaneChunk::<K>::ZERO;
                     for (j, &p) in planes.iter().enumerate() {
-                        diff |= p ^ lane_broadcast(expect, j as u32);
+                        diff |= p ^ LaneChunk::broadcast(expect, j as u32);
                     }
-                    detected |= diff;
+                    detected |= diff & !errored;
                 }
                 MemOp::ReadAny { addr } => {
                     let _ = ram.read(addr as usize);
                 }
                 MemOp::AccSet { lane, value } => {
                     for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
-                        *plane = lane_broadcast(value, j as u32);
+                        *plane = LaneChunk::broadcast(value, j as u32);
                     }
                 }
                 MemOp::ReadAcc { addr, map, lane } => {
@@ -512,20 +528,97 @@ impl TestProgram {
                 MemOp::WriteAcc { addr, lane } => {
                     ram.write_planes(addr as usize, &acc[lane as usize][..m]);
                 }
-                MemOp::CycleN { .. } => unreachable!("lane_batchable excluded multi-port cycles"),
+                MemOp::CycleN { start, len } => {
+                    let slots = &self.slots[start as usize..start as usize + len as usize];
+                    errored = self.cycle_batch_ram_phase(ram, slots, &acc, &mut reads);
+                    for (port, &slot) in slots.iter().enumerate() {
+                        match slot {
+                            SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
+                            SlotOp::ReadAcc { map, lane, .. } => {
+                                let masks = &self.maps[map as usize];
+                                let a = &mut acc[lane as usize];
+                                for (j, &p) in reads[port][..m].iter().enumerate() {
+                                    let mut img = masks[j];
+                                    while img != 0 {
+                                        let i = img.trailing_zeros() as usize;
+                                        a[i] ^= p;
+                                        img &= img - 1;
+                                    }
+                                }
+                            }
+                            SlotOp::ReadExpect { expect, .. }
+                            | SlotOp::ReadStale { expect, .. }
+                            | SlotOp::ReadCapture { expect, .. } => {
+                                let mut diff = LaneChunk::<K>::ZERO;
+                                for (j, &p) in reads[port][..m].iter().enumerate() {
+                                    diff |= p ^ LaneChunk::broadcast(expect, j as u32);
+                                }
+                                detected |= diff & !errored;
+                            }
+                        }
+                    }
+                }
             }
-            if detected & full == full {
+            if (detected | errored) & full == full {
                 break;
             }
         }
         detected & full
     }
 
-    /// Runs the program against up to 64 fault trials simultaneously
-    /// **without early exit**, reporting per-lane channel counts and
-    /// feeding `observer` the bit-planes of every checked read — the lane
-    /// counterpart of [`TestProgram::execute_observed`], and the engine
-    /// batched *measurement* campaigns (MISR signature collection, fault
+    /// The ram half of one batched multi-port cycle, mirroring the scalar
+    /// [`crate::Ram::cycle_ref`] sequencing exactly: stage every write
+    /// slot's decoder claims and freeze the lanes where two writes land
+    /// on one cell (*before* any side effect), then perform all reads in
+    /// port order, then all writes in port order. Read slots' bit-planes
+    /// are buffered into `reads[port]`; write-accumulator slots take the
+    /// **pre-cycle** accumulator image, as the scalar interpreter builds
+    /// its port-op table before the cycle runs. Returns the cumulative
+    /// frozen-lane mask.
+    fn cycle_batch_ram_phase<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        slots: &[SlotOp],
+        acc: &[[LaneChunk<K>; Geometry::MAX_WIDTH as usize]; ACC_LANES],
+        reads: &mut [[LaneChunk<K>; Geometry::MAX_WIDTH as usize]; MAX_PORTS],
+    ) -> LaneChunk<K> {
+        let m = self.geom.width() as usize;
+        let mut write_addrs = [0usize; MAX_PORTS];
+        let mut nw = 0;
+        for &slot in slots {
+            if let SlotOp::Write { addr, .. } | SlotOp::WriteAcc { addr, .. } = slot {
+                write_addrs[nw] = addr as usize;
+                nw += 1;
+            }
+        }
+        let errored = ram.cycle_conflicts(&write_addrs[..nw]);
+        for (port, &slot) in slots.iter().enumerate() {
+            if let SlotOp::ReadAcc { addr, .. }
+            | SlotOp::ReadExpect { addr, .. }
+            | SlotOp::ReadStale { addr, .. }
+            | SlotOp::ReadCapture { addr, .. } = slot
+            {
+                reads[port][..m].copy_from_slice(ram.read_on_port(port, addr as usize));
+            }
+        }
+        for &slot in slots {
+            match slot {
+                SlotOp::Write { addr, data } => ram.write_broadcast(addr as usize, data),
+                SlotOp::WriteAcc { addr, lane } => {
+                    ram.write_planes(addr as usize, &acc[lane as usize][..m]);
+                }
+                _ => {}
+            }
+        }
+        errored
+    }
+
+    /// Runs the program against up to [`LaneRam::<K>::LANES`] fault
+    /// trials simultaneously **without early exit**, reporting per-lane
+    /// channel counts and feeding `observer` the bit-planes of every
+    /// checked read — the lane counterpart of
+    /// [`TestProgram::execute_observed`], and the engine batched
+    /// *measurement* campaigns (MISR signature collection, fault
     /// dictionaries) run on: the response-stream length is
     /// lane-independent, so a per-lane compactor sees exactly the stream
     /// a scalar run of that lane's fault would produce.
@@ -537,18 +630,27 @@ impl TestProgram {
     /// cycles (property-tested in `tests/batch.rs`). Returns the mask of
     /// active lanes whose trial was flagged on either channel.
     ///
+    /// Lanes frozen by a multi-port write-write conflict mirror the
+    /// scalar error-as-escape convention for the *whole* execution: the
+    /// scalar run returns `Err` and its summary is discarded, so frozen
+    /// lanes report a default [`Execution`] and are excluded from the
+    /// returned mask even if they mismatched before the conflict.
+    /// Compactors consuming the observed stream substitute the reference
+    /// observation for lanes in [`LaneRam::errored_lanes`].
+    ///
     /// # Panics
     ///
-    /// As [`TestProgram::detect_batch`]: multi-port programs and a
+    /// As [`TestProgram::detect_batch`]: a port shortfall and a
     /// geometry-mismatched `ram` are loud configuration errors
     /// ([`TestProgram::try_execute_batch_observed`] is the fallible form
-    /// this is a thin wrapper over).
-    pub fn execute_batch_observed(
+    /// this is a thin wrapper over). Also panics unless
+    /// `execs.len() == LaneRam::<K>::LANES`.
+    pub fn execute_batch_observed<const K: usize>(
         &self,
-        ram: &mut LaneRam,
-        execs: &mut [Execution; LANES],
-        observer: &mut dyn FnMut(&[u64]),
-    ) -> u64 {
+        ram: &mut LaneRam<K>,
+        execs: &mut [Execution],
+        observer: &mut dyn FnMut(&[LaneChunk<K>]),
+    ) -> LaneChunk<K> {
         self.try_execute_batch_observed(ram, execs, observer)
             .unwrap_or_else(|e| self.panic_batch_config(e))
     }
@@ -560,23 +662,28 @@ impl TestProgram {
     /// # Errors
     ///
     /// As [`TestProgram::try_detect_batch`].
-    pub fn try_execute_batch_observed(
+    pub fn try_execute_batch_observed<const K: usize>(
         &self,
-        ram: &mut LaneRam,
-        execs: &mut [Execution; LANES],
-        observer: &mut dyn FnMut(&[u64]),
-    ) -> Result<u64, RamError> {
+        ram: &mut LaneRam<K>,
+        execs: &mut [Execution],
+        observer: &mut dyn FnMut(&[LaneChunk<K>]),
+    ) -> Result<LaneChunk<K>, RamError> {
         self.check_batch_config(ram)?;
+        assert_eq!(execs.len(), LaneRam::<K>::LANES, "one execution summary per lane");
         let m = self.geom.width() as usize;
         execs.fill(Execution::default());
-        let mut acc = [[0u64; Geometry::MAX_WIDTH as usize]; ACC_LANES];
-        let mut detected = 0u64;
+        let mut acc = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+        let mut reads = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
+        let mut detected = LaneChunk::<K>::ZERO;
+        let mut errored = LaneChunk::<K>::ZERO;
         let mut ops = 0u64;
+        let mut cycles = 0u64;
         for (idx, op) in self.ops.iter().enumerate() {
             match *op {
                 MemOp::Write { addr, data } => {
                     ram.write_broadcast(addr as usize, data);
                     ops += 1;
+                    cycles += 1;
                 }
                 MemOp::ReadExpect { addr, expect }
                 | MemOp::ReadStale { addr, expect }
@@ -584,50 +691,32 @@ impl TestProgram {
                     let planes = ram.read(addr as usize);
                     observer(planes);
                     ops += 1;
-                    let mut diff = 0u64;
+                    cycles += 1;
+                    let mut diff = LaneChunk::<K>::ZERO;
                     for (j, &p) in planes.iter().enumerate() {
-                        diff |= p ^ lane_broadcast(expect, j as u32);
+                        diff |= p ^ LaneChunk::broadcast(expect, j as u32);
                     }
-                    if diff != 0 {
+                    diff &= !errored;
+                    if !diff.is_zero() {
                         let stale = matches!(op, MemOp::ReadStale { .. });
-                        let mut rest = diff;
-                        while rest != 0 {
-                            let lane = rest.trailing_zeros() as usize;
-                            rest &= rest - 1;
-                            let e = &mut execs[lane];
-                            if stale {
-                                e.stale_errors += 1;
-                            } else {
-                                e.mismatches += 1;
-                                if e.first_mismatch.is_none() {
-                                    let mut got = 0u64;
-                                    for (j, &p) in planes.iter().enumerate() {
-                                        got |= ((p >> lane) & 1) << j;
-                                    }
-                                    e.first_mismatch = Some(OpMismatch {
-                                        op_index: idx,
-                                        addr: addr as usize,
-                                        expected: expect,
-                                        got,
-                                    });
-                                }
-                            }
-                        }
+                        Self::book_lanes(execs, diff, planes, stale, idx, addr as usize, expect);
                         detected |= diff;
                     }
                 }
                 MemOp::ReadAny { addr } => {
                     let _ = ram.read(addr as usize);
                     ops += 1;
+                    cycles += 1;
                 }
                 MemOp::AccSet { lane, value } => {
                     for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
-                        *plane = lane_broadcast(value, j as u32);
+                        *plane = LaneChunk::broadcast(value, j as u32);
                     }
                 }
                 MemOp::ReadAcc { addr, map, lane } => {
                     let planes = ram.read(addr as usize);
                     ops += 1;
+                    cycles += 1;
                     let masks = &self.maps[map as usize];
                     let a = &mut acc[lane as usize];
                     for (j, &p) in planes.iter().enumerate() {
@@ -642,17 +731,98 @@ impl TestProgram {
                 MemOp::WriteAcc { addr, lane } => {
                     ram.write_planes(addr as usize, &acc[lane as usize][..m]);
                     ops += 1;
+                    cycles += 1;
                 }
-                MemOp::CycleN { .. } => unreachable!("lane_batchable excluded multi-port cycles"),
+                MemOp::CycleN { start, len } => {
+                    let slots = &self.slots[start as usize..start as usize + len as usize];
+                    errored = self.cycle_batch_ram_phase(ram, slots, &acc, &mut reads);
+                    ops += slots.iter().filter(|s| !matches!(s, SlotOp::Idle)).count() as u64;
+                    cycles += 1;
+                    for (port, &slot) in slots.iter().enumerate() {
+                        match slot {
+                            SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
+                            SlotOp::ReadAcc { map, lane, .. } => {
+                                let masks = &self.maps[map as usize];
+                                let a = &mut acc[lane as usize];
+                                for (j, &p) in reads[port][..m].iter().enumerate() {
+                                    let mut img = masks[j];
+                                    while img != 0 {
+                                        let i = img.trailing_zeros() as usize;
+                                        a[i] ^= p;
+                                        img &= img - 1;
+                                    }
+                                }
+                            }
+                            SlotOp::ReadExpect { addr, expect }
+                            | SlotOp::ReadStale { addr, expect }
+                            | SlotOp::ReadCapture { addr, expect } => {
+                                let planes = &reads[port][..m];
+                                observer(planes);
+                                let mut diff = LaneChunk::<K>::ZERO;
+                                for (j, &p) in planes.iter().enumerate() {
+                                    diff |= p ^ LaneChunk::broadcast(expect, j as u32);
+                                }
+                                diff &= !errored;
+                                if !diff.is_zero() {
+                                    let stale = matches!(slot, SlotOp::ReadStale { .. });
+                                    Self::book_lanes(
+                                        execs,
+                                        diff,
+                                        planes,
+                                        stale,
+                                        idx,
+                                        addr as usize,
+                                        expect,
+                                    );
+                                    detected |= diff;
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
-        // Single-port programs cost one cycle per read/write on every
-        // lane — identical across lanes because there is no early exit.
-        for e in execs.iter_mut() {
-            e.ops = ops;
-            e.cycles = ops;
+        // Every lane executes every op — there is no early exit — so the
+        // op/cycle totals are lane-independent. Frozen lanes report the
+        // default summary: the scalar run they mirror returned `Err` and
+        // its counts were discarded.
+        for (lane, e) in execs.iter_mut().enumerate() {
+            if errored.get(lane) {
+                *e = Execution::default();
+            } else {
+                e.ops = ops;
+                e.cycles = cycles;
+            }
         }
-        Ok(detected & ram.active_lanes())
+        Ok(detected & !errored & ram.active_lanes())
+    }
+
+    /// Per-lane mismatch bookkeeping for one checked batch read: `diff`
+    /// holds the (unfrozen) lanes whose word differed from the broadcast
+    /// expectation; each gets its channel counter bumped and, for the
+    /// mismatch channel, its first mismatch recorded with the lane's own
+    /// de-sliced word.
+    fn book_lanes<const K: usize>(
+        execs: &mut [Execution],
+        diff: LaneChunk<K>,
+        planes: &[LaneChunk<K>],
+        stale: bool,
+        op_index: usize,
+        addr: usize,
+        expected: u64,
+    ) {
+        diff.for_each_lane(|lane| {
+            let e = &mut execs[lane];
+            if stale {
+                e.stale_errors += 1;
+            } else {
+                e.mismatches += 1;
+                if e.first_mismatch.is_none() {
+                    e.first_mismatch =
+                        Some(OpMismatch { op_index, addr, expected, got: lane_word(planes, lane) });
+                }
+            }
+        });
     }
 
     /// Runs the program and reports full channel counts. With
@@ -1550,7 +1720,7 @@ mod tests {
             }
         }
         assert!(faults.len() <= 64);
-        let mut lanes = crate::LaneRam::new(geom);
+        let mut lanes: crate::LaneRam = crate::LaneRam::new(geom);
         for (lane, fault) in faults.iter().enumerate() {
             lanes.inject(fault.clone(), lane).unwrap();
         }
@@ -1559,7 +1729,7 @@ mod tests {
             let mut ram = Ram::new(geom);
             ram.inject(fault.clone()).unwrap();
             let want = prog.detect(&mut ram);
-            assert_eq!((got >> lane) & 1 == 1, want, "{fault} in lane {lane}");
+            assert_eq!(got.get(lane), want, "{fault} in lane {lane}");
         }
     }
 
@@ -1590,7 +1760,7 @@ mod tests {
             FaultKind::Transition { cell: 2, bit: 0, rising: true },
             FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, // matches the seed: escapes?
         ];
-        let mut lanes = crate::LaneRam::new(geom);
+        let mut lanes: crate::LaneRam = crate::LaneRam::new(geom);
         for (lane, fault) in faults.iter().enumerate() {
             lanes.inject(fault.clone(), lane).unwrap();
         }
@@ -1598,7 +1768,7 @@ mod tests {
         for (lane, fault) in faults.iter().enumerate() {
             let mut ram = Ram::new(geom);
             ram.inject(fault.clone()).unwrap();
-            assert_eq!((got >> lane) & 1 == 1, prog.detect(&mut ram), "{fault}");
+            assert_eq!(got.get(lane), prog.detect(&mut ram), "{fault}");
         }
     }
 
@@ -1611,7 +1781,7 @@ mod tests {
         let mut b = ProgramBuilder::new(Geometry::bom(8));
         b.read_expect(0, 1);
         let prog = b.build();
-        let mut lanes = crate::LaneRam::new(Geometry::bom(4));
+        let mut lanes: crate::LaneRam = crate::LaneRam::new(Geometry::bom(4));
         lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 0).unwrap();
         let _ = prog.detect_batch(&mut lanes);
     }
@@ -1622,7 +1792,7 @@ mod tests {
         let mut b = ProgramBuilder::new(Geometry::bom(8));
         b.read_expect(0, 1);
         let prog = b.build();
-        let mut lanes = crate::LaneRam::new(Geometry::bom(4));
+        let mut lanes: crate::LaneRam = crate::LaneRam::new(Geometry::bom(4));
         let mut execs = [Execution::default(); crate::LANES];
         let _ = prog.execute_batch_observed(&mut lanes, &mut execs, &mut |_| {});
     }
@@ -1662,7 +1832,7 @@ mod tests {
             FaultKind::DecoderExtraCell { addr: 1, extra_cell: 6 },
             FaultKind::DecoderShadow { addr: 4, instead_cell: 0 },
         ];
-        let mut lanes = crate::LaneRam::new(geom);
+        let mut lanes: crate::LaneRam = crate::LaneRam::new(geom);
         // Spread the trials over arbitrary lane positions.
         let lane_of = |i: usize| (i * 7 + 3) % crate::LANES;
         for (i, fault) in faults.iter().enumerate() {
@@ -1672,11 +1842,7 @@ mod tests {
         let mut streams: Vec<Vec<u64>> = vec![Vec::new(); crate::LANES];
         let flagged = prog.execute_batch_observed(&mut lanes, &mut execs, &mut |planes| {
             for (lane, stream) in streams.iter_mut().enumerate() {
-                let mut word = 0u64;
-                for (j, &p) in planes.iter().enumerate() {
-                    word |= ((p >> lane) & 1) << j;
-                }
-                stream.push(word);
+                stream.push(crate::batch::lane_word(planes, lane));
             }
         });
         for (i, fault) in faults.iter().enumerate() {
@@ -1689,19 +1855,161 @@ mod tests {
                 .expect("single-port run");
             assert_eq!(execs[lane], exec, "{fault}: execution summary diverged");
             assert_eq!(streams[lane], seen, "{fault}: observed stream diverged");
-            assert_eq!((flagged >> lane) & 1 == 1, exec.detected(), "{fault}");
+            assert_eq!(flagged.get(lane), exec.detected(), "{fault}");
+        }
+    }
+
+    fn dual_port_march(geom: Geometry) -> TestProgram {
+        // A dual-port March-like schedule: paired read/write cycles that
+        // sweep the array, exercising read slots and write slots on both
+        // ports, plus an accumulator slot pair.
+        let n = geom.cells();
+        let mut b = ProgramBuilder::new(geom);
+        let id = b.identity_map();
+        for a in 0..n {
+            b.write(a, 0);
+        }
+        for a in 0..n / 2 {
+            b.cycle2(
+                SlotOp::ReadExpect { addr: a as u32, expect: 0 },
+                SlotOp::Write { addr: (a + n / 2) as u32, data: 1 },
+            );
+        }
+        for a in 0..n / 2 {
+            b.cycle2(
+                SlotOp::Write { addr: a as u32, data: 1 },
+                SlotOp::ReadExpect { addr: (a + n / 2) as u32, expect: 1 },
+            );
+        }
+        b.acc_set(0);
+        b.cycle2(
+            SlotOp::ReadAcc { addr: 0, map: id, lane: 0 },
+            SlotOp::WriteAcc { addr: 1, lane: 0 }, // pre-cycle acc: writes 0
+        );
+        b.read_expect(1, 0);
+        for a in (0..n).rev() {
+            b.read_any(a);
+        }
+        b.cycle2(
+            SlotOp::ReadStale { addr: 0, expect: 1 },
+            SlotOp::ReadCapture { addr: 2, expect: 1 },
+        );
+        b.build()
+    }
+
+    #[test]
+    fn cycle_batch_matches_scalar_per_lane() {
+        // Multi-port programs batch now: per-lane verdicts, execution
+        // summaries, and observed streams must equal the scalar dual-port
+        // run for faults across the taxonomy, decoder families included.
+        let geom = Geometry::bom(8);
+        let prog = dual_port_march(geom);
+        assert!(prog.lane_batchable(), "multi-port programs batch since the CycleN arm landed");
+        let faults = [
+            FaultKind::StuckAt { cell: 5, bit: 0, value: 1 },
+            FaultKind::StuckAt { cell: 1, bit: 0, value: 0 },
+            FaultKind::Transition { cell: 2, bit: 0, rising: true },
+            FaultKind::StuckOpen { cell: 3 },
+            FaultKind::ReadDestructive { cell: 1, bit: 0 },
+            FaultKind::DeceptiveRead { cell: 6, bit: 0 },
+            FaultKind::IncorrectRead { cell: 4, bit: 0 },
+            FaultKind::WriteDisturb { cell: 7, bit: 0 },
+            FaultKind::DecoderNoAccess { addr: 2 },
+            FaultKind::DecoderExtraCell { addr: 1, extra_cell: 6 },
+            FaultKind::DecoderShadow { addr: 4, instead_cell: 0 },
+        ];
+        let mut lanes = crate::LaneRam::<1>::with_ports(geom, 2).unwrap();
+        let lane_of = |i: usize| (i * 5 + 2) % crate::LANES;
+        for (i, fault) in faults.iter().enumerate() {
+            lanes.inject(fault.clone(), lane_of(i)).unwrap();
+        }
+        let mut execs = [Execution::default(); crate::LANES];
+        let mut streams: Vec<Vec<u64>> = vec![Vec::new(); crate::LANES];
+        let flagged = prog.execute_batch_observed(&mut lanes, &mut execs, &mut |planes| {
+            for (lane, stream) in streams.iter_mut().enumerate() {
+                stream.push(crate::batch::lane_word(planes, lane));
+            }
+        });
+        for (i, fault) in faults.iter().enumerate() {
+            let lane = lane_of(i);
+            let mut ram = Ram::with_ports(geom, 2).unwrap();
+            ram.inject(fault.clone()).unwrap();
+            let mut seen = Vec::new();
+            let exec = prog
+                .execute_observed(&mut ram, false, None, &mut |v| seen.push(v))
+                .expect("dual-port run on a conflict-free schedule");
+            assert_eq!(execs[lane], exec, "{fault}: execution summary diverged");
+            assert_eq!(streams[lane], seen, "{fault}: observed stream diverged");
+            assert_eq!(flagged.get(lane), exec.detected(), "{fault}");
+        }
+        // And the detect (early-exit) channel agrees with scalar detect.
+        let mut lanes = crate::LaneRam::<1>::with_ports(geom, 2).unwrap();
+        for (i, fault) in faults.iter().enumerate() {
+            lanes.inject(fault.clone(), lane_of(i)).unwrap();
+        }
+        let got = prog.detect_batch(&mut lanes);
+        for (i, fault) in faults.iter().enumerate() {
+            let mut ram = Ram::with_ports(geom, 2).unwrap();
+            ram.inject(fault.clone()).unwrap();
+            assert_eq!(got.get(lane_of(i)), prog.detect(&mut ram), "{fault}");
         }
     }
 
     #[test]
-    #[should_panic(expected = "cannot run lane-batched")]
-    fn detect_batch_rejects_multi_port_programs() {
+    fn cycle_batch_write_conflicts_escape_like_scalar() {
+        // A decoder shadow can fold a dual-port cycle's two writes onto
+        // one cell: the scalar device errors (escape); the batch freezes
+        // that lane and reports the same escape, while a healthy lane
+        // with a detectable fault is still flagged.
+        let geom = Geometry::bom(8);
+        let mut b = ProgramBuilder::new(geom);
+        b.write(6, 0);
+        b.cycle2(SlotOp::Write { addr: 3, data: 1 }, SlotOp::Write { addr: 4, data: 1 });
+        b.read_expect(3, 1);
+        b.read_expect(6, 0);
+        let prog = b.build();
+        let shadow = FaultKind::DecoderShadow { addr: 4, instead_cell: 3 };
+        let stuck = FaultKind::StuckAt { cell: 6, bit: 0, value: 1 };
+        let mut lanes = crate::LaneRam::<1>::with_ports(geom, 2).unwrap();
+        lanes.inject(shadow.clone(), 9).unwrap();
+        lanes.inject(stuck.clone(), 20).unwrap();
+        let got = prog.detect_batch(&mut lanes);
+        let scalar = |fault: &FaultKind| {
+            let mut ram = Ram::with_ports(geom, 2).unwrap();
+            ram.inject(fault.clone()).unwrap();
+            prog.detect(&mut ram)
+        };
+        assert!(!scalar(&shadow), "scalar conflict is an escape");
+        assert!(!got.get(9), "conflicting lane escapes like scalar");
+        assert!(scalar(&stuck));
+        assert!(got.get(20), "healthy lanes keep detecting");
+        assert_eq!(lanes.errored_lanes(), LaneChunk::single(9));
+        // Observed form: the frozen lane's summary is the default one,
+        // exactly as the scalar Err discards its counts.
+        let mut lanes = crate::LaneRam::<1>::with_ports(geom, 2).unwrap();
+        lanes.inject(shadow, 9).unwrap();
+        lanes.inject(stuck, 20).unwrap();
+        let mut execs = [Execution::default(); crate::LANES];
+        let flagged = prog.execute_batch_observed(&mut lanes, &mut execs, &mut |_| {});
+        assert!(!flagged.get(9));
+        assert!(flagged.get(20));
+        assert_eq!(execs[9], Execution::default());
+        assert!(execs[20].detected());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2 ports")]
+    fn detect_batch_port_shortfall_is_loud() {
+        // A whole batch on an under-ported pool is a configuration error,
+        // surfaced loudly like the geometry mismatch (the scalar path
+        // treats TooManyPortOps per trial as an escape; a batch would
+        // silently report 0% coverage).
         let geom = Geometry::bom(4);
         let mut b = ProgramBuilder::new(geom);
         b.cycle2(SlotOp::ReadExpect { addr: 0, expect: 0 }, SlotOp::Idle);
         let prog = b.build();
-        assert!(!prog.lane_batchable());
-        let _ = prog.detect_batch(&mut crate::LaneRam::new(geom));
+        assert!(prog.lane_batchable());
+        let _ = prog.detect_batch::<1>(&mut crate::LaneRam::new(geom));
     }
 
     #[test]

@@ -240,7 +240,7 @@ proptest! {
         lane in 0usize..64,
         witness in 0usize..64,
     ) {
-        use prt_ram::{is_lane_batchable, LaneRam, UniverseSpec, FaultUniverse};
+        use prt_ram::{is_lane_batchable, lane_word, LaneRam, UniverseSpec, FaultUniverse};
         let geom = Geometry::wom(8, 4).unwrap();
         let spec = UniverseSpec {
             coupling_radius: Some(3), intra_word: true, ..UniverseSpec::paper_claim()
@@ -255,11 +255,9 @@ proptest! {
         let mut scalar = Ram::new(geom);
         scalar.inject(fault.clone()).unwrap();
         let mut healthy = Ram::new(geom);
-        let mut lanes = LaneRam::new(geom);
+        let mut lanes: LaneRam = LaneRam::new(geom);
         lanes.inject(fault.clone(), lane).unwrap();
-        let pick = |planes: &[u64], l: usize| -> u64 {
-            planes.iter().enumerate().fold(0, |w, (j, p)| w | (((p >> l) & 1) << j))
-        };
+        let pick = lane_word::<1>;
         for act in &actions {
             match *act {
                 Action::Read(a) => {

@@ -85,7 +85,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 use prt_ram::{
-    is_lane_batchable, FaultKind, FaultUniverse, Geometry, LaneRam, Ram, TestProgram, LANES,
+    is_lane_batchable, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, Ram, TestProgram,
 };
 
 #[cfg(any(test, feature = "chaos"))]
@@ -136,6 +136,51 @@ const AUTO_PARALLEL_THRESHOLD: usize = 512;
 /// costs (early-exit makes detected faults much cheaper than escapes),
 /// large enough to amortise the shared-counter traffic.
 const MAX_CHUNK: usize = 64;
+
+/// How many trial lanes one batched interpreter pass carries — the
+/// campaign-facing selector for the const-generic [`LaneRam`] chunk
+/// width. Wider chunks amortise the per-pass interpreter walk over more
+/// trials and give the plane loops whole `[u64; K]` words to
+/// auto-vectorise; narrow chunks waste less work on small universes.
+/// Verdicts, reports and checkpoints are bit-identical at every width
+/// (property-tested in `tests/batch.rs` and `tests/resilience.rs`), so
+/// the width — like the thread count — is a pure throughput knob and is
+/// deliberately excluded from the checkpoint fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneWidth {
+    /// One `u64` of lanes: 64 trials per pass (the PR-4 baseline).
+    X64,
+    /// `[u64; 4]` chunks: 256 trials per pass.
+    X256,
+    /// `[u64; 8]` chunks: 512 trials per pass (the default — ≈3× the
+    /// 64-lane throughput on large arrays, where per-pass dispatch
+    /// dominates and wide chunks amortise it; small universes with
+    /// mostly-empty chunks run somewhat faster at `X64`, see
+    /// `BENCH_campaign.json`).
+    #[default]
+    X512,
+}
+
+impl LaneWidth {
+    /// Trial lanes per batched interpreter pass at this width.
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::X64 => LaneRam::<1>::LANES,
+            LaneWidth::X256 => LaneRam::<4>::LANES,
+            LaneWidth::X512 => LaneRam::<8>::LANES,
+        }
+    }
+
+    /// The short schema label bench writers record (`"64"`, `"256"`,
+    /// `"512"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneWidth::X64 => "64",
+            LaneWidth::X256 => "256",
+            LaneWidth::X512 => "512",
+        }
+    }
+}
 
 /// How a campaign distributes its trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -591,25 +636,23 @@ fn validate_ports(geom: Geometry, ports: usize) -> Result<(), CampaignError> {
 }
 
 /// The lane-sliced form of [`map_trials`] for per-fault measurement
-/// campaigns: batchable faults are packed [`LANES`] per [`LaneRam`] and
-/// measured by one `batch_trial` pass per batch; any scalar-only
-/// remainder (future [`is_lane_batchable`] opt-outs) runs through
-/// `scalar_trial` on pooled [`Ram`]s. Results land by **fault index**, so
-/// the output is deterministic and identical for any parallelism policy —
-/// and, when the two trial functions measure the same thing (the contract
-/// callers are property-tested against), identical to the all-scalar
-/// [`map_trials`] sweep.
+/// campaigns: batchable faults are packed `LaneRam::<K>::LANES` per
+/// [`LaneRam`] chunk and measured by one `batch_trial` pass per batch;
+/// any scalar-only remainder (future [`is_lane_batchable`] opt-outs)
+/// runs through `scalar_trial` on pooled [`Ram`]s. Results land by
+/// **fault index**, so the output is deterministic and identical for any
+/// parallelism policy *and any lane width* — and, when the two trial
+/// functions measure the same thing (the contract callers are
+/// property-tested against), identical to the all-scalar [`map_trials`]
+/// sweep.
 ///
-/// `batch_trial` receives a healed, zero-reset [`LaneRam`] whose lanes
-/// `0..k` carry the batch's faults in index order and must push exactly
-/// one result per injected lane, in lane order (checked). `scalar_trial`
-/// receives the fault's universe index and a pooled memory with the fault
-/// **already injected** (unlike the raw [`map_trials`], which hands the
-/// closure a pristine device).
-///
-/// Callers remain responsible for only routing measurements that *can*
-/// batch — e.g. `prt-diag` dictionary builds fall back to [`map_trials`]
-/// entirely when the diagnostic program is multi-port.
+/// `batch_trial` receives a healed, zero-reset [`LaneRam`] (pooled with
+/// `ports` ports, so multi-port measurement programs batch too) whose
+/// lanes `0..k` carry the batch's faults in index order and must push
+/// exactly one result per injected lane, in lane order (checked).
+/// `scalar_trial` receives the fault's universe index and a pooled
+/// memory with the fault **already injected** (unlike the raw
+/// [`map_trials`], which hands the closure a pristine device).
 ///
 /// # Panics
 ///
@@ -619,7 +662,7 @@ fn validate_ports(geom: Geometry, ports: usize) -> Result<(), CampaignError> {
 /// injected lane" phrase), a caught scalar panic resumes with its
 /// original payload. A *batch* panic does not surface here at all — it
 /// degrades to the scalar oracle (see the fallible form).
-pub fn map_trials_batched<T, FB, FS>(
+pub fn map_trials_batched<const K: usize, T, FB, FS>(
     geom: Geometry,
     ports: usize,
     faults: &[FaultKind],
@@ -629,7 +672,7 @@ pub fn map_trials_batched<T, FB, FS>(
 ) -> Vec<T>
 where
     T: Send + Sync,
-    FB: Fn(&mut LaneRam, &mut Vec<T>) + Sync,
+    FB: Fn(&mut LaneRam<K>, &mut Vec<T>) + Sync,
     FS: Fn(usize, &mut Ram) -> T + Sync,
 {
     try_map_trials_batched(geom, ports, faults, parallelism, batch_trial, scalar_trial)
@@ -651,7 +694,7 @@ where
 /// [`CampaignError::WorkerPanic`] when a *scalar* trial panicked
 /// (including a degraded retry — a batch that fails both engines is a
 /// real failure, not a batching artifact).
-pub fn try_map_trials_batched<T, FB, FS>(
+pub fn try_map_trials_batched<const K: usize, T, FB, FS>(
     geom: Geometry,
     ports: usize,
     faults: &[FaultKind],
@@ -661,10 +704,11 @@ pub fn try_map_trials_batched<T, FB, FS>(
 ) -> Result<(Vec<T>, usize), CampaignError>
 where
     T: Send + Sync,
-    FB: Fn(&mut LaneRam, &mut Vec<T>) + Sync,
+    FB: Fn(&mut LaneRam<K>, &mut Vec<T>) + Sync,
     FS: Fn(usize, &mut Ram) -> T + Sync,
 {
     validate_ports(geom, ports)?;
+    let lanes_per = LaneRam::<K>::LANES;
     let mut batched: Vec<usize> = Vec::new();
     let mut rest: Vec<usize> = Vec::new();
     for (i, fault) in faults.iter().enumerate() {
@@ -674,14 +718,14 @@ where
             rest.push(i);
         }
     }
-    let n_batches = batched.len().div_ceil(LANES);
+    let n_batches = batched.len().div_ceil(lanes_per);
     let results: Vec<OnceLock<T>> = (0..faults.len()).map(|_| OnceLock::new()).collect();
     let degraded = AtomicUsize::new(0);
     let panic_slot: PanicSlot = Mutex::new(None);
     let error_slot: Mutex<Option<CampaignError>> = Mutex::new(None);
     let failed = AtomicBool::new(false);
-    let run_batch = |b: usize, ram: &mut LaneRam, out: &mut Vec<T>| {
-        let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
+    let run_batch = |b: usize, ram: &mut LaneRam<K>, out: &mut Vec<T>| {
+        let lanes = &batched[b * lanes_per..((b + 1) * lanes_per).min(batched.len())];
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             ram.eject_faults();
             ram.reset_to(0);
@@ -743,7 +787,7 @@ where
     let workers = parallelism.workers(batched.len()).min(n_batches.max(1));
     let next = AtomicUsize::new(0);
     let batch_worker = || {
-        let mut ram = LaneRam::new(geom);
+        let mut ram = LaneRam::<K>::with_ports(geom, ports).expect("valid port count");
         let mut out = Vec::new();
         loop {
             if failed.load(Ordering::Relaxed) {
@@ -801,6 +845,7 @@ pub struct Campaign<'a, R> {
     ports: usize,
     parallelism: Parallelism,
     lane_batching: bool,
+    lane_width: LaneWidth,
     name: String,
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
@@ -860,6 +905,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             ports: 1,
             parallelism: Parallelism::Auto,
             lane_batching: true,
+            lane_width: LaneWidth::default(),
             name: "campaign".to_string(),
             deadline: None,
             cancel: None,
@@ -895,16 +941,25 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     }
 
     /// Enables or disables the lane-sliced batch path (default enabled).
-    /// With batching on, a campaign whose runner exposes a single-port
-    /// compiled program for every background
-    /// ([`FaultRunner::batch_program`]) evaluates its universe in
-    /// lanes-of-64, up to 64 trials per interpreter pass — the partition
-    /// predicate has shrunk to "multi-port program only", since every
-    /// modelled fault family now batches; verdicts are bit-identical to
-    /// the scalar path either way. Disable to measure or
-    /// differential-test the scalar engine.
+    /// With batching on, a campaign whose runner exposes a compiled
+    /// program for every background ([`FaultRunner::batch_program`])
+    /// evaluates its universe in lane chunks —
+    /// [`LaneWidth::lanes`] trials per interpreter pass. There is no
+    /// scalar remainder left: every modelled fault family and every
+    /// program, multi-port π schedules included, batches; verdicts are
+    /// bit-identical to the scalar path either way. Disable to measure
+    /// or differential-test the scalar engine.
     pub fn with_lane_batching(mut self, enabled: bool) -> Campaign<'a, R> {
         self.lane_batching = enabled;
+        self
+    }
+
+    /// Selects the lane-chunk width for the batched path (default
+    /// [`LaneWidth::X512`]). A pure throughput knob: the verdict table,
+    /// reports and checkpoints are bit-identical at every width, so
+    /// checkpoints taken at one width resume correctly at another.
+    pub fn with_lane_width(mut self, width: LaneWidth) -> Campaign<'a, R> {
+        self.lane_width = width;
         self
     }
 
@@ -1086,7 +1141,19 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             let ctx =
                 DriveCtx { table: &table, done: &done, control: &control, degraded: &degraded };
             let outcome = match &plan {
-                Some(programs) => self.drive_segment_batched(cursor, seg_end, programs, &ctx),
+                // The chunk width is a const generic: monomorphise the
+                // batched driver per width and dispatch on the knob.
+                Some(programs) => match self.lane_width {
+                    LaneWidth::X64 => {
+                        self.drive_segment_batched::<1>(cursor, seg_end, programs, &ctx)
+                    }
+                    LaneWidth::X256 => {
+                        self.drive_segment_batched::<4>(cursor, seg_end, programs, &ctx)
+                    }
+                    LaneWidth::X512 => {
+                        self.drive_segment_batched::<8>(cursor, seg_end, programs, &ctx)
+                    }
+                },
                 None => self.drive_scalar_prefix(cursor, seg_end, &ctx),
             };
             while cursor < seg_end && done[cursor].load(Ordering::Relaxed) {
@@ -1121,8 +1188,10 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// table: geometry, ports, backgrounds, the fault universe and the
     /// compiled program per background. The **schedule** is fingerprinted
     /// only by its discipline name — verdict slots are keyed by fault
-    /// index, so thread count, chunking and lane packing never change the
-    /// table and a checkpoint resumes correctly at any parallelism.
+    /// index, so thread count, chunking, lane packing and the lane-chunk
+    /// width ([`LaneWidth`]) never change the table: a checkpoint taken
+    /// at 64 lanes resumes correctly at 512 and vice versa, which is why
+    /// the width is deliberately **not** hashed here.
     fn fingerprint(&self) -> u64 {
         let mut fp = FingerprintBuilder::new();
         fp.push_str("prt-sim/campaign/v1");
@@ -1221,20 +1290,25 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     }
 
     /// Lane-batched fan-out over the segment `[start, end)`: batchable
-    /// faults are packed [`LANES`] per [`LaneRam`] (one interpreter pass
-    /// per batch per background, with the cross-background early exit
-    /// per lane), any scalar-only remainder runs through
-    /// [`Campaign::drive_scalar`]. A batch whose interpreter pass
-    /// panics **degrades**: its faults retry one-by-one on the scalar
-    /// oracle and the degradation counter is bumped — only a retry that
-    /// also fails poisons the run.
-    fn drive_segment_batched(
+    /// faults are packed `LaneRam::<K>::LANES` per [`LaneRam`] chunk (one
+    /// interpreter pass per batch per background, with the
+    /// cross-background early exit per lane), any scalar-only remainder
+    /// runs through [`Campaign::drive_scalar`]. Workers claim **whole
+    /// chunks** from a shared counter, so the thread fan-out composes
+    /// with the lane width (threads × lanes trials in flight) while
+    /// verdicts stay keyed by fault index — bit-identical at any thread
+    /// count and any width. A batch whose interpreter pass panics
+    /// **degrades**: its faults retry one-by-one on the scalar oracle
+    /// and the degradation counter is bumped — only a retry that also
+    /// fails poisons the run.
+    fn drive_segment_batched<const K: usize>(
         &self,
         start: usize,
         end: usize,
         programs: &[&TestProgram],
         ctx: &DriveCtx<'_>,
     ) -> SegmentOutcome {
+        let lanes_per = LaneRam::<K>::LANES;
         let mut batched: Vec<usize> = Vec::new();
         let mut rest: Vec<usize> = Vec::new();
         for i in start..end {
@@ -1244,13 +1318,13 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                 rest.push(i);
             }
         }
-        let n_batches = batched.len().div_ceil(LANES);
+        let n_batches = batched.len().div_ceil(lanes_per);
         let next = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
         let panic_slot: PanicSlot = Mutex::new(None);
         let stop_slot: Mutex<Option<StopCause>> = Mutex::new(None);
-        let run_batch = |b: usize, ram: &mut LaneRam| {
-            let lanes = &batched[b * LANES..((b + 1) * LANES).min(batched.len())];
+        let run_batch = |b: usize, ram: &mut LaneRam<K>| {
+            let lanes = &batched[b * lanes_per..((b + 1) * lanes_per).min(batched.len())];
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 self.chaos_batch(lanes[0]);
                 ram.eject_faults();
@@ -1259,7 +1333,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                     ram.inject(self.faults[fi].clone(), lane).expect("campaign faults are valid");
                 }
                 let full = ram.active_lanes();
-                let mut detected = 0u64;
+                let mut detected = LaneChunk::<K>::ZERO;
                 for (bi, program) in programs.iter().enumerate() {
                     if bi > 0 {
                         // The per-fault early exit across backgrounds,
@@ -1276,7 +1350,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             match attempt {
                 Ok(detected) => {
                     for (lane, &fi) in lanes.iter().enumerate() {
-                        ctx.table[fi].store((detected >> lane) & 1 == 1, Ordering::Relaxed);
+                        ctx.table[fi].store(detected.get(lane), Ordering::Relaxed);
                         ctx.done[fi].store(true, Ordering::Relaxed);
                     }
                 }
@@ -1308,7 +1382,8 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         };
         let workers = self.parallelism.workers(batched.len()).min(n_batches.max(1));
         let worker = || {
-            let mut ram = LaneRam::new(self.geom);
+            let mut ram =
+                LaneRam::<K>::with_ports(self.geom, self.ports).expect("valid port count");
             loop {
                 if panicked.load(Ordering::Relaxed) {
                     break;
@@ -1347,8 +1422,11 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     }
 
     /// The compiled programs (one per background) to batch with, when the
-    /// campaign is eligible: batching enabled, every background resolves
-    /// to a program, and every program is single-port on this geometry.
+    /// campaign is eligible: batching enabled and every background
+    /// resolves to a program on this geometry. Multi-port programs are
+    /// no longer special-cased — the batch interpreter runs `CycleN`
+    /// schedules natively; [`TestProgram::lane_batchable`] is consulted
+    /// only as the opt-out seam (always `true` today).
     fn batch_plan(&self) -> Option<Vec<&TestProgram>> {
         if !self.lane_batching {
             return None;
@@ -1684,7 +1762,7 @@ mod tests {
                 |lanes: &mut LaneRam, out: &mut Vec<bool>| {
                     let verdicts = prog.detect_batch(lanes);
                     for lane in 0..lanes.active_lanes().count_ones() as usize {
-                        out.push((verdicts >> lane) & 1 == 1);
+                        out.push(verdicts.get(lane));
                     }
                 },
                 |_, ram| prog.detect(ram),
@@ -1818,15 +1896,29 @@ mod tests {
     }
 
     #[test]
-    fn multi_port_programs_stay_on_the_scalar_path() {
+    fn multi_port_programs_batch_too() {
+        // Multi-port π schedules used to fall through to the scalar
+        // remainder; the CycleN batch interpreter now covers them, so the
+        // batch plan claims every fault and the verdicts still match the
+        // scalar engine.
         let geom = Geometry::bom(4);
         let mut b = prt_ram::ProgramBuilder::new(geom);
-        b.cycle2(prt_ram::SlotOp::ReadExpect { addr: 0, expect: 0 }, prt_ram::SlotOp::Idle);
+        b.cycle2(
+            prt_ram::SlotOp::ReadExpect { addr: 0, expect: 0 },
+            prt_ram::SlotOp::Write { addr: 2, data: 1 },
+        );
+        b.cycle2(prt_ram::SlotOp::ReadExpect { addr: 2, expect: 1 }, prt_ram::SlotOp::Idle);
         let prog = b.build();
-        let faults = [FaultKind::StuckAt { cell: 0, bit: 0, value: 1 }];
+        let faults = [
+            FaultKind::StuckAt { cell: 0, bit: 0, value: 1 },
+            FaultKind::StuckAt { cell: 3, bit: 0, value: 1 },
+        ];
         let c = Campaign::over(geom, &faults, &prog).with_ports(2);
-        assert!(c.batch_plan().is_none(), "dual-port programs cannot batch");
-        assert_eq!(c.detections(), vec![true]);
+        let plan = c.batch_plan().expect("dual-port programs batch now");
+        assert_eq!(plan.len(), 1, "one background, one compiled program");
+        assert_eq!(c.detections(), vec![true, false]);
+        let scalar = Campaign::over(geom, &faults, &prog).with_ports(2).with_lane_batching(false);
+        assert_eq!(scalar.detections(), vec![true, false]);
     }
 
     #[test]

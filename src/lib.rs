@@ -48,11 +48,12 @@ pub mod prelude {
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
-        is_lane_batchable, CouplingTrigger, FaultKind, FaultUniverse, Geometry, LaneRam, PortOp,
-        ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec, LANES,
+        is_lane_batchable, lane_word, CouplingTrigger, FaultKind, FaultUniverse, Geometry,
+        LaneChunk, LaneRam, PortOp, ProgramBuilder, Ram, RamError, SplitMix64, TestProgram,
+        UniverseSpec, LANES,
     };
     pub use prt_sim::{
         Campaign, CampaignError, CancelToken, CheckpointError, CoverageReport, FaultRunner,
-        Parallelism, PartialCoverage, ProgramBank, StopCause,
+        LaneWidth, Parallelism, PartialCoverage, ProgramBank, StopCause,
     };
 }

@@ -30,9 +30,17 @@ fn mixed_universe(geom: Geometry) -> FaultUniverse {
     FaultUniverse::enumerate(geom, &spec)
 }
 
+/// Thread count for the batch differential sweeps: `PRT_TEST_THREADS`
+/// overrides the proptest-chosen count, so CI pins every sweep to a fixed
+/// multi-worker configuration (the thread-count-invariance guard).
+fn test_threads(chosen: usize) -> usize {
+    std::env::var("PRT_TEST_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(chosen)
+}
+
 /// Batched (given thread count) vs scalar-sequential verdicts of the same
 /// campaign must be identical.
 fn assert_batch_equals_scalar(universe: &FaultUniverse, program: &TestProgram, threads: usize) {
+    let threads = test_threads(threads);
     let backgrounds = [program.background().unwrap_or(0)];
     let scalar = Campaign::new(universe, program)
         .with_backgrounds(&backgrounds)
@@ -94,6 +102,7 @@ proptest! {
         let ex = Executor::new().stop_at_first_mismatch();
         let bgs = prt_march::coverage::standard_backgrounds(4);
         let bank = prt_march::coverage::compile_bank(test, geom, &ex, &bgs);
+        let threads = test_threads(threads);
         let scalar = Campaign::new(&u, &bank)
             .with_backgrounds(&bgs)
             .with_lane_batching(false)
@@ -159,9 +168,11 @@ proptest! {
         assert_batch_equals_scalar(&u, &program, threads);
     }
 
-    /// Any lane position: a single batchable fault placed in an arbitrary
-    /// lane of an otherwise empty `LaneRam` yields exactly the scalar
-    /// verdict in exactly that lane — and nothing anywhere else.
+    /// Any lane position, any chunk width: a single batchable fault placed
+    /// in an arbitrary lane of an otherwise empty `LaneRam<K>` yields
+    /// exactly the scalar verdict in exactly that lane — and nothing
+    /// anywhere else. K = 1 probes the original 64-lane path; K = 8 probes
+    /// the same fault in a high word of the 512-lane chunk.
     #[test]
     fn any_lane_position_matches_scalar(
         fault_pick in 0usize..100_000,
@@ -169,6 +180,22 @@ proptest! {
         test_idx in 0usize..15,
         n in 2usize..12,
     ) {
+        fn check_at<const K: usize>(
+            program: &TestProgram,
+            fault: &FaultKind,
+            lane: usize,
+            want: bool,
+        ) {
+            let mut lanes = LaneRam::<K>::new(program.geometry());
+            lanes.inject(fault.clone(), lane).expect("inject");
+            let got = program.detect_batch(&mut lanes);
+            assert_eq!(got.get(lane), want, "{fault} in lane {lane} (K={K})");
+            assert_eq!(
+                got & !LaneChunk::single(lane),
+                LaneChunk::<K>::ZERO,
+                "inactive lanes must stay silent (K={K})"
+            );
+        }
         let geom = Geometry::wom(n, 4).expect("geometry");
         let batchable: Vec<FaultKind> = mixed_universe(geom)
             .faults()
@@ -180,14 +207,43 @@ proptest! {
         let tests = march_library::all();
         let test = &tests[test_idx % tests.len()];
         let program = Executor::new().stop_at_first_mismatch().compile(test, geom);
-        let mut lanes = LaneRam::new(geom);
-        lanes.inject(fault.clone(), lane).expect("inject");
-        let got = program.detect_batch(&mut lanes);
         let mut scalar = Ram::new(geom);
         scalar.inject(fault.clone()).expect("inject");
         let want = program.detect(&mut scalar);
-        prop_assert_eq!((got >> lane) & 1 == 1, want, "{} in lane {}", &fault, lane);
-        prop_assert_eq!(got & !(1u64 << lane), 0, "inactive lanes must stay silent");
+        check_at::<1>(&program, &fault, lane, want);
+        check_at::<8>(&program, &fault, lane + 7 * LANES, want);
+    }
+
+    /// WIDTH INVARIANCE: the campaign verdict table is bit-identical at
+    /// every lane-chunk width (64 ≡ 256 ≡ 512 ≡ scalar), for random March
+    /// programs, geometries and thread counts.
+    #[test]
+    fn campaign_verdicts_invariant_across_lane_widths(
+        test_idx in 0usize..15,
+        n in 2usize..12,
+        wom in any::<bool>(),
+        threads in 1usize..5,
+    ) {
+        let geom = if wom { Geometry::wom(n, 4).expect("geometry") } else { Geometry::bom(n) };
+        let u = mixed_universe(geom);
+        let tests = march_library::all();
+        let test = &tests[test_idx % tests.len()];
+        let program = Executor::new().stop_at_first_mismatch().compile(test, geom);
+        let scalar = Campaign::new(&u, &program)
+            .with_lane_batching(false)
+            .with_parallelism(Parallelism::Sequential)
+            .detections();
+        let threads = test_threads(threads);
+        for width in [LaneWidth::X64, LaneWidth::X256, LaneWidth::X512] {
+            let batched = Campaign::new(&u, &program)
+                .with_lane_width(width)
+                .with_parallelism(Parallelism::Threads(threads))
+                .detections();
+            prop_assert_eq!(
+                &scalar, &batched,
+                "{} lanes={} threads={}", test.name(), width.lanes(), threads
+            );
+        }
     }
 }
 
@@ -197,13 +253,30 @@ proptest! {
     /// BATCHED MEASUREMENT ≡ SCALAR MEASUREMENT: `map_trials_batched`
     /// signature collection must reproduce, per fault index, the exact
     /// MISR signature and execution summary the scalar `collect` path
-    /// measures — for random March programs, sizes and thread counts.
+    /// measures — for random March programs, sizes and thread counts, at
+    /// every lane-chunk width.
     #[test]
     fn signature_map_batched_equals_scalar(
         test_idx in 0usize..15,
         n in 2usize..10,
         threads in 1usize..5,
     ) {
+        fn batched_at<const K: usize>(
+            geom: Geometry,
+            u: &FaultUniverse,
+            collector: &SignatureCollector,
+            program: &TestProgram,
+            threads: usize,
+        ) -> Vec<Observation> {
+            prt_sim::map_trials_batched::<K, _, _, _>(
+                geom,
+                1,
+                u.faults(),
+                Parallelism::Threads(threads),
+                |lanes, out| collector.collect_batch(program, lanes, out),
+                |_, ram| collector.collect(program, ram).expect("single-port run"),
+            )
+        }
         let geom = Geometry::bom(n);
         let u = mixed_universe(geom);
         let tests = march_library::all();
@@ -211,24 +284,84 @@ proptest! {
         let program = Executor::new().compile(test, geom);
         let collector = SignatureCollector::new(&program, Poly2::from_bits(0b1_0001_1011))
             .expect("collector");
+        let threads = test_threads(threads);
         let scalar: Vec<Observation> =
             prt_sim::map_trials(geom, 1, u.len(), Parallelism::Sequential, |i, ram| {
                 ram.inject(u.faults()[i].clone()).expect("valid");
                 collector.collect(&program, ram).expect("single-port run")
             });
-        let batched: Vec<Observation> = prt_sim::map_trials_batched(
-            geom,
-            1,
-            u.faults(),
-            Parallelism::Threads(threads),
-            |lanes, out| collector.collect_batch(&program, lanes, out),
-            |_, ram| collector.collect(&program, ram).expect("single-port run"),
-        );
-        for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
-            prop_assert_eq!(
-                s, b,
-                "{}: observation diverged on {} (threads={})",
-                test.name(), &u.faults()[i], threads
+        for (lanes, batched) in [
+            (64usize, batched_at::<1>(geom, &u, &collector, &program, threads)),
+            (256, batched_at::<4>(geom, &u, &collector, &program, threads)),
+            (512, batched_at::<8>(geom, &u, &collector, &program, threads)),
+        ] {
+            for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+                prop_assert_eq!(
+                    s, b,
+                    "{}: observation diverged on {} (lanes={}, threads={})",
+                    test.name(), &u.faults()[i], lanes, threads
+                );
+            }
+        }
+    }
+}
+
+/// MULTI-PORT BATCH ≡ INTERPRETED ORACLE: the batched campaign verdicts
+/// of the compiled dual- and quad-port π programs must match the
+/// interpreted runners (`run_dual_port` / `run_quad_port`) fault for
+/// fault — device errors (multi-port write-write conflicts under decoder
+/// faults) escape on both sides. This is the acceptance property of the
+/// `CycleN` batch interpreter: multi-port schedules used to be the whole
+/// scalar remainder.
+#[test]
+fn multi_port_batch_matches_interpreted_oracle() {
+    let pi = PiTest::new(gf16(), &[1, 2, 2], &[3, 7]).expect("config");
+    let geom = Geometry::wom(12, 4).expect("geometry");
+    let u = mixed_universe(geom);
+
+    let dual = pi.compile_dual_port(geom, None).expect("compile dual");
+    let dual_oracle: Vec<bool> = u
+        .faults()
+        .iter()
+        .map(|f| {
+            let mut ram = Ram::with_ports(geom, 2).expect("ports");
+            ram.inject(f.clone()).expect("inject");
+            pi.run_dual_port(&mut ram).map(|r| r.detected()).unwrap_or(false)
+        })
+        .collect();
+    let quad = pi.compile_quad_port(geom).expect("compile quad");
+    let quad_oracle: Vec<bool> = u
+        .faults()
+        .iter()
+        .map(|f| {
+            let mut ram = Ram::with_ports(geom, 4).expect("ports");
+            ram.inject(f.clone()).expect("inject");
+            pi.run_quad_port(&mut ram).map(|r| r.detected()).unwrap_or(false)
+        })
+        .collect();
+    for threads in [1usize, 4] {
+        for width in [LaneWidth::X64, LaneWidth::X512] {
+            let got = Campaign::over(geom, u.faults(), &dual)
+                .with_ports(2)
+                .with_lane_width(width)
+                .with_parallelism(Parallelism::Threads(threads))
+                .detections();
+            assert_eq!(
+                dual_oracle,
+                got,
+                "dual-port verdicts diverged (lanes={}, threads={threads})",
+                width.lanes()
+            );
+            let got = Campaign::over(geom, u.faults(), &quad)
+                .with_ports(4)
+                .with_lane_width(width)
+                .with_parallelism(Parallelism::Threads(threads))
+                .detections();
+            assert_eq!(
+                quad_oracle,
+                got,
+                "quad-port verdicts diverged (lanes={}, threads={threads})",
+                width.lanes()
             );
         }
     }
@@ -243,7 +376,7 @@ fn full_universe_is_entirely_batchable() {
     for fault in u.faults() {
         assert!(is_lane_batchable(fault), "{fault} should batch");
     }
-    let mut lanes = LaneRam::new(u.geometry());
+    let mut lanes: LaneRam = LaneRam::new(u.geometry());
     for (lane, fault) in u.faults().iter().take(LANES).enumerate() {
         lanes.inject(fault.clone(), lane).expect("every family injects");
     }
@@ -256,7 +389,7 @@ fn full_universe_is_entirely_batchable() {
 #[should_panic(expected = "different geometry")]
 fn geometry_mismatched_detect_batch_is_loud() {
     let program = Executor::new().compile(&march_library::march_c_minus(), Geometry::bom(16));
-    let mut lanes = LaneRam::new(Geometry::bom(8));
+    let mut lanes: LaneRam = LaneRam::new(Geometry::bom(8));
     lanes.inject(FaultKind::StuckAt { cell: 0, bit: 0, value: 0 }, 0).expect("inject");
     let _ = program.detect_batch(&mut lanes);
 }
