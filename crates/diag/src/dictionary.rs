@@ -111,11 +111,23 @@ pub struct FaultDictionary {
 /// observations are keyed by universe index, so a checkpoint resumes
 /// correctly at any thread count.
 fn dictionary_fingerprint(universe: &FaultUniverse, program: &TestProgram, poly: Poly2) -> u64 {
+    fingerprint_parts(universe.geometry(), universe.faults(), program, poly)
+}
+
+/// [`dictionary_fingerprint`] over the raw parts, so an already-built
+/// dictionary (which owns its fault list) can re-derive its own
+/// fingerprint for [`FaultDictionary::persist`].
+fn fingerprint_parts(
+    geom: Geometry,
+    faults: &[FaultKind],
+    program: &TestProgram,
+    poly: Poly2,
+) -> u64 {
     let mut fp = FingerprintBuilder::new();
     fp.push_str("prt-diag/dictionary/v1");
-    fp.push_debug(&universe.geometry());
-    fp.push_u64(universe.len() as u64);
-    for fault in universe.faults() {
+    fp.push_debug(&geom);
+    fp.push_u64(faults.len() as u64);
+    for fault in faults {
         fp.push_debug(fault);
     }
     fp.push_debug(program);
@@ -446,6 +458,104 @@ impl FaultDictionary {
             stats,
             prefix_bits: None,
         })
+    }
+
+    /// Fingerprint of everything that determines a dictionary's
+    /// observation table: geometry, the fault universe, the compiled
+    /// diagnostic program and the MISR polynomial. Two builds with equal
+    /// fingerprints produce bit-identical dictionaries (parallelism and
+    /// lane width are deliberately excluded), which is what makes the
+    /// fingerprint a sound **cache key** — [`crate::DictionaryStore`]
+    /// keys its shared dictionaries and its on-disk files with it.
+    pub fn fingerprint(universe: &FaultUniverse, program: &TestProgram, poly: Poly2) -> u64 {
+        dictionary_fingerprint(universe, program, poly)
+    }
+
+    /// Writes this dictionary's observation table to `path` (atomically:
+    /// temp file + rename), fingerprinted so [`FaultDictionary::load`]
+    /// refuses the file for any *other* universe/program/polynomial. The
+    /// file is the same format a [`FaultDictionary::build_with_checkpoint`]
+    /// run leaves behind at completion — buckets and statistics are
+    /// re-derived on load, so only the simulated observations are stored.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Checkpoint`] when the snapshot cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a compressed dictionary — persist the full-signature
+    /// parent and re-[`compress`](FaultDictionary::compress) after
+    /// loading (compression is a cheap re-index; the observations are
+    /// identical).
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), DiagError> {
+        assert!(
+            self.prefix_bits.is_none(),
+            "persist the full-signature dictionary, not a compression of it"
+        );
+        let fp = fingerprint_parts(self.geom, &self.faults, &self.program, self.collector.poly());
+        checkpoint::save_records(path.as_ref(), fp, self.observations.len(), &self.observations)?;
+        Ok(())
+    }
+
+    /// Reconstructs a dictionary from a [`FaultDictionary::persist`] file
+    /// (or a *completed* [`FaultDictionary::build_with_checkpoint`] file)
+    /// **without re-simulating the universe** — the free load path a
+    /// service restart takes. Returns `Ok(None)` when no file is at
+    /// `path` or the file holds only an incomplete prefix (an
+    /// interrupted build's spool): callers fall back to a real build.
+    ///
+    /// The loaded dictionary is bit-identical to the build that produced
+    /// the file (asserted in tests).
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Lfsr`] for a degenerate `poly`;
+    /// [`DiagError::Checkpoint`] for a corrupt file or one fingerprinted
+    /// by a different universe/program/polynomial — a foreign file is
+    /// refused loudly, never silently adopted.
+    ///
+    /// # Panics
+    ///
+    /// As [`FaultDictionary::build`] on a universe/program geometry
+    /// mismatch.
+    pub fn load(
+        universe: &FaultUniverse,
+        program: &TestProgram,
+        poly: Poly2,
+        path: impl AsRef<Path>,
+    ) -> Result<Option<FaultDictionary>, DiagError> {
+        assert_eq!(
+            universe.geometry(),
+            program.geometry(),
+            "dictionary universe and program geometries differ"
+        );
+        let collector = SignatureCollector::new(program, poly)?;
+        let fingerprint = dictionary_fingerprint(universe, program, poly);
+        let Some(observations) =
+            checkpoint::load_records::<Observation>(path.as_ref(), fingerprint, universe.len())?
+        else {
+            return Ok(None);
+        };
+        if observations.len() < universe.len() {
+            return Ok(None);
+        }
+        let (buckets, stats) = index_observations(
+            &observations,
+            collector.reference(),
+            collector.aliasing_bound(),
+            |sig| sig,
+        );
+        Ok(Some(FaultDictionary {
+            geom: universe.geometry(),
+            program: Arc::new(program.clone()),
+            collector,
+            faults: Arc::new(universe.faults().to_vec()),
+            observations: Arc::new(observations),
+            buckets,
+            stats,
+            prefix_bits: None,
+        }))
     }
 
     /// Rebuilds this dictionary on **`bits`-bit signature prefixes** (the

@@ -66,8 +66,10 @@ mod dictionary;
 mod error;
 mod localize;
 mod signature;
+mod store;
 
 pub use dictionary::{DictionaryStats, FaultDictionary};
 pub use error::DiagError;
 pub use localize::{Diagnosis, FaultFamily, Localizer};
 pub use signature::{Observation, SignatureCollector};
+pub use store::DictionaryStore;

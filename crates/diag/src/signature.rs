@@ -137,6 +137,11 @@ impl SignatureCollector {
         })
     }
 
+    /// The MISR polynomial the collector compacts with.
+    pub fn poly(&self) -> Poly2 {
+        self.poly
+    }
+
     /// Register width `w`.
     pub fn width(&self) -> u32 {
         self.width

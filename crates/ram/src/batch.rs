@@ -25,10 +25,11 @@
 //! decoder table. Multi-port cycle programs batch too: [`LaneRam`] pools
 //! per-port sense planes and a per-lane write-write conflict engine
 //! ([`LaneRam::cycle_conflicts`]), so nothing is left on the scalar
-//! [`crate::Ram`] path. [`is_lane_batchable`] is `true` for every
-//! modelled family and survives only as the campaign partition seam for
-//! future scalar-only variants of the non-exhaustive
-//! [`crate::FaultKind`].
+//! [`crate::Ram`] path. Every modelled [`crate::FaultKind`] batches —
+//! the exhaustive match in [`LaneFaultBank::add`] is the compile-time
+//! proof, and the historical `is_lane_batchable` partition seam is
+//! retired: campaigns no longer split a universe into batchable and
+//! scalar-remainder halves.
 //!
 //! # Exactness
 //!
@@ -74,33 +75,6 @@ use std::collections::HashMap;
 /// word the storage is sliced over). A [`LaneChunk<K>`] carries
 /// `K * LANES` lanes — see [`LaneChunk::LANES`] for the per-chunk count.
 pub const LANES: usize = 64;
-
-/// `true` when `fault` belongs to a family [`LaneRam`] can express as
-/// per-lane state. That is **every modelled family**; the predicate is
-/// kept as the campaign partition hook for future scalar-only variants
-/// of the non-exhaustive [`FaultKind`].
-pub fn is_lane_batchable(fault: &FaultKind) -> bool {
-    // `FaultKind` is non-exhaustive: a future variant defaults to the
-    // scalar path until it opts in here.
-    matches!(
-        fault,
-        FaultKind::StuckAt { .. }
-            | FaultKind::Transition { .. }
-            | FaultKind::CouplingInversion { .. }
-            | FaultKind::CouplingIdempotent { .. }
-            | FaultKind::CouplingState { .. }
-            | FaultKind::Npsf { .. }
-            | FaultKind::DataRetention { .. }
-            | FaultKind::DecoderNoAccess { .. }
-            | FaultKind::DecoderExtraCell { .. }
-            | FaultKind::DecoderShadow { .. }
-            | FaultKind::StuckOpen { .. }
-            | FaultKind::ReadDestructive { .. }
-            | FaultKind::DeceptiveRead { .. }
-            | FaultKind::IncorrectRead { .. }
-            | FaultKind::WriteDisturb { .. }
-    )
-}
 
 /// A chunk of `K * 64` trial lanes: the lane-mask word of the batch
 /// engine, generalised from one `u64` to `[u64; K]` so a single
@@ -343,22 +317,20 @@ impl<const K: usize> LaneFaultBank<K> {
         &self.faults
     }
 
-    /// Adds a batchable fault affecting the lanes of `mask`.
+    /// Adds a fault affecting the lanes of `mask`. Every modelled family
+    /// batches — the exhaustive match below is the compile-time proof; a
+    /// future [`FaultKind`] variant fails to build here until it gets a
+    /// lane model.
     ///
     /// # Errors
     ///
-    /// [`RamError::FaultNotBatchable`] for a scalar-only family (none of
-    /// the currently modelled ones — see [`is_lane_batchable`]); otherwise
-    /// propagates [`FaultKind::validate`] errors.
+    /// Propagates [`FaultKind::validate`] errors.
     pub fn add(
         &mut self,
         geom: &Geometry,
         fault: FaultKind,
         mask: LaneChunk<K>,
     ) -> Result<(), RamError> {
-        if !is_lane_batchable(&fault) {
-            return Err(RamError::FaultNotBatchable { mnemonic: fault.mnemonic() });
-        }
         fault.validate(geom)?;
         let idx = self.faults.len();
         match &fault {
@@ -1884,7 +1856,6 @@ mod tests {
         .into_iter()
         .enumerate()
         {
-            assert!(is_lane_batchable(&fault), "{fault}");
             lanes.inject(fault, lane).expect("every modelled family injects");
         }
         assert_eq!(lanes.active_lanes().count_ones(), 11);

@@ -48,12 +48,6 @@ pub enum RamError {
         /// Human-readable reason.
         reason: &'static str,
     },
-    /// A scalar-only fault family was injected into a lane-sliced batch
-    /// memory ([`crate::batch::LaneRam`]).
-    FaultNotBatchable {
-        /// The family's mnemonic (`AF`, `SOF`, …).
-        mnemonic: &'static str,
-    },
     /// A compiled program met a device with a different geometry.
     ProgramGeometryMismatch {
         /// Cells/width the program was compiled for.
@@ -94,9 +88,6 @@ impl fmt::Display for RamError {
             }
             RamError::UnsupportedGeometry { reason } => {
                 write!(f, "unsupported geometry: {reason}")
-            }
-            RamError::FaultNotBatchable { mnemonic } => {
-                write!(f, "{mnemonic} faults cannot run lane-batched — use the scalar path")
             }
             RamError::ProgramGeometryMismatch { compiled, device } => {
                 write!(

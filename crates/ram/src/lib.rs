@@ -52,7 +52,7 @@ pub mod stats;
 pub mod topology;
 pub mod universe;
 
-pub use batch::{is_lane_batchable, lane_word, LaneChunk, LaneFaultBank, LaneRam, LANES};
+pub use batch::{lane_word, LaneChunk, LaneFaultBank, LaneRam, LANES};
 pub use error::RamError;
 pub use fault::{CouplingTrigger, FaultBank, FaultKind};
 pub use geometry::Geometry;
@@ -61,4 +61,4 @@ pub use prog::{Execution, MemOp, OpMismatch, ProgramBuilder, SlotOp, TestProgram
 pub use rng::SplitMix64;
 pub use stats::AccessStats;
 pub use topology::{Layout, Scrambler};
-pub use universe::{FaultUniverse, UniverseSpec};
+pub use universe::{FaultUniverse, LazyUniverse, UniverseSpec};

@@ -323,6 +323,207 @@ impl FaultUniverse {
     }
 }
 
+/// The read/write-logic families in their enumeration order inside each
+/// `(cell, bit)` sub-block of [`FaultUniverse::enumerate`]'s final loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RwKind {
+    Rdf,
+    Drdf,
+    Irf,
+    Wdf,
+}
+
+/// A **lazily enumerated** dense single-cell universe: the same fault
+/// sequence [`FaultUniverse::enumerate`] would materialize for a spec
+/// without coupling families, but computed on demand with O(1) random
+/// access and O(1) memory.
+///
+/// Long-running services take jobs at `n ≥ 2²⁰`, where the dense universe
+/// (`2(SAF) + 2(TF) + ~3(AF)/n + 1(SOF) + 4(RW)` instances per bit) runs
+/// to tens of millions of `FaultKind`s — materializing it up front costs
+/// hundreds of megabytes before the first trial runs. `LazyUniverse`
+/// instead maps a universe **index** straight to its `FaultKind`, so a
+/// shard scheduler can materialize one segment at a time and drop it when
+/// the segment completes.
+///
+/// The enumeration **order is a contract**: `LazyUniverse` produces
+/// exactly the sequence `FaultUniverse::enumerate(geom, spec).faults()`
+/// yields for the same dense spec (asserted index-for-index in tests), so
+/// verdict tables, checkpoints and streamed coverage deltas keyed by
+/// universe index mean the same thing on either path.
+///
+/// Coupling families (CFin/CFid/CFst) enumerate over cell *pairs* — a
+/// quadratic space that callers restrict with
+/// [`UniverseSpec::coupling_radius`] and genuinely want materialized;
+/// [`LazyUniverse::new`] returns `None` for such specs and callers fall
+/// back to [`FaultUniverse::enumerate`].
+///
+/// # Example
+///
+/// ```
+/// use prt_ram::{FaultUniverse, Geometry, LazyUniverse, UniverseSpec};
+///
+/// let geom = Geometry::bom(1 << 10);
+/// let spec = UniverseSpec { saf: true, tf: true, sof: true, ..UniverseSpec::default() };
+/// let lazy = LazyUniverse::new(geom, spec).expect("dense spec");
+/// let eager = FaultUniverse::enumerate(geom, &spec);
+/// assert_eq!(lazy.len(), eager.len());
+/// assert_eq!(lazy.fault(4321), eager.faults()[4321]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LazyUniverse {
+    geom: Geometry,
+    /// Block sizes in enumeration order; an absent family contributes 0.
+    saf: usize,
+    tf: usize,
+    af: usize,
+    sof: usize,
+    /// The enabled read/write-logic families, in sub-block order.
+    rw_kinds: [Option<RwKind>; 4],
+    rw_per_bit: usize,
+    total: usize,
+}
+
+impl LazyUniverse {
+    /// The lazy enumerator for `spec` on `geom`, or `None` when the spec
+    /// enables a coupling family (CFin/CFid/CFst) — those are pair
+    /// universes the caller should materialize with
+    /// [`FaultUniverse::enumerate`].
+    pub fn new(geom: Geometry, spec: UniverseSpec) -> Option<LazyUniverse> {
+        if spec.cfin || spec.cfid || spec.cfst {
+            return None;
+        }
+        let n = geom.cells();
+        let m = geom.width() as usize;
+        let bits = n * m;
+        let mut rw_kinds = [None; 4];
+        let mut rw_per_bit = 0usize;
+        for (kind, enabled) in [
+            (RwKind::Rdf, spec.rdf),
+            (RwKind::Drdf, spec.drdf),
+            (RwKind::Irf, spec.irf),
+            (RwKind::Wdf, spec.wdf),
+        ] {
+            if enabled {
+                rw_kinds[rw_per_bit] = Some(kind);
+                rw_per_bit += 1;
+            }
+        }
+        // AF sub-blocks: n no-access entries, then per address one extra
+        // plus one shadow — the shadow target `(addr + n/2).max(addr + 1)
+        // % n` differs from `addr` for every n ≥ 2, and never exists for
+        // n = 1 (mirrors the conditional in `enumerate`).
+        let af = if spec.af {
+            if n >= 2 {
+                3 * n
+            } else {
+                2 * n
+            }
+        } else {
+            0
+        };
+        let u = LazyUniverse {
+            geom,
+            saf: if spec.saf { 2 * bits } else { 0 },
+            tf: if spec.tf { 2 * bits } else { 0 },
+            af,
+            sof: if spec.sof { n } else { 0 },
+            rw_kinds,
+            rw_per_bit,
+            total: 0,
+        };
+        let total = u.saf + u.tf + u.af + u.sof + bits * rw_per_bit;
+        Some(LazyUniverse { total, ..u })
+    }
+
+    /// Geometry the universe enumerates over.
+    pub fn geometry(&self) -> Geometry {
+        self.geom
+    }
+
+    /// Number of fault instances.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when the spec enables no family on this geometry.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The fault at universe index `i` — O(1), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn fault(&self, i: usize) -> FaultKind {
+        assert!(i < self.total, "universe index {i} out of range for {} instances", self.total);
+        let n = self.geom.cells();
+        let m = self.geom.width() as usize;
+        let mut i = i;
+        if i < self.saf {
+            let (cell, rem) = (i / (2 * m), i % (2 * m));
+            return FaultKind::StuckAt { cell, bit: (rem / 2) as u32, value: (rem % 2) as u8 };
+        }
+        i -= self.saf;
+        if i < self.tf {
+            let (cell, rem) = (i / (2 * m), i % (2 * m));
+            return FaultKind::Transition { cell, bit: (rem / 2) as u32, rising: rem % 2 == 0 };
+        }
+        i -= self.tf;
+        if i < self.af {
+            if i < n {
+                return FaultKind::DecoderNoAccess { addr: i };
+            }
+            let j = i - n;
+            if n < 2 {
+                return FaultKind::DecoderExtraCell { addr: j, extra_cell: (j + 1) % n };
+            }
+            let addr = j / 2;
+            return if j.is_multiple_of(2) {
+                FaultKind::DecoderExtraCell { addr, extra_cell: (addr + 1) % n }
+            } else {
+                FaultKind::DecoderShadow { addr, instead_cell: (addr + n / 2).max(addr + 1) % n }
+            };
+        }
+        i -= self.af;
+        if i < self.sof {
+            return FaultKind::StuckOpen { cell: i };
+        }
+        i -= self.sof;
+        let (cb, sel) = (i / self.rw_per_bit, i % self.rw_per_bit);
+        let (cell, bit) = (cb / m, (cb % m) as u32);
+        match self.rw_kinds[sel].expect("selector within enabled families") {
+            RwKind::Rdf => FaultKind::ReadDestructive { cell, bit },
+            RwKind::Drdf => FaultKind::DeceptiveRead { cell, bit },
+            RwKind::Irf => FaultKind::IncorrectRead { cell, bit },
+            RwKind::Wdf => FaultKind::WriteDisturb { cell, bit },
+        }
+    }
+
+    /// Iterates the whole universe lazily, in enumeration order.
+    pub fn iter(&self) -> impl Iterator<Item = FaultKind> + '_ {
+        (0..self.total).map(move |i| self.fault(i))
+    }
+
+    /// Materializes the index range `[lo, hi)` — the shard primitive: a
+    /// scheduler holds one segment's faults at a time, never the universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted.
+    pub fn slice(&self, lo: usize, hi: usize) -> Vec<FaultKind> {
+        assert!(lo <= hi && hi <= self.total, "slice {lo}..{hi} out of range");
+        (lo..hi).map(|i| self.fault(i)).collect()
+    }
+
+    /// Materializes the whole universe — bit-identical to
+    /// [`FaultUniverse::enumerate`] for this spec.
+    pub fn materialize(&self) -> FaultUniverse {
+        FaultUniverse { geom: self.geom, faults: self.iter().collect() }
+    }
+}
+
 fn bit_pairs(m: u32) -> Vec<(u32, u32)> {
     // For BOM this is just (0,0); for WOM include same-bit cross-cell pairs
     // plus a diagonal neighbour to exercise intra-bit-position couplings
@@ -404,6 +605,62 @@ mod tests {
             .faults()
             .iter()
             .any(|f| matches!(f, FaultKind::CouplingInversion { agg_bit: 1, victim_bit: 2, .. })));
+    }
+
+    /// Every dense spec × geometry combination: the lazy enumerator must
+    /// reproduce the materialized sequence index-for-index — the order
+    /// contract services rely on for sharded streaming.
+    #[test]
+    fn lazy_universe_matches_enumerate() {
+        let dense_full =
+            UniverseSpec { cfin: false, cfid: false, cfst: false, ..UniverseSpec::full() };
+        let specs = [
+            UniverseSpec::single_cell(),
+            UniverseSpec { saf: true, ..UniverseSpec::default() },
+            UniverseSpec { af: true, ..UniverseSpec::default() },
+            UniverseSpec { sof: true, irf: true, ..UniverseSpec::default() },
+            UniverseSpec { rdf: true, drdf: true, irf: true, wdf: true, ..Default::default() },
+            dense_full,
+        ];
+        let geoms =
+            [Geometry::bom(1), Geometry::bom(2), Geometry::bom(13), Geometry::wom(6, 4).unwrap()];
+        for geom in geoms {
+            for spec in specs {
+                let lazy = LazyUniverse::new(geom, spec).expect("dense spec");
+                let eager = FaultUniverse::enumerate(geom, &spec);
+                assert_eq!(lazy.len(), eager.len(), "{geom:?} {spec:?}");
+                let all: Vec<FaultKind> = lazy.iter().collect();
+                assert_eq!(all.as_slice(), eager.faults(), "{geom:?} {spec:?}");
+                // Random access agrees with iteration.
+                for i in [0, lazy.len() / 3, lazy.len().saturating_sub(1)] {
+                    if i < lazy.len() {
+                        assert_eq!(lazy.fault(i), eager.faults()[i]);
+                    }
+                }
+                // Shard slices tile the universe.
+                let mid = lazy.len() / 2;
+                let mut tiled = lazy.slice(0, mid);
+                tiled.extend(lazy.slice(mid, lazy.len()));
+                assert_eq!(tiled.as_slice(), eager.faults());
+                assert_eq!(lazy.materialize().faults(), eager.faults());
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_universe_refuses_coupling_specs() {
+        let geom = Geometry::bom(8);
+        assert!(LazyUniverse::new(geom, UniverseSpec::paper_claim()).is_none());
+        assert!(LazyUniverse::new(geom, UniverseSpec::full()).is_none());
+        assert!(LazyUniverse::new(geom, UniverseSpec { cfst: true, ..UniverseSpec::default() })
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "universe index")]
+    fn lazy_universe_index_bounds_are_loud() {
+        let lazy = LazyUniverse::new(Geometry::bom(4), UniverseSpec::single_cell()).expect("dense");
+        let _ = lazy.fault(lazy.len());
     }
 
     #[test]

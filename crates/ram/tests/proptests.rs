@@ -240,17 +240,15 @@ proptest! {
         lane in 0usize..64,
         witness in 0usize..64,
     ) {
-        use prt_ram::{is_lane_batchable, lane_word, LaneRam, UniverseSpec, FaultUniverse};
+        use prt_ram::{lane_word, LaneRam, UniverseSpec, FaultUniverse};
         let geom = Geometry::wom(8, 4).unwrap();
         let spec = UniverseSpec {
             coupling_radius: Some(3), intra_word: true, ..UniverseSpec::paper_claim()
         };
-        let batchable: Vec<FaultKind> = FaultUniverse::enumerate(geom, &spec)
-            .faults()
-            .iter()
-            .filter(|f| is_lane_batchable(f))
-            .cloned()
-            .collect();
+        // Every enumerated fault is lane-batchable since the scalar remainder
+        // was retired — the whole universe is the candidate pool.
+        let batchable: Vec<FaultKind> =
+            FaultUniverse::enumerate(geom, &spec).faults().to_vec();
         let fault = batchable[fault_pick % batchable.len()].clone();
         let mut scalar = Ram::new(geom);
         scalar.inject(fault.clone()).unwrap();

@@ -84,9 +84,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
-use prt_ram::{
-    is_lane_batchable, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, Ram, TestProgram,
-};
+use prt_ram::{FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, Ram, TestProgram};
 
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
@@ -636,10 +634,10 @@ fn validate_ports(geom: Geometry, ports: usize) -> Result<(), CampaignError> {
 }
 
 /// The lane-sliced form of [`map_trials`] for per-fault measurement
-/// campaigns: batchable faults are packed `LaneRam::<K>::LANES` per
-/// [`LaneRam`] chunk and measured by one `batch_trial` pass per batch;
-/// any scalar-only remainder (future [`is_lane_batchable`] opt-outs)
-/// runs through `scalar_trial` on pooled [`Ram`]s. Results land by
+/// campaigns: faults are packed `LaneRam::<K>::LANES` per [`LaneRam`]
+/// chunk and measured by one `batch_trial` pass per batch — every fault
+/// family lane-batches, so there is no scalar remainder and
+/// `scalar_trial` serves only as the degradation oracle. Results land by
 /// **fault index**, so the output is deterministic and identical for any
 /// parallelism policy *and any lane width* — and, when the two trial
 /// functions measure the same thing (the contract callers are
@@ -709,27 +707,22 @@ where
 {
     validate_ports(geom, ports)?;
     let lanes_per = LaneRam::<K>::LANES;
-    let mut batched: Vec<usize> = Vec::new();
-    let mut rest: Vec<usize> = Vec::new();
-    for (i, fault) in faults.iter().enumerate() {
-        if is_lane_batchable(fault) {
-            batched.push(i);
-        } else {
-            rest.push(i);
-        }
-    }
-    let n_batches = batched.len().div_ceil(lanes_per);
+    // Every fault family lane-batches (the scalar remainder seam was
+    // retired once it proved permanently empty), so batch membership is
+    // plain index arithmetic: batch `b` owns fault indices
+    // `b*lanes_per .. (b+1)*lanes_per`.
+    let n_batches = faults.len().div_ceil(lanes_per);
     let results: Vec<OnceLock<T>> = (0..faults.len()).map(|_| OnceLock::new()).collect();
     let degraded = AtomicUsize::new(0);
     let panic_slot: PanicSlot = Mutex::new(None);
     let error_slot: Mutex<Option<CampaignError>> = Mutex::new(None);
     let failed = AtomicBool::new(false);
     let run_batch = |b: usize, ram: &mut LaneRam<K>, out: &mut Vec<T>| {
-        let lanes = &batched[b * lanes_per..((b + 1) * lanes_per).min(batched.len())];
+        let lanes = (b * lanes_per)..((b + 1) * lanes_per).min(faults.len());
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             ram.eject_faults();
             ram.reset_to(0);
-            for (lane, &fi) in lanes.iter().enumerate() {
+            for (lane, fi) in lanes.clone().enumerate() {
                 ram.inject(faults[fi].clone(), lane).expect("campaign faults are valid");
             }
             out.clear();
@@ -752,7 +745,7 @@ where
                     failed.store(true, Ordering::Relaxed);
                     return;
                 }
-                for (&fi, v) in lanes.iter().zip(out.drain(..)) {
+                for (fi, v) in lanes.zip(out.drain(..)) {
                     // Batch indices are claimed uniquely, so each slot is
                     // set once.
                     let _ = results[fi].set(v);
@@ -763,7 +756,7 @@ where
                 // scalar oracle; only a retry that *also* fails is fatal.
                 degraded.fetch_add(1, Ordering::Relaxed);
                 let mut scalar = Ram::with_ports(geom, ports).expect("valid port count");
-                for &fi in lanes {
+                for fi in lanes {
                     scalar.eject_faults();
                     scalar.reset_to(0);
                     let retry = catch_unwind(AssertUnwindSafe(|| {
@@ -784,7 +777,7 @@ where
             }
         }
     };
-    let workers = parallelism.workers(batched.len()).min(n_batches.max(1));
+    let workers = parallelism.workers(faults.len()).min(n_batches.max(1));
     let next = AtomicUsize::new(0);
     let batch_worker = || {
         let mut ram = LaneRam::<K>::with_ports(geom, ports).expect("valid port count");
@@ -815,15 +808,6 @@ where
     if let Some((chunk, payload)) = panic_slot.into_inner().expect("panic slot lock") {
         return Err(CampaignError::WorkerPanic { chunk, payload });
     }
-    if !rest.is_empty() {
-        let rest_vals = try_map_trials(geom, ports, rest.len(), parallelism, |k, ram| {
-            ram.inject(faults[rest[k]].clone()).expect("campaign faults are valid");
-            scalar_trial(rest[k], ram)
-        })?;
-        for (&fi, v) in rest.iter().zip(rest_vals) {
-            let _ = results[fi].set(v);
-        }
-    }
     let values = results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every fault index was dispatched"))
@@ -850,8 +834,43 @@ pub struct Campaign<'a, R> {
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
     checkpoint: Option<(PathBuf, usize)>,
+    progress: Option<ProgressHook<'a>>,
     #[cfg(any(test, feature = "chaos"))]
     chaos: Option<std::sync::Arc<chaos::ChaosPlan>>,
+}
+
+/// One completed segment of a campaign, as reported to a
+/// [`Campaign::with_progress`] sink: the contiguous universe slice
+/// `[start, end)` whose verdicts just became final.
+///
+/// Segments are reported **in order** and tile the evaluated prefix of
+/// the universe exactly — `start` of each call equals `end` of the
+/// previous one (the first call has `start == 0`, which on a resumed
+/// checkpointed campaign covers the whole restored prefix in one call).
+/// A campaign stopped early (deadline, cancellation) simply stops
+/// reporting; segments never arrive out of order or overlap.
+#[derive(Debug)]
+pub struct SegmentProgress<'s> {
+    /// First universe index of the segment (inclusive).
+    pub start: usize,
+    /// One past the last universe index of the segment (exclusive).
+    pub end: usize,
+    /// Final verdicts for `[start, end)`, keyed by `index - start`.
+    pub verdicts: &'s [bool],
+}
+
+/// The configured streaming sink: segment cadence plus the callback.
+/// Boxed so [`Campaign`] stays nameable; the manual [`fmt::Debug`] keeps
+/// the campaign's derive working without demanding one of the closure.
+struct ProgressHook<'a> {
+    every: usize,
+    sink: Box<dyn Fn(SegmentProgress<'_>) + Send + Sync + 'a>,
+}
+
+impl std::fmt::Debug for ProgressHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressHook").field("every", &self.every).finish_non_exhaustive()
+    }
 }
 
 /// Campaign progress as the resilient driver reports it: the verdict
@@ -910,6 +929,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             deadline: None,
             cancel: None,
             checkpoint: None,
+            progress: None,
             #[cfg(any(test, feature = "chaos"))]
             chaos: None,
         }
@@ -1002,6 +1022,26 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// by fault index, so the schedule never leaks into the table.
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Campaign<'a, R> {
         self.checkpoint = Some((path.into(), every.max(1)));
+        self
+    }
+
+    /// Streams progress: after every segment of (at most) `every` trials
+    /// completes, `sink` receives the segment's final verdicts as a
+    /// [`SegmentProgress`]. Segments arrive in order and tile the
+    /// evaluated prefix exactly (see [`SegmentProgress`]), so a sink can
+    /// reconstruct the verdict table — or per-class coverage deltas —
+    /// incrementally; the terminal report stays bit-identical to an
+    /// unhooked run. Composes with [`Campaign::with_checkpoint`]: the
+    /// effective segment length is the smaller of the two cadences.
+    /// `every` is clamped to ≥ 1. The sink runs on the driving thread,
+    /// between segments — a slow sink throttles the campaign, not the
+    /// verdicts.
+    pub fn with_progress(
+        mut self,
+        every: usize,
+        sink: impl Fn(SegmentProgress<'_>) + Send + Sync + 'a,
+    ) -> Campaign<'a, R> {
+        self.progress = Some(ProgressHook { every: every.max(1), sink: Box::new(sink) });
         self
     }
 
@@ -1107,9 +1147,10 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// The resilient driver every campaign entry point sits on: validates
     /// the configuration upfront, resumes from a checkpoint when one is
     /// armed and compatible, then drives the universe in **segments**
-    /// (`every` trials per segment when checkpointing, the whole
-    /// remainder otherwise), checkpointing the contiguous verdict prefix
-    /// after each. Worker panics poison only their chunk; deadline and
+    /// (the finer of the checkpoint and progress cadences per segment;
+    /// the whole remainder when neither is armed), checkpointing the
+    /// contiguous verdict prefix and reporting progress to the streaming
+    /// sink after each. Worker panics poison only their chunk; deadline and
     /// cancellation stop the fan-out at chunk boundaries; a panicking
     /// lane batch degrades to the scalar oracle.
     fn try_progress(&self) -> Result<Progress, CampaignError> {
@@ -1129,15 +1170,32 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                 }
             }
         }
+        // A hooked campaign resuming from a checkpoint reports the whole
+        // restored prefix as one leading segment, so sinks always see
+        // segments that tile `[0, evaluated)` — no silent gap.
+        if cursor > 0 {
+            if let Some(hook) = &self.progress {
+                let prefix: Vec<bool> =
+                    table[..cursor].iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                (hook.sink)(SegmentProgress { start: 0, end: cursor, verdicts: &prefix });
+            }
+        }
         let plan = self.batch_plan();
         let degraded = AtomicUsize::new(0);
         let control = RunControl::new(self.deadline, self.cancel.clone());
         let mut stopped = None;
+        // Segment length: the finer of the checkpoint cadence and the
+        // progress cadence (one whole-remainder segment when neither is
+        // armed).
+        let step = self
+            .checkpoint
+            .as_ref()
+            .map(|(_, every)| *every)
+            .unwrap_or(usize::MAX)
+            .min(self.progress.as_ref().map(|h| h.every).unwrap_or(usize::MAX));
         while cursor < total {
-            let seg_end = match &self.checkpoint {
-                Some((_, every)) => (cursor + every).min(total),
-                None => total,
-            };
+            let seg_start = cursor;
+            let seg_end = cursor.saturating_add(step).min(total);
             let ctx =
                 DriveCtx { table: &table, done: &done, control: &control, degraded: &degraded };
             let outcome = match &plan {
@@ -1163,6 +1221,19 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                 let prefix: Vec<bool> =
                     table[..cursor].iter().map(|b| b.load(Ordering::Relaxed)).collect();
                 checkpoint::save_records(path, fp, total, &prefix)?;
+            }
+            if cursor > seg_start {
+                if let Some(hook) = &self.progress {
+                    let verdicts: Vec<bool> = table[seg_start..cursor]
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    (hook.sink)(SegmentProgress {
+                        start: seg_start,
+                        end: cursor,
+                        verdicts: &verdicts,
+                    });
+                }
             }
             match outcome {
                 SegmentOutcome::Done => {}
@@ -1289,12 +1360,14 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         SegmentOutcome::Done
     }
 
-    /// Lane-batched fan-out over the segment `[start, end)`: batchable
-    /// faults are packed `LaneRam::<K>::LANES` per [`LaneRam`] chunk (one
+    /// Lane-batched fan-out over the segment `[start, end)`: faults are
+    /// packed `LaneRam::<K>::LANES` per [`LaneRam`] chunk (one
     /// interpreter pass per batch per background, with the
-    /// cross-background early exit per lane), any scalar-only remainder
-    /// runs through [`Campaign::drive_scalar`]. Workers claim **whole
-    /// chunks** from a shared counter, so the thread fan-out composes
+    /// cross-background early exit per lane). Every fault family
+    /// lane-batches, so the segment splits into batches by plain index
+    /// arithmetic — no partition pass, no scalar remainder. Workers
+    /// claim **whole chunks** from a shared counter, so the thread
+    /// fan-out composes
     /// with the lane width (threads × lanes trials in flight) while
     /// verdicts stay keyed by fault index — bit-identical at any thread
     /// count and any width. A batch whose interpreter pass panics
@@ -1309,27 +1382,19 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         ctx: &DriveCtx<'_>,
     ) -> SegmentOutcome {
         let lanes_per = LaneRam::<K>::LANES;
-        let mut batched: Vec<usize> = Vec::new();
-        let mut rest: Vec<usize> = Vec::new();
-        for i in start..end {
-            if is_lane_batchable(&self.faults[i]) {
-                batched.push(i);
-            } else {
-                rest.push(i);
-            }
-        }
-        let n_batches = batched.len().div_ceil(lanes_per);
+        let count = end - start;
+        let n_batches = count.div_ceil(lanes_per);
         let next = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
         let panic_slot: PanicSlot = Mutex::new(None);
         let stop_slot: Mutex<Option<StopCause>> = Mutex::new(None);
         let run_batch = |b: usize, ram: &mut LaneRam<K>| {
-            let lanes = &batched[b * lanes_per..((b + 1) * lanes_per).min(batched.len())];
+            let lanes = (start + b * lanes_per)..(start + ((b + 1) * lanes_per).min(count));
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                self.chaos_batch(lanes[0]);
+                self.chaos_batch(lanes.start);
                 ram.eject_faults();
                 ram.reset_to(0);
-                for (lane, &fi) in lanes.iter().enumerate() {
+                for (lane, fi) in lanes.clone().enumerate() {
                     ram.inject(self.faults[fi].clone(), lane).expect("campaign faults are valid");
                 }
                 let full = ram.active_lanes();
@@ -1349,7 +1414,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             }));
             match attempt {
                 Ok(detected) => {
-                    for (lane, &fi) in lanes.iter().enumerate() {
+                    for (lane, fi) in lanes.enumerate() {
                         ctx.table[fi].store(detected.get(lane), Ordering::Relaxed);
                         ctx.done[fi].store(true, Ordering::Relaxed);
                     }
@@ -1360,7 +1425,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                     ctx.degraded.fetch_add(1, Ordering::Relaxed);
                     let mut scalar =
                         Ram::with_ports(self.geom, self.ports).expect("valid port count");
-                    for &fi in lanes {
+                    for fi in lanes {
                         scalar.eject_faults();
                         scalar.reset_to(0);
                         let retry =
@@ -1380,7 +1445,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                 }
             }
         };
-        let workers = self.parallelism.workers(batched.len()).min(n_batches.max(1));
+        let workers = self.parallelism.workers(count).min(n_batches.max(1));
         let worker = || {
             let mut ram =
                 LaneRam::<K>::with_ports(self.geom, self.ports).expect("valid port count");
@@ -1414,11 +1479,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         if let Some(cause) = stop_slot.into_inner().expect("stop slot lock") {
             return SegmentOutcome::Stopped(cause);
         }
-        if rest.is_empty() {
-            SegmentOutcome::Done
-        } else {
-            self.drive_scalar(rest.len(), &|k| rest[k], ctx)
-        }
+        SegmentOutcome::Done
     }
 
     /// The compiled programs (one per background) to batch with, when the
@@ -2056,7 +2117,7 @@ mod tests {
         match Campaign::new(&u, toy_runner).with_deadline(Duration::ZERO).try_detections() {
             Err(CampaignError::DeadlineExceeded { completed: 0, .. }) => {}
             other => panic!("expected DeadlineExceeded, got {other:?}"),
-        }
+        };
     }
 
     #[test]
@@ -2110,9 +2171,9 @@ mod tests {
         let prog = toy_program(u.geometry());
         let clean = Campaign::new(&u, &prog).with_name("toy").run();
         assert_eq!(clean.degraded_batches(), 0);
-        let first_batchable =
-            (0..u.len()).find(|&i| is_lane_batchable(&u.faults()[i])).expect("batchable fault");
-        let plan = Arc::new(chaos::ChaosPlan::new().panic_on_batch(first_batchable));
+        // Every fault lane-batches, so the first universe index anchors
+        // the first batch.
+        let plan = Arc::new(chaos::ChaosPlan::new().panic_on_batch(0));
         let degraded = Campaign::new(&u, &prog).with_name("toy").with_chaos(plan).run();
         assert!(degraded.degraded_batches() >= 1, "batch kill must be counted");
         assert!(degraded.partial().is_none(), "degradation is not a partial run");
@@ -2153,6 +2214,73 @@ mod tests {
             matches!(err, CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })),
             "expected FingerprintMismatch, got {err:?}"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn progress_segments_tile_and_match_detections() {
+        // The streaming sink must see in-order, gap-free segments whose
+        // concatenated verdicts equal the terminal verdict table — on
+        // both engines — and hooking must not perturb the report.
+        let u = universe();
+        let prog = toy_program(u.geometry());
+        for batching in [true, false] {
+            let oracle = Campaign::new(&u, &prog).with_lane_batching(batching).detections();
+            let seen: Mutex<Vec<(usize, usize, Vec<bool>)>> = Mutex::new(Vec::new());
+            let report = Campaign::new(&u, &prog)
+                .with_lane_batching(batching)
+                .with_progress(7, |seg: SegmentProgress<'_>| {
+                    seen.lock().unwrap().push((seg.start, seg.end, seg.verdicts.to_vec()));
+                })
+                .run();
+            assert!(report.partial().is_none());
+            let seen = seen.into_inner().unwrap();
+            let mut cursor = 0;
+            let mut streamed = Vec::new();
+            for (start, end, verdicts) in &seen {
+                assert_eq!(*start, cursor, "segments must tile without gaps");
+                assert!(end > start && end - start <= 7, "segment cadence respected");
+                assert_eq!(verdicts.len(), end - start);
+                streamed.extend_from_slice(verdicts);
+                cursor = *end;
+            }
+            assert_eq!(cursor, u.len(), "segments must cover the whole universe");
+            assert_eq!(streamed, oracle, "streamed verdicts must equal the verdict table");
+        }
+    }
+
+    #[test]
+    fn resumed_progress_reports_restored_prefix() {
+        // A hooked campaign resuming from a checkpoint announces the
+        // restored prefix as one leading segment: sinks always see a
+        // tiling of [0, total), even across a restart.
+        let u = universe();
+        let path = temp_ckpt("progress-resume");
+        let token = CancelToken::new();
+        let plan = Arc::new(chaos::ChaosPlan::new().cancel_after(u.len() / 2, &token));
+        let _ = Campaign::new(&u, toy_runner)
+            .with_parallelism(Parallelism::Sequential)
+            .with_cancel(&token)
+            .with_checkpoint(&path, 8)
+            .with_chaos(plan)
+            .try_run()
+            .expect("partial run");
+        let segments: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        let resumed = Campaign::new(&u, toy_runner)
+            .with_checkpoint(&path, 8)
+            .with_progress(8, |seg: SegmentProgress<'_>| {
+                segments.lock().unwrap().push((seg.start, seg.end));
+            })
+            .run();
+        assert!(resumed.partial().is_none());
+        let segments = segments.into_inner().unwrap();
+        assert!(segments[0].0 == 0 && segments[0].1 > 0, "restored prefix must be announced");
+        let mut cursor = 0;
+        for (start, end) in &segments {
+            assert_eq!(*start, cursor);
+            cursor = *end;
+        }
+        assert_eq!(cursor, u.len());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,199 @@
+//! The compiled-program cache and the `Arc`-backed campaign runner.
+//!
+//! Compiling a March test to a [`TestProgram`] walks the notation once
+//! per `(test, geometry, background)` — cheap, but a busy server sees
+//! the same handful of configurations thousands of times, and a shard
+//! fan-out would otherwise recompile per shard. [`ProgramCache`] compiles
+//! each key **once** and `Arc`-shares the program with every job and
+//! shard that needs it; cached programs are the *same allocation*, so
+//! "cached verdicts equal freshly-compiled verdicts" holds by
+//! construction and is additionally asserted over the wire in
+//! `tests/service.rs`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use prt_march::{Executor, MarchTest};
+use prt_ram::{Geometry, Ram, TestProgram};
+use prt_sim::{CampaignError, FaultRunner};
+
+/// A concurrent `(test name, geometry, background) → compiled program`
+/// cache with a compile counter (the cache-health observable the service
+/// smoke tests assert against).
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    programs: Mutex<HashMap<(String, Geometry, u64), Arc<TestProgram>>>,
+    compiles: AtomicUsize,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Number of real compilations this cache has run; a cache hit
+    /// leaves the counter unchanged.
+    pub fn compiles(&self) -> usize {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// The compiled program for `(test, geom, background)` — compiled on
+    /// first request, shared (`Arc`) afterwards.
+    pub fn get(&self, test: &MarchTest, geom: Geometry, background: u64) -> Arc<TestProgram> {
+        let key = (test.name().to_string(), geom, background);
+        let mut map = self.programs.lock().expect("program cache lock");
+        if let Some(program) = map.get(&key) {
+            return Arc::clone(program);
+        }
+        let program = Arc::new(Executor::new().with_background(background).compile(test, geom));
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Arc::clone(&program));
+        Arc::clone(&program)
+    }
+}
+
+/// A multi-background campaign runner over **cache-shared** programs —
+/// the service's counterpart of `prt_sim::ProgramBank`, holding `Arc`s
+/// from a [`ProgramCache`] instead of owned programs so a job's shards
+/// all drive the identical compiled artifacts.
+///
+/// Implements [`FaultRunner`] on `&CachedBank` (the engine convention:
+/// campaigns borrow their runner), with the bank's upfront validation so
+/// configuration mismatches surface as typed errors before any trial.
+#[derive(Debug)]
+pub struct CachedBank {
+    entries: Vec<(u64, Arc<TestProgram>)>,
+}
+
+impl CachedBank {
+    /// A bank over `(background, program)` pairs.
+    pub fn new(entries: Vec<(u64, Arc<TestProgram>)>) -> CachedBank {
+        CachedBank { entries }
+    }
+
+    /// The program compiled for `background`, if any.
+    pub fn program(&self, background: u64) -> Option<&TestProgram> {
+        self.entries.iter().find(|(bg, _)| *bg == background).map(|(_, p)| &**p)
+    }
+}
+
+impl FaultRunner for &CachedBank {
+    fn detect(&self, ram: &mut Ram, background: u64) -> bool {
+        let program = self
+            .program(background)
+            .unwrap_or_else(|| panic!("no program compiled for background {background:#x}"));
+        program.detect(ram)
+    }
+
+    fn batch_program(&self, background: u64) -> Option<&TestProgram> {
+        self.program(background)
+    }
+
+    fn validate(
+        &self,
+        geom: Geometry,
+        ports: usize,
+        backgrounds: &[u64],
+    ) -> Result<(), CampaignError> {
+        for &bg in backgrounds {
+            let Some(program) = self.program(bg) else {
+                return Err(CampaignError::BadConfiguration {
+                    reason: format!("no program compiled for background {bg:#x}"),
+                });
+            };
+            if program.geometry() != geom {
+                return Err(CampaignError::BadConfiguration {
+                    reason: format!(
+                        "program '{}' compiled for {:?} but the job targets {:?}",
+                        program.name(),
+                        program.geometry(),
+                        geom
+                    ),
+                });
+            }
+            if program.ports() > ports {
+                return Err(CampaignError::BadConfiguration {
+                    reason: format!(
+                        "program '{}' needs {} ports but the job pools {ports}",
+                        program.name(),
+                        program.ports()
+                    ),
+                });
+            }
+            if let Some(baked) = program.background() {
+                if baked != bg {
+                    return Err(CampaignError::BadConfiguration {
+                        reason: format!(
+                            "program '{}' bakes background {baked:#x}, job asked for {bg:#x}",
+                            program.name()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prt_march::library;
+    use prt_ram::{FaultUniverse, UniverseSpec};
+    use prt_sim::Campaign;
+
+    #[test]
+    fn repeat_get_shares_one_compile() {
+        let cache = ProgramCache::new();
+        let geom = Geometry::bom(16);
+        let a = cache.get(&library::march_c_minus(), geom, 0);
+        let b = cache.get(&library::march_c_minus(), geom, 0);
+        assert!(Arc::ptr_eq(&a, &b), "repeat get must share the allocation");
+        assert_eq!(cache.compiles(), 1);
+        // Different background, geometry or test ⇒ different key.
+        cache.get(&library::march_c_minus(), geom, 1);
+        cache.get(&library::march_c_minus(), Geometry::bom(8), 0);
+        cache.get(&library::mats_plus(), geom, 0);
+        assert_eq!(cache.compiles(), 4);
+    }
+
+    #[test]
+    fn cached_bank_matches_fresh_compilation() {
+        // Bit-identical verdicts: a campaign driven by cache-shared
+        // programs equals one driven by freshly compiled programs.
+        let geom = Geometry::bom(12);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::full());
+        let cache = ProgramCache::new();
+        let backgrounds = [0u64, 0b1];
+        let bank = CachedBank::new(
+            backgrounds
+                .iter()
+                .map(|&bg| (bg, cache.get(&library::march_c_minus(), geom, bg)))
+                .collect(),
+        );
+        let cached = Campaign::new(&universe, &bank).with_backgrounds(&backgrounds).detections();
+        let fresh_bank = prt_sim::ProgramBank::new(backgrounds.map(|bg| {
+            (bg, Executor::new().with_background(bg).compile(&library::march_c_minus(), geom))
+        }));
+        let fresh =
+            Campaign::new(&universe, &fresh_bank).with_backgrounds(&backgrounds).detections();
+        assert_eq!(cached, fresh);
+        assert_eq!(cache.compiles(), backgrounds.len());
+    }
+
+    #[test]
+    fn cached_bank_validates_upfront() {
+        let geom = Geometry::bom(8);
+        let cache = ProgramCache::new();
+        let bank = CachedBank::new(vec![(0, cache.get(&library::mats(), geom, 0))]);
+        let universe = FaultUniverse::enumerate(geom, &UniverseSpec::single_cell());
+        // Unknown background is a typed error, not a worker panic.
+        let err = Campaign::new(&universe, &bank).with_backgrounds(&[0, 3]).try_run();
+        assert!(err.is_err(), "unknown background must be refused upfront");
+        // Wrong geometry likewise.
+        let other = FaultUniverse::enumerate(Geometry::bom(4), &UniverseSpec::single_cell());
+        assert!(Campaign::new(&other, &bank).try_run().is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A blocking client for the campaign service: submit a job and pull
+//! its event stream, or run dictionary lookups over a persistent
+//! connection.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::proto::{
+    read_frame, write_frame, CoverageDelta, Event, JobDone, JobSpec, LookupReply, LookupSpec,
+    Request, WireError,
+};
+
+/// Client-side failure: transport, framing, or a server-reported error.
+#[derive(Debug)]
+pub enum SvcError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A frame arrived but did not decode.
+    Wire(WireError),
+    /// The server answered with an [`Event::Error`] frame.
+    Server {
+        /// Server error code (`1` = bad request, `2` = execution failure).
+        code: u16,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The server broke the protocol (wrong event for the state, or the
+    /// stream ended before its terminal event).
+    Protocol(String),
+}
+
+impl std::fmt::Display for SvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvcError::Io(e) => write!(f, "service i/o: {e}"),
+            SvcError::Wire(e) => write!(f, "service wire: {e}"),
+            SvcError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            SvcError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+impl From<io::Error> for SvcError {
+    fn from(e: io::Error) -> SvcError {
+        SvcError::Io(e)
+    }
+}
+
+impl From<WireError> for SvcError {
+    fn from(e: WireError) -> SvcError {
+        SvcError::Wire(e)
+    }
+}
+
+/// Reads and decodes one event frame; `Ok(None)` when the peer closed
+/// cleanly between frames.
+fn read_event(stream: &mut TcpStream) -> Result<Option<Event>, SvcError> {
+    match read_frame(stream)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(Event::decode(&payload)?)),
+    }
+}
+
+/// A connected client. Lookups can repeat on one connection;
+/// [`Client::submit`] consumes the client (one streaming job per
+/// connection, mirroring the server).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// The connect error, verbatim.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying every 50 ms until `timeout` — for scripts that
+    /// race a freshly spawned server (e.g. the CI smoke step).
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once the timeout elapses.
+    pub fn connect_retry(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Runs one dictionary lookup; the connection stays usable.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, or the server's refusal.
+    pub fn lookup(&mut self, spec: &LookupSpec) -> Result<LookupReply, SvcError> {
+        write_frame(&mut self.stream, &Request::Lookup(spec.clone()).encode())?;
+        match read_event(&mut self.stream)? {
+            Some(Event::Candidates(reply)) => Ok(reply),
+            Some(Event::Error { code, message }) => Err(SvcError::Server { code, message }),
+            Some(other) => Err(SvcError::Protocol(format!("expected candidates, got {other:?}"))),
+            None => Err(SvcError::Protocol("connection closed before reply".into())),
+        }
+    }
+
+    /// Submits a campaign job and waits for its acceptance, turning the
+    /// connection into the job's event stream.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, or the server's refusal of the job.
+    pub fn submit(mut self, job: &JobSpec) -> Result<JobStream, SvcError> {
+        write_frame(&mut self.stream, &Request::Submit(job.clone()).encode())?;
+        match read_event(&mut self.stream)? {
+            Some(Event::Accepted { total }) => {
+                Ok(JobStream { stream: self.stream, total, finished: false })
+            }
+            Some(Event::Error { code, message }) => Err(SvcError::Server { code, message }),
+            Some(other) => Err(SvcError::Protocol(format!("expected accepted, got {other:?}"))),
+            None => Err(SvcError::Protocol("connection closed before acceptance".into())),
+        }
+    }
+}
+
+/// An accepted job's event stream. Dropping the stream mid-job closes
+/// the connection, which the server treats as a cancellation.
+#[derive(Debug)]
+pub struct JobStream {
+    stream: TcpStream,
+    total: u64,
+    finished: bool,
+}
+
+impl JobStream {
+    /// Universe size the server committed to in its acceptance.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The next delta or the terminal [`Event::Done`]; `Ok(None)` once
+    /// the stream has delivered its terminal event.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing failures, a server [`Event::Error`], or a
+    /// connection that dies before its terminal event.
+    pub fn next_event(&mut self) -> Result<Option<Event>, SvcError> {
+        if self.finished {
+            return Ok(None);
+        }
+        match read_event(&mut self.stream)? {
+            Some(Event::Done(done)) => {
+                self.finished = true;
+                Ok(Some(Event::Done(done)))
+            }
+            Some(Event::Error { code, message }) => {
+                self.finished = true;
+                Err(SvcError::Server { code, message })
+            }
+            Some(delta @ Event::Delta(_)) => Ok(Some(delta)),
+            Some(other) => Err(SvcError::Protocol(format!("unexpected mid-stream {other:?}"))),
+            None => Err(SvcError::Protocol("stream closed before its Done event".into())),
+        }
+    }
+
+    /// Requests cancellation: any in-band byte tells the server to stop
+    /// the job at the next chunk boundary. Keep pulling events — the
+    /// stream still ends with a `Done` (cause `Cancelled`, unless the
+    /// sweep won the race and completed).
+    ///
+    /// # Errors
+    ///
+    /// The write error, verbatim.
+    pub fn cancel(&mut self) -> io::Result<()> {
+        self.stream.write_all(&[0])
+    }
+
+    /// Drains the stream to completion, collecting every delta and the
+    /// terminal summary.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Self::next_event`] failure, verbatim.
+    pub fn drain(mut self) -> Result<(Vec<CoverageDelta>, JobDone), SvcError> {
+        let mut deltas = Vec::new();
+        loop {
+            match self.next_event()? {
+                Some(Event::Delta(delta)) => deltas.push(delta),
+                Some(Event::Done(done)) => return Ok((deltas, done)),
+                Some(other) => {
+                    return Err(SvcError::Protocol(format!("unexpected mid-stream {other:?}")))
+                }
+                None => unreachable!("next_event yields Done before None"),
+            }
+        }
+    }
+}

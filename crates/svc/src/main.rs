@@ -1,0 +1,33 @@
+//! The `prt-svc` server binary: bind, print the resolved address, and
+//! serve until killed.
+//!
+//! ```text
+//! prt-svc [ADDR]           # default 127.0.0.1:7177
+//! ```
+//!
+//! Environment knobs: `PRT_SVC_WORKERS`, `PRT_SVC_SEGMENT`,
+//! `PRT_SVC_SHARD` (see [`prt_svc::ServerConfig`]) and `PRT_SVC_STORE`
+//! (directory for disk-persisted dictionaries).
+
+use prt_bench::{arg_or, die, env_or};
+use prt_svc::{Server, ServerConfig, DEFAULT_POLY_BITS};
+
+fn main() {
+    let addr: String = arg_or(1, "127.0.0.1:7177".to_string(), "listen address");
+    let config = ServerConfig {
+        addr,
+        workers_per_job: env_or("PRT_SVC_WORKERS", 0),
+        segment: env_or("PRT_SVC_SEGMENT", 512),
+        shard: env_or("PRT_SVC_SHARD", 8192),
+        store_dir: std::env::var_os("PRT_SVC_STORE").map(Into::into),
+        poly_bits: DEFAULT_POLY_BITS,
+    };
+    let handle = match Server::spawn(config) {
+        Ok(handle) => handle,
+        Err(e) => die(format!("prt-svc: bind failed: {e}")),
+    };
+    println!("prt-svc listening on {}", handle.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
+}

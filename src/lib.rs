@@ -41,19 +41,19 @@ pub mod prelude {
         PrtScheme, Trajectory,
     };
     pub use prt_diag::{
-        DiagError, Diagnosis, DictionaryStats, FaultDictionary, FaultFamily, Localizer,
-        Observation, SignatureCollector,
+        DiagError, Diagnosis, DictionaryStats, DictionaryStore, FaultDictionary, FaultFamily,
+        Localizer, Observation, SignatureCollector,
     };
     pub use prt_gf::{BitMatrix, Field, Poly2, PolyGf, XorNetwork};
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
-        is_lane_batchable, lane_word, CouplingTrigger, FaultKind, FaultUniverse, Geometry,
-        LaneChunk, LaneRam, PortOp, ProgramBuilder, Ram, RamError, SplitMix64, TestProgram,
-        UniverseSpec, LANES,
+        lane_word, CouplingTrigger, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam,
+        LazyUniverse, PortOp, ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec,
+        LANES,
     };
     pub use prt_sim::{
         Campaign, CampaignError, CancelToken, CheckpointError, CoverageReport, FaultRunner,
-        LaneWidth, Parallelism, PartialCoverage, ProgramBank, StopCause,
+        LaneWidth, Parallelism, PartialCoverage, ProgramBank, SegmentProgress, StopCause,
     };
 }

@@ -211,10 +211,9 @@ proptest! {
         let u = universe(n);
         let prog = march_program(u.geometry());
         let clean = Campaign::new(&u, &prog).with_name("resilient").run();
-        let batchable: Vec<usize> =
-            (0..u.len()).filter(|&i| is_lane_batchable(&u.faults()[i])).collect();
-        prop_assume!(!batchable.is_empty());
-        let starts: Vec<usize> = batchable.chunks(width.lanes()).map(|c| c[0]).collect();
+        // Batches are contiguous lane-width chunks over the whole universe
+        // (no partition predicate anymore) — batch b starts at b·lanes.
+        let starts: Vec<usize> = (0..u.len()).step_by(width.lanes()).collect();
         let target = starts[pick as usize % starts.len()];
         let plan = Arc::new(ChaosPlan::new().panic_on_batch(target));
         let degraded = Campaign::new(&u, &prog)
@@ -312,6 +311,64 @@ proptest! {
     }
 }
 
+/// SERVICE CHAOS: a client killed mid-stream (connection dropped after
+/// the first delta) must cancel its own job — the disconnect watchdog
+/// fires the job's `CancelToken` — and leave the server fully
+/// serviceable: a fresh client's job still completes, and the active-job
+/// gauge drains back to zero. A dead client never pins the worker pool.
+#[test]
+fn client_killed_mid_stream_leaves_server_serviceable() {
+    use prt_svc::{Client, Event, JobSpec, Server, ServerConfig, StopKind};
+
+    let server = Server::spawn(ServerConfig {
+        // Tiny segments so the victim's stream has many deltas in flight
+        // and the cancellation provably lands mid-job.
+        segment: 8,
+        ..ServerConfig::default()
+    })
+    .expect("spawn service");
+    let addr = server.addr();
+    let job = JobSpec {
+        family: "March C-".to_string(),
+        cells: 48,
+        width: 1,
+        spec: UniverseSpec::full(),
+        backgrounds: vec![0],
+        lane_width: 0,
+        deadline_ms: 0,
+        segment: 0,
+    };
+
+    // The victim: read exactly one delta, then drop the connection.
+    {
+        let client = Client::connect(addr).expect("victim connect");
+        let mut stream = client.submit(&job).expect("victim submit");
+        let first = stream.next_event().expect("victim first event");
+        assert!(matches!(first, Some(Event::Delta(_))), "expected a first delta, got {first:?}");
+        // `stream` drops here: the socket closes mid-job.
+    }
+
+    // The server must stay serviceable: a fresh client's job completes.
+    let client = Client::connect(addr).expect("fresh connect");
+    let stream = client.submit(&job).expect("fresh submit");
+    let total = stream.total();
+    let (deltas, done) = stream.drain().expect("fresh stream");
+    assert_eq!(done.cause, StopKind::Complete);
+    assert_eq!(done.evaluated, total);
+    assert_eq!(deltas.last().expect("at least one delta").end, total);
+
+    // The victim's cancellation lands and the job gauge drains to zero.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while server.active_jobs() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned job still active after 30s (gauge = {})",
+            server.active_jobs()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
 /// Deadlines produce explicitly partial reports, and `try_detections`
 /// refuses to return a partial verdict vector (typed error instead) —
 /// deterministic corner, no property sweep needed.
@@ -328,5 +385,5 @@ fn deadline_yields_marked_partial_report() {
     match Campaign::new(&u, toy_runner).with_deadline(std::time::Duration::ZERO).try_detections() {
         Err(CampaignError::DeadlineExceeded { .. }) => {}
         other => panic!("expected DeadlineExceeded, got {other:?}"),
-    }
+    };
 }
