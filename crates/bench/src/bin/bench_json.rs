@@ -11,12 +11,15 @@
 //! comparable across runners), then one row per (group, n, variant) with
 //! faults/second — including the `batch_*` variants of the lane-sliced
 //! engine at 64 (`batch_sequential`, the baseline), 256 (`batch256`) and
-//! 512 (`batch512`) lanes per pass, and a `campaign_threads_sweep` group
-//! scheduling whole lane chunks across 1/2/4/8 workers — plus the
-//! diagnosis subsystem rows (dictionary build and adaptive localization
-//! throughput). Tuning: `BENCH_JSON_MS` sets the per-row measurement
-//! budget (default 200 ms — CI smoke runs use a lower value; trend
-//! numbers come from the default).
+//! 512 (`batch512`) lanes per pass, the `sliced_*` variants of the
+//! activity-driven program slicer against those full-pass rows, and a
+//! `campaign_threads_sweep` group scheduling whole lane chunks across
+//! 1/2/4/8 workers — plus the diagnosis subsystem rows (dictionary build
+//! and adaptive localization throughput) and a `service` group measuring
+//! the campaign server's localhost latency (submit→first-delta and
+//! submit→done, `mean_ns` is the latency). Tuning: `BENCH_JSON_MS` sets
+//! the per-row measurement budget (default 200 ms — CI smoke runs use a
+//! lower value; trend numbers come from the default).
 
 use std::time::Instant;
 
@@ -74,18 +77,25 @@ fn json_escape(s: &str) -> String {
 }
 
 /// The compiled-program campaign variants every group measures:
-/// `(variant, lane batching, parallelism, lane width)`. The `compiled_*`
-/// rows pin the scalar engine the `batch_*` rows are compared against;
-/// `batch_sequential` stays pinned to 64 lanes as the cross-PR baseline,
-/// `batch256`/`batch512` measure the wide chunks against it, and
-/// `batch_parallel` runs the default width across all cores.
-const PROGRAM_VARIANTS: [(&str, bool, Parallelism, LaneWidth); 6] = [
-    ("compiled_sequential", false, Parallelism::Sequential, LaneWidth::X64),
-    ("compiled_parallel", false, Parallelism::Auto, LaneWidth::X64),
-    ("batch_sequential", true, Parallelism::Sequential, LaneWidth::X64),
-    ("batch256", true, Parallelism::Sequential, LaneWidth::X256),
-    ("batch512", true, Parallelism::Sequential, LaneWidth::X512),
-    ("batch_parallel", true, Parallelism::Auto, LaneWidth::X512),
+/// `(variant, lane batching, parallelism, lane width, activity slicing)`.
+/// The `compiled_*` rows pin the scalar engine the `batch_*` rows are
+/// compared against; `batch_sequential` stays pinned to 64 lanes as the
+/// cross-PR baseline, `batch256`/`batch512` measure the wide chunks
+/// against it, and `batch_parallel` runs the default width across all
+/// cores. The `batch_*` rows pin `with_slicing(false)` — the full-pass
+/// engine — so the `sliced_*` rows isolate the activity-slicing win at
+/// matching width/parallelism (64-lane sequential, 512-lane sequential,
+/// 512-lane all-cores).
+const PROGRAM_VARIANTS: [(&str, bool, Parallelism, LaneWidth, bool); 9] = [
+    ("compiled_sequential", false, Parallelism::Sequential, LaneWidth::X64, false),
+    ("compiled_parallel", false, Parallelism::Auto, LaneWidth::X64, false),
+    ("batch_sequential", true, Parallelism::Sequential, LaneWidth::X64, false),
+    ("batch256", true, Parallelism::Sequential, LaneWidth::X256, false),
+    ("batch512", true, Parallelism::Sequential, LaneWidth::X512, false),
+    ("batch_parallel", true, Parallelism::Auto, LaneWidth::X512, false),
+    ("sliced_sequential", true, Parallelism::Sequential, LaneWidth::X64, true),
+    ("sliced512", true, Parallelism::Sequential, LaneWidth::X512, true),
+    ("sliced_parallel", true, Parallelism::Auto, LaneWidth::X512, true),
 ];
 
 /// The git revision of the working tree, for cross-runner trajectory
@@ -132,7 +142,11 @@ fn main() {
                     variant: &'static str,
                     elements: usize,
                     m: (u64, f64)| {
-        let unit = if variant == "localize" { "diagnoses_per_sec" } else { "faults_per_sec" };
+        let unit = match (group, variant) {
+            (_, "localize") => "diagnoses_per_sec",
+            ("service", _) => "jobs_per_sec",
+            _ => "faults_per_sec",
+        };
         let row = Row { group, n, variant, unit, elements, iters: m.0, mean_ns: m.1 };
         eprintln!("{group}/{variant} n={n}: {:.0} {unit} ({} iters)", row.throughput(), row.iters);
         rows.push(row);
@@ -164,7 +178,7 @@ fn main() {
                     .detections();
             }),
         );
-        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width, slicing) in PROGRAM_VARIANTS {
             push(
                 "campaign_march_c_minus",
                 n,
@@ -175,6 +189,7 @@ fn main() {
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
                         .with_lane_width(width)
+                        .with_slicing(slicing)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -203,7 +218,10 @@ fn main() {
                 variant,
                 len,
                 measure(budget_ms, || {
+                    // Pinned to the full pass: these rows are cross-PR
+                    // scheduling baselines, not slicing measurements.
                     let _ = Campaign::new(&u, &program)
+                        .with_slicing(false)
                         .with_parallelism(Parallelism::Threads(threads))
                         .detections();
                 }),
@@ -222,7 +240,7 @@ fn main() {
         let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::single_cell());
         let len = u.len();
         let program = ex.compile(&test, u.geometry());
-        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width, slicing) in PROGRAM_VARIANTS {
             if !batching {
                 continue;
             }
@@ -234,6 +252,7 @@ fn main() {
                 measure(budget_ms, || {
                     let _ = Campaign::new(&u, &program)
                         .with_lane_width(width)
+                        .with_slicing(slicing)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -249,7 +268,7 @@ fn main() {
         let n = 16usize;
         let u = FaultUniverse::enumerate(Geometry::bom(n), &UniverseSpec::paper_claim());
         let len = u.len();
-        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width, slicing) in PROGRAM_VARIANTS {
             if par != Parallelism::Sequential {
                 continue;
             }
@@ -263,6 +282,7 @@ fn main() {
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
                         .with_lane_width(width)
+                        .with_slicing(slicing)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -287,7 +307,7 @@ fn main() {
         };
         let u = FaultUniverse::enumerate(Geometry::bom(n), &spec);
         let len = u.len();
-        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width, slicing) in PROGRAM_VARIANTS {
             if par != Parallelism::Sequential {
                 continue;
             }
@@ -301,6 +321,7 @@ fn main() {
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
                         .with_lane_width(width)
+                        .with_slicing(slicing)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -334,7 +355,7 @@ fn main() {
                     .detections();
             }),
         );
-        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width, slicing) in PROGRAM_VARIANTS {
             push(
                 "campaign_prt_standard3",
                 n,
@@ -345,6 +366,7 @@ fn main() {
                     let _ = Campaign::new(&u, &program)
                         .with_lane_batching(batching)
                         .with_lane_width(width)
+                        .with_slicing(slicing)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -375,7 +397,7 @@ fn main() {
                     .detections();
             }),
         );
-        for (variant, batching, par, width) in PROGRAM_VARIANTS {
+        for (variant, batching, par, width, slicing) in PROGRAM_VARIANTS {
             push(
                 "campaign_march_multibg_wom",
                 n,
@@ -387,6 +409,7 @@ fn main() {
                         .with_backgrounds(&bgs)
                         .with_lane_batching(batching)
                         .with_lane_width(width)
+                        .with_slicing(slicing)
                         .with_parallelism(par)
                         .detections();
                 }),
@@ -449,6 +472,60 @@ fn main() {
                 }
             }),
         );
+    }
+
+    // Campaign service latency over localhost: an in-process server on a
+    // loopback socket, one row per client-observed milestone — submit →
+    // first streamed coverage delta, and submit → done (the whole-job
+    // round trip including connect, frame encode/decode and the sharded
+    // sweep). `elements` is 1, so `mean_ns` IS the latency and the
+    // throughput field reads as jobs per second.
+    {
+        let server =
+            prt_svc::Server::spawn(prt_svc::ServerConfig::default()).expect("bind loopback");
+        let addr = server.addr();
+        let job = prt_svc::JobSpec {
+            family: "March C-".to_string(),
+            cells: 16,
+            width: 1,
+            spec: UniverseSpec::paper_claim(),
+            backgrounds: vec![0],
+            lane_width: 0,
+            deadline_ms: 0,
+            segment: 64,
+        };
+        push(
+            "service",
+            16,
+            "submit_first_delta",
+            1,
+            measure(budget_ms, || {
+                let client = prt_svc::Client::connect(addr).expect("connect");
+                let mut stream = client.submit(&job).expect("submit");
+                loop {
+                    match stream.next_event().expect("event") {
+                        Some(prt_svc::Event::Delta(_)) => break,
+                        Some(_) => continue,
+                        None => panic!("stream ended before the first delta"),
+                    }
+                }
+                // Dropping the stream here closes the connection; the
+                // server treats it as a cancel and reaps the job.
+            }),
+        );
+        push(
+            "service",
+            16,
+            "submit_done",
+            1,
+            measure(budget_ms, || {
+                let client = prt_svc::Client::connect(addr).expect("connect");
+                let stream = client.submit(&job).expect("submit");
+                let (_deltas, done) = stream.drain().expect("drain");
+                assert_eq!(done.evaluated, done.total, "service job must complete");
+            }),
+        );
+        server.shutdown();
     }
 
     let cpu_cores = std::thread::available_parallelism().map_or(1, |n| n.get());

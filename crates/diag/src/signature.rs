@@ -12,7 +12,10 @@
 use crate::DiagError;
 use prt_gf::Poly2;
 use prt_lfsr::Misr;
-use prt_ram::{lane_word, Execution, LaneChunk, LaneRam, Ram, RamError, TestProgram};
+use prt_ram::{
+    lane_word, ActiveSet, ActivityIndex, Execution, LaneChunk, LaneRam, Ram, RamError, TestProgram,
+};
+use std::sync::Arc;
 
 /// One observed run: the compacted signature plus the full channel counts
 /// of the execution that produced it.
@@ -114,6 +117,11 @@ pub struct SignatureCollector {
     width: u32,
     responses: u64,
     reference: u64,
+    /// Activity index of the program the collector was built for — the
+    /// batched path slices with it whenever it still matches the program
+    /// handed to [`SignatureCollector::collect_batch`]. Shared with the
+    /// program's own cache ([`TestProgram::activity_index`]).
+    index: Arc<ActivityIndex>,
 }
 
 impl SignatureCollector {
@@ -134,6 +142,7 @@ impl SignatureCollector {
             width: reference.width(),
             responses: reference.absorbed(),
             reference: reference.signature(),
+            index: program.activity_index(),
         })
     }
 
@@ -227,11 +236,31 @@ impl SignatureCollector {
             .map(|_| Misr::new(self.poly).expect("polynomial validated at construction"))
             .collect();
         let mut execs = vec![Execution::default(); LaneRam::<K>::LANES];
-        let _ = program.execute_batch_observed(ram, &mut execs, &mut |planes| {
+        let mut observer = |planes: &[LaneChunk<K>]| {
             for (lane, misr) in misrs.iter_mut().enumerate() {
                 misr.absorb(lane_word(planes, lane));
             }
-        });
+        };
+        if self.index.matches(program) {
+            // Activity slicing: only the ops whose address intersects the
+            // chunk's span union run on the device; skipped checked reads
+            // absorb their precomputed fault-free responses — the
+            // signatures are bit-identical to the full pass.
+            let mut active = ActiveSet::new();
+            for (fault, _) in ram.fault_bank().faults() {
+                active.insert_fault(fault);
+            }
+            active.finalize(&self.index);
+            let _ = program.execute_batch_observed_sliced(
+                ram,
+                &self.index,
+                &active,
+                &mut execs,
+                &mut observer,
+            );
+        } else {
+            let _ = program.execute_batch_observed(ram, &mut execs, &mut observer);
+        }
         let errored = ram.errored_lanes();
         for (lane, misr) in misrs.iter().enumerate() {
             if errored.get(lane) {

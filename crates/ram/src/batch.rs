@@ -245,6 +245,26 @@ enum LaneDecode {
 /// An indexed collection of `(fault, lane mask)` pairs, organised exactly
 /// like the scalar [`crate::FaultBank`]: per-cell victim/aggressor buckets
 /// for O(1) hot-path lookup, a per-address lane-decoder table for AF, and
+/// Per-cell fault-kind presence bits (victim side): each enforcement
+/// pass of the read/write hot paths is gated on its bit, so a cell
+/// carrying only (say) stuck-at faults skips the transition, disturb,
+/// retention, coupling and NPSF scans entirely instead of matching every
+/// bucket entry against every pass.
+const VK_SA: u16 = 1 << 0;
+const VK_TF: u16 = 1 << 1;
+const VK_WD: u16 = 1 << 2;
+const VK_DR: u16 = 1 << 3;
+const VK_SOF: u16 = 1 << 4;
+const VK_RDLOGIC: u16 = 1 << 5;
+const VK_CFST: u16 = 1 << 6;
+const VK_NPSF: u16 = 1 << 7;
+
+/// Aggressor-side presence bits: coupling triggers (inversion /
+/// idempotent), state-coupling aggressors and NPSF neighbours.
+const AK_CF_TRIG: u8 = 1 << 0;
+const AK_CFST: u8 = 1 << 1;
+const AK_NPSF: u8 = 1 << 2;
+
 /// per-fault retention clocks — recycled allocation-free across campaign
 /// batches via [`LaneFaultBank::clear`].
 #[derive(Debug, Clone)]
@@ -268,6 +288,10 @@ pub struct LaneFaultBank<const K: usize = 1> {
     /// Fault indices with a coupling/NPSF aggressor or neighbour in the
     /// indexed cell.
     by_aggressor: Vec<Vec<usize>>,
+    /// Per-cell `VK_*` presence bits for the victim bucket.
+    victim_kinds: Vec<u16>,
+    /// Per-cell `AK_*` presence bits for the aggressor bucket.
+    agg_kinds: Vec<u8>,
     /// Cells whose buckets may be non-empty (cleared lazily).
     touched: Vec<usize>,
     /// Lane-decoder overrides by address (rare — kept as a map, like the
@@ -288,6 +312,8 @@ impl<const K: usize> Default for LaneFaultBank<K> {
             stamps: Vec::new(),
             by_victim: Vec::new(),
             by_aggressor: Vec::new(),
+            victim_kinds: Vec::new(),
+            agg_kinds: Vec::new(),
             touched: Vec::new(),
             decoder: HashMap::new(),
             sof_count: 0,
@@ -343,24 +369,40 @@ impl<const K: usize> LaneFaultBank<K> {
             | FaultKind::IncorrectRead { cell, .. }
             | FaultKind::WriteDisturb { cell, .. } => {
                 self.index_site(*cell, idx, true);
-                match fault {
-                    FaultKind::StuckOpen { .. } => self.sof_count += 1,
-                    FaultKind::ReadDestructive { .. }
-                    | FaultKind::DeceptiveRead { .. }
-                    | FaultKind::IncorrectRead { .. } => self.readlogic_count += 1,
-                    _ => {}
-                }
+                let vk = match fault {
+                    FaultKind::StuckAt { .. } => VK_SA,
+                    FaultKind::Transition { .. } => VK_TF,
+                    FaultKind::DataRetention { .. } => VK_DR,
+                    FaultKind::WriteDisturb { .. } => VK_WD,
+                    FaultKind::StuckOpen { .. } => {
+                        self.sof_count += 1;
+                        VK_SOF
+                    }
+                    _ => {
+                        self.readlogic_count += 1;
+                        VK_RDLOGIC
+                    }
+                };
+                self.victim_kinds[*cell] |= vk;
             }
             FaultKind::CouplingInversion { agg_cell, victim_cell, .. }
-            | FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. }
-            | FaultKind::CouplingState { agg_cell, victim_cell, .. } => {
+            | FaultKind::CouplingIdempotent { agg_cell, victim_cell, .. } => {
                 self.index_site(*agg_cell, idx, false);
                 self.index_site(*victim_cell, idx, true);
+                self.agg_kinds[*agg_cell] |= AK_CF_TRIG;
+            }
+            FaultKind::CouplingState { agg_cell, victim_cell, .. } => {
+                self.index_site(*agg_cell, idx, false);
+                self.index_site(*victim_cell, idx, true);
+                self.agg_kinds[*agg_cell] |= AK_CFST;
+                self.victim_kinds[*victim_cell] |= VK_CFST;
             }
             FaultKind::Npsf { victim_cell, neighbors, .. } => {
                 self.index_site(*victim_cell, idx, true);
+                self.victim_kinds[*victim_cell] |= VK_NPSF;
                 for &(c, _, _) in neighbors {
                     self.index_site(c, idx, false);
+                    self.agg_kinds[c] |= AK_NPSF;
                 }
             }
             FaultKind::DecoderNoAccess { addr } => {
@@ -403,6 +445,8 @@ impl<const K: usize> LaneFaultBank<K> {
         for &cell in &self.touched {
             self.by_victim[cell].clear();
             self.by_aggressor[cell].clear();
+            self.victim_kinds[cell] = 0;
+            self.agg_kinds[cell] = 0;
         }
         self.touched.clear();
         self.decoder.clear();
@@ -429,10 +473,25 @@ impl<const K: usize> LaneFaultBank<K> {
         if self.by_victim.len() <= cell {
             self.by_victim.resize_with(cell + 1, Vec::new);
             self.by_aggressor.resize_with(cell + 1, Vec::new);
+            self.victim_kinds.resize(cell + 1, 0);
+            self.agg_kinds.resize(cell + 1, 0);
         }
         let bucket = if victim { &mut self.by_victim[cell] } else { &mut self.by_aggressor[cell] };
         bucket.push(idx);
         self.touched.push(cell);
+    }
+
+    /// `VK_*` presence bits for `cell`'s victim bucket (0 out of range).
+    #[inline]
+    fn vkinds(&self, cell: usize) -> u16 {
+        self.victim_kinds.get(cell).copied().unwrap_or(0)
+    }
+
+    /// `AK_*` presence bits for `cell`'s aggressor bucket (0 out of
+    /// range).
+    #[inline]
+    fn akinds(&self, cell: usize) -> u8 {
+        self.agg_kinds.get(cell).copied().unwrap_or(0)
     }
 }
 
@@ -660,6 +719,45 @@ impl<const K: usize> LaneRam<K> {
         lane_word(&self.store[cell * m..cell * m + m], lane)
     }
 
+    /// The device operation clock (reads + writes issued so far). The
+    /// slicing layer records it on entry and re-syncs it across skipped
+    /// op ranges so data-retention windows observe full-pass time.
+    pub(crate) fn op_time(&self) -> u64 {
+        self.time
+    }
+
+    /// Forces the operation clock — slicing gap jumps only.
+    pub(crate) fn set_op_time(&mut self, time: u64) {
+        self.time = time;
+    }
+
+    /// Overwrites `cell`'s storage with `word` on every lane, bypassing
+    /// fault semantics, sense latching and the operation clock: the
+    /// slicing layer's reference splice for cells no fault in the chunk
+    /// can perturb.
+    pub(crate) fn poke_broadcast(&mut self, cell: usize, word: u64) {
+        let m = self.geom.width() as usize;
+        for bit in 0..m {
+            self.store[cell * m + bit] = LaneChunk::broadcast(word, bit as u32);
+        }
+    }
+
+    /// Forces `port`'s sense-amplifier planes to `word` on every lane —
+    /// the reference value the last skipped read on that port would have
+    /// latched.
+    pub(crate) fn force_sense_broadcast(&mut self, port: usize, word: u64) {
+        let m = self.geom.width() as usize;
+        for bit in 0..m {
+            self.sense[port * m + bit] = LaneChunk::broadcast(word, bit as u32);
+        }
+    }
+
+    /// Whether a stuck-open fault is present — the gate for the slicing
+    /// layer's sense restores, mirroring the read path's own latch gate.
+    pub(crate) fn has_sof(&self) -> bool {
+        self.bank.sof_count > 0
+    }
+
     /// Reads `addr` on every lane at once through port 0, applying fault
     /// semantics in the scalar read order (stuck-open latch → retention
     /// decay → state coupling → NPSF → stuck-at → read-logic flips) with
@@ -789,7 +887,8 @@ impl<const K: usize> LaneRam<K> {
         // one; IRF inverts the output only. Store flips are OR-staged so
         // the post-flip stuck-at enforcement runs once, like the scalar
         // path.
-        if let Some(bucket) = self.bank.by_victim.get(cell) {
+        if self.bank.vkinds(cell) & VK_RDLOGIC != 0 {
+            let bucket = &self.bank.by_victim[cell];
             let mut flips = std::mem::take(&mut self.scratch_flips);
             flips.clear();
             flips.resize(m, LaneChunk::ZERO);
@@ -846,10 +945,15 @@ impl<const K: usize> LaneRam<K> {
     /// order: retention decay → CFst → NPSF → stuck-at), leaving the
     /// stored planes as the value a divergence-free read returns.
     fn read_enforce(&mut self, cell: usize, act: LaneChunk<K>) {
+        let vk = self.bank.vkinds(cell);
+        if vk & (VK_DR | VK_CFST | VK_NPSF | VK_SA) == 0 {
+            return;
+        }
         // Data-retention decay (per-fault clocks).
-        let mut actions = std::mem::take(&mut self.scratch_actions);
-        actions.clear();
-        if let Some(bucket) = self.bank.by_victim.get(cell) {
+        if vk & VK_DR != 0 {
+            let mut actions = std::mem::take(&mut self.scratch_actions);
+            actions.clear();
+            let bucket = &self.bank.by_victim[cell];
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::DataRetention { bit, decays_to, after, .. } = *f {
@@ -863,9 +967,9 @@ impl<const K: usize> LaneRam<K> {
                     }
                 }
             }
+            self.apply_actions(&actions);
+            self.scratch_actions = actions;
         }
-        self.apply_actions(&actions);
-        self.scratch_actions = actions;
         self.enforce_state_on_victim(cell, act);
         self.enforce_npsf_on_victim(cell, act);
         self.enforce_sa(cell);
@@ -1033,8 +1137,9 @@ impl<const K: usize> LaneRam<K> {
         old.extend_from_slice(&self.store[base..base + m]);
         // Transition blocking, then write-disturb, then stuck-at
         // enforcement on the incoming value — the scalar write order.
-        if let Some(bucket) = self.bank.by_victim.get(cell) {
-            for &i in bucket {
+        let vk = self.bank.vkinds(cell);
+        if vk & VK_TF != 0 {
+            for &i in &self.bank.by_victim[cell] {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::Transition { bit, rising, .. } = *f {
                     let b = bit as usize;
@@ -1049,7 +1154,9 @@ impl<const K: usize> LaneRam<K> {
                     }
                 }
             }
-            for &i in bucket {
+        }
+        if vk & VK_WD != 0 {
+            for &i in &self.bank.by_victim[cell] {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::WriteDisturb { bit, .. } = *f {
                     let b = bit as usize;
@@ -1061,7 +1168,9 @@ impl<const K: usize> LaneRam<K> {
                     }
                 }
             }
-            for &i in bucket {
+        }
+        if vk & VK_SA != 0 {
+            for &i in &self.bank.by_victim[cell] {
                 let (f, lanes) = &self.bank.faults[i];
                 if let FaultKind::StuckAt { bit, value, .. } = *f {
                     let b = bit as usize;
@@ -1080,8 +1189,9 @@ impl<const K: usize> LaneRam<K> {
             *p = (v & eff) | (*p & !eff);
         }
         // Restart the retention clock of every DRF whose lanes wrote.
-        if let Some(bucket) = self.bank.by_victim.get(cell) {
-            for &i in bucket {
+        if vk & VK_DR != 0 {
+            for bi in 0..self.bank.by_victim[cell].len() {
+                let i = self.bank.by_victim[cell][bi];
                 let (f, lanes) = &self.bank.faults[i];
                 if matches!(f, FaultKind::DataRetention { .. })
                     && self.bank.span(i).any(|w| lanes.0[w] & eff.0[w] != 0)
@@ -1093,7 +1203,8 @@ impl<const K: usize> LaneRam<K> {
         // Coupling triggers on the lanes whose bits actually flipped.
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
-        if let Some(bucket) = self.bank.by_aggressor.get(cell) {
+        if self.bank.akinds(cell) & AK_CF_TRIG != 0 {
+            let bucket = &self.bank.by_aggressor[cell];
             for &i in bucket {
                 let (f, lanes) = &self.bank.faults[i];
                 match *f {
@@ -1152,7 +1263,7 @@ impl<const K: usize> LaneRam<K> {
     /// The lanes on which `cell` carries a stuck-open fault.
     fn sof_lanes(&self, cell: usize) -> LaneChunk<K> {
         let mut sof = LaneChunk::ZERO;
-        if self.bank.sof_count > 0 {
+        if self.bank.sof_count > 0 && self.bank.vkinds(cell) & VK_SOF != 0 {
             if let Some(bucket) = self.bank.by_victim.get(cell) {
                 for &i in bucket {
                     let (f, lanes) = &self.bank.faults[i];
@@ -1191,6 +1302,9 @@ impl<const K: usize> LaneRam<K> {
     /// CFst where `cell` is the aggressor: enforce on the accessing lanes
     /// whose aggressor bit currently holds the trigger state.
     fn enforce_state_from_aggressor(&mut self, cell: usize, access: LaneChunk<K>) {
+        if self.bank.akinds(cell) & AK_CFST == 0 {
+            return;
+        }
         let m = self.geom.width() as usize;
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -1227,6 +1341,9 @@ impl<const K: usize> LaneRam<K> {
     /// CFst where `cell` is the victim: re-enforce on the accessing lanes
     /// whose aggressor currently holds the trigger state.
     fn enforce_state_on_victim(&mut self, cell: usize, access: LaneChunk<K>) {
+        if self.bank.vkinds(cell) & VK_CFST == 0 {
+            return;
+        }
         let m = self.geom.width() as usize;
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
@@ -1262,6 +1379,9 @@ impl<const K: usize> LaneRam<K> {
 
     /// NPSF where `cell` is one of the neighbours (checked after writes).
     fn enforce_npsf_from_neighbor(&mut self, cell: usize, access: LaneChunk<K>) {
+        if self.bank.akinds(cell) & AK_NPSF == 0 {
+            return;
+        }
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
         if let Some(bucket) = self.bank.by_aggressor.get(cell) {
@@ -1283,6 +1403,9 @@ impl<const K: usize> LaneRam<K> {
 
     /// NPSF where `cell` is the victim (checked at reads).
     fn enforce_npsf_on_victim(&mut self, cell: usize, access: LaneChunk<K>) {
+        if self.bank.vkinds(cell) & VK_NPSF == 0 {
+            return;
+        }
         let mut actions = std::mem::take(&mut self.scratch_actions);
         actions.clear();
         if let Some(bucket) = self.bank.by_victim.get(cell) {
@@ -1321,6 +1444,9 @@ impl<const K: usize> LaneRam<K> {
     /// re-applying it on lanes whose device did not access the cell is
     /// harmless (the bit already holds the stuck value).
     fn enforce_sa(&mut self, cell: usize) {
+        if self.bank.vkinds(cell) & VK_SA == 0 {
+            return;
+        }
         let m = self.geom.width() as usize;
         if let Some(bucket) = self.bank.by_victim.get(cell) {
             for &i in bucket {

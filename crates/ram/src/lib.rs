@@ -48,6 +48,7 @@ pub mod geometry;
 pub mod memory;
 pub mod prog;
 pub mod rng;
+pub mod slice;
 pub mod stats;
 pub mod topology;
 pub mod universe;
@@ -59,6 +60,7 @@ pub use geometry::Geometry;
 pub use memory::{MemoryDevice, PortOp, Ram, ReadWired, MAX_PORTS};
 pub use prog::{Execution, MemOp, OpMismatch, ProgramBuilder, SlotOp, TestProgram, ACC_LANES};
 pub use rng::SplitMix64;
+pub use slice::{fault_cells, fault_locality_key, ActiveSet, ActivityIndex};
 pub use stats::AccessStats;
 pub use topology::{Layout, Scrambler};
 pub use universe::{FaultUniverse, LazyUniverse, UniverseSpec};

@@ -75,13 +75,52 @@
 //! ```
 
 use crate::batch::{lane_word, LaneChunk, LaneRam};
+use crate::slice::{ActiveSet, ActivityIndex, NO_READ};
 use crate::{Geometry, PortOp, Ram, RamError, MAX_PORTS};
 use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// Lazily-built cache of the program's [`ActivityIndex`]. The index is a
+/// pure function of the program, so the cache is transparent: equality
+/// ignores it, and clones taken after the first build share the built
+/// index through the `Arc`.
+#[derive(Default)]
+struct ActivityCache(OnceLock<Arc<ActivityIndex>>);
+
+impl Clone for ActivityCache {
+    fn clone(&self) -> ActivityCache {
+        ActivityCache(self.0.clone())
+    }
+}
+
+impl std::fmt::Debug for ActivityCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Deliberately constant: program Debug output feeds checkpoint
+        // fingerprints and service cache keys, which must not change when
+        // the lazy index happens to build.
+        f.write_str("ActivityCache")
+    }
+}
+
+impl PartialEq for ActivityCache {
+    fn eq(&self, _other: &ActivityCache) -> bool {
+        true
+    }
+}
+
+impl Eq for ActivityCache {}
 
 /// Number of independent accumulator lanes the interpreter provides (one
 /// per concurrently running automaton; the §4 multi-LFSR quad-port scheme
 /// uses two).
 pub const ACC_LANES: usize = 4;
+
+/// Per-accumulator-lane bit-plane images (one plane set per trial lane)
+/// of the batch interpreters.
+type AccPlanes<const K: usize> = [[LaneChunk<K>; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+
+/// Per-port buffered read planes of one batched multi-port cycle.
+type ReadPlanes<const K: usize> = [[LaneChunk<K>; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
 
 /// One operation of a port slot inside a [`MemOp::CycleN`].
 ///
@@ -276,6 +315,8 @@ pub struct TestProgram {
     /// these to recover source structure (March element, iteration…).
     marks: Vec<(usize, u32)>,
     captures: usize,
+    /// Lazily-built activity index (see [`TestProgram::activity_index`]).
+    activity: ActivityCache,
 }
 
 impl TestProgram {
@@ -302,6 +343,15 @@ impl TestProgram {
         self.background
     }
 
+    /// The program's [`ActivityIndex`] — compiled on first use by one
+    /// fault-free reference simulation, then shared: clones taken after
+    /// the build reuse the same index through the `Arc`, so campaigns,
+    /// signature collectors and services slicing the same program pay
+    /// the compile once.
+    pub fn activity_index(&self) -> Arc<ActivityIndex> {
+        Arc::clone(self.activity.0.get_or_init(|| Arc::new(ActivityIndex::build(self))))
+    }
+
     /// The check window this program was compiled with
     /// ([`ProgramBuilder::with_window`]), if any: only
     /// [`ProgramBuilder::read_checked`] reads of in-window addresses carry
@@ -319,6 +369,13 @@ impl TestProgram {
     /// The slot table backing [`MemOp::CycleN`] ops.
     pub fn slots(&self) -> &[SlotOp] {
         &self.slots
+    }
+
+    /// The GF(2)-linear map mask table (crate-internal: the activity
+    /// index's fault-free reference simulation applies the same maps the
+    /// interpreter does).
+    pub(crate) fn map_table(&self) -> &[Vec<u64>] {
+        &self.maps
     }
 
     /// Number of [`MemOp::ReadCapture`] ops (capacity needed by the
@@ -485,85 +542,203 @@ impl TestProgram {
     }
 
     fn detect_batch_unchecked<const K: usize>(&self, ram: &mut LaneRam<K>) -> LaneChunk<K> {
-        let m = self.geom.width() as usize;
         let full = ram.active_lanes();
         let mut acc = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; ACC_LANES];
         let mut reads = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
         let mut detected = LaneChunk::<K>::ZERO;
         let mut errored = LaneChunk::<K>::ZERO;
         for op in &self.ops {
-            match *op {
-                MemOp::Write { addr, data } => ram.write_broadcast(addr as usize, data),
-                MemOp::ReadExpect { addr, expect }
-                | MemOp::ReadStale { addr, expect }
-                | MemOp::ReadCapture { addr, expect } => {
-                    let planes = ram.read(addr as usize);
-                    let mut diff = LaneChunk::<K>::ZERO;
-                    for (j, &p) in planes.iter().enumerate() {
-                        diff |= p ^ LaneChunk::broadcast(expect, j as u32);
-                    }
-                    detected |= diff & !errored;
-                }
-                MemOp::ReadAny { addr } => {
-                    let _ = ram.read(addr as usize);
-                }
-                MemOp::AccSet { lane, value } => {
-                    for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
-                        *plane = LaneChunk::broadcast(value, j as u32);
-                    }
-                }
-                MemOp::ReadAcc { addr, map, lane } => {
-                    let planes = ram.read(addr as usize);
-                    let masks = &self.maps[map as usize];
-                    let a = &mut acc[lane as usize];
-                    for (j, &p) in planes.iter().enumerate() {
-                        let mut img = masks[j];
-                        while img != 0 {
-                            let i = img.trailing_zeros() as usize;
-                            a[i] ^= p;
-                            img &= img - 1;
-                        }
-                    }
-                }
-                MemOp::WriteAcc { addr, lane } => {
-                    ram.write_planes(addr as usize, &acc[lane as usize][..m]);
-                }
-                MemOp::CycleN { start, len } => {
-                    let slots = &self.slots[start as usize..start as usize + len as usize];
-                    errored = self.cycle_batch_ram_phase(ram, slots, &acc, &mut reads);
-                    for (port, &slot) in slots.iter().enumerate() {
-                        match slot {
-                            SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
-                            SlotOp::ReadAcc { map, lane, .. } => {
-                                let masks = &self.maps[map as usize];
-                                let a = &mut acc[lane as usize];
-                                for (j, &p) in reads[port][..m].iter().enumerate() {
-                                    let mut img = masks[j];
-                                    while img != 0 {
-                                        let i = img.trailing_zeros() as usize;
-                                        a[i] ^= p;
-                                        img &= img - 1;
-                                    }
-                                }
-                            }
-                            SlotOp::ReadExpect { expect, .. }
-                            | SlotOp::ReadStale { expect, .. }
-                            | SlotOp::ReadCapture { expect, .. } => {
-                                let mut diff = LaneChunk::<K>::ZERO;
-                                for (j, &p) in reads[port][..m].iter().enumerate() {
-                                    diff |= p ^ LaneChunk::broadcast(expect, j as u32);
-                                }
-                                detected |= diff & !errored;
-                            }
-                        }
-                    }
-                }
-            }
+            self.detect_step(ram, op, &mut acc, &mut reads, &mut detected, &mut errored);
             if (detected | errored) & full == full {
                 break;
             }
         }
         detected & full
+    }
+
+    /// One op of the detection batch interpreter — the body shared by the
+    /// full pass ([`TestProgram::detect_batch`]) and the sliced pass
+    /// ([`TestProgram::detect_batch_sliced`]), so the two modes cannot
+    /// drift apart semantically.
+    #[inline]
+    fn detect_step<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        op: &MemOp,
+        acc: &mut AccPlanes<K>,
+        reads: &mut ReadPlanes<K>,
+        detected: &mut LaneChunk<K>,
+        errored: &mut LaneChunk<K>,
+    ) {
+        let m = self.geom.width() as usize;
+        match *op {
+            MemOp::Write { addr, data } => ram.write_broadcast(addr as usize, data),
+            MemOp::ReadExpect { addr, expect }
+            | MemOp::ReadStale { addr, expect }
+            | MemOp::ReadCapture { addr, expect } => {
+                let planes = ram.read(addr as usize);
+                let mut diff = LaneChunk::<K>::ZERO;
+                for (j, &p) in planes.iter().enumerate() {
+                    diff |= p ^ LaneChunk::broadcast(expect, j as u32);
+                }
+                *detected |= diff & !*errored;
+            }
+            MemOp::ReadAny { addr } => {
+                let _ = ram.read(addr as usize);
+            }
+            MemOp::AccSet { lane, value } => {
+                for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
+                    *plane = LaneChunk::broadcast(value, j as u32);
+                }
+            }
+            MemOp::ReadAcc { addr, map, lane } => {
+                let planes = ram.read(addr as usize);
+                let masks = &self.maps[map as usize];
+                let a = &mut acc[lane as usize];
+                for (j, &p) in planes.iter().enumerate() {
+                    let mut img = masks[j];
+                    while img != 0 {
+                        let i = img.trailing_zeros() as usize;
+                        a[i] ^= p;
+                        img &= img - 1;
+                    }
+                }
+            }
+            MemOp::WriteAcc { addr, lane } => {
+                ram.write_planes(addr as usize, &acc[lane as usize][..m]);
+            }
+            MemOp::CycleN { start, len } => {
+                let slots = &self.slots[start as usize..start as usize + len as usize];
+                *errored = self.cycle_batch_ram_phase(ram, slots, acc, reads);
+                for (port, &slot) in slots.iter().enumerate() {
+                    match slot {
+                        SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
+                        SlotOp::ReadAcc { map, lane, .. } => {
+                            let masks = &self.maps[map as usize];
+                            let a = &mut acc[lane as usize];
+                            for (j, &p) in reads[port][..m].iter().enumerate() {
+                                let mut img = masks[j];
+                                while img != 0 {
+                                    let i = img.trailing_zeros() as usize;
+                                    a[i] ^= p;
+                                    img &= img - 1;
+                                }
+                            }
+                        }
+                        SlotOp::ReadExpect { expect, .. }
+                        | SlotOp::ReadStale { expect, .. }
+                        | SlotOp::ReadCapture { expect, .. } => {
+                            let mut diff = LaneChunk::<K>::ZERO;
+                            for (j, &p) in reads[port][..m].iter().enumerate() {
+                                diff |= p ^ LaneChunk::broadcast(expect, j as u32);
+                            }
+                            *detected |= diff & !*errored;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`TestProgram::detect_batch`] in **sliced execution mode**: only
+    /// the ops in `active` (the chunk's span-union activity set resolved
+    /// against `index`) execute on the device; the fault-free effect of
+    /// every skipped gap is spliced in from the precomputed reference —
+    /// the operation clock jumps, out-of-union cells an active op reads
+    /// are poked to their pre-op reference value, and stuck-open sense
+    /// amplifiers are restored from the per-port read history.
+    ///
+    /// Per lane, the verdict is **bit-identical** to
+    /// [`TestProgram::detect_batch`] (property-tested in
+    /// `tests/slicing.rs`): outside the span union the device state
+    /// equals the fault-free reference on every lane, so a skipped op
+    /// can neither flag a lane nor change any state an active op
+    /// observes.
+    ///
+    /// # Panics
+    ///
+    /// As [`TestProgram::detect_batch`], plus when `index` was not built
+    /// for this program.
+    pub fn detect_batch_sliced<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        index: &ActivityIndex,
+        active: &ActiveSet,
+    ) -> LaneChunk<K> {
+        self.try_detect_batch_sliced(ram, index, active)
+            .unwrap_or_else(|e| self.panic_batch_config(e))
+    }
+
+    /// The fallible form of [`TestProgram::detect_batch_sliced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TestProgram::try_detect_batch`].
+    pub fn try_detect_batch_sliced<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        index: &ActivityIndex,
+        active: &ActiveSet,
+    ) -> Result<LaneChunk<K>, RamError> {
+        self.check_batch_config(ram)?;
+        assert!(index.matches(self), "activity index was built for a different program");
+        let full = ram.active_lanes();
+        let base_time = ram.op_time();
+        let sof = ram.has_sof();
+        let mut acc = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+        let mut reads = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
+        let mut detected = LaneChunk::<K>::ZERO;
+        let mut errored = LaneChunk::<K>::ZERO;
+        let mut next = 0u32;
+        for &opi in active.ops() {
+            self.splice_gap(ram, index, active, base_time, sof, next..opi);
+            self.detect_step(
+                ram,
+                &self.ops[opi as usize],
+                &mut acc,
+                &mut reads,
+                &mut detected,
+                &mut errored,
+            );
+            if (detected | errored) & full == full {
+                break;
+            }
+            next = opi + 1;
+        }
+        Ok(detected & full)
+    }
+
+    /// Splices the fault-free reference effects of the skipped gap
+    /// `[next, opi)` and preps active op `opi`: sense restores on
+    /// stuck-open banks (the last skipped read's reference value, per
+    /// port), device-clock re-sync, and reference pokes for every
+    /// out-of-union cell the op is about to read (skipped writes to
+    /// those cells never materialised — on every lane they would have
+    /// stored exactly the reference value).
+    fn splice_gap<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        index: &ActivityIndex,
+        active: &ActiveSet,
+        base_time: u64,
+        sof: bool,
+        gap: std::ops::Range<u32>,
+    ) {
+        let (next, opi) = (gap.start, gap.end);
+        let j = opi as usize;
+        if sof && opi > next {
+            for (port, &(ri, rv)) in index.last_read_before[j][..self.ports].iter().enumerate() {
+                if ri != NO_READ && ri >= next {
+                    ram.force_sense_broadcast(port, rv);
+                }
+            }
+        }
+        ram.set_op_time(base_time + index.time_before[j]);
+        for &(a, v) in index.read_refs_for(j) {
+            if !active.contains(a as usize) {
+                ram.poke_broadcast(a as usize, v);
+            }
+        }
     }
 
     /// The ram half of one batched multi-port cycle, mirroring the scalar
@@ -670,7 +845,6 @@ impl TestProgram {
     ) -> Result<LaneChunk<K>, RamError> {
         self.check_batch_config(ram)?;
         assert_eq!(execs.len(), LaneRam::<K>::LANES, "one execution summary per lane");
-        let m = self.geom.width() as usize;
         execs.fill(Execution::default());
         let mut acc = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; ACC_LANES];
         let mut reads = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
@@ -678,109 +852,19 @@ impl TestProgram {
         let mut errored = LaneChunk::<K>::ZERO;
         let mut ops = 0u64;
         let mut cycles = 0u64;
-        for (idx, op) in self.ops.iter().enumerate() {
-            match *op {
-                MemOp::Write { addr, data } => {
-                    ram.write_broadcast(addr as usize, data);
-                    ops += 1;
-                    cycles += 1;
-                }
-                MemOp::ReadExpect { addr, expect }
-                | MemOp::ReadStale { addr, expect }
-                | MemOp::ReadCapture { addr, expect } => {
-                    let planes = ram.read(addr as usize);
-                    observer(planes);
-                    ops += 1;
-                    cycles += 1;
-                    let mut diff = LaneChunk::<K>::ZERO;
-                    for (j, &p) in planes.iter().enumerate() {
-                        diff |= p ^ LaneChunk::broadcast(expect, j as u32);
-                    }
-                    diff &= !errored;
-                    if !diff.is_zero() {
-                        let stale = matches!(op, MemOp::ReadStale { .. });
-                        Self::book_lanes(execs, diff, planes, stale, idx, addr as usize, expect);
-                        detected |= diff;
-                    }
-                }
-                MemOp::ReadAny { addr } => {
-                    let _ = ram.read(addr as usize);
-                    ops += 1;
-                    cycles += 1;
-                }
-                MemOp::AccSet { lane, value } => {
-                    for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
-                        *plane = LaneChunk::broadcast(value, j as u32);
-                    }
-                }
-                MemOp::ReadAcc { addr, map, lane } => {
-                    let planes = ram.read(addr as usize);
-                    ops += 1;
-                    cycles += 1;
-                    let masks = &self.maps[map as usize];
-                    let a = &mut acc[lane as usize];
-                    for (j, &p) in planes.iter().enumerate() {
-                        let mut img = masks[j];
-                        while img != 0 {
-                            let i = img.trailing_zeros() as usize;
-                            a[i] ^= p;
-                            img &= img - 1;
-                        }
-                    }
-                }
-                MemOp::WriteAcc { addr, lane } => {
-                    ram.write_planes(addr as usize, &acc[lane as usize][..m]);
-                    ops += 1;
-                    cycles += 1;
-                }
-                MemOp::CycleN { start, len } => {
-                    let slots = &self.slots[start as usize..start as usize + len as usize];
-                    errored = self.cycle_batch_ram_phase(ram, slots, &acc, &mut reads);
-                    ops += slots.iter().filter(|s| !matches!(s, SlotOp::Idle)).count() as u64;
-                    cycles += 1;
-                    for (port, &slot) in slots.iter().enumerate() {
-                        match slot {
-                            SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
-                            SlotOp::ReadAcc { map, lane, .. } => {
-                                let masks = &self.maps[map as usize];
-                                let a = &mut acc[lane as usize];
-                                for (j, &p) in reads[port][..m].iter().enumerate() {
-                                    let mut img = masks[j];
-                                    while img != 0 {
-                                        let i = img.trailing_zeros() as usize;
-                                        a[i] ^= p;
-                                        img &= img - 1;
-                                    }
-                                }
-                            }
-                            SlotOp::ReadExpect { addr, expect }
-                            | SlotOp::ReadStale { addr, expect }
-                            | SlotOp::ReadCapture { addr, expect } => {
-                                let planes = &reads[port][..m];
-                                observer(planes);
-                                let mut diff = LaneChunk::<K>::ZERO;
-                                for (j, &p) in planes.iter().enumerate() {
-                                    diff |= p ^ LaneChunk::broadcast(expect, j as u32);
-                                }
-                                diff &= !errored;
-                                if !diff.is_zero() {
-                                    let stale = matches!(slot, SlotOp::ReadStale { .. });
-                                    Self::book_lanes(
-                                        execs,
-                                        diff,
-                                        planes,
-                                        stale,
-                                        idx,
-                                        addr as usize,
-                                        expect,
-                                    );
-                                    detected |= diff;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+        for idx in 0..self.ops.len() {
+            self.observed_step(
+                ram,
+                idx,
+                &mut acc,
+                &mut reads,
+                &mut detected,
+                &mut errored,
+                &mut ops,
+                &mut cycles,
+                execs,
+                observer,
+            );
         }
         // Every lane executes every op — there is no early exit — so the
         // op/cycle totals are lane-independent. Frozen lanes report the
@@ -795,6 +879,254 @@ impl TestProgram {
             }
         }
         Ok(detected & !errored & ram.active_lanes())
+    }
+
+    /// One op of the observed batch interpreter — the body shared by the
+    /// full pass ([`TestProgram::execute_batch_observed`]) and the sliced
+    /// pass ([`TestProgram::execute_batch_observed_sliced`]), so the two
+    /// modes cannot drift apart semantically.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn observed_step<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        idx: usize,
+        acc: &mut AccPlanes<K>,
+        reads: &mut ReadPlanes<K>,
+        detected: &mut LaneChunk<K>,
+        errored: &mut LaneChunk<K>,
+        ops: &mut u64,
+        cycles: &mut u64,
+        execs: &mut [Execution],
+        observer: &mut dyn FnMut(&[LaneChunk<K>]),
+    ) {
+        let m = self.geom.width() as usize;
+        let op = &self.ops[idx];
+        match *op {
+            MemOp::Write { addr, data } => {
+                ram.write_broadcast(addr as usize, data);
+                *ops += 1;
+                *cycles += 1;
+            }
+            MemOp::ReadExpect { addr, expect }
+            | MemOp::ReadStale { addr, expect }
+            | MemOp::ReadCapture { addr, expect } => {
+                let planes = ram.read(addr as usize);
+                observer(planes);
+                *ops += 1;
+                *cycles += 1;
+                let mut diff = LaneChunk::<K>::ZERO;
+                for (j, &p) in planes.iter().enumerate() {
+                    diff |= p ^ LaneChunk::broadcast(expect, j as u32);
+                }
+                diff &= !*errored;
+                if !diff.is_zero() {
+                    let stale = matches!(op, MemOp::ReadStale { .. });
+                    Self::book_lanes(execs, diff, planes, stale, idx, addr as usize, expect);
+                    *detected |= diff;
+                }
+            }
+            MemOp::ReadAny { addr } => {
+                let _ = ram.read(addr as usize);
+                *ops += 1;
+                *cycles += 1;
+            }
+            MemOp::AccSet { lane, value } => {
+                for (j, plane) in acc[lane as usize][..m].iter_mut().enumerate() {
+                    *plane = LaneChunk::broadcast(value, j as u32);
+                }
+            }
+            MemOp::ReadAcc { addr, map, lane } => {
+                let planes = ram.read(addr as usize);
+                *ops += 1;
+                *cycles += 1;
+                let masks = &self.maps[map as usize];
+                let a = &mut acc[lane as usize];
+                for (j, &p) in planes.iter().enumerate() {
+                    let mut img = masks[j];
+                    while img != 0 {
+                        let i = img.trailing_zeros() as usize;
+                        a[i] ^= p;
+                        img &= img - 1;
+                    }
+                }
+            }
+            MemOp::WriteAcc { addr, lane } => {
+                ram.write_planes(addr as usize, &acc[lane as usize][..m]);
+                *ops += 1;
+                *cycles += 1;
+            }
+            MemOp::CycleN { start, len } => {
+                let slots = &self.slots[start as usize..start as usize + len as usize];
+                *errored = self.cycle_batch_ram_phase(ram, slots, acc, reads);
+                *ops += slots.iter().filter(|s| !matches!(s, SlotOp::Idle)).count() as u64;
+                *cycles += 1;
+                for (port, &slot) in slots.iter().enumerate() {
+                    match slot {
+                        SlotOp::Idle | SlotOp::Write { .. } | SlotOp::WriteAcc { .. } => {}
+                        SlotOp::ReadAcc { map, lane, .. } => {
+                            let masks = &self.maps[map as usize];
+                            let a = &mut acc[lane as usize];
+                            for (j, &p) in reads[port][..m].iter().enumerate() {
+                                let mut img = masks[j];
+                                while img != 0 {
+                                    let i = img.trailing_zeros() as usize;
+                                    a[i] ^= p;
+                                    img &= img - 1;
+                                }
+                            }
+                        }
+                        SlotOp::ReadExpect { addr, expect }
+                        | SlotOp::ReadStale { addr, expect }
+                        | SlotOp::ReadCapture { addr, expect } => {
+                            let planes = &reads[port][..m];
+                            observer(planes);
+                            let mut diff = LaneChunk::<K>::ZERO;
+                            for (j, &p) in planes.iter().enumerate() {
+                                diff |= p ^ LaneChunk::broadcast(expect, j as u32);
+                            }
+                            diff &= !*errored;
+                            if !diff.is_zero() {
+                                let stale = matches!(slot, SlotOp::ReadStale { .. });
+                                Self::book_lanes(
+                                    execs,
+                                    diff,
+                                    planes,
+                                    stale,
+                                    idx,
+                                    addr as usize,
+                                    expect,
+                                );
+                                *detected |= diff;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`TestProgram::execute_batch_observed`] in **sliced execution
+    /// mode** (see [`TestProgram::detect_batch_sliced`]): only the active
+    /// ops execute; every *skipped* checked read feeds `observer` the
+    /// broadcast of its expected word — exactly the fault-free response
+    /// every unfrozen lane would have produced, per the
+    /// [`TestProgram::expected_responses`] contract — so the observed
+    /// stream keeps its lane-independent length and, for lanes outside
+    /// [`LaneRam::errored_lanes`], is bit-identical to the full pass.
+    /// (Frozen lanes' observations are unspecified in both modes:
+    /// compactors substitute the reference observation for them.)
+    ///
+    /// Execution summaries report the precompiled full-pass op/cycle
+    /// totals, and first-mismatch records keep their original op indices:
+    /// a skipped checked read cannot mismatch on an unfrozen lane.
+    ///
+    /// # Panics
+    ///
+    /// As [`TestProgram::execute_batch_observed`], plus when `index` was
+    /// not built for this program.
+    pub fn execute_batch_observed_sliced<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        index: &ActivityIndex,
+        active: &ActiveSet,
+        execs: &mut [Execution],
+        observer: &mut dyn FnMut(&[LaneChunk<K>]),
+    ) -> LaneChunk<K> {
+        self.try_execute_batch_observed_sliced(ram, index, active, execs, observer)
+            .unwrap_or_else(|e| self.panic_batch_config(e))
+    }
+
+    /// The fallible form of
+    /// [`TestProgram::execute_batch_observed_sliced`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TestProgram::try_detect_batch`].
+    pub fn try_execute_batch_observed_sliced<const K: usize>(
+        &self,
+        ram: &mut LaneRam<K>,
+        index: &ActivityIndex,
+        active: &ActiveSet,
+        execs: &mut [Execution],
+        observer: &mut dyn FnMut(&[LaneChunk<K>]),
+    ) -> Result<LaneChunk<K>, RamError> {
+        self.check_batch_config(ram)?;
+        assert!(index.matches(self), "activity index was built for a different program");
+        assert_eq!(execs.len(), LaneRam::<K>::LANES, "one execution summary per lane");
+        let m = self.geom.width() as usize;
+        execs.fill(Execution::default());
+        let base_time = ram.op_time();
+        let sof = ram.has_sof();
+        let mut acc = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; ACC_LANES];
+        let mut reads = [[LaneChunk::<K>::ZERO; Geometry::MAX_WIDTH as usize]; MAX_PORTS];
+        let mut detected = LaneChunk::<K>::ZERO;
+        let mut errored = LaneChunk::<K>::ZERO;
+        let mut ops = 0u64;
+        let mut cycles = 0u64;
+        let mut gap_planes = vec![LaneChunk::<K>::ZERO; m];
+        let mut emitted = 0u32;
+        let mut next = 0u32;
+        for &opi in active.ops() {
+            let j = opi as usize;
+            Self::emit_reference(
+                &index.responses,
+                emitted,
+                index.responses_before[j],
+                &mut gap_planes,
+                observer,
+            );
+            self.splice_gap(ram, index, active, base_time, sof, next..opi);
+            self.observed_step(
+                ram,
+                j,
+                &mut acc,
+                &mut reads,
+                &mut detected,
+                &mut errored,
+                &mut ops,
+                &mut cycles,
+                execs,
+                observer,
+            );
+            emitted = index.responses_before[j + 1];
+            next = opi + 1;
+        }
+        Self::emit_reference(
+            &index.responses,
+            emitted,
+            index.responses.len() as u32,
+            &mut gap_planes,
+            observer,
+        );
+        // Per-lane totals come from the precompiled full pass, not from
+        // the (shorter) sliced walk.
+        for (lane, e) in execs.iter_mut().enumerate() {
+            if errored.get(lane) {
+                *e = Execution::default();
+            } else {
+                e.ops = index.total_ops;
+                e.cycles = index.total_cycles;
+            }
+        }
+        Ok(detected & !errored & ram.active_lanes())
+    }
+
+    /// Feeds `observer` the broadcast reference response of every skipped
+    /// checked read in stream positions `[lo, hi)`.
+    fn emit_reference<const K: usize>(
+        responses: &[u64],
+        lo: u32,
+        hi: u32,
+        planes: &mut [LaneChunk<K>],
+        observer: &mut dyn FnMut(&[LaneChunk<K>]),
+    ) {
+        for &expect in &responses[lo as usize..hi as usize] {
+            for (j, plane) in planes.iter_mut().enumerate() {
+                *plane = LaneChunk::broadcast(expect, j as u32);
+            }
+            observer(planes);
+        }
     }
 
     /// Per-lane mismatch bookkeeping for one checked batch read: `diff`
@@ -1328,6 +1660,7 @@ impl ProgramBuilder {
             maps: self.maps,
             marks: self.marks,
             captures: self.captures,
+            activity: ActivityCache::default(),
         }
     }
 

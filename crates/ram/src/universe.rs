@@ -348,15 +348,17 @@ enum RwKind {
 ///
 /// The enumeration **order is a contract**: `LazyUniverse` produces
 /// exactly the sequence `FaultUniverse::enumerate(geom, spec).faults()`
-/// yields for the same dense spec (asserted index-for-index in tests), so
+/// yields for the same spec (asserted index-for-index in tests), so
 /// verdict tables, checkpoints and streamed coverage deltas keyed by
 /// universe index mean the same thing on either path.
 ///
 /// Coupling families (CFin/CFid/CFst) enumerate over cell *pairs* — a
-/// quadratic space that callers restrict with
-/// [`UniverseSpec::coupling_radius`] and genuinely want materialized;
-/// [`LazyUniverse::new`] returns `None` for such specs and callers fall
-/// back to [`FaultUniverse::enumerate`].
+/// quadratic space callers restrict with
+/// [`UniverseSpec::coupling_radius`]. The radius-filtered pair count per
+/// aggressor is closed-form, so an index maps to its `(aggressor,
+/// victim)` pair by inverting the pair-prefix function (a binary search
+/// over aggressors — O(log n) arithmetic, still O(1) memory and
+/// allocation-free); every other family decodes in O(1).
 ///
 /// # Example
 ///
@@ -365,7 +367,7 @@ enum RwKind {
 ///
 /// let geom = Geometry::bom(1 << 10);
 /// let spec = UniverseSpec { saf: true, tf: true, sof: true, ..UniverseSpec::default() };
-/// let lazy = LazyUniverse::new(geom, spec).expect("dense spec");
+/// let lazy = LazyUniverse::new(geom, spec);
 /// let eager = FaultUniverse::enumerate(geom, &spec);
 /// assert_eq!(lazy.len(), eager.len());
 /// assert_eq!(lazy.fault(4321), eager.faults()[4321]);
@@ -376,23 +378,99 @@ pub struct LazyUniverse {
     /// Block sizes in enumeration order; an absent family contributes 0.
     saf: usize,
     tf: usize,
+    cfin: usize,
+    cfid: usize,
+    cfst: usize,
+    /// The intra-word coupling block (one sub-block per cell, the enabled
+    /// classes interleaved per intra-cell bit pair).
+    intra: usize,
     af: usize,
     sof: usize,
+    /// Enabled coupling classes `[cfin, cfid, cfst]` — block sizes alone
+    /// cannot recover these when the pair space is empty (n = 1 or
+    /// radius 0) but the intra-word block is not.
+    cf_on: [bool; 3],
+    /// Effective coupling radius (clamped to `n - 1`; `n - 1` = all pairs).
+    radius: usize,
     /// The enabled read/write-logic families, in sub-block order.
     rw_kinds: [Option<RwKind>; 4],
     rw_per_bit: usize,
     total: usize,
 }
 
-impl LazyUniverse {
-    /// The lazy enumerator for `spec` on `geom`, or `None` when the spec
-    /// enables a coupling family (CFin/CFid/CFst) — those are pair
-    /// universes the caller should materialize with
-    /// [`FaultUniverse::enumerate`].
-    pub fn new(geom: Geometry, spec: UniverseSpec) -> Option<LazyUniverse> {
-        if spec.cfin || spec.cfid || spec.cfst {
-            return None;
+/// Number of radius-filtered ordered coupling pairs whose aggressor is
+/// `< a` — the closed form of `Σ_{x<a} [min(n-1, x+r) − max(0, x−r)]`,
+/// the per-aggressor victim counts of [`FaultUniverse::enumerate`]'s
+/// a-major pair order. Requires `n ≥ 1` and `r ≤ n − 1`.
+fn pair_prefix(n: usize, r: usize, a: usize) -> usize {
+    // Σ min(n-1, x+r): linear (x + r) up to x = n-1-r, saturated after.
+    let c1 = a.min(n - r);
+    let sum_upper = c1 * r + c1 * (c1.saturating_sub(1)) / 2 + (a - c1) * (n - 1);
+    // Σ max(0, x-r): zero up to x = r, then 1, 2, …
+    let c2 = a.saturating_sub(r + 1);
+    let sum_lower = c2 * (c2 + 1) / 2;
+    sum_upper - sum_lower
+}
+
+/// The `idx`-th radius-filtered ordered pair in a-major order: binary
+/// search for the aggressor (largest `a` with `pair_prefix(a) ≤ idx`),
+/// then the victim by offset within `a`'s window, skipping `a` itself.
+fn pair_at(n: usize, r: usize, idx: usize) -> (usize, usize) {
+    let (mut lo, mut hi) = (0usize, n);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pair_prefix(n, r, mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid;
         }
+    }
+    let a = lo;
+    let local = idx - pair_prefix(n, r, a);
+    let mut v = a.saturating_sub(r) + local;
+    if v >= a {
+        v += 1;
+    }
+    (a, v)
+}
+
+/// `bit_pairs(m).len()` without the allocation: 1 for BOM, `2m` for WOM.
+fn bit_pair_count(m: u32) -> usize {
+    if m == 1 {
+        1
+    } else {
+        2 * m as usize
+    }
+}
+
+/// The `idx`-th entry of [`bit_pairs`]: the `m` same-bit pairs, then the
+/// `m` diagonal-neighbour pairs.
+fn bit_pair_at(m: u32, idx: usize) -> (u32, u32) {
+    if m == 1 {
+        return (0, 0);
+    }
+    let idx = idx as u32;
+    if idx < m {
+        (idx, idx)
+    } else {
+        (idx - m, (idx - m + 1) % m)
+    }
+}
+
+/// The `idx`-th intra-word bit pair in a-major `a ≠ v` order.
+fn intra_pair_at(m: usize, idx: usize) -> (u32, u32) {
+    let a = idx / (m - 1);
+    let o = idx % (m - 1);
+    let v = if o < a { o } else { o + 1 };
+    (a as u32, v as u32)
+}
+
+impl LazyUniverse {
+    /// The lazy enumerator for `spec` on `geom`. Every spec enumerates
+    /// lazily — coupling families included, via the closed-form pair
+    /// arithmetic above — so services never need to materialize a
+    /// universe up front.
+    pub fn new(geom: Geometry, spec: UniverseSpec) -> LazyUniverse {
         let n = geom.cells();
         let m = geom.width() as usize;
         let bits = n * m;
@@ -422,18 +500,31 @@ impl LazyUniverse {
         } else {
             0
         };
+        let radius = spec.coupling_radius.unwrap_or(n - 1).min(n - 1);
+        let pairs = pair_prefix(n, radius, n);
+        let bp = bit_pair_count(geom.width());
+        let cf_on = [spec.cfin, spec.cfid, spec.cfst];
+        let intra_stride =
+            2 * usize::from(spec.cfin) + 4 * usize::from(spec.cfid) + 4 * usize::from(spec.cfst);
         let u = LazyUniverse {
             geom,
             saf: if spec.saf { 2 * bits } else { 0 },
             tf: if spec.tf { 2 * bits } else { 0 },
+            cfin: if spec.cfin { pairs * bp * 2 } else { 0 },
+            cfid: if spec.cfid { pairs * bp * 4 } else { 0 },
+            cfst: if spec.cfst { pairs * bp * 4 } else { 0 },
+            intra: if spec.intra_word && m > 1 { n * m * (m - 1) * intra_stride } else { 0 },
             af,
             sof: if spec.sof { n } else { 0 },
+            cf_on,
+            radius,
             rw_kinds,
             rw_per_bit,
             total: 0,
         };
-        let total = u.saf + u.tf + u.af + u.sof + bits * rw_per_bit;
-        Some(LazyUniverse { total, ..u })
+        let total =
+            u.saf + u.tf + u.cfin + u.cfid + u.cfst + u.intra + u.af + u.sof + bits * rw_per_bit;
+        LazyUniverse { total, ..u }
     }
 
     /// Geometry the universe enumerates over.
@@ -451,7 +542,9 @@ impl LazyUniverse {
         self.total == 0
     }
 
-    /// The fault at universe index `i` — O(1), allocation-free.
+    /// The fault at universe index `i` — allocation-free; O(1) for every
+    /// family except the pair-coupling blocks, whose aggressor lookup is
+    /// an O(log n) binary search on the closed-form pair prefix.
     ///
     /// # Panics
     ///
@@ -471,6 +564,101 @@ impl LazyUniverse {
             return FaultKind::Transition { cell, bit: (rem / 2) as u32, rising: rem % 2 == 0 };
         }
         i -= self.tf;
+        let bp = bit_pair_count(self.geom.width());
+        if i < self.cfin {
+            let (pair, rem) = (i / (bp * 2), i % (bp * 2));
+            let (a, v) = pair_at(n, self.radius, pair);
+            let (ab, vb) = bit_pair_at(m as u32, rem / 2);
+            let trigger = if rem % 2 == 0 { CouplingTrigger::Rise } else { CouplingTrigger::Fall };
+            return FaultKind::CouplingInversion {
+                agg_cell: a,
+                agg_bit: ab,
+                victim_cell: v,
+                victim_bit: vb,
+                trigger,
+            };
+        }
+        i -= self.cfin;
+        if i < self.cfid {
+            let (pair, rem) = (i / (bp * 4), i % (bp * 4));
+            let (a, v) = pair_at(n, self.radius, pair);
+            let (ab, vb) = bit_pair_at(m as u32, rem / 4);
+            let sel = rem % 4;
+            let trigger = if sel / 2 == 0 { CouplingTrigger::Rise } else { CouplingTrigger::Fall };
+            return FaultKind::CouplingIdempotent {
+                agg_cell: a,
+                agg_bit: ab,
+                victim_cell: v,
+                victim_bit: vb,
+                trigger,
+                force: (sel % 2) as u8,
+            };
+        }
+        i -= self.cfid;
+        if i < self.cfst {
+            let (pair, rem) = (i / (bp * 4), i % (bp * 4));
+            let (a, v) = pair_at(n, self.radius, pair);
+            let (ab, vb) = bit_pair_at(m as u32, rem / 4);
+            let sel = rem % 4;
+            return FaultKind::CouplingState {
+                agg_cell: a,
+                agg_bit: ab,
+                agg_state: (sel / 2) as u8,
+                victim_cell: v,
+                victim_bit: vb,
+                force: (sel % 2) as u8,
+            };
+        }
+        i -= self.cfst;
+        if i < self.intra {
+            // Per cell: every a-major intra-word bit pair, the enabled
+            // classes interleaved {CFin:2, CFid:4, CFst:4} per pair.
+            let stride = 2 * usize::from(self.cf_on[0])
+                + 4 * usize::from(self.cf_on[1])
+                + 4 * usize::from(self.cf_on[2]);
+            let cell_block = m * (m - 1) * stride;
+            let (cell, rem) = (i / cell_block, i % cell_block);
+            let (pidx, mut k) = (rem / stride, rem % stride);
+            let (ab, vb) = intra_pair_at(m, pidx);
+            if self.cf_on[0] {
+                if k < 2 {
+                    let trigger =
+                        if k == 0 { CouplingTrigger::Rise } else { CouplingTrigger::Fall };
+                    return FaultKind::CouplingInversion {
+                        agg_cell: cell,
+                        agg_bit: ab,
+                        victim_cell: cell,
+                        victim_bit: vb,
+                        trigger,
+                    };
+                }
+                k -= 2;
+            }
+            if self.cf_on[1] {
+                if k < 4 {
+                    let trigger =
+                        if k / 2 == 0 { CouplingTrigger::Rise } else { CouplingTrigger::Fall };
+                    return FaultKind::CouplingIdempotent {
+                        agg_cell: cell,
+                        agg_bit: ab,
+                        victim_cell: cell,
+                        victim_bit: vb,
+                        trigger,
+                        force: (k % 2) as u8,
+                    };
+                }
+                k -= 4;
+            }
+            return FaultKind::CouplingState {
+                agg_cell: cell,
+                agg_bit: ab,
+                agg_state: (k / 2) as u8,
+                victim_cell: cell,
+                victim_bit: vb,
+                force: (k % 2) as u8,
+            };
+        }
+        i -= self.intra;
         if i < self.af {
             if i < n {
                 return FaultKind::DecoderNoAccess { addr: i };
@@ -607,9 +795,10 @@ mod tests {
             .any(|f| matches!(f, FaultKind::CouplingInversion { agg_bit: 1, victim_bit: 2, .. })));
     }
 
-    /// Every dense spec × geometry combination: the lazy enumerator must
-    /// reproduce the materialized sequence index-for-index — the order
-    /// contract services rely on for sharded streaming.
+    /// Every spec × geometry combination — coupling families included:
+    /// the lazy enumerator must reproduce the materialized sequence
+    /// index-for-index — the order contract services rely on for sharded
+    /// streaming.
     #[test]
     fn lazy_universe_matches_enumerate() {
         let dense_full =
@@ -621,12 +810,30 @@ mod tests {
             UniverseSpec { sof: true, irf: true, ..UniverseSpec::default() },
             UniverseSpec { rdf: true, drdf: true, irf: true, wdf: true, ..Default::default() },
             dense_full,
+            UniverseSpec::paper_claim(),
+            UniverseSpec::full(),
+            UniverseSpec { cfin: true, ..UniverseSpec::default() },
+            UniverseSpec { cfst: true, coupling_radius: Some(0), ..UniverseSpec::default() },
+            UniverseSpec {
+                cfin: true,
+                cfid: true,
+                coupling_radius: Some(1),
+                ..UniverseSpec::default()
+            },
+            UniverseSpec {
+                cfid: true,
+                cfst: true,
+                coupling_radius: Some(2),
+                intra_word: true,
+                ..UniverseSpec::default()
+            },
+            UniverseSpec { coupling_radius: Some(3), ..UniverseSpec::full() },
         ];
         let geoms =
             [Geometry::bom(1), Geometry::bom(2), Geometry::bom(13), Geometry::wom(6, 4).unwrap()];
         for geom in geoms {
             for spec in specs {
-                let lazy = LazyUniverse::new(geom, spec).expect("dense spec");
+                let lazy = LazyUniverse::new(geom, spec);
                 let eager = FaultUniverse::enumerate(geom, &spec);
                 assert_eq!(lazy.len(), eager.len(), "{geom:?} {spec:?}");
                 let all: Vec<FaultKind> = lazy.iter().collect();
@@ -647,19 +854,50 @@ mod tests {
         }
     }
 
+    /// The pair-coupling blocks stay O(1) in memory at service scale: a
+    /// universe far too large to materialize still answers point lookups,
+    /// and its tail decodes past the quadratic coupling region correctly.
     #[test]
-    fn lazy_universe_refuses_coupling_specs() {
-        let geom = Geometry::bom(8);
-        assert!(LazyUniverse::new(geom, UniverseSpec::paper_claim()).is_none());
-        assert!(LazyUniverse::new(geom, UniverseSpec::full()).is_none());
-        assert!(LazyUniverse::new(geom, UniverseSpec { cfst: true, ..UniverseSpec::default() })
-            .is_none());
+    fn lazy_universe_coupling_scales_without_materializing() {
+        let n = 1 << 16;
+        let geom = Geometry::bom(n);
+        let spec = UniverseSpec::paper_claim(); // unbounded radius: ~n² pairs
+        let lazy = LazyUniverse::new(geom, spec);
+        // SAF 2n + TF 2n + (CFin 2 + CFid 4 + CFst 4 per pair) × n(n-1)
+        // + AF 3n.
+        let pairs = n * (n - 1);
+        assert_eq!(lazy.len(), 2 * n + 2 * n + 10 * pairs + 3 * n);
+        // First coupling entry: pair (0, 1), Rise.
+        assert_eq!(
+            lazy.fault(4 * n),
+            FaultKind::CouplingInversion {
+                agg_cell: 0,
+                agg_bit: 0,
+                victim_cell: 1,
+                victim_bit: 0,
+                trigger: CouplingTrigger::Rise,
+            }
+        );
+        // Last coupling entry: pair (n-1, n-2), CFst agg_state 1 force 1.
+        assert_eq!(
+            lazy.fault(4 * n + 10 * pairs - 1),
+            FaultKind::CouplingState {
+                agg_cell: n - 1,
+                agg_bit: 0,
+                agg_state: 1,
+                victim_cell: n - 2,
+                victim_bit: 0,
+                force: 1,
+            }
+        );
+        // First entry after the coupling blocks: the AF block.
+        assert_eq!(lazy.fault(4 * n + 10 * pairs), FaultKind::DecoderNoAccess { addr: 0 });
     }
 
     #[test]
     #[should_panic(expected = "universe index")]
     fn lazy_universe_index_bounds_are_loud() {
-        let lazy = LazyUniverse::new(Geometry::bom(4), UniverseSpec::single_cell()).expect("dense");
+        let lazy = LazyUniverse::new(Geometry::bom(4), UniverseSpec::single_cell());
         let _ = lazy.fault(lazy.len());
     }
 

@@ -81,10 +81,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use prt_ram::{FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, Ram, TestProgram};
+use prt_ram::{
+    fault_locality_key, ActiveSet, ActivityIndex, FaultKind, FaultUniverse, Geometry, LaneChunk,
+    LaneRam, Ram, TestProgram,
+};
 
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
@@ -579,37 +582,48 @@ where
     let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
     let n_chunks = count.div_ceil(chunk);
     let results: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
     let panicked = AtomicBool::new(false);
     let panic_slot: PanicSlot = Mutex::new(None);
-    let worker = || {
-        let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
-        loop {
-            if panicked.load(Ordering::Relaxed) {
-                break;
+    let run_chunk = |c: usize, ram: &mut Ram| {
+        let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(count));
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            for (i, slot) in results.iter().enumerate().take(hi).skip(lo) {
+                ram.eject_faults();
+                ram.reset_to(0);
+                // Chunks never overlap, so each slot is set once.
+                let _ = slot.set(trial(i, ram));
             }
-            let c = next.fetch_add(1, Ordering::Relaxed);
-            if c >= n_chunks {
-                break;
-            }
-            let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(count));
-            let attempt = catch_unwind(AssertUnwindSafe(|| {
-                for (i, slot) in results.iter().enumerate().take(hi).skip(lo) {
-                    ram.eject_faults();
-                    ram.reset_to(0);
-                    // Chunks never overlap, so each slot is set once.
-                    let _ = slot.set(trial(i, &mut ram));
-                }
-            }));
-            if let Err(payload) = attempt {
-                record_panic(&panic_slot, (lo, hi), payload);
-                panicked.store(true, Ordering::Relaxed);
-            }
+        }));
+        if let Err(payload) = attempt {
+            record_panic(&panic_slot, (lo, hi), payload);
+            panicked.store(true, Ordering::Relaxed);
         }
     };
     if workers <= 1 {
-        worker();
+        // Single-thread fast path: chunks run in order on the calling
+        // thread, with no claim counter.
+        let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
+        for c in 0..n_chunks {
+            if panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            run_chunk(c, &mut ram);
+        }
     } else {
+        let next = AtomicUsize::new(0);
+        let worker = || {
+            let mut ram = Ram::with_ports(geom, ports).expect("valid port count");
+            loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break;
+                }
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                run_chunk(c, &mut ram);
+            }
+        };
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(worker);
@@ -778,24 +792,33 @@ where
         }
     };
     let workers = parallelism.workers(faults.len()).min(n_batches.max(1));
-    let next = AtomicUsize::new(0);
-    let batch_worker = || {
+    if workers <= 1 {
+        // Single-thread fast path: batches run in order on the calling
+        // thread, with no claim counter.
         let mut ram = LaneRam::<K>::with_ports(geom, ports).expect("valid port count");
         let mut out = Vec::new();
-        loop {
+        for b in 0..n_batches {
             if failed.load(Ordering::Relaxed) {
-                break;
-            }
-            let b = next.fetch_add(1, Ordering::Relaxed);
-            if b >= n_batches {
                 break;
             }
             run_batch(b, &mut ram, &mut out);
         }
-    };
-    if workers <= 1 {
-        batch_worker();
     } else {
+        let next = AtomicUsize::new(0);
+        let batch_worker = || {
+            let mut ram = LaneRam::<K>::with_ports(geom, ports).expect("valid port count");
+            let mut out = Vec::new();
+            loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= n_batches {
+                    break;
+                }
+                run_batch(b, &mut ram, &mut out);
+            }
+        };
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(batch_worker);
@@ -830,6 +853,7 @@ pub struct Campaign<'a, R> {
     parallelism: Parallelism,
     lane_batching: bool,
     lane_width: LaneWidth,
+    slicing: bool,
     name: String,
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
@@ -925,6 +949,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             parallelism: Parallelism::Auto,
             lane_batching: true,
             lane_width: LaneWidth::default(),
+            slicing: true,
             name: "campaign".to_string(),
             deadline: None,
             cancel: None,
@@ -980,6 +1005,22 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// checkpoints taken at one width resume correctly at another.
     pub fn with_lane_width(mut self, width: LaneWidth) -> Campaign<'a, R> {
         self.lane_width = width;
+        self
+    }
+
+    /// Enables or disables activity-driven program slicing on the batched
+    /// path (default enabled). With slicing on, each lane batch walks only
+    /// the program ops whose address intersects the batch's span union —
+    /// the cells its faults can actually perturb — and splices precomputed
+    /// fault-free reference deltas over the gaps
+    /// ([`prt_ram::ActivityIndex`]). The campaign additionally assembles
+    /// batches by fault locality ([`prt_ram::fault_locality_key`]) so the
+    /// faults sharing a chunk have tight span unions. Verdicts, reports
+    /// and checkpoints are **bit-identical** either way (slicing, like the
+    /// lane width, is deliberately not fingerprinted); disable to pin the
+    /// full-pass oracle for measurement or differential testing.
+    pub fn with_slicing(mut self, enabled: bool) -> Campaign<'a, R> {
+        self.slicing = enabled;
         self
     }
 
@@ -1181,6 +1222,25 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             }
         }
         let plan = self.batch_plan();
+        // Activity indexes (one per background program) for the sliced
+        // batch path: resolved once per campaign, before the segment loop
+        // (the programs cache the compiled index, so repeat campaigns
+        // over the same program share one build).
+        let slice_plan: Option<Vec<Arc<ActivityIndex>>> = match (&plan, self.slicing) {
+            (Some(programs), true) => Some(programs.iter().map(|p| p.activity_index()).collect()),
+            _ => None,
+        };
+        // Locality-aware chunk assembly, width half: under slicing the
+        // per-chunk active-op count grows with the chunk's span union, so
+        // when spans barely overlap a wide chunk multiplies per-op plane
+        // work for no dispatch amortisation. Pick the cheapest effective
+        // width from the span-overlap cost model (never wider than the
+        // configured knob — verdicts and checkpoints are width-invariant
+        // by design, so this is pure scheduling).
+        let drive_width = match &slice_plan {
+            Some(_) => self.sliced_drive_width(),
+            None => self.lane_width,
+        };
         let degraded = AtomicUsize::new(0);
         let control = RunControl::new(self.deadline, self.cancel.clone());
         let mut stopped = None;
@@ -1198,22 +1258,23 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             let seg_end = cursor.saturating_add(step).min(total);
             let ctx =
                 DriveCtx { table: &table, done: &done, control: &control, degraded: &degraded };
-            let outcome = match &plan {
-                // The chunk width is a const generic: monomorphise the
-                // batched driver per width and dispatch on the knob.
-                Some(programs) => match self.lane_width {
-                    LaneWidth::X64 => {
-                        self.drive_segment_batched::<1>(cursor, seg_end, programs, &ctx)
+            let outcome =
+                match &plan {
+                    // The chunk width is a const generic: monomorphise the
+                    // batched driver per width and dispatch on the knob.
+                    Some(programs) => {
+                        let slice = slice_plan.as_deref();
+                        match drive_width {
+                            LaneWidth::X64 => self
+                                .drive_segment_batched::<1>(cursor, seg_end, programs, slice, &ctx),
+                            LaneWidth::X256 => self
+                                .drive_segment_batched::<4>(cursor, seg_end, programs, slice, &ctx),
+                            LaneWidth::X512 => self
+                                .drive_segment_batched::<8>(cursor, seg_end, programs, slice, &ctx),
+                        }
                     }
-                    LaneWidth::X256 => {
-                        self.drive_segment_batched::<4>(cursor, seg_end, programs, &ctx)
-                    }
-                    LaneWidth::X512 => {
-                        self.drive_segment_batched::<8>(cursor, seg_end, programs, &ctx)
-                    }
-                },
-                None => self.drive_scalar_prefix(cursor, seg_end, &ctx),
-            };
+                    None => self.drive_scalar_prefix(cursor, seg_end, &ctx),
+                };
             while cursor < seg_end && done[cursor].load(Ordering::Relaxed) {
                 cursor += 1;
             }
@@ -1286,6 +1347,52 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         fp.finish()
     }
 
+    /// The effective lane-chunk width for **sliced** batched segments:
+    /// the cheapest of the widths not exceeding the configured knob,
+    /// under the span-overlap cost model. A sliced chunk executes one op
+    /// per distinct span cell visit, so its work is roughly
+    /// `distinct-keys-in-chunk × (F + W·K)` with `F` the per-op fixed
+    /// cost (dispatch, gap splice, bucket lookups) and `W·K` the
+    /// K-chunk-word plane loops; `F/W ≈ 11` measured on the batch
+    /// interpreter. Dense universes (every lane sharing every cell)
+    /// favour the widest chunks exactly as the full pass does; sparse
+    /// ones (single-cell faults on a large array) favour narrow chunks,
+    /// whose span unions — and active-op counts — shrink with the lane
+    /// count. Width never affects verdicts, reports or checkpoints (the
+    /// fingerprint deliberately excludes it), so this is pure
+    /// scheduling.
+    fn sliced_drive_width(&self) -> LaneWidth {
+        let mut keys: Vec<usize> = self.faults.iter().map(fault_locality_key).collect();
+        if !keys.is_sorted() {
+            // The driver sorts each segment into locality order before
+            // assembling chunks; model the post-assembly adjacency.
+            keys.sort_unstable();
+        }
+        let mut best = LaneWidth::X64;
+        let mut best_cost = u64::MAX;
+        for width in [LaneWidth::X512, LaneWidth::X256, LaneWidth::X64] {
+            if width.lanes() > self.lane_width.lanes() {
+                continue;
+            }
+            let chunk = width.lanes();
+            let k = (chunk / 64) as u64;
+            let mut distinct = 0u64;
+            for (i, &key) in keys.iter().enumerate() {
+                if i % chunk == 0 || keys[i - 1] != key {
+                    distinct += 1;
+                }
+            }
+            let cost = distinct * (11 + k);
+            // Strict inequality: ties go to the widest width (fewer
+            // chunks, less per-chunk driver overhead).
+            if cost < best_cost {
+                best_cost = cost;
+                best = width;
+            }
+        }
+        best
+    }
+
     /// Scalar fan-out over the contiguous range `[start, end)`.
     fn drive_scalar_prefix(&self, start: usize, end: usize, ctx: &DriveCtx<'_>) -> SegmentOutcome {
         self.drive_scalar(end - start, &|k| start + k, ctx)
@@ -1306,13 +1413,33 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
         let workers = self.parallelism.workers(count);
         let chunk = (count / (workers * 8)).clamp(1, MAX_CHUNK);
         let n_chunks = count.div_ceil(chunk);
-        let next = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
         let panic_slot: PanicSlot = Mutex::new(None);
         let stop_slot: Mutex<Option<StopCause>> = Mutex::new(None);
-        let worker = || {
+        let run_chunk = |c: usize, ram: &mut Ram| {
+            let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(count));
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                for k in lo..hi {
+                    let i = map_index(k);
+                    self.chaos_trial(i);
+                    ram.eject_faults();
+                    ram.reset_to(0);
+                    let verdict = self.run_fault(i, ram);
+                    ctx.table[i].store(verdict, Ordering::Relaxed);
+                    ctx.done[i].store(true, Ordering::Relaxed);
+                }
+            }));
+            if let Err(payload) = attempt {
+                record_panic(&panic_slot, (map_index(lo), map_index(hi - 1) + 1), payload);
+                panicked.store(true, Ordering::Relaxed);
+            }
+        };
+        if workers <= 1 {
+            // Single-thread fast path: no claim counter, no fan-out —
+            // chunks run in order on the calling thread with the same
+            // per-chunk panic isolation and stop polls as the fan-out.
             let mut ram = Ram::with_ports(self.geom, self.ports).expect("valid port count");
-            loop {
+            for c in 0..n_chunks {
                 if panicked.load(Ordering::Relaxed) {
                     break;
                 }
@@ -1320,31 +1447,27 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                     record_stop(&stop_slot, cause);
                     break;
                 }
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(count));
-                let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    for k in lo..hi {
-                        let i = map_index(k);
-                        self.chaos_trial(i);
-                        ram.eject_faults();
-                        ram.reset_to(0);
-                        let verdict = self.run_fault(i, &mut ram);
-                        ctx.table[i].store(verdict, Ordering::Relaxed);
-                        ctx.done[i].store(true, Ordering::Relaxed);
-                    }
-                }));
-                if let Err(payload) = attempt {
-                    record_panic(&panic_slot, (map_index(lo), map_index(hi - 1) + 1), payload);
-                    panicked.store(true, Ordering::Relaxed);
-                }
+                run_chunk(c, &mut ram);
             }
-        };
-        if workers <= 1 {
-            worker();
         } else {
+            let next = AtomicUsize::new(0);
+            let worker = || {
+                let mut ram = Ram::with_ports(self.geom, self.ports).expect("valid port count");
+                loop {
+                    if panicked.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(cause) = ctx.control.stop_cause() {
+                        record_stop(&stop_slot, cause);
+                        break;
+                    }
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    run_chunk(c, &mut ram);
+                }
+            };
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(worker);
@@ -1373,29 +1496,66 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// count and any width. A batch whose interpreter pass panics
     /// **degrades**: its faults retry one-by-one on the scalar oracle
     /// and the degradation counter is bumped — only a retry that also
-    /// fails poisons the run.
+    /// fails poisons the run. With an activity-slice plan, batches are
+    /// assembled in fault-locality order and each interpreter pass walks
+    /// only the ops intersecting the batch's span union
+    /// ([`TestProgram::detect_batch_sliced`]) — still bit-identical.
     fn drive_segment_batched<const K: usize>(
         &self,
         start: usize,
         end: usize,
         programs: &[&TestProgram],
+        slice: Option<&[Arc<ActivityIndex>]>,
         ctx: &DriveCtx<'_>,
     ) -> SegmentOutcome {
         let lanes_per = LaneRam::<K>::LANES;
         let count = end - start;
         let n_batches = count.div_ceil(lanes_per);
-        let next = AtomicUsize::new(0);
+        // Locality-aware chunk assembly: with slicing on, the segment is
+        // evaluated in `(locality key, index)` order so the faults sharing
+        // a lane batch have tight span unions (coupling faults group by
+        // their aggressor/victim window). Verdicts stay keyed by fault
+        // index, so the permutation never reaches reports or checkpoints.
+        let order: Vec<u32> = if slice.is_some() {
+            // Enumerated universes arrive in locality order already — one
+            // early-exit scan detects that and skips the permutation
+            // build. Otherwise: one key computation per fault, then a
+            // primitive-tuple sort (re-deriving the key inside the
+            // comparator dominates the sort itself on large segments).
+            let mut prev = 0usize;
+            let sorted = self.faults[start..end].iter().all(|f| {
+                let k = fault_locality_key(f);
+                let ok = k >= prev;
+                prev = k;
+                ok
+            });
+            if sorted {
+                (start as u32..end as u32).collect()
+            } else {
+                let mut keyed: Vec<(usize, u32)> = (start as u32..end as u32)
+                    .map(|i| (fault_locality_key(&self.faults[i as usize]), i))
+                    .collect();
+                keyed.sort_unstable();
+                keyed.into_iter().map(|(_, i)| i).collect()
+            }
+        } else {
+            (start as u32..end as u32).collect()
+        };
         let panicked = AtomicBool::new(false);
         let panic_slot: PanicSlot = Mutex::new(None);
         let stop_slot: Mutex<Option<StopCause>> = Mutex::new(None);
-        let run_batch = |b: usize, ram: &mut LaneRam<K>| {
-            let lanes = (start + b * lanes_per)..(start + ((b + 1) * lanes_per).min(count));
+        let run_batch = |b: usize, ram: &mut LaneRam<K>, active: &mut ActiveSet| {
+            let batch = &order[b * lanes_per..((b + 1) * lanes_per).min(count)];
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                self.chaos_batch(lanes.start);
+                // Chaos keys batches by schedule position (identical to
+                // the first fault index when assembly is unsorted), so
+                // kill targets stay width-based under locality sorting.
+                self.chaos_batch(start + b * lanes_per);
                 ram.eject_faults();
                 ram.reset_to(0);
-                for (lane, fi) in lanes.clone().enumerate() {
-                    ram.inject(self.faults[fi].clone(), lane).expect("campaign faults are valid");
+                for (lane, &fi) in batch.iter().enumerate() {
+                    ram.inject(self.faults[fi as usize].clone(), lane)
+                        .expect("campaign faults are valid");
                 }
                 let full = ram.active_lanes();
                 let mut detected = LaneChunk::<K>::ZERO;
@@ -1408,15 +1568,25 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                         }
                         ram.reset_to(0);
                     }
-                    detected |= program.detect_batch(ram);
+                    detected |= match slice {
+                        Some(indexes) => {
+                            active.clear();
+                            for &fi in batch {
+                                active.insert_fault(&self.faults[fi as usize]);
+                            }
+                            active.finalize(&indexes[bi]);
+                            program.detect_batch_sliced(ram, &indexes[bi], active)
+                        }
+                        None => program.detect_batch(ram),
+                    };
                 }
                 detected
             }));
             match attempt {
                 Ok(detected) => {
-                    for (lane, fi) in lanes.enumerate() {
-                        ctx.table[fi].store(detected.get(lane), Ordering::Relaxed);
-                        ctx.done[fi].store(true, Ordering::Relaxed);
+                    for (lane, &fi) in batch.iter().enumerate() {
+                        ctx.table[fi as usize].store(detected.get(lane), Ordering::Relaxed);
+                        ctx.done[fi as usize].store(true, Ordering::Relaxed);
                     }
                 }
                 Err(_) => {
@@ -1425,7 +1595,8 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                     ctx.degraded.fetch_add(1, Ordering::Relaxed);
                     let mut scalar =
                         Ram::with_ports(self.geom, self.ports).expect("valid port count");
-                    for fi in lanes {
+                    for &fi in batch {
+                        let fi = fi as usize;
                         scalar.eject_faults();
                         scalar.reset_to(0);
                         let retry =
@@ -1446,10 +1617,15 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             }
         };
         let workers = self.parallelism.workers(count).min(n_batches.max(1));
-        let worker = || {
+        if workers <= 1 {
+            // Single-thread fast path: no claim counter, no fan-out —
+            // walk the batches in order on the calling thread. The
+            // per-batch catch_unwind (degradation) and stop polls are
+            // retained, so failure semantics match the fan-out exactly.
             let mut ram =
                 LaneRam::<K>::with_ports(self.geom, self.ports).expect("valid port count");
-            loop {
+            let mut active = ActiveSet::new();
+            for b in 0..n_batches {
                 if panicked.load(Ordering::Relaxed) {
                     break;
                 }
@@ -1457,16 +1633,29 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
                     record_stop(&stop_slot, cause);
                     break;
                 }
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= n_batches {
-                    break;
-                }
-                run_batch(b, &mut ram);
+                run_batch(b, &mut ram, &mut active);
             }
-        };
-        if workers <= 1 {
-            worker();
         } else {
+            let next = AtomicUsize::new(0);
+            let worker = || {
+                let mut ram =
+                    LaneRam::<K>::with_ports(self.geom, self.ports).expect("valid port count");
+                let mut active = ActiveSet::new();
+                loop {
+                    if panicked.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(cause) = ctx.control.stop_cause() {
+                        record_stop(&stop_slot, cause);
+                        break;
+                    }
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_batches {
+                        break;
+                    }
+                    run_batch(b, &mut ram, &mut active);
+                }
+            };
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(worker);

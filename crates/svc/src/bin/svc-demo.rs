@@ -11,8 +11,8 @@
 use std::thread;
 use std::time::Duration;
 
-use prt_bench::{arg_or, die};
 use prt_ram::UniverseSpec;
+use prt_svc::cli::{arg_or, die};
 use prt_svc::{Client, JobSpec, LookupSpec, StopKind};
 
 /// Streams one job and checks the delta invariants; returns the number

@@ -72,6 +72,7 @@
 //! [`server`] documents the lifecycle from the implementation side.
 
 pub mod cache;
+pub mod cli;
 pub mod client;
 pub mod proto;
 pub mod server;

@@ -9,7 +9,7 @@
 //! `PRT_SVC_SHARD` (see [`prt_svc::ServerConfig`]) and `PRT_SVC_STORE`
 //! (directory for disk-persisted dictionaries).
 
-use prt_bench::{arg_or, die, env_or};
+use prt_svc::cli::{arg_or, die, env_or};
 use prt_svc::{Server, ServerConfig, DEFAULT_POLY_BITS};
 
 fn main() {

@@ -313,14 +313,11 @@ fn run_job(stream: TcpStream, reader: TcpStream, shared: &Shared, job: JobSpec) 
         other => return refuse(1, format!("unsupported lane width {other} (64/256/512)")),
     };
 
-    // Universe: lazy sharding for dense (coupling-free) specs, one eager
-    // enumeration otherwise.
+    // Universe: lazy sharding for every spec — coupling families
+    // enumerate through the O(1)-memory pair arithmetic, so no job
+    // materializes its universe up front.
     let lazy = LazyUniverse::new(geom, job.spec);
-    let eager: Option<FaultUniverse> = match lazy {
-        Some(_) => None,
-        None => Some(FaultUniverse::enumerate(geom, &job.spec)),
-    };
-    let total = lazy.map(|l| l.len()).or_else(|| eager.as_ref().map(|u| u.len())).unwrap_or(0);
+    let total = lazy.len();
 
     // Programs from the shared cache — every shard (and every concurrent
     // job with this configuration) drives the same compiled artifacts.
@@ -367,11 +364,7 @@ fn run_job(stream: TcpStream, reader: TcpStream, shared: &Shared, job: JobSpec) 
     let mut lo = 0usize;
     while lo < total {
         let hi = (lo + shard_len).min(total);
-        let shard_faults: Vec<FaultKind> = match (&lazy, &eager) {
-            (Some(l), _) => l.slice(lo, hi),
-            (None, Some(u)) => u.faults()[lo..hi].to_vec(),
-            (None, None) => unreachable!("total > 0 implies a universe"),
-        };
+        let shard_faults: Vec<FaultKind> = lazy.slice(lo, hi);
         let sf = &shard_faults;
         let stream_ref = &stream;
         let seq_ref = &seq;

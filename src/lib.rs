@@ -48,9 +48,9 @@ pub mod prelude {
     pub use prt_lfsr::{BitLfsr, GaloisLfsr, Misr, WordLfsr};
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
-        lane_word, CouplingTrigger, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam,
-        LazyUniverse, PortOp, ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec,
-        LANES,
+        fault_cells, fault_locality_key, lane_word, ActiveSet, ActivityIndex, CouplingTrigger,
+        Execution, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, LazyUniverse, PortOp,
+        ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec, LANES,
     };
     pub use prt_sim::{
         Campaign, CampaignError, CancelToken, CheckpointError, CoverageReport, FaultRunner,
