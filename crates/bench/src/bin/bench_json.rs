@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p prt-bench --bin bench_json [out.json]`
 //!
 //! Writes `BENCH_campaign.json` (or the given path) in the
-//! **`campaign-v3` schema**: the header records the measurement budget,
+//! **`campaign-v4` schema**: the header records the measurement budget,
 //! the runner's thread count, the detected CPU core count, the default
 //! lane-chunk width and the git revision (so perf trajectories stay
 //! comparable across runners), then one row per (group, n, variant) with
@@ -27,7 +27,7 @@ use prt_core::PrtScheme;
 use prt_diag::{FaultDictionary, Localizer};
 use prt_gf::{Field, Poly2};
 use prt_march::{coverage, coverage::MarchRunner, library, Executor};
-use prt_ram::{FaultUniverse, Geometry, Ram, UniverseSpec};
+use prt_ram::{FaultUniverse, Geometry, Ram, Scrambler, Topology, UniverseSpec};
 use prt_sim::{Campaign, LaneWidth, Parallelism};
 
 struct Row {
@@ -251,6 +251,36 @@ fn main() {
                 len,
                 measure(budget_ms, || {
                     let _ = Campaign::new(&u, &program)
+                        .with_lane_width(width)
+                        .with_slicing(slicing)
+                        .with_parallelism(par)
+                        .detections();
+                }),
+            );
+        }
+        // The same sweep under a bit-reversal scramble: the universe is
+        // enumerated over physical coordinates and mapped back to
+        // logical addresses, so the fault list arrives scattered and the
+        // slicer's locality re-grouping is what keeps `scrambled_sliced_*`
+        // near the identity rows (gated in CI at 1.3×).
+        let topology = Topology::identity(n)
+            .then_swizzle(Scrambler::reversed(n.trailing_zeros()))
+            .expect("1 Kib bit-reversal");
+        let su =
+            FaultUniverse::enumerate_with(Geometry::bom(n), &UniverseSpec::single_cell(), topology);
+        assert_eq!(su.len(), len, "a bijection cannot change the universe size");
+        for (variant, par, width, slicing) in [
+            ("scrambled_batch_sequential", Parallelism::Sequential, LaneWidth::X64, false),
+            ("scrambled_sliced_sequential", Parallelism::Sequential, LaneWidth::X64, true),
+            ("scrambled_sliced_parallel", Parallelism::Auto, LaneWidth::X512, true),
+        ] {
+            push(
+                "campaign_march_large",
+                n,
+                variant,
+                len,
+                measure(budget_ms, || {
+                    let _ = Campaign::new(&su, &program)
                         .with_lane_width(width)
                         .with_slicing(slicing)
                         .with_parallelism(par)
@@ -493,6 +523,7 @@ fn main() {
             lane_width: 0,
             deadline_ms: 0,
             segment: 64,
+            topology: None,
         };
         push(
             "service",
@@ -531,7 +562,7 @@ fn main() {
     let cpu_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"prt-bench/campaign-v3\",\n");
+    json.push_str("  \"schema\": \"prt-bench/campaign-v4\",\n");
     json.push_str(&format!("  \"measure_ms\": {budget_ms},\n"));
     json.push_str(&format!("  \"threads\": {cpu_cores},\n"));
     json.push_str(&format!("  \"cpu_cores\": {cpu_cores},\n"));

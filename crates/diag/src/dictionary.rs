@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 use crate::{DiagError, Observation, SignatureCollector};
 use prt_gf::Poly2;
-use prt_ram::{FaultKind, FaultUniverse, Geometry, TestProgram};
+use prt_ram::{FaultKind, FaultUniverse, Geometry, TestProgram, Topology};
 use prt_sim::checkpoint::{self, FingerprintBuilder};
 use prt_sim::{
     map_trials, map_trials_batched, try_map_trials, try_map_trials_batched, CampaignError,
@@ -90,6 +90,11 @@ pub struct DictionaryStats {
 #[derive(Debug, Clone)]
 pub struct FaultDictionary {
     geom: Geometry,
+    /// Physical topology the fault universe was enumerated under
+    /// (identity for plain universes). Fault coordinates are logical; the
+    /// topology is what maps them back to array positions, and it is part
+    /// of the dictionary fingerprint.
+    topology: Topology,
     /// The program, fault list and per-fault observations are shared
     /// (`Arc`) between a dictionary and its prefix compressions — a
     /// [`FaultDictionary::compress`] sweep over several widths must not
@@ -106,25 +111,35 @@ pub struct FaultDictionary {
 }
 
 /// Fingerprint of everything that determines a dictionary's observation
-/// table: geometry, the fault universe, the compiled diagnostic program
-/// and the MISR polynomial. Parallelism is deliberately excluded —
-/// observations are keyed by universe index, so a checkpoint resumes
-/// correctly at any thread count.
+/// table: geometry, the physical [`Topology`] the universe was enumerated
+/// under, the fault universe, the compiled diagnostic program and the
+/// MISR polynomial. Parallelism is deliberately excluded — observations
+/// are keyed by universe index, so a checkpoint resumes correctly at any
+/// thread count.
 fn dictionary_fingerprint(universe: &FaultUniverse, program: &TestProgram, poly: Poly2) -> u64 {
-    fingerprint_parts(universe.geometry(), universe.faults(), program, poly)
+    fingerprint_parts(universe.geometry(), universe.topology(), universe.faults(), program, poly)
 }
 
 /// [`dictionary_fingerprint`] over the raw parts, so an already-built
 /// dictionary (which owns its fault list) can re-derive its own
 /// fingerprint for [`FaultDictionary::persist`].
+///
+/// The identity topology is hashed as the absence of the field, so
+/// unscrambled dictionaries keep their pre-topology fingerprints (and
+/// their [`crate::DictionaryStore`] cache files stay valid).
 fn fingerprint_parts(
     geom: Geometry,
+    topology: &Topology,
     faults: &[FaultKind],
     program: &TestProgram,
     poly: Poly2,
 ) -> u64 {
     let mut fp = FingerprintBuilder::new();
     fp.push_str("prt-diag/dictionary/v1");
+    if !topology.is_identity() {
+        fp.push_str("topology");
+        fp.push_debug(topology);
+    }
     fp.push_debug(&geom);
     fp.push_u64(faults.len() as u64);
     for fault in faults {
@@ -341,6 +356,7 @@ impl FaultDictionary {
         );
         Ok(FaultDictionary {
             geom,
+            topology: universe.topology().clone(),
             program: Arc::new(program.clone()),
             collector,
             faults: Arc::new(universe.faults().to_vec()),
@@ -450,6 +466,7 @@ impl FaultDictionary {
         );
         Ok(FaultDictionary {
             geom,
+            topology: universe.topology().clone(),
             program: Arc::new(program.clone()),
             collector,
             faults: Arc::new(universe.faults().to_vec()),
@@ -493,7 +510,13 @@ impl FaultDictionary {
             self.prefix_bits.is_none(),
             "persist the full-signature dictionary, not a compression of it"
         );
-        let fp = fingerprint_parts(self.geom, &self.faults, &self.program, self.collector.poly());
+        let fp = fingerprint_parts(
+            self.geom,
+            &self.topology,
+            &self.faults,
+            &self.program,
+            self.collector.poly(),
+        );
         checkpoint::save_records(path.as_ref(), fp, self.observations.len(), &self.observations)?;
         Ok(())
     }
@@ -548,6 +571,7 @@ impl FaultDictionary {
         );
         Ok(Some(FaultDictionary {
             geom: universe.geometry(),
+            topology: universe.topology().clone(),
             program: Arc::new(program.clone()),
             collector,
             faults: Arc::new(universe.faults().to_vec()),
@@ -588,6 +612,7 @@ impl FaultDictionary {
             index_observations(&self.observations, self.collector.reference(), bound, key);
         FaultDictionary {
             geom: self.geom,
+            topology: self.topology.clone(),
             // Arc bumps, not copies: only buckets/stats differ per width.
             program: Arc::clone(&self.program),
             collector: self.collector.clone(),
@@ -608,6 +633,15 @@ impl FaultDictionary {
     /// Geometry the dictionary was built for.
     pub fn geometry(&self) -> Geometry {
         self.geom
+    }
+
+    /// The physical address [`Topology`] the universe was enumerated
+    /// under — identity for plain universes. Candidate fault coordinates
+    /// are **logical**; map them through [`Topology::to_physical`] to
+    /// name array positions (what a [`crate::Localizer`] seeded with this
+    /// dictionary reports as [`crate::Diagnosis::physical_victim`]).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The diagnostic program the signatures were collected under — the

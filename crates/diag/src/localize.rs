@@ -34,7 +34,9 @@ use std::collections::BTreeSet;
 
 use crate::{DiagError, FaultDictionary};
 use prt_march::{Executor, MarchTest};
-use prt_ram::{FaultKind, FaultUniverse, Geometry, ProgramBuilder, Ram, TestProgram, UniverseSpec};
+use prt_ram::{
+    FaultKind, FaultUniverse, Geometry, ProgramBuilder, Ram, TestProgram, Topology, UniverseSpec,
+};
 
 /// Coarse fault family of a diagnosis, per the van-de-Goor taxonomy the
 /// universe enumerates.
@@ -69,7 +71,9 @@ impl FaultFamily {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnosis {
     victim: usize,
+    physical_victim: usize,
     aggressor: Option<usize>,
+    physical_aggressor: Option<usize>,
     candidates: Vec<FaultKind>,
     probes: usize,
 }
@@ -77,16 +81,33 @@ pub struct Diagnosis {
 impl Diagnosis {
     /// The failing address the bisection converged on: the cell whose
     /// checked reads expose the fault (for coupling faults, the victim;
-    /// for decoder faults, one of the involved addresses).
+    /// for decoder faults, one of the involved addresses). This is the
+    /// **logical** address — the one the tester drives on the bus; see
+    /// [`Diagnosis::physical_victim`] for the array position.
     pub fn victim(&self) -> usize {
         self.victim
     }
 
+    /// The **physical** array position of [`Diagnosis::victim`] under the
+    /// localizer's [`Topology`] ([`Localizer::with_topology`], or the
+    /// dictionary's own topology) — the coordinate a repair (row/column
+    /// replacement) is addressed by. Equals [`Diagnosis::victim`] under
+    /// the identity topology.
+    pub fn physical_victim(&self) -> usize {
+        self.physical_victim
+    }
+
     /// The recovered partner address, when every surviving candidate
     /// agrees on one (coupling aggressor, or the second address of a
-    /// decoder pair).
+    /// decoder pair). Logical, like [`Diagnosis::victim`].
     pub fn aggressor(&self) -> Option<usize> {
         self.aggressor
+    }
+
+    /// The **physical** array position of [`Diagnosis::aggressor`] under
+    /// the localizer's [`Topology`].
+    pub fn physical_aggressor(&self) -> Option<usize> {
+        self.physical_aggressor
     }
 
     /// The surviving candidates: every fault of the pool whose simulated
@@ -150,6 +171,7 @@ pub struct Localizer<'a> {
     executor: Executor,
     dictionary: Option<&'a FaultDictionary>,
     pool: Option<Vec<FaultKind>>,
+    topology: Option<Topology>,
 }
 
 impl<'a> Localizer<'a> {
@@ -157,7 +179,36 @@ impl<'a> Localizer<'a> {
     /// `geom`-shaped devices. Without a dictionary the candidate pool is
     /// the paper-claim universe of `geom`.
     pub fn new(test: MarchTest, geom: Geometry) -> Localizer<'a> {
-        Localizer { geom, test, executor: Executor::new(), dictionary: None, pool: None }
+        Localizer {
+            geom,
+            test,
+            executor: Executor::new(),
+            dictionary: None,
+            pool: None,
+            topology: None,
+        }
+    }
+
+    /// Declares the physical address [`Topology`] of the device under
+    /// diagnosis, so the resulting [`Diagnosis`] can report physical
+    /// ([`Diagnosis::physical_victim`]) alongside logical coordinates.
+    /// Probing itself is purely logical — the tester drives bus
+    /// addresses — so this never changes which cell is converged on.
+    /// A [`Localizer::with_dictionary`] seeded localizer inherits the
+    /// dictionary's topology unless one is declared explicitly here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology's cell count disagrees with the
+    /// localizer geometry.
+    pub fn with_topology(mut self, topology: Topology) -> Localizer<'a> {
+        assert_eq!(
+            topology.cells(),
+            self.geom.cells(),
+            "topology cell count must match the localizer geometry"
+        );
+        self.topology = Some(topology);
+        self
     }
 
     /// Seeds candidates from a [`FaultDictionary`]: the detecting run is
@@ -328,7 +379,23 @@ impl<'a> Localizer<'a> {
             candidates.iter().map(|f| partner_of(f, victim)).collect();
         let aggressor =
             if partner_set.len() == 1 { partner_set.pop_first().flatten() } else { None };
-        Ok(Some(Diagnosis { victim, aggressor, candidates, probes }))
+        let identity;
+        let topology = match (&self.topology, self.dictionary) {
+            (Some(t), _) => t,
+            (None, Some(d)) => d.topology(),
+            (None, None) => {
+                identity = Topology::identity(n);
+                &identity
+            }
+        };
+        Ok(Some(Diagnosis {
+            victim,
+            physical_victim: topology.to_physical(victim),
+            aggressor,
+            physical_aggressor: aggressor.map(|a| topology.to_physical(a)),
+            candidates,
+            probes,
+        }))
     }
 }
 
@@ -636,6 +703,70 @@ mod tests {
     fn wrong_geometry_is_rejected() {
         let mut ram = Ram::new(Geometry::bom(8));
         assert!(matches!(localizer().diagnose(&mut ram), Err(DiagError::GeometryMismatch { .. })));
+    }
+
+    #[test]
+    fn diagnosis_reports_physical_coordinates_under_a_scramble() {
+        use prt_ram::Scrambler;
+        let geom = Geometry::bom(16);
+        let topo = Topology::identity(16).then_swizzle(Scrambler::reversed(4)).unwrap();
+        let fault = FaultKind::CouplingIdempotent {
+            agg_cell: 3,
+            agg_bit: 0,
+            victim_cell: 12,
+            victim_bit: 0,
+            trigger: CouplingTrigger::Rise,
+            force: 1,
+        };
+        let mut ram = Ram::new(geom);
+        ram.inject(fault.clone()).unwrap();
+        let d = Localizer::new(library::march_diag(), geom)
+            .with_topology(topo.clone())
+            .diagnose(&mut ram)
+            .unwrap()
+            .expect("detected");
+        // Logical coordinates are unchanged by the declared topology...
+        assert_eq!(d.victim(), 12);
+        assert_eq!(d.aggressor(), Some(3));
+        // ...and the physical ones are their bit-reversed positions.
+        assert_eq!(d.physical_victim(), topo.to_physical(12));
+        assert_eq!(d.physical_victim(), 3); // 0b1100 reversed = 0b0011
+        assert_eq!(d.physical_aggressor(), Some(12)); // 0b0011 reversed
+                                                      // Without a topology, physical == logical.
+        let mut ram = Ram::new(geom);
+        ram.inject(fault).unwrap();
+        let plain = localizer().diagnose(&mut ram).unwrap().expect("detected");
+        assert_eq!(plain.physical_victim(), plain.victim());
+        assert_eq!(plain.physical_aggressor(), plain.aggressor());
+    }
+
+    #[test]
+    fn dictionary_topology_is_inherited_by_the_localizer() {
+        use prt_gf::Poly2;
+        use prt_ram::{LazyUniverse, Scrambler, UniverseSpec};
+        let geom = Geometry::bom(16);
+        let topo = Topology::identity(16).then_swizzle(Scrambler::reversed(4)).unwrap();
+        let universe =
+            LazyUniverse::new_with(geom, UniverseSpec::paper_claim(), topo.clone()).materialize();
+        let program = Executor::new().compile(&library::march_diag(), geom);
+        let dict = FaultDictionary::build(
+            &universe,
+            &program,
+            Poly2::from_bits(0b1_0001_1011),
+            prt_sim::Parallelism::Sequential,
+        )
+        .unwrap();
+        assert_eq!(dict.topology(), &topo);
+        let mut ram = Ram::new(geom);
+        ram.inject(FaultKind::StuckAt { cell: 5, bit: 0, value: 1 }).unwrap();
+        let d = Localizer::new(library::march_diag(), geom)
+            .with_dictionary(&dict)
+            .diagnose(&mut ram)
+            .unwrap()
+            .expect("detected");
+        assert_eq!(d.victim(), 5);
+        assert_eq!(d.physical_victim(), topo.to_physical(5));
+        assert_eq!(d.physical_victim(), 10); // 0b0101 reversed = 0b1010
     }
 
     #[test]

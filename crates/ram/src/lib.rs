@@ -62,5 +62,5 @@ pub use prog::{Execution, MemOp, OpMismatch, ProgramBuilder, SlotOp, TestProgram
 pub use rng::SplitMix64;
 pub use slice::{fault_cells, fault_locality_key, ActiveSet, ActivityIndex};
 pub use stats::AccessStats;
-pub use topology::{Layout, Scrambler};
+pub use topology::{Layout, Scrambler, Topology, TopologyStage};
 pub use universe::{FaultUniverse, LazyUniverse, UniverseSpec};

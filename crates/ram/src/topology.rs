@@ -1,13 +1,28 @@
-//! Physical array topology: logical-address → (row, column) mapping.
+//! Physical array topology: logical-address ↔ physical-address mapping.
 //!
 //! Neighbourhood pattern sensitive faults (NPSF) are defined over the
 //! *physical* layout, not the logical address order. This module provides
 //! the row-major mapping and the classic type-1 (von Neumann) neighbourhood
-//! used to instantiate [`crate::FaultKind::Npsf`] faults, plus address
-//! scrambling so tests can model decoders whose logical order differs from
-//! the physical one.
+//! used to instantiate [`crate::FaultKind::Npsf`] faults, plus composable
+//! address scrambling ([`Topology`]) so universes can model decoders whose
+//! logical order differs from the physical one: bit swizzles, row/column
+//! interleaving, folded arrays and bit-line twisting.
+//!
+//! ## Address spaces
+//!
+//! Everything downstream of universe enumeration — `FaultKind` cell
+//! fields, test programs, lane banks, activity slicing — lives in
+//! **logical** address space, the space the port interface exposes. The
+//! topology enters exactly once, when a universe is enumerated
+//! ([`crate::FaultUniverse::enumerate_with`],
+//! [`crate::LazyUniverse::new_with`]): the enumeration loops walk
+//! *physical* coordinates (so adjacency-defined families — coupling
+//! radii, decoder neighbour pairs, NPSF neighbourhoods — are physical),
+//! and every emitted address is mapped back through
+//! [`Topology::to_logical`]. The identity topology maps every address to
+//! itself, making the physical walk literally the legacy logical walk.
 
-use crate::{FaultKind, Geometry, RamError};
+use crate::{FaultKind, Geometry, RamError, SplitMix64};
 
 /// A rectangular physical layout for an `n`-cell array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,13 +46,18 @@ impl Layout {
 
     /// The most-square layout for a geometry (`cols ≥ rows`).
     ///
+    /// The search starts from the **integer** square root: the float
+    /// pipeline `(n as f64).sqrt() as usize` silently loses precision for
+    /// `n ≥ 2⁵³`, where the rounded conversion can land the start point a
+    /// full row off and mis-factor huge arrays (tested at the boundary).
+    ///
     /// # Errors
     ///
     /// [`RamError::UnsupportedGeometry`] if the cell count has no
     /// rectangular factorisation (never: `1 × n` always works).
     pub fn squarish(geom: Geometry) -> Result<Layout, RamError> {
         let n = geom.cells();
-        let mut rows = (n as f64).sqrt() as usize;
+        let mut rows = n.isqrt();
         while rows > 1 && !n.is_multiple_of(rows) {
             rows -= 1;
         }
@@ -114,6 +134,33 @@ impl Layout {
         pattern: u64,
         force: u8,
     ) -> Result<FaultKind, RamError> {
+        self.npsf_with(&Topology::identity(self.cells()), victim_cell, victim_bit, pattern, force)
+    }
+
+    /// [`Layout::npsf`] under an address scrambling: `victim_cell` and the
+    /// neighbourhood are **physical** coordinates of this layout, and the
+    /// emitted [`FaultKind::Npsf`] carries their logical images under
+    /// `topo` — the addresses a test program must drive to exercise the
+    /// physical neighbourhood.
+    ///
+    /// # Errors
+    ///
+    /// As [`Layout::npsf`]; additionally
+    /// [`RamError::UnsupportedGeometry`] when `topo` covers a different
+    /// cell count than this layout.
+    pub fn npsf_with(
+        &self,
+        topo: &Topology,
+        victim_cell: usize,
+        victim_bit: u32,
+        pattern: u64,
+        force: u8,
+    ) -> Result<FaultKind, RamError> {
+        if topo.cells() != self.cells() {
+            return Err(RamError::UnsupportedGeometry {
+                reason: "topology cell count does not match the layout",
+            });
+        }
         if victim_cell >= self.cells() {
             return Err(RamError::AddressOutOfRange { addr: victim_cell, cells: self.cells() });
         }
@@ -121,14 +168,33 @@ impl Layout {
             .von_neumann(victim_cell)
             .into_iter()
             .enumerate()
-            .map(|(i, c)| (c, victim_bit, ((pattern >> i) & 1) as u8))
+            .map(|(i, c)| (topo.to_logical(c), victim_bit, ((pattern >> i) & 1) as u8))
             .collect();
-        Ok(FaultKind::Npsf { victim_cell, victim_bit, neighbors, force })
+        Ok(FaultKind::Npsf {
+            victim_cell: topo.to_logical(victim_cell),
+            victim_bit,
+            neighbors,
+            force,
+        })
     }
 
     /// Enumerates all type-1 static NPSF instances (every interior victim,
     /// every neighbour pattern, both forced values) for bit `bit`.
     pub fn npsf_universe(&self, bit: u32) -> Vec<FaultKind> {
+        self.npsf_universe_with(&Topology::identity(self.cells()), bit)
+    }
+
+    /// [`Layout::npsf_universe`] under an address scrambling: victims and
+    /// neighbourhoods are walked over the **physical** grid and emitted in
+    /// their logical addresses (identity topology ⇒ exactly
+    /// [`Layout::npsf_universe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `topo` covers a different cell count than this layout —
+    /// a whole-universe configuration error.
+    pub fn npsf_universe_with(&self, topo: &Topology, bit: u32) -> Vec<FaultKind> {
+        assert_eq!(topo.cells(), self.cells(), "topology cell count does not match the layout");
         let mut out = Vec::new();
         for r in 1..self.rows.saturating_sub(1) {
             for c in 1..self.cols.saturating_sub(1) {
@@ -136,7 +202,8 @@ impl Layout {
                 for pattern in 0..16u64 {
                     for force in [0u8, 1] {
                         out.push(
-                            self.npsf(victim, bit, pattern, force).expect("victim inside layout"),
+                            self.npsf_with(topo, victim, bit, pattern, force)
+                                .expect("victim inside layout"),
                         );
                     }
                 }
@@ -217,6 +284,338 @@ impl Scrambler {
         }
         out
     }
+
+    /// The per-physical-bit `(source logical bit, invert)` table.
+    pub fn table(&self) -> &[(u32, bool)] {
+        &self.map
+    }
+}
+
+/// One bijective stage of a [`Topology`]: a permutation of a fixed-size
+/// address space, with a closed-form inverse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyStage {
+    /// Address-bit permutation/inversion ([`Scrambler`]); requires the
+    /// cell count to be `2^bits`.
+    Swizzle(Scrambler),
+    /// Row/column interleave (transpose): the row-major position
+    /// `(r, c)` of a `rows × cols` grid lands at the column-major index
+    /// `c·rows + r` — consecutive logical addresses spread across rows.
+    Interleave {
+        /// Grid rows (`rows · cols` must equal the cell count).
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Array folding: the address space is folded in half and the halves
+    /// interleaved, as in folded bit-line arrays — `a < n/2 ↦ 2a`,
+    /// `a ≥ n/2 ↦ 2(n−1−a)+1`. Logical neighbours across the fold seam
+    /// become physical neighbours. Requires an even cell count.
+    Fold,
+    /// Bit-line twist: on a `rows × cols` grid, every odd row swaps each
+    /// even/odd column pair (`c ↔ c^1`), modelling twisted bit-line
+    /// pairs. Self-inverse.
+    Twist {
+        /// Grid rows (`rows · cols` must equal the cell count).
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// An explicit permutation: `fwd[logical] = physical`, with the
+    /// inverse precomputed so both directions stay O(1).
+    Table {
+        /// logical → physical.
+        fwd: Vec<usize>,
+        /// physical → logical (the inverse permutation of `fwd`).
+        inv: Vec<usize>,
+    },
+}
+
+impl TopologyStage {
+    /// logical → physical through this stage (`Fold` needs the cell
+    /// count, which the owning [`Topology`] supplies).
+    fn forward(&self, cells: usize, a: usize) -> usize {
+        match self {
+            TopologyStage::Swizzle(s) => s.scramble(a),
+            TopologyStage::Interleave { rows, cols } => {
+                let (r, c) = (a / cols, a % cols);
+                c * rows + r
+            }
+            TopologyStage::Fold => {
+                if a < cells / 2 {
+                    2 * a
+                } else {
+                    2 * (cells - 1 - a) + 1
+                }
+            }
+            TopologyStage::Twist { rows: _, cols } => {
+                let (r, c) = (a / cols, a % cols);
+                let c = if r % 2 == 1 && (c ^ 1) < *cols { c ^ 1 } else { c };
+                r * cols + c
+            }
+            TopologyStage::Table { fwd, .. } => fwd[a],
+        }
+    }
+
+    /// physical → logical through this stage.
+    fn backward(&self, cells: usize, p: usize) -> usize {
+        match self {
+            TopologyStage::Swizzle(s) => s.unscramble(p),
+            TopologyStage::Interleave { rows, cols } => {
+                let (c, r) = (p / rows, p % rows);
+                r * cols + c
+            }
+            TopologyStage::Fold => {
+                if p.is_multiple_of(2) {
+                    p / 2
+                } else {
+                    cells - 1 - (p - 1) / 2
+                }
+            }
+            // The twist is an involution: forward is its own inverse.
+            TopologyStage::Twist { .. } => self.forward(cells, p),
+            TopologyStage::Table { inv, .. } => inv[p],
+        }
+    }
+}
+
+/// A composable logical ↔ physical address mapping over a fixed cell
+/// count: an ordered stack of [`TopologyStage`] bijections applied
+/// logical-side first. The empty stack is the identity, which every layer
+/// treats as "logical = physical" — bit-identical to the pre-topology
+/// behaviour.
+///
+/// # Composition laws
+///
+/// `to_logical` is the exact inverse of `to_physical` (round-trip
+/// property), and [`Topology::compose`] is associative — both are
+/// proptest-pinned in `tests/topology.rs`.
+///
+/// # Example
+///
+/// ```
+/// use prt_ram::{Scrambler, Topology};
+///
+/// let topo = Topology::identity(16).then_swizzle(Scrambler::reversed(4)).unwrap();
+/// assert_eq!(topo.to_physical(0b0001), 0b1000);
+/// assert_eq!(topo.to_logical(topo.to_physical(13)), 13);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    cells: usize,
+    stages: Vec<TopologyStage>,
+}
+
+impl Topology {
+    /// The identity mapping over `cells` addresses (any count, including
+    /// 0-stage topologies over non-power-of-two arrays).
+    pub fn identity(cells: usize) -> Topology {
+        Topology { cells, stages: Vec::new() }
+    }
+
+    /// Number of addresses the mapping covers.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The stage stack, logical-side first.
+    pub fn stages(&self) -> &[TopologyStage] {
+        &self.stages
+    }
+
+    /// `true` when the mapping sends every address to itself. The empty
+    /// stack short-circuits; a non-empty stack is checked pointwise (a
+    /// swizzle of identity scramblers *is* the identity).
+    pub fn is_identity(&self) -> bool {
+        self.stages.is_empty() || (0..self.cells).all(|a| self.to_physical(a) == a)
+    }
+
+    /// Validates and appends one stage.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::UnsupportedGeometry`] when the stage does not form a
+    /// bijection over exactly this topology's cell count.
+    pub fn then(mut self, stage: TopologyStage) -> Result<Topology, RamError> {
+        let ok = match &stage {
+            TopologyStage::Swizzle(s) => {
+                (s.bits() < usize::BITS) && self.cells == 1usize << s.bits()
+            }
+            TopologyStage::Interleave { rows, cols } | TopologyStage::Twist { rows, cols } => {
+                *rows > 0 && *cols > 0 && rows.checked_mul(*cols) == Some(self.cells)
+            }
+            TopologyStage::Fold => self.cells > 0 && self.cells.is_multiple_of(2),
+            TopologyStage::Table { fwd, inv } => {
+                fwd.len() == self.cells
+                    && inv.len() == self.cells
+                    && fwd.iter().all(|&p| p < self.cells)
+                    && fwd.iter().enumerate().all(|(a, &p)| inv[p] == a)
+            }
+        };
+        if !ok {
+            return Err(RamError::UnsupportedGeometry {
+                reason: "topology stage does not fit the cell count",
+            });
+        }
+        self.stages.push(stage);
+        Ok(self)
+    }
+
+    /// Appends an address-bit swizzle (cell count must be `2^bits`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::then`].
+    pub fn then_swizzle(self, s: Scrambler) -> Result<Topology, RamError> {
+        self.then(TopologyStage::Swizzle(s))
+    }
+
+    /// Appends a row/column interleave over a `rows × cols` grid.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::then`].
+    pub fn then_interleave(self, rows: usize, cols: usize) -> Result<Topology, RamError> {
+        self.then(TopologyStage::Interleave { rows, cols })
+    }
+
+    /// Appends an array fold (cell count must be even).
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::then`].
+    pub fn then_fold(self) -> Result<Topology, RamError> {
+        self.then(TopologyStage::Fold)
+    }
+
+    /// Appends a bit-line twist over a `rows × cols` grid.
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::then`].
+    pub fn then_twist(self, rows: usize, cols: usize) -> Result<Topology, RamError> {
+        self.then(TopologyStage::Twist { rows, cols })
+    }
+
+    /// Appends an explicit permutation `fwd[logical] = physical` (the
+    /// inverse is derived and validated here).
+    ///
+    /// # Errors
+    ///
+    /// As [`Topology::then`], for a table that is not a permutation of
+    /// exactly this cell count.
+    pub fn then_table(self, fwd: Vec<usize>) -> Result<Topology, RamError> {
+        if fwd.len() != self.cells || fwd.iter().any(|&p| p >= self.cells) {
+            return Err(RamError::UnsupportedGeometry {
+                reason: "topology stage does not fit the cell count",
+            });
+        }
+        let mut inv = vec![usize::MAX; self.cells];
+        for (a, &p) in fwd.iter().enumerate() {
+            if inv[p] != usize::MAX {
+                return Err(RamError::UnsupportedGeometry {
+                    reason: "topology stage does not fit the cell count",
+                });
+            }
+            inv[p] = a;
+        }
+        self.then(TopologyStage::Table { fwd, inv })
+    }
+
+    /// The composition `self ∘ other` reading left to right: addresses
+    /// flow through `self`'s stages, then `other`'s.
+    ///
+    /// # Errors
+    ///
+    /// [`RamError::UnsupportedGeometry`] when the cell counts differ.
+    pub fn compose(mut self, other: &Topology) -> Result<Topology, RamError> {
+        if self.cells != other.cells {
+            return Err(RamError::UnsupportedGeometry {
+                reason: "composed topologies cover different cell counts",
+            });
+        }
+        self.stages.extend(other.stages.iter().cloned());
+        Ok(self)
+    }
+
+    /// Physical address of logical address `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` is out of range.
+    pub fn to_physical(&self, a: usize) -> usize {
+        assert!(a < self.cells, "address {a} outside topology of {} cells", self.cells);
+        let mut x = a;
+        for stage in &self.stages {
+            x = stage.forward(self.cells, x);
+        }
+        x
+    }
+
+    /// Logical address stored at physical address `p` — the exact inverse
+    /// of [`Topology::to_physical`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is out of range.
+    pub fn to_logical(&self, p: usize) -> usize {
+        assert!(p < self.cells, "address {p} outside topology of {} cells", self.cells);
+        let mut x = p;
+        for stage in self.stages.iter().rev() {
+            x = stage.backward(self.cells, x);
+        }
+        x
+    }
+
+    /// A deterministic, seed-fuzzable topology over `cells` addresses:
+    /// 1–3 random stages drawn from every family valid for this cell
+    /// count (swizzles only on powers of two, folds only on even counts,
+    /// grid stages only when a non-trivial factorisation exists; a random
+    /// permutation table is always available, so every seed yields a real
+    /// scramble for every `cells ≥ 2`).
+    pub fn generate(cells: usize, seed: u64) -> Topology {
+        let mut rng = SplitMix64::new(seed);
+        let mut topo = Topology::identity(cells);
+        if cells < 2 {
+            return topo;
+        }
+        let bits = cells.trailing_zeros();
+        let pow2 = cells == 1usize << bits;
+        let grid = {
+            let r = Layout::squarish(Geometry::bom(cells)).expect("1×n always factors");
+            (r.rows() > 1).then(|| (r.rows(), r.cols()))
+        };
+        let stages = 1 + rng.next_below(3) as usize;
+        for _ in 0..stages {
+            let choice = rng.next_below(5);
+            topo = match choice {
+                0 if pow2 => {
+                    // Random bit permutation with random inversions.
+                    let mut order: Vec<u32> = (0..bits).collect();
+                    rng.shuffle(&mut order);
+                    let table: Vec<(u32, bool)> =
+                        order.into_iter().map(|b| (b, rng.next_bool())).collect();
+                    topo.then_swizzle(Scrambler::from_table(table).expect("permutation"))
+                }
+                1 if grid.is_some() => {
+                    let (r, c) = grid.expect("checked");
+                    topo.then_interleave(r, c)
+                }
+                2 if cells.is_multiple_of(2) => topo.then_fold(),
+                3 if grid.is_some() => {
+                    let (r, c) = grid.expect("checked");
+                    topo.then_twist(r, c)
+                }
+                _ => {
+                    let mut fwd: Vec<usize> = (0..cells).collect();
+                    rng.shuffle(&mut fwd);
+                    topo.then_table(fwd)
+                }
+            }
+            .expect("generated stages are valid by construction");
+        }
+        topo
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +693,137 @@ mod tests {
         let s = Scrambler::reversed(3);
         assert_eq!(s.scramble(0b001), 0b100);
         assert_eq!(s.scramble(0b110), 0b011);
+    }
+
+    #[test]
+    fn squarish_integer_isqrt_at_the_f64_boundary() {
+        // Above 2^53 the float pipeline `(n as f64).sqrt() as usize` is
+        // untrustworthy: the conversion alone can be off by 2^11 near
+        // 2^64. The integer isqrt must factor huge perfect squares
+        // exactly (Geometry carries only the count — nothing allocates).
+        for k in [1usize << 31, (1 << 31) + 1, (1 << 32) - 1] {
+            let l = Layout::squarish(Geometry::bom(k * k)).unwrap();
+            assert_eq!((l.rows(), l.cols()), (k, k), "k = {k}");
+        }
+        // Non-squares just below/above a huge square keep rows ≤ cols and
+        // an exact factorisation.
+        let n = (1usize << 31) * ((1 << 31) + 2);
+        let l = Layout::squarish(Geometry::bom(n)).unwrap();
+        assert_eq!(l.rows() * l.cols(), n);
+        assert!(l.rows() <= l.cols());
+        assert_eq!((l.rows(), l.cols()), (1 << 31, (1 << 31) + 2));
+    }
+
+    #[test]
+    fn identity_topology_maps_every_address_to_itself() {
+        let t = Topology::identity(13);
+        assert!(t.is_identity());
+        for a in 0..13 {
+            assert_eq!(t.to_physical(a), a);
+            assert_eq!(t.to_logical(a), a);
+        }
+        // A swizzle of identity scramblers is semantically the identity
+        // even with a non-empty stage stack.
+        let t = Topology::identity(8).then_swizzle(Scrambler::identity(3)).unwrap();
+        assert!(!t.stages().is_empty());
+        assert!(t.is_identity());
+    }
+
+    #[test]
+    fn stage_round_trips_and_known_images() {
+        let n = 16usize;
+        let topos = [
+            Topology::identity(n).then_swizzle(Scrambler::reversed(4)).unwrap(),
+            Topology::identity(n).then_interleave(4, 4).unwrap(),
+            Topology::identity(n).then_fold().unwrap(),
+            Topology::identity(n).then_twist(4, 4).unwrap(),
+            Topology::identity(n).then_table((0..n).rev().collect()).unwrap(),
+            Topology::generate(n, 7),
+        ];
+        for t in &topos {
+            let mut seen = vec![false; n];
+            for a in 0..n {
+                let p = t.to_physical(a);
+                assert_eq!(t.to_logical(p), a, "{t:?}");
+                assert!(!seen[p], "{t:?} not a bijection");
+                seen[p] = true;
+            }
+        }
+        // Fold: 0..8 land on even slots, 15..8 on odd slots.
+        let fold = Topology::identity(8).then_fold().unwrap();
+        let images: Vec<usize> = (0..8).map(|a| fold.to_physical(a)).collect();
+        assert_eq!(images, vec![0, 2, 4, 6, 7, 5, 3, 1]);
+        // Twist: odd rows swap column pairs.
+        let twist = Topology::identity(8).then_twist(2, 4).unwrap();
+        let images: Vec<usize> = (0..8).map(|a| twist.to_physical(a)).collect();
+        assert_eq!(images, vec![0, 1, 2, 3, 5, 4, 7, 6]);
+    }
+
+    #[test]
+    fn topology_stage_validation_is_loud() {
+        assert!(Topology::identity(12).then_swizzle(Scrambler::identity(4)).is_err());
+        assert!(Topology::identity(12).then_interleave(5, 2).is_err());
+        assert!(Topology::identity(13).then_fold().is_err());
+        assert!(Topology::identity(12).then_twist(0, 12).is_err());
+        assert!(Topology::identity(4).then_table(vec![0, 1, 2]).is_err());
+        assert!(Topology::identity(4).then_table(vec![0, 1, 2, 2]).is_err());
+        assert!(Topology::identity(4).then_table(vec![0, 1, 2, 4]).is_err());
+        assert!(Topology::identity(8).compose(&Topology::identity(4)).is_err());
+    }
+
+    #[test]
+    fn composition_applies_left_to_right() {
+        let n = 16usize;
+        let a = Topology::identity(n).then_swizzle(Scrambler::reversed(4)).unwrap();
+        let b = Topology::identity(n).then_fold().unwrap();
+        let ab = a.clone().compose(&b).unwrap();
+        for x in 0..n {
+            assert_eq!(ab.to_physical(x), b.to_physical(a.to_physical(x)));
+            assert_eq!(ab.to_logical(ab.to_physical(x)), x);
+        }
+    }
+
+    #[test]
+    fn generated_topologies_are_bijections_for_awkward_sizes() {
+        // Primes, evens, powers of two, and 1-cell arrays all generate.
+        for n in [1usize, 2, 5, 12, 13, 16, 24, 64] {
+            for seed in 0..8u64 {
+                let t = Topology::generate(n, seed);
+                let mut seen = vec![false; n];
+                for a in 0..n {
+                    let p = t.to_physical(a);
+                    assert_eq!(t.to_logical(p), a, "n={n} seed={seed}");
+                    assert!(!seen[p], "n={n} seed={seed} not a bijection");
+                    seen[p] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn npsf_with_topology_maps_neighbourhoods_to_logical_addresses() {
+        let l = Layout::new(3, 3).unwrap();
+        let topo = Topology::identity(9).then_table(vec![8, 7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        // Identity path unchanged.
+        assert_eq!(l.npsf_universe(0), l.npsf_universe_with(&Topology::identity(9), 0));
+        // Physical victim 4 (centre) is logical 4 under reversal too, but
+        // its physical neighbours 1/5/7/3 carry logical addresses 7/3/1/5.
+        let fault = l.npsf_with(&topo, 4, 0, 0b1111, 1).unwrap();
+        match fault {
+            FaultKind::Npsf { victim_cell, ref neighbors, .. } => {
+                assert_eq!(victim_cell, 4);
+                let cells: Vec<usize> = neighbors.iter().map(|&(c, _, _)| c).collect();
+                assert_eq!(cells, vec![7, 3, 1, 5]);
+            }
+            other => panic!("unexpected fault {other:?}"),
+        }
+        // The fault still behaves topologically when driven through the
+        // *logical* port interface of a scrambled part.
+        let mut ram = Ram::new(Geometry::bom(9));
+        ram.inject(l.npsf_with(&topo, 4, 0, 0b1111, 1).unwrap()).unwrap();
+        for nb in [7usize, 3, 1, 5] {
+            ram.write(nb, 1);
+        }
+        assert_eq!(ram.read(4), 1, "victim forced by the physical neighbourhood");
     }
 }

@@ -7,7 +7,7 @@
 //! universes deterministically so the experiment tables are reproducible.
 
 use crate::fault::{CouplingTrigger, FaultKind};
-use crate::{Geometry, Ram, SplitMix64};
+use crate::{Geometry, Ram, SplitMix64, Topology};
 
 /// Which fault classes to include in a universe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,17 +88,49 @@ impl UniverseSpec {
 pub struct FaultUniverse {
     geom: Geometry,
     faults: Vec<FaultKind>,
+    /// The physical topology the enumeration walked (identity unless
+    /// built through [`FaultUniverse::enumerate_with`]).
+    topology: Topology,
 }
 
 impl FaultUniverse {
-    /// Enumerates the universe for `spec` on `geom`.
+    /// Enumerates the universe for `spec` on `geom` with the identity
+    /// topology (logical = physical).
     pub fn enumerate(geom: Geometry, spec: &UniverseSpec) -> FaultUniverse {
+        FaultUniverse::enumerate_with(geom, spec, Topology::identity(geom.cells()))
+    }
+
+    /// Enumerates the universe for `spec` on `geom` over a physical
+    /// [`Topology`]: the enumeration loops walk **physical** coordinates
+    /// — so the coupling radius is physical distance, decoder
+    /// neighbour/shadow pairs are physically adjacent/opposite, and every
+    /// other family sweeps the array in physical order — while the
+    /// emitted [`FaultKind`] fields carry the corresponding **logical**
+    /// addresses ([`Topology::to_logical`]), the space test programs and
+    /// the port interface operate in. With the identity topology the
+    /// walk and the output are bit-identical to [`FaultUniverse::enumerate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `topology` covers a different cell count than `geom` —
+    /// a whole-universe configuration error.
+    pub fn enumerate_with(
+        geom: Geometry,
+        spec: &UniverseSpec,
+        topology: Topology,
+    ) -> FaultUniverse {
+        assert_eq!(
+            topology.cells(),
+            geom.cells(),
+            "topology cell count does not match the geometry"
+        );
         let n = geom.cells();
         let m = geom.width();
+        let log = |p: usize| topology.to_logical(p);
         let mut faults = Vec::new();
 
         if spec.saf {
-            for cell in 0..n {
+            for cell in (0..n).map(log) {
                 for bit in 0..m {
                     faults.push(FaultKind::StuckAt { cell, bit, value: 0 });
                     faults.push(FaultKind::StuckAt { cell, bit, value: 1 });
@@ -106,13 +138,15 @@ impl FaultUniverse {
             }
         }
         if spec.tf {
-            for cell in 0..n {
+            for cell in (0..n).map(log) {
                 for bit in 0..m {
                     faults.push(FaultKind::Transition { cell, bit, rising: true });
                     faults.push(FaultKind::Transition { cell, bit, rising: false });
                 }
             }
         }
+        // Physical a-major pair walk: the radius restricts *physical*
+        // distance, then each side maps to its logical address.
         let pairs: Vec<(usize, usize)> = (0..n)
             .flat_map(|a| (0..n).map(move |v| (a, v)))
             .filter(|&(a, v)| a != v)
@@ -120,6 +154,7 @@ impl FaultUniverse {
                 Some(r) => a.abs_diff(v) <= r,
                 None => true,
             })
+            .map(|(a, v)| (log(a), log(v)))
             .collect();
         if spec.cfin {
             for &(a, v) in &pairs {
@@ -175,7 +210,7 @@ impl FaultUniverse {
         if spec.intra_word && m > 1 {
             let intra: Vec<(u32, u32)> =
                 (0..m).flat_map(|a| (0..m).map(move |v| (a, v))).filter(|&(a, v)| a != v).collect();
-            for cell in 0..n {
+            for cell in (0..n).map(log) {
                 for &(ab, vb) in &intra {
                     if spec.cfin {
                         for trigger in [CouplingTrigger::Rise, CouplingTrigger::Fall] {
@@ -220,24 +255,30 @@ impl FaultUniverse {
             }
         }
         if spec.af {
-            for addr in 0..n {
+            // Decoder faults pair *physically* related addresses: the
+            // extra cell is the physical successor, the shadow sits
+            // half the array away — both mapped to logical addresses.
+            for addr in (0..n).map(log) {
                 faults.push(FaultKind::DecoderNoAccess { addr });
             }
-            for addr in 0..n {
-                let extra = (addr + 1) % n;
-                faults.push(FaultKind::DecoderExtraCell { addr, extra_cell: extra });
-                let instead = (addr + n / 2).max(addr + 1) % n;
-                if instead != addr {
-                    faults.push(FaultKind::DecoderShadow { addr, instead_cell: instead });
+            for p in 0..n {
+                let extra = log((p + 1) % n);
+                faults.push(FaultKind::DecoderExtraCell { addr: log(p), extra_cell: extra });
+                let instead_p = (p + n / 2).max(p + 1) % n;
+                if instead_p != p {
+                    faults.push(FaultKind::DecoderShadow {
+                        addr: log(p),
+                        instead_cell: log(instead_p),
+                    });
                 }
             }
         }
         if spec.sof {
-            for cell in 0..n {
+            for cell in (0..n).map(log) {
                 faults.push(FaultKind::StuckOpen { cell });
             }
         }
-        for cell in 0..n {
+        for cell in (0..n).map(log) {
             for bit in 0..m {
                 if spec.rdf {
                     faults.push(FaultKind::ReadDestructive { cell, bit });
@@ -253,12 +294,17 @@ impl FaultUniverse {
                 }
             }
         }
-        FaultUniverse { geom, faults }
+        FaultUniverse { geom, faults, topology }
     }
 
     /// Geometry the universe was enumerated for.
     pub fn geometry(&self) -> Geometry {
         self.geom
+    }
+
+    /// The physical topology the enumeration walked.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Number of fault instances.
@@ -372,9 +418,13 @@ enum RwKind {
 /// assert_eq!(lazy.len(), eager.len());
 /// assert_eq!(lazy.fault(4321), eager.faults()[4321]);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LazyUniverse {
     geom: Geometry,
+    /// Physical topology: decoded block coordinates are physical and map
+    /// through [`Topology::to_logical`] on the way out — O(stage count)
+    /// per lookup, no tables, so index→fault stays O(1) under scrambling.
+    topology: Topology,
     /// Block sizes in enumeration order; an absent family contributes 0.
     saf: usize,
     tf: usize,
@@ -471,6 +521,24 @@ impl LazyUniverse {
     /// arithmetic above — so services never need to materialize a
     /// universe up front.
     pub fn new(geom: Geometry, spec: UniverseSpec) -> LazyUniverse {
+        LazyUniverse::new_with(geom, spec, Topology::identity(geom.cells()))
+    }
+
+    /// [`LazyUniverse::new`] over a physical [`Topology`] — the lazy
+    /// counterpart of [`FaultUniverse::enumerate_with`], index-for-index
+    /// identical to it for every spec (asserted in tests). Block sizes
+    /// are topology-independent (a bijection renames addresses without
+    /// changing counts), so only the per-index decode maps coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `topology` covers a different cell count than `geom`.
+    pub fn new_with(geom: Geometry, spec: UniverseSpec, topology: Topology) -> LazyUniverse {
+        assert_eq!(
+            topology.cells(),
+            geom.cells(),
+            "topology cell count does not match the geometry"
+        );
         let n = geom.cells();
         let m = geom.width() as usize;
         let bits = n * m;
@@ -508,6 +576,7 @@ impl LazyUniverse {
             2 * usize::from(spec.cfin) + 4 * usize::from(spec.cfid) + 4 * usize::from(spec.cfst);
         let u = LazyUniverse {
             geom,
+            topology,
             saf: if spec.saf { 2 * bits } else { 0 },
             tf: if spec.tf { 2 * bits } else { 0 },
             cfin: if spec.cfin { pairs * bp * 2 } else { 0 },
@@ -532,6 +601,11 @@ impl LazyUniverse {
         self.geom
     }
 
+    /// The physical topology the enumeration walks.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
     /// Number of fault instances.
     pub fn len(&self) -> usize {
         self.total
@@ -553,14 +627,17 @@ impl LazyUniverse {
         assert!(i < self.total, "universe index {i} out of range for {} instances", self.total);
         let n = self.geom.cells();
         let m = self.geom.width() as usize;
+        // Block decode yields *physical* coordinates; addresses map to
+        // logical on the way out (identity topology: log(p) = p).
+        let log = |p: usize| self.topology.to_logical(p);
         let mut i = i;
         if i < self.saf {
-            let (cell, rem) = (i / (2 * m), i % (2 * m));
+            let (cell, rem) = (log(i / (2 * m)), i % (2 * m));
             return FaultKind::StuckAt { cell, bit: (rem / 2) as u32, value: (rem % 2) as u8 };
         }
         i -= self.saf;
         if i < self.tf {
-            let (cell, rem) = (i / (2 * m), i % (2 * m));
+            let (cell, rem) = (log(i / (2 * m)), i % (2 * m));
             return FaultKind::Transition { cell, bit: (rem / 2) as u32, rising: rem % 2 == 0 };
         }
         i -= self.tf;
@@ -568,6 +645,7 @@ impl LazyUniverse {
         if i < self.cfin {
             let (pair, rem) = (i / (bp * 2), i % (bp * 2));
             let (a, v) = pair_at(n, self.radius, pair);
+            let (a, v) = (log(a), log(v));
             let (ab, vb) = bit_pair_at(m as u32, rem / 2);
             let trigger = if rem % 2 == 0 { CouplingTrigger::Rise } else { CouplingTrigger::Fall };
             return FaultKind::CouplingInversion {
@@ -582,6 +660,7 @@ impl LazyUniverse {
         if i < self.cfid {
             let (pair, rem) = (i / (bp * 4), i % (bp * 4));
             let (a, v) = pair_at(n, self.radius, pair);
+            let (a, v) = (log(a), log(v));
             let (ab, vb) = bit_pair_at(m as u32, rem / 4);
             let sel = rem % 4;
             let trigger = if sel / 2 == 0 { CouplingTrigger::Rise } else { CouplingTrigger::Fall };
@@ -598,6 +677,7 @@ impl LazyUniverse {
         if i < self.cfst {
             let (pair, rem) = (i / (bp * 4), i % (bp * 4));
             let (a, v) = pair_at(n, self.radius, pair);
+            let (a, v) = (log(a), log(v));
             let (ab, vb) = bit_pair_at(m as u32, rem / 4);
             let sel = rem % 4;
             return FaultKind::CouplingState {
@@ -617,7 +697,7 @@ impl LazyUniverse {
                 + 4 * usize::from(self.cf_on[1])
                 + 4 * usize::from(self.cf_on[2]);
             let cell_block = m * (m - 1) * stride;
-            let (cell, rem) = (i / cell_block, i % cell_block);
+            let (cell, rem) = (log(i / cell_block), i % cell_block);
             let (pidx, mut k) = (rem / stride, rem % stride);
             let (ab, vb) = intra_pair_at(m, pidx);
             if self.cf_on[0] {
@@ -661,26 +741,29 @@ impl LazyUniverse {
         i -= self.intra;
         if i < self.af {
             if i < n {
-                return FaultKind::DecoderNoAccess { addr: i };
+                return FaultKind::DecoderNoAccess { addr: log(i) };
             }
             let j = i - n;
             if n < 2 {
-                return FaultKind::DecoderExtraCell { addr: j, extra_cell: (j + 1) % n };
+                return FaultKind::DecoderExtraCell { addr: log(j), extra_cell: log((j + 1) % n) };
             }
             let addr = j / 2;
             return if j.is_multiple_of(2) {
-                FaultKind::DecoderExtraCell { addr, extra_cell: (addr + 1) % n }
+                FaultKind::DecoderExtraCell { addr: log(addr), extra_cell: log((addr + 1) % n) }
             } else {
-                FaultKind::DecoderShadow { addr, instead_cell: (addr + n / 2).max(addr + 1) % n }
+                FaultKind::DecoderShadow {
+                    addr: log(addr),
+                    instead_cell: log((addr + n / 2).max(addr + 1) % n),
+                }
             };
         }
         i -= self.af;
         if i < self.sof {
-            return FaultKind::StuckOpen { cell: i };
+            return FaultKind::StuckOpen { cell: log(i) };
         }
         i -= self.sof;
         let (cb, sel) = (i / self.rw_per_bit, i % self.rw_per_bit);
-        let (cell, bit) = (cb / m, (cb % m) as u32);
+        let (cell, bit) = (log(cb / m), (cb % m) as u32);
         match self.rw_kinds[sel].expect("selector within enabled families") {
             RwKind::Rdf => FaultKind::ReadDestructive { cell, bit },
             RwKind::Drdf => FaultKind::DeceptiveRead { cell, bit },
@@ -706,9 +789,13 @@ impl LazyUniverse {
     }
 
     /// Materializes the whole universe — bit-identical to
-    /// [`FaultUniverse::enumerate`] for this spec.
+    /// [`FaultUniverse::enumerate_with`] for this spec and topology.
     pub fn materialize(&self) -> FaultUniverse {
-        FaultUniverse { geom: self.geom, faults: self.iter().collect() }
+        FaultUniverse {
+            geom: self.geom,
+            faults: self.iter().collect(),
+            topology: self.topology.clone(),
+        }
     }
 }
 
@@ -893,6 +980,70 @@ mod tests {
         // First entry after the coupling blocks: the AF block.
         assert_eq!(lazy.fault(4 * n + 10 * pairs), FaultKind::DecoderNoAccess { addr: 0 });
     }
+
+    /// Scrambled enumeration keeps the lazy/eager order contract: for
+    /// generated topologies the lazy decode must reproduce the
+    /// materialized walk index-for-index, and the identity topology must
+    /// be bit-identical to the legacy (topology-free) path.
+    #[test]
+    fn lazy_universe_matches_enumerate_under_topologies() {
+        let specs = [
+            UniverseSpec::paper_claim(),
+            UniverseSpec::full(),
+            UniverseSpec { coupling_radius: Some(2), ..UniverseSpec::full() },
+        ];
+        let geoms = [Geometry::bom(8), Geometry::bom(13), Geometry::wom(6, 4).unwrap()];
+        for geom in geoms {
+            for spec in specs {
+                for seed in 1u64..4 {
+                    let topo = Topology::generate(geom.cells(), seed);
+                    let lazy = LazyUniverse::new_with(geom, spec, topo.clone());
+                    let eager = FaultUniverse::enumerate_with(geom, &spec, topo.clone());
+                    assert_eq!(lazy.len(), eager.len(), "{geom:?} {spec:?} seed {seed}");
+                    let all: Vec<FaultKind> = lazy.iter().collect();
+                    assert_eq!(all.as_slice(), eager.faults(), "{geom:?} {spec:?} seed {seed}");
+                }
+                let id =
+                    FaultUniverse::enumerate_with(geom, &spec, Topology::identity(geom.cells()));
+                assert_eq!(id.faults(), FaultUniverse::enumerate(geom, &spec).faults());
+                assert!(id.topology().is_identity());
+            }
+        }
+    }
+
+    /// A pure cell permutation renames addresses without changing what
+    /// exists: family censuses (and for radius-free specs, the fault
+    /// *sets* of the position-free families) are topology-invariant.
+    #[test]
+    fn scrambled_universe_is_a_relabelling() {
+        let geom = Geometry::bom(16);
+        let spec = UniverseSpec::paper_claim();
+        let id = FaultUniverse::enumerate(geom, &spec);
+        let topo = Topology::identity(16).then_swizzle(Scrambler::reversed(4)).unwrap();
+        let scrambled = FaultUniverse::enumerate_with(geom, &spec, topo);
+        assert_eq!(id.census(), scrambled.census());
+        let set = |u: &FaultUniverse| {
+            let mut v: Vec<String> = u.faults().iter().map(|f| format!("{f:?}")).collect();
+            v.sort();
+            v
+        };
+        // Radius-free coupling + SAF/TF blocks cover all pairs/cells, so
+        // the sets match; only AF pairing depends on physical adjacency.
+        let strip_af = |u: &FaultUniverse| {
+            let mut v: Vec<String> = u
+                .faults()
+                .iter()
+                .filter(|f| f.mnemonic() != "AF")
+                .map(|f| format!("{f:?}"))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(strip_af(&id), strip_af(&scrambled));
+        assert_ne!(set(&id), set(&scrambled), "AF neighbour pairs are physical");
+    }
+
+    use crate::Scrambler;
 
     #[test]
     #[should_panic(expected = "universe index")]

@@ -86,7 +86,7 @@ use std::time::Duration;
 
 use prt_ram::{
     fault_locality_key, ActiveSet, ActivityIndex, FaultKind, FaultUniverse, Geometry, LaneChunk,
-    LaneRam, Ram, TestProgram,
+    LaneRam, Ram, TestProgram, Topology,
 };
 
 #[cfg(any(test, feature = "chaos"))]
@@ -854,6 +854,7 @@ pub struct Campaign<'a, R> {
     lane_batching: bool,
     lane_width: LaneWidth,
     slicing: bool,
+    topology: Option<Topology>,
     name: String,
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
@@ -935,6 +936,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// A campaign over every instance of an enumerated universe.
     pub fn new(universe: &'a FaultUniverse, runner: R) -> Campaign<'a, R> {
         Campaign::over(universe.geometry(), universe.faults(), runner)
+            .with_topology(universe.topology().clone())
     }
 
     /// A campaign over an explicit fault list (e.g. the escapes of a
@@ -950,6 +952,7 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
             lane_batching: true,
             lane_width: LaneWidth::default(),
             slicing: true,
+            topology: None,
             name: "campaign".to_string(),
             deadline: None,
             cancel: None,
@@ -1021,6 +1024,32 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// full-pass oracle for measurement or differential testing.
     pub fn with_slicing(mut self, enabled: bool) -> Campaign<'a, R> {
         self.slicing = enabled;
+        self
+    }
+
+    /// Declares the physical address [`Topology`] this campaign's fault
+    /// universe was enumerated under. Faults carry **logical** addresses
+    /// whatever the topology, so this knob never changes how trials
+    /// execute — it exists so the checkpoint fingerprint can tell
+    /// scrambles apart: a checkpoint written under one topology refuses
+    /// to resume under another
+    /// ([`CheckpointError::FingerprintMismatch`]). The identity topology
+    /// hashes exactly like the pre-topology era, keeping old checkpoints
+    /// valid. [`Campaign::new`] sets this automatically from the
+    /// universe; campaigns built with [`Campaign::over`] on scrambled
+    /// fault lists should declare it explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology's cell count disagrees with the
+    /// campaign geometry.
+    pub fn with_topology(mut self, topology: Topology) -> Campaign<'a, R> {
+        assert_eq!(
+            topology.cells(),
+            self.geom.cells(),
+            "topology cell count must match the campaign geometry"
+        );
+        self.topology = if topology.is_identity() { None } else { Some(topology) };
         self
     }
 
@@ -1324,10 +1353,19 @@ impl<'a, R: FaultRunner> Campaign<'a, R> {
     /// width ([`LaneWidth`]) never change the table: a checkpoint taken
     /// at 64 lanes resumes correctly at 512 and vice versa, which is why
     /// the width is deliberately **not** hashed here.
+    ///
+    /// A non-identity [`Topology`] (see [`Campaign::with_topology`]) is
+    /// hashed so a checkpoint written under one scramble refuses to
+    /// resume under another; the identity topology is hashed as the
+    /// absence of the field, keeping pre-topology checkpoints valid.
     fn fingerprint(&self) -> u64 {
         let mut fp = FingerprintBuilder::new();
         fp.push_str("prt-sim/campaign/v1");
         fp.push_str("schedule:fault-index/v1");
+        if let Some(topology) = &self.topology {
+            fp.push_str("topology");
+            fp.push_debug(topology);
+        }
         fp.push_debug(&self.geom);
         fp.push_u64(self.ports as u64);
         fp.push_u64(self.backgrounds.len() as u64);
@@ -2403,6 +2441,46 @@ mod tests {
             matches!(err, CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })),
             "expected FingerprintMismatch, got {err:?}"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_refuses_resume_under_different_topology() {
+        let u = universe();
+        let n = u.geometry().cells();
+        let scramble = Topology::identity(n).then_table((0..n).rev().collect()).unwrap();
+        let path = temp_ckpt("topology");
+        let first = Campaign::new(&u, toy_runner)
+            .with_topology(scramble.clone())
+            .with_checkpoint(&path, 32)
+            .run();
+        assert!(first.partial().is_none());
+        // Same faults, same geometry — but the file declares a scramble,
+        // so an identity-topology campaign must not adopt it...
+        let err = Campaign::new(&u, toy_runner).with_checkpoint(&path, 32).try_run().unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })),
+            "identity resume of a scrambled checkpoint must be refused, got {err:?}"
+        );
+        // ...nor may a campaign under a *different* scramble.
+        let other = Topology::generate(n, 7);
+        assert_ne!(other, scramble, "seed 7 must generate a distinct topology");
+        let err = Campaign::new(&u, toy_runner)
+            .with_topology(other)
+            .with_checkpoint(&path, 32)
+            .try_run()
+            .unwrap_err();
+        assert!(
+            matches!(err, CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })),
+            "cross-scramble resume must be refused, got {err:?}"
+        );
+        // The declared topology re-admits its own checkpoint.
+        let again = Campaign::new(&u, toy_runner)
+            .with_topology(scramble)
+            .with_checkpoint(&path, 32)
+            .try_run()
+            .expect("same-topology resume must succeed");
+        assert_eq!(first.rows(), again.rows());
         let _ = std::fs::remove_file(&path);
     }
 

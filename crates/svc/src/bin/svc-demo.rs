@@ -76,6 +76,7 @@ fn main() {
         lane_width: 0,
         deadline_ms: 0,
         segment: 1024,
+        topology: None,
     };
 
     // N clients stream the same job concurrently — the shard scheduler

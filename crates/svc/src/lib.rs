@@ -59,6 +59,7 @@
 //!     lane_width: 0,
 //!     deadline_ms: 0,
 //!     segment: 16,
+//!     topology: None,
 //! };
 //! let stream = client.submit(&job).unwrap();
 //! assert!(stream.total() > 0);

@@ -21,7 +21,7 @@
 
 use std::io::{self, Read, Write};
 
-use prt_ram::UniverseSpec;
+use prt_ram::{Scrambler, Topology, TopologyStage, UniverseSpec};
 
 /// Hard ceiling on one frame's payload, enforced on both ends before any
 /// allocation. Generously above every real message (the largest — a
@@ -254,6 +254,111 @@ fn read_spec(rd: &mut Rd<'_>) -> Result<UniverseSpec, WireError> {
 }
 
 // ---------------------------------------------------------------------
+// Topology ⇄ stage-structured blob (v2 Submit frames only).
+
+const STAGE_SWIZZLE: u8 = 0;
+const STAGE_INTERLEAVE: u8 = 1;
+const STAGE_FOLD: u8 = 2;
+const STAGE_TWIST: u8 = 3;
+const STAGE_TABLE: u8 = 4;
+
+/// Encodes a topology stage-structurally (the swizzle/interleave/fold/
+/// twist parameters, not expanded permutation tables), so even a
+/// many-stage topology over a large array stays far under [`MAX_FRAME`];
+/// only an explicit [`TopologyStage::Table`] pays per-cell space.
+fn put_topology(out: &mut Vec<u8>, topology: &Topology) {
+    put_u64(out, topology.cells() as u64);
+    put_u16(out, topology.stages().len() as u16);
+    for stage in topology.stages() {
+        match stage {
+            TopologyStage::Swizzle(s) => {
+                out.push(STAGE_SWIZZLE);
+                put_u16(out, s.bits() as u16);
+                for &(src, invert) in s.table() {
+                    put_u16(out, src as u16);
+                    out.push(invert as u8);
+                }
+            }
+            TopologyStage::Interleave { rows, cols } => {
+                out.push(STAGE_INTERLEAVE);
+                put_u64(out, *rows as u64);
+                put_u64(out, *cols as u64);
+            }
+            TopologyStage::Fold => out.push(STAGE_FOLD),
+            TopologyStage::Twist { rows, cols } => {
+                out.push(STAGE_TWIST);
+                put_u64(out, *rows as u64);
+                put_u64(out, *cols as u64);
+            }
+            TopologyStage::Table { fwd, .. } => {
+                out.push(STAGE_TABLE);
+                put_u32(out, fwd.len() as u32);
+                for &p in fwd {
+                    put_u64(out, p as u64);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes and **validates** a topology blob: every stage is rebuilt
+/// through [`Topology::then`]'s own bijection checks, so a hostile or
+/// corrupt frame cannot smuggle in a non-permutation.
+fn read_topology(rd: &mut Rd<'_>) -> Result<Topology, WireError> {
+    let cells = rd.u64("topology cells")?;
+    let cells = usize::try_from(cells).map_err(|_| WireError("topology cells overflow".into()))?;
+    let stages = rd.u16("topology stage count")?;
+    let mut topology = Topology::identity(cells);
+    let glue = |e: prt_ram::RamError| WireError(format!("invalid topology stage: {e}"));
+    for _ in 0..stages {
+        topology = match rd.u8("topology stage tag")? {
+            STAGE_SWIZZLE => {
+                let bits = rd.u16("swizzle bits")? as u32;
+                if bits > 64 {
+                    return err(format!("swizzle width {bits} exceeds 64 bits"));
+                }
+                let mut map = Vec::with_capacity(bits as usize);
+                for _ in 0..bits {
+                    let src = rd.u16("swizzle source bit")? as u32;
+                    let invert = match rd.u8("swizzle invert flag")? {
+                        0 => false,
+                        1 => true,
+                        other => return err(format!("bad swizzle invert flag {other}")),
+                    };
+                    map.push((src, invert));
+                }
+                let s = Scrambler::from_table(map).map_err(glue)?;
+                topology.then_swizzle(s).map_err(glue)?
+            }
+            STAGE_INTERLEAVE => {
+                let rows = rd.u64("interleave rows")? as usize;
+                let cols = rd.u64("interleave cols")? as usize;
+                topology.then_interleave(rows, cols).map_err(glue)?
+            }
+            STAGE_FOLD => topology.then_fold().map_err(glue)?,
+            STAGE_TWIST => {
+                let rows = rd.u64("twist rows")? as usize;
+                let cols = rd.u64("twist cols")? as usize;
+                topology.then_twist(rows, cols).map_err(glue)?
+            }
+            STAGE_TABLE => {
+                let n = rd.u32("table length")? as usize;
+                if n > MAX_FRAME / 8 {
+                    return err("table length exceeds frame capacity");
+                }
+                let mut fwd = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fwd.push(rd.u64("table entry")? as usize);
+                }
+                topology.then_table(fwd).map_err(glue)?
+            }
+            other => return err(format!("unknown topology stage tag {other:#04x}")),
+        };
+    }
+    Ok(topology)
+}
+
+// ---------------------------------------------------------------------
 // Messages.
 
 /// One streamed campaign job: which test, which device, which universe.
@@ -279,6 +384,13 @@ pub struct JobSpec {
     /// Streaming segment length in trials (`0` = server default): one
     /// [`CoverageDelta`] per completed segment.
     pub segment: u32,
+    /// Physical address topology of the device under test: the fault
+    /// universe is enumerated over physical coordinates and mapped back
+    /// to the logical addresses the test drives. `None` = identity
+    /// (logical = physical). A `Some` topology upgrades the Submit frame
+    /// to the v2 encoding; v1 frames always decode as `None`, so old
+    /// clients keep working against new servers and vice versa.
+    pub topology: Option<Topology>,
 }
 
 /// One dictionary query: which configuration, which failing signature.
@@ -401,6 +513,10 @@ pub enum Event {
 
 const TAG_SUBMIT: u8 = 0x01;
 const TAG_LOOKUP: u8 = 0x02;
+/// v2 Submit: the v1 layout plus a trailing topology blob. A separate
+/// tag (rather than a version byte) keeps v1 frames byte-identical, so
+/// the protocol bump is invisible to identity-topology traffic.
+const TAG_SUBMIT_V2: u8 = 0x03;
 const TAG_ACCEPTED: u8 = 0x81;
 const TAG_DELTA: u8 = 0x82;
 const TAG_DONE: u8 = 0x83;
@@ -413,7 +529,7 @@ impl Request {
         let mut out = Vec::new();
         match self {
             Request::Submit(job) => {
-                out.push(TAG_SUBMIT);
+                out.push(if job.topology.is_some() { TAG_SUBMIT_V2 } else { TAG_SUBMIT });
                 put_str(&mut out, &job.family);
                 put_u64(&mut out, job.cells);
                 put_u32(&mut out, job.width);
@@ -425,6 +541,9 @@ impl Request {
                 put_u16(&mut out, job.lane_width);
                 put_u64(&mut out, job.deadline_ms);
                 put_u32(&mut out, job.segment);
+                if let Some(topology) = &job.topology {
+                    put_topology(&mut out, topology);
+                }
             }
             Request::Lookup(spec) => {
                 out.push(TAG_LOOKUP);
@@ -449,7 +568,7 @@ impl Request {
         let mut rd = Rd::new(payload);
         let tag = rd.u8("request tag")?;
         let req = match tag {
-            TAG_SUBMIT => {
+            TAG_SUBMIT | TAG_SUBMIT_V2 => {
                 let family = rd.str("family")?;
                 let cells = rd.u64("cells")?;
                 let width = rd.u32("width")?;
@@ -465,6 +584,8 @@ impl Request {
                 let lane_width = rd.u16("lane width")?;
                 let deadline_ms = rd.u64("deadline")?;
                 let segment = rd.u32("segment")?;
+                let topology =
+                    if tag == TAG_SUBMIT_V2 { Some(read_topology(&mut rd)?) } else { None };
                 Request::Submit(JobSpec {
                     family,
                     cells,
@@ -474,6 +595,7 @@ impl Request {
                     lane_width,
                     deadline_ms,
                     segment,
+                    topology,
                 })
             }
             TAG_LOOKUP => {
@@ -643,6 +765,7 @@ mod tests {
             lane_width: 512,
             deadline_ms: 30_000,
             segment: 4096,
+            topology: None,
         }));
         round_trip_request(Request::Submit(JobSpec {
             family: "MATS+".into(),
@@ -653,6 +776,31 @@ mod tests {
             lane_width: 0,
             deadline_ms: 0,
             segment: 0,
+            topology: None,
+        }));
+        // v2: every stage kind survives the wire, including a multi-stage
+        // composition — and the validated decode equals the original.
+        let topology = Topology::identity(64)
+            .then_swizzle(Scrambler::reversed(6))
+            .unwrap()
+            .then_interleave(8, 8)
+            .unwrap()
+            .then_fold()
+            .unwrap()
+            .then_twist(16, 4)
+            .unwrap()
+            .then_table((0..64).rev().collect())
+            .unwrap();
+        round_trip_request(Request::Submit(JobSpec {
+            family: "March C-".into(),
+            cells: 64,
+            width: 1,
+            spec: UniverseSpec::paper_claim(),
+            backgrounds: vec![0],
+            lane_width: 0,
+            deadline_ms: 0,
+            segment: 0,
+            topology: Some(topology),
         }));
         round_trip_request(Request::Lookup(LookupSpec {
             family: "March C-D".into(),
@@ -691,6 +839,83 @@ mod tests {
             reference: 0xAB,
         }));
         round_trip_event(Event::Error { code: 1, message: "unknown family 'March Z'".into() });
+    }
+
+    #[test]
+    fn v1_submit_frames_decode_as_identity_topology() {
+        // A pre-topology client's Submit frame — hand-built with the v1
+        // tag and layout — must decode as `topology: None`, and a job
+        // without a topology must still *encode* to that exact v1 frame:
+        // the protocol bump is invisible to identity traffic.
+        let job = JobSpec {
+            family: "March C-".into(),
+            cells: 32,
+            width: 1,
+            spec: UniverseSpec::paper_claim(),
+            backgrounds: vec![0, 5],
+            lane_width: 256,
+            deadline_ms: 1000,
+            segment: 128,
+            topology: None,
+        };
+        let mut v1 = Vec::new();
+        v1.push(0x01);
+        put_str(&mut v1, "March C-");
+        put_u64(&mut v1, 32);
+        put_u32(&mut v1, 1);
+        put_spec(&mut v1, &UniverseSpec::paper_claim());
+        put_u32(&mut v1, 2);
+        put_u64(&mut v1, 0);
+        put_u64(&mut v1, 5);
+        put_u16(&mut v1, 256);
+        put_u64(&mut v1, 1000);
+        put_u32(&mut v1, 128);
+        assert_eq!(Request::decode(&v1).unwrap(), Request::Submit(job.clone()));
+        assert_eq!(Request::Submit(job).encode(), v1);
+    }
+
+    #[test]
+    fn hostile_topology_blobs_are_refused() {
+        let encode = |topology: &Topology| {
+            let mut out = Vec::new();
+            put_topology(&mut out, topology);
+            out
+        };
+        let job = |blob: Vec<u8>| {
+            let mut out = Vec::new();
+            out.push(0x03);
+            put_str(&mut out, "MATS");
+            put_u64(&mut out, 8);
+            put_u32(&mut out, 1);
+            put_spec(&mut out, &UniverseSpec::single_cell());
+            put_u32(&mut out, 1);
+            put_u64(&mut out, 0);
+            put_u16(&mut out, 0);
+            put_u64(&mut out, 0);
+            put_u32(&mut out, 0);
+            out.extend_from_slice(&blob);
+            out
+        };
+        let good = Topology::identity(8).then_table(vec![7, 6, 5, 4, 3, 2, 1, 0]).unwrap();
+        assert!(Request::decode(&job(encode(&good))).is_ok());
+        // A table that is not a permutation must be refused by the
+        // decoder's validation, not accepted as-is.
+        let mut forged = encode(&good);
+        let last = forged.len() - 8;
+        forged[last..].copy_from_slice(&7u64.to_le_bytes()); // 7 appears twice
+        assert!(Request::decode(&job(forged)).is_err(), "non-bijection accepted");
+        // A stage whose cell count disagrees with the topology is refused.
+        let mut out = vec![];
+        put_u64(&mut out, 8); // cells
+        put_u16(&mut out, 1); // one stage
+        out.push(1); // interleave
+        put_u64(&mut out, 3);
+        put_u64(&mut out, 3); // 3×3 ≠ 8
+        assert!(Request::decode(&job(out)).is_err(), "mis-sized interleave accepted");
+        // Truncated mid-stage is truncation, not a short topology.
+        let mut short = encode(&good);
+        short.truncate(short.len() - 3);
+        assert!(Request::decode(&job(short)).is_err(), "truncated blob accepted");
     }
 
     #[test]

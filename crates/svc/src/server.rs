@@ -45,7 +45,7 @@ use crate::proto::{
 use prt_diag::DictionaryStore;
 use prt_gf::Poly2;
 use prt_march::{library, MarchTest};
-use prt_ram::{FaultKind, FaultUniverse, Geometry, LazyUniverse};
+use prt_ram::{FaultKind, FaultUniverse, Geometry, LazyUniverse, Topology};
 use prt_sim::{Campaign, CancelToken, LaneWidth, Parallelism, SegmentProgress, StopCause};
 
 /// The default MISR polynomial for dictionary lookups (`x⁸+x⁴+x³+x+1`,
@@ -313,10 +313,25 @@ fn run_job(stream: TcpStream, reader: TcpStream, shared: &Shared, job: JobSpec) 
         other => return refuse(1, format!("unsupported lane width {other} (64/256/512)")),
     };
 
+    // Physical topology: validated against the geometry up front, then
+    // threaded into the enumeration (faults keep logical addresses, so
+    // the campaign engine itself is topology-blind).
+    let topology = match &job.topology {
+        Some(t) if t.cells() != geom.cells() => {
+            return refuse(
+                1,
+                format!("topology covers {} cells but the device has {}", t.cells(), geom.cells()),
+            );
+        }
+        Some(t) => t.clone(),
+        None => Topology::identity(geom.cells()),
+    };
+
     // Universe: lazy sharding for every spec — coupling families
     // enumerate through the O(1)-memory pair arithmetic, so no job
-    // materializes its universe up front.
-    let lazy = LazyUniverse::new(geom, job.spec);
+    // materializes its universe up front (the topology applies per
+    // decoded index, keeping the O(1) contract under scrambling).
+    let lazy = LazyUniverse::new_with(geom, job.spec, topology.clone());
     let total = lazy.len();
 
     // Programs from the shared cache — every shard (and every concurrent
@@ -371,6 +386,7 @@ fn run_job(stream: TcpStream, reader: TcpStream, shared: &Shared, job: JobSpec) 
         let failed_ref = &write_failed;
         let sink_token = token.clone();
         let mut campaign = Campaign::over(geom, sf, &bank)
+            .with_topology(topology.clone())
             .with_backgrounds(&job.backgrounds)
             .with_ports(ports)
             .with_parallelism(parallelism)

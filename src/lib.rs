@@ -49,8 +49,9 @@ pub mod prelude {
     pub use prt_march::{library as march_library, Executor, MarchTest};
     pub use prt_ram::{
         fault_cells, fault_locality_key, lane_word, ActiveSet, ActivityIndex, CouplingTrigger,
-        Execution, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, LazyUniverse, PortOp,
-        ProgramBuilder, Ram, RamError, SplitMix64, TestProgram, UniverseSpec, LANES,
+        Execution, FaultKind, FaultUniverse, Geometry, LaneChunk, LaneRam, Layout, LazyUniverse,
+        PortOp, ProgramBuilder, Ram, RamError, Scrambler, SplitMix64, TestProgram, Topology,
+        TopologyStage, UniverseSpec, LANES,
     };
     pub use prt_sim::{
         Campaign, CampaignError, CancelToken, CheckpointError, CoverageReport, FaultRunner,

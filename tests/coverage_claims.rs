@@ -105,6 +105,128 @@ fn full_coverage_also_handles_extended_fault_families() {
     );
 }
 
+/// The three representative scrambles the topology re-evaluation sweeps:
+/// identity, bit-reversal of the address lines, and a row/column
+/// interleave. `cells` must be a square power of two.
+fn representative_scrambles(cells: usize) -> [(&'static str, Topology); 3] {
+    let bits = cells.trailing_zeros();
+    assert_eq!(cells, 1 << bits, "bit-reversal needs a power-of-two space");
+    let side = cells.isqrt();
+    assert_eq!(side * side, cells, "the interleave here uses a square array");
+    [
+        ("identity", Topology::identity(cells)),
+        (
+            "bit-reversal",
+            Topology::identity(cells).then_swizzle(Scrambler::reversed(bits)).expect("swizzle"),
+        ),
+        (
+            "row/col-interleave",
+            Topology::identity(cells).then_interleave(side, side).expect("interleave"),
+        ),
+    ]
+}
+
+#[test]
+fn march_textbook_table_is_scramble_invariant() {
+    // E10 re-evaluated under physical scrambling: the textbook March
+    // guarantees quantify over ALL coupling pairs (paper_claim is
+    // radius-free), so relabelling the cells must not change a single
+    // entry of the table — including the deliberate "NOT covered" holes.
+    let geom = Geometry::bom(16);
+    let ex = Executor::new().stop_at_first_mismatch();
+    for (scramble, topology) in representative_scrambles(geom.cells()) {
+        let universe = FaultUniverse::enumerate_with(geom, &UniverseSpec::paper_claim(), topology);
+        let check = |test: &MarchTest, complete: &[&str], incomplete: &[&str]| {
+            let r = prt_march::coverage::evaluate(test, &universe, &ex);
+            for c in complete {
+                assert!(
+                    r.class(c).expect("class").complete(),
+                    "{} must fully cover {c} under {scramble}",
+                    test.name()
+                );
+            }
+            for c in incomplete {
+                assert!(
+                    !r.class(c).expect("class").complete(),
+                    "{} should NOT fully cover {c} under {scramble}",
+                    test.name()
+                );
+            }
+        };
+        check(&march_library::mats_plus(), &["SAF", "AF"], &["TF"]);
+        check(&march_library::mats_plus_plus(), &["SAF", "AF", "TF"], &["CFid"]);
+        check(&march_library::march_x(), &["SAF", "AF", "TF", "CFin"], &["CFid"]);
+        check(&march_library::march_c_minus(), &["SAF", "AF", "TF", "CFin", "CFid", "CFst"], &[]);
+    }
+}
+
+#[test]
+fn standard3_claim_is_scramble_invariant() {
+    // E3 re-evaluated under physical scrambling: the §3 claim (everything
+    // complete except the structural 50% CFid cap) is address-blind, so
+    // it must hold verbatim under every representative scramble.
+    let scheme = PrtScheme::standard3(gf2()).expect("scheme");
+    let geom = Geometry::bom(16);
+    for (scramble, topology) in representative_scrambles(geom.cells()) {
+        let universe = FaultUniverse::enumerate_with(geom, &UniverseSpec::paper_claim(), topology);
+        let report = scheme.coverage(&universe);
+        for class in ["SAF", "TF", "AF", "CFin", "CFst"] {
+            assert!(
+                report.class(class).expect("class").complete(),
+                "standard3 must fully cover {class} under {scramble}"
+            );
+        }
+        let cfid = report.class("CFid").expect("class");
+        assert_eq!(
+            cfid.detected * 2,
+            cfid.total,
+            "the 50% cap is structural, even under {scramble}"
+        );
+    }
+}
+
+#[test]
+fn radius_limited_neighbourhoods_are_topology_dependent() {
+    // The flip side: a radius-limited coupling universe selects aggressors
+    // by PHYSICAL adjacency, so the enumerated fault set is a different
+    // set (not a relabelling) under a non-trivial scramble — while the
+    // per-class totals and the radius-free universes stay invariant.
+    let geom = Geometry::bom(16);
+    let radius1 = UniverseSpec { cfin: true, coupling_radius: Some(1), ..Default::default() };
+    let reversal = Topology::identity(16).then_swizzle(Scrambler::reversed(4)).expect("swizzle");
+    let identity = FaultUniverse::enumerate(geom, &radius1);
+    let scrambled = FaultUniverse::enumerate_with(geom, &radius1, reversal.clone());
+    assert_eq!(identity.census(), scrambled.census(), "per-class totals are scramble-invariant");
+    let sorted = |u: &FaultUniverse| {
+        let mut v: Vec<String> = u.faults().iter().map(|f| f.to_string()).collect();
+        v.sort();
+        v
+    };
+    assert_ne!(
+        sorted(&identity),
+        sorted(&scrambled),
+        "radius-1 aggressor pairs must follow physical adjacency"
+    );
+    // Radius-free coupling quantifies over all ordered pairs, so the same
+    // scramble only permutes the enumeration — equal as sets.
+    let free = UniverseSpec { cfin: true, ..Default::default() };
+    assert_eq!(
+        sorted(&FaultUniverse::enumerate(geom, &free)),
+        sorted(&FaultUniverse::enumerate_with(geom, &free, reversal)),
+        "all-pairs claims are scramble-invariant"
+    );
+    // And the E10 workhorse still covers whichever neighbourhood the
+    // topology selects: the claim "March C- covers CFin" is invariant even
+    // though the universe it is evaluated on is not.
+    let ex = Executor::new().stop_at_first_mismatch();
+    for (u, scramble) in [(&identity, "identity"), (&scrambled, "bit-reversal")] {
+        assert!(
+            prt_march::coverage::evaluate(&march_library::march_c_minus(), u, &ex).complete(),
+            "March C- must cover the radius-1 universe under {scramble}"
+        );
+    }
+}
+
 #[test]
 fn prt_and_march_agree_on_fault_free_memories() {
     let scheme = PrtScheme::standard3(gf2()).expect("scheme");

@@ -337,6 +337,7 @@ fn client_killed_mid_stream_leaves_server_serviceable() {
         lane_width: 0,
         deadline_ms: 0,
         segment: 0,
+        topology: None,
     };
 
     // The victim: read exactly one delta, then drop the connection.

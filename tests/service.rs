@@ -86,7 +86,8 @@ fn drain_checked(
 /// The batch-mode ground truth for the same job.
 fn batch_aggregate(job: &JobSpec) -> BTreeMap<String, (u64, u64)> {
     let geom = Geometry::wom(job.cells as usize, job.width.max(1)).expect("geometry");
-    let universe = FaultUniverse::enumerate(geom, &job.spec);
+    let topology = job.topology.clone().unwrap_or_else(|| Topology::identity(geom.cells()));
+    let universe = FaultUniverse::enumerate_with(geom, &job.spec, topology);
     let programs: Vec<(u64, TestProgram)> = job
         .backgrounds
         .iter()
@@ -125,6 +126,7 @@ fn concurrent_streams_aggregate_to_batch_report() {
         lane_width: 0,
         deadline_ms: 0,
         segment: 64,
+        topology: None,
     };
     let want = batch_aggregate(&job);
 
@@ -168,6 +170,7 @@ fn lazy_dense_universe_streams_exact_aggregate() {
         lane_width: 0,
         deadline_ms: 0,
         segment: 128,
+        topology: None,
     };
     let (aggregate, deltas, done) = drain_checked(server.addr(), &job);
     assert_eq!(done.cause, StopKind::Complete);
@@ -176,6 +179,54 @@ fn lazy_dense_universe_streams_exact_aggregate() {
         "shards must stream per-segment, not one terminal delta"
     );
     assert_eq!(aggregate, batch_aggregate(&job));
+}
+
+/// A v2 (topology-carrying) job over the wire: the server enumerates the
+/// universe under the scramble and the streamed aggregate equals the
+/// local scrambled batch report — while the identity-topology job on the
+/// same connection config matches its own (different) baseline, and a
+/// mis-sized topology is refused before any sweep starts.
+#[test]
+fn scrambled_job_streams_scrambled_universe() {
+    let server = spawn_server("scrambled");
+    let scramble = Topology::identity(64)
+        .then_swizzle(Scrambler::reversed(6))
+        .expect("64-cell swizzle")
+        .then_fold()
+        .expect("even fold");
+    let job = JobSpec {
+        family: "March C-".to_string(),
+        cells: 64,
+        width: 1,
+        spec: UniverseSpec::paper_claim(),
+        backgrounds: vec![0],
+        lane_width: 0,
+        deadline_ms: 0,
+        segment: 64,
+        topology: Some(scramble),
+    };
+    let (aggregate, _, done) = drain_checked(server.addr(), &job);
+    assert_eq!(done.cause, StopKind::Complete);
+    assert_eq!(aggregate, batch_aggregate(&job), "scrambled stream ≡ scrambled batch");
+
+    // The identity job is a *different* sweep (the AF pairing moves), yet
+    // the per-class totals agree — the scramble renames, never drops.
+    let identity = JobSpec { topology: None, ..job.clone() };
+    let (id_aggregate, _, id_done) = drain_checked(server.addr(), &identity);
+    assert_eq!(id_done.cause, StopKind::Complete);
+    assert_eq!(id_aggregate, batch_aggregate(&identity));
+    assert_eq!(id_done.total, done.total, "a bijection cannot change the universe size");
+    let totals = |m: &BTreeMap<String, (u64, u64)>| -> BTreeMap<String, u64> {
+        m.iter().map(|(k, &(_, t))| (k.clone(), t)).collect()
+    };
+    assert_eq!(totals(&aggregate), totals(&id_aggregate));
+
+    // A topology sized for the wrong device is refused up front.
+    let wrong =
+        JobSpec { topology: Some(Topology::identity(32).then_fold().expect("fold")), ..job };
+    let client = Client::connect(server.addr()).expect("connect");
+    let err = client.submit(&wrong).expect_err("mis-sized topology must be refused");
+    assert!(err.to_string().contains("topology"), "unexpected refusal: {err}");
 }
 
 /// Cache semantics over the wire: a second identical dictionary query
@@ -242,6 +293,7 @@ fn bad_requests_are_refused_with_typed_errors() {
         lane_width: 0,
         deadline_ms: 0,
         segment: 0,
+        topology: None,
     };
     let client = Client::connect(server.addr()).expect("connect");
     match client.submit(&job) {
